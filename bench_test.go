@@ -1,0 +1,264 @@
+// Benchmarks: one per table and figure of the paper's Section IV (plus the
+// ablations), each running a representative configuration of that
+// experiment at reduced scale and reporting the metrics the artifact
+// plots. The full sweeps behind every table and figure are produced by
+// cmd/dupbench; these benches give a fast, regression-trackable signal
+// per artifact.
+//
+//	go test -bench=. -benchmem
+package dup
+
+import (
+	"testing"
+
+	"dup/internal/overlay/chord"
+	"dup/internal/rng"
+)
+
+// benchConfig is the shared reduced-scale configuration: 1024 nodes, three
+// TTL cycles, one TTL of warm-up.
+func benchConfig(seed uint64) Config {
+	cfg := DefaultConfig()
+	cfg.Nodes = 1024
+	cfg.Duration = 3 * cfg.TTL
+	cfg.Warmup = cfg.TTL
+	cfg.Seed = seed
+	return cfg
+}
+
+// runScheme executes one simulation and fails the benchmark on error.
+func runScheme(b *testing.B, cfg Config, s Scheme) *Result {
+	b.Helper()
+	if s == PCX {
+		cfg.Lead = 0
+	}
+	r, err := Run(cfg, s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r
+}
+
+// BenchmarkTable2ThresholdC: Table II's axis is the interest threshold c;
+// the bench runs DUP at the paper's chosen c = 6 and at the extremes,
+// reporting the cost spread the table shows.
+func BenchmarkTable2ThresholdC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := benchConfig(1)
+		cfg.Lambda = 10
+		cfg.Threshold = 2
+		lo := runScheme(b, cfg, DUP)
+		cfg.Threshold = 6
+		mid := runScheme(b, cfg, DUP)
+		cfg.Threshold = 10
+		hi := runScheme(b, cfg, DUP)
+		b.ReportMetric(lo.MeanCost, "cost@c2")
+		b.ReportMetric(mid.MeanCost, "cost@c6")
+		b.ReportMetric(hi.MeanCost, "cost@c10")
+		b.ReportMetric(mid.MeanLatency, "latency@c6")
+	}
+}
+
+// BenchmarkFig4QueryRate: Figure 4's λ sweep, sampled at λ = 10.
+func BenchmarkFig4QueryRate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := benchConfig(2)
+		cfg.Lambda = 10
+		pcx := runScheme(b, cfg, PCX)
+		cupR := runScheme(b, cfg, CUP)
+		dupR := runScheme(b, cfg, DUP)
+		b.ReportMetric(pcx.MeanLatency, "latPCX")
+		b.ReportMetric(cupR.MeanLatency, "latCUP")
+		b.ReportMetric(dupR.MeanLatency, "latDUP")
+		b.ReportMetric(dupR.MeanCost/pcx.MeanCost, "relDUP")
+	}
+}
+
+// BenchmarkTable3NodeCount: Table III's axis is n; the bench contrasts
+// DUP latency at 1024 vs 4096 nodes (latency grows with network size).
+func BenchmarkTable3NodeCount(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		small := benchConfig(3)
+		small.Lambda = 1
+		rs := runScheme(b, small, DUP)
+		big := benchConfig(3)
+		big.Nodes = 4096
+		big.Lambda = 1
+		rb := runScheme(b, big, DUP)
+		b.ReportMetric(rs.MeanLatency, "lat@1024")
+		b.ReportMetric(rb.MeanLatency, "lat@4096")
+	}
+}
+
+// BenchmarkFig5NodeCountCost: Figure 5's relative-cost-vs-n curve, sampled
+// at n = 4096.
+func BenchmarkFig5NodeCountCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := benchConfig(4)
+		cfg.Nodes = 4096
+		pcx := runScheme(b, cfg, PCX)
+		cupR := runScheme(b, cfg, CUP)
+		dupR := runScheme(b, cfg, DUP)
+		b.ReportMetric(cupR.MeanCost/pcx.MeanCost, "relCUP")
+		b.ReportMetric(dupR.MeanCost/pcx.MeanCost, "relDUP")
+	}
+}
+
+// BenchmarkFig6MaxDegree: Figure 6's axis is the maximum node degree D;
+// the bench contrasts D = 2 (deep trees) and D = 10 (shallow trees).
+func BenchmarkFig6MaxDegree(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		deep := benchConfig(5)
+		deep.MaxDegree = 2
+		rd := runScheme(b, deep, DUP)
+		shallow := benchConfig(5)
+		shallow.MaxDegree = 10
+		rs := runScheme(b, shallow, DUP)
+		b.ReportMetric(rd.MeanLatency, "lat@D2")
+		b.ReportMetric(rs.MeanLatency, "lat@D10")
+	}
+}
+
+// BenchmarkFig7Zipf: Figure 7's axis is the skew θ; the bench contrasts
+// near-uniform and strongly skewed queries.
+func BenchmarkFig7Zipf(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := benchConfig(6)
+		cfg.Lambda = 10
+		cfg.Theta = 0.5
+		pcxU := runScheme(b, cfg, PCX)
+		dupU := runScheme(b, cfg, DUP)
+		cfg.Theta = 3
+		pcxS := runScheme(b, cfg, PCX)
+		dupS := runScheme(b, cfg, DUP)
+		b.ReportMetric(dupU.MeanCost/pcxU.MeanCost, "relDUP@0.5")
+		b.ReportMetric(dupS.MeanCost/pcxS.MeanCost, "relDUP@3")
+	}
+}
+
+// BenchmarkFig8Pareto: Figure 8's bursty arrivals, α = 1.05 vs 1.20 at
+// λ = 10.
+func BenchmarkFig8Pareto(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := benchConfig(7)
+		cfg.Lambda = 10
+		cfg.Pareto = true
+		cfg.Alpha = 1.05
+		bursty := runScheme(b, cfg, DUP)
+		cfg.Alpha = 1.20
+		smooth := runScheme(b, cfg, DUP)
+		b.ReportMetric(bursty.MeanLatency, "lat@a1.05")
+		b.ReportMetric(smooth.MeanLatency, "lat@a1.20")
+	}
+}
+
+// BenchmarkAblationDirectPush: DUP's one-hop short-cuts vs routing each
+// push hop-by-hop along the index search tree.
+func BenchmarkAblationDirectPush(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := benchConfig(8)
+		cfg.Lambda = 10
+		direct := runScheme(b, cfg, DUP)
+		hopby := runScheme(b, cfg, DUPHopByHop)
+		b.ReportMetric(float64(direct.PushHops), "pushDirect")
+		b.ReportMetric(float64(hopby.PushHops), "pushHopByHop")
+	}
+}
+
+// BenchmarkAblationSubstituteCutoff: the CUP cut-off variant of Section
+// II-B's criticism against the evaluated CUP.
+func BenchmarkAblationSubstituteCutoff(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := benchConfig(9)
+		cfg.Lambda = 10
+		full := runScheme(b, cfg, CUP)
+		cut := runScheme(b, cfg, CUPCutoff)
+		b.ReportMetric(full.MeanLatency, "latCUP")
+		b.ReportMetric(cut.MeanLatency, "latCutoff")
+	}
+}
+
+// BenchmarkAblationChordTopology: the paper's synthetic random trees vs
+// index search trees extracted from Chord lookup paths.
+func BenchmarkAblationChordTopology(b *testing.B) {
+	ring := chord.Bootstrap(1024, rng.New(99), 8)
+	tree, _, err := ring.ExtractTree("bench-key")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		random := benchConfig(10)
+		random.Lambda = 10
+		rr := runScheme(b, random, DUP)
+		cfg := benchConfig(10)
+		cfg.Lambda = 10
+		cfg.Tree = tree
+		rc := runScheme(b, cfg, DUP)
+		b.ReportMetric(rr.MeanLatency, "latRandom")
+		b.ReportMetric(rc.MeanLatency, "latChord")
+	}
+}
+
+// BenchmarkChurn: Section III-C failure handling under load.
+func BenchmarkChurn(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := benchConfig(11)
+		cfg.Lambda = 10
+		cfg.FailRate = 0.02
+		cfg.DetectDelay = 30
+		cfg.DownTime = 600
+		cfg.RetryTimeout = 5
+		r := runScheme(b, cfg, DUP)
+		b.ReportMetric(r.MeanLatency, "latChurn")
+		b.ReportMetric(r.MeanCost, "costChurn")
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulator speed in events per
+// second — the practical limit on full-scale reproduction runs.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	var events uint64
+	var simSeconds float64
+	for i := 0; i < b.N; i++ {
+		cfg := benchConfig(12)
+		cfg.Lambda = 50
+		r := runScheme(b, cfg, DUP)
+		events += r.Events
+		simSeconds += r.SimTime
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+	b.ReportMetric(simSeconds/b.Elapsed().Seconds(), "simsec/s")
+}
+
+// BenchmarkFlashCrowd: the migrating-hot-spot extension — rotation at one
+// TTL versus a stationary workload.
+func BenchmarkFlashCrowd(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		stationary := benchConfig(13)
+		stationary.Lambda = 10
+		stationary.Theta = 2
+		rs := runScheme(b, stationary, DUP)
+		rotating := stationary
+		rotating.HotspotRotate = rotating.TTL
+		rr := runScheme(b, rotating, DUP)
+		b.ReportMetric(rs.MeanCost, "costStationary")
+		b.ReportMetric(rr.MeanCost, "costRotating")
+	}
+}
+
+// BenchmarkInterestBasis: the Figure 3 (A) ambiguity — local-only versus
+// all-received query counting.
+func BenchmarkInterestBasis(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		local := benchConfig(14)
+		local.Lambda = 10
+		local.CountForwarded = false
+		rl := runScheme(b, local, DUP)
+		recv := local
+		recv.CountForwarded = true
+		rr := runScheme(b, recv, DUP)
+		b.ReportMetric(rl.MeanCost, "costLocal")
+		b.ReportMetric(rr.MeanCost, "costReceived")
+	}
+}

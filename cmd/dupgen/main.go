@@ -1,0 +1,70 @@
+// Command dupgen generates synthetic query traces in the JSON-lines format
+// dupsim -replay consumes, using the paper's workload models (exponential
+// or Pareto inter-arrival times, Zipf-like node selection, optional
+// flash-crowd hot-spot migration). It closes the loop for trace-driven
+// experiments: generate once, replay identically against every scheme.
+//
+// Examples:
+//
+//	dupgen -nodes 4096 -lambda 10 -duration 3600 > trace.jsonl
+//	dupgen -pareto -alpha 1.05 -theta 2 | dupsim -replay /dev/stdin
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"dup/internal/rng"
+	"dup/internal/workload"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 4096, "number of nodes")
+	lambda := flag.Float64("lambda", 1, "network-wide mean query rate (queries/s)")
+	theta := flag.Float64("theta", 1.2, "Zipf skew of the query distribution")
+	pareto := flag.Bool("pareto", false, "Pareto inter-arrival times")
+	alpha := flag.Float64("alpha", 1.2, "Pareto shape (with -pareto)")
+	rotate := flag.Float64("rotate", 0, "migrate hot spots every N seconds (0 = stationary)")
+	duration := flag.Float64("duration", 3600, "trace length in simulated seconds")
+	seed := flag.Uint64("seed", 1, "random seed")
+	flag.Parse()
+
+	gen := workload.New(workload.Config{
+		Nodes:       *nodes,
+		Lambda:      *lambda,
+		Theta:       *theta,
+		Pareto:      *pareto,
+		Alpha:       *alpha,
+		RotateEvery: *rotate,
+	}, rng.New(*seed))
+
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	count := 0
+	var batch []workload.Arrival
+	for {
+		a := gen.Next()
+		if a.Time > *duration {
+			break
+		}
+		batch = append(batch, a)
+		count++
+		if len(batch) == 4096 {
+			if err := workload.WriteTrace(out, batch); err != nil {
+				fail(err)
+			}
+			batch = batch[:0]
+		}
+	}
+	if err := workload.WriteTrace(out, batch); err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "dupgen: %d arrivals over %.0fs across %d nodes\n", count, *duration, *nodes)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "dupgen:", err)
+	os.Exit(1)
+}

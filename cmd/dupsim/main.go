@@ -1,0 +1,102 @@
+// Command dupsim runs one simulation of an index maintenance scheme (PCX,
+// CUP or DUP) under a configurable workload and prints the paper's two
+// metrics: average query latency (hops) and average query cost (message
+// hops per query).
+//
+// Examples:
+//
+//	dupsim -scheme dup -lambda 10
+//	dupsim -scheme pcx -nodes 8192 -theta 2 -duration 36000
+//	dupsim -compare -lambda 10       # PCX vs CUP vs DUP side by side
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dup"
+	"dup/internal/workload"
+)
+
+func main() {
+	cfg := dup.DefaultConfig()
+	schemeName := flag.String("scheme", "dup", "scheme to simulate: pcx, cup, cup-cutoff, dup, dup-hopbyhop")
+	compare := flag.Bool("compare", false, "run PCX, CUP and DUP under the same workload")
+	flag.IntVar(&cfg.Nodes, "nodes", cfg.Nodes, "number of nodes n")
+	flag.IntVar(&cfg.MaxDegree, "degree", cfg.MaxDegree, "maximum node degree D")
+	flag.Float64Var(&cfg.Lambda, "lambda", cfg.Lambda, "network-wide mean query rate (queries/s)")
+	flag.Float64Var(&cfg.Theta, "theta", cfg.Theta, "Zipf skew of the query distribution")
+	flag.BoolVar(&cfg.Pareto, "pareto", false, "use Pareto query inter-arrival times")
+	flag.Float64Var(&cfg.Alpha, "alpha", 1.2, "Pareto shape parameter (with -pareto)")
+	flag.Float64Var(&cfg.TTL, "ttl", cfg.TTL, "index TTL (s)")
+	flag.Float64Var(&cfg.Lead, "lead", cfg.Lead, "push lead before expiry (s)")
+	flag.IntVar(&cfg.Threshold, "c", cfg.Threshold, "interest threshold c")
+	flag.Float64Var(&cfg.HotspotRotate, "rotate", 0, "migrate the Zipf hot spots every N seconds (0 = stationary)")
+	flag.Float64Var(&cfg.Duration, "duration", cfg.Duration, "simulated seconds")
+	flag.Float64Var(&cfg.Warmup, "warmup", cfg.Warmup, "warm-up seconds excluded from metrics")
+	flag.Uint64Var(&cfg.Seed, "seed", cfg.Seed, "random seed")
+	flag.Float64Var(&cfg.FailRate, "failrate", 0, "node failures per second (0 disables churn)")
+	flag.Float64Var(&cfg.DetectDelay, "detect", 30, "failure detection delay (s, with -failrate)")
+	flag.Float64Var(&cfg.DownTime, "downtime", 600, "node downtime before rejoining (s, with -failrate)")
+	flag.Float64Var(&cfg.RetryTimeout, "retry", 5, "query retry timeout after a loss (s, with -failrate)")
+	replay := flag.String("replay", "", "drive the workload from a JSON-lines trace file ({\"t\":...,\"node\":...} per line)")
+	loop := flag.Bool("loop", false, "repeat the replay trace until -duration (with -replay)")
+	flag.Parse()
+
+	if *replay != "" {
+		f, err := os.Open(*replay)
+		if err != nil {
+			fail(err)
+		}
+		arrivals, err := workload.ReadTrace(f, cfg.Nodes)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+		cfg.Arrivals = arrivals
+		cfg.LoopTrace = *loop
+		fmt.Fprintf(os.Stderr, "replaying %d arrivals spanning %.1fs (loop=%v)\n",
+			len(arrivals), arrivals[len(arrivals)-1].Time, *loop)
+	}
+
+	if *compare {
+		results, err := dup.Compare(cfg)
+		if err != nil {
+			fail(err)
+		}
+		pcxCost := results[0].MeanCost
+		fmt.Printf("%-6s  %12s  %14s  %10s  %9s\n", "scheme", "latency(hops)", "cost(hops/qry)", "rel. cost", "hit rate")
+		for _, r := range results {
+			fmt.Printf("%-6s  %13.4f  %14.4f  %10.3f  %9.3f\n",
+				r.Scheme, r.MeanLatency, r.MeanCost, safeDiv(r.MeanCost, pcxCost), r.LocalHitRate)
+		}
+		return
+	}
+
+	s, err := dup.ParseScheme(*schemeName)
+	if err != nil {
+		fail(err)
+	}
+	r, err := dup.Run(cfg, s)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println(r)
+	req, rep, push, ctrl := r.RequestHops, r.ReplyHops, r.PushHops, r.ControlHops
+	fmt.Printf("hop breakdown: request %d, reply %d, push %d, control %d\n", req, rep, push, ctrl)
+	fmt.Printf("local hit rate %.3f, p95 latency %d hops, %d events\n",
+		r.LocalHitRate, r.LatencyP95, r.Events)
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "dupsim:", err)
+	os.Exit(1)
+}

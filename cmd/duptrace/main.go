@@ -1,0 +1,184 @@
+// Command duptrace runs a short simulation with event tracing and either
+// dumps every protocol message as JSON lines (-json) or prints a summary
+// of message counts by kind — useful for inspecting how the DUP tree
+// grows, pushes flow and queries resolve.
+//
+// Examples:
+//
+//	duptrace -scheme dup -duration 7200 -lambda 2 | head
+//	duptrace -scheme dup -json -lambda 0.5 > trace.jsonl
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"dup/internal/proto"
+	"dup/internal/scheme"
+	"dup/internal/scheme/cup"
+	"dup/internal/scheme/dupscheme"
+	"dup/internal/sim"
+)
+
+// event is one JSON-lines trace record.
+type event struct {
+	T       float64 `json:"t"`
+	Type    string  `json:"type"` // "msg" or "query"
+	Kind    string  `json:"kind,omitempty"`
+	To      int     `json:"to,omitempty"`
+	Origin  int     `json:"origin,omitempty"`
+	Subject int     `json:"subject,omitempty"`
+	Version int64   `json:"version,omitempty"`
+	Hops    int     `json:"hops"`
+}
+
+// tracer implements sim.Tracer.
+type tracer struct {
+	jsonOut *json.Encoder // nil in summary mode
+	counts  map[string]int
+	queries int
+	hops    int
+	err     error
+}
+
+func (t *tracer) Message(ts float64, m *proto.Message) {
+	t.counts[m.Kind.String()]++
+	if t.jsonOut != nil && t.err == nil {
+		t.err = t.jsonOut.Encode(event{
+			T: ts, Type: "msg", Kind: m.Kind.String(), To: m.To,
+			Origin: m.Origin, Subject: m.Subject, Version: m.Version, Hops: m.Hops,
+		})
+	}
+}
+
+func (t *tracer) Query(ts float64, origin, hops int) {
+	t.queries++
+	t.hops += hops
+	if t.jsonOut != nil && t.err == nil {
+		t.err = t.jsonOut.Encode(event{T: ts, Type: "query", Origin: origin, Hops: hops})
+	}
+}
+
+func main() {
+	cfg := sim.Default()
+	cfg.Nodes = 512
+	cfg.Duration = 7200
+	cfg.Warmup = 0
+	schemeName := flag.String("scheme", "dup", "scheme: pcx, cup, dup")
+	asJSON := flag.Bool("json", false, "emit JSON lines instead of a summary")
+	asDot := flag.Bool("dot", false, "emit the final DUP tree as Graphviz DOT (dup scheme only)")
+	flag.IntVar(&cfg.Nodes, "nodes", cfg.Nodes, "number of nodes")
+	flag.Float64Var(&cfg.Lambda, "lambda", cfg.Lambda, "query rate (queries/s)")
+	flag.Float64Var(&cfg.Theta, "theta", cfg.Theta, "Zipf skew")
+	flag.Float64Var(&cfg.Duration, "duration", cfg.Duration, "simulated seconds")
+	flag.Uint64Var(&cfg.Seed, "seed", cfg.Seed, "random seed")
+	flag.Parse()
+
+	var s scheme.Scheme
+	var dupS *dupscheme.DUP
+	switch *schemeName {
+	case "pcx":
+		s = scheme.NewPCX()
+	case "cup":
+		s = cup.New()
+	case "dup":
+		dupS = dupscheme.New()
+		s = dupS
+	default:
+		fail(fmt.Errorf("unknown scheme %q", *schemeName))
+	}
+	if *asDot && dupS == nil {
+		fail(fmt.Errorf("-dot requires -scheme dup"))
+	}
+
+	e, err := sim.New(cfg, s)
+	if err != nil {
+		fail(err)
+	}
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	tr := &tracer{counts: map[string]int{}}
+	if *asJSON {
+		tr.jsonOut = json.NewEncoder(out)
+	}
+	e.SetTracer(tr)
+	r, err := e.Run()
+	if err != nil {
+		fail(err)
+	}
+	if tr.err != nil {
+		fail(tr.err)
+	}
+	if *asDot {
+		writeDot(out, e, dupS)
+		return
+	}
+	if !*asJSON {
+		fmt.Fprintf(out, "%s\n\nmessage deliveries by kind:\n", r)
+		for _, kind := range []string{"request", "reply", "push", "subscribe", "unsubscribe", "substitute", "interest", "uninterest"} {
+			if n := tr.counts[kind]; n > 0 {
+				fmt.Fprintf(out, "  %-12s %d\n", kind, n)
+			}
+		}
+		fmt.Fprintf(out, "queries resolved: %d (mean latency %.3f hops)\n",
+			tr.queries, float64(tr.hops)/float64(max(tr.queries, 1)))
+	}
+}
+
+// writeDot renders the end-of-run DUP state as Graphviz DOT: index search
+// tree edges in grey, virtual-path membership dashed, DUP-tree push edges
+// in bold, interested nodes filled. Render with:
+//
+//	duptrace -dot | dot -Tsvg > duptree.svg
+func writeDot(out io.Writer, e *sim.Engine, d *dupscheme.DUP) {
+	tree := e.Tree()
+	fmt.Fprintln(out, "digraph duptree {")
+	fmt.Fprintln(out, "  rankdir=TB; node [shape=circle, fontsize=9, width=0.3];")
+	for n := 0; n < tree.N(); n++ {
+		st := d.State(n)
+		attrs := ""
+		switch {
+		case tree.IsRoot(n):
+			attrs = ` [style=filled, fillcolor=gold, label="root"]`
+		case st.Interested():
+			attrs = " [style=filled, fillcolor=lightblue]"
+		case st.InTree():
+			attrs = " [style=filled, fillcolor=lightgrey]"
+		case st.OnVirtualPath():
+			attrs = " [style=dashed]"
+		default:
+			continue // omit idle nodes to keep large graphs readable
+		}
+		fmt.Fprintf(out, "  n%d%s;\n", n, attrs)
+	}
+	// Search-tree edges between rendered nodes, for context.
+	rendered := func(n int) bool {
+		st := d.State(n)
+		return tree.IsRoot(n) || st.OnVirtualPath() || st.Interested()
+	}
+	for n := 1; n < tree.N(); n++ {
+		if rendered(n) && rendered(tree.Parent(n)) {
+			fmt.Fprintf(out, "  n%d -> n%d [color=grey, arrowhead=none];\n", tree.Parent(n), n)
+		}
+	}
+	// DUP-tree push edges.
+	for n := 0; n < tree.N(); n++ {
+		st := d.State(n)
+		if !st.InTree() {
+			continue
+		}
+		for _, target := range st.PushTargets() {
+			fmt.Fprintf(out, "  n%d -> n%d [color=blue, penwidth=2];\n", n, target)
+		}
+	}
+	fmt.Fprintln(out, "}")
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "duptrace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,90 @@
+package dup_test
+
+import (
+	"fmt"
+
+	"dup"
+)
+
+// Compare the three schemes of the paper under one deterministic workload.
+func ExampleCompare() {
+	cfg := dup.DefaultConfig()
+	cfg.Nodes = 256 // small network so the example runs instantly
+	cfg.TTL = 600
+	cfg.Lead = 10
+	cfg.Duration = 3000
+	cfg.Warmup = 600
+	cfg.Lambda = 5
+	cfg.Seed = 1
+
+	results, err := dup.Compare(cfg) // PCX, CUP, DUP
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range results {
+		fmt.Println(r.Scheme)
+	}
+	best := results[len(results)-1]
+	fmt.Println("DUP cheapest:", best.MeanCost < results[0].MeanCost)
+	// Output:
+	// PCX
+	// CUP
+	// DUP
+	// DUP cheapest: true
+}
+
+// Drive the Figure 3 state machine directly: node 5 subscribes, the root
+// learns about it, and a push targets it.
+func ExampleNewNodeState() {
+	root := dup.NewNodeState(0, true)
+	n5 := dup.NewNodeState(5, false)
+
+	actions := n5.BecomeInterested()
+	fmt.Println("node 5 emits:", actions[0])
+
+	root.HandleSubscribe(5)
+	fmt.Println("root pushes to:", root.PushTargets())
+	// Output:
+	// node 5 emits: subscribe(5)
+	// root pushes to: [5]
+}
+
+// Publish events across a DUP dissemination tree.
+func ExampleNewPubSub() {
+	p, err := dup.NewPubSub(64, 1)
+	if err != nil {
+		panic(err)
+	}
+	nodes := p.Nodes()
+	p.Subscribe(nodes[10], "alerts")
+	p.Subscribe(nodes[40], "alerts")
+
+	d, err := p.Publish("alerts", "cpu high")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("subscribers reached:", d.Subscribers)
+	fmt.Println("DUP cheaper than SCRIBE:", d.Hops <= d.ScribeHops)
+	// Output:
+	// subscribers reached: 2
+	// DUP cheaper than SCRIBE: true
+}
+
+// Resolve content through the multi-key directory.
+func ExampleNewDirectory() {
+	cfg := dup.DefaultDirectoryConfig()
+	cfg.Nodes = 64
+	d, err := dup.NewDirectory(cfg)
+	if err != nil {
+		panic(err)
+	}
+	d.Register("movie.avi", "host-9", 0)
+
+	r, err := d.Lookup(d.Nodes()[30], "movie.avi", 5)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("value:", r.Value)
+	// Output:
+	// value: host-9
+}

@@ -1,0 +1,61 @@
+// Chordoverlay: the paper's system model end to end on a real DHT
+// substrate. A Chord ring is bootstrapped, a key is hashed to find its
+// authority node, the index search tree is extracted from actual Chord
+// lookup paths ("these search paths form a tree"), and the three schemes
+// are simulated on that tree instead of the paper's synthetic random
+// trees.
+//
+// Run with:
+//
+//	go run ./examples/chordoverlay
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dup"
+	"dup/internal/overlay/chord"
+	"dup/internal/rng"
+)
+
+func main() {
+	const key = "ubuntu-24.04.iso"
+
+	fmt.Println("bootstrapping a 4096-node Chord ring...")
+	ring := chord.Bootstrap(4096, rng.New(42), 8)
+
+	// Where does the key live, and how long are lookups?
+	authority := ring.SuccessorOf(chord.HashKey(key))
+	ids := ring.IDs()
+	_, path, err := ring.Lookup(ids[len(ids)/2], chord.HashKey(key))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("key %q hashes to ring id %d\n", key, chord.HashKey(key))
+	fmt.Printf("authority node: %d (a sample lookup took %d hops)\n\n", authority.ID(), len(path))
+
+	tree, _, err := ring.ExtractTree(key)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("index search tree for the key: %d nodes, max depth %d, mean depth %.2f\n\n",
+		tree.N(), tree.MaxDepth(), tree.MeanDepth())
+
+	cfg := dup.DefaultConfig()
+	cfg.Tree = tree // simulate on the Chord-derived tree
+	cfg.Lambda = 10
+	cfg.Duration = 5 * cfg.TTL
+	cfg.Warmup = cfg.TTL
+
+	results, err := dup.Compare(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-6s  %14s  %16s\n", "scheme", "latency (hops)", "cost (hops/query)")
+	for _, r := range results {
+		fmt.Printf("%-6s  %14.4f  %16.4f\n", r.Scheme, r.MeanLatency, r.MeanCost)
+	}
+	fmt.Println("\nChord lookup trees are shallower and bushier than the paper's random")
+	fmt.Println("[1,D] trees, so absolute hop counts drop — the scheme ordering holds.")
+}

@@ -1,0 +1,3 @@
+module dup
+
+go 1.22

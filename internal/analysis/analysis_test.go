@@ -1,0 +1,153 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dup/internal/rng"
+	"dup/internal/topology"
+)
+
+// Paper tree ids: N1=0 N2=1 N3=2 N4=3 N5=4 N6=5 N7=6 N8=7.
+
+func TestPaperWorkedExample(t *testing.T) {
+	// Figure 2 (b): N4 and N6 interested. The paper: DUP costs three hops
+	// while CUP costs five to push.
+	m := New(topology.Paper(), []int{3, 5})
+	if got := m.CUPPushEdges(); got != 5 {
+		t.Fatalf("CUP push edges = %d, want 5 (N2,N3,N4,N5,N6)", got)
+	}
+	if got := m.DUPPushEdges(); got != 3 {
+		t.Fatalf("DUP push edges = %d, want 3 (N3,N4,N6)", got)
+	}
+	members := m.DUPTreeMembers()
+	for _, want := range []int{0, 2, 3, 5} {
+		if !members[want] {
+			t.Errorf("DUP tree missing member %d", want)
+		}
+	}
+	if len(members) != 4 {
+		t.Errorf("DUP tree members = %v, want exactly {0,2,3,5}", members)
+	}
+}
+
+func TestFigure2aSingleInterested(t *testing.T) {
+	m := New(topology.Paper(), []int{5})
+	if got := m.DUPPushEdges(); got != 1 {
+		t.Fatalf("DUP push edges = %d, want 1 (direct N1->N6)", got)
+	}
+	if got := m.CUPPushEdges(); got != 4 {
+		t.Fatalf("CUP push edges = %d, want 4", got)
+	}
+}
+
+func TestNoInterest(t *testing.T) {
+	m := New(topology.Paper(), nil)
+	if m.CUPPushEdges() != 0 || m.DUPPushEdges() != 0 {
+		t.Fatal("push edges without interest should be 0")
+	}
+	if len(m.DUPTreeMembers()) != 0 {
+		t.Fatal("DUP tree should be empty without interest")
+	}
+	// Both schemes then cost exactly PCX.
+	if m.CUPCost() != m.PCXCost() || m.DUPCost() != m.PCXCost() {
+		t.Fatal("costs without interest should equal PCX")
+	}
+}
+
+func TestFullInterestHitsFiftyPercentBound(t *testing.T) {
+	// The paper's Section II-B bound: with every node interested and
+	// cached, pushing can at most halve the cost. With full interest both
+	// CUP and DUP push over every tree edge: ratio exactly 0.5.
+	tree := topology.Generate(500, 4, rng.New(1))
+	all := make([]int, tree.N())
+	for i := range all {
+		all[i] = i
+	}
+	m := New(tree, all)
+	if got := m.SavingsBound(); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("CUP full-interest ratio = %v, want 0.5", got)
+	}
+	if got := m.DUPRatio(); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("DUP full-interest ratio = %v, want 0.5", got)
+	}
+}
+
+func TestDUPNeverCostsMoreThanCUP(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		src := rng.New(seed)
+		n := src.IntRange(2, 300)
+		tree := topology.Generate(n, src.IntRange(1, 6), src.Split())
+		count := src.IntRange(1, n)
+		interested := make([]int, count)
+		for i := range interested {
+			interested[i] = src.Intn(n)
+		}
+		m := New(tree, interested)
+		return m.DUPPushEdges() <= m.CUPPushEdges() &&
+			m.DUPCost() <= m.CUPCost() &&
+			m.DUPCost() <= m.PCXCost()
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDUPTreeMembersSupersetOfInterested(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		src := rng.New(seed)
+		n := src.IntRange(2, 200)
+		tree := topology.Generate(n, src.IntRange(1, 5), src.Split())
+		count := src.IntRange(1, n/2+1)
+		interested := make([]int, count)
+		for i := range interested {
+			interested[i] = src.IntRange(1, n-1)
+		}
+		m := New(tree, interested)
+		members := m.DUPTreeMembers()
+		for _, i := range interested {
+			if !members[i] {
+				return false
+			}
+		}
+		// Every member is interested, the root, or a branch point with
+		// at least two interest-bearing branches.
+		return members[tree.Root()]
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScatteredDeepInterestFavoursDUPStrongly(t *testing.T) {
+	// The paper's headline geometry: few, deep, scattered interested
+	// nodes. DUP's edge count should approach the interested count while
+	// CUP's approaches count x depth.
+	tree := topology.Generate(4096, 2, rng.New(7)) // deep tree
+	interested := []int{4000, 4050, 3900, 3800, 4095}
+	m := New(tree, interested)
+	if m.DUPPushEdges() > 3*len(interested) {
+		t.Fatalf("DUP edges = %d for %d scattered nodes", m.DUPPushEdges(), len(interested))
+	}
+	if m.CUPPushEdges() < 3*m.DUPPushEdges() {
+		t.Fatalf("expected CUP (%d) >> DUP (%d) for deep scattered interest",
+			m.CUPPushEdges(), m.DUPPushEdges())
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range interested id did not panic")
+		}
+	}()
+	New(topology.Paper(), []int{99})
+}
+
+func TestInterestedAccessor(t *testing.T) {
+	m := New(topology.Paper(), []int{3})
+	if !m.Interested(3) || m.Interested(5) {
+		t.Fatal("Interested() wrong")
+	}
+}

@@ -1,0 +1,46 @@
+// Package cache provides the two index caches of the system: Entry, the
+// single-index per-node cache slot the simulator uses (one simulated key,
+// version + absolute expiry), and TTLCache, a general multi-key cache with
+// LRU eviction used by the live network where nodes cache indices for many
+// keys at once.
+package cache
+
+// Entry is one node's cached copy of the simulated index: the version it
+// holds and the absolute time at which that version expires. The zero value
+// is an empty slot (version -1 would also work, but Valid on the zero value
+// reports false because Expiry is 0).
+type Entry struct {
+	Version int64
+	Expiry  float64
+	has     bool
+}
+
+// Valid reports whether the slot holds an unexpired copy at time now. A
+// copy expiring exactly at now is already invalid (the paper's TTL model:
+// usable strictly before expiry).
+func (e *Entry) Valid(now float64) bool {
+	return e.has && now < e.Expiry
+}
+
+// Has reports whether the slot holds any copy, expired or not.
+func (e *Entry) Has() bool { return e.has }
+
+// Store caches version with the given absolute expiry if it is at least as
+// new as the current content; stale writes (older versions arriving late
+// due to message reordering) are ignored. It reports whether the slot
+// changed.
+func (e *Entry) Store(version int64, expiry float64) bool {
+	if e.has && version < e.Version {
+		return false
+	}
+	if e.has && version == e.Version && expiry <= e.Expiry {
+		return false
+	}
+	e.Version = version
+	e.Expiry = expiry
+	e.has = true
+	return true
+}
+
+// Invalidate clears the slot.
+func (e *Entry) Invalidate() { *e = Entry{} }

@@ -1,0 +1,184 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestEntryZeroValueInvalid(t *testing.T) {
+	var e Entry
+	if e.Valid(0) || e.Has() {
+		t.Fatal("zero-value entry should be empty")
+	}
+}
+
+func TestEntryStoreAndExpiry(t *testing.T) {
+	var e Entry
+	if !e.Store(0, 3600) {
+		t.Fatal("initial store rejected")
+	}
+	if !e.Valid(0) || !e.Valid(3599.99) {
+		t.Fatal("entry should be valid before expiry")
+	}
+	if e.Valid(3600) {
+		t.Fatal("entry valid exactly at expiry")
+	}
+	if !e.Has() {
+		t.Fatal("Has false after store")
+	}
+}
+
+func TestEntryRejectsStaleVersions(t *testing.T) {
+	var e Entry
+	e.Store(5, 100)
+	if e.Store(4, 999) {
+		t.Fatal("older version accepted")
+	}
+	if e.Version != 5 || e.Expiry != 100 {
+		t.Fatal("stale write mutated entry")
+	}
+	if e.Store(5, 100) {
+		t.Fatal("identical write reported change")
+	}
+	if !e.Store(5, 150) {
+		t.Fatal("same version, later expiry should extend")
+	}
+	if !e.Store(6, 200) {
+		t.Fatal("newer version rejected")
+	}
+}
+
+func TestEntryInvalidate(t *testing.T) {
+	var e Entry
+	e.Store(1, 10)
+	e.Invalidate()
+	if e.Has() || e.Valid(0) {
+		t.Fatal("Invalidate did not clear entry")
+	}
+	// After invalidation, even version 0 stores again.
+	if !e.Store(0, 5) {
+		t.Fatal("store after invalidate rejected")
+	}
+}
+
+func TestEntryMonotoneProperty(t *testing.T) {
+	err := quick.Check(func(ops []uint16) bool {
+		var e Entry
+		lastV := int64(-1)
+		for _, op := range ops {
+			v := int64(op % 64)
+			exp := float64(op % 971)
+			e.Store(v, exp)
+			if e.Has() {
+				if e.Version < lastV {
+					return false // version went backwards
+				}
+				lastV = e.Version
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTTLCacheBasics(t *testing.T) {
+	c := NewTTLCache(4)
+	c.Put(Item{Key: "a", Value: "n1", Version: 1, Expiry: 100}, 0)
+	it, ok := c.Get("a", 50)
+	if !ok || it.Value != "n1" {
+		t.Fatalf("Get = %+v, %v", it, ok)
+	}
+	if _, ok := c.Get("a", 100); ok {
+		t.Fatal("expired entry returned")
+	}
+	if c.Len() != 0 {
+		t.Fatal("expired entry not removed on access")
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("stats = %d/%d, want 1/1", hits, misses)
+	}
+}
+
+func TestTTLCacheLRUEviction(t *testing.T) {
+	c := NewTTLCache(2)
+	c.Put(Item{Key: "a", Expiry: 1000}, 0)
+	c.Put(Item{Key: "b", Expiry: 1000}, 0)
+	c.Get("a", 1) // a becomes MRU
+	c.Put(Item{Key: "c", Expiry: 1000}, 2)
+	if _, ok := c.Get("b", 3); ok {
+		t.Fatal("LRU item b not evicted")
+	}
+	if _, ok := c.Get("a", 3); !ok {
+		t.Fatal("MRU item a evicted")
+	}
+	if _, ok := c.Get("c", 3); !ok {
+		t.Fatal("new item c missing")
+	}
+}
+
+func TestTTLCacheVersionGuard(t *testing.T) {
+	c := NewTTLCache(4)
+	c.Put(Item{Key: "k", Version: 5, Expiry: 1000}, 0)
+	if c.Put(Item{Key: "k", Version: 3, Expiry: 2000}, 1) {
+		t.Fatal("stale version overwrote newer cache entry")
+	}
+	// But a stale version may replace an expired entry.
+	if !c.Put(Item{Key: "k", Version: 3, Expiry: 2000}, 1500) {
+		t.Fatal("replacement of expired entry rejected")
+	}
+}
+
+func TestTTLCacheInvalidate(t *testing.T) {
+	c := NewTTLCache(4)
+	c.Put(Item{Key: "k", Expiry: 100}, 0)
+	if !c.Invalidate("k") || c.Invalidate("k") {
+		t.Fatal("Invalidate semantics wrong")
+	}
+}
+
+func TestTTLCacheSweep(t *testing.T) {
+	c := NewTTLCache(10)
+	for i := 0; i < 6; i++ {
+		c.Put(Item{Key: fmt.Sprintf("k%d", i), Expiry: float64(10 * (i + 1))}, 0)
+	}
+	if removed := c.Sweep(35); removed != 3 {
+		t.Fatalf("Sweep removed %d, want 3 (expiries 10,20,30)", removed)
+	}
+	if c.Len() != 3 {
+		t.Fatalf("Len after sweep = %d", c.Len())
+	}
+}
+
+func TestTTLCacheConcurrent(t *testing.T) {
+	c := NewTTLCache(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				k := fmt.Sprintf("k%d", (g*31+i)%100)
+				c.Put(Item{Key: k, Version: int64(i), Expiry: float64(i + 1000)}, float64(i))
+				c.Get(k, float64(i))
+				if i%100 == 0 {
+					c.Sweep(float64(i))
+				}
+			}
+		}(g)
+	}
+	wg.Wait() // run with -race; correctness is "no race, no panic"
+}
+
+func TestTTLCachePanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewTTLCache(0) did not panic")
+		}
+	}()
+	NewTTLCache(0)
+}

@@ -1,0 +1,136 @@
+package cache
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// Item is one cached multi-key index entry.
+type Item struct {
+	Key     string
+	Value   string
+	Version int64
+	Expiry  float64
+}
+
+// TTLCache is a bounded multi-key index cache with LRU eviction and
+// absolute per-item expiry, safe for concurrent use. Live-network nodes use
+// one TTLCache each; the PCX/CUP/DUP schemes differ only in how entries get
+// refreshed, not in how they are stored.
+type TTLCache struct {
+	mu       sync.Mutex
+	capacity int
+	order    *list.List               // front = most recently used
+	items    map[string]*list.Element // value: *Item stored in order
+	hits     uint64
+	misses   uint64
+}
+
+// NewTTLCache returns a cache holding at most capacity items. It panics if
+// capacity <= 0.
+func NewTTLCache(capacity int) *TTLCache {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("cache: capacity must be positive, got %d", capacity))
+	}
+	return &TTLCache{
+		capacity: capacity,
+		order:    list.New(),
+		items:    make(map[string]*list.Element),
+	}
+}
+
+// Get returns the valid (unexpired at now) entry for key, marking it
+// recently used. Expired entries are removed on access and count as misses.
+func (c *TTLCache) Get(key string, now float64) (Item, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return Item{}, false
+	}
+	it := el.Value.(*Item)
+	if now >= it.Expiry {
+		c.order.Remove(el)
+		delete(c.items, key)
+		c.misses++
+		return Item{}, false
+	}
+	c.order.MoveToFront(el)
+	c.hits++
+	return *it, true
+}
+
+// Put stores the item, unless a strictly newer version of the same key is
+// already cached. The least recently used item is evicted when the cache is
+// full. It reports whether the item was stored.
+func (c *TTLCache) Put(item Item, now float64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[item.Key]; ok {
+		cur := el.Value.(*Item)
+		if cur.Version > item.Version && now < cur.Expiry {
+			return false
+		}
+		*cur = item
+		c.order.MoveToFront(el)
+		return true
+	}
+	if c.order.Len() >= c.capacity {
+		oldest := c.order.Back()
+		if oldest != nil {
+			c.order.Remove(oldest)
+			delete(c.items, oldest.Value.(*Item).Key)
+		}
+	}
+	it := item
+	c.items[item.Key] = c.order.PushFront(&it)
+	return true
+}
+
+// Invalidate removes key from the cache; it reports whether it was present.
+func (c *TTLCache) Invalidate(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return false
+	}
+	c.order.Remove(el)
+	delete(c.items, key)
+	return true
+}
+
+// Len returns the number of items currently held (including any that have
+// expired but have not been touched since).
+func (c *TTLCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Stats returns the cumulative hit and miss counts.
+func (c *TTLCache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Sweep removes every expired item and returns how many were removed. Live
+// nodes call this periodically to bound memory.
+func (c *TTLCache) Sweep(now float64) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	removed := 0
+	for el := c.order.Front(); el != nil; {
+		next := el.Next()
+		if it := el.Value.(*Item); now >= it.Expiry {
+			c.order.Remove(el)
+			delete(c.items, it.Key)
+			removed++
+		}
+		el = next
+	}
+	return removed
+}

@@ -1,0 +1,232 @@
+// Package directory is a multi-key content directory built from the
+// repository's substrates — the system the paper's introduction motivates.
+// Hosting peers register (key, host) mappings with each key's authority
+// node (dup/internal/index.Store); peers look keys up along the key's
+// index search tree, caching results with a TTL on the way
+// (dup/internal/cache.TTLCache, path caching); and peers that query a key
+// often can Watch it, subscribing through the DUP dissemination platform
+// so that updates are pushed to their caches before they expire.
+//
+// Time is supplied by the caller (simulated seconds), keeping the whole
+// service deterministic and unit-testable.
+package directory
+
+import (
+	"fmt"
+
+	"dup/internal/cache"
+	"dup/internal/dissem"
+	"dup/internal/index"
+	"dup/internal/overlay/chord"
+)
+
+// Lookup is the outcome of one directory query.
+type Lookup struct {
+	Value string
+	// Hops the request travelled before reaching a valid mapping
+	// (0 = served from the querying peer's own cache).
+	Hops int
+	// Authoritative reports whether the answer came from the authority
+	// node rather than a cache.
+	Authoritative bool
+}
+
+// Directory is the running service.
+type Directory struct {
+	platform *dissem.Platform
+	ttl      float64
+	stores   map[chord.ID]*index.Store    // per-authority index tables
+	caches   map[chord.ID]*cache.TTLCache // per-peer lookup caches
+	watchers map[string][]chord.ID        // key -> peers watching it
+}
+
+// Config parametrises the directory.
+type Config struct {
+	Nodes      int     // ring size
+	Seed       uint64  // ring/topology seed
+	TTL        float64 // index version lifetime, seconds
+	CacheSize  int     // per-peer cache capacity (entries)
+	GracePings float64 // keep-alive grace for hosting peers, seconds
+}
+
+// DefaultConfig returns a small deterministic directory.
+func DefaultConfig() Config {
+	return Config{Nodes: 256, Seed: 1, TTL: 3600, CacheSize: 128, GracePings: 300}
+}
+
+// New builds the directory service.
+func New(cfg Config) (*Directory, error) {
+	if cfg.Nodes < 1 {
+		return nil, fmt.Errorf("directory: need at least one node, got %d", cfg.Nodes)
+	}
+	if cfg.TTL <= 0 || cfg.CacheSize <= 0 || cfg.GracePings <= 0 {
+		return nil, fmt.Errorf("directory: TTL, CacheSize and GracePings must be positive")
+	}
+	p, err := dissem.NewPlatform(cfg.Nodes, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	d := &Directory{
+		platform: p,
+		ttl:      cfg.TTL,
+		stores:   make(map[chord.ID]*index.Store),
+		caches:   make(map[chord.ID]*cache.TTLCache),
+		watchers: make(map[string][]chord.ID),
+	}
+	for _, id := range p.Nodes() {
+		d.caches[id] = cache.NewTTLCache(cfg.CacheSize)
+		d.stores[id] = index.NewStore(cfg.TTL, cfg.GracePings)
+	}
+	return d, nil
+}
+
+// Nodes returns the ring ids of all peers.
+func (d *Directory) Nodes() []chord.ID { return d.platform.Nodes() }
+
+// Authority returns the ring id of the node responsible for key.
+func (d *Directory) Authority(key string) (chord.ID, error) {
+	return d.platform.Rendezvous(key)
+}
+
+// Register announces that host serves key, at time now. The mapping is
+// stored at the key's authority and pushed to every watcher.
+func (d *Directory) Register(key, host string, now float64) error {
+	auth, err := d.platform.Rendezvous(key)
+	if err != nil {
+		return err
+	}
+	rec := d.stores[auth].Put(key, host, now)
+	return d.pushToWatchers(key, rec, now)
+}
+
+// KeepAlive refreshes the hosting peer's liveness for key at time now.
+func (d *Directory) KeepAlive(key string, now float64) error {
+	auth, err := d.platform.Rendezvous(key)
+	if err != nil {
+		return err
+	}
+	if !d.stores[auth].KeepAlive(key, now) {
+		return fmt.Errorf("directory: key %q not registered", key)
+	}
+	return nil
+}
+
+// Refresh re-issues the current version of key (the authority's per-TTL
+// refresh) and pushes it to watchers.
+func (d *Directory) Refresh(key string, now float64) error {
+	auth, err := d.platform.Rendezvous(key)
+	if err != nil {
+		return err
+	}
+	rec, ok := d.stores[auth].Refresh(key, now)
+	if !ok {
+		return fmt.Errorf("directory: key %q not registered", key)
+	}
+	return d.pushToWatchers(key, rec, now)
+}
+
+// pushToWatchers disseminates the fresh record across the key's DUP tree
+// and installs it into every watcher's cache.
+func (d *Directory) pushToWatchers(key string, rec index.Record, now float64) error {
+	if len(d.watchers[key]) == 0 {
+		return nil
+	}
+	delivery, err := d.platform.Publish(key, rec.Value)
+	if err != nil {
+		return err
+	}
+	item := cache.Item{Key: key, Value: rec.Value, Version: rec.Version, Expiry: rec.Expiry}
+	for _, id := range delivery.Receivers {
+		d.caches[id].Put(item, now)
+	}
+	return nil
+}
+
+// Lookup resolves key from peer `at` at time now, following the key's
+// index search tree and path-caching the answer, exactly like the
+// simulator's query routing.
+func (d *Directory) Lookup(at chord.ID, key string, now float64) (Lookup, error) {
+	route, err := d.platform.Route(at, key)
+	if err != nil {
+		return Lookup{}, err
+	}
+	auth := route[len(route)-1]
+	for hops, node := range route {
+		if it, ok := d.caches[node].Get(key, now); ok {
+			d.fillPath(route[:hops], it, now)
+			return Lookup{Value: it.Value, Hops: hops}, nil
+		}
+		if node == auth {
+			rec, ok := d.stores[auth].Get(key)
+			if !ok {
+				return Lookup{}, fmt.Errorf("directory: key %q not found", key)
+			}
+			it := cache.Item{Key: key, Value: rec.Value, Version: rec.Version, Expiry: rec.Expiry}
+			d.fillPath(route[:hops], it, now)
+			return Lookup{Value: rec.Value, Hops: hops, Authoritative: true}, nil
+		}
+	}
+	return Lookup{}, fmt.Errorf("directory: route for %q did not reach the authority", key)
+}
+
+// fillPath implements path caching: every node the reply retraces stores
+// the item.
+func (d *Directory) fillPath(path []chord.ID, it cache.Item, now float64) {
+	for _, node := range path {
+		d.caches[node].Put(it, now)
+	}
+}
+
+// Watch subscribes peer `at` to pushes for key, so its cache is refreshed
+// ahead of expiry. It returns the subscription's control-hop cost.
+func (d *Directory) Watch(at chord.ID, key string) (int, error) {
+	hops, err := d.platform.Subscribe(at, key)
+	if err != nil {
+		return 0, err
+	}
+	for _, w := range d.watchers[key] {
+		if w == at {
+			return hops, nil
+		}
+	}
+	d.watchers[key] = append(d.watchers[key], at)
+	return hops, nil
+}
+
+// Unwatch withdraws the subscription.
+func (d *Directory) Unwatch(at chord.ID, key string) (int, error) {
+	hops, err := d.platform.Unsubscribe(at, key)
+	if err != nil {
+		return 0, err
+	}
+	ws := d.watchers[key]
+	for i, w := range ws {
+		if w == at {
+			d.watchers[key] = append(ws[:i], ws[i+1:]...)
+			break
+		}
+	}
+	return hops, nil
+}
+
+// Expired returns the keys whose hosting peers missed their keep-alive
+// grace at the given authority as of now — the authority must update or
+// drop them ("the authority node ... considers the node hosting the data
+// is dead because it did not receive the keep-alive message").
+func (d *Directory) Expired(authority chord.ID, now float64) []string {
+	s, ok := d.stores[authority]
+	if !ok {
+		return nil
+	}
+	return s.Expired(now)
+}
+
+// CacheStats aggregates hit/miss counts over every peer cache.
+func (d *Directory) CacheStats() (hits, misses uint64) {
+	for _, c := range d.caches {
+		h, m := c.Stats()
+		hits += h
+		misses += m
+	}
+	return hits, misses
+}

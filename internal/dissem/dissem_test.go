@@ -1,0 +1,274 @@
+package dissem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dup/internal/rng"
+)
+
+func TestSubscribePublishDeliver(t *testing.T) {
+	p, err := NewPlatform(128, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := p.Nodes()
+	subs := []int{5, 40, 90, 127}
+	for _, i := range subs {
+		if _, err := p.Subscribe(nodes[i], "news"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d, err := p.Publish("news", "hello")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Subscribers != len(subs) {
+		t.Fatalf("delivered to %d subscribers, want %d", d.Subscribers, len(subs))
+	}
+	for _, i := range subs {
+		events := p.Inbox(nodes[i], "news")
+		if len(events) != 1 || events[0].Payload != "hello" || events[0].Seq != 1 {
+			t.Fatalf("node %d inbox = %v", i, events)
+		}
+	}
+	if d.Hops == 0 || d.Hops > d.ScribeHops {
+		t.Fatalf("DUP dissemination hops %d vs SCRIBE %d", d.Hops, d.ScribeHops)
+	}
+}
+
+func TestPublishWithoutSubscribersIsFree(t *testing.T) {
+	p, _ := NewPlatform(32, 2)
+	d, err := p.Publish("quiet", "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Hops != 0 || len(d.Receivers) != 0 || d.ScribeHops != 0 {
+		t.Fatalf("empty-topic publish cost %+v", d)
+	}
+}
+
+func TestUnsubscribeStopsDelivery(t *testing.T) {
+	p, _ := NewPlatform(64, 3)
+	nodes := p.Nodes()
+	p.Subscribe(nodes[10], "t")
+	p.Subscribe(nodes[20], "t")
+	p.Publish("t", "one")
+	if _, err := p.Unsubscribe(nodes[10], "t"); err != nil {
+		t.Fatal(err)
+	}
+	p.Publish("t", "two")
+	if got := p.Inbox(nodes[10], "t"); len(got) != 1 {
+		t.Fatalf("unsubscribed node received %d events, want 1", len(got))
+	}
+	if got := p.Inbox(nodes[20], "t"); len(got) != 2 {
+		t.Fatalf("remaining subscriber received %d events, want 2", len(got))
+	}
+	if got := p.Subscribers("t"); len(got) != 1 || got[0] != nodes[20] {
+		t.Fatalf("Subscribers = %v", got)
+	}
+}
+
+func TestSubscribeIdempotent(t *testing.T) {
+	p, _ := NewPlatform(64, 4)
+	nodes := p.Nodes()
+	h1, _ := p.Subscribe(nodes[7], "t")
+	h2, _ := p.Subscribe(nodes[7], "t")
+	if h1 == 0 {
+		t.Fatal("first subscription cost nothing")
+	}
+	if h2 != 0 {
+		t.Fatalf("duplicate subscription cost %d hops", h2)
+	}
+	p.Publish("t", "x")
+	if got := p.Inbox(nodes[7], "t"); len(got) != 1 {
+		t.Fatalf("duplicate subscription duplicated delivery: %d events", len(got))
+	}
+}
+
+func TestRendezvousNeverSubscribes(t *testing.T) {
+	p, _ := NewPlatform(32, 5)
+	rv, err := p.Rendezvous("topic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hops, err := p.Subscribe(rv, "topic")
+	if err != nil || hops != 0 {
+		t.Fatalf("rendezvous self-subscription: hops=%d err=%v", hops, err)
+	}
+}
+
+func TestTopicsAreIndependent(t *testing.T) {
+	p, _ := NewPlatform(64, 6)
+	nodes := p.Nodes()
+	p.Subscribe(nodes[3], "a")
+	p.Subscribe(nodes[4], "b")
+	p.Publish("a", "for-a")
+	if got := p.Inbox(nodes[4], "b"); len(got) != 0 {
+		t.Fatalf("topic b subscriber received topic a events: %v", got)
+	}
+	da, _ := p.Publish("a", "x")
+	db, _ := p.Publish("b", "y")
+	if da.Subscribers != 1 || db.Subscribers != 1 {
+		t.Fatalf("cross-topic interference: %d, %d", da.Subscribers, db.Subscribers)
+	}
+}
+
+func TestUnknownNodeRejected(t *testing.T) {
+	p, _ := NewPlatform(16, 7)
+	if _, err := p.Subscribe(12345, "t"); err == nil {
+		t.Fatal("unknown ring id accepted")
+	}
+}
+
+func TestSeqNumbersIncrease(t *testing.T) {
+	p, _ := NewPlatform(32, 8)
+	nodes := p.Nodes()
+	p.Subscribe(nodes[5], "t")
+	for i := 1; i <= 5; i++ {
+		d, _ := p.Publish("t", "x")
+		if d.Event.Seq != int64(i) {
+			t.Fatalf("seq = %d, want %d", d.Event.Seq, i)
+		}
+	}
+	events := p.Inbox(nodes[5], "t")
+	for i, e := range events {
+		if e.Seq != int64(i+1) {
+			t.Fatalf("inbox out of order: %v", events)
+		}
+	}
+}
+
+// TestDeliveryPropertyAllSubscribersAlwaysReached is the platform's core
+// invariant under random subscribe/unsubscribe churn: every publication
+// reaches exactly the current subscribers (plus branch points), and DUP's
+// dissemination never uses more hops than SCRIBE-style multicast.
+func TestDeliveryPropertyAllSubscribersAlwaysReached(t *testing.T) {
+	err := quick.Check(func(seed uint64, opsRaw uint8) bool {
+		src := rng.New(seed)
+		p, err := NewPlatform(src.IntRange(2, 80), seed^0xff)
+		if err != nil {
+			return false
+		}
+		nodes := p.Nodes()
+		want := map[int]int{} // node index -> expected inbox size
+		subscribed := map[int]bool{}
+		ops := int(opsRaw%40) + 3
+		published := 0
+		for i := 0; i < ops; i++ {
+			n := src.Intn(len(nodes))
+			switch src.Intn(3) {
+			case 0:
+				if _, err := p.Subscribe(nodes[n], "t"); err != nil {
+					return false
+				}
+				rv, _ := p.Rendezvous("t")
+				if nodes[n] != rv {
+					subscribed[n] = true
+				}
+			case 1:
+				if _, err := p.Unsubscribe(nodes[n], "t"); err != nil {
+					return false
+				}
+				delete(subscribed, n)
+			case 2:
+				d, err := p.Publish("t", "x")
+				if err != nil {
+					return false
+				}
+				published++
+				if d.Subscribers != len(subscribed) {
+					return false
+				}
+				if d.Hops > d.ScribeHops {
+					return false
+				}
+				for s := range subscribed {
+					want[s]++
+				}
+			}
+		}
+		for s, count := range want {
+			// A node's inbox must contain at least the events published
+			// while it was subscribed (it may hold more from branch-point
+			// periods).
+			if len(p.Inbox(nodes[s], "t")) < count {
+				return false
+			}
+		}
+		_ = published
+		return true
+	}, &quick.Config{MaxCount: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewPlatformRejectsBadSize(t *testing.T) {
+	if _, err := NewPlatform(0, 1); err == nil {
+		t.Fatal("zero-node platform accepted")
+	}
+}
+
+func BenchmarkPublish(b *testing.B) {
+	p, err := NewPlatform(1024, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nodes := p.Nodes()
+	for i := 13; i < 1024; i += 37 {
+		p.Subscribe(nodes[i], "bench")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Publish("bench", "x"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestRouteAndTreeInfo(t *testing.T) {
+	p, _ := NewPlatform(64, 9)
+	nodes := p.Nodes()
+	route, err := p.Route(nodes[30], "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rv, _ := p.Rendezvous("t")
+	if route[0] != nodes[30] || route[len(route)-1] != rv {
+		t.Fatalf("route = %v, want start %d end %d", route, nodes[30], rv)
+	}
+	if _, err := p.Route(999, "t"); err == nil {
+		t.Fatal("route from unknown node accepted")
+	}
+	n, maxD, meanD, err := p.TreeInfo("t")
+	if err != nil || n != 64 || maxD < 1 || meanD <= 0 {
+		t.Fatalf("TreeInfo = %d %d %v %v", n, maxD, meanD, err)
+	}
+	// Routing from the rendezvous itself is the empty suffix.
+	rvRoute, err := p.Route(rv, "t")
+	if err != nil || len(rvRoute) != 1 || rvRoute[0] != rv {
+		t.Fatalf("rendezvous route = %v, %v", rvRoute, err)
+	}
+}
+
+func TestInboxAndSubscribersUnknowns(t *testing.T) {
+	p, _ := NewPlatform(16, 10)
+	if got := p.Inbox(12345, "never-created"); got != nil {
+		t.Fatalf("inbox for unknown topic = %v", got)
+	}
+	if got := p.Subscribers("never-created"); got != nil {
+		t.Fatalf("subscribers for unknown topic = %v", got)
+	}
+	p.Subscribe(p.Nodes()[3], "t")
+	if got := p.Inbox(99999, "t"); got != nil {
+		t.Fatalf("inbox for unknown node = %v", got)
+	}
+	if _, err := p.Unsubscribe(99999, "t"); err == nil {
+		t.Fatal("unsubscribe for unknown node accepted")
+	}
+	if _, err := p.Publish("t", "x"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,166 @@
+// Package eventq implements the pending-event set of the discrete-event
+// simulator: a binary min-heap keyed by (time, sequence). The sequence
+// number breaks ties in insertion order, which makes simulations fully
+// deterministic even when many events share a timestamp.
+package eventq
+
+import "fmt"
+
+// Event is a scheduled callback. The payload is opaque to the queue; the
+// simulator dispatches on it.
+type Event struct {
+	Time    float64 // simulated seconds
+	Payload any
+	seq     uint64
+}
+
+// Queue is a min-heap of events ordered by (Time, insertion sequence).
+// The zero value is an empty, ready-to-use queue.
+type Queue struct {
+	heap    []Event
+	nextSeq uint64
+	popped  uint64
+}
+
+// Len returns the number of pending events.
+func (q *Queue) Len() int { return len(q.heap) }
+
+// Scheduled returns the total number of events ever pushed.
+func (q *Queue) Scheduled() uint64 { return q.nextSeq }
+
+// Dispatched returns the total number of events ever popped.
+func (q *Queue) Dispatched() uint64 { return q.popped }
+
+// Push schedules payload at the given simulated time. Pushing an event in
+// the past relative to events already popped is the caller's bug; the queue
+// cannot detect it by itself, so the simulator wraps Push with a clock check.
+func (q *Queue) Push(t float64, payload any) {
+	e := Event{Time: t, Payload: payload, seq: q.nextSeq}
+	q.nextSeq++
+	q.heap = append(q.heap, e)
+	q.up(len(q.heap) - 1)
+}
+
+// Peek returns the earliest pending event without removing it. The second
+// result is false when the queue is empty.
+func (q *Queue) Peek() (Event, bool) {
+	if len(q.heap) == 0 {
+		return Event{}, false
+	}
+	return q.heap[0], true
+}
+
+// Pop removes and returns the earliest pending event. The second result is
+// false when the queue is empty.
+func (q *Queue) Pop() (Event, bool) {
+	if len(q.heap) == 0 {
+		return Event{}, false
+	}
+	top := q.heap[0]
+	last := len(q.heap) - 1
+	q.heap[0] = q.heap[last]
+	q.heap = q.heap[:last]
+	if last > 0 {
+		q.down(0)
+	}
+	q.popped++
+	return top, true
+}
+
+// Reset discards all pending events and counters.
+func (q *Queue) Reset() {
+	q.heap = q.heap[:0]
+	q.nextSeq = 0
+	q.popped = 0
+}
+
+func (q *Queue) less(i, j int) bool {
+	a, b := &q.heap[i], &q.heap[j]
+	if a.Time != b.Time {
+		return a.Time < b.Time
+	}
+	return a.seq < b.seq
+}
+
+func (q *Queue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.heap[i], q.heap[parent] = q.heap[parent], q.heap[i]
+		i = parent
+	}
+}
+
+func (q *Queue) down(i int) {
+	n := len(q.heap)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		smallest := left
+		if right := left + 1; right < n && q.less(right, left) {
+			smallest = right
+		}
+		if !q.less(smallest, i) {
+			return
+		}
+		q.heap[i], q.heap[smallest] = q.heap[smallest], q.heap[i]
+		i = smallest
+	}
+}
+
+// Clock is a monotonically advancing simulated clock coupled to a Queue.
+// It enforces causality: scheduling in the past panics.
+type Clock struct {
+	now float64
+	q   Queue
+}
+
+// NewClock returns a clock at time zero with an empty event queue.
+func NewClock() *Clock { return &Clock{} }
+
+// Now returns the current simulated time in seconds.
+func (c *Clock) Now() float64 { return c.now }
+
+// Pending returns the number of events waiting to run.
+func (c *Clock) Pending() int { return c.q.Len() }
+
+// Dispatched returns the total number of events executed so far.
+func (c *Clock) Dispatched() uint64 { return c.q.Dispatched() }
+
+// At schedules payload at absolute time t. It panics if t is before Now —
+// a causality violation that always indicates a simulator bug.
+func (c *Clock) At(t float64, payload any) {
+	if t < c.now {
+		panic(fmt.Sprintf("eventq: scheduling at %v before now %v", t, c.now))
+	}
+	c.q.Push(t, payload)
+}
+
+// After schedules payload delay seconds from Now. Negative delays panic.
+func (c *Clock) After(delay float64, payload any) {
+	if delay < 0 {
+		panic(fmt.Sprintf("eventq: negative delay %v", delay))
+	}
+	c.q.Push(c.now+delay, payload)
+}
+
+// Next pops the earliest event, advances the clock to its timestamp and
+// returns it. The second result is false when no events remain.
+func (c *Clock) Next() (Event, bool) {
+	e, ok := c.q.Pop()
+	if !ok {
+		return Event{}, false
+	}
+	c.now = e.Time
+	return e, true
+}
+
+// Reset rewinds the clock to zero and clears all pending events.
+func (c *Clock) Reset() {
+	c.now = 0
+	c.q.Reset()
+}

@@ -1,0 +1,204 @@
+package eventq
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"dup/internal/rng"
+)
+
+func TestPopOrder(t *testing.T) {
+	var q Queue
+	times := []float64{5, 1, 3, 2, 4}
+	for _, tm := range times {
+		q.Push(tm, tm)
+	}
+	var got []float64
+	for {
+		e, ok := q.Pop()
+		if !ok {
+			break
+		}
+		got = append(got, e.Time)
+	}
+	if !sort.Float64sAreSorted(got) {
+		t.Fatalf("pop order not sorted: %v", got)
+	}
+	if len(got) != 5 {
+		t.Fatalf("popped %d events, want 5", len(got))
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	var q Queue
+	for i := 0; i < 100; i++ {
+		q.Push(7.0, i)
+	}
+	for i := 0; i < 100; i++ {
+		e, ok := q.Pop()
+		if !ok || e.Payload.(int) != i {
+			t.Fatalf("tie-break broke FIFO at %d: got %v", i, e.Payload)
+		}
+	}
+}
+
+func TestEmptyQueue(t *testing.T) {
+	var q Queue
+	if _, ok := q.Pop(); ok {
+		t.Fatal("Pop on empty returned ok")
+	}
+	if _, ok := q.Peek(); ok {
+		t.Fatal("Peek on empty returned ok")
+	}
+	if q.Len() != 0 {
+		t.Fatal("empty queue Len != 0")
+	}
+}
+
+func TestPeekDoesNotRemove(t *testing.T) {
+	var q Queue
+	q.Push(1, "a")
+	e1, _ := q.Peek()
+	e2, _ := q.Peek()
+	if e1.Payload != "a" || e2.Payload != "a" || q.Len() != 1 {
+		t.Fatal("Peek modified the queue")
+	}
+}
+
+func TestCounters(t *testing.T) {
+	var q Queue
+	q.Push(1, nil)
+	q.Push(2, nil)
+	q.Pop()
+	if q.Scheduled() != 2 || q.Dispatched() != 1 {
+		t.Fatalf("scheduled=%d dispatched=%d, want 2/1", q.Scheduled(), q.Dispatched())
+	}
+	q.Reset()
+	if q.Len() != 0 || q.Scheduled() != 0 || q.Dispatched() != 0 {
+		t.Fatal("Reset did not clear counters")
+	}
+}
+
+// TestHeapPropertyRandom is a property test: any interleaving of pushes and
+// pops must emit timestamps in non-decreasing order, and the set of popped
+// payloads must equal the set of pushed payloads.
+func TestHeapPropertyRandom(t *testing.T) {
+	type rec struct {
+		time float64
+		id   int
+	}
+	err := quick.Check(func(seed uint64, opsRaw uint16) bool {
+		src := rng.New(seed)
+		ops := int(opsRaw%500) + 1
+		var q Queue
+		var mirror []rec // reference model: pending events
+		next := 0
+		checkPop := func() bool {
+			e, ok := q.Pop()
+			if !ok {
+				return false
+			}
+			// The popped event must be the (time, id)-minimal pending one.
+			best := 0
+			for i, r := range mirror {
+				if r.time < mirror[best].time ||
+					(r.time == mirror[best].time && r.id < mirror[best].id) {
+					best = i
+				}
+			}
+			want := mirror[best]
+			mirror = append(mirror[:best], mirror[best+1:]...)
+			return e.Time == want.time && e.Payload.(int) == want.id
+		}
+		for i := 0; i < ops; i++ {
+			if q.Len() == 0 || src.Float64() < 0.6 {
+				tm := float64(src.Intn(50))
+				q.Push(tm, next)
+				mirror = append(mirror, rec{tm, next})
+				next++
+			} else if !checkPop() {
+				return false
+			}
+		}
+		for q.Len() > 0 {
+			if !checkPop() {
+				return false
+			}
+		}
+		return len(mirror) == 0
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClockAdvances(t *testing.T) {
+	c := NewClock()
+	c.At(10, "b")
+	c.At(5, "a")
+	c.After(1, "first")
+	e, ok := c.Next()
+	if !ok || e.Payload != "first" || c.Now() != 1 {
+		t.Fatalf("first event wrong: %+v now=%v", e, c.Now())
+	}
+	e, _ = c.Next()
+	if e.Payload != "a" || c.Now() != 5 {
+		t.Fatalf("second event wrong: %+v now=%v", e, c.Now())
+	}
+	e, _ = c.Next()
+	if e.Payload != "b" || c.Now() != 10 {
+		t.Fatalf("third event wrong: %+v now=%v", e, c.Now())
+	}
+	if _, ok := c.Next(); ok {
+		t.Fatal("drained clock still produced an event")
+	}
+}
+
+func TestClockCausalityPanics(t *testing.T) {
+	c := NewClock()
+	c.At(5, nil)
+	c.Next()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	c.At(4, nil)
+}
+
+func TestClockNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative delay did not panic")
+		}
+	}()
+	NewClock().After(-0.1, nil)
+}
+
+func TestClockReset(t *testing.T) {
+	c := NewClock()
+	c.At(3, nil)
+	c.Next()
+	c.Reset()
+	if c.Now() != 0 || c.Pending() != 0 {
+		t.Fatal("Reset did not rewind clock")
+	}
+	c.At(0.5, nil) // must not panic after reset
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	src := rng.New(1)
+	var q Queue
+	// Keep a standing population of 10k events, push+pop per iteration —
+	// the simulator's steady-state access pattern.
+	for i := 0; i < 10000; i++ {
+		q.Push(src.Float64()*1000, nil)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, _ := q.Pop()
+		q.Push(e.Time+src.Float64(), nil)
+	}
+}

@@ -1,0 +1,243 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"dup/internal/overlay/can"
+	"dup/internal/overlay/chord"
+	"dup/internal/rng"
+)
+
+// runAblationDirectPush isolates DUP's short-cut benefit: the same
+// subscriber bookkeeping, but with pushes routed hop-by-hop along the
+// index search tree instead of directly between DUP-tree neighbours.
+func runAblationDirectPush(w io.Writer, opts Options) error {
+	lambdas := []float64{1, 10, 100}
+	var jobs []job
+	for _, lam := range lambdas {
+		cfg := baseConfig(opts)
+		cfg.Lambda = lam
+		jobs = append(jobs,
+			job{key(kindDUP, lam), cfg, kindDUP},
+			job{key(kindDUPHopByHop, lam), cfg, kindDUPHopByHop})
+	}
+	res, err := runAll(jobs, opts)
+	if err != nil {
+		return err
+	}
+	section(w, "Ablation: DUP direct pushes vs hop-by-hop pushes")
+	t := newTable("λ", "DUP cost", "hop-by-hop cost", "DUP push hops", "hop-by-hop push hops")
+	for _, lam := range lambdas {
+		d, h := res[key(kindDUP, lam)], res[key(kindDUPHopByHop, lam)]
+		t.addRow(lam, d.MeanCost, h.MeanCost, d.PushHops, h.PushHops)
+	}
+	return t.emit(w, opts.CSV)
+}
+
+// runAblationPushLead varies how early before expiry the root pushes the
+// next version ("exactly one minute" in the paper): with no lead the push
+// races the expiry and interested nodes briefly serve misses.
+func runAblationPushLead(w io.Writer, opts Options) error {
+	leads := []float64{0, 10, 60, 300}
+	var jobs []job
+	for _, lead := range leads {
+		cfg := baseConfig(opts)
+		cfg.Lambda = 10
+		cfg.Lead = lead
+		jobs = append(jobs, job{key(kindDUP, lead), cfg, kindDUP})
+	}
+	res, err := runAll(jobs, opts)
+	if err != nil {
+		return err
+	}
+	section(w, "Ablation: push lead time before expiry (DUP, λ = 10)")
+	t := newTable("Lead (s)", "Latency (hops)", "Cost (hops/query)", "Local hit rate")
+	for _, lead := range leads {
+		r := res[key(kindDUP, lead)]
+		t.addRow(lead, r.MeanLatency, r.MeanCost, r.LocalHitRate)
+	}
+	return t.emit(w, opts.CSV)
+}
+
+// runAblationCutoffCUP compares the evaluated CUP (branch-aggregated
+// interest, pushes penetrate to interested nodes) against the cut-off
+// variant of Section II-B's criticism, where a push stops at the first
+// node that is not interested itself.
+func runAblationCutoffCUP(w io.Writer, opts Options) error {
+	lambdas := []float64{1, 10, 100}
+	var jobs []job
+	for _, lam := range lambdas {
+		cfg := baseConfig(opts)
+		cfg.Lambda = lam
+		jobs = append(jobs,
+			job{key(kindPCX, lam), cfg, kindPCX},
+			job{key(kindCUP, lam), cfg, kindCUP},
+			job{key(kindCUPCutoff, lam), cfg, kindCUPCutoff})
+	}
+	res, err := runAll(jobs, opts)
+	if err != nil {
+		return err
+	}
+	section(w, "Ablation: CUP vs CUP with push cut-off at uninterested nodes")
+	t := newTable("λ", "CUP latency", "cut-off latency", "CUP/PCX cost", "cut-off/PCX cost", "CUP push hops", "cut-off push hops")
+	for _, lam := range lambdas {
+		p := res[key(kindPCX, lam)]
+		c := res[key(kindCUP, lam)]
+		x := res[key(kindCUPCutoff, lam)]
+		t.addRow(lam, c.MeanLatency, x.MeanLatency,
+			rel(c.MeanCost, p.MeanCost), rel(x.MeanCost, p.MeanCost),
+			c.PushHops, x.PushHops)
+	}
+	return t.emit(w, opts.CSV)
+}
+
+// runAblationChordTree swaps the paper's random [1,D] index search trees
+// for trees extracted from real DHT routing: Chord lookup paths and CAN
+// greedy routes, on 4096-node overlays.
+func runAblationChordTree(w io.Writer, opts Options) error {
+	ring := chord.Bootstrap(4096, rng.New(opts.Seed^0xc0ffee), 8)
+	chordTree, _, err := ring.ExtractTree("the-simulated-index")
+	if err != nil {
+		return err
+	}
+	canNet := can.New(4096, 2, rng.New(opts.Seed^0xbeef))
+	canTree, _, err := canNet.ExtractTree("the-simulated-index")
+	if err != nil {
+		return err
+	}
+	kinds := []schemeKind{kindPCX, kindCUP, kindDUP}
+	var jobs []job
+	for _, k := range kinds {
+		random := baseConfig(opts)
+		random.Lambda = 10
+		jobs = append(jobs, job{key(k, "random"), random, k})
+
+		cfg := baseConfig(opts)
+		cfg.Lambda = 10
+		cfg.Tree = chordTree
+		jobs = append(jobs, job{key(k, "chord"), cfg, k})
+
+		cc := baseConfig(opts)
+		cc.Lambda = 10
+		cc.Tree = canTree
+		jobs = append(jobs, job{key(k, "can"), cc, k})
+	}
+	res, err := runAll(jobs, opts)
+	if err != nil {
+		return err
+	}
+	section(w, "Ablation: random [1,D] trees vs Chord- and CAN-derived search trees (λ = 10)")
+	fmt.Fprintf(w, "Chord tree: max depth %d, mean depth %.2f; CAN tree (d=2): max depth %d, mean depth %.2f\n\n",
+		chordTree.MaxDepth(), chordTree.MeanDepth(), canTree.MaxDepth(), canTree.MeanDepth())
+	t := newTable("Scheme", "Random lat", "Chord lat", "CAN lat", "Random cost", "Chord cost", "CAN cost")
+	names := map[schemeKind]string{kindPCX: "PCX", kindCUP: "CUP", kindDUP: "DUP"}
+	for _, k := range kinds {
+		r, c, cn := res[key(k, "random")], res[key(k, "chord")], res[key(k, "can")]
+		t.addRow(names[k], r.MeanLatency, c.MeanLatency, cn.MeanLatency,
+			r.MeanCost, c.MeanCost, cn.MeanCost)
+	}
+	return t.emit(w, opts.CSV)
+}
+
+// runAblationInterestBasis resolves the paper's ambiguous "the number of
+// queries a node receives" empirically: counting only locally generated
+// queries versus also counting forwarded requests passing through.
+func runAblationInterestBasis(w io.Writer, opts Options) error {
+	lambdas := []float64{1, 10, 100}
+	var jobs []job
+	for _, lam := range lambdas {
+		local := baseConfig(opts)
+		local.Lambda = lam
+		local.CountForwarded = false
+		jobs = append(jobs, job{key(kindDUP, "local", lam), local, kindDUP})
+
+		recv := baseConfig(opts)
+		recv.Lambda = lam
+		recv.CountForwarded = true
+		jobs = append(jobs, job{key(kindDUP, "received", lam), recv, kindDUP})
+	}
+	res, err := runAll(jobs, opts)
+	if err != nil {
+		return err
+	}
+	section(w, "Ablation: interest counted on local queries only vs all received queries (DUP)")
+	t := newTable("λ", "local lat", "received lat", "local cost", "received cost", "local ctrl", "received ctrl")
+	for _, lam := range lambdas {
+		l := res[key(kindDUP, "local", lam)]
+		r := res[key(kindDUP, "received", lam)]
+		t.addRow(lam, l.MeanLatency, r.MeanLatency, l.MeanCost, r.MeanCost,
+			l.ControlHops, r.ControlHops)
+	}
+	return t.emit(w, opts.CSV)
+}
+
+// runFlashCrowd exercises migrating hot spots: the Zipf rank-to-node
+// assignment is reshuffled periodically, so subscriptions must be torn
+// down and rebuilt. Shorter rotation periods stress DUP's tree maintenance
+// harder — a sharper version of the interest flapping the paper observes
+// under bursty Pareto arrivals.
+func runFlashCrowd(w io.Writer, opts Options) error {
+	periods := []float64{0, 14400, 3600, 900}
+	kinds := []schemeKind{kindPCX, kindCUP, kindDUP}
+	var jobs []job
+	for _, period := range periods {
+		for _, k := range kinds {
+			cfg := baseConfig(opts)
+			cfg.Lambda = 10
+			cfg.Theta = 2
+			cfg.HotspotRotate = period
+			jobs = append(jobs, job{key(k, period), cfg, k})
+		}
+	}
+	res, err := runAll(jobs, opts)
+	if err != nil {
+		return err
+	}
+	section(w, "Extension: flash crowds — hot spots migrate every R seconds (λ = 10, θ = 2)")
+	t := newTable("Rotation (s)", "PCX lat", "DUP lat", "CUP/PCX cost", "DUP/PCX cost", "DUP ctrl hops")
+	for _, period := range periods {
+		p := res[key(kindPCX, period)]
+		c := res[key(kindCUP, period)]
+		d := res[key(kindDUP, period)]
+		label := any("stationary")
+		if period > 0 {
+			label = period
+		}
+		t.addRow(label, p.MeanLatency, d.MeanLatency,
+			rel(c.MeanCost, p.MeanCost), rel(d.MeanCost, p.MeanCost), d.ControlHops)
+	}
+	return t.emit(w, opts.CSV)
+}
+
+// runChurn exercises the Section III-C failure handling: nodes fail and
+// recover while DUP (and PCX as the baseline) keep serving.
+func runChurn(w io.Writer, opts Options) error {
+	rates := []float64{0, 0.005, 0.02, 0.05}
+	kinds := []schemeKind{kindPCX, kindDUP}
+	var jobs []job
+	for _, rate := range rates {
+		for _, k := range kinds {
+			cfg := baseConfig(opts)
+			cfg.Lambda = 10
+			cfg.FailRate = rate
+			if rate > 0 {
+				cfg.DetectDelay = 30
+				cfg.DownTime = 600
+				cfg.RetryTimeout = 5
+			}
+			jobs = append(jobs, job{key(k, rate), cfg, k})
+		}
+	}
+	res, err := runAll(jobs, opts)
+	if err != nil {
+		return err
+	}
+	section(w, "Extension: query performance under node failures (λ = 10)")
+	t := newTable("Fail rate (/s)", "PCX latency", "DUP latency", "PCX cost", "DUP cost")
+	for _, rate := range rates {
+		p, d := res[key(kindPCX, rate)], res[key(kindDUP, rate)]
+		t.addRow(rate, p.MeanLatency, d.MeanLatency, p.MeanCost, d.MeanCost)
+	}
+	return t.emit(w, opts.CSV)
+}

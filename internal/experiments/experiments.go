@@ -1,0 +1,258 @@
+// Package experiments regenerates every table and figure of the paper's
+// Section IV evaluation, plus the extension/ablation experiments listed in
+// DESIGN.md. Each experiment prints the same rows or series the paper
+// reports; cmd/dupbench is the CLI front end and bench_test.go wraps each
+// experiment in a testing.B benchmark.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+
+	"dup/internal/scheme"
+	"dup/internal/scheme/cup"
+	"dup/internal/scheme/dupscheme"
+	"dup/internal/sim"
+)
+
+// Scale selects how long each simulation runs.
+type Scale int
+
+const (
+	// Quick runs 5 TTL cycles (18000 s simulated) per configuration —
+	// minutes of wall clock for the full suite; shapes are stable.
+	Quick Scale = iota
+	// Full runs the paper's 180000 s per configuration.
+	Full
+)
+
+// String returns "quick" or "full".
+func (s Scale) String() string {
+	if s == Full {
+		return "full"
+	}
+	return "quick"
+}
+
+// duration returns simulated seconds for the scale.
+func (s Scale) duration() float64 {
+	if s == Full {
+		return 180000
+	}
+	return 18000
+}
+
+// Options selects how an experiment runs.
+type Options struct {
+	// Scale picks quick (5 TTL cycles) or full (180000 s) simulations.
+	Scale Scale
+	// Seed is the base random seed; replica i uses Seed+i.
+	Seed uint64
+	// Replicas runs every configuration this many times with distinct
+	// seeds (and therefore distinct topologies) and reports across-run
+	// means; values below 1 are treated as 1.
+	Replicas int
+	// CSV emits machine-readable comma-separated rows instead of aligned
+	// tables.
+	CSV bool
+}
+
+// normalized applies defaults.
+func (o Options) normalized() Options {
+	if o.Replicas < 1 {
+		o.Replicas = 1
+	}
+	return o
+}
+
+// Experiment is one reproducible artifact of the evaluation.
+type Experiment struct {
+	ID    string // e.g. "table2", "fig4", "ablation-directpush"
+	Title string // the paper's caption, roughly
+	Run   func(w io.Writer, opts Options) error
+}
+
+// Registry returns all experiments in presentation order.
+func Registry() []Experiment {
+	return []Experiment{
+		{"table1", "Table I: simulation parameters", runTable1},
+		{"table2", "Table II: effects of the threshold value c", runTable2},
+		{"fig4", "Figure 4: effects of the mean query arrival rate λ", runFig4},
+		{"table3", "Table III: query latency as the number of nodes changes", runTable3},
+		{"fig5", "Figure 5: relative cost as a function of the number of nodes", runFig5},
+		{"fig6", "Figure 6: effects of the maximum node degree D", runFig6},
+		{"fig7", "Figure 7: effects of the Zipf parameter θ", runFig7},
+		{"fig8", "Figure 8: effects of Pareto query arrivals", runFig8},
+		{"ablation-directpush", "Ablation: DUP direct pushes vs hop-by-hop pushes", runAblationDirectPush},
+		{"ablation-pushlead", "Ablation: push lead time before expiry", runAblationPushLead},
+		{"ablation-cutoffcup", "Ablation: CUP with push cut-off at uninterested nodes", runAblationCutoffCUP},
+		{"ablation-chordtree", "Ablation: random [1,D] trees vs Chord- and CAN-derived search trees", runAblationChordTree},
+		{"ablation-interestbasis", "Ablation: interest from local queries only vs all received queries", runAblationInterestBasis},
+		{"flashcrowd", "Extension: migrating hot spots (flash crowds)", runFlashCrowd},
+		{"churn", "Extension: node failure and recovery (Section III-C)", runChurn},
+	}
+}
+
+// ByID returns the experiment with the given id.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// IDs returns all experiment ids in order.
+func IDs() []string {
+	var out []string
+	for _, e := range Registry() {
+		out = append(out, e.ID)
+	}
+	return out
+}
+
+// baseConfig returns the Table I defaults for the options.
+func baseConfig(opts Options) sim.Config {
+	cfg := sim.Default()
+	cfg.Duration = opts.Scale.duration()
+	cfg.Warmup = cfg.TTL
+	cfg.Seed = opts.Seed
+	return cfg
+}
+
+// schemeKind identifies a scheme for the parallel runner.
+type schemeKind int
+
+const (
+	kindPCX schemeKind = iota
+	kindCUP
+	kindCUPCutoff
+	kindDUP
+	kindDUPHopByHop
+)
+
+func (k schemeKind) new() scheme.Scheme {
+	switch k {
+	case kindPCX:
+		return scheme.NewPCX()
+	case kindCUP:
+		return cup.New()
+	case kindCUPCutoff:
+		return cup.NewCutoff()
+	case kindDUP:
+		return dupscheme.New()
+	case kindDUPHopByHop:
+		return dupscheme.NewHopByHop()
+	}
+	panic("experiments: unknown scheme kind")
+}
+
+// job is one (config, scheme) cell of an experiment grid.
+type job struct {
+	key  string
+	cfg  sim.Config
+	kind schemeKind
+}
+
+// cell is one aggregated grid result (across opts.Replicas runs).
+type cell struct {
+	MeanLatency  float64
+	LatencyCI95  float64
+	MeanCost     float64
+	CostCI95     float64
+	LocalHitRate float64
+	PushHops     int64
+	ControlHops  int64
+}
+
+// runAll executes all jobs with bounded parallelism and returns results
+// keyed by job key, each aggregated over opts.Replicas independent
+// replications. PCX jobs automatically run with Lead = 0 (PCX has no push
+// schedule; see DESIGN.md).
+func runAll(jobs []job, opts Options) (map[string]*cell, error) {
+	opts = opts.normalized()
+	results := make(map[string]*cell, len(jobs))
+	var mu sync.Mutex
+	var firstErr error
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			cfg := j.cfg
+			if j.kind == kindPCX {
+				cfg.Lead = 0
+			}
+			c, err := runCell(cfg, j.kind, opts.Replicas)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("%s: %w", j.key, err)
+				}
+				return
+			}
+			results[j.key] = c
+		}(j)
+	}
+	wg.Wait()
+	return results, firstErr
+}
+
+// runCell executes one grid cell. A single replica keeps the run's own
+// sample confidence interval; several replicas report across-run CIs.
+func runCell(cfg sim.Config, kind schemeKind, replicas int) (*cell, error) {
+	if replicas == 1 {
+		r, err := sim.Run(cfg, kind.new())
+		if err != nil {
+			return nil, err
+		}
+		return &cell{
+			MeanLatency:  r.MeanLatency,
+			LatencyCI95:  r.LatencyCI95,
+			MeanCost:     r.MeanCost,
+			LocalHitRate: r.LocalHitRate,
+			PushHops:     r.PushHops,
+			ControlHops:  r.ControlHops,
+		}, nil
+	}
+	agg, err := sim.RunReplicated(cfg, kind.new, replicas)
+	if err != nil {
+		return nil, err
+	}
+	return &cell{
+		MeanLatency:  agg.MeanLatency(),
+		LatencyCI95:  agg.LatencyCI95(),
+		MeanCost:     agg.MeanCost(),
+		CostCI95:     agg.CostCI95(),
+		LocalHitRate: agg.HitRate.Mean(),
+		PushHops:     agg.PushHops / int64(replicas),
+		ControlHops:  agg.CtrlHops / int64(replicas),
+	}, nil
+}
+
+// key builds a stable result key.
+func key(kind schemeKind, parts ...any) string {
+	s := fmt.Sprint(kind)
+	for _, p := range parts {
+		s += "/" + fmt.Sprint(p)
+	}
+	return s
+}
+
+// sortedKeys returns map keys in sorted order (deterministic output).
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryIDsUniqueAndResolvable(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range Registry() {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Fatalf("experiment %+v incomplete", e.ID)
+		}
+		if seen[e.ID] {
+			t.Fatalf("duplicate experiment id %q", e.ID)
+		}
+		seen[e.ID] = true
+		got, ok := ByID(e.ID)
+		if !ok || got.ID != e.ID {
+			t.Fatalf("ByID(%q) failed", e.ID)
+		}
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("ByID accepted an unknown id")
+	}
+	if len(IDs()) != len(Registry()) {
+		t.Fatal("IDs() length mismatch")
+	}
+}
+
+func TestScaleString(t *testing.T) {
+	if Quick.String() != "quick" || Full.String() != "full" {
+		t.Fatal("scale strings wrong")
+	}
+	if Quick.duration() >= Full.duration() {
+		t.Fatal("quick scale should be shorter than full")
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tab := newTable("A", "Blong", "C")
+	tab.addRow("x", 1.23456, 7)
+	tab.addRow("yyyy", 0.5, "z")
+	var b strings.Builder
+	if err := tab.write(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "Blong") || !strings.Contains(lines[2], "1.235") {
+		t.Fatalf("formatting wrong:\n%s", out)
+	}
+	// Columns must align: header and rows share the position of column C.
+	hpos := strings.Index(lines[0], "C")
+	if lines[2][hpos] != '7' {
+		t.Fatalf("column misaligned:\n%s", out)
+	}
+}
+
+func TestTable1Instant(t *testing.T) {
+	var b strings.Builder
+	if err := runTable1(&b, Options{Scale: Quick, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Zipf parameter", "4096", "Threshold value c"} {
+		if !strings.Contains(b.String(), want) {
+			t.Fatalf("table1 output missing %q:\n%s", want, b.String())
+		}
+	}
+}
+
+func TestRelGuardsZero(t *testing.T) {
+	if rel(1, 0) != 0 || rel(3, 2) != 1.5 {
+		t.Fatal("rel() wrong")
+	}
+}
+
+func TestCSVEmission(t *testing.T) {
+	tab := newTable("a", "b")
+	tab.addRow("plain", 1.5)
+	tab.addRow(`with,comma`, `quote"inside`)
+	var b strings.Builder
+	if err := tab.emit(&b, true); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\nplain,1.500\n\"with,comma\",\"quote\"\"inside\"\n"
+	if b.String() != want {
+		t.Fatalf("CSV = %q, want %q", b.String(), want)
+	}
+}
+
+func TestOptionsNormalized(t *testing.T) {
+	o := Options{}.normalized()
+	if o.Replicas != 1 {
+		t.Fatalf("default replicas = %d, want 1", o.Replicas)
+	}
+}
+
+func TestReplicatedCellTightensCI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-replica simulation, skipped with -short")
+	}
+	cfg := baseConfig(Options{Scale: Quick, Seed: 5})
+	cfg.Nodes = 256
+	cfg.TTL = 600
+	cfg.Lead = 10
+	cfg.Duration = 6000
+	cfg.Warmup = 600
+	cfg.Lambda = 5
+	c, err := runCell(cfg, kindDUP, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.CostCI95 <= 0 {
+		t.Fatal("replicated cell reported no cost CI")
+	}
+	if c.MeanLatency <= 0 || c.MeanCost <= 0 {
+		t.Fatalf("degenerate replicated cell: %+v", c)
+	}
+}
+
+// TestPushLeadAblationEndToEnd runs one real (quick-scale) experiment to
+// verify the harness end to end; the remaining experiments share the same
+// machinery and are exercised by cmd/dupbench and bench_test.go.
+func TestPushLeadAblationEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick-scale simulation, skipped with -short")
+	}
+	var b strings.Builder
+	if err := runAblationPushLead(&b, Options{Scale: Quick, Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "Lead (s)") || !strings.Contains(out, "Local hit rate") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) < 6 {
+		t.Fatalf("too few rows:\n%s", out)
+	}
+}
+
+// TestAllExperimentsRunEndToEnd executes every registered experiment at
+// quick scale — the same code paths cmd/dupbench drives — and sanity-checks
+// the emitted tables. This is the harness's integration test (~10 s).
+func TestAllExperimentsRunEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full quick-scale suite, skipped with -short")
+	}
+	for _, e := range Registry() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var b strings.Builder
+			if err := e.Run(&b, Options{Scale: Quick, Seed: 1}); err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			out := b.String()
+			if len(out) < 80 {
+				t.Fatalf("%s produced implausibly short output:\n%s", e.ID, out)
+			}
+			if !strings.Contains(out, "==") {
+				t.Fatalf("%s output missing section header:\n%s", e.ID, out)
+			}
+			lines := strings.Split(strings.TrimSpace(out), "\n")
+			if len(lines) < 5 {
+				t.Fatalf("%s produced %d lines", e.ID, len(lines))
+			}
+			// CSV mode must also work and differ from the table mode.
+			var c strings.Builder
+			if err := e.Run(&c, Options{Scale: Quick, Seed: 1, CSV: true}); err != nil {
+				t.Fatalf("%s (csv): %v", e.ID, err)
+			}
+			if !strings.Contains(c.String(), ",") {
+				t.Fatalf("%s CSV output contains no commas:\n%s", e.ID, c.String())
+			}
+		})
+	}
+}

@@ -1,0 +1,198 @@
+package experiments
+
+import "io"
+
+// lambdaSweep is the query-rate axis of Figures 4 and 8.
+var lambdaSweep = []float64{0.1, 0.3, 1, 3, 10, 30, 100}
+
+// runFig4 reproduces Figure 4: (a) average query latency and (b) cost
+// relative to PCX, as functions of the mean query arrival rate λ under
+// exponential inter-arrival times.
+func runFig4(w io.Writer, opts Options) error {
+	kinds := []schemeKind{kindPCX, kindCUP, kindDUP}
+	var jobs []job
+	for _, lam := range lambdaSweep {
+		for _, k := range kinds {
+			cfg := baseConfig(opts)
+			cfg.Lambda = lam
+			jobs = append(jobs, job{key(k, lam), cfg, k})
+		}
+	}
+	res, err := runAll(jobs, opts)
+	if err != nil {
+		return err
+	}
+	section(w, "Figure 4 (a): average query latency vs λ (hops, ±95% CI)")
+	t := newTable("λ", "PCX", "CUP", "DUP", "PCX ±CI", "CUP ±CI", "DUP ±CI")
+	for _, lam := range lambdaSweep {
+		p, c, d := res[key(kindPCX, lam)], res[key(kindCUP, lam)], res[key(kindDUP, lam)]
+		t.addRow(lam, p.MeanLatency, c.MeanLatency, d.MeanLatency,
+			p.LatencyCI95, c.LatencyCI95, d.LatencyCI95)
+	}
+	if err := t.emit(w, opts.CSV); err != nil {
+		return err
+	}
+	section(w, "Figure 4 (b): cost relative to PCX vs λ")
+	t = newTable("λ", "CUP/PCX", "DUP/PCX")
+	for _, lam := range lambdaSweep {
+		p, c, d := res[key(kindPCX, lam)], res[key(kindCUP, lam)], res[key(kindDUP, lam)]
+		t.addRow(lam, rel(c.MeanCost, p.MeanCost), rel(d.MeanCost, p.MeanCost))
+	}
+	return t.emit(w, opts.CSV)
+}
+
+// runFig5 reproduces Figure 5: cost relative to PCX as the number of nodes
+// grows.
+func runFig5(w io.Writer, opts Options) error {
+	nodes := []int{1024, 2048, 4096, 8192, 16384}
+	kinds := []schemeKind{kindPCX, kindCUP, kindDUP}
+	var jobs []job
+	for _, n := range nodes {
+		for _, k := range kinds {
+			cfg := baseConfig(opts)
+			cfg.Nodes = n
+			jobs = append(jobs, job{key(k, n), cfg, k})
+		}
+	}
+	res, err := runAll(jobs, opts)
+	if err != nil {
+		return err
+	}
+	section(w, "Figure 5: cost relative to PCX vs number of nodes (λ = 1)")
+	t := newTable("Nodes", "CUP/PCX", "DUP/PCX")
+	for _, n := range nodes {
+		p, c, d := res[key(kindPCX, n)], res[key(kindCUP, n)], res[key(kindDUP, n)]
+		t.addRow(n, rel(c.MeanCost, p.MeanCost), rel(d.MeanCost, p.MeanCost))
+	}
+	return t.emit(w, opts.CSV)
+}
+
+// runFig6 reproduces Figure 6: effects of the maximum node degree D on (a)
+// latency and (b) relative cost.
+func runFig6(w io.Writer, opts Options) error {
+	degrees := []int{2, 3, 4, 6, 8, 10}
+	kinds := []schemeKind{kindPCX, kindCUP, kindDUP}
+	var jobs []job
+	for _, d := range degrees {
+		for _, k := range kinds {
+			cfg := baseConfig(opts)
+			cfg.MaxDegree = d
+			jobs = append(jobs, job{key(k, d), cfg, k})
+		}
+	}
+	res, err := runAll(jobs, opts)
+	if err != nil {
+		return err
+	}
+	section(w, "Figure 6 (a): average query latency vs maximum node degree D (hops)")
+	t := newTable("D", "PCX", "CUP", "DUP")
+	for _, deg := range degrees {
+		p, c, d := res[key(kindPCX, deg)], res[key(kindCUP, deg)], res[key(kindDUP, deg)]
+		t.addRow(deg, p.MeanLatency, c.MeanLatency, d.MeanLatency)
+	}
+	if err := t.emit(w, opts.CSV); err != nil {
+		return err
+	}
+	section(w, "Figure 6 (b): cost relative to PCX vs maximum node degree D")
+	t = newTable("D", "CUP/PCX", "DUP/PCX")
+	for _, deg := range degrees {
+		p, c, d := res[key(kindPCX, deg)], res[key(kindCUP, deg)], res[key(kindDUP, deg)]
+		t.addRow(deg, rel(c.MeanCost, p.MeanCost), rel(d.MeanCost, p.MeanCost))
+	}
+	return t.emit(w, opts.CSV)
+}
+
+// runFig7 reproduces Figure 7: effects of the Zipf parameter θ on (a)
+// latency and (b) relative cost.
+func runFig7(w io.Writer, opts Options) error {
+	thetas := []float64{0.5, 1, 1.5, 2, 3, 4}
+	kinds := []schemeKind{kindPCX, kindCUP, kindDUP}
+	var jobs []job
+	for _, th := range thetas {
+		for _, k := range kinds {
+			cfg := baseConfig(opts)
+			cfg.Theta = th
+			jobs = append(jobs, job{key(k, th), cfg, k})
+		}
+	}
+	res, err := runAll(jobs, opts)
+	if err != nil {
+		return err
+	}
+	section(w, "Figure 7 (a): average query latency vs Zipf parameter θ (hops)")
+	t := newTable("θ", "PCX", "CUP", "DUP")
+	for _, th := range thetas {
+		p, c, d := res[key(kindPCX, th)], res[key(kindCUP, th)], res[key(kindDUP, th)]
+		t.addRow(th, p.MeanLatency, c.MeanLatency, d.MeanLatency)
+	}
+	if err := t.emit(w, opts.CSV); err != nil {
+		return err
+	}
+	section(w, "Figure 7 (b): cost relative to PCX vs Zipf parameter θ")
+	t = newTable("θ", "CUP/PCX", "DUP/PCX")
+	for _, th := range thetas {
+		p, c, d := res[key(kindPCX, th)], res[key(kindCUP, th)], res[key(kindDUP, th)]
+		t.addRow(th, rel(c.MeanCost, p.MeanCost), rel(d.MeanCost, p.MeanCost))
+	}
+	return t.emit(w, opts.CSV)
+}
+
+// runFig8 reproduces Figure 8: latency and relative cost under Pareto
+// query inter-arrival times with α ∈ {1.05, 1.20}.
+func runFig8(w io.Writer, opts Options) error {
+	alphas := []float64{1.05, 1.20}
+	kinds := []schemeKind{kindPCX, kindCUP, kindDUP}
+	var jobs []job
+	for _, a := range alphas {
+		for _, lam := range lambdaSweep {
+			for _, k := range kinds {
+				cfg := baseConfig(opts)
+				cfg.Pareto = true
+				cfg.Alpha = a
+				cfg.Lambda = lam
+				jobs = append(jobs, job{key(k, a, lam), cfg, k})
+			}
+		}
+	}
+	res, err := runAll(jobs, opts)
+	if err != nil {
+		return err
+	}
+	section(w, "Figure 8 (a): average query latency vs λ under Pareto arrivals (hops)")
+	t := newTable("λ",
+		"PCX α=1.05", "CUP α=1.05", "DUP α=1.05",
+		"PCX α=1.20", "CUP α=1.20", "DUP α=1.20")
+	for _, lam := range lambdaSweep {
+		row := []any{lam}
+		for _, a := range alphas {
+			for _, k := range kinds {
+				row = append(row, res[key(k, a, lam)].MeanLatency)
+			}
+		}
+		t.addRow(row...)
+	}
+	if err := t.emit(w, opts.CSV); err != nil {
+		return err
+	}
+	section(w, "Figure 8 (b): cost relative to PCX vs λ under Pareto arrivals")
+	t = newTable("λ", "CUP/PCX α=1.05", "DUP/PCX α=1.05", "CUP/PCX α=1.20", "DUP/PCX α=1.20")
+	for _, lam := range lambdaSweep {
+		row := []any{lam}
+		for _, a := range alphas {
+			p := res[key(kindPCX, a, lam)]
+			row = append(row,
+				rel(res[key(kindCUP, a, lam)].MeanCost, p.MeanCost),
+				rel(res[key(kindDUP, a, lam)].MeanCost, p.MeanCost))
+		}
+		t.addRow(row...)
+	}
+	return t.emit(w, opts.CSV)
+}
+
+// rel guards division for the relative-cost columns.
+func rel(num, den float64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}

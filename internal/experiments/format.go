@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// table is a minimal fixed-width table printer for experiment output.
+type table struct {
+	headers []string
+	rows    [][]string
+}
+
+func newTable(headers ...string) *table {
+	return &table{headers: headers}
+}
+
+func (t *table) addRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// emit renders the table: aligned columns for humans, or CSV rows when
+// csv is set (plot-friendly; the section headers above the table remain
+// as comment-style context lines in either mode).
+func (t *table) emit(w io.Writer, csv bool) error {
+	if csv {
+		return t.writeCSV(w)
+	}
+	return t.write(w)
+}
+
+// writeCSV renders comma-separated rows with minimal quoting (cells
+// containing commas or quotes are quoted per RFC 4180).
+func (t *table) writeCSV(w io.Writer) error {
+	writeRow := func(cells []string) error {
+		var b strings.Builder
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(cell, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(cell, `"`, `""`))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(cell)
+			}
+		}
+		_, err := fmt.Fprintln(w, b.String())
+		return err
+	}
+	if err := writeRow(t.headers); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (t *table) write(w io.Writer) error {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		var b strings.Builder
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		return strings.TrimRight(b.String(), " ")
+	}
+	if _, err := fmt.Fprintln(w, line(t.headers)); err != nil {
+		return err
+	}
+	total := len(t.headers)*2 - 2
+	for _, w := range widths {
+		total += w
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", total)); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// section prints an experiment header.
+func section(w io.Writer, title string) {
+	fmt.Fprintf(w, "\n== %s ==\n\n", title)
+}

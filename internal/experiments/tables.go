@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// runTable1 prints the simulation parameter defaults (Table I).
+func runTable1(w io.Writer, opts Options) error {
+	cfg := baseConfig(opts)
+	section(w, "Table I: simulation parameters")
+	t := newTable("Parameter", "Default", "Range")
+	t.addRow("Number of nodes n", cfg.Nodes, "1024 to 16384")
+	t.addRow("Maximum node degree D", cfg.MaxDegree, "2 to 10")
+	t.addRow("Mean query arrival rate λ (queries/s)", cfg.Lambda, "0.1 to 100")
+	t.addRow("Zipf parameter θ", cfg.Theta, "0.5 to 4")
+	t.addRow("Pareto parameter α", "n/a", "1.05, 1.20")
+	t.addRow("Threshold value c", cfg.Threshold, "2 to 10")
+	t.addRow("Index TTL (s)", cfg.TTL, "fixed")
+	t.addRow("Push lead before expiry (s)", cfg.Lead, "fixed")
+	t.addRow("Per-hop delay mean (s)", cfg.HopDelayMean, "fixed")
+	t.addRow("Simulated time (s)", cfg.Duration, fmt.Sprintf("%v scale", opts.Scale))
+	return t.emit(w, opts.CSV)
+}
+
+// runTable2 reproduces Table II: average query cost and latency of DUP as
+// the interest threshold c varies, for λ ∈ {0.1, 1, 10}.
+func runTable2(w io.Writer, opts Options) error {
+	cs := []int{2, 4, 6, 8, 10}
+	lambdas := []float64{0.1, 1, 10}
+	var jobs []job
+	for _, c := range cs {
+		for _, lam := range lambdas {
+			cfg := baseConfig(opts)
+			cfg.Threshold = c
+			cfg.Lambda = lam
+			jobs = append(jobs, job{key(kindDUP, c, lam), cfg, kindDUP})
+		}
+	}
+	res, err := runAll(jobs, opts)
+	if err != nil {
+		return err
+	}
+	section(w, "Table II: the effects of the threshold value c (DUP)")
+	headers := []string{"c value"}
+	for _, c := range cs {
+		headers = append(headers, fmt.Sprint(c))
+	}
+	t := newTable(headers...)
+	for _, lam := range lambdas {
+		costRow := []any{fmt.Sprintf("Avg query cost (λ=%g)", lam)}
+		latRow := []any{fmt.Sprintf("Avg query latency (λ=%g)", lam)}
+		for _, c := range cs {
+			r := res[key(kindDUP, c, lam)]
+			costRow = append(costRow, r.MeanCost)
+			latRow = append(latRow, r.MeanLatency)
+		}
+		t.addRow(costRow...)
+		t.addRow(latRow...)
+	}
+	return t.emit(w, opts.CSV)
+}
+
+// runTable3 reproduces Table III: query latency of PCX, CUP and DUP as the
+// number of nodes varies, for λ ∈ {0.1, 1, 10}.
+func runTable3(w io.Writer, opts Options) error {
+	nodes := []int{1024, 2048, 4096, 8192, 16384}
+	lambdas := []float64{0.1, 1, 10}
+	kinds := []schemeKind{kindPCX, kindCUP, kindDUP}
+	var jobs []job
+	for _, n := range nodes {
+		for _, lam := range lambdas {
+			for _, k := range kinds {
+				cfg := baseConfig(opts)
+				cfg.Nodes = n
+				cfg.Lambda = lam
+				jobs = append(jobs, job{key(k, n, lam), cfg, k})
+			}
+		}
+	}
+	res, err := runAll(jobs, opts)
+	if err != nil {
+		return err
+	}
+	section(w, "Table III: comparison of PCX, CUP, and DUP when the number of nodes changes")
+	headers := []string{"Number of nodes"}
+	for _, n := range nodes {
+		headers = append(headers, fmt.Sprint(n))
+	}
+	t := newTable(headers...)
+	names := map[schemeKind]string{kindPCX: "PCX", kindCUP: "CUP", kindDUP: "DUP"}
+	for _, lam := range lambdas {
+		for _, k := range kinds {
+			row := []any{fmt.Sprintf("%s latency (λ=%g)", names[k], lam)}
+			for _, n := range nodes {
+				row = append(row, res[key(k, n, lam)].MeanLatency)
+			}
+			t.addRow(row...)
+		}
+	}
+	return t.emit(w, opts.CSV)
+}

@@ -1,0 +1,69 @@
+// Package index models the (key, value) mapping a structured peer-to-peer
+// network maintains: versioned index entries with absolute expiry times, the
+// authority node's refresh/push schedule, and a multi-key store with
+// keep-alive tracking for live deployments.
+//
+// Version semantics: the index for the simulated key is refreshed by its
+// authority node once per TTL. Version v is issued at v·TTL and every copy
+// of it — wherever cached — expires at (v+1)·TTL. Under the push schemes
+// (CUP, DUP) the authority creates version v one lead-time early, at
+// v·TTL − lead, and propagates it so that interested nodes never observe an
+// expired cache ("the root pushes the updated index to interested nodes
+// exactly one minute before the previous index expires", Section IV).
+package index
+
+import "fmt"
+
+// Authority describes the refresh schedule of the node that owns the index.
+type Authority struct {
+	ttl  float64 // index time-to-live, seconds (paper default: 3600)
+	lead float64 // how early the next version is created, seconds (paper: 60)
+}
+
+// NewAuthority returns an authority with the given TTL and push lead time.
+// Use lead 0 for schemes without proactive pushes (PCX). It panics unless
+// 0 <= lead < ttl.
+func NewAuthority(ttl, lead float64) *Authority {
+	if ttl <= 0 {
+		panic(fmt.Sprintf("index: ttl must be positive, got %v", ttl))
+	}
+	if lead < 0 || lead >= ttl {
+		panic(fmt.Sprintf("index: lead must be in [0, ttl), got %v", lead))
+	}
+	return &Authority{ttl: ttl, lead: lead}
+}
+
+// TTL returns the index time-to-live in seconds.
+func (a *Authority) TTL() float64 { return a.ttl }
+
+// Lead returns the push lead time in seconds.
+func (a *Authority) Lead() float64 { return a.lead }
+
+// VersionAt returns the version the authority node holds at time t: version
+// v from v·TTL − lead onward (version 0 from the start of time).
+func (a *Authority) VersionAt(t float64) int64 {
+	if t < 0 {
+		return 0
+	}
+	return int64((t + a.lead) / a.ttl)
+}
+
+// Expiry returns the absolute time at which copies of version v expire.
+func (a *Authority) Expiry(v int64) float64 {
+	return float64(v+1) * a.ttl
+}
+
+// IssueTime returns the time at which the authority creates version v —
+// also the time a push of v begins. Version 0 exists from time 0.
+func (a *Authority) IssueTime(v int64) float64 {
+	if v == 0 {
+		return 0
+	}
+	return float64(v)*a.ttl - a.lead
+}
+
+// IntervalEnd returns the end time of TTL interval k (intervals are
+// [k·TTL, (k+1)·TTL); access-tracking counters reset at these boundaries).
+func (a *Authority) IntervalEnd(k int64) float64 {
+	return float64(k+1) * a.ttl
+}

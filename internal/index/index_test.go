@@ -1,0 +1,169 @@
+package index
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAuthoritySchedule(t *testing.T) {
+	// Paper defaults: TTL 3600 s, push lead 60 s.
+	a := NewAuthority(3600, 60)
+	cases := []struct {
+		t    float64
+		want int64
+	}{
+		{0, 0}, {100, 0}, {3539.9, 0},
+		{3540, 1}, // 60 s before first expiry: version 1 issued
+		{3600, 1}, {7139, 1}, {7140, 2},
+	}
+	for _, c := range cases {
+		if got := a.VersionAt(c.t); got != c.want {
+			t.Errorf("VersionAt(%v) = %d, want %d", c.t, got, c.want)
+		}
+	}
+	if a.Expiry(0) != 3600 || a.Expiry(1) != 7200 {
+		t.Errorf("Expiry wrong: %v, %v", a.Expiry(0), a.Expiry(1))
+	}
+	if a.IssueTime(0) != 0 || a.IssueTime(1) != 3540 || a.IssueTime(2) != 7140 {
+		t.Errorf("IssueTime wrong: %v %v %v", a.IssueTime(1), a.IssueTime(2), a.IssueTime(0))
+	}
+	if a.IntervalEnd(0) != 3600 || a.IntervalEnd(2) != 10800 {
+		t.Errorf("IntervalEnd wrong")
+	}
+}
+
+func TestAuthorityZeroLead(t *testing.T) {
+	a := NewAuthority(3600, 0)
+	if a.VersionAt(3599.999) != 0 {
+		t.Error("version bumped early with zero lead")
+	}
+	if a.VersionAt(3600) != 1 {
+		t.Error("version not bumped at TTL with zero lead")
+	}
+}
+
+func TestAuthorityNegativeTime(t *testing.T) {
+	a := NewAuthority(100, 10)
+	if a.VersionAt(-5) != 0 {
+		t.Error("negative time should clamp to version 0")
+	}
+}
+
+func TestAuthorityInvariants(t *testing.T) {
+	a := NewAuthority(3600, 60)
+	err := quick.Check(func(raw uint32) bool {
+		tm := float64(raw) / 10
+		v := a.VersionAt(tm)
+		// The version held at time t must not be expired at t, and its
+		// issue time must not be in the future.
+		return a.Expiry(v) > tm && a.IssueTime(v) <= tm
+	}, &quick.Config{MaxCount: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewAuthorityPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"ttl=0":     func() { NewAuthority(0, 0) },
+		"lead<0":    func() { NewAuthority(100, -1) },
+		"lead>=ttl": func() { NewAuthority(100, 100) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestStorePutGet(t *testing.T) {
+	s := NewStore(3600, 120)
+	r := s.Put("movie.avi", "node42", 10)
+	if r.Version != 1 || r.Expiry != 3610 || r.Value != "node42" {
+		t.Fatalf("Put returned %+v", r)
+	}
+	got, ok := s.Get("movie.avi")
+	if !ok || got != r {
+		t.Fatalf("Get = %+v, %v", got, ok)
+	}
+	if _, ok := s.Get("missing"); ok {
+		t.Fatal("Get on missing key returned ok")
+	}
+}
+
+func TestStoreVersionBumpsOnChange(t *testing.T) {
+	s := NewStore(100, 10)
+	s.Put("k", "a", 0)
+	r := s.Put("k", "a", 5) // same value: keep version, refresh expiry
+	if r.Version != 1 || r.Expiry != 105 {
+		t.Fatalf("same-value Put: %+v", r)
+	}
+	r = s.Put("k", "b", 6) // value changed: bump
+	if r.Version != 2 {
+		t.Fatalf("changed-value Put: %+v", r)
+	}
+}
+
+func TestStoreRefresh(t *testing.T) {
+	s := NewStore(100, 10)
+	s.Put("k", "a", 0)
+	r, ok := s.Refresh("k", 50)
+	if !ok || r.Version != 2 || r.Expiry != 150 {
+		t.Fatalf("Refresh = %+v, %v", r, ok)
+	}
+	if _, ok := s.Refresh("missing", 0); ok {
+		t.Fatal("Refresh on missing key returned ok")
+	}
+}
+
+func TestStoreKeepAliveAndExpired(t *testing.T) {
+	s := NewStore(1000, 30)
+	s.Put("a", "n1", 0)
+	s.Put("b", "n2", 0)
+	if !s.KeepAlive("a", 25) {
+		t.Fatal("KeepAlive on existing key failed")
+	}
+	if s.KeepAlive("missing", 25) {
+		t.Fatal("KeepAlive on missing key succeeded")
+	}
+	// At t=40: b's last keep-alive was at 0, 40 > 30 -> expired; a is fine.
+	exp := s.Expired(40)
+	if len(exp) != 1 || exp[0] != "b" {
+		t.Fatalf("Expired = %v, want [b]", exp)
+	}
+	if exp := s.Expired(10); len(exp) != 0 {
+		t.Fatalf("Expired(10) = %v, want none", exp)
+	}
+}
+
+func TestStoreDeleteLenKeys(t *testing.T) {
+	s := NewStore(100, 10)
+	s.Put("b", "x", 0)
+	s.Put("a", "y", 0)
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	keys := s.Keys()
+	if len(keys) != 2 || keys[0] != "a" || keys[1] != "b" {
+		t.Fatalf("Keys = %v", keys)
+	}
+	if !s.Delete("a") || s.Delete("a") {
+		t.Fatal("Delete semantics wrong")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len after delete = %d", s.Len())
+	}
+}
+
+func TestStorePanicsOnBadParams(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewStore(0, 0) did not panic")
+		}
+	}()
+	NewStore(0, 0)
+}

@@ -1,0 +1,148 @@
+package index
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Record is one (key, value) index entry as held by an authority node: the
+// address of the node hosting the data, a version counter bumped on every
+// update, and the absolute expiry of the current version.
+type Record struct {
+	Key     string
+	Value   string  // address/id of the hosting node
+	Version int64   // bumped on every update
+	Expiry  float64 // absolute time at which this version expires
+}
+
+// Store is the authority-side index table used by the live network: it maps
+// keys to Records and tracks per-key keep-alive deadlines so that a hosting
+// node that stops refreshing is declared dead and its entry updated. Store
+// is safe for concurrent use.
+type Store struct {
+	mu       sync.Mutex
+	ttl      float64
+	deadline float64 // keep-alive grace period
+	recs     map[string]*Record
+	alive    map[string]float64 // key -> last keep-alive time
+}
+
+// NewStore returns a Store whose entries live for ttl seconds per version
+// and whose hosting nodes must send keep-alives at least every grace
+// seconds. It panics if ttl <= 0 or grace <= 0.
+func NewStore(ttl, grace float64) *Store {
+	if ttl <= 0 || grace <= 0 {
+		panic(fmt.Sprintf("index: NewStore needs positive ttl and grace, got %v, %v", ttl, grace))
+	}
+	return &Store{
+		ttl:      ttl,
+		deadline: grace,
+		recs:     make(map[string]*Record),
+		alive:    make(map[string]float64),
+	}
+}
+
+// Put inserts or updates the index for key, bumping its version, and
+// records a keep-alive at time now. It returns the stored record.
+func (s *Store) Put(key, value string, now float64) Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.recs[key]
+	if !ok {
+		r = &Record{Key: key}
+		s.recs[key] = r
+	}
+	if !ok || r.Value != value {
+		r.Version++
+	}
+	r.Value = value
+	r.Expiry = now + s.ttl
+	s.alive[key] = now
+	return *r
+}
+
+// Get returns the record for key and whether it exists.
+func (s *Store) Get(key string) (Record, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.recs[key]
+	if !ok {
+		return Record{}, false
+	}
+	return *r, true
+}
+
+// KeepAlive refreshes the hosting node's liveness for key at time now. It
+// reports whether the key exists.
+func (s *Store) KeepAlive(key string, now float64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.recs[key]; !ok {
+		return false
+	}
+	s.alive[key] = now
+	return true
+}
+
+// Refresh re-issues the current version of key at time now (same value, new
+// version and expiry) and returns the new record. This is the authority's
+// per-TTL refresh. It reports whether the key exists.
+func (s *Store) Refresh(key string, now float64) (Record, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.recs[key]
+	if !ok {
+		return Record{}, false
+	}
+	r.Version++
+	r.Expiry = now + s.ttl
+	return *r, true
+}
+
+// Expired returns the keys whose hosting node missed its keep-alive window
+// as of time now. The authority node treats these hosts as dead and must
+// update (or drop) their indices.
+func (s *Store) Expired(now float64) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []string
+	for k, last := range s.alive {
+		if now-last > s.deadline {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Delete removes the index for key. It reports whether the key existed.
+func (s *Store) Delete(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.recs[key]; !ok {
+		return false
+	}
+	delete(s.recs, key)
+	delete(s.alive, key)
+	return true
+}
+
+// Len returns the number of keys in the store.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.recs)
+}
+
+// Keys returns all keys in sorted order.
+func (s *Store) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.recs))
+	for k := range s.recs {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

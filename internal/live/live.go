@@ -1,0 +1,303 @@
+// Package live runs the DUP protocol on a real concurrent network: one
+// goroutine per peer, messages delivered over channels with injected link
+// latency, periodic keep-alives with ack-based failure detection, and the
+// paper's Section III-C recovery — including case 5, authority (root)
+// fail-over.
+//
+// Where the discrete-event simulator (dup/internal/sim) reproduces the
+// paper's measurements, this package demonstrates that the same protocol
+// state machine (dup/internal/core) drives a working system under true
+// concurrency: the examples/livecluster binary boots a network, kills
+// nodes mid-run and shows queries continuing to resolve.
+package live
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dup/internal/rng"
+	"dup/internal/topology"
+)
+
+// Config parametrises a live network.
+type Config struct {
+	// Nodes and MaxDegree shape the index search tree (node 0 is the
+	// authority node for the index).
+	Nodes     int
+	MaxDegree int
+	// TTL is the index version lifetime; the authority refreshes and
+	// pushes Lead before each expiry.
+	TTL  time.Duration
+	Lead time.Duration
+	// Threshold is the interest threshold c per TTL interval.
+	Threshold int
+	// HopDelay is the mean injected link latency.
+	HopDelay time.Duration
+	// KeepAliveEvery is the keep-alive period; a peer that misses acks
+	// for DeadAfter is declared failed.
+	KeepAliveEvery time.Duration
+	DeadAfter      time.Duration
+	// Seed drives topology generation and latency jitter.
+	Seed uint64
+	// Tree optionally overrides topology generation, e.g. with an index
+	// search tree extracted from a Chord ring or CAN torus
+	// (overlay/chord.ExtractTree, overlay/can.ExtractTree). Node 0 must be
+	// the root. Nodes is ignored when set.
+	Tree *topology.Tree
+}
+
+// DefaultConfig returns a small, fast test-scale network.
+func DefaultConfig() Config {
+	return Config{
+		Nodes:          64,
+		MaxDegree:      4,
+		TTL:            400 * time.Millisecond,
+		Lead:           80 * time.Millisecond,
+		Threshold:      3,
+		HopDelay:       time.Millisecond,
+		KeepAliveEvery: 40 * time.Millisecond,
+		DeadAfter:      150 * time.Millisecond,
+		Seed:           1,
+	}
+}
+
+// Validate reports the first configuration problem, or nil.
+func (c *Config) Validate() error {
+	switch {
+	case c.Tree == nil && c.Nodes < 2:
+		return fmt.Errorf("live: need at least 2 nodes, got %d", c.Nodes)
+	case c.Tree != nil && c.Tree.N() < 2:
+		return fmt.Errorf("live: preset tree needs at least 2 nodes, got %d", c.Tree.N())
+	case c.MaxDegree < 1:
+		return fmt.Errorf("live: need MaxDegree >= 1, got %d", c.MaxDegree)
+	case c.TTL <= 0 || c.Lead < 0 || c.Lead >= c.TTL:
+		return fmt.Errorf("live: need 0 <= Lead < TTL, got TTL=%v Lead=%v", c.TTL, c.Lead)
+	case c.Threshold < 0:
+		return fmt.Errorf("live: need Threshold >= 0, got %d", c.Threshold)
+	case c.HopDelay < 0:
+		return fmt.Errorf("live: need HopDelay >= 0, got %v", c.HopDelay)
+	case c.KeepAliveEvery <= 0 || c.DeadAfter <= c.KeepAliveEvery:
+		return fmt.Errorf("live: need DeadAfter > KeepAliveEvery > 0, got %v, %v",
+			c.DeadAfter, c.KeepAliveEvery)
+	}
+	return nil
+}
+
+// QueryResult is the outcome of one index query.
+type QueryResult struct {
+	Version int64
+	Hops    int  // hops the request travelled before reaching a valid index
+	Local   bool // served from the querying node's own cache
+}
+
+// Stats aggregates network-wide counters.
+type Stats struct {
+	Queries     int64
+	QueryHops   int64
+	LocalHits   int64
+	Pushes      int64
+	Subscribes  int64
+	Substitutes int64
+	KeepAlives  int64
+	Drops       int64 // messages dropped at dead nodes
+}
+
+// Network is a running live cluster.
+type Network struct {
+	cfg   Config
+	nodes []*node
+
+	mu     sync.Mutex // guards parent and rootID (the DHT directory stand-in)
+	parent []int
+	rootID int // the designated authority node
+
+	stats struct {
+		queries, queryHops, localHits              atomic.Int64
+		pushes, subscribes, substitutes, keepAlive atomic.Int64
+		drops                                      atomic.Int64
+	}
+
+	stopped atomic.Bool
+	wg      sync.WaitGroup
+}
+
+// ErrTimeout is returned when a query is not answered in time (e.g. its
+// route passed through a failed node before repair finished).
+var ErrTimeout = errors.New("live: query timed out")
+
+// Start boots the network: builds the index search tree, spawns one
+// goroutine per node and begins the authority's refresh schedule.
+func Start(cfg Config) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	src := rng.New(cfg.Seed)
+	tree := cfg.Tree
+	if tree == nil {
+		tree = topology.Generate(cfg.Nodes, cfg.MaxDegree, src.Split())
+	}
+	n := tree.N()
+	nw := &Network{cfg: cfg, parent: make([]int, n), rootID: 0}
+	for i := 0; i < n; i++ {
+		nw.parent[i] = tree.Parent(i)
+	}
+	nw.nodes = make([]*node, n)
+	for i := 0; i < n; i++ {
+		nw.nodes[i] = newNode(nw, i, tree.Parent(i), src.Split())
+	}
+	for _, n := range nw.nodes {
+		nw.wg.Add(1)
+		go n.run()
+	}
+	return nw, nil
+}
+
+// Stop shuts the network down and waits for every node goroutine.
+func (nw *Network) Stop() {
+	if nw.stopped.Swap(true) {
+		return
+	}
+	for _, n := range nw.nodes {
+		close(n.quit)
+	}
+	nw.wg.Wait()
+}
+
+// Stats returns a snapshot of the network counters.
+func (nw *Network) Stats() Stats {
+	return Stats{
+		Queries:     nw.stats.queries.Load(),
+		QueryHops:   nw.stats.queryHops.Load(),
+		LocalHits:   nw.stats.localHits.Load(),
+		Pushes:      nw.stats.pushes.Load(),
+		Subscribes:  nw.stats.subscribes.Load(),
+		Substitutes: nw.stats.substitutes.Load(),
+		KeepAlives:  nw.stats.keepAlive.Load(),
+		Drops:       nw.stats.drops.Load(),
+	}
+}
+
+// Nodes returns the network size.
+func (nw *Network) Nodes() int { return len(nw.nodes) }
+
+// MeanLatency returns the average hops per resolved query so far.
+func (nw *Network) MeanLatency() float64 {
+	q := nw.stats.queries.Load()
+	if q == 0 {
+		return 0
+	}
+	return float64(nw.stats.queryHops.Load()) / float64(q)
+}
+
+// RootID returns the currently designated authority node's id (which may
+// be momentarily dead while fail-over is in progress).
+func (nw *Network) RootID() int {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	return nw.rootID
+}
+
+// Query issues an index query at the given node and waits up to timeout
+// for the answer.
+func (nw *Network) Query(at int, timeout time.Duration) (QueryResult, error) {
+	if at < 0 || at >= len(nw.nodes) {
+		return QueryResult{}, fmt.Errorf("live: no node %d", at)
+	}
+	res := make(chan QueryResult, 1)
+	if !nw.nodes[at].post(message{kind: mQuery, res: res}) {
+		return QueryResult{}, fmt.Errorf("live: node %d is down", at)
+	}
+	select {
+	case r := <-res:
+		return r, nil
+	case <-time.After(timeout):
+		return QueryResult{}, ErrTimeout
+	}
+}
+
+// Fail kills node id abruptly: it stops processing messages. Neighbours
+// discover the failure through keep-alive timeouts. Killing the current
+// authority node exercises the paper's case 5 (a new authority takes
+// over).
+func (nw *Network) Fail(id int) { nw.nodes[id].dead.Store(true) }
+
+// Recover brings node id back. If it is still the designated authority
+// (nobody was promoted while it was down) it resumes that role with a
+// fresh version; otherwise it rejoins blank under the nearest alive node
+// on its original ancestor path.
+func (nw *Network) Recover(id int) {
+	n := nw.nodes[id]
+	if !n.dead.Load() {
+		return
+	}
+	// Flip liveness under the directory mutex so a concurrent promote()
+	// cannot elect a second authority while we decide.
+	nw.mu.Lock()
+	designated := nw.rootID == id
+	n.dead.Store(false)
+	nw.mu.Unlock()
+	if designated {
+		n.post(message{kind: mBecomeRoot})
+		return
+	}
+	parent := nw.aliveAncestor(id)
+	n.post(message{kind: mReset, from: parent})
+}
+
+// directoryParent is the DHT stand-in: the routing parent of id.
+func (nw *Network) directoryParent(id int) int {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	return nw.parent[id]
+}
+
+// setParent records a repair in the directory.
+func (nw *Network) setParent(id, parent int) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	nw.parent[id] = parent
+}
+
+// aliveAncestor walks the directory upward from id until it reaches an
+// alive node (falling back to the current authority).
+func (nw *Network) aliveAncestor(id int) int {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	p := nw.parent[id]
+	for hops := 0; p != -1 && hops < len(nw.nodes); hops++ {
+		if !nw.nodes[p].dead.Load() {
+			return p
+		}
+		p = nw.parent[p]
+	}
+	// Fall back to the designated authority.
+	if nw.rootID != id && !nw.nodes[nw.rootID].dead.Load() {
+		return nw.rootID
+	}
+	return -1
+}
+
+// send delivers m to node `to` after an exponentially distributed link
+// delay. Messages to dead nodes are dropped (counted).
+func (nw *Network) send(to int, m message, delaySrc *rng.Source) {
+	if nw.stopped.Load() {
+		return
+	}
+	delay := time.Duration(0)
+	if nw.cfg.HopDelay > 0 {
+		delay = time.Duration(-float64(nw.cfg.HopDelay) * math.Log(delaySrc.Float64Open()))
+	}
+	target := nw.nodes[to]
+	time.AfterFunc(delay, func() {
+		if nw.stopped.Load() {
+			return
+		}
+		if !target.post(m) {
+			nw.stats.drops.Add(1)
+		}
+	})
+}

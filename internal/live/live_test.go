@@ -1,0 +1,244 @@
+package live
+
+import (
+	"testing"
+	"time"
+
+	"dup/internal/overlay/chord"
+	"dup/internal/rng"
+)
+
+// query retries until the deadline, mirroring how a real client handles
+// timeouts while repairs are in flight.
+func query(t *testing.T, nw *Network, at int, deadline time.Duration) QueryResult {
+	t.Helper()
+	end := time.Now().Add(deadline)
+	var last error
+	for time.Now().Before(end) {
+		r, err := nw.Query(at, 250*time.Millisecond)
+		if err == nil {
+			return r
+		}
+		last = err
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("query at node %d never resolved: %v", at, last)
+	return QueryResult{}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := DefaultConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.Nodes = 1 },
+		func(c *Config) { c.MaxDegree = 0 },
+		func(c *Config) { c.Lead = c.TTL },
+		func(c *Config) { c.Threshold = -1 },
+		func(c *Config) { c.HopDelay = -time.Second },
+		func(c *Config) { c.DeadAfter = c.KeepAliveEvery },
+	}
+	for i, mutate := range bad {
+		c := DefaultConfig()
+		mutate(&c)
+		if c.Validate() == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+		if _, err := Start(c); err == nil {
+			t.Errorf("Start accepted mutation %d", i)
+		}
+	}
+}
+
+func TestQueriesResolveEverywhere(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Nodes = 32
+	nw, err := Start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Stop()
+	for id := 0; id < nw.Nodes(); id++ {
+		r := query(t, nw, id, 2*time.Second)
+		if r.Hops < 0 {
+			t.Fatalf("node %d: negative hops", id)
+		}
+		if id == 0 && !r.Local {
+			t.Fatal("authority node query was not local")
+		}
+	}
+	s := nw.Stats()
+	if s.Queries != int64(nw.Nodes()) {
+		t.Fatalf("stats queries = %d, want %d", s.Queries, nw.Nodes())
+	}
+}
+
+func TestHotNodeGetsSubscribedAndPushed(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Nodes = 48
+	cfg.Seed = 3
+	nw, err := Start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Stop()
+	hot := nw.Nodes() - 1 // a deep node
+	// Hammer it past the threshold, then let two refresh cycles pass.
+	for i := 0; i < cfg.Threshold+3; i++ {
+		query(t, nw, hot, time.Second)
+	}
+	time.Sleep(2 * cfg.TTL)
+	if nw.Stats().Subscribes == 0 {
+		t.Fatal("hot node never subscribed")
+	}
+	if nw.Stats().Pushes == 0 {
+		t.Fatal("no pushes flowed despite a subscription")
+	}
+	// A query right after the refresh cycle must be served locally from
+	// the pushed copy. Query twice to absorb scheduling jitter.
+	r := query(t, nw, hot, time.Second)
+	r2 := query(t, nw, hot, time.Second)
+	if !r.Local && !r2.Local {
+		t.Fatalf("hot node still missing after pushes: hops %d then %d", r.Hops, r2.Hops)
+	}
+}
+
+func TestInteriorNodeFailureHeals(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Nodes = 48
+	cfg.Seed = 5
+	nw, err := Start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Stop()
+	// Find an interior node: the parent of the last node.
+	victim := nw.directoryParent(nw.Nodes() - 1)
+	if victim <= 0 {
+		t.Skip("last node attaches directly to the root in this topology")
+	}
+	nw.Fail(victim)
+	// Children detect the death and re-home; queries from the subtree must
+	// resolve again within a few detection periods.
+	time.Sleep(cfg.DeadAfter + 4*cfg.KeepAliveEvery)
+	r := query(t, nw, nw.Nodes()-1, 3*time.Second)
+	if r.Version < 0 {
+		t.Fatal("impossible version")
+	}
+	nw.Recover(victim)
+	time.Sleep(2 * cfg.KeepAliveEvery)
+	query(t, nw, victim, 2*time.Second)
+}
+
+func TestRootFailover(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Nodes = 32
+	cfg.Seed = 7
+	nw, err := Start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Stop()
+	oldRoot := nw.RootID()
+	if oldRoot != 0 {
+		t.Fatalf("initial root = %d, want 0", oldRoot)
+	}
+	nw.Fail(0)
+	// A child of the root must take over (case 5) after detection.
+	deadline := time.Now().Add(3 * time.Second)
+	for nw.RootID() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no node took over as authority")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	newRoot := nw.RootID()
+	// Queries anywhere must resolve against the new authority.
+	r := query(t, nw, nw.Nodes()-1, 4*time.Second)
+	_ = r
+	// The old root recovers as a regular node.
+	nw.Recover(0)
+	time.Sleep(2 * cfg.KeepAliveEvery)
+	if nw.RootID() != newRoot {
+		t.Fatalf("root changed again after old root recovered: %d", nw.RootID())
+	}
+	query(t, nw, 0, 2*time.Second)
+}
+
+func TestRootRecoversWhenNotYetReplaced(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Nodes = 16
+	cfg.DeadAfter = time.Second // detection slower than our recovery
+	nw, err := Start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Stop()
+	nw.Fail(0)
+	time.Sleep(50 * time.Millisecond)
+	nw.Recover(0) // nobody promoted yet: must resume as authority
+	if nw.RootID() != 0 {
+		t.Fatalf("root id changed to %d", nw.RootID())
+	}
+	r := query(t, nw, 0, 2*time.Second)
+	if !r.Local {
+		t.Fatal("recovered authority did not serve locally")
+	}
+}
+
+func TestStopIsIdempotentAndClean(t *testing.T) {
+	nw, err := Start(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	query(t, nw, 5, time.Second)
+	nw.Stop()
+	nw.Stop() // second stop must not panic
+	if _, err := nw.Query(5, 100*time.Millisecond); err == nil {
+		t.Skip("query raced shutdown and still resolved; acceptable")
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	nw, err := Start(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Stop()
+	if _, err := nw.Query(-1, time.Second); err == nil {
+		t.Fatal("negative node id accepted")
+	}
+	if _, err := nw.Query(10000, time.Second); err == nil {
+		t.Fatal("out-of-range node id accepted")
+	}
+	nw.Fail(3)
+	if _, err := nw.Query(3, 100*time.Millisecond); err == nil {
+		t.Fatal("query at dead node accepted")
+	}
+}
+
+func TestPresetChordTopology(t *testing.T) {
+	ring := chord.Bootstrap(48, rng.New(21), 4)
+	tree, _, err := ring.ExtractTree("live-key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Tree = tree
+	cfg.Nodes = 0 // ignored with a preset tree
+	nw, err := Start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Stop()
+	if nw.Nodes() != tree.N() {
+		t.Fatalf("network size %d, tree %d", nw.Nodes(), tree.N())
+	}
+	for _, id := range []int{0, tree.N() / 2, tree.N() - 1} {
+		query(t, nw, id, 2*time.Second)
+	}
+	if nw.MeanLatency() < 0 {
+		t.Fatal("negative mean latency")
+	}
+}

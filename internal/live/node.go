@@ -1,0 +1,386 @@
+package live
+
+import (
+	"sync/atomic"
+	"time"
+
+	"dup/internal/core"
+	"dup/internal/rng"
+)
+
+// mKind enumerates live-network message kinds.
+type mKind uint8
+
+const (
+	mQuery        mKind = iota // external query injection
+	mRequest                   // forwarded query
+	mReply                     // index travelling back along the path
+	mPush                      // fresh index version across the DUP tree
+	mSubscribe                 // Figure 3 (B)
+	mUnsubscribe               // Figure 3 (E)
+	mSubstitute                // Figure 3 (C)
+	mKeepAlive                 // child -> parent liveness
+	mKeepAliveAck              // parent -> child
+	mReset                     // recovery: blank state, adopt new parent
+	mBecomeRoot                // case 5: take over as authority
+)
+
+// message is one live-network datagram.
+type message struct {
+	kind     mKind
+	from     int
+	subject  int // subscribe/unsubscribe subject
+	old, new int // substitute
+	version  int64
+	expiry   time.Time
+	hops     int
+	path     []int
+	res      chan QueryResult
+}
+
+// node is one live peer. All fields below the channel block are owned by
+// the node's goroutine.
+type node struct {
+	nw    *Network
+	id    int
+	inbox chan message
+	quit  chan struct{}
+
+	dead   atomic.Bool
+	isRoot atomic.Bool
+
+	parent   int
+	st       *core.State
+	delaySrc *rng.Source
+
+	// Cached index copy.
+	haveCopy   bool
+	cacheVer   int64
+	cacheExp   time.Time
+	lastPushed int64
+
+	// Authority state (root only).
+	version int64
+	expiry  time.Time
+
+	// Access tracking (interest policy).
+	count         int
+	intervalStart time.Time
+
+	// Liveness.
+	lastAck   time.Time
+	childSeen map[int]time.Time
+}
+
+func newNode(nw *Network, id, parent int, delaySrc *rng.Source) *node {
+	n := &node{
+		nw:         nw,
+		id:         id,
+		inbox:      make(chan message, 256),
+		quit:       make(chan struct{}),
+		parent:     parent,
+		st:         core.NewState(id, parent == -1),
+		delaySrc:   delaySrc,
+		lastPushed: -1,
+		childSeen:  map[int]time.Time{},
+	}
+	if parent == -1 {
+		n.isRoot.Store(true)
+	}
+	return n
+}
+
+// post delivers m to the node unless it is dead or its inbox is full (a
+// dead-node stand-in for packet loss under overload). Recovery resets are
+// the only messages that reach a dead node.
+func (n *node) post(m message) bool {
+	if n.dead.Load() && m.kind != mReset {
+		return false
+	}
+	select {
+	case n.inbox <- m:
+		return true
+	default:
+		return false
+	}
+}
+
+// send routes a message to another node with link latency.
+func (n *node) send(to int, m message) {
+	m.from = n.id
+	n.nw.send(to, m, n.delaySrc)
+}
+
+// run is the node's goroutine body.
+func (n *node) run() {
+	defer n.nw.wg.Done()
+	now := time.Now()
+	n.intervalStart = now
+	n.lastAck = now
+	if n.isRoot.Load() {
+		n.version = 0
+		n.expiry = now.Add(n.nw.cfg.TTL)
+	}
+	tick := time.NewTicker(n.nw.cfg.KeepAliveEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-n.quit:
+			return
+		case m := <-n.inbox:
+			if !n.dead.Load() || m.kind == mReset {
+				n.handle(m)
+			}
+		case <-tick.C:
+			if !n.dead.Load() {
+				n.tick(time.Now())
+			}
+		}
+	}
+}
+
+// tick runs the periodic work: the authority refresh schedule, keep-alives
+// with parent-death detection, child-death detection, and the
+// interest-loss policy at interval boundaries.
+func (n *node) tick(now time.Time) {
+	cfg := n.nw.cfg
+	if n.isRoot.Load() {
+		if now.After(n.expiry.Add(-cfg.Lead)) {
+			n.version++
+			n.expiry = now.Add(cfg.TTL)
+			n.pushOut(n.version, n.expiry)
+		}
+	} else {
+		// Keep-alive to the parent; declare it dead after the timeout.
+		n.nw.stats.keepAlive.Add(1)
+		n.send(n.parent, message{kind: mKeepAlive})
+		if now.Sub(n.lastAck) > cfg.DeadAfter {
+			n.parentDied(now)
+		}
+	}
+	// Child-death detection (case 2: the upstream virtual-path neighbour
+	// notices and clears the path).
+	for child, seen := range n.childSeen {
+		if now.Sub(seen) > cfg.DeadAfter {
+			delete(n.childSeen, child)
+			if n.st.Contains(child) {
+				n.emit(n.st.HandleUnsubscribe(child))
+			}
+		}
+	}
+	// Interval boundary: interest loss (Figure 3 D).
+	if now.Sub(n.intervalStart) >= cfg.TTL {
+		if n.st.Interested() && n.count <= cfg.Threshold {
+			n.emit(n.st.LoseInterest())
+		}
+		n.count = 0
+		n.intervalStart = now
+	}
+}
+
+// parentDied repairs after a keep-alive timeout: re-home under the nearest
+// alive ancestor (the underlying DHT's routing repair), re-announce any
+// virtual path (cases 3/4), or take over as authority when no root is
+// left (case 5).
+func (n *node) parentDied(now time.Time) {
+	n.lastAck = now // do not re-trigger while repairing
+	newParent := n.nw.aliveAncestor(n.id)
+	if newParent == -1 || newParent == n.id {
+		if n.nw.promote(n.id) {
+			n.becomeRoot(now)
+		}
+		return
+	}
+	n.parent = newParent
+	n.nw.setParent(n.id, newParent)
+	if n.st.OnVirtualPath() {
+		n.nw.stats.subscribes.Add(1)
+		n.send(newParent, message{kind: mSubscribe, subject: n.st.Representative()})
+	}
+}
+
+// becomeRoot is case 5: this node takes over the failed authority's index
+// with refreshed information and resumes update propagation.
+func (n *node) becomeRoot(now time.Time) {
+	n.parent = -1
+	n.nw.setParent(n.id, -1)
+	n.st.SetRoot(true)
+	n.isRoot.Store(true)
+	if n.cacheVer > n.version {
+		n.version = n.cacheVer
+	}
+	n.version++
+	n.expiry = now.Add(n.nw.cfg.TTL)
+	n.pushOut(n.version, n.expiry)
+}
+
+// handle processes one message.
+func (n *node) handle(m message) {
+	switch m.kind {
+	case mQuery:
+		n.localQuery(m.res)
+	case mRequest:
+		n.onRequest(m)
+	case mReply:
+		n.onReply(m)
+	case mPush:
+		n.onPush(m)
+	case mSubscribe:
+		n.emit(n.st.HandleSubscribe(m.subject))
+	case mUnsubscribe:
+		n.emit(n.st.HandleUnsubscribe(m.subject))
+	case mSubstitute:
+		n.emit(n.st.HandleSubstitute(m.old, m.new))
+	case mKeepAlive:
+		n.childSeen[m.from] = time.Now()
+		n.send(m.from, message{kind: mKeepAliveAck})
+	case mKeepAliveAck:
+		n.lastAck = time.Now()
+	case mReset:
+		n.reset(m.from)
+	case mBecomeRoot:
+		n.becomeRoot(time.Now())
+	}
+}
+
+// reset blanks the node after recovery and re-homes it under parent.
+func (n *node) reset(parent int) {
+	n.st.Reset()
+	n.st.SetRoot(false)
+	n.isRoot.Store(false)
+	n.parent = parent
+	n.nw.setParent(n.id, parent)
+	n.haveCopy = false
+	n.lastPushed = -1
+	n.count = 0
+	n.intervalStart = time.Now()
+	n.lastAck = time.Now()
+	clear(n.childSeen)
+}
+
+// valid reports whether the node can serve the index right now, returning
+// the version and expiry it would serve.
+func (n *node) valid(now time.Time) (int64, time.Time, bool) {
+	if n.isRoot.Load() {
+		return n.version, n.expiry, true
+	}
+	if n.haveCopy && now.Before(n.cacheExp) {
+		return n.cacheVer, n.cacheExp, true
+	}
+	return 0, time.Time{}, false
+}
+
+// access counts a query arrival and applies the interest-gain policy
+// (Figure 3 A).
+func (n *node) access() {
+	n.count++
+	if n.count > n.nw.cfg.Threshold && !n.st.Interested() && !n.isRoot.Load() {
+		n.emit(n.st.BecomeInterested())
+	}
+}
+
+// localQuery serves or forwards a query generated at this node.
+func (n *node) localQuery(res chan QueryResult) {
+	n.access()
+	n.nw.stats.queries.Add(1)
+	now := time.Now()
+	if v, _, ok := n.valid(now); ok {
+		n.nw.stats.localHits.Add(1)
+		res <- QueryResult{Version: v, Hops: 0, Local: true}
+		return
+	}
+	n.send(n.parent, message{
+		kind: mRequest, hops: 1, path: []int{n.id}, res: res,
+	})
+}
+
+// onRequest serves the query if possible, otherwise forwards it upstream.
+func (n *node) onRequest(m message) {
+	n.access()
+	now := time.Now()
+	if v, exp, ok := n.valid(now); ok {
+		n.nw.stats.queryHops.Add(int64(m.hops))
+		m.res <- QueryResult{Version: v, Hops: m.hops}
+		last := len(m.path) - 1
+		n.send(m.path[last], message{
+			kind: mReply, version: v, expiry: exp, path: m.path[:last],
+		})
+		return
+	}
+	if n.isRoot.Load() {
+		// The authority always serves; only a mid-fail-over vacuum gets
+		// here, and the query times out and is retried by the caller.
+		return
+	}
+	m.path = append(m.path, n.id)
+	m.hops++
+	n.send(n.parent, m)
+}
+
+// onReply caches the index and keeps retracing the request path.
+func (n *node) onReply(m message) {
+	n.store(m.version, m.expiry)
+	if len(m.path) == 0 {
+		return
+	}
+	last := len(m.path) - 1
+	next := m.path[last]
+	m.path = m.path[:last]
+	n.send(next, m)
+}
+
+// onPush refreshes the cache and forwards across the DUP tree.
+func (n *node) onPush(m message) {
+	n.nw.stats.pushes.Add(1)
+	n.store(m.version, m.expiry)
+	if m.version > n.lastPushed {
+		n.lastPushed = m.version
+		n.pushOut(m.version, m.expiry)
+	}
+}
+
+// pushOut sends version v directly to every DUP-tree push target.
+func (n *node) pushOut(v int64, exp time.Time) {
+	for _, target := range n.st.PushTargets() {
+		n.send(target, message{kind: mPush, version: v, expiry: exp})
+	}
+}
+
+// store updates the cached copy, ignoring stale versions.
+func (n *node) store(v int64, exp time.Time) {
+	if n.haveCopy && v < n.cacheVer {
+		return
+	}
+	n.haveCopy = true
+	n.cacheVer = v
+	n.cacheExp = exp
+}
+
+// emit sends the state machine's upstream actions to the current parent.
+func (n *node) emit(acts []core.Action) {
+	for _, a := range acts {
+		switch a.Kind {
+		case core.SendSubscribe:
+			n.nw.stats.subscribes.Add(1)
+			n.send(n.parent, message{kind: mSubscribe, subject: a.Subject})
+		case core.SendUnsubscribe:
+			n.send(n.parent, message{kind: mUnsubscribe, subject: a.Subject})
+		case core.SendSubstitute:
+			n.nw.stats.substitutes.Add(1)
+			n.send(n.parent, message{kind: mSubstitute, old: a.Old, new: a.New})
+		}
+	}
+}
+
+// promote elects id as the new authority if the designated one is dead;
+// the first caller wins (serialized by the directory mutex).
+func (nw *Network) promote(id int) bool {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	if !nw.nodes[nw.rootID].dead.Load() {
+		return false
+	}
+	nw.rootID = id
+	nw.parent[id] = -1
+	return true
+}

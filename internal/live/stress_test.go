@@ -1,0 +1,99 @@
+package live
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"dup/internal/rng"
+)
+
+// TestStressRandomChurnAndQueries hammers a live network with concurrent
+// queriers while nodes fail and recover at random. The assertions are
+// survival assertions: no deadlock, no panic, queries keep resolving, and
+// the network still answers everywhere after churn stops. Run with -race.
+func TestStressRandomChurnAndQueries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test skipped with -short")
+	}
+	cfg := DefaultConfig()
+	cfg.Nodes = 48
+	cfg.Seed = 99
+	nw, err := Start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Stop()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Four concurrent query workers.
+	var resolved, failed sync.Map
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			src := rng.New(uint64(w + 1))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				at := src.Intn(cfg.Nodes)
+				if _, err := nw.Query(at, 200*time.Millisecond); err == nil {
+					ct, _ := resolved.LoadOrStore(w, new(int))
+					*ct.(*int)++
+				} else {
+					ct, _ := failed.LoadOrStore(w, new(int))
+					*ct.(*int)++
+				}
+			}
+		}(w)
+	}
+
+	// Churn driver: fail and recover random non-root nodes.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		src := rng.New(42)
+		down := map[int]bool{}
+		for i := 0; i < 20; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			victim := 1 + src.Intn(cfg.Nodes-1)
+			if down[victim] {
+				nw.Recover(victim)
+				delete(down, victim)
+			} else {
+				nw.Fail(victim)
+				down[victim] = true
+			}
+			time.Sleep(60 * time.Millisecond)
+		}
+		for v := range down {
+			nw.Recover(v)
+		}
+	}()
+
+	time.Sleep(1500 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	total := 0
+	resolved.Range(func(_, v any) bool { total += *v.(*int); return true })
+	if total == 0 {
+		t.Fatal("no query resolved during churn")
+	}
+
+	// After churn settles, every node must answer again.
+	time.Sleep(cfg.DeadAfter + 4*cfg.KeepAliveEvery)
+	for id := 0; id < nw.Nodes(); id++ {
+		query(t, nw, id, 3*time.Second)
+	}
+	t.Logf("resolved %d queries during churn; drops %d", total, nw.Stats().Drops)
+}

@@ -1,0 +1,157 @@
+// Package metrics implements the two performance metrics of the paper's
+// Section IV plus supporting detail counters.
+//
+//   - Average query latency: the average number of hops a request travels
+//     before it reaches a valid index (a locally served query has latency
+//     zero). Reported with its 95% confidence interval.
+//   - Average query cost: the total number of hops travelled by all
+//     query-related messages — requests, replies, pushes and the control
+//     messages that maintain interest state — divided by the number of
+//     queries.
+//
+// A warm-up horizon excludes the cold-start transient: observations (both
+// query latencies and message hops) timestamped before the horizon are
+// counted separately and do not enter the reported averages.
+package metrics
+
+import (
+	"fmt"
+
+	"dup/internal/proto"
+	"dup/internal/stats"
+)
+
+// Metrics accumulates one simulation run's measurements.
+type Metrics struct {
+	warmup float64 // observations before this time are excluded
+
+	latency     stats.Online
+	latencyBM   *stats.BatchMeans
+	latencyHist *stats.Histogram
+
+	queries     int64
+	requestHops int64
+	replyHops   int64
+	pushHops    int64
+	controlHops int64
+
+	warmQueries int64 // queries discarded as warm-up
+	warmHops    int64 // hops discarded as warm-up
+
+	localHits int64 // queries served from the node's own cache (latency 0)
+}
+
+// New returns Metrics that exclude all observations before warmup seconds.
+// histCap bounds the latency histogram (values at or above it share the
+// overflow bin).
+func New(warmup float64, histCap int) *Metrics {
+	if warmup < 0 {
+		panic(fmt.Sprintf("metrics: negative warmup %v", warmup))
+	}
+	return &Metrics{
+		warmup:      warmup,
+		latencyBM:   stats.NewBatchMeans(batchSize),
+		latencyHist: stats.NewHistogram(histCap),
+	}
+}
+
+// batchSize groups successive latency observations for the batch-means
+// confidence interval. Successive query latencies are correlated through
+// shared cache state; batches of this size decorrelate them for the
+// stopping rule.
+const batchSize = 500
+
+// Warmup returns the warm-up horizon in simulated seconds.
+func (m *Metrics) Warmup() float64 { return m.warmup }
+
+// RecordQuery records a completed query: latency hops at simulated time t
+// (the time the request reached a valid index).
+func (m *Metrics) RecordQuery(t float64, hops int) {
+	if hops < 0 {
+		panic(fmt.Sprintf("metrics: negative latency %d", hops))
+	}
+	if t < m.warmup {
+		m.warmQueries++
+		return
+	}
+	m.queries++
+	m.latency.Add(float64(hops))
+	m.latencyBM.Add(float64(hops))
+	m.latencyHist.Add(hops)
+	if hops == 0 {
+		m.localHits++
+	}
+}
+
+// RecordHop charges one hop of a message of the given kind sent at time t.
+func (m *Metrics) RecordHop(t float64, kind proto.Kind) {
+	if t < m.warmup {
+		m.warmHops++
+		return
+	}
+	switch kind {
+	case proto.KindRequest:
+		m.requestHops++
+	case proto.KindReply:
+		m.replyHops++
+	case proto.KindPush:
+		m.pushHops++
+	case proto.KindKeepAlive:
+		// Keep-alives are free by definition (see package comment).
+	default:
+		if kind.Control() {
+			m.controlHops++
+		} else {
+			panic(fmt.Sprintf("metrics: unaccounted message kind %v", kind))
+		}
+	}
+}
+
+// Queries returns the number of measured (post-warm-up) queries.
+func (m *Metrics) Queries() int64 { return m.queries }
+
+// LocalHits returns how many measured queries were served with latency 0.
+func (m *Metrics) LocalHits() int64 { return m.localHits }
+
+// MeanLatency returns the average query latency in hops.
+func (m *Metrics) MeanLatency() float64 { return m.latency.Mean() }
+
+// LatencyCI95 returns the 95% confidence half-width of the mean latency.
+func (m *Metrics) LatencyCI95() float64 { return m.latency.CI95() }
+
+// LatencyRelCI95 returns the CI half-width relative to the mean, using
+// the method of batch means once enough batches have completed (query
+// latencies are serially correlated through shared cache state; the plain
+// sample CI understates the uncertainty). With fewer than ten batches it
+// falls back to the conservative sample CI.
+func (m *Metrics) LatencyRelCI95() float64 {
+	if m.latencyBM.Batches() >= 10 {
+		return m.latencyBM.RelativeCI95()
+	}
+	return m.latency.RelativeCI95()
+}
+
+// LatencyPercentile returns the p-quantile of the latency distribution.
+func (m *Metrics) LatencyPercentile(p float64) int { return m.latencyHist.Percentile(p) }
+
+// TotalHops returns the total hops charged to measured traffic.
+func (m *Metrics) TotalHops() int64 {
+	return m.requestHops + m.replyHops + m.pushHops + m.controlHops
+}
+
+// HopBreakdown returns the per-class hop counters.
+func (m *Metrics) HopBreakdown() (request, reply, push, control int64) {
+	return m.requestHops, m.replyHops, m.pushHops, m.controlHops
+}
+
+// MeanCost returns the average query cost: total message hops divided by
+// the number of queries. It returns 0 when no queries were measured.
+func (m *Metrics) MeanCost() float64 {
+	if m.queries == 0 {
+		return 0
+	}
+	return float64(m.TotalHops()) / float64(m.queries)
+}
+
+// Discarded returns the warm-up observations that were excluded.
+func (m *Metrics) Discarded() (queries, hops int64) { return m.warmQueries, m.warmHops }

@@ -1,0 +1,141 @@
+package metrics
+
+import (
+	"testing"
+
+	"dup/internal/proto"
+)
+
+func TestLatencyAccounting(t *testing.T) {
+	m := New(0, 32)
+	m.RecordQuery(1, 0)
+	m.RecordQuery(2, 4)
+	m.RecordQuery(3, 2)
+	if m.Queries() != 3 {
+		t.Fatalf("Queries = %d", m.Queries())
+	}
+	if m.MeanLatency() != 2 {
+		t.Fatalf("MeanLatency = %v, want 2", m.MeanLatency())
+	}
+	if m.LocalHits() != 1 {
+		t.Fatalf("LocalHits = %d, want 1", m.LocalHits())
+	}
+	if p := m.LatencyPercentile(1.0); p != 4 {
+		t.Fatalf("p100 = %d, want 4", p)
+	}
+}
+
+func TestCostAccounting(t *testing.T) {
+	m := New(0, 32)
+	m.RecordQuery(1, 1)
+	m.RecordQuery(1, 1)
+	m.RecordHop(1, proto.KindRequest)
+	m.RecordHop(1, proto.KindReply)
+	m.RecordHop(1, proto.KindPush)
+	m.RecordHop(1, proto.KindSubscribe)
+	m.RecordHop(1, proto.KindSubstitute)
+	m.RecordHop(1, proto.KindInterest)
+	if m.TotalHops() != 6 {
+		t.Fatalf("TotalHops = %d, want 6", m.TotalHops())
+	}
+	req, rep, push, ctrl := m.HopBreakdown()
+	if req != 1 || rep != 1 || push != 1 || ctrl != 3 {
+		t.Fatalf("breakdown = %d %d %d %d", req, rep, push, ctrl)
+	}
+	if m.MeanCost() != 3 {
+		t.Fatalf("MeanCost = %v, want 3", m.MeanCost())
+	}
+}
+
+func TestKeepAliveIsFree(t *testing.T) {
+	m := New(0, 8)
+	m.RecordQuery(1, 0)
+	m.RecordHop(1, proto.KindKeepAlive)
+	if m.TotalHops() != 0 {
+		t.Fatal("keep-alive hop was charged to cost")
+	}
+}
+
+func TestWarmupExclusion(t *testing.T) {
+	m := New(100, 8)
+	m.RecordQuery(50, 7)            // warm-up, excluded
+	m.RecordHop(99, proto.KindPush) // warm-up, excluded
+	m.RecordQuery(150, 3)
+	m.RecordHop(150, proto.KindRequest)
+	if m.Queries() != 1 || m.MeanLatency() != 3 || m.TotalHops() != 1 {
+		t.Fatalf("warm-up leaked into measurements: q=%d lat=%v hops=%d",
+			m.Queries(), m.MeanLatency(), m.TotalHops())
+	}
+	wq, wh := m.Discarded()
+	if wq != 1 || wh != 1 {
+		t.Fatalf("Discarded = %d, %d", wq, wh)
+	}
+	if m.Warmup() != 100 {
+		t.Fatalf("Warmup() = %v", m.Warmup())
+	}
+}
+
+func TestMeanCostNoQueries(t *testing.T) {
+	m := New(0, 8)
+	m.RecordHop(1, proto.KindPush)
+	if m.MeanCost() != 0 {
+		t.Fatal("MeanCost with zero queries should be 0")
+	}
+}
+
+func TestCI(t *testing.T) {
+	m := New(0, 8)
+	for i := 0; i < 100; i++ {
+		m.RecordQuery(1, i%2) // alternating 0/1
+	}
+	if m.LatencyCI95() <= 0 {
+		t.Fatal("CI should be positive for a varying stream")
+	}
+	if m.LatencyRelCI95() <= 0 || m.LatencyRelCI95() > 1 {
+		t.Fatalf("relative CI = %v out of plausible range", m.LatencyRelCI95())
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"negativeWarmup":  func() { New(-1, 8) },
+		"negativeLatency": func() { New(0, 8).RecordQuery(1, -1) },
+		"unknownKind":     func() { New(0, 8).RecordHop(1, proto.Kind(200)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestLatencyRelCI95UsesBatchMeans(t *testing.T) {
+	m := New(0, 8)
+	// Fewer than ten batches: falls back to the sample CI.
+	for i := 0; i < 100; i++ {
+		m.RecordQuery(1, i%3)
+	}
+	if m.LatencyRelCI95() <= 0 {
+		t.Fatal("fallback sample CI should be positive")
+	}
+	// Push past ten batches with a strongly autocorrelated stream (long
+	// runs of equal values, flipping every two batches). The batch-means
+	// CI must see the correlation the naive per-sample CI hides: with half
+	// the batch means at 0 and half at 1, the relative CI is large even
+	// though the per-sample standard error is tiny.
+	m2 := New(0, 8)
+	v := 0
+	for i := 0; i < batchSize*20; i++ {
+		if i%(batchSize*2) == 0 {
+			v = 1 - v
+		}
+		m2.RecordQuery(1, v)
+	}
+	if bm := m2.LatencyRelCI95(); bm < 0.3 {
+		t.Fatalf("batch-means relative CI = %v; a correlated 0/1 stream should be far from converged", bm)
+	}
+}

@@ -1,0 +1,511 @@
+// Package can implements a Content-Addressable Network (Ratnasamy et al.,
+// SIGCOMM 2001) — the other structured peer-to-peer substrate the paper
+// builds on (its Section III-C defers the index search tree's maintenance
+// operations to CAN's, reference [2]).
+//
+// The coordinate space is the d-dimensional unit torus. Every node owns a
+// hyper-rectangular zone; keys hash to points and are owned by the zone
+// containing them. Joining splits an existing zone in half along its
+// longest dimension; a leaving node's zone is taken over by its smallest
+// neighbour. Routing is greedy: each hop forwards to the neighbour whose
+// zone centre is torus-closest to the target point.
+//
+// As with the Chord substrate, ExtractTree derives a key's index search
+// tree from the routing state: each node's parent is its greedy next hop
+// toward the key's point.
+package can
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dup/internal/rng"
+	"dup/internal/topology"
+)
+
+// Point is a location in the unit torus.
+type Point []float64
+
+// Zone is an axis-aligned box [Lo, Hi) per dimension.
+type Zone struct {
+	Lo, Hi []float64
+}
+
+// Contains reports whether p lies inside the zone.
+func (z Zone) Contains(p Point) bool {
+	for i := range z.Lo {
+		if p[i] < z.Lo[i] || p[i] >= z.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Volume returns the zone's volume.
+func (z Zone) Volume() float64 {
+	v := 1.0
+	for i := range z.Lo {
+		v *= z.Hi[i] - z.Lo[i]
+	}
+	return v
+}
+
+// Center returns the zone's midpoint.
+func (z Zone) Center() Point {
+	c := make(Point, len(z.Lo))
+	for i := range z.Lo {
+		c[i] = (z.Lo[i] + z.Hi[i]) / 2
+	}
+	return c
+}
+
+// longestDim returns the index of the zone's longest side.
+func (z Zone) longestDim() int {
+	best, bestLen := 0, 0.0
+	for i := range z.Lo {
+		if l := z.Hi[i] - z.Lo[i]; l > bestLen {
+			best, bestLen = i, l
+		}
+	}
+	return best
+}
+
+// adjacent reports whether two zones share a (d-1)-dimensional face on the
+// torus.
+func adjacent(a, b Zone) bool {
+	touching := -1
+	for i := range a.Lo {
+		overlapLo := math.Max(a.Lo[i], b.Lo[i])
+		overlapHi := math.Min(a.Hi[i], b.Hi[i])
+		switch {
+		case overlapHi > overlapLo:
+			// Proper overlap in this dimension: fine.
+		case overlapHi == overlapLo || wrapTouch(a.Lo[i], a.Hi[i], b.Lo[i], b.Hi[i]):
+			// Zones touch (possibly across the wrap) in this dimension.
+			if touching != -1 {
+				return false // touching in two dimensions = corner contact
+			}
+			touching = i
+		default:
+			return false
+		}
+	}
+	return touching != -1
+}
+
+// wrapTouch reports whether [aLo,aHi) and [bLo,bHi) touch across the torus
+// boundary in one dimension.
+func wrapTouch(aLo, aHi, bLo, bHi float64) bool {
+	return (aHi == 1 && bLo == 0) || (bHi == 1 && aLo == 0)
+}
+
+// torusDist returns squared torus distance between points.
+func torusDist(a, b Point) float64 {
+	sum := 0.0
+	for i := range a {
+		d := math.Abs(a[i] - b[i])
+		if d > 0.5 {
+			d = 1 - d
+		}
+		sum += d * d
+	}
+	return sum
+}
+
+// circDist returns the circular distance between two coordinates.
+func circDist(a, b float64) float64 {
+	d := math.Abs(a - b)
+	if d > 0.5 {
+		d = 1 - d
+	}
+	return d
+}
+
+// zoneDistSq returns the squared torus distance from p to the zone (zero
+// when p is inside). On a circle the closest point of an arc to an outside
+// point is one of its endpoints.
+func zoneDistSq(z Zone, p Point) float64 {
+	sum := 0.0
+	for i := range p {
+		if p[i] >= z.Lo[i] && p[i] < z.Hi[i] {
+			continue
+		}
+		d := math.Min(circDist(p[i], z.Lo[i]), circDist(p[i], z.Hi[i]))
+		sum += d * d
+	}
+	return sum
+}
+
+// routeKey is the greedy routing metric: lexicographically ordered
+// (distance to zone, distance to zone centre, id). Every hop strictly
+// decreases the tuple, so routes — and the extracted search trees — are
+// loop-free and deterministic regardless of neighbour iteration order.
+type routeKey struct {
+	zone, center float64
+	id           int
+}
+
+func (c *Network) keyOf(n *Node, p Point) routeKey {
+	return routeKey{zoneDistSq(n.zone, p), torusDist(n.zone.Center(), p), n.id}
+}
+
+func (k routeKey) less(o routeKey) bool {
+	if k.zone != o.zone {
+		return k.zone < o.zone
+	}
+	if k.center != o.center {
+		return k.center < o.center
+	}
+	return k.id < o.id
+}
+
+// Node is one CAN participant.
+type Node struct {
+	id        int
+	zone      Zone
+	neighbors map[int]bool
+	alive     bool
+}
+
+// ID returns the node id.
+func (n *Node) ID() int { return n.id }
+
+// Zone returns the node's current zone.
+func (n *Node) Zone() Zone { return n.zone }
+
+// Neighbors returns the ids of the node's neighbours in sorted order.
+func (n *Node) Neighbors() []int {
+	out := make([]int, 0, len(n.neighbors))
+	for id := range n.neighbors {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Network is the CAN overlay.
+type Network struct {
+	dims  int
+	nodes []*Node
+	src   *rng.Source
+}
+
+// New builds a CAN with n nodes in dims dimensions by n-1 random joins
+// into an initially whole torus. It panics unless n >= 1 and dims >= 1.
+func New(n, dims int, src *rng.Source) *Network {
+	if n < 1 || dims < 1 {
+		panic(fmt.Sprintf("can: need n >= 1 and dims >= 1, got %d, %d", n, dims))
+	}
+	c := &Network{dims: dims, src: src}
+	first := &Node{id: 0, zone: wholeTorus(dims), neighbors: map[int]bool{}, alive: true}
+	c.nodes = append(c.nodes, first)
+	for i := 1; i < n; i++ {
+		c.join()
+	}
+	return c
+}
+
+func wholeTorus(dims int) Zone {
+	z := Zone{Lo: make([]float64, dims), Hi: make([]float64, dims)}
+	for i := range z.Hi {
+		z.Hi[i] = 1
+	}
+	return z
+}
+
+// Len returns the number of live nodes.
+func (c *Network) Len() int {
+	count := 0
+	for _, n := range c.nodes {
+		if n.alive {
+			count++
+		}
+	}
+	return count
+}
+
+// Dims returns the dimensionality.
+func (c *Network) Dims() int { return c.dims }
+
+// Node returns the live node with the given id, or nil.
+func (c *Network) Node(id int) *Node {
+	if id < 0 || id >= len(c.nodes) || !c.nodes[id].alive {
+		return nil
+	}
+	return c.nodes[id]
+}
+
+// randomPoint draws a uniform point.
+func (c *Network) randomPoint() Point {
+	p := make(Point, c.dims)
+	for i := range p {
+		p[i] = c.src.Float64()
+	}
+	return p
+}
+
+// join adds one node: it picks a random point, finds the owner and splits
+// that owner's zone in half along its longest dimension.
+func (c *Network) join() {
+	target := c.OwnerOf(c.randomPoint())
+	newID := len(c.nodes)
+	dim := target.zone.longestDim()
+	mid := (target.zone.Lo[dim] + target.zone.Hi[dim]) / 2
+
+	newZone := target.zone
+	newZone.Lo = append([]float64(nil), target.zone.Lo...)
+	newZone.Hi = append([]float64(nil), target.zone.Hi...)
+	newZone.Lo[dim] = mid
+	target.zone.Hi = append([]float64(nil), target.zone.Hi...)
+	target.zone.Hi[dim] = mid
+
+	nn := &Node{id: newID, zone: newZone, neighbors: map[int]bool{}, alive: true}
+	c.nodes = append(c.nodes, nn)
+	c.refreshNeighbors(target)
+	c.refreshNeighbors(nn)
+}
+
+// refreshNeighbors recomputes n's neighbour set (and reciprocal links) by
+// adjacency scan. O(n) per call — CAN implementations track this
+// incrementally; the scan keeps this reference implementation simple and
+// obviously correct.
+func (c *Network) refreshNeighbors(n *Node) {
+	for old := range n.neighbors {
+		delete(c.nodes[old].neighbors, n.id)
+	}
+	n.neighbors = map[int]bool{}
+	for _, other := range c.nodes {
+		if other.id == n.id || !other.alive {
+			continue
+		}
+		if adjacent(n.zone, other.zone) {
+			n.neighbors[other.id] = true
+			other.neighbors[n.id] = true
+		}
+	}
+}
+
+// OwnerOf returns the live node whose zone contains p.
+func (c *Network) OwnerOf(p Point) *Node {
+	for _, n := range c.nodes {
+		if n.alive && n.zone.Contains(p) {
+			return n
+		}
+	}
+	// Zones partition the torus; reaching here means an invariant broke.
+	panic(fmt.Sprintf("can: no zone contains %v", p))
+}
+
+// HashKey maps a key to a point, one coordinate per dimension, using
+// independent FNV-1a streams.
+func (c *Network) HashKey(key string) Point {
+	p := make(Point, c.dims)
+	for i := range p {
+		h := uint64(14695981039346656037)
+		h ^= uint64(i) + 0x9e37
+		h *= 1099511628211
+		for j := 0; j < len(key); j++ {
+			h ^= uint64(key[j])
+			h *= 1099511628211
+		}
+		p[i] = float64(h>>11) / float64(1<<53)
+	}
+	return p
+}
+
+// NextHop returns the neighbour of `from` that is greedily closest to p
+// under the strictly decreasing routing metric, or from itself when it
+// owns p or no neighbour improves on it (a greedy dead end).
+func (c *Network) NextHop(from int, p Point) int {
+	n := c.Node(from)
+	if n == nil {
+		return -1
+	}
+	if n.zone.Contains(p) {
+		return from
+	}
+	best, bestKey := from, c.keyOf(n, p)
+	for id := range n.neighbors {
+		nb := c.nodes[id]
+		if !nb.alive {
+			continue
+		}
+		if nb.zone.Contains(p) {
+			return id
+		}
+		if k := c.keyOf(nb, p); k.less(bestKey) {
+			best, bestKey = id, k
+		}
+	}
+	return best
+}
+
+// Route returns the greedy path from node `from` to the owner of p
+// (excluding from, including the owner). It fails if routing stalls.
+func (c *Network) Route(from int, p Point) ([]int, error) {
+	var path []int
+	cur := from
+	for steps := 0; steps <= len(c.nodes); steps++ {
+		if n := c.Node(cur); n != nil && n.zone.Contains(p) {
+			return path, nil
+		}
+		next := c.NextHop(cur, p)
+		if next == cur || next == -1 {
+			return path, fmt.Errorf("can: greedy routing stalled at node %d", cur)
+		}
+		path = append(path, next)
+		cur = next
+	}
+	return path, fmt.Errorf("can: routing loop toward %v", p)
+}
+
+// ExtractTree derives the index search tree for a key: each live node's
+// parent is its greedy next hop toward the key's point; the owner is the
+// root. Tree ids are dense, with the owner as 0; the mapping back to CAN
+// node ids is returned alongside.
+func (c *Network) ExtractTree(key string) (*topology.Tree, []int, error) {
+	p := c.HashKey(key)
+	owner := c.OwnerOf(p)
+	var live []int
+	for _, n := range c.nodes {
+		if n.alive {
+			live = append(live, n.id)
+		}
+	}
+	treeID := make(map[int]int, len(live))
+	canID := make([]int, 0, len(live))
+	treeID[owner.id] = 0
+	canID = append(canID, owner.id)
+	for _, id := range live {
+		if id == owner.id {
+			continue
+		}
+		treeID[id] = len(canID)
+		canID = append(canID, id)
+	}
+	parents := make([]int, len(canID))
+	parents[0] = -1
+	for i := 1; i < len(canID); i++ {
+		next := c.NextHop(canID[i], p)
+		if next == canID[i] || next == -1 {
+			return nil, nil, fmt.Errorf("can: node %d stalls toward key %q", canID[i], key)
+		}
+		parents[i] = treeID[next]
+	}
+	tree, err := buildTree(parents)
+	if err != nil {
+		return nil, nil, err
+	}
+	return tree, canID, nil
+}
+
+// buildTree converts FromParents panics (routing loops) into errors.
+func buildTree(parents []int) (tree *topology.Tree, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("can: routing does not form a tree: %v", rec)
+		}
+	}()
+	return topology.FromParents(parents), nil
+}
+
+// Leave removes node id, handing its zone to a neighbour whose zone
+// combines with it into a rectangle (the "merge with sibling" case of
+// CAN's takeover procedure). When no such neighbour exists it returns an
+// error — full CAN implements multi-zone stewardship and background zone
+// reassignment for that case, which this reference implementation omits
+// (the simplification is documented in DESIGN.md).
+func (c *Network) Leave(id int) error {
+	n := c.Node(id)
+	if n == nil {
+		return fmt.Errorf("can: node %d unknown or dead", id)
+	}
+	if c.Len() == 1 {
+		return fmt.Errorf("can: last node cannot leave")
+	}
+	for nbID := range n.neighbors {
+		nb := c.nodes[nbID]
+		if merged, ok := mergeZones(n.zone, nb.zone); ok {
+			n.alive = false
+			for other := range n.neighbors {
+				delete(c.nodes[other].neighbors, id)
+			}
+			nb.zone = merged
+			c.refreshNeighbors(nb)
+			return nil
+		}
+	}
+	return fmt.Errorf("can: node %d has no mergeable neighbour", id)
+}
+
+// mergeZones returns the union of two zones when it forms a rectangle:
+// identical extents in all dimensions but one, where they abut.
+func mergeZones(a, b Zone) (Zone, bool) {
+	joinDim := -1
+	for i := range a.Lo {
+		if a.Lo[i] == b.Lo[i] && a.Hi[i] == b.Hi[i] {
+			continue
+		}
+		if joinDim != -1 {
+			return Zone{}, false
+		}
+		if a.Hi[i] != b.Lo[i] && b.Hi[i] != a.Lo[i] {
+			return Zone{}, false
+		}
+		joinDim = i
+	}
+	if joinDim == -1 {
+		return Zone{}, false
+	}
+	m := Zone{Lo: append([]float64(nil), a.Lo...), Hi: append([]float64(nil), a.Hi...)}
+	m.Lo[joinDim] = math.Min(a.Lo[joinDim], b.Lo[joinDim])
+	m.Hi[joinDim] = math.Max(a.Hi[joinDim], b.Hi[joinDim])
+	return m, true
+}
+
+// Validate checks the space-partitioning invariants: every zone has
+// positive volume, volumes sum to 1, random probe points have exactly one
+// owner, and neighbour links are symmetric. It returns the first
+// violation, or nil.
+func (c *Network) Validate() error {
+	total := 0.0
+	for _, n := range c.nodes {
+		if !n.alive {
+			continue
+		}
+		v := n.zone.Volume()
+		if v <= 0 {
+			return fmt.Errorf("node %d has non-positive volume %v", n.id, v)
+		}
+		total += v
+		for id := range n.neighbors {
+			nb := c.nodes[id]
+			if !nb.alive {
+				return fmt.Errorf("node %d lists dead neighbour %d", n.id, id)
+			}
+			if !nb.neighbors[n.id] {
+				return fmt.Errorf("neighbour link %d->%d not reciprocal", n.id, id)
+			}
+			if !adjacent(n.zone, nb.zone) {
+				return fmt.Errorf("nodes %d and %d linked but not adjacent", n.id, id)
+			}
+		}
+	}
+	if math.Abs(total-1) > 1e-9 {
+		return fmt.Errorf("zone volumes sum to %v, want 1", total)
+	}
+	for i := 0; i < 64; i++ {
+		p := c.randomPoint()
+		owners := 0
+		for _, n := range c.nodes {
+			if n.alive && n.zone.Contains(p) {
+				owners++
+			}
+		}
+		if owners != 1 {
+			return fmt.Errorf("point %v has %d owners", p, owners)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,268 @@
+package can
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dup/internal/rng"
+)
+
+func TestNewValidates(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 64, 500} {
+		for _, d := range []int{1, 2, 3} {
+			c := New(n, d, rng.New(uint64(n*10+d)))
+			if c.Len() != n {
+				t.Fatalf("n=%d d=%d: Len=%d", n, d, c.Len())
+			}
+			if err := c.Validate(); err != nil {
+				t.Fatalf("n=%d d=%d: %v", n, d, err)
+			}
+		}
+	}
+}
+
+func TestNewPanicsOnBadArgs(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"n=0": func() { New(0, 2, rng.New(1)) },
+		"d=0": func() { New(4, 0, rng.New(1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestOwnerUnique(t *testing.T) {
+	c := New(128, 2, rng.New(3))
+	err := quick.Check(func(xRaw, yRaw uint32) bool {
+		p := Point{float64(xRaw) / (1 << 33), float64(yRaw) / (1 << 33)}
+		owner := c.OwnerOf(p)
+		return owner != nil && owner.Zone().Contains(p)
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRouteReachesOwner(t *testing.T) {
+	c := New(256, 2, rng.New(4))
+	src := rng.New(5)
+	for i := 0; i < 200; i++ {
+		p := c.randomPoint()
+		from := src.Intn(256)
+		if c.Node(from) == nil {
+			continue
+		}
+		path, err := c.Route(from, p)
+		if err != nil {
+			t.Fatalf("route from %d to %v: %v", from, p, err)
+		}
+		owner := c.OwnerOf(p)
+		if owner.ID() != from && (len(path) == 0 || path[len(path)-1] != owner.ID()) {
+			t.Fatalf("route from %d ended at %v, owner %d", from, path, owner.ID())
+		}
+	}
+}
+
+func TestRouteLengthScalesLikeCAN(t *testing.T) {
+	// CAN routes in O(d * n^(1/d)) hops; for n=256, d=2 that is ~2*16=32.
+	c := New(256, 2, rng.New(6))
+	src := rng.New(7)
+	total, count := 0, 0
+	for i := 0; i < 200; i++ {
+		from := src.Intn(256)
+		if c.Node(from) == nil {
+			continue
+		}
+		path, err := c.Route(from, c.randomPoint())
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(path)
+		count++
+	}
+	mean := float64(total) / float64(count)
+	if mean > 32 {
+		t.Fatalf("mean CAN route length %.1f, want <= 32 for n=256 d=2", mean)
+	}
+	if mean < 1 {
+		t.Fatalf("mean route length %.1f suspiciously small", mean)
+	}
+}
+
+func TestHashKeyDeterministicAndInRange(t *testing.T) {
+	c := New(4, 3, rng.New(8))
+	p1 := c.HashKey("movie.avi")
+	p2 := c.HashKey("movie.avi")
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatal("hash not deterministic")
+		}
+		if p1[i] < 0 || p1[i] >= 1 {
+			t.Fatalf("coordinate %v out of [0,1)", p1[i])
+		}
+	}
+	q := c.HashKey("other.key")
+	same := true
+	for i := range p1 {
+		if p1[i] != q[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("distinct keys hashed to the same point")
+	}
+}
+
+func TestExtractTree(t *testing.T) {
+	c := New(512, 2, rng.New(9))
+	tree, canID, err := c.ExtractTree("the-index")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.N() != 512 || len(canID) != 512 {
+		t.Fatalf("tree %d nodes, map %d", tree.N(), len(canID))
+	}
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	owner := c.OwnerOf(c.HashKey("the-index"))
+	if canID[0] != owner.ID() {
+		t.Fatalf("tree root maps to %d, owner is %d", canID[0], owner.ID())
+	}
+	// CAN trees are deeper than Chord trees but still bounded by the
+	// routing length bound.
+	if tree.MaxDepth() > 3*2*23 { // 3 * d * n^(1/d), n=512 -> 22.6
+		t.Fatalf("CAN tree depth %d implausible", tree.MaxDepth())
+	}
+}
+
+func TestExtractTreeDeterministic(t *testing.T) {
+	a := New(128, 2, rng.New(10))
+	b := New(128, 2, rng.New(10))
+	ta, ma, err := a.ExtractTree("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, mb, err := b.ExtractTree("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ta.N() != tb.N() {
+		t.Fatal("tree sizes differ")
+	}
+	for i := 0; i < ta.N(); i++ {
+		if ta.Parent(i) != tb.Parent(i) || ma[i] != mb[i] {
+			t.Fatalf("same-seed CAN trees differ at %d", i)
+		}
+	}
+}
+
+func TestLeaveMergesZones(t *testing.T) {
+	c := New(64, 2, rng.New(11))
+	// The most recently joined node always has a mergeable sibling unless
+	// the sibling has since split; try candidates until one leaves.
+	left := false
+	for id := len(c.nodes) - 1; id > 0; id-- {
+		if c.Node(id) == nil {
+			continue
+		}
+		if err := c.Leave(id); err == nil {
+			left = true
+			break
+		}
+	}
+	if !left {
+		t.Fatal("no node could leave via merge")
+	}
+	if c.Len() != 63 {
+		t.Fatalf("Len = %d after leave", c.Len())
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("after leave: %v", err)
+	}
+	// Routing still works.
+	if _, err := c.Route(0, c.randomPoint()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLeaveErrors(t *testing.T) {
+	c := New(1, 2, rng.New(12))
+	if err := c.Leave(0); err == nil {
+		t.Fatal("last node allowed to leave")
+	}
+	if err := c.Leave(99); err == nil {
+		t.Fatal("unknown node allowed to leave")
+	}
+}
+
+func TestNeighborsSymmetricProperty(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		src := rng.New(seed)
+		c := New(src.IntRange(2, 64), src.IntRange(1, 3), src.Split())
+		return c.Validate() == nil
+	}, &quick.Config{MaxCount: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZoneHelpers(t *testing.T) {
+	z := Zone{Lo: []float64{0, 0.5}, Hi: []float64{0.5, 1}}
+	if z.Volume() != 0.25 {
+		t.Fatalf("volume = %v", z.Volume())
+	}
+	ctr := z.Center()
+	if ctr[0] != 0.25 || ctr[1] != 0.75 {
+		t.Fatalf("center = %v", ctr)
+	}
+	if !z.Contains(Point{0.1, 0.6}) || z.Contains(Point{0.6, 0.6}) {
+		t.Fatal("Contains wrong")
+	}
+}
+
+func TestMergeZones(t *testing.T) {
+	a := Zone{Lo: []float64{0, 0}, Hi: []float64{0.5, 1}}
+	b := Zone{Lo: []float64{0.5, 0}, Hi: []float64{1, 1}}
+	m, ok := mergeZones(a, b)
+	if !ok || m.Lo[0] != 0 || m.Hi[0] != 1 {
+		t.Fatalf("merge = %+v, %v", m, ok)
+	}
+	// Non-matching extents cannot merge.
+	c := Zone{Lo: []float64{0.5, 0}, Hi: []float64{1, 0.5}}
+	if _, ok := mergeZones(a, c); ok {
+		t.Fatal("merged non-rectangular union")
+	}
+}
+
+func BenchmarkCANRoute(b *testing.B) {
+	c := New(1024, 2, rng.New(1))
+	src := rng.New(2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		from := src.Intn(1024)
+		if c.Node(from) == nil {
+			continue
+		}
+		if _, err := c.Route(from, c.randomPoint()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCANExtractTree(b *testing.B) {
+	c := New(1024, 2, rng.New(3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := c.ExtractTree("bench"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

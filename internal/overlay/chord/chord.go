@@ -1,0 +1,199 @@
+// Package chord implements the Chord distributed hash table (Stoica et
+// al., SIGCOMM 2001) — the structured peer-to-peer substrate the paper's
+// system model assumes. Nodes sit on a 64-bit identifier ring; each
+// maintains a successor list and a finger table and routes lookups in
+// O(log n) hops by repeatedly forwarding to the closest preceding finger.
+//
+// The simulator uses Chord in two ways: ExtractTree derives the index
+// search tree for a key (each node's first lookup hop toward the key's
+// authority node is its tree parent — exactly the paper's "queries for
+// indices are routed along a well-defined path ... these search paths form
+// a tree"), and the live network uses lookups to locate authority nodes.
+//
+// The implementation is deterministic and step-driven: Stabilize, Notify
+// and FixFingers are explicit operations, so tests can drive churn and
+// convergence without goroutines or wall-clock time.
+package chord
+
+import (
+	"fmt"
+	"sort"
+
+	"dup/internal/rng"
+)
+
+// M is the identifier-space width in bits.
+const M = 64
+
+// ID is a point on the Chord ring.
+type ID uint64
+
+// Between reports whether id lies in the half-open ring interval (a, b].
+// The interval wraps when b <= a; (a, a] denotes the full ring, so any id
+// is inside — this matches Chord's successor semantics for a single node.
+func (id ID) Between(a, b ID) bool {
+	if a < b {
+		return id > a && id <= b
+	}
+	return id > a || id <= b
+}
+
+// BetweenOpen reports whether id lies in the open interval (a, b).
+func (id ID) BetweenOpen(a, b ID) bool {
+	if a < b {
+		return id > a && id < b
+	}
+	return id > a || id < b
+}
+
+// HashKey maps a string key onto the ring with the FNV-1a function — a
+// stand-in for the SHA-1 consistent hashing of the original paper that
+// keeps the implementation dependency-free and deterministic.
+func HashKey(key string) ID {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime
+	}
+	return ID(h)
+}
+
+// Node is one Chord participant.
+type Node struct {
+	id      ID
+	ring    *Ring
+	succ    []ID // successor list, nearest first
+	pred    ID
+	hasPred bool
+	finger  [M]ID
+	alive   bool
+}
+
+// ID returns the node's ring identifier.
+func (n *Node) ID() ID { return n.id }
+
+// Alive reports whether the node is up.
+func (n *Node) Alive() bool { return n.alive }
+
+// Successor returns the node's current first live successor candidate.
+func (n *Node) Successor() ID { return n.succ[0] }
+
+// Predecessor returns the node's predecessor and whether one is known.
+func (n *Node) Predecessor() (ID, bool) { return n.pred, n.hasPred }
+
+// Ring is the collection of Chord nodes. It is a test-and-simulation
+// harness: nodes address each other through the ring by ID, which stands
+// in for the network layer.
+type Ring struct {
+	nodes   map[ID]*Node
+	succLen int
+}
+
+// NewRing returns an empty ring whose nodes keep successor lists of the
+// given length. Chord needs succLen >= 1; values around log2(n) tolerate
+// simultaneous failures.
+func NewRing(succLen int) *Ring {
+	if succLen < 1 {
+		panic(fmt.Sprintf("chord: successor list length must be >= 1, got %d", succLen))
+	}
+	return &Ring{nodes: make(map[ID]*Node), succLen: succLen}
+}
+
+// Len returns the number of live nodes.
+func (r *Ring) Len() int {
+	count := 0
+	for _, n := range r.nodes {
+		if n.alive {
+			count++
+		}
+	}
+	return count
+}
+
+// Node returns the node with the given id, or nil.
+func (r *Ring) Node(id ID) *Node {
+	n := r.nodes[id]
+	if n == nil || !n.alive {
+		return nil
+	}
+	return n
+}
+
+// IDs returns the ids of all live nodes in ascending ring order.
+func (r *Ring) IDs() []ID {
+	out := make([]ID, 0, len(r.nodes))
+	for id, n := range r.nodes {
+		if n.alive {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Bootstrap creates a ring of n nodes with ids drawn uniformly from src
+// and builds correct routing state directly (the steady state that join +
+// stabilization would converge to). It panics if n <= 0.
+func Bootstrap(n int, src *rng.Source, succLen int) *Ring {
+	if n <= 0 {
+		panic(fmt.Sprintf("chord: need n > 0 nodes, got %d", n))
+	}
+	r := NewRing(succLen)
+	for len(r.nodes) < n {
+		id := ID(src.Uint64())
+		if _, dup := r.nodes[id]; dup {
+			continue
+		}
+		r.nodes[id] = &Node{id: id, ring: r, alive: true}
+	}
+	r.Rebuild()
+	return r
+}
+
+// Rebuild recomputes every live node's successor list, predecessor and
+// finger table from the current membership. Tests use it to reach the
+// post-stabilization fixed point instantly; incremental convergence is
+// exercised through Join/Stabilize/FixFingers.
+func (r *Ring) Rebuild() {
+	ids := r.IDs()
+	if len(ids) == 0 {
+		return
+	}
+	for i, id := range ids {
+		n := r.nodes[id]
+		n.succ = n.succ[:0]
+		for k := 1; k <= r.succLen; k++ {
+			n.succ = append(n.succ, ids[(i+k)%len(ids)])
+		}
+		n.pred = ids[(i-1+len(ids))%len(ids)]
+		n.hasPred = true
+		for b := 0; b < M; b++ {
+			start := id + (ID(1) << uint(b))
+			n.finger[b] = successorOf(ids, start)
+		}
+	}
+}
+
+// successorOf returns the first id in the sorted ring slice at or after
+// start, wrapping around.
+func successorOf(ids []ID, start ID) ID {
+	i := sort.Search(len(ids), func(i int) bool { return ids[i] >= start })
+	if i == len(ids) {
+		i = 0
+	}
+	return ids[i]
+}
+
+// SuccessorOf returns the live node responsible for id — the authority
+// node of any key hashing to id.
+func (r *Ring) SuccessorOf(id ID) *Node {
+	ids := r.IDs()
+	if len(ids) == 0 {
+		return nil
+	}
+	return r.nodes[successorOf(ids, id)]
+}

@@ -1,0 +1,274 @@
+package chord
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dup/internal/rng"
+)
+
+func TestBetween(t *testing.T) {
+	cases := []struct {
+		id, a, b ID
+		want     bool
+	}{
+		{5, 1, 10, true},
+		{1, 1, 10, false}, // open at a
+		{10, 1, 10, true}, // closed at b
+		{0, 10, 2, true},  // wrapped
+		{11, 10, 2, true},
+		{5, 10, 2, false},
+		{7, 7, 7, false}, // full ring excludes a itself... (7,7] wraps: id>7 || id<=7 is all; but id==a excluded by >
+	}
+	for _, c := range cases {
+		if got := c.id.Between(c.a, c.b); got != c.want && !(c.a == c.b) {
+			t.Errorf("%d.Between(%d,%d) = %v, want %v", c.id, c.a, c.b, got, c.want)
+		}
+	}
+	// (a, a] is the full ring for any other id.
+	if !ID(3).Between(7, 7) {
+		t.Error("full-ring interval should contain 3")
+	}
+}
+
+func TestHashKeyDeterministicAndSpread(t *testing.T) {
+	if HashKey("movie.avi") != HashKey("movie.avi") {
+		t.Fatal("hash not deterministic")
+	}
+	seen := map[ID]bool{}
+	for _, k := range []string{"a", "b", "c", "ab", "ba", "movie.avi", "song.mp3"} {
+		seen[HashKey(k)] = true
+	}
+	if len(seen) != 7 {
+		t.Fatalf("hash collisions among 7 distinct keys: %d unique", len(seen))
+	}
+}
+
+func TestBootstrapVerifies(t *testing.T) {
+	for _, n := range []int{1, 2, 10, 500} {
+		r := Bootstrap(n, rng.New(uint64(n)), 4)
+		if r.Len() != n {
+			t.Fatalf("n=%d: Len = %d", n, r.Len())
+		}
+		if err := r.Verify(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestLookupFindsOwner(t *testing.T) {
+	r := Bootstrap(256, rng.New(7), 4)
+	ids := r.IDs()
+	err := quick.Check(func(keyRaw uint64, fromRaw uint16) bool {
+		key := ID(keyRaw)
+		from := ids[int(fromRaw)%len(ids)]
+		owner, _, err := r.Lookup(from, key)
+		if err != nil {
+			return false
+		}
+		// Brute-force ground truth.
+		want := successorOf(ids, key)
+		return owner == want
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLookupHopCountLogarithmic(t *testing.T) {
+	r := Bootstrap(1024, rng.New(9), 4)
+	ids := r.IDs()
+	src := rng.New(10)
+	total := 0
+	const lookups = 500
+	for i := 0; i < lookups; i++ {
+		from := ids[src.Intn(len(ids))]
+		_, path, err := r.Lookup(from, ID(src.Uint64()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(path)
+	}
+	mean := float64(total) / lookups
+	// O(log2 n) = 10 for n=1024; allow generous headroom.
+	if mean > 2*math.Log2(1024) {
+		t.Fatalf("mean lookup path %.1f hops, want <= %.1f", mean, 2*math.Log2(1024))
+	}
+	if mean < 1 {
+		t.Fatalf("mean lookup path %.1f suspiciously short", mean)
+	}
+}
+
+func TestJoinConverges(t *testing.T) {
+	r := Bootstrap(32, rng.New(11), 4)
+	src := rng.New(12)
+	for i := 0; i < 16; i++ {
+		id := ID(src.Uint64())
+		via := r.IDs()[src.Intn(r.Len())]
+		if err := r.Join(id, via); err != nil {
+			t.Fatalf("join %d: %v", i, err)
+		}
+		r.StabilizeAll(3)
+	}
+	r.StabilizeAll(5)
+	if err := r.Verify(); err != nil {
+		t.Fatalf("after joins: %v", err)
+	}
+	if r.Len() != 48 {
+		t.Fatalf("Len = %d, want 48", r.Len())
+	}
+}
+
+func TestJoinDuplicateRejected(t *testing.T) {
+	r := Bootstrap(4, rng.New(13), 2)
+	id := r.IDs()[0]
+	if err := r.Join(id, r.IDs()[1]); err == nil {
+		t.Fatal("duplicate join accepted")
+	}
+	if err := r.Join(12345, 999999); err == nil && r.Node(999999) == nil {
+		t.Fatal("join via unknown node accepted")
+	}
+}
+
+func TestLeaveSplices(t *testing.T) {
+	r := Bootstrap(64, rng.New(14), 4)
+	ids := r.IDs()
+	for i := 0; i < 16; i++ {
+		r.Leave(ids[i*3])
+	}
+	r.StabilizeAll(5)
+	if err := r.Verify(); err != nil {
+		t.Fatalf("after leaves: %v", err)
+	}
+	if r.Len() != 48 {
+		t.Fatalf("Len = %d, want 48", r.Len())
+	}
+}
+
+func TestFailureRecovery(t *testing.T) {
+	r := Bootstrap(128, rng.New(15), 6)
+	src := rng.New(16)
+	ids := r.IDs()
+	// Kill 20 random nodes abruptly.
+	for i := 0; i < 20; i++ {
+		r.Fail(ids[src.Intn(len(ids))])
+	}
+	r.StabilizeAll(8)
+	if err := r.Verify(); err != nil {
+		t.Fatalf("after failures: %v", err)
+	}
+	// Lookups must still find the correct owners.
+	live := r.IDs()
+	for i := 0; i < 100; i++ {
+		key := ID(src.Uint64())
+		owner, _, err := r.Lookup(live[src.Intn(len(live))], key)
+		if err != nil {
+			t.Fatalf("lookup after churn: %v", err)
+		}
+		if want := successorOf(live, key); owner != want {
+			t.Fatalf("lookup(%d) = %d, want %d", key, owner, want)
+		}
+	}
+}
+
+func TestExtractTreeShape(t *testing.T) {
+	r := Bootstrap(512, rng.New(17), 4)
+	tree, ringID, err := r.ExtractTree("movie.avi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.N() != 512 || len(ringID) != 512 {
+		t.Fatalf("tree size %d / map %d", tree.N(), len(ringID))
+	}
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Root must be the key's authority node.
+	if want := r.SuccessorOf(HashKey("movie.avi")).ID(); ringID[0] != want {
+		t.Fatalf("tree root ring id %d, want authority %d", ringID[0], want)
+	}
+	// Depth should be logarithmic-ish, definitely below 4*log2(n).
+	if d := tree.MaxDepth(); d > 36 {
+		t.Fatalf("chord tree depth %d too deep for 512 nodes", d)
+	}
+	// The map must be a bijection onto live ids.
+	seen := map[ID]bool{}
+	for _, id := range ringID {
+		if seen[id] {
+			t.Fatalf("ring id %d appears twice", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestExtractTreeDifferentKeysDifferentRoots(t *testing.T) {
+	r := Bootstrap(128, rng.New(18), 4)
+	_, map1, err1 := r.ExtractTree("key-one")
+	_, map2, err2 := r.ExtractTree("key-two-different")
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if map1[0] == map2[0] {
+		t.Skip("two keys landed on the same authority (possible, rare)")
+	}
+}
+
+func TestSingleNodeRing(t *testing.T) {
+	r := Bootstrap(1, rng.New(19), 2)
+	only := r.IDs()[0]
+	owner, path, err := r.Lookup(only, ID(12345))
+	if err != nil || owner != only || len(path) != 0 {
+		t.Fatalf("single-node lookup: owner=%d path=%v err=%v", owner, path, err)
+	}
+	tree, _, err := r.ExtractTree("k")
+	if err != nil || tree.N() != 1 {
+		t.Fatalf("single-node tree: %v %v", tree, err)
+	}
+}
+
+func TestRebuildAfterManualMembership(t *testing.T) {
+	r := NewRing(3)
+	src := rng.New(20)
+	for i := 0; i < 10; i++ {
+		id := ID(src.Uint64())
+		r.nodes[id] = &Node{id: id, ring: r, alive: true}
+	}
+	r.Rebuild()
+	if err := r.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewRingPanicsOnBadSuccLen(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewRing(0) did not panic")
+		}
+	}()
+	NewRing(0)
+}
+
+func BenchmarkChordLookup(b *testing.B) {
+	r := Bootstrap(1024, rng.New(1), 8)
+	ids := r.IDs()
+	src := rng.New(2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		from := ids[src.Intn(len(ids))]
+		if _, _, err := r.Lookup(from, ID(src.Uint64())); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkChordExtractTree(b *testing.B) {
+	r := Bootstrap(1024, rng.New(3), 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := r.ExtractTree("bench"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

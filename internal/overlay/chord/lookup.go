@@ -1,0 +1,91 @@
+package chord
+
+import "fmt"
+
+// closestPrecedingFinger returns the live finger of n that most closely
+// precedes target, or n itself when none does.
+func (n *Node) closestPrecedingFinger(target ID) ID {
+	for b := M - 1; b >= 0; b-- {
+		f := n.finger[b]
+		node := n.ring.nodes[f]
+		if node == nil || !node.alive {
+			continue
+		}
+		if f.BetweenOpen(n.id, target) {
+			return f
+		}
+	}
+	// Fall back to the first live successor, which always makes progress
+	// on a connected ring.
+	for _, s := range n.succ {
+		if node := n.ring.nodes[s]; node != nil && node.alive && s != n.id {
+			if s.BetweenOpen(n.id, target) {
+				return s
+			}
+		}
+	}
+	return n.id
+}
+
+// NextHop returns the node a lookup for key id should be forwarded to from
+// n, and whether n itself is the key's authority (in which case the
+// returned id is n's). This is one step of the iterative Chord lookup.
+func (n *Node) NextHop(id ID) (next ID, done bool) {
+	// n owns id when id lies in (pred, n].
+	if n.hasPred && id.Between(n.pred, n.id) {
+		return n.id, true
+	}
+	succ := n.firstLiveSuccessor()
+	if succ == n.id {
+		return n.id, true // alone on the ring: n owns everything
+	}
+	// If id lies between n and its successor, the successor owns it; the
+	// lookup finishes on arrival there.
+	if id.Between(n.id, succ) {
+		return succ, false
+	}
+	cp := n.closestPrecedingFinger(id)
+	if cp == n.id {
+		return succ, false
+	}
+	return cp, false
+}
+
+// firstLiveSuccessor returns the first live entry of the successor list,
+// or the node's own id when the whole list is dead (a degenerate ring).
+func (n *Node) firstLiveSuccessor() ID {
+	for _, s := range n.succ {
+		if node := n.ring.nodes[s]; node != nil && node.alive {
+			return s
+		}
+	}
+	return n.id
+}
+
+// Lookup routes a query for id from the given start node and returns the
+// authority node's id and the sequence of hops taken (excluding the start,
+// including the authority). It fails if the route does not converge within
+// 4*M hops — on a stabilized ring lookups take O(log n).
+func (r *Ring) Lookup(start ID, id ID) (owner ID, path []ID, err error) {
+	n := r.Node(start)
+	if n == nil {
+		return 0, nil, fmt.Errorf("chord: lookup from unknown or dead node %d", start)
+	}
+	cur := n
+	for steps := 0; steps < 4*M; steps++ {
+		next, done := cur.NextHop(id)
+		if done {
+			return cur.id, path, nil
+		}
+		if next == cur.id {
+			return cur.id, path, nil
+		}
+		path = append(path, next)
+		nxt := r.Node(next)
+		if nxt == nil {
+			return 0, path, fmt.Errorf("chord: route hit dead node %d", next)
+		}
+		cur = nxt
+	}
+	return 0, path, fmt.Errorf("chord: lookup for %d from %d did not converge", id, start)
+}

@@ -1,0 +1,168 @@
+package chord
+
+import "fmt"
+
+// Join adds a new node with the given id to the ring, bootstrapping its
+// successor from any live node. Its fingers start empty and converge as
+// FixFingers runs; routing works immediately through the successor. It
+// returns an error if the id is taken or the bootstrap node is unknown.
+func (r *Ring) Join(id ID, via ID) error {
+	if n, exists := r.nodes[id]; exists && n.alive {
+		return fmt.Errorf("chord: id %d already on the ring", id)
+	}
+	boot := r.Node(via)
+	if boot == nil {
+		return fmt.Errorf("chord: bootstrap node %d unknown or dead", via)
+	}
+	owner, _, err := r.Lookup(via, id)
+	if err != nil {
+		return fmt.Errorf("chord: join lookup failed: %w", err)
+	}
+	n := &Node{id: id, ring: r, alive: true}
+	n.succ = append(n.succ, owner)
+	for b := 0; b < M; b++ {
+		n.finger[b] = owner // coarse start; FixFingers refines
+	}
+	r.nodes[id] = n
+	return nil
+}
+
+// Leave removes a node gracefully: its predecessor and successor link up
+// around it immediately.
+func (r *Ring) Leave(id ID) {
+	n := r.Node(id)
+	if n == nil {
+		return
+	}
+	n.alive = false
+	if n.hasPred {
+		if p := r.Node(n.pred); p != nil {
+			// Splice: predecessor adopts the departing node's successors.
+			p.succ = append([]ID(nil), n.succ...)
+			p.trimSuccessors()
+		}
+	}
+	if s := r.Node(n.firstLiveSuccessor()); s != nil && n.hasPred {
+		s.pred = n.pred
+	}
+}
+
+// Fail kills a node abruptly: neighbours discover it through Stabilize.
+func (r *Ring) Fail(id ID) {
+	if n := r.nodes[id]; n != nil {
+		n.alive = false
+	}
+}
+
+// Stabilize runs one round of Chord's stabilization on node id: it learns
+// its successor's predecessor, adopts it when closer, refreshes its
+// successor list from the successor, and notifies the successor of itself.
+func (r *Ring) Stabilize(id ID) {
+	n := r.Node(id)
+	if n == nil {
+		return
+	}
+	// Drop dead successors from the front.
+	succID := n.firstLiveSuccessor()
+	if succID == n.id {
+		// Lost the whole list: the ring has collapsed around this node.
+		n.succ = n.succ[:0]
+		n.succ = append(n.succ, n.id)
+		return
+	}
+	succ := r.Node(succID)
+	if p, ok := succ.Predecessor(); ok {
+		if cand := r.Node(p); cand != nil && p.BetweenOpen(n.id, succID) {
+			succID, succ = p, cand
+		}
+	}
+	// Refresh the list: successor first, then its known successors.
+	n.succ = n.succ[:0]
+	n.succ = append(n.succ, succID)
+	for _, s := range succ.succ {
+		if s != n.id {
+			n.succ = append(n.succ, s)
+		}
+	}
+	n.trimSuccessors()
+	succ.notify(n.id)
+}
+
+// notify tells the node that candidate might be its predecessor.
+func (n *Node) notify(candidate ID) {
+	if cand := n.ring.Node(candidate); cand == nil {
+		return
+	}
+	if !n.hasPred || n.ring.Node(n.pred) == nil || candidate.BetweenOpen(n.pred, n.id) {
+		n.pred = candidate
+		n.hasPred = true
+	}
+}
+
+// trimSuccessors deduplicates and truncates the successor list.
+func (n *Node) trimSuccessors() {
+	seen := map[ID]bool{}
+	out := n.succ[:0]
+	for _, s := range n.succ {
+		if s == n.id || seen[s] {
+			continue
+		}
+		seen[s] = true
+		out = append(out, s)
+		if len(out) == n.ring.succLen {
+			break
+		}
+	}
+	n.succ = out
+}
+
+// FixFingers refreshes every finger of node id by ring lookup.
+func (r *Ring) FixFingers(id ID) {
+	n := r.Node(id)
+	if n == nil {
+		return
+	}
+	for b := 0; b < M; b++ {
+		start := n.id + (ID(1) << uint(b))
+		owner, _, err := r.Lookup(n.id, start)
+		if err != nil {
+			continue // refreshed on a later round once routing heals
+		}
+		n.finger[b] = owner
+	}
+}
+
+// StabilizeAll runs `rounds` rounds of Stabilize then FixFingers over all
+// live nodes — the convergence loop tests use after churn.
+func (r *Ring) StabilizeAll(rounds int) {
+	for i := 0; i < rounds; i++ {
+		for _, id := range r.IDs() {
+			r.Stabilize(id)
+		}
+		for _, id := range r.IDs() {
+			r.FixFingers(id)
+		}
+	}
+}
+
+// Verify checks the ring's steady-state invariants: each live node's
+// successor is the next live id on the ring and its predecessor the
+// previous one. It returns the first inconsistency, or nil.
+func (r *Ring) Verify() error {
+	ids := r.IDs()
+	if len(ids) == 0 {
+		return nil
+	}
+	for i, id := range ids {
+		n := r.nodes[id]
+		wantSucc := ids[(i+1)%len(ids)]
+		if got := n.firstLiveSuccessor(); got != wantSucc && len(ids) > 1 {
+			return fmt.Errorf("node %d successor = %d, want %d", id, got, wantSucc)
+		}
+		wantPred := ids[(i-1+len(ids))%len(ids)]
+		if len(ids) > 1 && (!n.hasPred || n.pred != wantPred) {
+			return fmt.Errorf("node %d predecessor = %d (known %v), want %d", id, n.pred, n.hasPred, wantPred)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,67 @@
+package chord
+
+import (
+	"fmt"
+
+	"dup/internal/topology"
+)
+
+// ExtractTree derives the index search tree for a key from the ring's
+// routing state: every node's parent is its first lookup hop toward the
+// key's authority node, which becomes the tree root. This realizes the
+// paper's system model — "the queries for indices are routed along a
+// well-defined path to reach the node which maintains the mapping
+// information ... These search paths form a tree."
+//
+// The returned tree uses dense ids 0..n-1 with the authority node as 0;
+// the second return value maps tree ids back to ring ids. It fails if any
+// node's route to the authority does not converge (an unstabilized ring).
+func (r *Ring) ExtractTree(key string) (*topology.Tree, []ID, error) {
+	target := HashKey(key)
+	auth := r.SuccessorOf(target)
+	if auth == nil {
+		return nil, nil, fmt.Errorf("chord: empty ring")
+	}
+	ids := r.IDs()
+	treeID := make(map[ID]int, len(ids))
+	ringID := make([]ID, 0, len(ids))
+	treeID[auth.id] = 0
+	ringID = append(ringID, auth.id)
+	for _, id := range ids {
+		if id == auth.id {
+			continue
+		}
+		treeID[id] = len(ringID)
+		ringID = append(ringID, id)
+	}
+	parents := make([]int, len(ringID))
+	parents[0] = -1
+	for i := 1; i < len(ringID); i++ {
+		id := ringID[i]
+		next, done := r.nodes[id].NextHop(target)
+		if done || next == id {
+			// A non-authority node believing it owns the key means the
+			// ring has not stabilized.
+			return nil, nil, fmt.Errorf("chord: node %d claims key %q owned by %d", id, key, auth.id)
+		}
+		parents[i] = treeID[next]
+	}
+	// FromParents validates shape (single root, no cycles); a routing loop
+	// would panic there, so convert that into an error.
+	tree, err := buildTree(parents)
+	if err != nil {
+		return nil, nil, err
+	}
+	return tree, ringID, nil
+}
+
+// buildTree wraps topology.FromParents, converting its panics (malformed
+// routing) into errors.
+func buildTree(parents []int) (tree *topology.Tree, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("chord: routing does not form a tree: %v", rec)
+		}
+	}()
+	return topology.FromParents(parents), nil
+}

@@ -1,0 +1,122 @@
+// Package proto defines the message vocabulary of the index caching and
+// update propagation protocols. The same kinds are used by the
+// discrete-event simulator and by the live goroutine network; only the
+// transport differs.
+package proto
+
+import "fmt"
+
+// Kind identifies a protocol message type.
+type Kind uint8
+
+const (
+	// KindRequest is a query for the index travelling up the index search
+	// tree toward the authority node.
+	KindRequest Kind = iota
+	// KindReply carries the index back along the reverse request path;
+	// every node on the way caches it (path caching).
+	KindReply
+	// KindPush proactively delivers a fresh index version. In CUP a push
+	// travels hop-by-hop down the index search tree; in DUP it travels
+	// directly between DUP-tree neighbours.
+	KindPush
+	// KindSubscribe announces that Subject wants index updates; it travels
+	// upstream until the root or an existing DUP-tree node absorbs it
+	// (paper Fig. 3 B).
+	KindSubscribe
+	// KindUnsubscribe withdraws Subject's interest (paper Fig. 3 E).
+	KindUnsubscribe
+	// KindSubstitute asks upstream nodes to replace Old with New in their
+	// subscriber lists (paper Fig. 3 C).
+	KindSubstitute
+	// KindInterest is CUP's interest announcement: it marks the sender's
+	// branch as interested at each node on the way to the root.
+	KindInterest
+	// KindUninterest withdraws a CUP branch interest marking.
+	KindUninterest
+	// KindKeepAlive is the hosting node's periodic liveness signal to the
+	// authority node. It is not charged to the query cost metric: the
+	// underlying network requires it for all schemes alike.
+	KindKeepAlive
+)
+
+var kindNames = [...]string{
+	"request", "reply", "push", "subscribe", "unsubscribe",
+	"substitute", "interest", "uninterest", "keepalive",
+}
+
+// String returns the lower-case message kind name.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Control reports whether the kind is a tree-maintenance message
+// (subscribe, unsubscribe, substitute, interest, uninterest) — the class
+// the paper charges to cost as "messages used to propagate interests" and
+// "messages used to maintain the DUP tree".
+func (k Kind) Control() bool {
+	switch k {
+	case KindSubscribe, KindUnsubscribe, KindSubstitute, KindInterest, KindUninterest:
+		return true
+	}
+	return false
+}
+
+// Message is one in-flight protocol message in the discrete-event
+// simulator. Field use by kind:
+//
+//	Request:     To (next hop), Origin, Hops, Path (nodes visited)
+//	Reply:       To, Origin, Hops (of the request), Path (remaining
+//	             reverse path), Version, Expiry
+//	Push:        To, Version, Expiry, Origin (the pushing node)
+//	Subscribe:   To, Subject
+//	Unsubscribe: To, Subject
+//	Substitute:  To, Old, New
+//	Interest:    To, Subject (the child whose branch became interested)
+//	Uninterest:  To, Subject
+type Message struct {
+	Kind    Kind
+	To      int     // delivery target (next hop)
+	Origin  int     // query originator / pushing node
+	Subject int     // subscribe/unsubscribe/interest subject
+	Old     int     // substitute: node to remove
+	New     int     // substitute: node to insert
+	Version int64   // index version carried by replies and pushes
+	Expiry  float64 // absolute expiry of that version
+	Hops    int     // hops travelled by the request (latency accounting)
+	Path    []int   // request: visited nodes; reply: remaining reverse path
+	Piggy   *Piggyback
+}
+
+// Piggyback is a control item riding on a request packet instead of
+// travelling as its own message, so its hops are free: the paper lets a
+// node "piggyback subscribe(N6) by setting the interest bit in the request
+// packet it sends out". Each node a carrying request visits processes the
+// piggyback; the scheme decides whether it continues riding. When the
+// request is served before the piggyback is absorbed, the remainder
+// continues as an ordinary (charged) control message.
+type Piggyback struct {
+	Kind    Kind // KindSubscribe (DUP) or KindInterest (CUP)
+	Subject int
+}
+
+// String renders a compact human-readable form for traces.
+func (m *Message) String() string {
+	switch m.Kind {
+	case KindRequest:
+		return fmt.Sprintf("request{to:%d origin:%d hops:%d}", m.To, m.Origin, m.Hops)
+	case KindReply:
+		return fmt.Sprintf("reply{to:%d origin:%d v:%d}", m.To, m.Origin, m.Version)
+	case KindPush:
+		return fmt.Sprintf("push{to:%d from:%d v:%d}", m.To, m.Origin, m.Version)
+	case KindSubscribe, KindUnsubscribe, KindInterest, KindUninterest:
+		return fmt.Sprintf("%s{to:%d subject:%d}", m.Kind, m.To, m.Subject)
+	case KindSubstitute:
+		return fmt.Sprintf("substitute{to:%d old:%d new:%d}", m.To, m.Old, m.New)
+	default:
+		return fmt.Sprintf("%s{to:%d}", m.Kind, m.To)
+	}
+}

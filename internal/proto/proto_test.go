@@ -1,0 +1,62 @@
+package proto
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindRequest:     "request",
+		KindReply:       "reply",
+		KindPush:        "push",
+		KindSubscribe:   "subscribe",
+		KindUnsubscribe: "unsubscribe",
+		KindSubstitute:  "substitute",
+		KindInterest:    "interest",
+		KindUninterest:  "uninterest",
+		KindKeepAlive:   "keepalive",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+	if got := Kind(99).String(); !strings.Contains(got, "99") {
+		t.Errorf("unknown kind string = %q", got)
+	}
+}
+
+func TestKindControl(t *testing.T) {
+	control := []Kind{KindSubscribe, KindUnsubscribe, KindSubstitute, KindInterest, KindUninterest}
+	data := []Kind{KindRequest, KindReply, KindPush, KindKeepAlive}
+	for _, k := range control {
+		if !k.Control() {
+			t.Errorf("%v should be a control kind", k)
+		}
+	}
+	for _, k := range data {
+		if k.Control() {
+			t.Errorf("%v should not be a control kind", k)
+		}
+	}
+}
+
+func TestMessageString(t *testing.T) {
+	cases := []struct {
+		m    Message
+		want string
+	}{
+		{Message{Kind: KindRequest, To: 3, Origin: 7, Hops: 2}, "request{to:3 origin:7 hops:2}"},
+		{Message{Kind: KindReply, To: 7, Origin: 7, Version: 4}, "reply{to:7 origin:7 v:4}"},
+		{Message{Kind: KindPush, To: 5, Origin: 0, Version: 2}, "push{to:5 from:0 v:2}"},
+		{Message{Kind: KindSubscribe, To: 4, Subject: 5}, "subscribe{to:4 subject:5}"},
+		{Message{Kind: KindSubstitute, To: 1, Old: 5, New: 2}, "substitute{to:1 old:5 new:2}"},
+		{Message{Kind: KindKeepAlive, To: 0}, "keepalive{to:0}"},
+	}
+	for _, c := range cases {
+		if got := c.m.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}

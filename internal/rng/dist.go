@@ -1,0 +1,107 @@
+package rng
+
+import (
+	"fmt"
+	"math"
+)
+
+// Distribution draws positive real samples, used for inter-arrival times and
+// per-hop message latencies.
+type Distribution interface {
+	// Sample returns the next draw. Samples are strictly positive.
+	Sample() float64
+	// Mean returns the distribution's theoretical mean, or +Inf when the
+	// mean does not exist (Pareto with alpha <= 1).
+	Mean() float64
+}
+
+// Exponential is an exponential distribution with the given mean. The paper
+// uses it both for query inter-arrival times (default workload) and for the
+// per-hop message latency (mean 0.1 s).
+type Exponential struct {
+	mean float64
+	src  *Source
+}
+
+// NewExponential returns an exponential distribution with the given mean,
+// drawing from src. It panics if mean <= 0.
+func NewExponential(src *Source, mean float64) *Exponential {
+	if mean <= 0 {
+		panic(fmt.Sprintf("rng: exponential mean must be positive, got %v", mean))
+	}
+	return &Exponential{mean: mean, src: src}
+}
+
+// Sample draws via inverse transform: -mean * ln(U), U in (0,1).
+func (e *Exponential) Sample() float64 {
+	return -e.mean * math.Log(e.src.Float64Open())
+}
+
+// Mean returns the configured mean.
+func (e *Exponential) Mean() float64 { return e.mean }
+
+// Pareto is the (Lomax / shifted) Pareto distribution the paper uses for
+// bursty query inter-arrival times. Its CDF is
+//
+//	F(x) = 1 - (k / (x + k))^alpha,  x >= 0
+//
+// with 0 < alpha < 2 in the paper's experiments. For alpha > 1 the mean is
+// k / (alpha - 1), so the paper sets k = (alpha - 1) / lambda to obtain a
+// mean arrival rate of lambda.
+type Pareto struct {
+	alpha, k float64
+	src      *Source
+}
+
+// NewPareto returns a Pareto distribution with shape alpha and scale k,
+// drawing from src. It panics unless alpha > 0 and k > 0.
+func NewPareto(src *Source, alpha, k float64) *Pareto {
+	if alpha <= 0 || k <= 0 {
+		panic(fmt.Sprintf("rng: pareto needs alpha > 0 and k > 0, got alpha=%v k=%v", alpha, k))
+	}
+	return &Pareto{alpha: alpha, k: k, src: src}
+}
+
+// NewParetoWithRate returns a Pareto distribution with shape alpha whose
+// mean inter-arrival time is 1/lambda, i.e. k = (alpha-1)/lambda. This is
+// exactly how Section IV ties the Pareto scale parameter to the query
+// arrival rate. It panics unless alpha > 1 (the mean must exist).
+func NewParetoWithRate(src *Source, alpha, lambda float64) *Pareto {
+	if alpha <= 1 {
+		panic(fmt.Sprintf("rng: pareto rate parameterisation needs alpha > 1, got %v", alpha))
+	}
+	if lambda <= 0 {
+		panic(fmt.Sprintf("rng: pareto rate must be positive, got %v", lambda))
+	}
+	return NewPareto(src, alpha, (alpha-1)/lambda)
+}
+
+// Sample draws via inverse transform: k * (U^(-1/alpha) - 1).
+func (p *Pareto) Sample() float64 {
+	u := p.src.Float64Open()
+	return p.k * (math.Pow(u, -1/p.alpha) - 1)
+}
+
+// Mean returns k/(alpha-1) for alpha > 1 and +Inf otherwise.
+func (p *Pareto) Mean() float64 {
+	if p.alpha <= 1 {
+		return math.Inf(1)
+	}
+	return p.k / (p.alpha - 1)
+}
+
+// Alpha returns the shape parameter.
+func (p *Pareto) Alpha() float64 { return p.alpha }
+
+// K returns the scale parameter.
+func (p *Pareto) K() float64 { return p.k }
+
+// Deterministic is a degenerate distribution that always returns the same
+// value. It is useful in tests that need exact event timings.
+type Deterministic struct{ Value float64 }
+
+// Sample returns the fixed value.
+func (d Deterministic) Sample() float64 { return d.Value }
+
+// Mean returns the fixed value.
+func (d Deterministic) Mean() float64 { return d.Value }

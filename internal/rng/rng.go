@@ -1,0 +1,130 @@
+// Package rng provides deterministic pseudo-random number streams and the
+// probability distributions used throughout the DUP evaluation: exponential
+// and Pareto inter-arrival times, Zipf-like node selection, and uniform
+// integer draws for topology generation.
+//
+// Every consumer of randomness in the simulator owns an independent Source
+// derived from a master seed, so changing one component's draw count never
+// perturbs another component's stream. This makes whole simulations
+// reproducible from a single seed.
+package rng
+
+import "math/bits"
+
+// Source is a deterministic 64-bit pseudo-random source implementing the
+// xoshiro256** algorithm. It is not safe for concurrent use; give each
+// goroutine or simulator component its own Source (see Split).
+type Source struct {
+	s0, s1, s2, s3 uint64
+}
+
+// New returns a Source seeded from seed. Two Sources created with the same
+// seed produce identical streams.
+func New(seed uint64) *Source {
+	// Expand the seed with SplitMix64 so that nearby seeds (0, 1, 2, ...)
+	// yield unrelated states, per the xoshiro authors' recommendation.
+	var s Source
+	sm := seed
+	next := func() uint64 {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	s.s0, s.s1, s.s2, s.s3 = next(), next(), next(), next()
+	if s.s0|s.s1|s.s2|s.s3 == 0 {
+		s.s0 = 0x9e3779b97f4a7c15 // xoshiro state must not be all zero
+	}
+	return &s
+}
+
+// Split derives a new independent Source from s. The derived stream is a
+// function of the parent's current state, so Split calls made in a fixed
+// order are themselves deterministic.
+func (s *Source) Split() *Source {
+	return New(s.Uint64() ^ 0xd1b54a32d192ed03)
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (s *Source) Uint64() uint64 {
+	result := rotl(s.s1*5, 7) * 9
+	t := s.s1 << 17
+	s.s2 ^= s.s0
+	s.s3 ^= s.s1
+	s.s1 ^= s.s2
+	s.s0 ^= s.s3
+	s.s2 ^= t
+	s.s3 = rotl(s.s3, 45)
+	return result
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) * 0x1p-53
+}
+
+// Float64Open returns a uniform float64 in (0, 1). It is used to feed
+// inverse-CDF transforms that are undefined at 0.
+func (s *Source) Float64Open() float64 {
+	for {
+		f := s.Float64()
+		if f > 0 {
+			return f
+		}
+	}
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with non-positive n")
+	}
+	return int(s.boundedUint64(uint64(n)))
+}
+
+// IntRange returns a uniform int in [lo, hi], inclusive on both ends. This
+// matches the paper's "number of children uniformly selected from [1, D]".
+// It panics if hi < lo.
+func (s *Source) IntRange(lo, hi int) int {
+	if hi < lo {
+		panic("rng: IntRange called with hi < lo")
+	}
+	return lo + s.Intn(hi-lo+1)
+}
+
+// boundedUint64 returns a uniform value in [0, n) using Lemire's
+// multiply-shift rejection method, which avoids modulo bias.
+func (s *Source) boundedUint64(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: bounded draw with n == 0")
+	}
+	for {
+		v := s.Uint64()
+		hi, lo := bits.Mul64(v, n)
+		if lo >= n || lo >= (-n)%n {
+			return hi
+		}
+	}
+}
+
+// Shuffle permutes the integers [0, n) uniformly and calls swap(i, j) for
+// each transposition, mirroring math/rand's Shuffle contract.
+func (s *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Perm returns a uniformly random permutation of [0, n).
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	s.Shuffle(n, func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}

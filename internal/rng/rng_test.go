@@ -1,0 +1,303 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDeterministic(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if x, y := a.Uint64(), b.Uint64(); x != y {
+			t.Fatalf("draw %d diverged: %d vs %d", i, x, y)
+		}
+	}
+}
+
+func TestNearbySeedsDiverge(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("seeds 1 and 2 collided on %d of 1000 draws", same)
+	}
+}
+
+func TestZeroSeedNotDegenerate(t *testing.T) {
+	s := New(0)
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		seen[s.Uint64()] = true
+	}
+	if len(seen) < 100 {
+		t.Fatalf("seed 0 produced only %d distinct values in 100 draws", len(seen))
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	child := parent.Split()
+	// The child stream must not simply replay the parent stream.
+	p2 := New(7)
+	p2.Split()
+	for i := 0; i < 100; i++ {
+		if child.Uint64() == p2.Uint64() {
+			t.Fatalf("child stream tracks parent stream at draw %d", i)
+		}
+	}
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	a := New(9).Split()
+	b := New(9).Split()
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("split streams from equal parents diverged at draw %d", i)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 100000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64OpenPositive(t *testing.T) {
+	s := New(4)
+	for i := 0; i < 100000; i++ {
+		if f := s.Float64Open(); f <= 0 || f >= 1 {
+			t.Fatalf("Float64Open out of (0,1): %v", f)
+		}
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	s := New(5)
+	err := quick.Check(func(nRaw uint16) bool {
+		n := int(nRaw%1000) + 1
+		v := s.Intn(n)
+		return v >= 0 && v < n
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntRangeInclusive(t *testing.T) {
+	s := New(6)
+	seen := map[int]bool{}
+	for i := 0; i < 10000; i++ {
+		v := s.IntRange(1, 4)
+		if v < 1 || v > 4 {
+			t.Fatalf("IntRange(1,4) = %d out of range", v)
+		}
+		seen[v] = true
+	}
+	for v := 1; v <= 4; v++ {
+		if !seen[v] {
+			t.Errorf("IntRange(1,4) never produced %d in 10000 draws", v)
+		}
+	}
+}
+
+func TestIntRangeSingleton(t *testing.T) {
+	s := New(6)
+	for i := 0; i < 100; i++ {
+		if v := s.IntRange(3, 3); v != 3 {
+			t.Fatalf("IntRange(3,3) = %d", v)
+		}
+	}
+}
+
+func TestIntnUniformity(t *testing.T) {
+	// Chi-squared test on Intn(10): 10 bins, 100k draws.
+	s := New(8)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[s.Intn(n)]++
+	}
+	expected := float64(draws) / n
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	// 9 degrees of freedom, p=0.001 critical value is 27.88.
+	if chi2 > 27.88 {
+		t.Fatalf("Intn(10) chi-squared = %v, exceeds 27.88 (p=0.001)", chi2)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(11)
+	err := quick.Check(func(nRaw uint8) bool {
+		n := int(nRaw % 64)
+		p := s.Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShuffleMixes(t *testing.T) {
+	s := New(12)
+	identity := 0
+	const trials = 1000
+	for trial := 0; trial < trials; trial++ {
+		p := s.Perm(5)
+		id := true
+		for i, v := range p {
+			if i != v {
+				id = false
+				break
+			}
+		}
+		if id {
+			identity++
+		}
+	}
+	// P(identity) = 1/120; over 1000 trials expect ~8, allow generous slack.
+	if identity > 40 {
+		t.Fatalf("identity permutation appeared %d/%d times", identity, trials)
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	for _, mean := range []float64{0.1, 1, 10} {
+		e := NewExponential(New(20), mean)
+		sum := 0.0
+		const n = 200000
+		for i := 0; i < n; i++ {
+			sum += e.Sample()
+		}
+		got := sum / n
+		if math.Abs(got-mean)/mean > 0.02 {
+			t.Errorf("exponential(%v): sample mean %v deviates > 2%%", mean, got)
+		}
+		if e.Mean() != mean {
+			t.Errorf("Mean() = %v, want %v", e.Mean(), mean)
+		}
+	}
+}
+
+func TestExponentialPositive(t *testing.T) {
+	e := NewExponential(New(21), 0.1)
+	for i := 0; i < 100000; i++ {
+		if v := e.Sample(); v <= 0 {
+			t.Fatalf("non-positive exponential sample %v", v)
+		}
+	}
+}
+
+func TestExponentialPanicsOnBadMean(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewExponential(-1) did not panic")
+		}
+	}()
+	NewExponential(New(1), -1)
+}
+
+func TestParetoWithRateMean(t *testing.T) {
+	// For alpha = 1.2 the mean exists; check the rate parameterisation
+	// delivers mean inter-arrival 1/lambda. Pareto with alpha close to 1 has
+	// huge variance, so tolerate 15% on a large sample.
+	for _, lambda := range []float64{0.5, 2} {
+		p := NewParetoWithRate(New(22), 1.2, lambda)
+		sum := 0.0
+		const n = 2000000
+		for i := 0; i < n; i++ {
+			sum += p.Sample()
+		}
+		got := sum / n
+		want := 1 / lambda
+		if math.Abs(got-want)/want > 0.15 {
+			t.Errorf("pareto(1.2, lambda=%v): sample mean %v, want ~%v", lambda, got, want)
+		}
+		if p.Mean() != want {
+			t.Errorf("Mean() = %v, want %v", p.Mean(), want)
+		}
+	}
+}
+
+func TestParetoCDFShape(t *testing.T) {
+	// Empirical CDF at x should match 1-(k/(x+k))^alpha.
+	p := NewPareto(New(23), 1.5, 2.0)
+	const n = 200000
+	samples := make([]float64, n)
+	for i := range samples {
+		samples[i] = p.Sample()
+	}
+	for _, x := range []float64{0.5, 2, 8} {
+		count := 0
+		for _, s := range samples {
+			if s <= x {
+				count++
+			}
+		}
+		got := float64(count) / n
+		want := 1 - math.Pow(2.0/(x+2.0), 1.5)
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("pareto CDF at %v: got %v want %v", x, got, want)
+		}
+	}
+}
+
+func TestParetoInfiniteMeanBelowOne(t *testing.T) {
+	p := NewPareto(New(24), 0.9, 1)
+	if !math.IsInf(p.Mean(), 1) {
+		t.Fatalf("alpha=0.9 mean should be +Inf, got %v", p.Mean())
+	}
+}
+
+func TestParetoWithRatePanicsOnAlphaLEOne(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewParetoWithRate(alpha=1) did not panic")
+		}
+	}()
+	NewParetoWithRate(New(1), 1.0, 1)
+}
+
+func TestDeterministic(t *testing.T) {
+	d := Deterministic{Value: 0.25}
+	for i := 0; i < 10; i++ {
+		if d.Sample() != 0.25 {
+			t.Fatal("deterministic sample changed")
+		}
+	}
+	if d.Mean() != 0.25 {
+		t.Fatal("deterministic mean wrong")
+	}
+}

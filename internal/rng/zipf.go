@@ -1,0 +1,80 @@
+package rng
+
+import (
+	"fmt"
+	"math"
+)
+
+// Zipf draws ranks from the Zipf-like distribution the paper uses to assign
+// queries to nodes:
+//
+//	P(rank i) = (1 / i^theta) / sum_{k=1}^{n} 1/k^theta,  1 <= i <= n
+//
+// Small theta approaches uniform; large theta concentrates queries on a few
+// hot ranks. Sampling is by inverse CDF over a precomputed cumulative table
+// with binary search, O(log n) per draw and exact for any theta >= 0.
+type Zipf struct {
+	cdf   []float64 // cdf[i] = P(rank <= i+1)
+	theta float64
+	src   *Source
+}
+
+// NewZipf returns a Zipf-like sampler over ranks [1, n] with skew theta,
+// drawing from src. It panics if n <= 0 or theta < 0.
+func NewZipf(src *Source, n int, theta float64) *Zipf {
+	if n <= 0 {
+		panic(fmt.Sprintf("rng: zipf needs n > 0, got %d", n))
+	}
+	if theta < 0 {
+		panic(fmt.Sprintf("rng: zipf needs theta >= 0, got %v", theta))
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 1; i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+		cdf[i-1] = sum
+	}
+	inv := 1 / sum
+	for i := range cdf {
+		cdf[i] *= inv
+	}
+	cdf[n-1] = 1 // guard against accumulated rounding
+	return &Zipf{cdf: cdf, theta: theta, src: src}
+}
+
+// Rank draws a rank in [1, n].
+func (z *Zipf) Rank() int {
+	u := z.src.Float64()
+	// Binary search for the first index with cdf >= u.
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo + 1
+}
+
+// Index draws a zero-based index in [0, n), i.e. Rank()-1.
+func (z *Zipf) Index() int { return z.Rank() - 1 }
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Theta returns the skew parameter.
+func (z *Zipf) Theta() float64 { return z.theta }
+
+// Prob returns the probability mass of rank i (1-based). It panics if i is
+// out of range.
+func (z *Zipf) Prob(i int) float64 {
+	if i < 1 || i > len(z.cdf) {
+		panic(fmt.Sprintf("rng: zipf rank %d out of range [1,%d]", i, len(z.cdf)))
+	}
+	if i == 1 {
+		return z.cdf[0]
+	}
+	return z.cdf[i-1] - z.cdf[i-2]
+}

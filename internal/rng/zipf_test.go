@@ -1,0 +1,150 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestZipfRankBounds(t *testing.T) {
+	z := NewZipf(New(30), 100, 0.8)
+	for i := 0; i < 100000; i++ {
+		r := z.Rank()
+		if r < 1 || r > 100 {
+			t.Fatalf("rank %d out of [1,100]", r)
+		}
+	}
+}
+
+func TestZipfIndexBounds(t *testing.T) {
+	z := NewZipf(New(30), 50, 1.2)
+	for i := 0; i < 10000; i++ {
+		idx := z.Index()
+		if idx < 0 || idx >= 50 {
+			t.Fatalf("index %d out of [0,50)", idx)
+		}
+	}
+}
+
+func TestZipfProbSumsToOne(t *testing.T) {
+	err := quick.Check(func(nRaw uint8, thetaRaw uint8) bool {
+		n := int(nRaw%200) + 1
+		theta := float64(thetaRaw%40) / 10 // 0..3.9
+		z := NewZipf(New(31), n, theta)
+		sum := 0.0
+		for i := 1; i <= n; i++ {
+			sum += z.Prob(i)
+		}
+		return math.Abs(sum-1) < 1e-9
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZipfProbMonotoneDecreasing(t *testing.T) {
+	z := NewZipf(New(32), 1000, 2.0)
+	for i := 2; i <= 1000; i++ {
+		if z.Prob(i) > z.Prob(i-1)+1e-12 {
+			t.Fatalf("Prob(%d)=%v > Prob(%d)=%v", i, z.Prob(i), i-1, z.Prob(i-1))
+		}
+	}
+}
+
+func TestZipfEmpiricalMatchesTheory(t *testing.T) {
+	const n, draws = 20, 400000
+	for _, theta := range []float64{0.5, 1.0, 2.0} {
+		z := NewZipf(New(33), n, theta)
+		counts := make([]int, n+1)
+		for i := 0; i < draws; i++ {
+			counts[z.Rank()]++
+		}
+		for i := 1; i <= n; i++ {
+			got := float64(counts[i]) / draws
+			want := z.Prob(i)
+			if math.Abs(got-want) > 0.005 {
+				t.Errorf("theta=%v rank %d: empirical %v theory %v", theta, i, got, want)
+			}
+		}
+	}
+}
+
+func TestZipfThetaZeroIsUniform(t *testing.T) {
+	z := NewZipf(New(34), 10, 0)
+	for i := 1; i <= 10; i++ {
+		if math.Abs(z.Prob(i)-0.1) > 1e-9 {
+			t.Fatalf("theta=0 Prob(%d)=%v, want 0.1", i, z.Prob(i))
+		}
+	}
+}
+
+func TestZipfHighThetaConcentrates(t *testing.T) {
+	z := NewZipf(New(35), 4096, 4)
+	if z.Prob(1) < 0.9 {
+		t.Fatalf("theta=4 over 4096 ranks: Prob(1)=%v, want > 0.9", z.Prob(1))
+	}
+}
+
+func TestZipfSingleRank(t *testing.T) {
+	z := NewZipf(New(36), 1, 1.5)
+	for i := 0; i < 100; i++ {
+		if z.Rank() != 1 {
+			t.Fatal("single-rank zipf returned rank != 1")
+		}
+	}
+	if z.Prob(1) != 1 {
+		t.Fatalf("Prob(1)=%v, want 1", z.Prob(1))
+	}
+}
+
+func TestZipfAccessors(t *testing.T) {
+	z := NewZipf(New(37), 42, 1.25)
+	if z.N() != 42 {
+		t.Errorf("N() = %d, want 42", z.N())
+	}
+	if z.Theta() != 1.25 {
+		t.Errorf("Theta() = %v, want 1.25", z.Theta())
+	}
+}
+
+func TestZipfPanicsOnBadArgs(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"n=0":      func() { NewZipf(New(1), 0, 1) },
+		"theta<0":  func() { NewZipf(New(1), 10, -0.5) },
+		"rank=0":   func() { NewZipf(New(1), 10, 1).Prob(0) },
+		"rank=n+1": func() { NewZipf(New(1), 10, 1).Prob(11) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func BenchmarkZipfRank(b *testing.B) {
+	z := NewZipf(New(1), 4096, 0.8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		z.Rank()
+	}
+}
+
+func BenchmarkSourceUint64(b *testing.B) {
+	s := New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Uint64()
+	}
+}
+
+func BenchmarkExponentialSample(b *testing.B) {
+	e := NewExponential(New(1), 0.1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Sample()
+	}
+}

@@ -1,0 +1,204 @@
+package cup
+
+import (
+	"testing"
+
+	"dup/internal/proto"
+	"dup/internal/scheme/schemetest"
+	"dup/internal/topology"
+)
+
+// Paper tree ids: N1=0 N2=1 N3=2 N4=3 N5=4 N6=5 N7=6 N8=7.
+
+func TestInterestAnnouncedExplicitlyOnHit(t *testing.T) {
+	c := New()
+	h := schemetest.New(topology.Paper(), 6, c)
+	// Seven hit-queries at N6: crosses the threshold on a locally served
+	// query, so the announcement is an explicit one-hop message.
+	if p := h.Access(5, 7, false); p != nil {
+		t.Fatalf("hit access returned piggyback %+v", p)
+	}
+	if !c.Interested(5) {
+		t.Fatal("N6 not interested after 7 queries")
+	}
+	if h.HopsSent[proto.KindInterest] != 1 {
+		t.Fatalf("interest hops = %d, want 1", h.HopsSent[proto.KindInterest])
+	}
+}
+
+func TestInterestRidesRequestOnMiss(t *testing.T) {
+	c := New()
+	h := schemetest.New(topology.Paper(), 6, c)
+	p := h.Access(5, 7, true)
+	if p == nil || p.Kind != proto.KindInterest || p.Subject != 5 {
+		t.Fatalf("miss access piggyback = %+v, want interest(5)", p)
+	}
+	if h.HopsSent[proto.KindInterest] != 0 {
+		t.Fatal("piggybacked interest was charged hops")
+	}
+}
+
+func TestBranchAggregationPenetratesIntermediates(t *testing.T) {
+	c := New()
+	h := schemetest.New(topology.Paper(), 6, c)
+	h.Access(5, 7, false) // N6 interested, announces to N5
+	h.Drain()             // N5 records branch, announces to N3, ... up to root
+
+	// The push must travel N1->N2->N3->N5->N6: four hops.
+	h.SetNow(3540)
+	c.OnRefresh(1, 7200)
+	h.Drain()
+	if got := h.HopsSent[proto.KindPush]; got != 4 {
+		t.Fatalf("push hops = %d, want 4 (hop-by-hop chain to N6)", got)
+	}
+	if !h.Cache(5).Valid(3600) {
+		t.Fatal("interested node N6 did not cache the push")
+	}
+	// Intermediates received but must not have stored the index.
+	for _, mid := range []int{1, 2, 4} {
+		if h.Cache(mid).Has() {
+			t.Errorf("uninterested intermediate %d cached the pushed index", mid)
+		}
+	}
+}
+
+func TestCutoffVariantStopsAtUninterestedHop(t *testing.T) {
+	c := NewCutoff()
+	h := schemetest.New(topology.Paper(), 6, c)
+	h.Access(5, 7, false) // N6 interested; in cut-off mode only N5 hears
+	h.Drain()
+	c.OnRefresh(1, 7200)
+	h.Drain()
+	// N5 is not interested, so the root has no interested child on this
+	// path: no push leaves the root.
+	if got := h.HopsSent[proto.KindPush]; got != 0 {
+		t.Fatalf("cut-off CUP pushed %d hops, want 0 (N6 is cut off)", got)
+	}
+	if h.Cache(5).Has() {
+		t.Fatal("cut-off N6 received a push anyway")
+	}
+}
+
+func TestCutoffChainDelivers(t *testing.T) {
+	// When the whole chain N2..N6 is interested, the cut-off variant does
+	// deliver.
+	c := NewCutoff()
+	h := schemetest.New(topology.Paper(), 6, c)
+	for _, n := range []int{1, 2, 4, 5} {
+		h.Access(n, 7, false)
+	}
+	h.Drain()
+	c.OnRefresh(1, 7200)
+	h.Drain()
+	if got := h.HopsSent[proto.KindPush]; got != 4 {
+		t.Fatalf("push hops = %d, want 4", got)
+	}
+	if !h.Cache(5).Valid(0) {
+		t.Fatal("N6 missed the push")
+	}
+}
+
+func TestInterestLossWithdrawsAnnouncement(t *testing.T) {
+	c := New()
+	h := schemetest.New(topology.Paper(), 6, c)
+	h.Access(5, 7, false)
+	h.Drain()
+	// Interval ends with N6 below the threshold.
+	h.ResetCounts()
+	c.OnIntervalEnd()
+	h.Drain()
+	if c.Interested(5) {
+		t.Fatal("N6 still interested after idle interval")
+	}
+	c.OnRefresh(1, 7200)
+	h.Drain()
+	if got := h.HopsSent[proto.KindPush]; got != 0 {
+		t.Fatalf("push hops after uninterest = %d, want 0", got)
+	}
+}
+
+func TestPushDeduplicated(t *testing.T) {
+	c := New()
+	h := schemetest.New(topology.Paper(), 6, c)
+	h.Access(5, 7, false)
+	h.Drain()
+	c.OnRefresh(1, 7200)
+	h.Drain()
+	first := h.HopsSent[proto.KindPush]
+	// A duplicate push of the same version at N2 must not cascade again.
+	c.OnMessage(&proto.Message{Kind: proto.KindPush, To: 1, Version: 1, Expiry: 7200})
+	h.Drain()
+	if h.HopsSent[proto.KindPush] != first {
+		t.Fatal("duplicate push was forwarded again")
+	}
+}
+
+func TestOnPiggybackChainsUpstream(t *testing.T) {
+	c := New()
+	h := schemetest.New(topology.Paper(), 6, c)
+	_ = h
+	// N5 (4) absorbs N6's interest bit; its own wanting state flips, so
+	// the announcement for N5 keeps riding.
+	p := c.OnPiggyback(4, &proto.Piggyback{Kind: proto.KindInterest, Subject: 5})
+	if p == nil || p.Subject != 4 || p.Kind != proto.KindInterest {
+		t.Fatalf("OnPiggyback returned %+v, want interest(4)", p)
+	}
+	// Delivering it again at N3 (2) chains once more.
+	p = c.OnPiggyback(2, &proto.Piggyback{Kind: proto.KindInterest, Subject: 4})
+	if p == nil || p.Subject != 2 {
+		t.Fatalf("OnPiggyback at N3 returned %+v, want interest(2)", p)
+	}
+	// At the root it is absorbed.
+	if p := c.OnPiggyback(0, &proto.Piggyback{Kind: proto.KindInterest, Subject: 1}); p != nil {
+		t.Fatalf("root did not absorb the interest bit: %+v", p)
+	}
+}
+
+func TestUnexpectedMessagePanics(t *testing.T) {
+	c := New()
+	schemetest.New(topology.Paper(), 6, c)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("reply message did not panic CUP")
+		}
+	}()
+	c.OnMessage(&proto.Message{Kind: proto.KindReply, To: 1})
+}
+
+func TestNames(t *testing.T) {
+	if New().Name() != "CUP" || NewCutoff().Name() != "CUP-cutoff" {
+		t.Fatal("scheme names wrong")
+	}
+}
+
+func TestOnNodeDownReannouncesChildren(t *testing.T) {
+	c := New()
+	h := schemetest.New(topology.Paper(), 6, c)
+	h.Access(5, 7, false) // N6 interested; chain announced to root
+	h.Drain()
+	// N5 (4) fails; its child N6 (5) reattaches under N3 (2) and must
+	// re-announce so pushes keep flowing.
+	c.OnNodeDown(4, 2, []int{5})
+	h.Drain()
+	c.OnRefresh(3, 99999)
+	h.Drain()
+	if !h.Cache(5).Valid(0) {
+		t.Fatal("N6 missed the push after its parent failed")
+	}
+}
+
+func TestOnNodeDownClearsFailedNodeState(t *testing.T) {
+	c := New()
+	h := schemetest.New(topology.Paper(), 6, c)
+	h.Access(4, 7, false) // N5 interested
+	h.Drain()
+	c.OnNodeDown(4, 2, nil)
+	h.Drain()
+	if c.Interested(4) {
+		t.Fatal("failed node still marked interested")
+	}
+	c.OnNodeUp(4, 2)
+	if c.Interested(4) {
+		t.Fatal("recovered node kept interest")
+	}
+}

@@ -1,0 +1,273 @@
+package dupscheme
+
+import (
+	"testing"
+
+	"dup/internal/proto"
+	"dup/internal/scheme/schemetest"
+	"dup/internal/topology"
+)
+
+// Paper tree ids: N1=0 N2=1 N3=2 N4=3 N5=4 N6=5 N7=6 N8=7.
+
+func TestSubscribeOnHitIsExplicit(t *testing.T) {
+	d := New()
+	h := schemetest.New(topology.Paper(), 6, d)
+	if p := h.Access(5, 7, false); p != nil {
+		t.Fatalf("hit access returned piggyback %+v", p)
+	}
+	if !d.State(5).Interested() {
+		t.Fatal("N6 not subscribed after 7 queries")
+	}
+	// subscribe(N6) travels N5 -> N3 -> N2 -> N1: the first hop (N6->N5)
+	// plus three forwards = 4 charged hops.
+	h.Drain()
+	if got := h.HopsSent[proto.KindSubscribe]; got != 4 {
+		t.Fatalf("subscribe hops = %d, want 4", got)
+	}
+	if !d.State(0).Contains(5) {
+		t.Fatal("root never heard about N6")
+	}
+}
+
+func TestSubscribeRidesRequestOnMiss(t *testing.T) {
+	d := New()
+	h := schemetest.New(topology.Paper(), 6, d)
+	p := h.Access(5, 7, true)
+	if p == nil || p.Kind != proto.KindSubscribe || p.Subject != 5 {
+		t.Fatalf("miss access piggyback = %+v, want subscribe(5)", p)
+	}
+	if h.HopsSent[proto.KindSubscribe] != 0 {
+		t.Fatal("piggybacked subscribe was charged hops")
+	}
+	// Ride the request up the paper tree: each visited node processes it.
+	for _, hop := range []int{4, 2, 1, 0} {
+		if p == nil {
+			t.Fatalf("piggyback absorbed before reaching node %d", hop)
+		}
+		p = d.OnPiggyback(hop, p)
+	}
+	if p != nil {
+		t.Fatalf("piggyback survived the root: %+v", p)
+	}
+	if !d.State(0).Contains(5) || !d.State(2).Contains(5) {
+		t.Fatal("virtual path not installed by piggybacked subscribe")
+	}
+	if h.HopsSent[proto.KindSubscribe] != 0 {
+		t.Fatal("riding subscribe charged hops")
+	}
+}
+
+func TestPaperFigure2PushHops(t *testing.T) {
+	d := New()
+	h := schemetest.New(topology.Paper(), 6, d)
+	// N6 and N4 interested (Figure 2 (b)).
+	h.Access(5, 7, false)
+	h.Drain()
+	h.Access(3, 7, false)
+	h.Drain()
+
+	h.SetNow(3540)
+	d.OnRefresh(1, 7200)
+	h.Drain()
+	// The paper's worked example: three push hops (N1->N3, N3->N4, N3->N6).
+	if got := h.HopsSent[proto.KindPush]; got != 3 {
+		t.Fatalf("push hops = %d, want 3", got)
+	}
+	for _, n := range []int{2, 3, 5} {
+		if !h.Cache(n).Valid(3600) {
+			t.Errorf("node %d missed the push", n)
+		}
+	}
+	// Virtual-path members N2 and N5 must not receive pushes.
+	for _, n := range []int{1, 4} {
+		if h.Cache(n).Has() {
+			t.Errorf("virtual-path node %d received a push", n)
+		}
+	}
+}
+
+func TestHopByHopAblationChargesTreeDistance(t *testing.T) {
+	d := NewHopByHop()
+	h := schemetest.New(topology.Paper(), 6, d)
+	h.Access(5, 7, false) // only N6: root pushes over 4 tree edges
+	h.Drain()
+	d.OnRefresh(1, 7200)
+	h.Drain()
+	if got := h.HopsSent[proto.KindPush]; got != 4 {
+		t.Fatalf("hop-by-hop push hops = %d, want 4 (tree distance)", got)
+	}
+	if d.Name() != "DUP-hopbyhop" {
+		t.Fatalf("name = %q", d.Name())
+	}
+}
+
+func TestUnsubscribeAtIntervalEnd(t *testing.T) {
+	d := New()
+	h := schemetest.New(topology.Paper(), 6, d)
+	h.Access(5, 7, false)
+	h.Drain()
+	h.ResetCounts()
+	d.OnIntervalEnd()
+	h.Drain()
+	if d.State(5).Interested() {
+		t.Fatal("N6 still subscribed after idle interval")
+	}
+	for _, n := range []int{0, 1, 2, 4} {
+		if d.State(n).OnVirtualPath() {
+			t.Fatalf("node %d still on virtual path: %v", n, d.State(n).Subscribers())
+		}
+	}
+	if h.HopsSent[proto.KindUnsubscribe] == 0 {
+		t.Fatal("no unsubscribe traffic was charged")
+	}
+}
+
+func TestPushDeduplicatedAndForwardedDespiteWarmCache(t *testing.T) {
+	d := New()
+	h := schemetest.New(topology.Paper(), 6, d)
+	h.Access(5, 7, false)
+	h.Drain()
+	h.Access(3, 7, false)
+	h.Drain()
+	// N3's cache is pre-warmed by a passing reply of version 1; the push
+	// must still be forwarded to N4 and N6.
+	h.Cache(2).Store(1, 7200)
+	d.OnRefresh(1, 7200)
+	h.Drain()
+	if got := h.HopsSent[proto.KindPush]; got != 3 {
+		t.Fatalf("push hops = %d, want 3 despite warm cache at N3", got)
+	}
+	// A replayed push of the same version must not cascade again.
+	d.OnMessage(&proto.Message{Kind: proto.KindPush, To: 2, Version: 1, Expiry: 7200})
+	h.Drain()
+	if got := h.HopsSent[proto.KindPush]; got != 3 {
+		t.Fatalf("duplicate push cascaded: %d hops", got)
+	}
+}
+
+func TestUnexpectedMessagePanics(t *testing.T) {
+	d := New()
+	schemetest.New(topology.Paper(), 6, d)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("request message did not panic DUP scheme")
+		}
+	}()
+	d.OnMessage(&proto.Message{Kind: proto.KindRequest, To: 1})
+}
+
+func TestBadPiggybackPanics(t *testing.T) {
+	d := New()
+	schemetest.New(topology.Paper(), 6, d)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("interest piggyback did not panic DUP scheme")
+		}
+	}()
+	d.OnPiggyback(1, &proto.Piggyback{Kind: proto.KindInterest, Subject: 2})
+}
+
+// Failure-case tests replay Section III-C on the paper tree via the
+// scheme-level repair hook. Ids: N1=0 N2=1 N3=2 N4=3 N5=4 N6=5 N7=6 N8=7.
+
+// setupFig2b builds the Figure 2 (b) state: N4 and N6 interested, N3 a
+// DUP-tree branch point.
+func setupFig2b(t *testing.T) (*DUP, *schemetest.Host) {
+	t.Helper()
+	d := New()
+	h := schemetest.New(topology.Paper(), 6, d)
+	h.Access(5, 7, false)
+	h.Drain()
+	h.Access(3, 7, false)
+	h.Drain()
+	return d, h
+}
+
+func TestFailureCase1NoVirtualPath(t *testing.T) {
+	// N8 (7) is on no virtual path; its failure must trigger nothing.
+	d, h := setupFig2b(t)
+	before := h.HopsSent[proto.KindSubscribe] + h.HopsSent[proto.KindUnsubscribe] +
+		h.HopsSent[proto.KindSubstitute]
+	d.OnNodeDown(7, 5, nil)
+	h.Drain()
+	after := h.HopsSent[proto.KindSubscribe] + h.HopsSent[proto.KindUnsubscribe] +
+		h.HopsSent[proto.KindSubstitute]
+	if after != before {
+		t.Fatalf("case 1 produced %d control hops", after-before)
+	}
+}
+
+func TestFailureCase2EndOfVirtualPath(t *testing.T) {
+	// N6 (5) fails: its parent N5 (4) holds it as the branch entry and
+	// must clear the virtual path; the root ends up pushing only to N4.
+	d, h := setupFig2b(t)
+	d.OnNodeDown(5, 4, nil)
+	h.Drain()
+	if d.State(4).OnVirtualPath() {
+		t.Fatalf("N5 still on virtual path: %v", d.State(4).Subscribers())
+	}
+	if got := d.State(0).Subscribers(); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("root list = %v, want [3]", got)
+	}
+}
+
+func TestFailureCase3InsideVirtualPath(t *testing.T) {
+	// N5 (4) fails: it was a virtual-path intermediate between N3 and N6.
+	// Repair reattaches N6 under N3 and N6 re-announces its representative
+	// (itself), keeping it reachable.
+	d, h := setupFig2b(t)
+	d.OnNodeDown(4, 2, []int{5})
+	h.Drain()
+	if !d.State(2).Contains(5) {
+		t.Fatalf("N3 lost N6 after case-3 repair: %v", d.State(2).Subscribers())
+	}
+	// A push from the root must still reach both interested nodes.
+	d.OnRefresh(5, 99999)
+	h.Drain()
+	if !h.Cache(5).Valid(0) || !h.Cache(3).Valid(0) {
+		t.Fatal("push missed an interested node after case-3 repair")
+	}
+}
+
+func TestFailureCase4BranchPoint(t *testing.T) {
+	// N3 (2) fails: a DUP-tree branch point with two subscribers. Its
+	// former children N4 and N5 re-announce their representatives (N4 and
+	// N6) to N2; the root's entry for N3 is replaced through the repair.
+	d, h := setupFig2b(t)
+	// Root currently lists N3.
+	if got := d.State(0).Subscribers(); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("precondition: root list = %v", got)
+	}
+	d.OnNodeDown(2, 1, []int{3, 4})
+	h.Drain()
+	d.OnRefresh(7, 99999)
+	h.Drain()
+	if !h.Cache(5).Valid(0) || !h.Cache(3).Valid(0) {
+		t.Fatalf("push missed interested nodes after branch-point failure; root=%v N2=%v",
+			d.State(0).Subscribers(), d.State(1).Subscribers())
+	}
+	if d.State(2).Len() != 0 {
+		t.Fatal("failed node's state not reset")
+	}
+}
+
+func TestNodeUpResetsState(t *testing.T) {
+	d, h := setupFig2b(t)
+	_ = h
+	d.OnNodeUp(5, 4)
+	if d.State(5).OnVirtualPath() || d.State(5).Interested() {
+		t.Fatal("recovered node kept protocol state")
+	}
+}
+
+func TestRootFailurePanicsInSimulator(t *testing.T) {
+	d, h := setupFig2b(t)
+	_ = h
+	defer func() {
+		if recover() == nil {
+			t.Fatal("root failure did not panic (unsupported in the simulator)")
+		}
+	}()
+	d.OnNodeDown(0, -1, []int{1})
+}

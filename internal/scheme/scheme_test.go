@@ -1,0 +1,43 @@
+package scheme
+
+import (
+	"testing"
+
+	"dup/internal/proto"
+)
+
+func TestPCXName(t *testing.T) {
+	if NewPCX().Name() != "PCX" {
+		t.Fatal("PCX name wrong")
+	}
+}
+
+func TestPCXHooksAreInert(t *testing.T) {
+	p := NewPCX()
+	p.Attach(nil) // must tolerate any host; PCX keeps no state
+	if piggy := p.OnAccess(3, true); piggy != nil {
+		t.Fatalf("PCX produced piggyback %+v", piggy)
+	}
+	p.OnRefresh(1, 3600)
+	p.OnIntervalEnd()
+	p.OnNodeDown(1, 0, []int{2, 3})
+	p.OnNodeUp(1, 0)
+}
+
+func TestPCXRejectsMessages(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PCX accepted a push message")
+		}
+	}()
+	NewPCX().OnMessage(&proto.Message{Kind: proto.KindPush, To: 1})
+}
+
+func TestPCXRejectsPiggybacks(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PCX accepted a piggyback")
+		}
+	}()
+	NewPCX().OnPiggyback(1, &proto.Piggyback{Kind: proto.KindSubscribe, Subject: 2})
+}

@@ -1,0 +1,124 @@
+// Package schemetest provides a deterministic in-memory scheme.Host for
+// unit-testing maintenance schemes without the discrete-event simulator:
+// messages are queued and delivered synchronously on demand, per-hop
+// charges are tallied per message kind, and access counts are set directly
+// by the test.
+package schemetest
+
+import (
+	"fmt"
+
+	"dup/internal/cache"
+	"dup/internal/index"
+	"dup/internal/proto"
+	"dup/internal/scheme"
+	"dup/internal/topology"
+)
+
+// Host is a test double implementing scheme.Host.
+type Host struct {
+	tree      *topology.Tree
+	caches    []cache.Entry
+	counts    []int
+	auth      *index.Authority
+	threshold int
+	now       float64
+
+	queue    []*proto.Message
+	HopsSent map[proto.Kind]int
+
+	sch scheme.Scheme
+}
+
+// New returns a Host over the given tree with interest threshold c and the
+// paper's TTL/lead schedule, attached to s.
+func New(tree *topology.Tree, c int, s scheme.Scheme) *Host {
+	h := &Host{
+		tree:      tree,
+		caches:    make([]cache.Entry, tree.N()),
+		counts:    make([]int, tree.N()),
+		auth:      index.NewAuthority(3600, 60),
+		threshold: c,
+		HopsSent:  map[proto.Kind]int{},
+		sch:       s,
+	}
+	s.Attach(h)
+	return h
+}
+
+// Tree implements scheme.Host.
+func (h *Host) Tree() *topology.Tree { return h.tree }
+
+// Now implements scheme.Host.
+func (h *Host) Now() float64 { return h.now }
+
+// SetNow advances the fake clock.
+func (h *Host) SetNow(t float64) { h.now = t }
+
+// Send implements scheme.Host: one hop charged, delivery deferred until
+// Drain.
+func (h *Host) Send(m *proto.Message) {
+	h.HopsSent[m.Kind]++
+	h.queue = append(h.queue, m)
+}
+
+// SendVia implements scheme.Host.
+func (h *Host) SendVia(m *proto.Message, hops int) {
+	if hops < 1 {
+		panic(fmt.Sprintf("schemetest: SendVia with %d hops", hops))
+	}
+	h.HopsSent[m.Kind] += hops
+	h.queue = append(h.queue, m)
+}
+
+// Cache implements scheme.Host.
+func (h *Host) Cache(n int) *cache.Entry { return &h.caches[n] }
+
+// Authority implements scheme.Host.
+func (h *Host) Authority() *index.Authority { return h.auth }
+
+// Threshold implements scheme.Host.
+func (h *Host) Threshold() int { return h.threshold }
+
+// IntervalCount implements scheme.Host.
+func (h *Host) IntervalCount(n int) int { return h.counts[n] }
+
+// SetCount sets node n's access count for the current interval.
+func (h *Host) SetCount(n, count int) { h.counts[n] = count }
+
+// ResetCounts zeroes all access counts (interval boundary).
+func (h *Host) ResetCounts() {
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+}
+
+// Pending returns the number of undelivered messages.
+func (h *Host) Pending() int { return len(h.queue) }
+
+// Drain delivers queued messages to the scheme in FIFO order until the
+// queue is empty, returning how many were delivered.
+func (h *Host) Drain() int {
+	delivered := 0
+	for len(h.queue) > 0 {
+		m := h.queue[0]
+		h.queue = h.queue[1:]
+		h.sch.OnMessage(m)
+		delivered++
+	}
+	return delivered
+}
+
+// Access simulates `count` query arrivals at node n with the given miss
+// state, returning the last piggyback the scheme produced (piggybacks are
+// not carried further by this host; tests exercise OnPiggyback directly).
+func (h *Host) Access(n, count int, miss bool) *proto.Piggyback {
+	var p *proto.Piggyback
+	for i := 0; i < count; i++ {
+		h.counts[n]++
+		if got := h.sch.OnAccess(n, miss); got != nil {
+			p = got
+		}
+	}
+	return p
+}

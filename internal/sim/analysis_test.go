@@ -1,0 +1,106 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"dup/internal/analysis"
+	"dup/internal/rng"
+	"dup/internal/scheme"
+	"dup/internal/scheme/cup"
+	"dup/internal/scheme/dupscheme"
+	"dup/internal/topology"
+)
+
+// TestSaturatedRegimeMatchesAnalyticalBound cross-validates the simulator
+// against the Section II-B closed-form model: with uniform queries at a
+// rate where every node exceeds the interest threshold each interval, the
+// analytical prediction is that PCX pays two hops per node per interval,
+// both push schemes pay one push hop per node, and the cost ratio is 1/2.
+func TestSaturatedRegimeMatchesAnalyticalBound(t *testing.T) {
+	cfg := Default()
+	cfg.Nodes = 256
+	cfg.Theta = 0 // uniform: every node is hot
+	cfg.TTL = 600
+	cfg.Lead = 10
+	cfg.Lambda = 25 // ~58 queries per node per interval >> c
+	cfg.Duration = 12000
+	cfg.Warmup = 1200
+	cfg.Seed = 9
+
+	pcxCfg := cfg
+	pcxCfg.Lead = 0
+	pcx, err := Run(pcxCfg, scheme.NewPCX())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cupR, err := Run(cfg, cup.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dupR, err := Run(cfg, dupscheme.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Analytical model with full interest.
+	tree := topology.Generate(cfg.Nodes, cfg.MaxDegree, rng.New(cfg.Seed).Split())
+	all := make([]int, tree.N())
+	for i := range all {
+		all[i] = i
+	}
+	m := analysis.New(tree, all)
+	if m.SavingsBound() != 0.5 || m.DUPRatio() != 0.5 {
+		t.Fatalf("analytical full-interest ratios not 0.5: %v, %v",
+			m.SavingsBound(), m.DUPRatio())
+	}
+
+	for _, c := range []struct {
+		name  string
+		ratio float64
+	}{
+		{"CUP", cupR.MeanCost / pcx.MeanCost},
+		{"DUP", dupR.MeanCost / pcx.MeanCost},
+	} {
+		if math.Abs(c.ratio-0.5) > 0.12 {
+			t.Errorf("%s simulated saturated ratio %.3f, analytical 0.5 (PCX %.4f, scheme %.4f)",
+				c.name, c.ratio, pcx.MeanCost, c.ratio*pcx.MeanCost)
+		}
+	}
+
+	// The saturated PCX cost itself: two hops per node per interval.
+	intervals := (cfg.Duration - cfg.Warmup) / cfg.TTL
+	queries := float64(pcx.Queries)
+	wantPCX := 2 * float64(cfg.Nodes-1) * intervals / queries
+	if math.Abs(pcx.MeanCost-wantPCX)/wantPCX > 0.25 {
+		t.Errorf("PCX saturated cost %.4f, analytical %.4f", pcx.MeanCost, wantPCX)
+	}
+}
+
+// TestPartialInterestOrderingMatchesAnalysis checks that for a frozen
+// interested set the analytical DUP-vs-CUP push-edge advantage predicts
+// the simulated push-hop advantage.
+func TestPartialInterestOrderingMatchesAnalysis(t *testing.T) {
+	cfg := Default()
+	cfg.Nodes = 1024
+	cfg.Theta = 2 // sharp hot spots: sparse scattered interest
+	cfg.TTL = 600
+	cfg.Lead = 10
+	cfg.Lambda = 10
+	cfg.Duration = 12000
+	cfg.Warmup = 1200
+	cfg.Seed = 4
+
+	cupR, err := Run(cfg, cup.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dupR, err := Run(cfg, dupscheme.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dupR.PushHops >= cupR.PushHops {
+		t.Fatalf("DUP push hops %d not below CUP %d under sparse interest",
+			dupR.PushHops, cupR.PushHops)
+	}
+}

@@ -1,0 +1,169 @@
+package sim
+
+import (
+	"fmt"
+
+	"dup/internal/topology"
+	"dup/internal/workload"
+)
+
+// Config holds every parameter of one simulation run. Defaults follow the
+// paper's Table I; see DESIGN.md for the values the scanned text garbles.
+type Config struct {
+	// Nodes is the network size n (paper default 4096, range 1000–16384).
+	Nodes int
+	// MaxDegree is the maximum node degree D of the index search tree;
+	// each node's child count is uniform on [1, MaxDegree] (default 4).
+	MaxDegree int
+	// Lambda is the network-wide mean query arrival rate in queries per
+	// second (paper range 0.1–100).
+	Lambda float64
+	// Theta is the Zipf-like skew of the query distribution over nodes
+	// (paper range 0.5–4).
+	Theta float64
+	// Pareto selects heavy-tailed Pareto query inter-arrival times with
+	// shape Alpha instead of the default exponential ones.
+	Pareto bool
+	// Alpha is the Pareto shape parameter (paper uses 1.05 and 1.20).
+	Alpha float64
+	// TTL is the index time-to-live in seconds (paper: 60 minutes).
+	TTL float64
+	// Lead is how long before the previous version's expiry the authority
+	// pushes the next one (paper: one minute). Ignored by PCX.
+	Lead float64
+	// Threshold is the interest threshold c: a node counts as interested
+	// after more than c queries in one TTL interval (paper default 6).
+	Threshold int
+	// CountForwarded widens the interest policy's query count to include
+	// forwarded requests passing through a node, not only the queries its
+	// own user generates. Default() enables it — Figure 3 (A) refreshes
+	// access tracking "when a query for the index arrives at Ni", which
+	// includes forwarded requests. Measured impact is small either way
+	// because caches absorb most pass-through traffic (see DESIGN.md).
+	CountForwarded bool
+	// HotspotRotate, when positive, re-assigns the Zipf query ranks to
+	// nodes every HotspotRotate seconds — a flash-crowd extension where
+	// the hot nodes migrate, stressing subscription churn (zero disables
+	// it; the paper's workloads are stationary).
+	HotspotRotate float64
+	// HopDelayMean is the mean of the exponential per-hop message latency
+	// in seconds (paper: 0.1).
+	HopDelayMean float64
+	// Duration is the simulated time in seconds (paper: at least 180000).
+	Duration float64
+	// Warmup excludes the initial transient from the metrics; observations
+	// before this simulated time are discarded (defaults to one TTL).
+	Warmup float64
+	// Seed drives all randomness; equal seeds give identical runs.
+	Seed uint64
+	// Tree optionally overrides topology generation (e.g. with a
+	// Chord-derived index search tree). When nil a random tree with the
+	// configured size and degree is generated from the seed.
+	Tree *topology.Tree
+	// Arrivals optionally replaces the synthetic workload with a recorded
+	// query trace (trace-driven simulation, mirroring the measurement
+	// studies the paper builds its workload model on). Node ids must be
+	// within the network; Lambda/Theta/Pareto are ignored. With LoopTrace
+	// the trace repeats end-to-end until Duration.
+	Arrivals  []workload.Arrival
+	LoopTrace bool
+	// CITarget, when positive, extends the run past Duration (in chunks of
+	// Duration/4) until the 95% confidence half-width of the mean latency
+	// falls below CITarget of the mean, or MaxDuration is reached. This
+	// mirrors the paper's "until at least the 95% confidence interval of
+	// the query latency is obtained".
+	CITarget    float64
+	MaxDuration float64
+
+	// Churn parameters (Section III-C, an extension experiment — the
+	// paper's own figures run a static network). FailRate > 0 enables
+	// churn: non-root nodes fail as a Poisson process with this
+	// network-wide rate (failures per second). A failed node drops all
+	// traffic addressed to it. Its failure is detected DetectDelay seconds
+	// later (keep-alive timeout): the underlying network reattaches its
+	// children to its parent and the scheme repairs its own state per the
+	// paper's failure cases. The node recovers blank DownTime seconds
+	// after failing. Queries lost to a dead node are retried by their
+	// origin after RetryTimeout seconds, accumulating latency hops.
+	FailRate     float64
+	DetectDelay  float64
+	DownTime     float64
+	RetryTimeout float64
+}
+
+// Default returns the paper's Table I defaults: 4096 nodes, degree 4,
+// λ = 1 query/s, θ = 1.2, TTL 3600 s, lead 60 s, c = 6, per-hop delay
+// 0.1 s, 180000 s simulated with one TTL of warm-up. The scanned paper
+// garbles the default θ; 1.2 is the value in its sweep range under which
+// the reported Figure 4(b) behaviour (DUP and CUP still separated at
+// λ = 100) reproduces — see DESIGN.md.
+func Default() Config {
+	return Config{
+		Nodes:          4096,
+		MaxDegree:      4,
+		Lambda:         1,
+		Theta:          1.2,
+		CountForwarded: true,
+		TTL:            3600,
+		Lead:           60,
+		Threshold:      6,
+		HopDelayMean:   0.1,
+		Duration:       180000,
+		Warmup:         3600,
+		Seed:           1,
+	}
+}
+
+// Validate reports the first problem with the configuration, or nil.
+func (c *Config) Validate() error {
+	switch {
+	case c.Tree == nil && c.Nodes <= 0:
+		return fmt.Errorf("sim: Nodes must be positive, got %d", c.Nodes)
+	case c.Tree == nil && c.MaxDegree <= 0:
+		return fmt.Errorf("sim: MaxDegree must be positive, got %d", c.MaxDegree)
+	case len(c.Arrivals) == 0 && c.Lambda <= 0:
+		return fmt.Errorf("sim: Lambda must be positive, got %v", c.Lambda)
+	case c.Theta < 0:
+		return fmt.Errorf("sim: Theta must be non-negative, got %v", c.Theta)
+	case c.Pareto && c.Alpha <= 1:
+		return fmt.Errorf("sim: Pareto needs Alpha > 1, got %v", c.Alpha)
+	case c.TTL <= 0:
+		return fmt.Errorf("sim: TTL must be positive, got %v", c.TTL)
+	case c.Lead < 0 || c.Lead >= c.TTL:
+		return fmt.Errorf("sim: Lead must be in [0, TTL), got %v", c.Lead)
+	case c.Threshold < 0:
+		return fmt.Errorf("sim: Threshold must be non-negative, got %d", c.Threshold)
+	case c.HotspotRotate < 0:
+		return fmt.Errorf("sim: HotspotRotate must be non-negative, got %v", c.HotspotRotate)
+	case c.HopDelayMean <= 0:
+		return fmt.Errorf("sim: HopDelayMean must be positive, got %v", c.HopDelayMean)
+	case c.Duration <= 0:
+		return fmt.Errorf("sim: Duration must be positive, got %v", c.Duration)
+	case c.Warmup < 0 || c.Warmup >= c.Duration:
+		return fmt.Errorf("sim: Warmup must be in [0, Duration), got %v", c.Warmup)
+	case c.CITarget < 0:
+		return fmt.Errorf("sim: CITarget must be non-negative, got %v", c.CITarget)
+	case c.CITarget > 0 && c.MaxDuration < c.Duration:
+		return fmt.Errorf("sim: MaxDuration (%v) must be at least Duration (%v) when CITarget is set",
+			c.MaxDuration, c.Duration)
+	case c.FailRate < 0:
+		return fmt.Errorf("sim: FailRate must be non-negative, got %v", c.FailRate)
+	case c.FailRate > 0 && c.DetectDelay <= 0:
+		return fmt.Errorf("sim: churn needs DetectDelay > 0, got %v", c.DetectDelay)
+	case c.FailRate > 0 && c.DownTime <= c.DetectDelay:
+		return fmt.Errorf("sim: churn needs DownTime (%v) > DetectDelay (%v)", c.DownTime, c.DetectDelay)
+	case c.FailRate > 0 && c.RetryTimeout <= 0:
+		return fmt.Errorf("sim: churn needs RetryTimeout > 0, got %v", c.RetryTimeout)
+	case c.FailRate > 0 && c.nodeCount() < 3:
+		return fmt.Errorf("sim: churn needs at least 3 nodes, got %d", c.nodeCount())
+	}
+	return nil
+}
+
+// nodeCount returns the effective network size.
+func (c *Config) nodeCount() int {
+	if c.Tree != nil {
+		return c.Tree.N()
+	}
+	return c.Nodes
+}

@@ -1,0 +1,484 @@
+// Package sim is the discrete-event simulator that reproduces the paper's
+// Section IV evaluation. It owns the machinery all three schemes share —
+// index search tree, per-node caches, query routing with path caching,
+// access tracking, and the authority node's refresh schedule — and drives
+// one scheme (PCX, CUP or DUP) through a generated query workload,
+// measuring average query latency and average query cost exactly as the
+// paper defines them.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"dup/internal/cache"
+	"dup/internal/eventq"
+	"dup/internal/index"
+	"dup/internal/metrics"
+	"dup/internal/proto"
+	"dup/internal/rng"
+	"dup/internal/scheme"
+	"dup/internal/topology"
+	"dup/internal/workload"
+)
+
+// Tracer receives a callback for every dispatched event; it is optional
+// and intended for the duptrace tool and for debugging tests.
+type Tracer interface {
+	// Message is called when a protocol message is delivered.
+	Message(t float64, m *proto.Message)
+	// Query is called when a query is resolved with the given latency.
+	Query(t float64, origin, hops int)
+}
+
+// Engine is one simulation run in progress. It implements scheme.Host.
+type Engine struct {
+	cfg    Config
+	tree   *topology.Tree
+	clock  *eventq.Clock
+	delay  rng.Distribution
+	gen    workload.Source
+	auth   *index.Authority
+	met    *metrics.Metrics
+	sch    scheme.Scheme
+	caches []cache.Entry
+	counts []int32 // queries received per node in the current TTL interval
+	tracer Tracer
+
+	// Churn state (nil/unused when cfg.FailRate == 0).
+	alive      []bool
+	origParent []int // the generated tree's parent vector, for re-homing
+	churnSrc   *rng.Source
+	failGap    rng.Distribution
+	fails      int64 // failures injected so far
+	lostQrys   int64 // request/reply drops that triggered a retry
+}
+
+// event payloads besides *proto.Message:
+type (
+	arrivalEv  struct{ node int }
+	refreshEv  struct{ v int64 }
+	intervalEv struct{ k int64 }
+	failEv     struct{}           // pick and fail a random alive node
+	detectEv   struct{ node int } // keep-alive timeout: repair around node
+	recoverEv  struct{ node int } // node rejoins blank
+	retryEv    struct {           // re-issue a query lost to a dead node
+		origin int
+		hops   int
+	}
+)
+
+// New prepares a run of s under cfg. It returns an error for invalid
+// configurations.
+func New(cfg Config, s scheme.Scheme) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	src := rng.New(cfg.Seed)
+	topoSrc, wlSrc, delaySrc, churnSrc := src.Split(), src.Split(), src.Split(), src.Split()
+	tree := cfg.Tree
+	if tree == nil {
+		tree = topology.Generate(cfg.Nodes, cfg.MaxDegree, topoSrc)
+	} else if cfg.FailRate > 0 {
+		// Churn mutates routing; never mutate a caller-owned tree.
+		tree = tree.Clone()
+	}
+	var gen workload.Source
+	if len(cfg.Arrivals) > 0 {
+		for _, a := range cfg.Arrivals {
+			if a.Node < 0 || a.Node >= tree.N() {
+				return nil, fmt.Errorf("sim: trace arrival at node %d, network has %d nodes", a.Node, tree.N())
+			}
+		}
+		gen = workload.NewReplay(cfg.Arrivals, cfg.LoopTrace)
+	} else {
+		gen = workload.New(workload.Config{
+			Nodes:       tree.N(),
+			Lambda:      cfg.Lambda,
+			Theta:       cfg.Theta,
+			Pareto:      cfg.Pareto,
+			Alpha:       cfg.Alpha,
+			RotateEvery: cfg.HotspotRotate,
+		}, wlSrc)
+	}
+	histCap := tree.MaxDepth() + 2
+	e := &Engine{
+		cfg:    cfg,
+		tree:   tree,
+		clock:  eventq.NewClock(),
+		delay:  rng.NewExponential(delaySrc, cfg.HopDelayMean),
+		gen:    gen,
+		auth:   index.NewAuthority(cfg.TTL, cfg.Lead),
+		met:    metrics.New(cfg.Warmup, histCap),
+		sch:    s,
+		caches: make([]cache.Entry, tree.N()),
+		counts: make([]int32, tree.N()),
+	}
+	if cfg.FailRate > 0 {
+		e.alive = make([]bool, tree.N())
+		for i := range e.alive {
+			e.alive[i] = true
+		}
+		e.origParent = make([]int, tree.N())
+		for i := range e.origParent {
+			e.origParent[i] = tree.Parent(i)
+		}
+		e.churnSrc = churnSrc
+		e.failGap = rng.NewExponential(churnSrc.Split(), 1/cfg.FailRate)
+	}
+	s.Attach(e)
+	return e, nil
+}
+
+// Alive reports whether node n is up. Without churn every node is up.
+func (e *Engine) Alive(n int) bool { return e.alive == nil || e.alive[n] }
+
+// Failures returns the number of failures injected so far.
+func (e *Engine) Failures() int64 { return e.fails }
+
+// LostQueries returns how many request/reply drops triggered retries.
+func (e *Engine) LostQueries() int64 { return e.lostQrys }
+
+// SetTracer installs an event tracer. It must be called before Run.
+func (e *Engine) SetTracer(t Tracer) { e.tracer = t }
+
+// Tree implements scheme.Host.
+func (e *Engine) Tree() *topology.Tree { return e.tree }
+
+// Now implements scheme.Host.
+func (e *Engine) Now() float64 { return e.clock.Now() }
+
+// Cache implements scheme.Host.
+func (e *Engine) Cache(n int) *cache.Entry { return &e.caches[n] }
+
+// Authority implements scheme.Host.
+func (e *Engine) Authority() *index.Authority { return e.auth }
+
+// Threshold implements scheme.Host.
+func (e *Engine) Threshold() int { return e.cfg.Threshold }
+
+// IntervalCount implements scheme.Host.
+func (e *Engine) IntervalCount(n int) int { return int(e.counts[n]) }
+
+// Send implements scheme.Host: charge one hop and deliver after one
+// exponential per-hop delay.
+func (e *Engine) Send(m *proto.Message) {
+	e.met.RecordHop(e.clock.Now(), m.Kind)
+	e.clock.After(e.delay.Sample(), m)
+}
+
+// SendVia implements scheme.Host: charge and delay `hops` hops.
+func (e *Engine) SendVia(m *proto.Message, hops int) {
+	if hops < 1 {
+		panic(fmt.Sprintf("sim: SendVia with %d hops", hops))
+	}
+	total := 0.0
+	for i := 0; i < hops; i++ {
+		e.met.RecordHop(e.clock.Now(), m.Kind)
+		total += e.delay.Sample()
+	}
+	e.clock.After(total, m)
+}
+
+// Metrics exposes the run's metrics (tests and the CI stopping rule).
+func (e *Engine) Metrics() *metrics.Metrics { return e.met }
+
+// Run executes the simulation and returns its result.
+func (e *Engine) Run() (*Result, error) {
+	start := time.Now()
+	// Seed the event streams: first arrival, first refresh, first interval
+	// boundary. Version 0 exists from time zero (the root holds it); the
+	// first refresh event issues version 1.
+	e.scheduleArrival(e.gen.Next())
+	e.clock.At(e.auth.IssueTime(1), refreshEv{1})
+	e.clock.At(e.auth.IntervalEnd(0), intervalEv{0})
+	if e.cfg.FailRate > 0 {
+		e.clock.After(e.failGap.Sample(), failEv{})
+	}
+
+	horizon := e.cfg.Duration
+	for {
+		ev, ok := e.clock.Next()
+		if !ok {
+			return nil, fmt.Errorf("sim: event queue drained at t=%v", e.clock.Now())
+		}
+		if ev.Time > horizon {
+			if e.cfg.CITarget > 0 &&
+				e.met.LatencyRelCI95() > e.cfg.CITarget &&
+				horizon+e.cfg.Duration/4 <= e.cfg.MaxDuration {
+				horizon += e.cfg.Duration / 4
+			} else {
+				break
+			}
+		}
+		e.dispatch(ev)
+	}
+
+	r := &Result{
+		Scheme:      e.sch.Name(),
+		Config:      e.cfg,
+		MeanLatency: e.met.MeanLatency(),
+		LatencyCI95: e.met.LatencyCI95(),
+		LatencyP95:  e.met.LatencyPercentile(0.95),
+		MeanCost:    e.met.MeanCost(),
+		Queries:     e.met.Queries(),
+		SimTime:     horizon,
+		Events:      e.clock.Dispatched(),
+		Wall:        time.Since(start),
+	}
+	if r.Queries > 0 {
+		r.LocalHitRate = float64(e.met.LocalHits()) / float64(r.Queries)
+	}
+	r.RequestHops, r.ReplyHops, r.PushHops, r.ControlHops = e.met.HopBreakdown()
+	return r, nil
+}
+
+func (e *Engine) dispatch(ev eventq.Event) {
+	switch p := ev.Payload.(type) {
+	case *proto.Message:
+		e.deliver(p)
+	case arrivalEv:
+		if e.Alive(p.node) {
+			e.localQuery(p.node)
+		}
+		e.scheduleArrival(e.gen.Next())
+	case refreshEv:
+		e.sch.OnRefresh(p.v, e.auth.Expiry(p.v))
+		e.clock.At(e.auth.IssueTime(p.v+1), refreshEv{p.v + 1})
+	case intervalEv:
+		e.sch.OnIntervalEnd()
+		for i := range e.counts {
+			e.counts[i] = 0
+		}
+		e.clock.At(e.auth.IntervalEnd(p.k+1), intervalEv{p.k + 1})
+	case failEv:
+		e.failRandomNode()
+		e.clock.After(e.failGap.Sample(), failEv{})
+	case detectEv:
+		e.repairAround(p.node)
+	case recoverEv:
+		e.recover(p.node)
+	case retryEv:
+		e.retryQuery(p.origin, p.hops)
+	default:
+		panic(fmt.Sprintf("sim: unknown event payload %T", ev.Payload))
+	}
+}
+
+// scheduleArrival enqueues the next workload arrival; an infinite time
+// marks the end of a finite replay trace.
+func (e *Engine) scheduleArrival(a workload.Arrival) {
+	if math.IsInf(a.Time, 1) {
+		return
+	}
+	e.clock.At(a.Time, arrivalEv{a.Node})
+}
+
+// failRandomNode picks a random alive non-root node and fails it.
+func (e *Engine) failRandomNode() {
+	// Rejection-sample an alive non-root victim; bail out if churn has
+	// taken down nearly everything (pathological configurations).
+	for attempt := 0; attempt < 64; attempt++ {
+		victim := 1 + e.churnSrc.Intn(e.tree.N()-1)
+		if !e.alive[victim] {
+			continue
+		}
+		e.alive[victim] = false
+		e.caches[victim].Invalidate()
+		e.fails++
+		e.clock.After(e.cfg.DetectDelay, detectEv{victim})
+		e.clock.After(e.cfg.DownTime, recoverEv{victim})
+		return
+	}
+}
+
+// repairAround runs once node f's failure is detected: the underlying
+// network reattaches f's children to f's parent, then the scheme repairs
+// its distribution state (Section III-C).
+func (e *Engine) repairAround(f int) {
+	oldParent := e.tree.Parent(f)
+	if oldParent == -1 {
+		return // already detached by an earlier repair
+	}
+	children := append([]int(nil), e.tree.Children(f)...)
+	e.tree.Detach(f)
+	e.sch.OnNodeDown(f, oldParent, children)
+}
+
+// recover brings node f back, blank, under its original parent (or the
+// nearest attached original ancestor while that parent is down). Config
+// validation guarantees detection ran first, so f is detached here.
+func (e *Engine) recover(f int) {
+	parent := e.tree.NearestAttachedAncestor(f, e.origParent)
+	e.tree.Attach(f, parent)
+	e.alive[f] = true
+	e.sch.OnNodeUp(f, parent)
+}
+
+// retryQuery re-issues a query from origin whose previous attempt was lost
+// to a dead node, carrying the hops already travelled.
+func (e *Engine) retryQuery(origin, hops int) {
+	if !e.Alive(origin) {
+		return // the requester itself died; the query dies with it
+	}
+	if _, _, ok := e.serveVersion(origin); ok {
+		e.recordQuery(origin, hops)
+		return
+	}
+	e.Send(&proto.Message{
+		Kind: proto.KindRequest, To: e.tree.Parent(origin), Origin: origin,
+		Hops: hops + 1, Path: []int{origin},
+	})
+}
+
+// access counts a query arrival at node n and runs the scheme's interest
+// policy, returning any control item the scheme wants to piggyback on the
+// forwarded request. local distinguishes the node's own queries from
+// forwarded requests; only the former count toward interest unless
+// CountForwarded widens the policy.
+func (e *Engine) access(n int, local, miss bool) *proto.Piggyback {
+	if local || e.cfg.CountForwarded {
+		e.counts[n]++
+	}
+	return e.sch.OnAccess(n, miss)
+}
+
+// serveVersion returns the index version node n can serve right now. The
+// root always serves the authority's current version; other nodes serve
+// their cache. ok is false when the node has nothing valid.
+func (e *Engine) serveVersion(n int) (v int64, expiry float64, ok bool) {
+	if e.tree.IsRoot(n) {
+		v = e.auth.VersionAt(e.clock.Now())
+		return v, e.auth.Expiry(v), true
+	}
+	c := &e.caches[n]
+	if c.Valid(e.clock.Now()) {
+		return c.Version, c.Expiry, true
+	}
+	return 0, 0, false
+}
+
+// localQuery handles a query generated at node n.
+func (e *Engine) localQuery(n int) {
+	_, _, hit := e.serveVersion(n)
+	piggy := e.access(n, true, !hit)
+	if hit {
+		e.recordQuery(n, 0)
+		return
+	}
+	e.Send(&proto.Message{
+		Kind: proto.KindRequest, To: e.tree.Parent(n), Origin: n,
+		Hops: 1, Path: []int{n}, Piggy: piggy,
+	})
+}
+
+func (e *Engine) recordQuery(origin, hops int) {
+	e.met.RecordQuery(e.clock.Now(), hops)
+	if e.tracer != nil {
+		e.tracer.Query(e.clock.Now(), origin, hops)
+	}
+}
+
+// deliver processes message arrival at m.To. Messages addressed to a dead
+// node are lost; a lost request or reply makes its origin retry the query
+// after the retry timeout, with the hops already spent carried over.
+func (e *Engine) deliver(m *proto.Message) {
+	if !e.Alive(m.To) {
+		// A lost request leaves its query unanswered: the origin retries
+		// after the timeout, carrying the hops already spent. A lost reply
+		// is not retried — the query's latency was recorded when the
+		// request reached a valid index, and the origin's next query pays
+		// for the cold cache the lost reply left behind.
+		if m.Kind == proto.KindRequest {
+			e.lostQrys++
+			e.clock.After(e.cfg.RetryTimeout, retryEv{origin: m.Origin, hops: m.Hops})
+		}
+		return
+	}
+	if e.tracer != nil {
+		e.tracer.Message(e.clock.Now(), m)
+	}
+	switch m.Kind {
+	case proto.KindRequest:
+		e.onRequest(m)
+	case proto.KindReply:
+		e.onReply(m)
+	default:
+		e.sch.OnMessage(m)
+	}
+}
+
+// onRequest implements the shared query routing: the first node on the
+// upward path holding a valid index replies along the reverse path.
+func (e *Engine) onRequest(m *proto.Message) {
+	n := m.To
+	// Deliver any piggybacked control item first, then run this node's own
+	// interest policy. The scheme contract guarantees at most one item
+	// wants to continue riding (a node that just absorbed a subscribe can
+	// only emit a substitution for itself, never a second subscribe).
+	carried := m.Piggy
+	if carried != nil {
+		carried = e.sch.OnPiggyback(n, carried)
+	}
+	v, expiry, hit := e.serveVersion(n)
+	fresh := e.access(n, false, !hit)
+	if fresh != nil {
+		if carried != nil {
+			panic("sim: two piggybacks competing for one request")
+		}
+		carried = fresh
+	}
+	if hit {
+		// The request stops here; an unabsorbed piggyback continues as an
+		// ordinary (charged) control message.
+		if carried != nil {
+			e.Send(&proto.Message{Kind: carried.Kind, To: e.tree.Parent(n), Subject: carried.Subject})
+		}
+		e.recordQuery(m.Origin, m.Hops)
+		// Turn the request into its reply in place: the engine owns the
+		// message exclusively once delivered, and reusing it (and its path
+		// slice) keeps the per-query allocation count flat in path length.
+		last := len(m.Path) - 1
+		m.Kind = proto.KindReply
+		m.To = m.Path[last]
+		m.Path = m.Path[:last]
+		m.Version, m.Expiry = v, expiry
+		m.Piggy = nil
+		e.Send(m)
+		return
+	}
+	if e.tree.IsRoot(n) {
+		// Unreachable: the root always serves.
+		panic("sim: request fell off the root")
+	}
+	m.Piggy = carried
+	m.Path = append(m.Path, n)
+	m.To = e.tree.Parent(n)
+	m.Hops++
+	e.Send(m)
+}
+
+// onReply retraces the request path toward the origin; every node on the
+// way caches the index (path caching, common to all three schemes).
+func (e *Engine) onReply(m *proto.Message) {
+	n := m.To
+	e.caches[n].Store(m.Version, m.Expiry)
+	if len(m.Path) == 0 {
+		return // reached the origin
+	}
+	last := len(m.Path) - 1
+	m.To = m.Path[last]
+	m.Path = m.Path[:last]
+	e.Send(m)
+}
+
+// Run is a convenience wrapper: build an engine for cfg and s, run it, and
+// return the result.
+func Run(cfg Config, s scheme.Scheme) (*Result, error) {
+	e, err := New(cfg, s)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run()
+}

@@ -1,0 +1,361 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"dup/internal/proto"
+	"dup/internal/scheme"
+	"dup/internal/scheme/cup"
+	"dup/internal/scheme/dupscheme"
+	"dup/internal/topology"
+	"dup/internal/workload"
+)
+
+// quickCfg returns a configuration small enough for unit tests: 256 nodes,
+// short TTL, 20 TTL cycles.
+func quickCfg(seed uint64) Config {
+	cfg := Default()
+	cfg.Nodes = 256
+	cfg.TTL = 600
+	cfg.Lead = 10
+	cfg.Duration = 12000
+	cfg.Warmup = 600
+	cfg.Seed = seed
+	return cfg
+}
+
+func mustRun(t *testing.T, cfg Config, s scheme.Scheme) *Result {
+	t.Helper()
+	r, err := Run(cfg, s)
+	if err != nil {
+		t.Fatalf("Run(%s): %v", s.Name(), err)
+	}
+	if r.Queries == 0 {
+		t.Fatalf("Run(%s): no queries measured", s.Name())
+	}
+	return r
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := Default()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.Nodes = 0 },
+		func(c *Config) { c.MaxDegree = 0 },
+		func(c *Config) { c.Lambda = 0 },
+		func(c *Config) { c.Theta = -1 },
+		func(c *Config) { c.Pareto = true; c.Alpha = 1 },
+		func(c *Config) { c.TTL = 0 },
+		func(c *Config) { c.Lead = c.TTL },
+		func(c *Config) { c.Threshold = -1 },
+		func(c *Config) { c.HopDelayMean = 0 },
+		func(c *Config) { c.Duration = 0 },
+		func(c *Config) { c.Warmup = c.Duration },
+		func(c *Config) { c.CITarget = -0.1 },
+		func(c *Config) { c.CITarget = 0.01; c.MaxDuration = 0 },
+	}
+	for i, mutate := range bad {
+		c := Default()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d produced a config Validate accepted", i)
+		}
+		if _, err := Run(c, scheme.NewPCX()); err == nil {
+			t.Errorf("mutation %d: Run accepted invalid config", i)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	for _, mk := range []func() scheme.Scheme{
+		func() scheme.Scheme { return scheme.NewPCX() },
+		func() scheme.Scheme { return cup.New() },
+		func() scheme.Scheme { return dupscheme.New() },
+	} {
+		a := mustRun(t, quickCfg(7), mk())
+		b := mustRun(t, quickCfg(7), mk())
+		if a.MeanLatency != b.MeanLatency || a.MeanCost != b.MeanCost ||
+			a.Queries != b.Queries || a.Events != b.Events {
+			t.Errorf("%s: same seed diverged: %v vs %v", a.Scheme, a, b)
+		}
+	}
+	a := mustRun(t, quickCfg(7), scheme.NewPCX())
+	c := mustRun(t, quickCfg(8), scheme.NewPCX())
+	if a.MeanLatency == c.MeanLatency && a.Queries == c.Queries {
+		t.Error("different seeds produced identical runs")
+	}
+}
+
+func TestPCXHasNoPushOrControlTraffic(t *testing.T) {
+	cfg := quickCfg(1)
+	cfg.Lead = 0 // PCX has no push schedule; see DESIGN.md
+	r := mustRun(t, cfg, scheme.NewPCX())
+	if r.PushHops != 0 || r.ControlHops != 0 {
+		t.Fatalf("PCX produced push=%d control=%d hops", r.PushHops, r.ControlHops)
+	}
+	if r.RequestHops == 0 || r.ReplyHops == 0 {
+		t.Fatal("PCX produced no request/reply traffic")
+	}
+}
+
+func TestRequestReplyBalance(t *testing.T) {
+	// Every measured request eventually triggers a reply retracing the
+	// same number of hops; only warm-up boundary crossings and messages in
+	// flight at the horizon can cause a small imbalance.
+	r := mustRun(t, quickCfg(2), scheme.NewPCX())
+	diff := math.Abs(float64(r.RequestHops - r.ReplyHops))
+	if diff/float64(r.RequestHops) > 0.01 {
+		t.Fatalf("request hops %d vs reply hops %d: imbalance too large",
+			r.RequestHops, r.ReplyHops)
+	}
+}
+
+func TestColdNetworkLatencyTracksDepth(t *testing.T) {
+	// With a tiny query rate nearly every query sees cold caches, so PCX
+	// latency approaches the Zipf-weighted distance to the root, bounded
+	// by the tree's mean and max depth.
+	cfg := quickCfg(3)
+	cfg.Lambda = 0.02 // 12 queries per TTL network-wide: caches never help
+	cfg.Theta = 0     // uniform queries, so no hot node amortises its path
+	cfg.Duration = 60000
+	cfg.Lead = 0
+	r := mustRun(t, cfg, scheme.NewPCX())
+	e, err := New(cfg, scheme.NewPCX())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, max := e.Tree().MeanDepth(), float64(e.Tree().MaxDepth())
+	if r.MeanLatency < mean/2 || r.MeanLatency > max {
+		t.Fatalf("cold latency %.2f outside [%.2f, %.2f]", r.MeanLatency, mean/2, max)
+	}
+	// Cost = request + reply hops, i.e. exactly twice the latency.
+	if math.Abs(r.MeanCost-2*r.MeanLatency)/r.MeanCost > 0.05 {
+		t.Fatalf("cold PCX cost %.2f, want ~2x latency %.2f", r.MeanCost, r.MeanLatency)
+	}
+}
+
+func TestSchemeOrderingModerateLoad(t *testing.T) {
+	// The paper's headline result: DUP < CUP < PCX on both metrics once
+	// the query rate is high enough for interest to form.
+	cfg := quickCfg(4)
+	cfg.Lambda = 5
+	pcxCfg := cfg
+	pcxCfg.Lead = 0
+	pcx := mustRun(t, pcxCfg, scheme.NewPCX())
+	cupR := mustRun(t, cfg, cup.New())
+	dupR := mustRun(t, cfg, dupscheme.New())
+
+	if !(dupR.MeanCost < cupR.MeanCost && cupR.MeanCost < pcx.MeanCost) {
+		t.Errorf("cost ordering violated: DUP %.3f, CUP %.3f, PCX %.3f",
+			dupR.MeanCost, cupR.MeanCost, pcx.MeanCost)
+	}
+	if !(dupR.MeanLatency < cupR.MeanLatency && cupR.MeanLatency < pcx.MeanLatency) {
+		t.Errorf("latency ordering violated: DUP %.3f, CUP %.3f, PCX %.3f",
+			dupR.MeanLatency, cupR.MeanLatency, pcx.MeanLatency)
+	}
+}
+
+func TestDUPHotSpotServedLocally(t *testing.T) {
+	// With strong skew the hot nodes subscribe and are fed by direct
+	// pushes, so nearly all queries are local hits.
+	cfg := quickCfg(5)
+	cfg.Theta = 2
+	cfg.Lambda = 5
+	r := mustRun(t, cfg, dupscheme.New())
+	if r.LocalHitRate < 0.9 {
+		t.Fatalf("DUP local hit rate %.3f, want > 0.9 under theta=2", r.LocalHitRate)
+	}
+	if r.MeanLatency > 0.5 {
+		t.Fatalf("DUP latency %.3f, want near zero under theta=2", r.MeanLatency)
+	}
+}
+
+func TestDUPSubscriberInvariants(t *testing.T) {
+	// After a run, every subscriber-list entry must be a strict descendant
+	// (or the node itself) — this holds even with messages still in
+	// flight.
+	cfg := quickCfg(6)
+	cfg.Lambda = 5
+	d := dupscheme.New()
+	e, err := New(cfg, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	tree := e.Tree()
+	for n := 0; n < tree.N(); n++ {
+		for _, s := range d.State(n).Subscribers() {
+			if s != n && !tree.Ancestor(n, s) {
+				t.Fatalf("node %d lists %d which is not a descendant", n, s)
+			}
+		}
+	}
+}
+
+func TestPresetTree(t *testing.T) {
+	cfg := quickCfg(9)
+	cfg.Tree = topology.Paper()
+	cfg.Nodes = 0 // must be ignored when Tree is set
+	r := mustRun(t, cfg, dupscheme.New())
+	if r.MeanLatency < 0 || r.MeanLatency > 5 {
+		t.Fatalf("paper-tree latency %.2f out of range", r.MeanLatency)
+	}
+}
+
+func TestCIExtension(t *testing.T) {
+	cfg := quickCfg(10)
+	cfg.Duration = 4000
+	cfg.Warmup = 600
+	cfg.CITarget = 1e-9 // unattainable: must run to MaxDuration
+	cfg.MaxDuration = 8000
+	r := mustRun(t, cfg, scheme.NewPCX())
+	if r.SimTime <= cfg.Duration {
+		t.Fatalf("CI extension did not extend: simTime %.0f", r.SimTime)
+	}
+	if r.SimTime > cfg.MaxDuration+cfg.Duration/4 {
+		t.Fatalf("CI extension overran MaxDuration: %.0f", r.SimTime)
+	}
+}
+
+type countingTracer struct {
+	messages int
+	queries  int
+	lastT    float64
+}
+
+func (c *countingTracer) Message(t float64, m *proto.Message) {
+	if t < c.lastT {
+		panic("tracer saw time go backwards")
+	}
+	c.lastT = t
+	c.messages++
+}
+
+func (c *countingTracer) Query(t float64, origin, hops int) { c.queries++ }
+
+func TestTracerSeesTraffic(t *testing.T) {
+	cfg := quickCfg(11)
+	cfg.Duration = 3000
+	cfg.Warmup = 0
+	e, err := New(cfg, scheme.NewPCX())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &countingTracer{}
+	e.SetTracer(tr)
+	r, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.queries == 0 || tr.messages == 0 {
+		t.Fatalf("tracer saw %d queries, %d messages", tr.queries, tr.messages)
+	}
+	if int64(tr.queries) != r.Queries {
+		t.Fatalf("tracer queries %d != result queries %d", tr.queries, r.Queries)
+	}
+}
+
+func TestHopByHopAblationCostsMore(t *testing.T) {
+	cfg := quickCfg(12)
+	cfg.Lambda = 5
+	direct := mustRun(t, cfg, dupscheme.New())
+	hopby := mustRun(t, cfg, dupscheme.NewHopByHop())
+	if hopby.PushHops <= direct.PushHops {
+		t.Fatalf("hop-by-hop push hops %d not above direct %d",
+			hopby.PushHops, direct.PushHops)
+	}
+	if hopby.MeanCost <= direct.MeanCost {
+		t.Fatalf("hop-by-hop cost %.3f not above direct %.3f",
+			hopby.MeanCost, direct.MeanCost)
+	}
+}
+
+func TestParetoWorkloadRuns(t *testing.T) {
+	cfg := quickCfg(13)
+	cfg.Pareto = true
+	cfg.Alpha = 1.2
+	r := mustRun(t, cfg, dupscheme.New())
+	if r.MeanCost <= 0 {
+		t.Fatal("pareto run produced non-positive cost")
+	}
+}
+
+func TestTraceReplayDrivesSimulation(t *testing.T) {
+	// A hand-built trace: node 5 queries three times, node 9 once. The
+	// simulation must measure exactly these four queries.
+	cfg := quickCfg(40)
+	cfg.Warmup = 0
+	cfg.Duration = 2000
+	cfg.Arrivals = []workload.Arrival{
+		{Time: 10, Node: 5},
+		{Time: 20, Node: 5},
+		{Time: 30, Node: 9},
+		{Time: 40, Node: 5},
+	}
+	r, err := Run(cfg, scheme.NewPCX())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Queries != 4 {
+		t.Fatalf("trace replay measured %d queries, want 4", r.Queries)
+	}
+	// Node 5's second and third queries hit its cache: at most two misses.
+	if r.MeanLatency*4 > float64(2*20) {
+		t.Fatalf("trace replay latency implausible: %v", r.MeanLatency)
+	}
+}
+
+func TestTraceReplayLooped(t *testing.T) {
+	cfg := quickCfg(41)
+	cfg.Warmup = 0
+	cfg.Duration = 1000
+	cfg.Arrivals = []workload.Arrival{{Time: 50, Node: 3}, {Time: 100, Node: 7}}
+	cfg.LoopTrace = true
+	r, err := Run(cfg, scheme.NewPCX())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ten full passes of a two-arrival trace in 1000 s.
+	if r.Queries < 18 || r.Queries > 20 {
+		t.Fatalf("looped replay measured %d queries, want ~20", r.Queries)
+	}
+}
+
+func TestTraceReplayRejectsOutOfRangeNode(t *testing.T) {
+	cfg := quickCfg(42)
+	cfg.Arrivals = []workload.Arrival{{Time: 1, Node: 100000}}
+	if _, err := Run(cfg, scheme.NewPCX()); err == nil {
+		t.Fatal("out-of-range trace node accepted")
+	}
+}
+
+func TestRunReplicatedAggregates(t *testing.T) {
+	cfg := quickCfg(50)
+	cfg.Duration = 3000
+	cfg.Warmup = 600
+	agg, err := RunReplicated(cfg, func() scheme.Scheme { return dupscheme.New() }, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Runs != 3 || agg.Scheme != "DUP" {
+		t.Fatalf("agg = %+v", agg)
+	}
+	if agg.Latency.N() != 3 || agg.Cost.N() != 3 {
+		t.Fatal("per-run observations missing")
+	}
+	if agg.MeanCost() <= 0 || agg.MeanLatency() < 0 {
+		t.Fatal("degenerate aggregate")
+	}
+	// Replicas use distinct seeds, so per-run values differ.
+	if agg.Latency.Min() == agg.Latency.Max() {
+		t.Fatal("replicas produced identical latencies; seeds not varied?")
+	}
+	if _, err := RunReplicated(cfg, func() scheme.Scheme { return dupscheme.New() }, 0); err == nil {
+		t.Fatal("zero replicas accepted")
+	}
+}

@@ -1,0 +1,65 @@
+package sim
+
+import (
+	"fmt"
+
+	"dup/internal/scheme"
+	"dup/internal/stats"
+)
+
+// Replicated aggregates several independent replications (same
+// configuration, different seeds) of one scheme.
+type Replicated struct {
+	Scheme   string
+	Runs     int
+	Latency  stats.Online // per-run mean latencies
+	Cost     stats.Online // per-run mean costs
+	HitRate  stats.Online
+	Queries  int64 // total across runs
+	PushHops int64
+	CtrlHops int64
+}
+
+// MeanLatency returns the across-run mean of the per-run mean latencies.
+func (r *Replicated) MeanLatency() float64 { return r.Latency.Mean() }
+
+// LatencyCI95 returns the 95% confidence half-width across runs.
+func (r *Replicated) LatencyCI95() float64 { return r.Latency.CI95() }
+
+// MeanCost returns the across-run mean cost.
+func (r *Replicated) MeanCost() float64 { return r.Cost.Mean() }
+
+// CostCI95 returns the 95% confidence half-width of the cost across runs.
+func (r *Replicated) CostCI95() float64 { return r.Cost.CI95() }
+
+// RunReplicated executes `replicas` independent runs of the scheme built
+// by mk, with seeds cfg.Seed, cfg.Seed+1, ... Each replication draws a
+// fresh topology and workload, so the across-run confidence intervals
+// capture topology variation as well ("different tree topologies are
+// studied in our simulation and the results are similar"). mk must return
+// a fresh scheme instance on every call.
+func RunReplicated(cfg Config, mk func() scheme.Scheme, replicas int) (*Replicated, error) {
+	if replicas < 1 {
+		return nil, fmt.Errorf("sim: need at least one replica, got %d", replicas)
+	}
+	agg := &Replicated{Runs: replicas}
+	for i := 0; i < replicas; i++ {
+		c := cfg
+		c.Seed = cfg.Seed + uint64(i)
+		s := mk()
+		r, err := Run(c, s)
+		if err != nil {
+			return nil, fmt.Errorf("sim: replica %d: %w", i, err)
+		}
+		if agg.Scheme == "" {
+			agg.Scheme = r.Scheme
+		}
+		agg.Latency.Add(r.MeanLatency)
+		agg.Cost.Add(r.MeanCost)
+		agg.HitRate.Add(r.LocalHitRate)
+		agg.Queries += r.Queries
+		agg.PushHops += r.PushHops
+		agg.CtrlHops += r.ControlHops
+	}
+	return agg, nil
+}

@@ -1,0 +1,47 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Result summarises one simulation run.
+type Result struct {
+	Scheme string
+	Config Config
+
+	// MeanLatency is the average query latency in hops, with its 95%
+	// confidence half-width in LatencyCI95.
+	MeanLatency float64
+	LatencyCI95 float64
+	// LatencyP95 is the 95th-percentile query latency in hops.
+	LatencyP95 int
+	// MeanCost is the average query cost: hops of all query-related
+	// messages divided by the number of queries.
+	MeanCost float64
+	// Queries is the number of measured (post-warm-up) queries.
+	Queries int64
+	// LocalHitRate is the fraction of queries served from the local cache.
+	LocalHitRate float64
+	// RequestHops..ControlHops break total cost hops down by class.
+	RequestHops, ReplyHops, PushHops, ControlHops int64
+
+	// SimTime is the simulated seconds actually run (>= Config.Duration
+	// when the CI extension kicked in).
+	SimTime float64
+	// Events is the number of discrete events dispatched.
+	Events uint64
+	// Wall is the wall-clock time the run took.
+	Wall time.Duration
+}
+
+// TotalHops returns the total cost hops.
+func (r *Result) TotalHops() int64 {
+	return r.RequestHops + r.ReplyHops + r.PushHops + r.ControlHops
+}
+
+// String renders a one-line summary.
+func (r *Result) String() string {
+	return fmt.Sprintf("%s: latency %.3f±%.3f hops, cost %.3f hops/query, %d queries, %.0fs sim, %v wall",
+		r.Scheme, r.MeanLatency, r.LatencyCI95, r.MeanCost, r.Queries, r.SimTime, r.Wall.Round(time.Millisecond))
+}

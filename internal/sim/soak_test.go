@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dup/internal/rng"
+	"dup/internal/scheme"
+	"dup/internal/scheme/cup"
+	"dup/internal/scheme/dupscheme"
+)
+
+// TestSoakRandomConfigurations drives every scheme through randomly drawn
+// (but valid) configurations — random sizes, degrees, rates, skews, TTLs,
+// Pareto workloads and churn — asserting the structural invariants that
+// must hold for any configuration: no panics, finite sane metrics, cost
+// accounting consistency, and the DUP subscriber-list safety invariant.
+func TestSoakRandomConfigurations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped with -short")
+	}
+	err := quick.Check(func(seed uint64) bool {
+		src := rng.New(seed)
+		cfg := Default()
+		cfg.Seed = seed
+		cfg.Nodes = src.IntRange(2, 400)
+		cfg.MaxDegree = src.IntRange(1, 8)
+		cfg.Lambda = []float64{0.1, 1, 5, 20}[src.Intn(4)]
+		cfg.Theta = []float64{0, 0.8, 1.2, 2.5}[src.Intn(4)]
+		cfg.TTL = []float64{120, 600, 1800}[src.Intn(3)]
+		cfg.Lead = cfg.TTL / 20
+		cfg.Threshold = src.IntRange(0, 8)
+		cfg.Duration = cfg.TTL * 5
+		cfg.Warmup = cfg.TTL
+		cfg.CountForwarded = src.Intn(2) == 0
+		if src.Intn(3) == 0 {
+			cfg.Pareto = true
+			cfg.Alpha = []float64{1.05, 1.2}[src.Intn(2)]
+		}
+		if src.Intn(3) == 0 && cfg.Nodes >= 3 {
+			cfg.FailRate = 0.005
+			cfg.DetectDelay = 10
+			cfg.DownTime = 60
+			cfg.RetryTimeout = 2
+		}
+		if src.Intn(4) == 0 {
+			cfg.HotspotRotate = cfg.TTL * 2
+		}
+
+		for _, mk := range []func() scheme.Scheme{
+			func() scheme.Scheme { return scheme.NewPCX() },
+			func() scheme.Scheme { return cup.New() },
+			func() scheme.Scheme { return dupscheme.New() },
+		} {
+			s := mk()
+			e, err := New(cfg, s)
+			if err != nil {
+				t.Logf("seed %d (%s): config rejected: %v", seed, s.Name(), err)
+				return false
+			}
+			r, err := e.Run()
+			if err != nil {
+				t.Logf("seed %d (%s): run failed: %v", seed, s.Name(), err)
+				return false
+			}
+			if math.IsNaN(r.MeanLatency) || math.IsInf(r.MeanLatency, 0) || r.MeanLatency < 0 {
+				t.Logf("seed %d (%s): latency %v", seed, s.Name(), r.MeanLatency)
+				return false
+			}
+			if r.MeanCost < 0 || r.TotalHops() < 0 {
+				t.Logf("seed %d (%s): cost %v", seed, s.Name(), r.MeanCost)
+				return false
+			}
+			if r.TotalHops() != r.RequestHops+r.ReplyHops+r.PushHops+r.ControlHops {
+				return false
+			}
+			// DUP safety invariant: entries only point into subtrees (or at
+			// nodes currently detached by churn).
+			if d, ok := s.(*dupscheme.DUP); ok {
+				tree := e.Tree()
+				for n := 0; n < tree.N(); n++ {
+					if !tree.Attached(n) {
+						continue
+					}
+					for _, sub := range d.State(n).Subscribers() {
+						if sub != n && tree.Attached(sub) && e.Alive(sub) && e.Alive(n) &&
+							!tree.Ancestor(n, sub) {
+							// Tolerated only as a transient around churn
+							// repairs; without churn it is a hard failure.
+							if cfg.FailRate == 0 {
+								t.Logf("seed %d: node %d lists non-descendant %d", seed, n, sub)
+								return false
+							}
+						}
+					}
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

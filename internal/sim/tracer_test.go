@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"testing"
+
+	"dup/internal/proto"
+	"dup/internal/scheme"
+	"dup/internal/scheme/cup"
+	"dup/internal/scheme/dupscheme"
+)
+
+// versionTracer records, per node, the versions of pushes and replies it
+// receives, asserting global protocol sanity as the run progresses.
+type versionTracer struct {
+	t           *testing.T
+	lastPush    map[int]int64
+	pushCount   int
+	maxSeenHops int
+}
+
+func newVersionTracer(t *testing.T) *versionTracer {
+	return &versionTracer{t: t, lastPush: map[int]int64{}}
+}
+
+func (v *versionTracer) Message(ts float64, m *proto.Message) {
+	switch m.Kind {
+	case proto.KindPush:
+		v.pushCount++
+		// A node must never receive a push older than one it already saw:
+		// the forward guard is monotone and the root's versions only grow.
+		if last, ok := v.lastPush[m.To]; ok && m.Version < last {
+			v.t.Errorf("node %d pushed version %d after %d", m.To, m.Version, last)
+		}
+		v.lastPush[m.To] = m.Version
+	case proto.KindRequest:
+		if m.Hops <= 0 {
+			v.t.Errorf("request delivered with hops=%d", m.Hops)
+		}
+	}
+}
+
+func (v *versionTracer) Query(ts float64, origin, hops int) {
+	if hops > v.maxSeenHops {
+		v.maxSeenHops = hops
+	}
+}
+
+// TestPushVersionsMonotonePerNode verifies the version-ordering invariant
+// end to end for both push schemes.
+func TestPushVersionsMonotonePerNode(t *testing.T) {
+	for _, mk := range []func() scheme.Scheme{
+		func() scheme.Scheme { return dupscheme.New() },
+		func() scheme.Scheme { return cup.New() },
+	} {
+		cfg := quickCfg(31)
+		cfg.Lambda = 5
+		s := mk()
+		e, err := New(cfg, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := newVersionTracer(t)
+		e.SetTracer(tr)
+		if _, err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if tr.pushCount == 0 {
+			t.Fatalf("%s: no pushes traced", s.Name())
+		}
+		if tr.maxSeenHops > e.Tree().MaxDepth() {
+			t.Fatalf("%s: query latency %d exceeds tree depth %d",
+				s.Name(), tr.maxSeenHops, e.Tree().MaxDepth())
+		}
+	}
+}
+
+// TestHotspotRotationInSim verifies the flash-crowd extension end to end:
+// rotation must increase DUP's control traffic (subscription churn).
+func TestHotspotRotationInSim(t *testing.T) {
+	stationary := quickCfg(32)
+	stationary.Lambda = 5
+	stationary.Theta = 2
+	rotating := stationary
+	rotating.HotspotRotate = stationary.TTL
+
+	rs, err := Run(stationary, dupscheme.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := Run(rotating, dupscheme.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.ControlHops <= rs.ControlHops {
+		t.Fatalf("rotation did not increase control traffic: %d vs %d",
+			rr.ControlHops, rs.ControlHops)
+	}
+}
+
+// TestHotspotRotationValidation checks the config guard.
+func TestHotspotRotationValidation(t *testing.T) {
+	cfg := quickCfg(33)
+	cfg.HotspotRotate = -1
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("negative HotspotRotate accepted")
+	}
+}

@@ -1,0 +1,120 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Histogram counts integer-valued observations (query latencies in hops are
+// small non-negative integers) in unit-width bins, with an overflow bin for
+// values at or above the configured cap.
+type Histogram struct {
+	bins     []int64
+	overflow int64
+	total    int64
+}
+
+// NewHistogram returns a histogram with bins for values 0..cap-1 and an
+// overflow bin. It panics if cap <= 0.
+func NewHistogram(capValue int) *Histogram {
+	if capValue <= 0 {
+		panic(fmt.Sprintf("stats: histogram cap must be positive, got %d", capValue))
+	}
+	return &Histogram{bins: make([]int64, capValue)}
+}
+
+// Add records one observation. Negative values panic — hop counts cannot be
+// negative and a negative observation indicates an accounting bug.
+func (h *Histogram) Add(v int) {
+	if v < 0 {
+		panic(fmt.Sprintf("stats: negative histogram value %d", v))
+	}
+	if v >= len(h.bins) {
+		h.overflow++
+	} else {
+		h.bins[v]++
+	}
+	h.total++
+}
+
+// Count returns the number of observations equal to v, or the overflow
+// count when v is the cap or larger.
+func (h *Histogram) Count(v int) int64 {
+	if v < 0 {
+		return 0
+	}
+	if v >= len(h.bins) {
+		return h.overflow
+	}
+	return h.bins[v]
+}
+
+// Total returns the number of observations recorded.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Percentile returns the smallest value v such that at least p (0..1) of
+// the observations are <= v. Overflowed observations are reported as the
+// cap value. It returns 0 when the histogram is empty.
+func (h *Histogram) Percentile(p float64) int {
+	if h.total == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	need := int64(p * float64(h.total))
+	if need < 1 {
+		need = 1
+	}
+	var cum int64
+	for v, c := range h.bins {
+		cum += c
+		if cum >= need {
+			return v
+		}
+	}
+	return len(h.bins)
+}
+
+// String renders a compact sparkline-style summary of non-empty bins, e.g.
+// "0:5310 1:211 2:40 ge8:3". Useful in trace output and test failures.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	for v, c := range h.bins {
+		if c > 0 {
+			fmt.Fprintf(&b, "%d:%d ", v, c)
+		}
+	}
+	if h.overflow > 0 {
+		fmt.Fprintf(&b, "ge%d:%d ", len(h.bins), h.overflow)
+	}
+	return strings.TrimSpace(b.String())
+}
+
+// Quantiles is a convenience for computing several percentiles of a raw
+// float64 sample in one sort. It returns one value per requested p.
+func Quantiles(sample []float64, ps ...float64) []float64 {
+	if len(sample) == 0 {
+		return make([]float64, len(ps))
+	}
+	sorted := append([]float64(nil), sample...)
+	sort.Float64s(sorted)
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		if p <= 0 {
+			out[i] = sorted[0]
+			continue
+		}
+		if p >= 1 {
+			out[i] = sorted[len(sorted)-1]
+			continue
+		}
+		idx := int(p * float64(len(sorted)-1))
+		out[i] = sorted[idx]
+	}
+	return out
+}

@@ -1,0 +1,130 @@
+// Package stats provides the statistics machinery the evaluation relies on:
+// numerically stable online moments (Welford), 95% confidence intervals via
+// Student's t distribution, batch-means analysis for correlated simulation
+// output, and fixed-width histograms for latency distributions.
+package stats
+
+import "math"
+
+// Online accumulates count, mean and variance of a stream of observations
+// in a single pass using Welford's algorithm. The zero value is ready to use.
+type Online struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add records one observation.
+func (o *Online) Add(x float64) {
+	o.n++
+	if o.n == 1 {
+		o.min, o.max = x, x
+	} else {
+		if x < o.min {
+			o.min = x
+		}
+		if x > o.max {
+			o.max = x
+		}
+	}
+	delta := x - o.mean
+	o.mean += delta / float64(o.n)
+	o.m2 += delta * (x - o.mean)
+}
+
+// AddN records the same observation value n times. It is useful when an
+// aggregate counter stands in for individual samples.
+func (o *Online) AddN(x float64, n int64) {
+	for i := int64(0); i < n; i++ {
+		o.Add(x)
+	}
+}
+
+// N returns the number of observations recorded.
+func (o *Online) N() int64 { return o.n }
+
+// Mean returns the sample mean, or 0 when no observations were recorded.
+func (o *Online) Mean() float64 { return o.mean }
+
+// Sum returns the sum of all observations.
+func (o *Online) Sum() float64 { return o.mean * float64(o.n) }
+
+// Variance returns the unbiased sample variance (n-1 denominator), or 0 for
+// fewer than two observations.
+func (o *Online) Variance() float64 {
+	if o.n < 2 {
+		return 0
+	}
+	return o.m2 / float64(o.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (o *Online) StdDev() float64 { return math.Sqrt(o.Variance()) }
+
+// StdErr returns the standard error of the mean, or 0 with no observations.
+func (o *Online) StdErr() float64 {
+	if o.n == 0 {
+		return 0
+	}
+	return o.StdDev() / math.Sqrt(float64(o.n))
+}
+
+// Min returns the smallest observation, or 0 with no observations.
+func (o *Online) Min() float64 { return o.min }
+
+// Max returns the largest observation, or 0 with no observations.
+func (o *Online) Max() float64 { return o.max }
+
+// Reset discards all recorded observations.
+func (o *Online) Reset() { *o = Online{} }
+
+// Merge folds other into o, as if every observation added to other had been
+// added to o. It uses the parallel variant of Welford's update.
+func (o *Online) Merge(other *Online) {
+	if other.n == 0 {
+		return
+	}
+	if o.n == 0 {
+		*o = *other
+		return
+	}
+	delta := other.mean - o.mean
+	total := o.n + other.n
+	o.m2 += other.m2 + delta*delta*float64(o.n)*float64(other.n)/float64(total)
+	o.mean += delta * float64(other.n) / float64(total)
+	if other.min < o.min {
+		o.min = other.min
+	}
+	if other.max > o.max {
+		o.max = other.max
+	}
+	o.n = total
+}
+
+// CI95 returns the half-width of the 95% confidence interval for the mean,
+// using Student's t quantile for the observed sample size. It returns 0 for
+// fewer than two observations.
+func (o *Online) CI95() float64 {
+	if o.n < 2 {
+		return 0
+	}
+	return TQuantile95(o.n-1) * o.StdErr()
+}
+
+// RelativeCI95 returns CI95 divided by |mean|, the relative half-width used
+// as the simulation stopping rule. It returns +Inf when the mean is zero
+// and fewer than two observations have identical value zero... specifically:
+// if the mean is 0 it returns 0 when the variance is also 0 (a degenerate
+// but converged stream) and +Inf otherwise.
+func (o *Online) RelativeCI95() float64 {
+	ci := o.CI95()
+	if o.mean == 0 {
+		if ci == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return ci / math.Abs(o.mean)
+}

@@ -1,0 +1,325 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestOnlineBasics(t *testing.T) {
+	var o Online
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		o.Add(x)
+	}
+	if o.N() != 8 {
+		t.Fatalf("N = %d, want 8", o.N())
+	}
+	if !almostEqual(o.Mean(), 5, 1e-12) {
+		t.Errorf("Mean = %v, want 5", o.Mean())
+	}
+	// Sample variance (n-1) of this classic dataset is 32/7.
+	if !almostEqual(o.Variance(), 32.0/7, 1e-12) {
+		t.Errorf("Variance = %v, want %v", o.Variance(), 32.0/7)
+	}
+	if o.Min() != 2 || o.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v, want 2/9", o.Min(), o.Max())
+	}
+	if !almostEqual(o.Sum(), 40, 1e-9) {
+		t.Errorf("Sum = %v, want 40", o.Sum())
+	}
+}
+
+func TestOnlineEmptyAndSingle(t *testing.T) {
+	var o Online
+	if o.Mean() != 0 || o.Variance() != 0 || o.StdErr() != 0 || o.CI95() != 0 {
+		t.Fatal("empty Online should report zeros")
+	}
+	o.Add(3.5)
+	if o.Mean() != 3.5 || o.Variance() != 0 || o.CI95() != 0 {
+		t.Fatal("single-observation Online: mean 3.5, variance 0, CI 0")
+	}
+	if o.Min() != 3.5 || o.Max() != 3.5 {
+		t.Fatal("single-observation min/max wrong")
+	}
+}
+
+func TestOnlineAddN(t *testing.T) {
+	var a, b Online
+	a.AddN(2.5, 4)
+	for i := 0; i < 4; i++ {
+		b.Add(2.5)
+	}
+	if a.N() != b.N() || a.Mean() != b.Mean() || a.Variance() != b.Variance() {
+		t.Fatal("AddN disagrees with repeated Add")
+	}
+}
+
+func TestOnlineReset(t *testing.T) {
+	var o Online
+	o.Add(1)
+	o.Add(2)
+	o.Reset()
+	if o.N() != 0 || o.Mean() != 0 {
+		t.Fatal("Reset did not clear state")
+	}
+}
+
+func TestOnlineMergeMatchesSequential(t *testing.T) {
+	err := quick.Check(func(xs, ys []float64) bool {
+		clean := func(vs []float64) []float64 {
+			out := vs[:0]
+			for _, v := range vs {
+				if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e6 {
+					out = append(out, v)
+				}
+			}
+			return out
+		}
+		xs, ys = clean(xs), clean(ys)
+		var a, b, all Online
+		for _, x := range xs {
+			a.Add(x)
+			all.Add(x)
+		}
+		for _, y := range ys {
+			b.Add(y)
+			all.Add(y)
+		}
+		a.Merge(&b)
+		if a.N() != all.N() {
+			return false
+		}
+		if a.N() == 0 {
+			return true
+		}
+		scale := 1 + math.Abs(all.Mean())
+		return almostEqual(a.Mean(), all.Mean(), 1e-8*scale) &&
+			almostEqual(a.Variance(), all.Variance(), 1e-6*(1+all.Variance()))
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOnlineMergeEmptyCases(t *testing.T) {
+	var a, b Online
+	a.Merge(&b) // empty into empty
+	if a.N() != 0 {
+		t.Fatal("merge of empties not empty")
+	}
+	b.Add(7)
+	a.Merge(&b)
+	if a.N() != 1 || a.Mean() != 7 {
+		t.Fatal("merge into empty lost data")
+	}
+	var c Online
+	a.Merge(&c) // empty into non-empty
+	if a.N() != 1 || a.Mean() != 7 {
+		t.Fatal("merge of empty perturbed state")
+	}
+}
+
+func TestCI95KnownValue(t *testing.T) {
+	// 10 observations 1..10: mean 5.5, sd ~3.0277, stderr ~0.9574,
+	// t(9) = 2.262 -> CI ~2.1659.
+	var o Online
+	for i := 1; i <= 10; i++ {
+		o.Add(float64(i))
+	}
+	if !almostEqual(o.CI95(), 2.1659, 0.001) {
+		t.Fatalf("CI95 = %v, want ~2.1659", o.CI95())
+	}
+	if !almostEqual(o.RelativeCI95(), 2.1659/5.5, 0.001) {
+		t.Fatalf("RelativeCI95 = %v", o.RelativeCI95())
+	}
+}
+
+func TestRelativeCI95ZeroMean(t *testing.T) {
+	var o Online
+	o.Add(0)
+	o.Add(0)
+	if o.RelativeCI95() != 0 {
+		t.Fatalf("all-zero stream should be converged, got %v", o.RelativeCI95())
+	}
+	var p Online
+	p.Add(-1)
+	p.Add(1)
+	if !math.IsInf(p.RelativeCI95(), 1) {
+		t.Fatalf("zero-mean nonzero-variance stream should give +Inf, got %v", p.RelativeCI95())
+	}
+}
+
+func TestTQuantile95(t *testing.T) {
+	cases := map[int64]float64{1: 12.706, 5: 2.571, 30: 2.042, 120: 1.98, 1000000: 1.96}
+	for df, want := range cases {
+		got := TQuantile95(df)
+		if !almostEqual(got, want, 0.01) {
+			t.Errorf("TQuantile95(%d) = %v, want ~%v", df, got, want)
+		}
+	}
+	if TQuantile95(0) != 0 {
+		t.Error("TQuantile95(0) should be 0")
+	}
+	// Monotone decreasing in df.
+	prev := TQuantile95(1)
+	for df := int64(2); df < 200; df++ {
+		cur := TQuantile95(df)
+		if cur > prev+1e-9 {
+			t.Fatalf("t quantile increased at df=%d: %v > %v", df, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestBatchMeansConvergesOnIID(t *testing.T) {
+	bm := NewBatchMeans(100)
+	// Deterministic pseudo-noise around 10.
+	x := 0.5
+	for i := 0; i < 100000; i++ {
+		x = math.Mod(x*997+0.1234567, 1)
+		bm.Add(10 + (x - 0.5))
+	}
+	if bm.Batches() != 1000 {
+		t.Fatalf("Batches = %d, want 1000", bm.Batches())
+	}
+	if !almostEqual(bm.Mean(), 10, 0.01) {
+		t.Fatalf("Mean = %v, want ~10", bm.Mean())
+	}
+	if bm.RelativeCI95() > 0.01 {
+		t.Fatalf("RelativeCI95 = %v, should be tiny", bm.RelativeCI95())
+	}
+}
+
+func TestBatchMeansExcludesPartialTail(t *testing.T) {
+	bm := NewBatchMeans(10)
+	for i := 0; i < 10; i++ {
+		bm.Add(1)
+	}
+	for i := 0; i < 5; i++ {
+		bm.Add(100) // unfinished batch, must not count
+	}
+	if bm.Batches() != 1 {
+		t.Fatalf("Batches = %d, want 1", bm.Batches())
+	}
+	if bm.Mean() != 1 {
+		t.Fatalf("Mean = %v, want 1 (tail excluded)", bm.Mean())
+	}
+}
+
+func TestBatchMeansClampsBatchSize(t *testing.T) {
+	bm := NewBatchMeans(0)
+	bm.Add(2)
+	bm.Add(4)
+	if bm.Batches() != 2 || bm.Mean() != 3 {
+		t.Fatalf("batch size clamp broken: batches=%d mean=%v", bm.Batches(), bm.Mean())
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(8)
+	for _, v := range []int{0, 0, 1, 3, 7, 8, 20} {
+		h.Add(v)
+	}
+	if h.Total() != 7 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	if h.Count(0) != 2 || h.Count(1) != 1 || h.Count(3) != 1 || h.Count(7) != 1 {
+		t.Fatal("bin counts wrong")
+	}
+	if h.Count(8) != 2 || h.Count(100) != 2 {
+		t.Fatalf("overflow count = %d, want 2", h.Count(8))
+	}
+	if h.Count(-1) != 0 {
+		t.Fatal("negative query should count 0")
+	}
+}
+
+func TestHistogramPercentile(t *testing.T) {
+	h := NewHistogram(100)
+	for v := 1; v <= 100; v++ {
+		if v < 100 {
+			h.Add(v)
+		} else {
+			h.Add(150) // overflows
+		}
+	}
+	if p := h.Percentile(0.5); p != 50 {
+		t.Errorf("p50 = %d, want 50", p)
+	}
+	if p := h.Percentile(0.99); p != 99 {
+		t.Errorf("p99 = %d, want 99", p)
+	}
+	if p := h.Percentile(1.0); p != 100 {
+		t.Errorf("p100 = %d, want 100 (cap, from overflow)", p)
+	}
+	if NewHistogram(4).Percentile(0.5) != 0 {
+		t.Error("empty histogram percentile should be 0")
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"cap=0":    func() { NewHistogram(0) },
+		"negative": func() { NewHistogram(4).Add(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewHistogram(4)
+	h.Add(0)
+	h.Add(0)
+	h.Add(2)
+	h.Add(9)
+	got := h.String()
+	want := "0:2 2:1 ge4:1"
+	if got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestQuantiles(t *testing.T) {
+	sample := []float64{5, 1, 4, 2, 3}
+	qs := Quantiles(sample, 0, 0.5, 1)
+	if qs[0] != 1 || qs[1] != 3 || qs[2] != 5 {
+		t.Fatalf("Quantiles = %v", qs)
+	}
+	empty := Quantiles(nil, 0.5)
+	if empty[0] != 0 {
+		t.Fatal("empty sample quantile should be 0")
+	}
+	// Input must not be mutated.
+	if sample[0] != 5 {
+		t.Fatal("Quantiles mutated its input")
+	}
+}
+
+func TestOnlinePropertyMeanBounds(t *testing.T) {
+	err := quick.Check(func(xs []float64) bool {
+		var o Online
+		ok := true
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e12 {
+				continue
+			}
+			o.Add(x)
+		}
+		if o.N() > 0 {
+			ok = o.Mean() >= o.Min()-1e-9 && o.Mean() <= o.Max()+1e-9 && o.Variance() >= 0
+		}
+		return ok
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

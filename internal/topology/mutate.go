@@ -1,0 +1,91 @@
+package topology
+
+import "fmt"
+
+// The mutation operations below support churn simulation (Section III-C of
+// the paper): the underlying peer-to-peer protocol repairs the index search
+// tree when nodes fail and recover, and the maintenance schemes adjust
+// their own state on top of the repaired routing.
+
+// Detach removes node n from the routing tree: every child of n reattaches
+// to n's parent, and n itself is left parentless and childless (depth 0 by
+// convention). Subtree depths are updated. It panics when n is the root —
+// root failure hands the authority role to a successor instead (handled by
+// the live network, not the simulator).
+func (t *Tree) Detach(n int) {
+	if n == 0 {
+		panic("topology: cannot detach the root")
+	}
+	p := t.parent[n]
+	if p == -1 {
+		return // already detached
+	}
+	for _, c := range t.children[n] {
+		t.parent[c] = p
+		t.children[p] = append(t.children[p], c)
+		t.refreshDepths(c, t.depth[p]+1)
+	}
+	t.children[n] = nil
+	t.removeChild(p, n)
+	t.parent[n] = -1
+	t.depth[n] = 0
+}
+
+// Attach re-inserts a detached node n as a child of parent. It panics if n
+// is still attached, if parent equals n, or if parent is itself detached.
+func (t *Tree) Attach(n, parent int) {
+	if n == 0 {
+		panic("topology: cannot attach the root")
+	}
+	if t.parent[n] != -1 {
+		panic(fmt.Sprintf("topology: node %d is still attached", n))
+	}
+	if parent == n {
+		panic("topology: node cannot be its own parent")
+	}
+	if parent != 0 && t.parent[parent] == -1 {
+		panic(fmt.Sprintf("topology: parent %d is detached", parent))
+	}
+	t.parent[n] = parent
+	t.children[parent] = append(t.children[parent], n)
+	t.refreshDepths(n, t.depth[parent]+1)
+}
+
+// Attached reports whether node n currently participates in routing (the
+// root always does).
+func (t *Tree) Attached(n int) bool { return n == 0 || t.parent[n] != -1 }
+
+// refreshDepths sets node n's depth to d and recomputes its subtree.
+func (t *Tree) refreshDepths(n, d int) {
+	t.depth[n] = d
+	for _, c := range t.children[n] {
+		t.refreshDepths(c, d+1)
+	}
+}
+
+// removeChild deletes c from p's child list, preserving order.
+func (t *Tree) removeChild(p, c int) {
+	kids := t.children[p]
+	for i, v := range kids {
+		if v == c {
+			t.children[p] = append(kids[:i], kids[i+1:]...)
+			return
+		}
+	}
+	panic(fmt.Sprintf("topology: node %d is not a child of %d", c, p))
+}
+
+// NearestAttachedAncestor walks up from node n's original position using
+// the provided original-parent vector until it finds an attached node, and
+// returns it. It is used to re-home recovering nodes whose old parent is
+// still down.
+func (t *Tree) NearestAttachedAncestor(n int, originalParent []int) int {
+	for p := originalParent[n]; ; p = originalParent[p] {
+		if p == -1 {
+			return 0
+		}
+		if t.Attached(p) {
+			return p
+		}
+	}
+}

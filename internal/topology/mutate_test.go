@@ -1,0 +1,186 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dup/internal/rng"
+)
+
+func TestDetachReattachesChildren(t *testing.T) {
+	tr := Paper()
+	tr.Detach(4) // N5 fails: N6 reattaches to N3
+	if tr.Parent(5) != 2 {
+		t.Fatalf("N6 parent = %d, want N3 (2)", tr.Parent(5))
+	}
+	if tr.Depth(5) != 3 || tr.Depth(6) != 4 {
+		t.Fatalf("depths not refreshed: N6=%d N7=%d", tr.Depth(5), tr.Depth(6))
+	}
+	if tr.Attached(4) {
+		t.Fatal("detached node still attached")
+	}
+	if err := validateIgnoring(tr, 4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDetachLeaf(t *testing.T) {
+	tr := Paper()
+	tr.Detach(7)
+	if tr.Attached(7) {
+		t.Fatal("leaf still attached")
+	}
+	for _, c := range tr.Children(5) {
+		if c == 7 {
+			t.Fatal("N6 still lists detached child")
+		}
+	}
+}
+
+func TestDetachIdempotent(t *testing.T) {
+	tr := Paper()
+	tr.Detach(3)
+	tr.Detach(3) // no-op, must not panic
+	if tr.Attached(3) {
+		t.Fatal("node attached after double detach")
+	}
+}
+
+func TestAttachRestores(t *testing.T) {
+	tr := Paper()
+	tr.Detach(4)
+	tr.Attach(4, 2)
+	if tr.Parent(4) != 2 || tr.Depth(4) != 3 {
+		t.Fatalf("reattach wrong: parent=%d depth=%d", tr.Parent(4), tr.Depth(4))
+	}
+	// N6 stays where the repair put it (child of N3), N5 returns empty.
+	if len(tr.Children(4)) != 0 {
+		t.Fatal("reattached node kept children")
+	}
+}
+
+func TestAttachPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"stillAttached": func() { tr := Paper(); tr.Attach(4, 2) },
+		"selfParent":    func() { tr := Paper(); tr.Detach(4); tr.Attach(4, 4) },
+		"deadParent": func() {
+			tr := Paper()
+			tr.Detach(4)
+			tr.Detach(5)
+			tr.Attach(5, 4)
+		},
+		"detachRoot": func() { Paper().Detach(0) },
+		"attachRoot": func() { Paper().Attach(0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestNearestAttachedAncestor(t *testing.T) {
+	tr := Paper()
+	orig := make([]int, tr.N())
+	for i := range orig {
+		orig[i] = tr.Parent(i)
+	}
+	tr.Detach(4)
+	tr.Detach(2)
+	// N5's original parent N3 is down; nearest attached original ancestor
+	// is N2.
+	if got := tr.NearestAttachedAncestor(4, orig); got != 1 {
+		t.Fatalf("ancestor = %d, want N2 (1)", got)
+	}
+	tr.Detach(1)
+	if got := tr.NearestAttachedAncestor(4, orig); got != 0 {
+		t.Fatalf("ancestor = %d, want root", got)
+	}
+}
+
+// validateIgnoring runs the structural checks while skipping detached
+// nodes.
+func validateIgnoring(t *Tree, detached ...int) error {
+	dead := map[int]bool{}
+	for _, d := range detached {
+		dead[d] = true
+	}
+	for i := 0; i < t.N(); i++ {
+		if dead[i] || i == 0 {
+			continue
+		}
+		p := t.Parent(i)
+		if p == -1 {
+			continue // also detached
+		}
+		if t.Depth(i) != t.Depth(p)+1 {
+			return errDepth(i, t.Depth(i), p, t.Depth(p))
+		}
+	}
+	return nil
+}
+
+type errDepthT struct{ i, di, p, dp int }
+
+func errDepth(i, di, p, dp int) error { return errDepthT{i, di, p, dp} }
+func (e errDepthT) Error() string {
+	return "depth mismatch"
+}
+
+// TestChurnPropertyRoutingStaysConsistent applies random detach/attach
+// sequences and verifies that attached nodes always form a tree rooted at
+// 0 with consistent depths.
+func TestChurnPropertyRoutingStaysConsistent(t *testing.T) {
+	err := quick.Check(func(seed uint64, opsRaw uint8) bool {
+		src := rng.New(seed)
+		n := src.IntRange(3, 40)
+		tr := Generate(n, src.IntRange(1, 4), src.Split())
+		orig := make([]int, n)
+		for i := range orig {
+			orig[i] = tr.Parent(i)
+		}
+		down := map[int]bool{}
+		ops := int(opsRaw%60) + 5
+		for i := 0; i < ops; i++ {
+			node := src.IntRange(1, n-1)
+			if down[node] {
+				tr.Attach(node, tr.NearestAttachedAncestor(node, orig))
+				delete(down, node)
+			} else {
+				tr.Detach(node)
+				down[node] = true
+			}
+			// Check invariants over attached nodes.
+			for v := 0; v < n; v++ {
+				if down[v] {
+					if tr.Attached(v) {
+						return false
+					}
+					continue
+				}
+				// Walk to root, bounded.
+				hops := 0
+				for w := v; w != 0; w = tr.Parent(w) {
+					if w == -1 || down[w] {
+						return false
+					}
+					if tr.Depth(w) != tr.Depth(tr.Parent(w))+1 {
+						return false
+					}
+					hops++
+					if hops > n {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

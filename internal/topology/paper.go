@@ -1,0 +1,14 @@
+package topology
+
+// Paper returns the eight-node index search tree of the paper's Figures 1
+// and 2, with zero-based ids: node i here is N(i+1) in the paper.
+//
+//	N1(0) ── N2(1) ── N3(2) ─┬─ N4(3)
+//	                         └─ N5(4) ── N6(5) ─┬─ N7(6)
+//	                                            └─ N8(7)
+//
+// It is used by tests that replay the paper's worked examples (e.g. "DUP
+// costs three hops while PCX costs ten hops and CUP costs five hops").
+func Paper() *Tree {
+	return FromParents([]int{-1, 0, 1, 2, 2, 4, 5, 5})
+}

@@ -1,0 +1,235 @@
+// Package topology builds and navigates index search trees — the routing
+// structure that queries for a key follow toward its authority node in a
+// structured peer-to-peer network. Node 0 is always the root (the authority
+// node for the simulated index).
+//
+// Two constructions are provided: the paper's random trees, where each
+// node's child count is drawn uniformly from [1, D] (Section IV), and trees
+// derived from actual Chord lookup paths (see dup/internal/overlay/chord),
+// used by the topology ablation experiment.
+package topology
+
+import (
+	"fmt"
+
+	"dup/internal/rng"
+)
+
+// Tree is an immutable rooted tree over nodes 0..N-1 with node 0 as root.
+type Tree struct {
+	parent   []int   // parent[0] == -1
+	children [][]int // children[i] in insertion order
+	depth    []int   // depth[0] == 0
+}
+
+// Generate builds a random index search tree with n nodes where each node's
+// child count is drawn uniformly from [1, maxDegree], in breadth-first
+// order, truncated once n nodes exist. This follows Section IV: "The number
+// of children for each node is uniformly selected from [1, D]."
+// It panics if n <= 0 or maxDegree <= 0.
+func Generate(n, maxDegree int, src *rng.Source) *Tree {
+	if n <= 0 {
+		panic(fmt.Sprintf("topology: need n > 0, got %d", n))
+	}
+	if maxDegree <= 0 {
+		panic(fmt.Sprintf("topology: need maxDegree > 0, got %d", maxDegree))
+	}
+	t := &Tree{
+		parent:   make([]int, n),
+		children: make([][]int, n),
+		depth:    make([]int, n),
+	}
+	t.parent[0] = -1
+	next := 1
+	// Frontier processed in FIFO order; node ids are assigned in BFS order
+	// so ids are contiguous per level.
+	for head := 0; head < n && next < n; head++ {
+		want := src.IntRange(1, maxDegree)
+		for c := 0; c < want && next < n; c++ {
+			t.parent[next] = head
+			t.depth[next] = t.depth[head] + 1
+			t.children[head] = append(t.children[head], next)
+			next++
+		}
+	}
+	return t
+}
+
+// FromParents builds a tree from an explicit parent vector: parent[0] must
+// be -1 and every other entry must point to an already-valid node forming a
+// single tree rooted at 0. It is used by tests (hand-built paper figures)
+// and by the Chord adapter. It panics on malformed input.
+func FromParents(parent []int) *Tree {
+	n := len(parent)
+	if n == 0 {
+		panic("topology: empty parent vector")
+	}
+	if parent[0] != -1 {
+		panic(fmt.Sprintf("topology: parent[0] must be -1, got %d", parent[0]))
+	}
+	t := &Tree{
+		parent:   append([]int(nil), parent...),
+		children: make([][]int, n),
+		depth:    make([]int, n),
+	}
+	for i := 1; i < n; i++ {
+		p := parent[i]
+		if p < 0 || p >= n || p == i {
+			panic(fmt.Sprintf("topology: node %d has invalid parent %d", i, p))
+		}
+		t.children[p] = append(t.children[p], i)
+	}
+	// Compute depths and verify connectivity (every node reaches the root
+	// without a cycle).
+	for i := 1; i < n; i++ {
+		d, hops := 0, 0
+		for j := i; j != 0; j = t.parent[j] {
+			d++
+			hops++
+			if hops > n {
+				panic(fmt.Sprintf("topology: cycle involving node %d", i))
+			}
+		}
+		t.depth[i] = d
+	}
+	return t
+}
+
+// Clone returns a deep copy of the tree. Simulations that mutate routing
+// (churn) clone caller-provided trees first.
+func (t *Tree) Clone() *Tree {
+	c := &Tree{
+		parent:   append([]int(nil), t.parent...),
+		children: make([][]int, len(t.children)),
+		depth:    append([]int(nil), t.depth...),
+	}
+	for i, kids := range t.children {
+		c.children[i] = append([]int(nil), kids...)
+	}
+	return c
+}
+
+// N returns the number of nodes.
+func (t *Tree) N() int { return len(t.parent) }
+
+// Root returns the root node id (always 0).
+func (t *Tree) Root() int { return 0 }
+
+// Parent returns the parent of node i, or -1 for the root.
+func (t *Tree) Parent(i int) int { return t.parent[i] }
+
+// Children returns the children of node i. The slice must not be modified.
+func (t *Tree) Children(i int) []int { return t.children[i] }
+
+// Depth returns the number of hops from node i to the root.
+func (t *Tree) Depth(i int) int { return t.depth[i] }
+
+// IsRoot reports whether i is the root.
+func (t *Tree) IsRoot(i int) bool { return i == 0 }
+
+// PathToRoot returns the nodes from i (inclusive) to the root (inclusive).
+func (t *Tree) PathToRoot(i int) []int {
+	path := make([]int, 0, t.depth[i]+1)
+	for j := i; j != -1; j = t.parent[j] {
+		path = append(path, j)
+	}
+	return path
+}
+
+// Ancestor reports whether a is an ancestor of b (or equal to b).
+func (t *Tree) Ancestor(a, b int) bool {
+	for j := b; j != -1; j = t.parent[j] {
+		if j == a {
+			return true
+		}
+	}
+	return false
+}
+
+// LCA returns the lowest common ancestor of a and b.
+func (t *Tree) LCA(a, b int) int {
+	for t.depth[a] > t.depth[b] {
+		a = t.parent[a]
+	}
+	for t.depth[b] > t.depth[a] {
+		b = t.parent[b]
+	}
+	for a != b {
+		a, b = t.parent[a], t.parent[b]
+	}
+	return a
+}
+
+// ChildToward returns the child of ancestor anc whose subtree contains
+// node i, i.e. the first hop from anc on the downward path to i. It panics
+// if anc is not a strict ancestor of i.
+func (t *Tree) ChildToward(anc, i int) int {
+	prev := -1
+	for j := i; j != -1; j = t.parent[j] {
+		if j == anc {
+			if prev == -1 {
+				panic(fmt.Sprintf("topology: ChildToward(%d, %d): not a strict ancestor", anc, i))
+			}
+			return prev
+		}
+		prev = j
+	}
+	panic(fmt.Sprintf("topology: ChildToward(%d, %d): %d is not an ancestor", anc, i, anc))
+}
+
+// MaxDepth returns the depth of the deepest node.
+func (t *Tree) MaxDepth() int {
+	m := 0
+	for _, d := range t.depth {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// MeanDepth returns the average node depth — the expected cold-cache query
+// latency of the PCX scheme.
+func (t *Tree) MeanDepth() float64 {
+	sum := 0
+	for _, d := range t.depth {
+		sum += d
+	}
+	return float64(sum) / float64(len(t.depth))
+}
+
+// Validate checks the structural invariants (root parent, consistent
+// children/parent, consistent depths, connectivity) and returns an error
+// describing the first violation, or nil. Generation code is trusted; this
+// is used by tests and by adapters that build trees from external sources.
+func (t *Tree) Validate() error {
+	n := t.N()
+	if n == 0 {
+		return fmt.Errorf("empty tree")
+	}
+	if t.parent[0] != -1 {
+		return fmt.Errorf("root parent is %d, want -1", t.parent[0])
+	}
+	if t.depth[0] != 0 {
+		return fmt.Errorf("root depth is %d, want 0", t.depth[0])
+	}
+	childCount := 0
+	for p, kids := range t.children {
+		for _, c := range kids {
+			childCount++
+			if c <= 0 || c >= n {
+				return fmt.Errorf("node %d lists invalid child %d", p, c)
+			}
+			if t.parent[c] != p {
+				return fmt.Errorf("child %d of %d has parent %d", c, p, t.parent[c])
+			}
+			if t.depth[c] != t.depth[p]+1 {
+				return fmt.Errorf("child %d depth %d, parent %d depth %d", c, t.depth[c], p, t.depth[p])
+			}
+		}
+	}
+	if childCount != n-1 {
+		return fmt.Errorf("tree has %d child links, want %d", childCount, n-1)
+	}
+	return nil
+}

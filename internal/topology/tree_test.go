@@ -1,0 +1,226 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dup/internal/rng"
+)
+
+func TestGenerateValid(t *testing.T) {
+	for _, n := range []int{1, 2, 10, 1000} {
+		for _, d := range []int{1, 2, 4, 10} {
+			tr := Generate(n, d, rng.New(uint64(n*100+d)))
+			if tr.N() != n {
+				t.Fatalf("n=%d d=%d: N() = %d", n, d, tr.N())
+			}
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("n=%d d=%d: %v", n, d, err)
+			}
+		}
+	}
+}
+
+func TestGenerateRespectsMaxDegree(t *testing.T) {
+	tr := Generate(5000, 4, rng.New(9))
+	sawMultiple := false
+	for i := 0; i < tr.N(); i++ {
+		if k := len(tr.Children(i)); k > 4 {
+			t.Fatalf("node %d has %d children, max 4", i, k)
+		} else if k > 1 {
+			sawMultiple = true
+		}
+	}
+	if !sawMultiple {
+		t.Fatal("no node with more than one child in a 5000-node degree-4 tree")
+	}
+}
+
+func TestGenerateDegreeOneIsChain(t *testing.T) {
+	tr := Generate(50, 1, rng.New(3))
+	if tr.MaxDepth() != 49 {
+		t.Fatalf("degree-1 tree should be a chain; max depth %d", tr.MaxDepth())
+	}
+	for i := 1; i < 50; i++ {
+		if tr.Parent(i) != i-1 {
+			t.Fatalf("chain broken at %d", i)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(500, 4, rng.New(42))
+	b := Generate(500, 4, rng.New(42))
+	for i := 0; i < 500; i++ {
+		if a.Parent(i) != b.Parent(i) {
+			t.Fatalf("same seed produced different trees at node %d", i)
+		}
+	}
+}
+
+func TestGeneratePanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"n=0": func() { Generate(0, 4, rng.New(1)) },
+		"d=0": func() { Generate(10, 0, rng.New(1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestPaperTreeShape(t *testing.T) {
+	tr := Paper()
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.N() != 8 {
+		t.Fatalf("paper tree has %d nodes", tr.N())
+	}
+	// N6 (id 5) is four hops from the root: the paper's "eight hops for N6
+	// to send the request and get the index from N1" round trip.
+	if tr.Depth(5) != 4 {
+		t.Fatalf("depth(N6) = %d, want 4", tr.Depth(5))
+	}
+	if tr.Depth(3) != 3 {
+		t.Fatalf("depth(N4) = %d, want 3", tr.Depth(3))
+	}
+	if got := tr.LCA(3, 5); got != 2 {
+		t.Fatalf("LCA(N4, N6) = %d, want N3 (2)", got)
+	}
+}
+
+func TestPathToRoot(t *testing.T) {
+	tr := Paper()
+	path := tr.PathToRoot(5)
+	want := []int{5, 4, 2, 1, 0}
+	if len(path) != len(want) {
+		t.Fatalf("path = %v", path)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path = %v, want %v", path, want)
+		}
+	}
+	rootPath := tr.PathToRoot(0)
+	if len(rootPath) != 1 || rootPath[0] != 0 {
+		t.Fatalf("root path = %v", rootPath)
+	}
+}
+
+func TestAncestor(t *testing.T) {
+	tr := Paper()
+	cases := []struct {
+		a, b int
+		want bool
+	}{
+		{0, 5, true}, {2, 5, true}, {5, 5, true},
+		{3, 5, false}, {5, 2, false}, {4, 7, true},
+	}
+	for _, c := range cases {
+		if got := tr.Ancestor(c.a, c.b); got != c.want {
+			t.Errorf("Ancestor(%d,%d) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestChildToward(t *testing.T) {
+	tr := Paper()
+	if got := tr.ChildToward(2, 7); got != 4 {
+		t.Fatalf("ChildToward(N3, N8) = %d, want N5 (4)", got)
+	}
+	if got := tr.ChildToward(0, 1); got != 1 {
+		t.Fatalf("ChildToward(N1, N2) = %d, want 1", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ChildToward(self, self) did not panic")
+		}
+	}()
+	tr.ChildToward(3, 3)
+}
+
+func TestLCAProperty(t *testing.T) {
+	tr := Generate(2000, 3, rng.New(77))
+	err := quick.Check(func(aRaw, bRaw uint16) bool {
+		a, b := int(aRaw)%2000, int(bRaw)%2000
+		l := tr.LCA(a, b)
+		// The LCA must be an ancestor of both, and no child of it toward a
+		// may also be an ancestor of b (i.e. it is the lowest).
+		if !tr.Ancestor(l, a) || !tr.Ancestor(l, b) {
+			return false
+		}
+		if l != a && l != b {
+			ca := tr.ChildToward(l, a)
+			if tr.Ancestor(ca, b) {
+				return false
+			}
+		}
+		return tr.LCA(a, b) == tr.LCA(b, a)
+	}, &quick.Config{MaxCount: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanAndMaxDepth(t *testing.T) {
+	tr := Paper()
+	// Depths: 0,1,2,3,3,4,5,5 -> mean 23/8, max 5.
+	if tr.MaxDepth() != 5 {
+		t.Fatalf("MaxDepth = %d", tr.MaxDepth())
+	}
+	if got, want := tr.MeanDepth(), 23.0/8; got != want {
+		t.Fatalf("MeanDepth = %v, want %v", got, want)
+	}
+}
+
+func TestMeanDepthShrinksWithDegree(t *testing.T) {
+	lo := Generate(4096, 2, rng.New(5))
+	hi := Generate(4096, 10, rng.New(5))
+	if hi.MeanDepth() >= lo.MeanDepth() {
+		t.Fatalf("degree 10 tree (%v) not shallower than degree 2 tree (%v)",
+			hi.MeanDepth(), lo.MeanDepth())
+	}
+}
+
+func TestFromParentsRejectsMalformed(t *testing.T) {
+	for name, parents := range map[string][]int{
+		"empty":       {},
+		"rootParent":  {0},
+		"selfLoop":    {-1, 1},
+		"outOfRange":  {-1, 5},
+		"forwardOnly": {-1, 2, 5},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("FromParents(%s) did not panic", name)
+				}
+			}()
+			FromParents(parents)
+		}()
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	tr := Generate(10, 3, rng.New(1))
+	tr.depth[5] = 99
+	if tr.Validate() == nil {
+		t.Fatal("Validate accepted corrupted depth")
+	}
+}
+
+func TestSingleNodeTree(t *testing.T) {
+	tr := Generate(1, 4, rng.New(1))
+	if tr.N() != 1 || tr.MaxDepth() != 0 || !tr.IsRoot(0) {
+		t.Fatal("single-node tree malformed")
+	}
+	if len(tr.Children(0)) != 0 {
+		t.Fatal("single node has children")
+	}
+}

@@ -1,0 +1,129 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// Source produces query arrivals; Generator (synthetic) and Replay
+// (trace-driven) both implement it. The paper's workload methodology
+// follows trace studies of deployed peer-to-peer systems ([10], [17]);
+// Replay lets recorded traces drive the simulator directly.
+type Source interface {
+	// Next returns the next arrival. Sources that run out return an
+	// arrival with Time = +Inf, which the simulator treats as the end of
+	// the stream.
+	Next() Arrival
+}
+
+// Replay plays back a fixed arrival trace, optionally looping it forever
+// with the trace's total span as the period.
+type Replay struct {
+	arrivals []Arrival
+	i        int
+	loop     bool
+	offset   float64
+	span     float64
+}
+
+// NewReplay returns a Source replaying the given arrivals (sorted by time
+// internally; the input is not modified). With loop set, the trace repeats
+// end-to-end indefinitely, shifted by its span each cycle. It panics if
+// the trace is empty, contains non-positive times, or has a zero span in
+// loop mode.
+func NewReplay(arrivals []Arrival, loop bool) *Replay {
+	if len(arrivals) == 0 {
+		panic("workload: empty replay trace")
+	}
+	sorted := append([]Arrival(nil), arrivals...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Time < sorted[j].Time })
+	if sorted[0].Time <= 0 {
+		panic(fmt.Sprintf("workload: replay trace starts at %v, need positive times", sorted[0].Time))
+	}
+	span := sorted[len(sorted)-1].Time
+	if loop && span <= 0 {
+		panic("workload: cannot loop a zero-span trace")
+	}
+	return &Replay{arrivals: sorted, loop: loop, span: span}
+}
+
+// Len returns the number of arrivals in one pass of the trace.
+func (r *Replay) Len() int { return len(r.arrivals) }
+
+// Span returns the duration of one pass of the trace.
+func (r *Replay) Span() float64 { return r.span }
+
+// Next implements Source.
+func (r *Replay) Next() Arrival {
+	if r.i == len(r.arrivals) {
+		if !r.loop {
+			return Arrival{Time: math.Inf(1)}
+		}
+		r.i = 0
+		r.offset += r.span
+	}
+	a := r.arrivals[r.i]
+	r.i++
+	a.Time += r.offset
+	return a
+}
+
+// ReadTrace parses a JSON-lines arrival trace: one {"t": seconds, "node":
+// id} object per line (blank lines ignored). It validates that times are
+// positive and node ids are within [0, nodes); pass nodes <= 0 to skip the
+// range check.
+func ReadTrace(r io.Reader, nodes int) ([]Arrival, error) {
+	var out []Arrival
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Bytes()
+		if len(text) == 0 {
+			continue
+		}
+		var rec struct {
+			T    float64 `json:"t"`
+			Node int     `json:"node"`
+		}
+		if err := json.Unmarshal(text, &rec); err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: %w", line, err)
+		}
+		if rec.T <= 0 {
+			return nil, fmt.Errorf("workload: trace line %d: non-positive time %v", line, rec.T)
+		}
+		if nodes > 0 && (rec.Node < 0 || rec.Node >= nodes) {
+			return nil, fmt.Errorf("workload: trace line %d: node %d out of [0,%d)", line, rec.Node, nodes)
+		}
+		out = append(out, Arrival{Time: rec.T, Node: rec.Node})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("workload: reading trace: %w", err)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("workload: trace contains no arrivals")
+	}
+	return out, nil
+}
+
+// WriteTrace emits arrivals in the JSON-lines trace format ReadTrace
+// accepts.
+func WriteTrace(w io.Writer, arrivals []Arrival) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, a := range arrivals {
+		rec := struct {
+			T    float64 `json:"t"`
+			Node int     `json:"node"`
+		}{a.Time, a.Node}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,87 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestReplayOrderedPlayback(t *testing.T) {
+	r := NewReplay([]Arrival{{Time: 3, Node: 1}, {Time: 1, Node: 0}, {Time: 2, Node: 2}}, false)
+	want := []Arrival{{1, 0}, {2, 2}, {3, 1}}
+	for i, w := range want {
+		if got := r.Next(); got != w {
+			t.Fatalf("arrival %d = %+v, want %+v", i, got, w)
+		}
+	}
+	if got := r.Next(); !math.IsInf(got.Time, 1) {
+		t.Fatalf("exhausted trace returned %+v, want +Inf", got)
+	}
+	if r.Len() != 3 || r.Span() != 3 {
+		t.Fatalf("Len/Span = %d/%v", r.Len(), r.Span())
+	}
+}
+
+func TestReplayLoops(t *testing.T) {
+	r := NewReplay([]Arrival{{Time: 1, Node: 5}, {Time: 4, Node: 6}}, true)
+	want := []float64{1, 4, 5, 8, 9, 12}
+	for i, w := range want {
+		got := r.Next()
+		if got.Time != w {
+			t.Fatalf("loop arrival %d time = %v, want %v", i, got.Time, w)
+		}
+	}
+}
+
+func TestReplayPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"empty":    func() { NewReplay(nil, false) },
+		"zeroTime": func() { NewReplay([]Arrival{{Time: 0, Node: 1}}, false) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	in := []Arrival{{Time: 0.5, Node: 3}, {Time: 1.25, Node: 0}}
+	var b strings.Builder
+	if err := WriteTrace(&b, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadTrace(strings.NewReader(b.String()), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[0] != in[0] || out[1] != in[1] {
+		t.Fatalf("round trip = %+v", out)
+	}
+}
+
+func TestReadTraceValidation(t *testing.T) {
+	cases := map[string]string{
+		"badJSON": "not-json\n",
+		"badTime": `{"t":0,"node":1}` + "\n",
+		"badNode": `{"t":1,"node":9}` + "\n",
+		"empty":   "\n\n",
+	}
+	for name, input := range cases {
+		if _, err := ReadTrace(strings.NewReader(input), 4); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestReadTraceSkipsBlankLines(t *testing.T) {
+	input := "\n" + `{"t":1,"node":2}` + "\n\n" + `{"t":2,"node":3}` + "\n"
+	out, err := ReadTrace(strings.NewReader(input), 4)
+	if err != nil || len(out) != 2 {
+		t.Fatalf("got %v, %v", out, err)
+	}
+}

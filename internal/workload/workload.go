@@ -1,0 +1,132 @@
+// Package workload generates the query stream of Section IV: network-wide
+// query arrivals with exponential (default) or heavy-tailed Pareto
+// inter-arrival times, distributed over nodes by a Zipf-like popularity
+// assignment.
+//
+// The arrival rate λ is network-wide: "when λ = 1 query per second, only
+// one query is generated per second in the whole network". Each arrival is
+// then assigned to a node by drawing a Zipf rank and mapping ranks to nodes
+// through a seeded random permutation, so hot nodes sit at random positions
+// in the index search tree rather than clustering near the root.
+package workload
+
+import (
+	"fmt"
+
+	"dup/internal/rng"
+)
+
+// Arrival is one generated query: its absolute time and the node it
+// originates at.
+type Arrival struct {
+	Time float64
+	Node int
+}
+
+// Generator produces the query arrival stream.
+type Generator struct {
+	inter      rng.Distribution
+	zipf       *rng.Zipf
+	rankNode   []int // rank (0-based) -> node id
+	now        float64
+	rotateGap  float64
+	nextRotate float64
+	shuffleSrc *rng.Source
+}
+
+// Config selects the workload.
+type Config struct {
+	Nodes  int     // number of nodes in the network
+	Lambda float64 // network-wide mean query arrival rate, queries/second
+	Theta  float64 // Zipf-like skew of the query distribution over nodes
+	// Pareto selects heavy-tailed inter-arrival times with shape Alpha
+	// (k is derived as (Alpha-1)/Lambda, exactly as in the paper). When
+	// false, inter-arrival times are exponential with rate Lambda.
+	Pareto bool
+	Alpha  float64
+	// ExcludeRoot removes node 0 (the authority node) from the query
+	// population: the authority answers locally and contributes neither
+	// latency nor cost, so including it would only dilute the metrics.
+	ExcludeRoot bool
+	// RotateEvery, when positive, re-assigns the Zipf ranks to nodes every
+	// RotateEvery seconds — a flash-crowd model where the identity of the
+	// hot nodes migrates over time, stressing the schemes' interest
+	// tracking (subscriptions must be torn down and rebuilt).
+	RotateEvery float64
+}
+
+// New returns a Generator drawing all randomness from src.
+func New(cfg Config, src *rng.Source) *Generator {
+	if cfg.Nodes <= 0 {
+		panic(fmt.Sprintf("workload: need nodes > 0, got %d", cfg.Nodes))
+	}
+	if cfg.Lambda <= 0 {
+		panic(fmt.Sprintf("workload: need lambda > 0, got %v", cfg.Lambda))
+	}
+	population := cfg.Nodes
+	offset := 0
+	if cfg.ExcludeRoot {
+		if cfg.Nodes < 2 {
+			panic("workload: cannot exclude the root from a single-node network")
+		}
+		population = cfg.Nodes - 1
+		offset = 1
+	}
+	var inter rng.Distribution
+	if cfg.Pareto {
+		inter = rng.NewParetoWithRate(src.Split(), cfg.Alpha, cfg.Lambda)
+	} else {
+		inter = rng.NewExponential(src.Split(), 1/cfg.Lambda)
+	}
+	if cfg.RotateEvery < 0 {
+		panic(fmt.Sprintf("workload: RotateEvery must be non-negative, got %v", cfg.RotateEvery))
+	}
+	zipf := rng.NewZipf(src.Split(), population, cfg.Theta)
+	// Random rank-to-node assignment.
+	shuffleSrc := src.Split()
+	perm := shuffleSrc.Perm(population)
+	rankNode := make([]int, population)
+	for rank, p := range perm {
+		rankNode[rank] = p + offset
+	}
+	g := &Generator{
+		inter: inter, zipf: zipf, rankNode: rankNode,
+		rotateGap: cfg.RotateEvery, shuffleSrc: shuffleSrc,
+	}
+	if g.rotateGap > 0 {
+		g.nextRotate = g.rotateGap
+	}
+	return g
+}
+
+// Next returns the next query arrival. Successive calls return strictly
+// increasing times.
+func (g *Generator) Next() Arrival {
+	g.now += g.inter.Sample()
+	for g.rotateGap > 0 && g.now >= g.nextRotate {
+		g.rotate()
+		g.nextRotate += g.rotateGap
+	}
+	return Arrival{Time: g.now, Node: g.rankNode[g.zipf.Index()]}
+}
+
+// rotate migrates the hot spots: a fresh random rank-to-node assignment.
+func (g *Generator) rotate() {
+	g.shuffleSrc.Shuffle(len(g.rankNode), func(i, j int) {
+		g.rankNode[i], g.rankNode[j] = g.rankNode[j], g.rankNode[i]
+	})
+}
+
+// NodeProb returns the probability that a query lands on node id. It is
+// O(population) and intended for tests.
+func (g *Generator) NodeProb(id int) float64 {
+	for rank, node := range g.rankNode {
+		if node == id {
+			return g.zipf.Prob(rank + 1)
+		}
+	}
+	return 0
+}
+
+// HottestNode returns the node holding Zipf rank 1.
+func (g *Generator) HottestNode() int { return g.rankNode[0] }

@@ -1,0 +1,185 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"dup/internal/rng"
+)
+
+func TestArrivalRateExponential(t *testing.T) {
+	g := New(Config{Nodes: 100, Lambda: 2, Theta: 0.8}, rng.New(1))
+	const n = 100000
+	var last float64
+	for i := 0; i < n; i++ {
+		a := g.Next()
+		if a.Time <= last {
+			t.Fatalf("arrival times not strictly increasing at %d", i)
+		}
+		last = a.Time
+	}
+	rate := n / last
+	if math.Abs(rate-2)/2 > 0.02 {
+		t.Fatalf("empirical rate %v, want ~2", rate)
+	}
+}
+
+func TestArrivalRatePareto(t *testing.T) {
+	g := New(Config{Nodes: 100, Lambda: 5, Theta: 0.8, Pareto: true, Alpha: 1.2}, rng.New(2))
+	const n = 1000000
+	var last float64
+	for i := 0; i < n; i++ {
+		last = g.Next().Time
+	}
+	rate := n / last
+	if math.Abs(rate-5)/5 > 0.15 { // heavy tail: generous tolerance
+		t.Fatalf("empirical Pareto rate %v, want ~5", rate)
+	}
+}
+
+func TestNodesInRange(t *testing.T) {
+	g := New(Config{Nodes: 50, Lambda: 1, Theta: 1}, rng.New(3))
+	for i := 0; i < 10000; i++ {
+		a := g.Next()
+		if a.Node < 0 || a.Node >= 50 {
+			t.Fatalf("node %d out of range", a.Node)
+		}
+	}
+}
+
+func TestExcludeRoot(t *testing.T) {
+	g := New(Config{Nodes: 20, Lambda: 1, Theta: 0.8, ExcludeRoot: true}, rng.New(4))
+	for i := 0; i < 20000; i++ {
+		if a := g.Next(); a.Node == 0 {
+			t.Fatal("root generated a query despite ExcludeRoot")
+		}
+	}
+	if g.NodeProb(0) != 0 {
+		t.Fatal("NodeProb(0) should be 0 with ExcludeRoot")
+	}
+}
+
+func TestZipfSkewObserved(t *testing.T) {
+	g := New(Config{Nodes: 64, Lambda: 1, Theta: 2}, rng.New(5))
+	counts := map[int]int{}
+	const n = 200000
+	for i := 0; i < n; i++ {
+		counts[g.Next().Node]++
+	}
+	hot := g.HottestNode()
+	gotHot := float64(counts[hot]) / n
+	wantHot := g.NodeProb(hot)
+	if math.Abs(gotHot-wantHot) > 0.01 {
+		t.Fatalf("hottest node frequency %v, want ~%v", gotHot, wantHot)
+	}
+	if gotHot < 0.5 {
+		t.Fatalf("theta=2 hottest node got only %v of queries", gotHot)
+	}
+}
+
+func TestThetaNearZeroUniform(t *testing.T) {
+	g := New(Config{Nodes: 10, Lambda: 1, Theta: 0}, rng.New(6))
+	counts := make([]int, 10)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[g.Next().Node]++
+	}
+	for node, c := range counts {
+		got := float64(c) / n
+		if math.Abs(got-0.1) > 0.01 {
+			t.Fatalf("theta=0 node %d frequency %v, want ~0.1", node, got)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	mk := func() *Generator {
+		return New(Config{Nodes: 100, Lambda: 1, Theta: 0.8}, rng.New(42))
+	}
+	a, b := mk(), mk()
+	for i := 0; i < 1000; i++ {
+		x, y := a.Next(), b.Next()
+		if x != y {
+			t.Fatalf("same seed diverged at arrival %d: %+v vs %+v", i, x, y)
+		}
+	}
+}
+
+func TestRankAssignmentIsPermutation(t *testing.T) {
+	g := New(Config{Nodes: 30, Lambda: 1, Theta: 1}, rng.New(7))
+	sum := 0.0
+	for id := 0; id < 30; id++ {
+		sum += g.NodeProb(id)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("node probabilities sum to %v", sum)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"nodes=0":        func() { New(Config{Nodes: 0, Lambda: 1}, rng.New(1)) },
+		"lambda=0":       func() { New(Config{Nodes: 10, Lambda: 0}, rng.New(1)) },
+		"excludeSingle":  func() { New(Config{Nodes: 1, Lambda: 1, ExcludeRoot: true}, rng.New(1)) },
+		"paretoAlphaLE1": func() { New(Config{Nodes: 10, Lambda: 1, Pareto: true, Alpha: 1}, rng.New(1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestRotationMovesHotspot(t *testing.T) {
+	g := New(Config{Nodes: 64, Lambda: 10, Theta: 3, RotateEvery: 100}, rng.New(9))
+	// Observe the modal node in two windows separated by several rotations.
+	countWindow := func(until float64) int {
+		counts := map[int]int{}
+		for {
+			a := g.Next()
+			if a.Time > until {
+				break
+			}
+			counts[a.Node]++
+		}
+		best, bestN := -1, -1
+		for n, c := range counts {
+			if c > bestN {
+				best, bestN = n, c
+			}
+		}
+		return best
+	}
+	first := countWindow(90)
+	// Skip ahead through several rotations.
+	var last int
+	for i := 0; i < 6; i++ {
+		last = countWindow(90 + float64(i+1)*300)
+	}
+	if first == last {
+		t.Skip("hot node landed on the same id after rotation (1/64 chance)")
+	}
+}
+
+func TestRotationZeroIsStationary(t *testing.T) {
+	a := New(Config{Nodes: 32, Lambda: 5, Theta: 2}, rng.New(10))
+	b := New(Config{Nodes: 32, Lambda: 5, Theta: 2, RotateEvery: 0}, rng.New(10))
+	for i := 0; i < 5000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("RotateEvery=0 changed the stream")
+		}
+	}
+}
+
+func TestRotationNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative RotateEvery did not panic")
+		}
+	}()
+	New(Config{Nodes: 8, Lambda: 1, RotateEvery: -1}, rng.New(1))
+}

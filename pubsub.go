@@ -1,0 +1,56 @@
+package dup
+
+import (
+	"dup/internal/directory"
+	"dup/internal/dissem"
+	"dup/internal/overlay/chord"
+)
+
+// This file re-exports the two deployable services built on the DUP
+// protocol so that downstream users can import them from the root package:
+// the topic-based dissemination platform (the paper's proposed extension)
+// and the multi-key content directory (the paper's motivating use case).
+
+// RingID identifies a node on the Chord ring both services run over.
+type RingID = chord.ID
+
+// PubSub is a topic-based publish/subscribe platform: topics hash to
+// rendezvous nodes, subscribers form dynamic DUP dissemination trees, and
+// events take one-hop short-cuts past uninterested intermediate nodes.
+// See dup/internal/dissem for the full API.
+type PubSub = dissem.Platform
+
+// PubSubDelivery summarises one publication, including the hop count a
+// SCRIBE-style hop-by-hop multicast would have needed for comparison.
+type PubSubDelivery = dissem.Delivery
+
+// PubSubEvent is one published datum.
+type PubSubEvent = dissem.Event
+
+// NewPubSub boots a dissemination platform over an n-node Chord ring.
+func NewPubSub(n int, seed uint64) (*PubSub, error) {
+	return dissem.NewPlatform(n, seed)
+}
+
+// Directory is a multi-key content directory: hosts register (key, host)
+// mappings with per-key authority nodes, peers look them up with TTL path
+// caching, and watchers receive pushed updates through per-key DUP trees.
+// See dup/internal/directory for the full API.
+type Directory = directory.Directory
+
+// DirectoryConfig parametrises a Directory.
+type DirectoryConfig = directory.Config
+
+// DirectoryLookup is the outcome of one directory query.
+type DirectoryLookup = directory.Lookup
+
+// NewDirectory builds a directory service.
+func NewDirectory(cfg DirectoryConfig) (*Directory, error) {
+	return directory.New(cfg)
+}
+
+// DefaultDirectoryConfig returns a small deterministic directory
+// configuration.
+func DefaultDirectoryConfig() DirectoryConfig {
+	return directory.DefaultConfig()
+}
