@@ -1,0 +1,20 @@
+# Convenience targets; scripts/check.sh is the canonical pre-commit gate.
+
+.PHONY: check test bench perf perf-record
+
+check:
+	scripts/check.sh
+
+test:
+	go test ./...
+
+bench:
+	go test -bench . -benchmem -benchtime 3x
+
+perf:
+	go run ./cmd/dupbench -perf
+
+# Append a labelled entry to BENCH_sim.json, e.g.
+#   make perf-record LABEL="tuned heap sift"
+perf-record:
+	go run ./cmd/dupbench -perf -perflabel "$(LABEL)"

@@ -1,6 +1,7 @@
 // Command dupbench regenerates the paper's evaluation artifacts: every
 // table and figure from Section IV, plus the ablations and extensions
-// listed in DESIGN.md.
+// listed in DESIGN.md. It is also the front end of the performance
+// harness that maintains the BENCH_sim.json baseline.
 //
 // Examples:
 //
@@ -8,15 +9,24 @@
 //	dupbench -experiment fig4          # one figure, quick scale
 //	dupbench -all                      # the whole suite, quick scale
 //	dupbench -all -scale full          # the paper's 180000 s runs
+//	dupbench -perf                     # print simulator perf measurements
+//	dupbench -perf -perflabel "tuned"  # ... and append them to BENCH_sim.json
+//
+// An interrupt (Ctrl-C) cancels the in-flight simulations and exits;
+// experiment output already written stays on stdout.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"dup"
+	"dup/internal/perf"
 )
 
 func main() {
@@ -27,12 +37,26 @@ func main() {
 	seed := flag.Uint64("seed", 1, "base random seed")
 	replicas := flag.Int("replicas", 1, "independent replications per configuration (across-run means reported)")
 	csv := flag.Bool("csv", false, "emit CSV rows instead of aligned tables")
+	perfMode := flag.Bool("perf", false, "run the performance harness instead of experiments")
+	perfRuns := flag.Int("perfruns", 5, "perf: measurement repetitions per workload")
+	perfOut := flag.String("perfout", "", "perf: baseline file to append to (default: print only)")
+	perfLabel := flag.String("perflabel", "", "perf: entry label; implies -perfout BENCH_sim.json when -perfout is unset")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	if *list {
 		for _, eid := range dup.ExperimentIDs() {
 			title, _ := dup.ExperimentTitle(eid)
 			fmt.Printf("%-22s %s\n", eid, title)
+		}
+		return
+	}
+
+	if *perfMode {
+		if err := runPerf(*perfRuns, *perfOut, *perfLabel); err != nil {
+			fail(err)
 		}
 		return
 	}
@@ -54,18 +78,50 @@ func main() {
 	case *id != "":
 		ids = append(ids, *id)
 	default:
-		fail(fmt.Errorf("nothing to do: pass -experiment <id>, -all or -list"))
+		fail(fmt.Errorf("nothing to do: pass -experiment <id>, -all, -perf or -list"))
 	}
 
-	opts := dup.ExperimentOptions{Scale: scale, Seed: *seed, Replicas: *replicas, CSV: *csv}
+	opts := dup.ExperimentOptions{
+		Scale: scale, Seed: *seed, Replicas: *replicas, CSV: *csv, Context: ctx,
+	}
 	for _, eid := range ids {
 		start := time.Now()
 		if err := dup.RunExperimentWith(os.Stdout, eid, opts); err != nil {
+			if errors.Is(err, context.Canceled) {
+				fail(fmt.Errorf("%s: interrupted", eid))
+			}
 			fail(fmt.Errorf("%s: %w", eid, err))
 		}
 		fmt.Printf("\n[%s completed in %v at %s scale, %d replica(s)]\n",
 			eid, time.Since(start).Round(time.Millisecond), scale, max(*replicas, 1))
 	}
+}
+
+// runPerf measures the default workloads and prints the samples; with an
+// output path (or a label, which defaults the path) it also appends the
+// entry to the JSON baseline.
+func runPerf(runs int, out, label string) error {
+	if out == "" && label != "" {
+		out = "BENCH_sim.json"
+	}
+	entry, err := perf.Collect(perf.DefaultWorkloads(), runs, label)
+	if err != nil {
+		return err
+	}
+	for _, w := range perf.DefaultWorkloads() {
+		s := entry.Samples[w.ID]
+		fmt.Printf("%-16s %11.0f events/s  %7d allocs/run  %6.2f allocs/1k-events  %8d B/run  (%d runs, best %.3fs)\n",
+			w.ID, s.EventsPerSec, s.AllocsPerRun, s.AllocsPerKEvent, s.BytesPerRun, s.Runs, s.BestWallSeconds)
+	}
+	if out == "" {
+		fmt.Println("(print only; pass -perfout or -perflabel to record)")
+		return nil
+	}
+	if err := perf.Append(out, entry); err != nil {
+		return err
+	}
+	fmt.Printf("recorded %q in %s\n", label, out)
+	return nil
 }
 
 func fail(err error) {

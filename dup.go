@@ -12,20 +12,22 @@
 //
 // The package exposes three layers:
 //
-//   - Simulation: Run and Compare execute the paper's discrete-event
-//     evaluation for any Config and scheme, reporting the paper's two
-//     metrics (average query latency in hops and average query cost in
-//     message hops per query).
+//   - Simulation: Run and Compare (and their RunContext / CompareContext
+//     forms, plus RunReplicated for seed-replicated aggregates) execute
+//     the paper's discrete-event evaluation for any Config and scheme,
+//     reporting the paper's two metrics (average query latency in hops and
+//     average query cost in message hops per query).
 //   - Protocol: NodeState is the pure per-node DUP state machine of the
 //     paper's Figure 3, reusable in any transport.
-//   - Experiments: Experiments and RunExperiment regenerate every table
-//     and figure from the paper's Section IV.
+//   - Experiments: Experiments and RunExperimentWith regenerate every
+//     table and figure from the paper's Section IV.
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for measured
 // reproductions.
 package dup
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -62,6 +64,13 @@ func Schemes() []Scheme {
 	return []Scheme{PCX, CUP, CUPCutoff, DUP, DUPHopByHop}
 }
 
+// unknownScheme is the shared error for every path that rejects a scheme
+// name — parsing, text unmarshalling and construction — so flag parsing and
+// JSON decoding report identical, equally helpful messages.
+func unknownScheme(s string) error {
+	return fmt.Errorf("dup: unknown scheme %q (want one of %v)", s, Schemes())
+}
+
 // ParseScheme converts a string such as "dup" into a Scheme.
 func ParseScheme(s string) (Scheme, error) {
 	for _, k := range Schemes() {
@@ -69,7 +78,33 @@ func ParseScheme(s string) (Scheme, error) {
 			return k, nil
 		}
 	}
-	return "", fmt.Errorf("dup: unknown scheme %q (want one of %v)", s, Schemes())
+	return "", unknownScheme(s)
+}
+
+// String returns the scheme's canonical lower-case name, the same string
+// ParseScheme accepts.
+func (s Scheme) String() string { return string(s) }
+
+// MarshalText implements encoding.TextMarshaler, so a Scheme round-trips
+// through JSON and text-based flag values. Marshalling an unknown scheme is
+// an error, keeping the invariant that every serialised scheme can be
+// parsed back.
+func (s Scheme) MarshalText() ([]byte, error) {
+	if _, err := ParseScheme(string(s)); err != nil {
+		return nil, err
+	}
+	return []byte(s), nil
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler; it accepts exactly the
+// names ParseScheme accepts.
+func (s *Scheme) UnmarshalText(text []byte) error {
+	k, err := ParseScheme(string(text))
+	if err != nil {
+		return err
+	}
+	*s = k
+	return nil
 }
 
 // build constructs the internal scheme implementation.
@@ -86,7 +121,7 @@ func (s Scheme) build() (scheme.Scheme, error) {
 	case DUPHopByHop:
 		return dupscheme.NewHopByHop(), nil
 	}
-	return nil, fmt.Errorf("dup: unknown scheme %q", s)
+	return nil, unknownScheme(string(s))
 }
 
 // Config re-exports the simulator configuration; see sim.Config for field
@@ -106,17 +141,31 @@ func DefaultConfig() Config { return sim.Default() }
 // Note: PCX has no push schedule; for faithful comparisons give it
 // Lead = 0 (Compare does this automatically).
 func Run(cfg Config, s Scheme) (*Result, error) {
+	return RunContext(context.Background(), cfg, s)
+}
+
+// RunContext is Run under a context. The simulator checks ctx every few
+// thousand dispatched events, so cancellation lands within milliseconds
+// even on full-scale configurations; the error then wraps ctx.Err() and the
+// partial result is discarded.
+func RunContext(ctx context.Context, cfg Config, s Scheme) (*Result, error) {
 	impl, err := s.build()
 	if err != nil {
 		return nil, err
 	}
-	return sim.Run(cfg, impl)
+	return sim.RunContext(ctx, cfg, impl)
 }
 
 // Compare runs several schemes under the same configuration and returns
 // their results in order. The PCX baseline automatically runs with
 // Lead = 0.
 func Compare(cfg Config, schemes ...Scheme) ([]*Result, error) {
+	return CompareContext(context.Background(), cfg, schemes...)
+}
+
+// CompareContext is Compare under a context; the first cancelled run aborts
+// the comparison.
+func CompareContext(ctx context.Context, cfg Config, schemes ...Scheme) ([]*Result, error) {
 	if len(schemes) == 0 {
 		schemes = []Scheme{PCX, CUP, DUP}
 	}
@@ -126,13 +175,41 @@ func Compare(cfg Config, schemes ...Scheme) ([]*Result, error) {
 		if s == PCX {
 			c.Lead = 0
 		}
-		r, err := Run(c, s)
+		r, err := RunContext(ctx, c, s)
 		if err != nil {
 			return nil, fmt.Errorf("dup: %s: %w", s, err)
 		}
 		out = append(out, r)
 	}
 	return out, nil
+}
+
+// Replicated aggregates several independent replications (same
+// configuration, different seeds) of one scheme; see sim.Replicated for
+// the accessor set (MeanLatency, LatencyCI95, MeanCost, CostCI95, ...).
+type Replicated = sim.Replicated
+
+// RunReplicated executes replicas independent runs of scheme s with seeds
+// cfg.Seed, cfg.Seed+1, ... and returns the across-run aggregate, whose
+// CI95 accessors quantify run-to-run (topology and workload) variation.
+func RunReplicated(cfg Config, s Scheme, replicas int) (*Replicated, error) {
+	return RunReplicatedContext(context.Background(), cfg, s, replicas)
+}
+
+// RunReplicatedContext is RunReplicated under a context; cancellation stops
+// the current replica mid-run and discards the partial aggregate.
+func RunReplicatedContext(ctx context.Context, cfg Config, s Scheme, replicas int) (*Replicated, error) {
+	if _, err := s.build(); err != nil {
+		return nil, err
+	}
+	return sim.RunReplicatedContext(ctx, cfg, func() scheme.Scheme {
+		impl, err := s.build()
+		if err != nil {
+			// Unreachable: s was validated above and build is pure.
+			panic(err)
+		}
+		return impl
+	}, replicas)
 }
 
 // NodeState is the pure DUP protocol state machine for one node (the
@@ -165,8 +242,11 @@ type ExperimentOptions = experiments.Options
 func ExperimentIDs() []string { return experiments.IDs() }
 
 // RunExperiment regenerates one table or figure, writing the paper-shaped
-// rows to w. It is shorthand for RunExperimentWith with a single replica
-// and table output.
+// rows to w with a single replica and table output.
+//
+// Deprecated: Use RunExperimentWith, which takes an ExperimentOptions and
+// so also selects replication, CSV output and a context. This wrapper is
+// kept for source compatibility and will not grow new parameters.
 func RunExperiment(w io.Writer, id string, scale ExperimentScale, seed uint64) error {
 	return RunExperimentWith(w, id, ExperimentOptions{Scale: scale, Seed: seed})
 }

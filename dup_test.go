@@ -1,8 +1,12 @@
 package dup
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"strings"
 	"testing"
+	"time"
 )
 
 func testConfig(seed uint64) Config {
@@ -62,6 +66,73 @@ func TestCompareDefaultsAndOrdering(t *testing.T) {
 	if dupR.MeanLatency >= pcx.MeanLatency {
 		t.Fatalf("DUP latency %.3f not below PCX %.3f", dupR.MeanLatency, pcx.MeanLatency)
 	}
+}
+
+func TestSchemeTextRoundTrip(t *testing.T) {
+	for _, s := range Schemes() {
+		if s.String() != string(s) {
+			t.Fatalf("String(%q) = %q", string(s), s.String())
+		}
+		blob, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("marshal %q: %v", s, err)
+		}
+		var back Scheme
+		if err := json.Unmarshal(blob, &back); err != nil || back != s {
+			t.Fatalf("round-trip %q: got %q, %v", s, back, err)
+		}
+	}
+	if _, err := Scheme("bogus").MarshalText(); err == nil {
+		t.Fatal("marshalled an unknown scheme")
+	}
+	var s Scheme
+	if err := s.UnmarshalText([]byte("bogus")); err == nil {
+		t.Fatal("unmarshalled an unknown scheme")
+	}
+}
+
+func TestRunContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	r, err := RunContext(ctx, DefaultConfig(), DUP)
+	if r != nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled RunContext: %v, %v", r, err)
+	}
+	if elapsed := time.Since(start); elapsed >= 100*time.Millisecond {
+		t.Fatalf("cancelled full-scale run took %v, want < 100ms", elapsed)
+	}
+	if _, err := CompareContext(ctx, testConfig(4)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled CompareContext: %v", err)
+	}
+}
+
+func TestRunReplicatedAcrossRunCI(t *testing.T) {
+	agg, err := RunReplicated(testConfig(5), DUP, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Runs != 3 || agg.Scheme != "DUP" {
+		t.Fatalf("aggregate %+v", agg)
+	}
+	if agg.MeanLatency() <= 0 || agg.MeanCost() <= 0 {
+		t.Fatalf("degenerate aggregate: latency %v cost %v", agg.MeanLatency(), agg.MeanCost())
+	}
+	if agg.LatencyCI95() <= 0 || agg.CostCI95() <= 0 {
+		t.Fatal("replicated aggregate reported no across-run CI")
+	}
+	if _, err := RunReplicated(testConfig(5), Scheme("nope"), 2); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+	if _, err := RunReplicatedContext(canceledCtx(), testConfig(5), DUP, 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled RunReplicatedContext: %v", err)
+	}
+}
+
+func canceledCtx() context.Context {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	return ctx
 }
 
 func TestRunRejectsInvalidConfig(t *testing.T) {

@@ -2,6 +2,7 @@ package dup_test
 
 import (
 	"fmt"
+	"strings"
 
 	"dup"
 )
@@ -31,6 +32,20 @@ func ExampleCompare() {
 	// CUP
 	// DUP
 	// DUP cheapest: true
+}
+
+// Regenerate one of the paper's artifacts. ExperimentOptions also selects
+// replication, CSV output and a cancellation context; the deprecated
+// RunExperiment wrapper covers only scale and seed.
+func ExampleRunExperimentWith() {
+	var b strings.Builder
+	opts := dup.ExperimentOptions{Scale: dup.QuickScale, Seed: 1}
+	if err := dup.RunExperimentWith(&b, "table1", opts); err != nil {
+		panic(err)
+	}
+	fmt.Println(strings.Contains(b.String(), "Table I"))
+	// Output:
+	// true
 }
 
 // Drive the Figure 3 state machine directly: node 5 subscribes, the root

@@ -133,13 +133,19 @@ func (s *State) InTree() bool {
 // true push; virtual-path intermediates never receive pushes in the first
 // place.
 func (s *State) PushTargets() []int {
-	out := make([]int, 0, len(s.list))
+	return s.AppendPushTargets(make([]int, 0, len(s.list)))
+}
+
+// AppendPushTargets appends the push targets to dst and returns it,
+// letting hot callers reuse one scratch buffer across calls instead of
+// allocating per push.
+func (s *State) AppendPushTargets(dst []int) []int {
 	for _, v := range s.list {
 		if v != s.self {
-			out = append(out, v)
+			dst = append(dst, v)
 		}
 	}
-	return out
+	return dst
 }
 
 // Representative returns the node id this node has announced upstream: the

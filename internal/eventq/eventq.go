@@ -2,17 +2,80 @@
 // simulator: a binary min-heap keyed by (time, sequence). The sequence
 // number breaks ties in insertion order, which makes simulations fully
 // deterministic even when many events share a timestamp.
+//
+// Event is a small typed record (a tagged union) rather than an opaque
+// interface payload: the heap stores events inline, so scheduling and
+// dispatching never allocates — the property the simulator's hot path is
+// built around.
 package eventq
 
-import "fmt"
+import (
+	"fmt"
 
-// Event is a scheduled callback. The payload is opaque to the queue; the
-// simulator dispatches on it.
-type Event struct {
-	Time    float64 // simulated seconds
-	Payload any
-	seq     uint64
+	"dup/internal/proto"
+)
+
+// Kind discriminates the event union. The simulator owns the meaning of
+// each kind; the queue only orders them.
+type Kind uint8
+
+const (
+	// KindNone is the zero Kind; it marks an unset event.
+	KindNone Kind = iota
+	// KindMessage delivers Msg to Msg.To.
+	KindMessage
+	// KindArrival is a workload query arrival at node A.
+	KindArrival
+	// KindRefresh is the authority issuing index version A.
+	KindRefresh
+	// KindInterval is the end of TTL interval A.
+	KindInterval
+	// KindFail picks and fails a random alive node.
+	KindFail
+	// KindDetect is the keep-alive timeout for failed node A.
+	KindDetect
+	// KindRecover rejoins node A blank.
+	KindRecover
+	// KindRetry re-issues a query from origin A that already spent B hops.
+	KindRetry
+)
+
+var kindNames = [...]string{
+	"none", "message", "arrival", "refresh", "interval",
+	"fail", "detect", "recover", "retry",
 }
+
+// String returns the lower-case kind name.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Event is a scheduled simulator callback: a tagged union of one message
+// pointer and one inline integer operand, stored inline in the heap so
+// scheduling is allocation-free. Msg is set only for KindMessage; A
+// carries the node/version/interval operand of the other kinds (callers
+// with two small operands pack them into A). The record is deliberately
+// 32 bytes — heap sifts copy whole events, so the kind shares a word with
+// the insertion sequence: key = seq<<8 | kind, which orders exactly like
+// seq because the low byte is constant per event.
+type Event struct {
+	Time float64        // simulated seconds
+	Msg  *proto.Message // KindMessage payload
+	A    int64          // inline operand (node, version, interval, packed pair)
+	key  uint64         // seq<<8 | kind, assigned by Push
+}
+
+// Kind returns the event's discriminator.
+func (e Event) Kind() Kind { return Kind(e.key & 0xff) }
+
+// Ev builds a typed event carrying operand a.
+func Ev(k Kind, a int64) Event { return Event{A: a, key: uint64(k)} }
+
+// Message builds a KindMessage event delivering m.
+func Message(m *proto.Message) Event { return Event{Msg: m, key: uint64(KindMessage)} }
 
 // Queue is a min-heap of events ordered by (Time, insertion sequence).
 // The zero value is an empty, ready-to-use queue.
@@ -20,6 +83,7 @@ type Queue struct {
 	heap    []Event
 	nextSeq uint64
 	popped  uint64
+	horizon float64 // timestamp of the last popped event
 }
 
 // Len returns the number of pending events.
@@ -31,13 +95,29 @@ func (q *Queue) Scheduled() uint64 { return q.nextSeq }
 // Dispatched returns the total number of events ever popped.
 func (q *Queue) Dispatched() uint64 { return q.popped }
 
-// Push schedules payload at the given simulated time. Pushing an event in
-// the past relative to events already popped is the caller's bug; the queue
-// cannot detect it by itself, so the simulator wraps Push with a clock check.
-func (q *Queue) Push(t float64, payload any) {
-	e := Event{Time: t, Payload: payload, seq: q.nextSeq}
+// Grow pre-sizes the heap for at least n pending events, so a simulation
+// with a known steady-state population never re-allocates the heap.
+func (q *Queue) Grow(n int) {
+	if n <= cap(q.heap) {
+		return
+	}
+	heap := make([]Event, len(q.heap), n)
+	copy(heap, q.heap)
+	q.heap = heap
+}
+
+// Push schedules ev at the given simulated time. Scheduling in the past —
+// before an event that was already popped — is always a simulator bug, so
+// Push guards it with a cheap comparison against the last popped timestamp
+// and panics on violation.
+func (q *Queue) Push(t float64, ev Event) {
+	if t < q.horizon {
+		panic(fmt.Sprintf("eventq: push at %v before already-popped time %v", t, q.horizon))
+	}
+	ev.Time = t
+	ev.key = q.nextSeq<<8 | ev.key&0xff
 	q.nextSeq++
-	q.heap = append(q.heap, e)
+	q.heap = append(q.heap, ev)
 	q.up(len(q.heap) - 1)
 }
 
@@ -56,6 +136,9 @@ func (q *Queue) Pop() (Event, bool) {
 	if len(q.heap) == 0 {
 		return Event{}, false
 	}
+	// The vacated slot is left as-is: a stale Msg pointer in the slack
+	// only pins a pooled message that stays reachable anyway, and skipping
+	// the 32-byte clearing write matters at tens of millions of pops.
 	top := q.heap[0]
 	last := len(q.heap) - 1
 	q.heap[0] = q.heap[last]
@@ -64,52 +147,65 @@ func (q *Queue) Pop() (Event, bool) {
 		q.down(0)
 	}
 	q.popped++
+	q.horizon = top.Time
 	return top, true
 }
 
 // Reset discards all pending events and counters.
 func (q *Queue) Reset() {
+	clear(q.heap)
 	q.heap = q.heap[:0]
 	q.nextSeq = 0
 	q.popped = 0
+	q.horizon = 0
 }
 
-func (q *Queue) less(i, j int) bool {
-	a, b := &q.heap[i], &q.heap[j]
+// less orders events by (Time, insertion sequence); comparing the packed
+// keys is equivalent to comparing sequences because the kind byte is a
+// tie-break below a strictly increasing sequence.
+func less(a, b *Event) bool {
 	if a.Time != b.Time {
 		return a.Time < b.Time
 	}
-	return a.seq < b.seq
+	return a.key < b.key
 }
 
+// up and down sift with a hole instead of pairwise swaps: the displaced
+// event is held in a register and written exactly once, halving the copy
+// traffic of the simulator's hottest loop.
 func (q *Queue) up(i int) {
+	e := q.heap[i]
 	for i > 0 {
 		parent := (i - 1) / 2
-		if !q.less(i, parent) {
+		p := &q.heap[parent]
+		if !less(&e, p) {
 			break
 		}
-		q.heap[i], q.heap[parent] = q.heap[parent], q.heap[i]
+		q.heap[i] = *p
 		i = parent
 	}
+	q.heap[i] = e
 }
 
 func (q *Queue) down(i int) {
 	n := len(q.heap)
+	e := q.heap[i]
 	for {
 		left := 2*i + 1
 		if left >= n {
-			return
+			break
 		}
 		smallest := left
-		if right := left + 1; right < n && q.less(right, left) {
+		if right := left + 1; right < n && less(&q.heap[right], &q.heap[left]) {
 			smallest = right
 		}
-		if !q.less(smallest, i) {
-			return
+		if !less(&q.heap[smallest], &e) {
+			break
 		}
-		q.heap[i], q.heap[smallest] = q.heap[smallest], q.heap[i]
+		q.heap[i] = q.heap[smallest]
 		i = smallest
 	}
+	q.heap[i] = e
 }
 
 // Clock is a monotonically advancing simulated clock coupled to a Queue.
@@ -131,21 +227,24 @@ func (c *Clock) Pending() int { return c.q.Len() }
 // Dispatched returns the total number of events executed so far.
 func (c *Clock) Dispatched() uint64 { return c.q.Dispatched() }
 
-// At schedules payload at absolute time t. It panics if t is before Now —
+// Grow pre-sizes the pending-event heap for at least n events.
+func (c *Clock) Grow(n int) { c.q.Grow(n) }
+
+// At schedules ev at absolute time t. It panics if t is before Now —
 // a causality violation that always indicates a simulator bug.
-func (c *Clock) At(t float64, payload any) {
+func (c *Clock) At(t float64, ev Event) {
 	if t < c.now {
 		panic(fmt.Sprintf("eventq: scheduling at %v before now %v", t, c.now))
 	}
-	c.q.Push(t, payload)
+	c.q.Push(t, ev)
 }
 
-// After schedules payload delay seconds from Now. Negative delays panic.
-func (c *Clock) After(delay float64, payload any) {
+// After schedules ev delay seconds from Now. Negative delays panic.
+func (c *Clock) After(delay float64, ev Event) {
 	if delay < 0 {
 		panic(fmt.Sprintf("eventq: negative delay %v", delay))
 	}
-	c.q.Push(c.now+delay, payload)
+	c.q.Push(c.now+delay, ev)
 }
 
 // Next pops the earliest event, advances the clock to its timestamp and

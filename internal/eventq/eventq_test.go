@@ -4,15 +4,28 @@ import (
 	"sort"
 	"testing"
 	"testing/quick"
+	"unsafe"
 
+	"dup/internal/proto"
 	"dup/internal/rng"
 )
+
+// TestEventSize pins the event record at 32 bytes: heap sifts copy whole
+// events, so growing the record silently taxes the simulator's hottest loop.
+func TestEventSize(t *testing.T) {
+	if s := unsafe.Sizeof(Event{}); s != 32 {
+		t.Fatalf("Event is %d bytes, want 32", s)
+	}
+}
+
+// ev builds a typed test event carrying id in the A operand.
+func ev(id int) Event { return Ev(KindArrival, int64(id)) }
 
 func TestPopOrder(t *testing.T) {
 	var q Queue
 	times := []float64{5, 1, 3, 2, 4}
 	for _, tm := range times {
-		q.Push(tm, tm)
+		q.Push(tm, ev(int(tm)))
 	}
 	var got []float64
 	for {
@@ -33,12 +46,12 @@ func TestPopOrder(t *testing.T) {
 func TestFIFOTieBreak(t *testing.T) {
 	var q Queue
 	for i := 0; i < 100; i++ {
-		q.Push(7.0, i)
+		q.Push(7.0, ev(i))
 	}
 	for i := 0; i < 100; i++ {
 		e, ok := q.Pop()
-		if !ok || e.Payload.(int) != i {
-			t.Fatalf("tie-break broke FIFO at %d: got %v", i, e.Payload)
+		if !ok || e.A != int64(i) {
+			t.Fatalf("tie-break broke FIFO at %d: got %v", i, e.A)
 		}
 	}
 }
@@ -58,18 +71,28 @@ func TestEmptyQueue(t *testing.T) {
 
 func TestPeekDoesNotRemove(t *testing.T) {
 	var q Queue
-	q.Push(1, "a")
+	q.Push(1, ev(9))
 	e1, _ := q.Peek()
 	e2, _ := q.Peek()
-	if e1.Payload != "a" || e2.Payload != "a" || q.Len() != 1 {
+	if e1.A != 9 || e2.A != 9 || q.Len() != 1 {
 		t.Fatal("Peek modified the queue")
+	}
+}
+
+func TestMessageEvent(t *testing.T) {
+	var q Queue
+	m := &proto.Message{Kind: proto.KindPush, To: 3}
+	q.Push(2, Message(m))
+	e, ok := q.Pop()
+	if !ok || e.Kind() != KindMessage || e.Msg != m {
+		t.Fatalf("message event round-trip failed: %+v", e)
 	}
 }
 
 func TestCounters(t *testing.T) {
 	var q Queue
-	q.Push(1, nil)
-	q.Push(2, nil)
+	q.Push(1, ev(0))
+	q.Push(2, ev(1))
 	q.Pop()
 	if q.Scheduled() != 2 || q.Dispatched() != 1 {
 		t.Fatalf("scheduled=%d dispatched=%d, want 2/1", q.Scheduled(), q.Dispatched())
@@ -80,9 +103,46 @@ func TestCounters(t *testing.T) {
 	}
 }
 
-// TestHeapPropertyRandom is a property test: any interleaving of pushes and
-// pops must emit timestamps in non-decreasing order, and the set of popped
-// payloads must equal the set of pushed payloads.
+func TestGrowPreservesAndPresizes(t *testing.T) {
+	var q Queue
+	q.Push(3, ev(1))
+	q.Push(1, ev(2))
+	q.Grow(1024)
+	if cap(q.heap) < 1024 {
+		t.Fatalf("Grow left cap %d", cap(q.heap))
+	}
+	if e, _ := q.Pop(); e.A != 2 {
+		t.Fatalf("Grow reordered the heap: %+v", e)
+	}
+	base := cap(q.heap)
+	for i := 0; i < 1000; i++ {
+		q.Push(float64(10+i), ev(i))
+	}
+	if cap(q.heap) != base {
+		t.Fatal("pre-sized heap re-allocated under its capacity")
+	}
+}
+
+// TestPushPastPanics covers the satellite guard: once an event at time t
+// has been popped, pushing before t is caught by the queue itself, not
+// only by the Clock wrapper.
+func TestPushPastPanics(t *testing.T) {
+	var q Queue
+	q.Push(5, ev(1))
+	q.Pop()
+	q.Push(5, ev(2)) // exactly at the horizon is legal
+	defer func() {
+		if recover() == nil {
+			t.Fatal("push into the already-popped past did not panic")
+		}
+	}()
+	q.Push(4.999, ev(3))
+}
+
+// TestHeapPropertyRandom is a property test: any random interleaving of
+// pushes and pops of typed events must preserve the (time, seq) dispatch
+// order — the popped event is always the (time, insertion)-minimal pending
+// one — and the set of popped events must equal the set pushed.
 func TestHeapPropertyRandom(t *testing.T) {
 	type rec struct {
 		time float64
@@ -94,6 +154,7 @@ func TestHeapPropertyRandom(t *testing.T) {
 		var q Queue
 		var mirror []rec // reference model: pending events
 		next := 0
+		horizon := 0.0
 		checkPop := func() bool {
 			e, ok := q.Pop()
 			if !ok {
@@ -109,12 +170,15 @@ func TestHeapPropertyRandom(t *testing.T) {
 			}
 			want := mirror[best]
 			mirror = append(mirror[:best], mirror[best+1:]...)
-			return e.Time == want.time && e.Payload.(int) == want.id
+			horizon = want.time
+			return e.Time == want.time && int(e.A) == want.id
 		}
 		for i := 0; i < ops; i++ {
 			if q.Len() == 0 || src.Float64() < 0.6 {
-				tm := float64(src.Intn(50))
-				q.Push(tm, next)
+				// Offset by the pop horizon so the past-push guard never
+				// fires; the guard has its own test.
+				tm := horizon + float64(src.Intn(50))
+				q.Push(tm, ev(next))
 				mirror = append(mirror, rec{tm, next})
 				next++
 			} else if !checkPop() {
@@ -135,19 +199,19 @@ func TestHeapPropertyRandom(t *testing.T) {
 
 func TestClockAdvances(t *testing.T) {
 	c := NewClock()
-	c.At(10, "b")
-	c.At(5, "a")
-	c.After(1, "first")
+	c.At(10, ev(3))
+	c.At(5, ev(2))
+	c.After(1, ev(1))
 	e, ok := c.Next()
-	if !ok || e.Payload != "first" || c.Now() != 1 {
+	if !ok || e.A != 1 || c.Now() != 1 {
 		t.Fatalf("first event wrong: %+v now=%v", e, c.Now())
 	}
 	e, _ = c.Next()
-	if e.Payload != "a" || c.Now() != 5 {
+	if e.A != 2 || c.Now() != 5 {
 		t.Fatalf("second event wrong: %+v now=%v", e, c.Now())
 	}
 	e, _ = c.Next()
-	if e.Payload != "b" || c.Now() != 10 {
+	if e.A != 3 || c.Now() != 10 {
 		t.Fatalf("third event wrong: %+v now=%v", e, c.Now())
 	}
 	if _, ok := c.Next(); ok {
@@ -157,14 +221,14 @@ func TestClockAdvances(t *testing.T) {
 
 func TestClockCausalityPanics(t *testing.T) {
 	c := NewClock()
-	c.At(5, nil)
+	c.At(5, ev(0))
 	c.Next()
 	defer func() {
 		if recover() == nil {
 			t.Fatal("scheduling in the past did not panic")
 		}
 	}()
-	c.At(4, nil)
+	c.At(4, ev(1))
 }
 
 func TestClockNegativeDelayPanics(t *testing.T) {
@@ -173,18 +237,18 @@ func TestClockNegativeDelayPanics(t *testing.T) {
 			t.Fatal("negative delay did not panic")
 		}
 	}()
-	NewClock().After(-0.1, nil)
+	NewClock().After(-0.1, ev(0))
 }
 
 func TestClockReset(t *testing.T) {
 	c := NewClock()
-	c.At(3, nil)
+	c.At(3, ev(0))
 	c.Next()
 	c.Reset()
 	if c.Now() != 0 || c.Pending() != 0 {
 		t.Fatal("Reset did not rewind clock")
 	}
-	c.At(0.5, nil) // must not panic after reset
+	c.At(0.5, ev(1)) // must not panic after reset
 }
 
 func BenchmarkPushPop(b *testing.B) {
@@ -193,12 +257,12 @@ func BenchmarkPushPop(b *testing.B) {
 	// Keep a standing population of 10k events, push+pop per iteration —
 	// the simulator's steady-state access pattern.
 	for i := 0; i < 10000; i++ {
-		q.Push(src.Float64()*1000, nil)
+		q.Push(src.Float64()*1000, ev(i))
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		e, _ := q.Pop()
-		q.Push(e.Time+src.Float64(), nil)
+		q.Push(e.Time+src.Float64(), e)
 	}
 }

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -58,12 +59,19 @@ type Options struct {
 	// CSV emits machine-readable comma-separated rows instead of aligned
 	// tables.
 	CSV bool
+	// Context, when non-nil, bounds the experiment: cancellation stops
+	// every in-flight simulation within milliseconds and the experiment
+	// returns an error wrapping context.Canceled (or DeadlineExceeded).
+	Context context.Context
 }
 
 // normalized applies defaults.
 func (o Options) normalized() Options {
 	if o.Replicas < 1 {
 		o.Replicas = 1
+	}
+	if o.Context == nil {
+		o.Context = context.Background()
 	}
 	return o
 }
@@ -190,7 +198,7 @@ func runAll(jobs []job, opts Options) (map[string]*cell, error) {
 			if j.kind == kindPCX {
 				cfg.Lead = 0
 			}
-			c, err := runCell(cfg, j.kind, opts.Replicas)
+			c, err := runCell(opts.Context, cfg, j.kind, opts.Replicas)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
@@ -208,9 +216,9 @@ func runAll(jobs []job, opts Options) (map[string]*cell, error) {
 
 // runCell executes one grid cell. A single replica keeps the run's own
 // sample confidence interval; several replicas report across-run CIs.
-func runCell(cfg sim.Config, kind schemeKind, replicas int) (*cell, error) {
+func runCell(ctx context.Context, cfg sim.Config, kind schemeKind, replicas int) (*cell, error) {
 	if replicas == 1 {
-		r, err := sim.Run(cfg, kind.new())
+		r, err := sim.RunContext(ctx, cfg, kind.new())
 		if err != nil {
 			return nil, err
 		}
@@ -223,7 +231,7 @@ func runCell(cfg sim.Config, kind schemeKind, replicas int) (*cell, error) {
 			ControlHops:  r.ControlHops,
 		}, nil
 	}
-	agg, err := sim.RunReplicated(cfg, kind.new, replicas)
+	agg, err := sim.RunReplicatedContext(ctx, cfg, kind.new, replicas)
 	if err != nil {
 		return nil, err
 	}

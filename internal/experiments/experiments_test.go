@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -97,6 +98,9 @@ func TestOptionsNormalized(t *testing.T) {
 	if o.Replicas != 1 {
 		t.Fatalf("default replicas = %d, want 1", o.Replicas)
 	}
+	if o.Context == nil {
+		t.Fatal("normalized Options left Context nil")
+	}
 }
 
 func TestReplicatedCellTightensCI(t *testing.T) {
@@ -110,7 +114,7 @@ func TestReplicatedCellTightensCI(t *testing.T) {
 	cfg.Duration = 6000
 	cfg.Warmup = 600
 	cfg.Lambda = 5
-	c, err := runCell(cfg, kindDUP, 4)
+	c, err := runCell(context.Background(), cfg, kindDUP, 4)
 	if err != nil {
 		t.Fatal(err)
 	}

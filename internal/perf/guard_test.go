@@ -1,0 +1,54 @@
+package perf
+
+import (
+	"testing"
+)
+
+// baselinePath is BENCH_sim.json at the repository root, relative to this
+// package directory.
+const baselinePath = "../../BENCH_sim.json"
+
+// Guard bounds. Throughput varies wildly across machines (CI containers,
+// laptops, loaded hosts), so its bound only catches order-of-magnitude
+// collapses; allocations per event are machine-independent and determinism
+// makes them stable, so their bound is tight.
+const (
+	maxThroughputDrop = 25.0 // fresh events/s may not be 25x below recorded
+	maxAllocGrowth    = 3.0  // fresh allocs/1k-events may not be 3x recorded
+)
+
+// TestNoRegressionAgainstBaseline measures the standard workloads once and
+// compares them against the newest BENCH_sim.json entry. It skips when the
+// baseline is absent (fresh clones before the first `dupbench -perf
+// -perflabel ...` run).
+func TestNoRegressionAgainstBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measures full workloads, skipped with -short")
+	}
+	f, err := Load(baselinePath)
+	if err != nil {
+		t.Fatalf("baseline unreadable: %v", err)
+	}
+	base := f.Last()
+	if base == nil {
+		t.Skipf("no baseline recorded in %s; run dupbench -perf -perflabel to create one", baselinePath)
+	}
+	for _, w := range DefaultWorkloads() {
+		rec, ok := base.Samples[w.ID]
+		if !ok {
+			continue // workload added after the baseline was recorded
+		}
+		got, err := Measure(w, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", w.ID, err)
+		}
+		if got.EventsPerSec*maxThroughputDrop < rec.EventsPerSec {
+			t.Errorf("%s: throughput collapsed: %.0f events/s vs recorded %.0f (allowing %gx)",
+				w.ID, got.EventsPerSec, rec.EventsPerSec, maxThroughputDrop)
+		}
+		if rec.AllocsPerKEvent > 0 && got.AllocsPerKEvent > rec.AllocsPerKEvent*maxAllocGrowth {
+			t.Errorf("%s: allocation regression: %.2f allocs/1k-events vs recorded %.2f (allowing %gx)",
+				w.ID, got.AllocsPerKEvent, rec.AllocsPerKEvent, maxAllocGrowth)
+		}
+	}
+}

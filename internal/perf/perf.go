@@ -1,0 +1,195 @@
+// Package perf is the repeatable performance harness behind the
+// BENCH_sim.json baseline at the repository root. It runs fixed simulator
+// workloads several times, measures throughput (events per second) and
+// allocation pressure (allocations per run and per thousand events), and
+// appends the result as a labelled entry to the baseline file, so
+// regressions show up as a diff against recorded history rather than as
+// folklore.
+//
+// The quickest way to refresh the baseline:
+//
+//	go run ./cmd/dupbench -perf -perflabel "my change"
+//
+// internal/perf/guard_test.go compares a fresh measurement against the
+// newest recorded entry and fails on order-of-magnitude regressions; it is
+// skipped when the baseline file is absent.
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"dup/internal/scheme"
+	"dup/internal/scheme/cup"
+	"dup/internal/scheme/dupscheme"
+	"dup/internal/sim"
+)
+
+// Workload is one fixed simulator configuration the harness measures.
+type Workload struct {
+	ID  string
+	Cfg sim.Config
+	New func() scheme.Scheme
+}
+
+// throughputConfig mirrors bench_test.go's benchConfig(12) with λ = 50:
+// 1024 nodes, three TTL cycles, the configuration BenchmarkSimulatorThroughput
+// uses, so harness numbers and `go test -bench SimulatorThroughput` numbers
+// describe the same run.
+func throughputConfig() sim.Config {
+	cfg := sim.Default()
+	cfg.Nodes = 1024
+	cfg.Duration = 3 * cfg.TTL
+	cfg.Warmup = cfg.TTL
+	cfg.Seed = 12
+	cfg.Lambda = 50
+	return cfg
+}
+
+// DefaultWorkloads returns the standard measurement set: the throughput
+// configuration under each scheme family, plus a churn variant that
+// exercises failure repair.
+func DefaultWorkloads() []Workload {
+	pcxCfg := throughputConfig()
+	pcxCfg.Lead = 0 // PCX has no push schedule
+	churnCfg := throughputConfig()
+	churnCfg.Lambda = 10
+	churnCfg.FailRate = 0.02
+	churnCfg.DetectDelay = 30
+	churnCfg.DownTime = 600
+	churnCfg.RetryTimeout = 5
+	newDUP := func() scheme.Scheme { return dupscheme.New() }
+	return []Workload{
+		{"throughput-dup", throughputConfig(), newDUP},
+		{"throughput-cup", throughputConfig(), func() scheme.Scheme { return cup.New() }},
+		{"throughput-pcx", pcxCfg, func() scheme.Scheme { return scheme.NewPCX() }},
+		{"churn-dup", churnCfg, newDUP},
+	}
+}
+
+// Sample is the measurement of one workload across several runs. Throughput
+// comes from the fastest run (least scheduler noise); allocation counts are
+// per run and deterministic, so any run serves.
+type Sample struct {
+	EventsPerSec    float64 `json:"events_per_sec"`
+	SimSecPerSec    float64 `json:"simsec_per_sec"`
+	Events          uint64  `json:"events"`
+	AllocsPerRun    uint64  `json:"allocs_per_run"`
+	BytesPerRun     uint64  `json:"bytes_per_run"`
+	AllocsPerKEvent float64 `json:"allocs_per_1000_events"`
+	BestWallSeconds float64 `json:"best_wall_seconds"`
+	Runs            int     `json:"runs"`
+}
+
+// Measure runs w `runs` times and aggregates the measurements.
+func Measure(w Workload, runs int) (Sample, error) {
+	if runs < 1 {
+		runs = 1
+	}
+	s := Sample{Runs: runs}
+	var before, after runtime.MemStats
+	for i := 0; i < runs; i++ {
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		r, err := sim.Run(w.Cfg, w.New())
+		wall := time.Since(start).Seconds()
+		runtime.ReadMemStats(&after)
+		if err != nil {
+			return Sample{}, fmt.Errorf("perf: %s: %w", w.ID, err)
+		}
+		allocs := after.Mallocs - before.Mallocs
+		bytes := after.TotalAlloc - before.TotalAlloc
+		if i == 0 || wall < s.BestWallSeconds {
+			s.BestWallSeconds = wall
+			s.Events = r.Events
+			s.EventsPerSec = float64(r.Events) / wall
+			s.SimSecPerSec = r.SimTime / wall
+		}
+		if i == 0 || allocs < s.AllocsPerRun {
+			s.AllocsPerRun = allocs
+			s.BytesPerRun = bytes
+		}
+	}
+	if s.Events > 0 {
+		s.AllocsPerKEvent = float64(s.AllocsPerRun) / float64(s.Events) * 1000
+	}
+	return s, nil
+}
+
+// Entry is one labelled harness invocation: every workload's sample plus
+// enough provenance to interpret the numbers later.
+type Entry struct {
+	Label     string            `json:"label"`
+	Recorded  string            `json:"recorded"` // RFC 3339, UTC
+	GoVersion string            `json:"go_version"`
+	Platform  string            `json:"platform"` // GOOS/GOARCH, NumCPU
+	Samples   map[string]Sample `json:"samples"`  // keyed by Workload.ID
+}
+
+// Collect measures every workload and assembles a labelled entry.
+func Collect(ws []Workload, runs int, label string) (Entry, error) {
+	e := Entry{
+		Label:     label,
+		Recorded:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		Platform:  fmt.Sprintf("%s/%s, %d cpu", runtime.GOOS, runtime.GOARCH, runtime.NumCPU()),
+		Samples:   make(map[string]Sample, len(ws)),
+	}
+	for _, w := range ws {
+		s, err := Measure(w, runs)
+		if err != nil {
+			return Entry{}, err
+		}
+		e.Samples[w.ID] = s
+	}
+	return e, nil
+}
+
+// File is the on-disk shape of BENCH_sim.json: entries in recording order,
+// oldest first, so the file reads as the performance history of the repo.
+type File struct {
+	Entries []Entry `json:"entries"`
+}
+
+// Last returns the newest entry, or nil for an empty file.
+func (f *File) Last() *Entry {
+	if len(f.Entries) == 0 {
+		return nil
+	}
+	return &f.Entries[len(f.Entries)-1]
+}
+
+// Load reads a baseline file. A missing file is not an error: it loads as
+// an empty history, so the first Append creates the file.
+func Load(path string) (*File, error) {
+	blob, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &File{}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("perf: %w", err)
+	}
+	var f File
+	if err := json.Unmarshal(blob, &f); err != nil {
+		return nil, fmt.Errorf("perf: parse %s: %w", path, err)
+	}
+	return &f, nil
+}
+
+// Append adds e to the baseline at path, creating the file when absent.
+func Append(path string, e Entry) error {
+	f, err := Load(path)
+	if err != nil {
+		return err
+	}
+	f.Entries = append(f.Entries, e)
+	blob, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return fmt.Errorf("perf: %w", err)
+	}
+	return os.WriteFile(path, append(blob, '\n'), 0o644)
+}

@@ -1,0 +1,79 @@
+package perf
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// quickWorkload shrinks the standard throughput workload so unit tests run
+// in milliseconds.
+func quickWorkload() Workload {
+	w := DefaultWorkloads()[0]
+	w.Cfg.Nodes = 128
+	w.Cfg.TTL = 600
+	w.Cfg.Lead = 10
+	w.Cfg.Duration = 1800
+	w.Cfg.Warmup = 600
+	w.Cfg.Lambda = 5
+	return w
+}
+
+func TestMeasureReportsPlausibleSample(t *testing.T) {
+	s, err := Measure(quickWorkload(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Events == 0 || s.EventsPerSec <= 0 || s.BestWallSeconds <= 0 {
+		t.Fatalf("degenerate sample: %+v", s)
+	}
+	if s.AllocsPerRun == 0 || s.AllocsPerKEvent <= 0 {
+		t.Fatalf("sample measured no allocations: %+v", s)
+	}
+	if s.Runs != 2 {
+		t.Fatalf("runs = %d, want 2", s.Runs)
+	}
+}
+
+func TestMeasureRejectsBrokenConfig(t *testing.T) {
+	w := quickWorkload()
+	w.Cfg.Lambda = -1
+	if _, err := Measure(w, 1); err == nil {
+		t.Fatal("invalid workload config accepted")
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	f, err := Load(path)
+	if err != nil || len(f.Entries) != 0 || f.Last() != nil {
+		t.Fatalf("missing file did not load empty: %+v, %v", f, err)
+	}
+	e := Entry{Label: "first", Samples: map[string]Sample{"w": {Events: 7}}}
+	if err := Append(path, e); err != nil {
+		t.Fatal(err)
+	}
+	if err := Append(path, Entry{Label: "second"}); err != nil {
+		t.Fatal(err)
+	}
+	f, err = Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Entries) != 2 || f.Entries[0].Label != "first" || f.Last().Label != "second" {
+		t.Fatalf("round-trip lost entries: %+v", f)
+	}
+	if f.Entries[0].Samples["w"].Events != 7 {
+		t.Fatalf("sample did not survive: %+v", f.Entries[0])
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("garbage baseline accepted")
+	}
+}

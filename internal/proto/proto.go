@@ -4,7 +4,10 @@
 // transport differs.
 package proto
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Kind identifies a protocol message type.
 type Kind uint8
@@ -89,6 +92,32 @@ type Message struct {
 	Hops    int     // hops travelled by the request (latency accounting)
 	Path    []int   // request: visited nodes; reply: remaining reverse path
 	Piggy   *Piggyback
+}
+
+// pool recycles Message values between simulator runs and hops. Pooled
+// messages keep their Path backing array, so a steady-state simulation
+// reuses the same few hundred messages (and path slices) indefinitely
+// instead of allocating one per send.
+var pool = sync.Pool{New: func() any { return new(Message) }}
+
+// NewMessage returns a zeroed Message, reusing a pooled one when
+// available. Callers hand the message to the transport with Send; the
+// transport releases it after final delivery.
+func NewMessage() *Message { return pool.Get().(*Message) }
+
+// Reset zeroes every field but keeps the Path capacity for reuse.
+func (m *Message) Reset() {
+	path := m.Path[:0]
+	*m = Message{Path: path}
+}
+
+// Release resets m and returns it to the pool. The caller must be the
+// message's sole owner: after Release any retained pointer to m (or to its
+// Path slice) is invalid, because the next NewMessage may hand it out
+// again.
+func Release(m *Message) {
+	m.Reset()
+	pool.Put(m)
 }
 
 // Piggyback is a control item riding on a request packet instead of

@@ -42,6 +42,32 @@ func TestKindControl(t *testing.T) {
 	}
 }
 
+func TestMessagePoolRoundTrip(t *testing.T) {
+	m := NewMessage()
+	if m.Kind != 0 || m.To != 0 || len(m.Path) != 0 || m.Piggy != nil {
+		t.Fatalf("NewMessage returned a dirty message: %+v", m)
+	}
+	m.Kind = KindRequest
+	m.To, m.Origin, m.Hops = 3, 7, 2
+	m.Version, m.Expiry = 9, 100
+	m.Piggy = &Piggyback{Kind: KindSubscribe, Subject: 7}
+	m.Path = append(m.Path, 7, 3, 1)
+	pathCap := cap(m.Path)
+	Release(m)
+
+	// The released message must come back zeroed, with its path capacity
+	// preserved for reuse (the pool is per-P, so the very next Get on the
+	// same goroutine returns the value just Put).
+	got := NewMessage()
+	if got.Kind != 0 || got.To != 0 || got.Origin != 0 || got.Hops != 0 ||
+		got.Version != 0 || got.Expiry != 0 || got.Piggy != nil || len(got.Path) != 0 {
+		t.Fatalf("pooled message not reset: %+v", got)
+	}
+	if got == m && cap(got.Path) != pathCap {
+		t.Fatalf("reused message lost its path capacity: %d != %d", cap(got.Path), pathCap)
+	}
+}
+
 func TestMessageString(t *testing.T) {
 	cases := []struct {
 		m    Message

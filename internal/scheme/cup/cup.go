@@ -22,6 +22,7 @@ package cup
 
 import (
 	"fmt"
+	"slices"
 
 	"dup/internal/proto"
 	"dup/internal/scheme"
@@ -30,10 +31,10 @@ import (
 // CUP is the controlled update propagation scheme.
 type CUP struct {
 	h          scheme.Host
-	interested []bool         // self-interest per node
-	childOK    []map[int]bool // per node: children that announced interest
-	announced  []bool         // wanting state the parent last heard
-	lastPushed []int64        // highest version each node has forwarded on
+	interested []bool  // self-interest per node
+	childOK    [][]int // per node: children that announced interest, sorted
+	announced  []bool  // wanting state the parent last heard
+	lastPushed []int64 // highest version each node has forwarded on
 
 	// Cutoff selects the degenerate variant Section II-B warns about: a
 	// node announces only its own interest, so a push stops at the first
@@ -73,10 +74,7 @@ func (c *CUP) Attach(h scheme.Host) {
 	n := h.Tree().N()
 	c.h = h
 	c.interested = make([]bool, n)
-	c.childOK = make([]map[int]bool, n)
-	for i := range c.childOK {
-		c.childOK[i] = make(map[int]bool)
-	}
+	c.childOK = make([][]int, n)
 	c.announced = make([]bool, n)
 	c.lastPushed = make([]int64, n)
 	for i := range c.lastPushed {
@@ -86,6 +84,26 @@ func (c *CUP) Attach(h scheme.Host) {
 
 // Interested reports whether node n currently registers interest (tests).
 func (c *CUP) Interested(n int) bool { return c.interested[n] }
+
+// registerChild records child's interest announcement at node n. The
+// per-node registration list is kept sorted so that pushDown fans out in a
+// deterministic child order — map iteration here would make same-seed runs
+// diverge in their (time, seq) event interleaving.
+func (c *CUP) registerChild(n, child int) {
+	s := c.childOK[n]
+	i, found := slices.BinarySearch(s, child)
+	if found {
+		return
+	}
+	c.childOK[n] = slices.Insert(s, i, child)
+}
+
+// unregisterChild removes child's registration at node n, if present.
+func (c *CUP) unregisterChild(n, child int) {
+	if i, found := slices.BinarySearch(c.childOK[n], child); found {
+		c.childOK[n] = slices.Delete(c.childOK[n], i, i+1)
+	}
+}
 
 // wanting reports whether node n should be announced to its parent: its
 // own interest, plus — except in the cut-off variant — any announced
@@ -112,7 +130,9 @@ func (c *CUP) reconcile(n int) {
 	if !w {
 		kind = proto.KindUninterest
 	}
-	c.h.Send(&proto.Message{Kind: kind, To: c.h.Tree().Parent(n), Subject: n})
+	m := proto.NewMessage()
+	m.Kind, m.To, m.Subject = kind, c.h.Tree().Parent(n), n
+	c.h.Send(m)
 }
 
 // OnAccess implements scheme.Scheme: the interest-gain policy, evaluated on
@@ -139,7 +159,7 @@ func (c *CUP) OnPiggyback(n int, p *proto.Piggyback) *proto.Piggyback {
 	if p.Kind != proto.KindInterest {
 		panic(fmt.Sprintf("cup: unexpected piggyback %v", p.Kind))
 	}
-	c.childOK[n][p.Subject] = true
+	c.registerChild(n, p.Subject)
 	if c.h.Tree().IsRoot(n) {
 		return nil
 	}
@@ -170,16 +190,14 @@ func (c *CUP) OnRefresh(v int64, expiry float64) {
 	c.pushDown(root, v, expiry)
 }
 
-// pushDown forwards version v to every interested child of node n.
+// pushDown forwards version v to every interested child of node n, in
+// ascending child order (deterministic fan-out).
 func (c *CUP) pushDown(n int, v int64, expiry float64) {
-	for child, ok := range c.childOK[n] {
-		if !ok {
-			continue
-		}
-		c.h.Send(&proto.Message{
-			Kind: proto.KindPush, To: child, Origin: n,
-			Version: v, Expiry: expiry,
-		})
+	for _, child := range c.childOK[n] {
+		m := proto.NewMessage()
+		m.Kind, m.To, m.Origin = proto.KindPush, child, n
+		m.Version, m.Expiry = v, expiry
+		c.h.Send(m)
 	}
 }
 
@@ -190,16 +208,18 @@ func (c *CUP) OnNodeDown(f, oldParent int, formerChildren []int) {
 	// The failed node's own state is gone.
 	c.interested[f] = false
 	c.announced[f] = false
-	clear(c.childOK[f])
+	c.childOK[f] = c.childOK[f][:0]
 	c.lastPushed[f] = -1
 	// Its registration at the parent is stale.
-	delete(c.childOK[oldParent], f)
+	c.unregisterChild(oldParent, f)
 	// Children that believe they are registered re-announce over their new
 	// edge (one charged hop each); the parent's own announcement state is
 	// reconciled afterwards.
 	for _, child := range formerChildren {
 		if c.announced[child] {
-			c.h.Send(&proto.Message{Kind: proto.KindInterest, To: oldParent, Subject: child})
+			m := proto.NewMessage()
+			m.Kind, m.To, m.Subject = proto.KindInterest, oldParent, child
+			c.h.Send(m)
 		}
 	}
 	c.reconcile(oldParent)
@@ -209,7 +229,7 @@ func (c *CUP) OnNodeDown(f, oldParent int, formerChildren []int) {
 func (c *CUP) OnNodeUp(f, parent int) {
 	c.interested[f] = false
 	c.announced[f] = false
-	clear(c.childOK[f])
+	c.childOK[f] = c.childOK[f][:0]
 	c.lastPushed[f] = -1
 }
 
@@ -218,10 +238,10 @@ func (c *CUP) OnMessage(m *proto.Message) {
 	n := m.To
 	switch m.Kind {
 	case proto.KindInterest:
-		c.childOK[n][m.Subject] = true
+		c.registerChild(n, m.Subject)
 		c.reconcile(n)
 	case proto.KindUninterest:
-		delete(c.childOK[n], m.Subject)
+		c.unregisterChild(n, m.Subject)
 		c.reconcile(n)
 	case proto.KindPush:
 		// Only a node that needs the index stores it; an uninterested

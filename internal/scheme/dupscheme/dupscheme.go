@@ -22,6 +22,7 @@ type DUP struct {
 	h          scheme.Host
 	st         []*core.State
 	lastPushed []int64 // highest version each node has forwarded on
+	targets    []int   // scratch push-target buffer, reused across pushes
 
 	// HopByHopPush disables DUP's direct pushes: updates are routed along
 	// the index search tree through every intermediate node, charging one
@@ -71,7 +72,8 @@ func (d *DUP) emit(from int, acts []core.Action) {
 		panic(fmt.Sprintf("dupscheme: root emitted upstream actions %v", acts))
 	}
 	for _, a := range acts {
-		m := &proto.Message{To: parent}
+		m := proto.NewMessage()
+		m.To = parent
 		switch a.Kind {
 		case core.SendSubscribe:
 			m.Kind, m.Subject = proto.KindSubscribe, a.Subject
@@ -147,13 +149,15 @@ func (d *DUP) OnRefresh(v int64, expiry float64) {
 	d.pushFrom(d.h.Tree().Root(), v, expiry)
 }
 
-// pushFrom sends version v to every push target of node n.
+// pushFrom sends version v to every push target of node n. The scratch
+// target buffer is safe to reuse because Send never re-enters the scheme
+// synchronously.
 func (d *DUP) pushFrom(n int, v int64, expiry float64) {
-	for _, target := range d.st[n].PushTargets() {
-		m := &proto.Message{
-			Kind: proto.KindPush, To: target, Origin: n,
-			Version: v, Expiry: expiry,
-		}
+	d.targets = d.st[n].AppendPushTargets(d.targets[:0])
+	for _, target := range d.targets {
+		m := proto.NewMessage()
+		m.Kind, m.To, m.Origin = proto.KindPush, target, n
+		m.Version, m.Expiry = v, expiry
 		if d.HopByHopPush {
 			d.h.SendVia(m, d.treeDistance(n, target))
 		} else {
@@ -196,10 +200,10 @@ func (d *DUP) OnNodeDown(f, oldParent int, formerChildren []int) {
 	}
 	for _, child := range formerChildren {
 		if d.st[child].OnVirtualPath() {
-			d.h.Send(&proto.Message{
-				Kind: proto.KindSubscribe, To: oldParent,
-				Subject: d.st[child].Representative(),
-			})
+			m := proto.NewMessage()
+			m.Kind, m.To = proto.KindSubscribe, oldParent
+			m.Subject = d.st[child].Representative()
+			d.h.Send(m)
 		}
 	}
 	d.st[f].Reset()

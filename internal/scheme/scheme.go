@@ -24,7 +24,10 @@ type Host interface {
 	// Now returns the current simulated time in seconds.
 	Now() float64
 	// Send transmits m to m.To after a random per-hop delay, charging one
-	// hop of m.Kind to the cost metric.
+	// hop of m.Kind to the cost metric. Ownership of m transfers to the
+	// host: schemes should obtain messages from proto.NewMessage and must
+	// not retain or reuse m after Send — the simulator host recycles it
+	// through the message pool once delivery completes.
 	Send(m *proto.Message)
 	// SendVia transmits m like Send but charges and delays `hops` hops.
 	// It models a message routed hop-by-hop through `hops` tree edges
@@ -68,6 +71,8 @@ type Scheme interface {
 	// OnMessage delivers a scheme-specific message (push, subscribe,
 	// unsubscribe, substitute, interest, uninterest) to node m.To.
 	// Requests and replies never reach the scheme; the host serves them.
+	// The host releases m to the message pool when OnMessage returns, so
+	// schemes must not retain m.
 	OnMessage(m *proto.Message)
 	// OnRefresh runs when the authority node issues version v (expiring
 	// at expiry). Push-based schemes start their propagation here.

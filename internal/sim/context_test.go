@@ -1,0 +1,90 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"dup/internal/proto"
+	"dup/internal/scheme"
+)
+
+// TestRunContextAlreadyCancelled is the acceptance check for the context
+// API: a cancelled context must abort a full-scale (4096-node, 180000 s)
+// run well under 100 ms, returning an error that wraps context.Canceled.
+func TestRunContextAlreadyCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	r, err := RunContext(ctx, Default(), scheme.NewPCX())
+	elapsed := time.Since(start)
+	if r != nil {
+		t.Fatal("cancelled run returned a result")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
+	}
+	if elapsed >= 100*time.Millisecond {
+		t.Fatalf("cancelled run took %v, want < 100ms", elapsed)
+	}
+}
+
+// cancellingTracer cancels a context after seeing `after` queries resolve.
+type cancellingTracer struct {
+	after  int
+	seen   int
+	cancel context.CancelFunc
+}
+
+func (c *cancellingTracer) Message(t float64, m *proto.Message) {}
+
+func (c *cancellingTracer) Query(t float64, origin, hops int) {
+	if c.seen++; c.seen == c.after {
+		c.cancel()
+	}
+}
+
+// TestRunContextMidRunCancel cancels from inside the event loop (via a
+// tracer callback) and verifies the engine notices within its periodic
+// check and abandons the run.
+func TestRunContextMidRunCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	e, err := New(quickCfg(11), scheme.NewPCX())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &cancellingTracer{after: 500, cancel: cancel}
+	e.SetTracer(tr)
+	r, runErr := e.RunContext(ctx)
+	if r != nil {
+		t.Fatal("cancelled run returned a result")
+	}
+	if !errors.Is(runErr, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", runErr)
+	}
+	if tr.seen < 500 {
+		t.Fatalf("run ended after %d queries, before the cancel fired", tr.seen)
+	}
+	// The engine checks every cancelCheckEvery dispatches, so the overrun
+	// past the cancellation point is bounded.
+	if tr.seen > 500+cancelCheckEvery {
+		t.Fatalf("engine dispatched %d queries after cancellation", tr.seen-500)
+	}
+}
+
+// TestRunReplicatedContextCancelled verifies cancellation propagates
+// through the replication loop.
+func TestRunReplicatedContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	agg, err := RunReplicatedContext(ctx, quickCfg(3),
+		func() scheme.Scheme { return scheme.NewPCX() }, 3)
+	if agg != nil {
+		t.Fatal("cancelled replication returned an aggregate")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
+	}
+}

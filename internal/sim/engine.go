@@ -5,9 +5,16 @@
 // one scheme (PCX, CUP or DUP) through a generated query workload,
 // measuring average query latency and average query cost exactly as the
 // paper defines them.
+//
+// The hot path is allocation-free in steady state: events are small typed
+// records stored inline in the pending-event heap (see dup/internal/eventq)
+// and protocol messages are recycled through a pool (proto.NewMessage /
+// proto.Release), with the engine releasing each message after its final
+// delivery.
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -23,10 +30,18 @@ import (
 	"dup/internal/workload"
 )
 
+// cancelCheckEvery is how many dispatched events pass between context
+// cancellation checks: frequent enough that cancellation lands within
+// microseconds at full event rates, rare enough to stay invisible in
+// profiles.
+const cancelCheckEvery = 4096
+
 // Tracer receives a callback for every dispatched event; it is optional
 // and intended for the duptrace tool and for debugging tests.
 type Tracer interface {
-	// Message is called when a protocol message is delivered.
+	// Message is called when a protocol message is delivered. The message
+	// is returned to the engine's pool right after the event completes, so
+	// implementations must copy what they need and not retain m.
 	Message(t float64, m *proto.Message)
 	// Query is called when a query is resolved with the given latency.
 	Query(t float64, origin, hops int)
@@ -54,20 +69,6 @@ type Engine struct {
 	fails      int64 // failures injected so far
 	lostQrys   int64 // request/reply drops that triggered a retry
 }
-
-// event payloads besides *proto.Message:
-type (
-	arrivalEv  struct{ node int }
-	refreshEv  struct{ v int64 }
-	intervalEv struct{ k int64 }
-	failEv     struct{}           // pick and fail a random alive node
-	detectEv   struct{ node int } // keep-alive timeout: repair around node
-	recoverEv  struct{ node int } // node rejoins blank
-	retryEv    struct {           // re-issue a query lost to a dead node
-		origin int
-		hops   int
-	}
-)
 
 // New prepares a run of s under cfg. It returns an error for invalid
 // configurations.
@@ -115,6 +116,10 @@ func New(cfg Config, s scheme.Scheme) (*Engine, error) {
 		caches: make([]cache.Entry, tree.N()),
 		counts: make([]int32, tree.N()),
 	}
+	// Pre-size the pending-event heap: the standing population is bounded
+	// by messages in flight, which a refresh burst can briefly push to one
+	// per node.
+	e.clock.Grow(tree.N() + 64)
 	if cfg.FailRate > 0 {
 		e.alive = make([]bool, tree.N())
 		for i := range e.alive {
@@ -162,10 +167,11 @@ func (e *Engine) Threshold() int { return e.cfg.Threshold }
 func (e *Engine) IntervalCount(n int) int { return int(e.counts[n]) }
 
 // Send implements scheme.Host: charge one hop and deliver after one
-// exponential per-hop delay.
+// exponential per-hop delay. Ownership of m transfers to the engine, which
+// releases it to the message pool after its final delivery.
 func (e *Engine) Send(m *proto.Message) {
 	e.met.RecordHop(e.clock.Now(), m.Kind)
-	e.clock.After(e.delay.Sample(), m)
+	e.clock.After(e.delay.Sample(), eventq.Message(m))
 }
 
 // SendVia implements scheme.Host: charge and delay `hops` hops.
@@ -178,7 +184,7 @@ func (e *Engine) SendVia(m *proto.Message, hops int) {
 		e.met.RecordHop(e.clock.Now(), m.Kind)
 		total += e.delay.Sample()
 	}
-	e.clock.After(total, m)
+	e.clock.After(total, eventq.Message(m))
 }
 
 // Metrics exposes the run's metrics (tests and the CI stopping rule).
@@ -186,18 +192,30 @@ func (e *Engine) Metrics() *metrics.Metrics { return e.met }
 
 // Run executes the simulation and returns its result.
 func (e *Engine) Run() (*Result, error) {
+	return e.RunContext(context.Background())
+}
+
+// RunContext executes the simulation, checking ctx for cancellation every
+// few thousand dispatched events. On cancellation it returns an error
+// wrapping ctx.Err() within well under 100 ms even on full-scale
+// configurations; partial results are discarded.
+func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
 	start := time.Now()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
 	// Seed the event streams: first arrival, first refresh, first interval
 	// boundary. Version 0 exists from time zero (the root holds it); the
 	// first refresh event issues version 1.
 	e.scheduleArrival(e.gen.Next())
-	e.clock.At(e.auth.IssueTime(1), refreshEv{1})
-	e.clock.At(e.auth.IntervalEnd(0), intervalEv{0})
+	e.clock.At(e.auth.IssueTime(1), eventq.Ev(eventq.KindRefresh, 1))
+	e.clock.At(e.auth.IntervalEnd(0), eventq.Ev(eventq.KindInterval, 0))
 	if e.cfg.FailRate > 0 {
-		e.clock.After(e.failGap.Sample(), failEv{})
+		e.clock.After(e.failGap.Sample(), eventq.Ev(eventq.KindFail, 0))
 	}
 
 	horizon := e.cfg.Duration
+	untilCheck := cancelCheckEvery
 	for {
 		ev, ok := e.clock.Next()
 		if !ok {
@@ -213,6 +231,12 @@ func (e *Engine) Run() (*Result, error) {
 			}
 		}
 		e.dispatch(ev)
+		if untilCheck--; untilCheck <= 0 {
+			untilCheck = cancelCheckEvery
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("sim: cancelled at t=%.0f: %w", e.clock.Now(), err)
+			}
+		}
 	}
 
 	r := &Result{
@@ -234,35 +258,45 @@ func (e *Engine) Run() (*Result, error) {
 	return r, nil
 }
 
+// retryEvent packs a retry's two small operands — the querying node and
+// the hops its lost attempt already travelled — into the event's single
+// inline operand, keeping the event record at its 32-byte heap size.
+func retryEvent(origin, hops int) eventq.Event {
+	return eventq.Ev(eventq.KindRetry, int64(origin)<<retryHopsBits|int64(hops))
+}
+
+const retryHopsBits = 24 // hops per query stay far below 2^24
+
 func (e *Engine) dispatch(ev eventq.Event) {
-	switch p := ev.Payload.(type) {
-	case *proto.Message:
-		e.deliver(p)
-	case arrivalEv:
-		if e.Alive(p.node) {
-			e.localQuery(p.node)
+	switch ev.Kind() {
+	case eventq.KindMessage:
+		e.deliver(ev.Msg)
+	case eventq.KindArrival:
+		if n := int(ev.A); e.Alive(n) {
+			e.localQuery(n)
 		}
 		e.scheduleArrival(e.gen.Next())
-	case refreshEv:
-		e.sch.OnRefresh(p.v, e.auth.Expiry(p.v))
-		e.clock.At(e.auth.IssueTime(p.v+1), refreshEv{p.v + 1})
-	case intervalEv:
+	case eventq.KindRefresh:
+		v := ev.A
+		e.sch.OnRefresh(v, e.auth.Expiry(v))
+		e.clock.At(e.auth.IssueTime(v+1), eventq.Ev(eventq.KindRefresh, v+1))
+	case eventq.KindInterval:
 		e.sch.OnIntervalEnd()
 		for i := range e.counts {
 			e.counts[i] = 0
 		}
-		e.clock.At(e.auth.IntervalEnd(p.k+1), intervalEv{p.k + 1})
-	case failEv:
+		e.clock.At(e.auth.IntervalEnd(ev.A+1), eventq.Ev(eventq.KindInterval, ev.A+1))
+	case eventq.KindFail:
 		e.failRandomNode()
-		e.clock.After(e.failGap.Sample(), failEv{})
-	case detectEv:
-		e.repairAround(p.node)
-	case recoverEv:
-		e.recover(p.node)
-	case retryEv:
-		e.retryQuery(p.origin, p.hops)
+		e.clock.After(e.failGap.Sample(), eventq.Ev(eventq.KindFail, 0))
+	case eventq.KindDetect:
+		e.repairAround(int(ev.A))
+	case eventq.KindRecover:
+		e.recover(int(ev.A))
+	case eventq.KindRetry:
+		e.retryQuery(int(ev.A>>retryHopsBits), int(ev.A&(1<<retryHopsBits-1)))
 	default:
-		panic(fmt.Sprintf("sim: unknown event payload %T", ev.Payload))
+		panic(fmt.Sprintf("sim: unknown event kind %v", ev.Kind()))
 	}
 }
 
@@ -272,7 +306,7 @@ func (e *Engine) scheduleArrival(a workload.Arrival) {
 	if math.IsInf(a.Time, 1) {
 		return
 	}
-	e.clock.At(a.Time, arrivalEv{a.Node})
+	e.clock.At(a.Time, eventq.Ev(eventq.KindArrival, int64(a.Node)))
 }
 
 // failRandomNode picks a random alive non-root node and fails it.
@@ -287,8 +321,8 @@ func (e *Engine) failRandomNode() {
 		e.alive[victim] = false
 		e.caches[victim].Invalidate()
 		e.fails++
-		e.clock.After(e.cfg.DetectDelay, detectEv{victim})
-		e.clock.After(e.cfg.DownTime, recoverEv{victim})
+		e.clock.After(e.cfg.DetectDelay, eventq.Ev(eventq.KindDetect, int64(victim)))
+		e.clock.After(e.cfg.DownTime, eventq.Ev(eventq.KindRecover, int64(victim)))
 		return
 	}
 }
@@ -326,10 +360,11 @@ func (e *Engine) retryQuery(origin, hops int) {
 		e.recordQuery(origin, hops)
 		return
 	}
-	e.Send(&proto.Message{
-		Kind: proto.KindRequest, To: e.tree.Parent(origin), Origin: origin,
-		Hops: hops + 1, Path: []int{origin},
-	})
+	m := proto.NewMessage()
+	m.Kind, m.To, m.Origin = proto.KindRequest, e.tree.Parent(origin), origin
+	m.Hops = hops + 1
+	m.Path = append(m.Path, origin)
+	e.Send(m)
 }
 
 // access counts a query arrival at node n and runs the scheme's interest
@@ -367,10 +402,12 @@ func (e *Engine) localQuery(n int) {
 		e.recordQuery(n, 0)
 		return
 	}
-	e.Send(&proto.Message{
-		Kind: proto.KindRequest, To: e.tree.Parent(n), Origin: n,
-		Hops: 1, Path: []int{n}, Piggy: piggy,
-	})
+	m := proto.NewMessage()
+	m.Kind, m.To, m.Origin = proto.KindRequest, e.tree.Parent(n), n
+	m.Hops = 1
+	m.Path = append(m.Path, n)
+	m.Piggy = piggy
+	e.Send(m)
 }
 
 func (e *Engine) recordQuery(origin, hops int) {
@@ -382,7 +419,10 @@ func (e *Engine) recordQuery(origin, hops int) {
 
 // deliver processes message arrival at m.To. Messages addressed to a dead
 // node are lost; a lost request or reply makes its origin retry the query
-// after the retry timeout, with the hops already spent carried over.
+// after the retry timeout, with the hops already spent carried over. The
+// engine owns every delivered message exclusively and releases it to the
+// pool once the delivery is fully processed (requests and replies recycle
+// in place along their path instead).
 func (e *Engine) deliver(m *proto.Message) {
 	if !e.Alive(m.To) {
 		// A lost request leaves its query unanswered: the origin retries
@@ -392,8 +432,9 @@ func (e *Engine) deliver(m *proto.Message) {
 		// for the cold cache the lost reply left behind.
 		if m.Kind == proto.KindRequest {
 			e.lostQrys++
-			e.clock.After(e.cfg.RetryTimeout, retryEv{origin: m.Origin, hops: m.Hops})
+			e.clock.After(e.cfg.RetryTimeout, retryEvent(m.Origin, m.Hops))
 		}
+		proto.Release(m)
 		return
 	}
 	if e.tracer != nil {
@@ -406,6 +447,7 @@ func (e *Engine) deliver(m *proto.Message) {
 		e.onReply(m)
 	default:
 		e.sch.OnMessage(m)
+		proto.Release(m)
 	}
 }
 
@@ -433,7 +475,9 @@ func (e *Engine) onRequest(m *proto.Message) {
 		// The request stops here; an unabsorbed piggyback continues as an
 		// ordinary (charged) control message.
 		if carried != nil {
-			e.Send(&proto.Message{Kind: carried.Kind, To: e.tree.Parent(n), Subject: carried.Subject})
+			c := proto.NewMessage()
+			c.Kind, c.To, c.Subject = carried.Kind, e.tree.Parent(n), carried.Subject
+			e.Send(c)
 		}
 		e.recordQuery(m.Origin, m.Hops)
 		// Turn the request into its reply in place: the engine owns the
@@ -460,12 +504,14 @@ func (e *Engine) onRequest(m *proto.Message) {
 }
 
 // onReply retraces the request path toward the origin; every node on the
-// way caches the index (path caching, common to all three schemes).
+// way caches the index (path caching, common to all three schemes). The
+// message is released to the pool when it reaches the origin.
 func (e *Engine) onReply(m *proto.Message) {
 	n := m.To
 	e.caches[n].Store(m.Version, m.Expiry)
 	if len(m.Path) == 0 {
-		return // reached the origin
+		proto.Release(m) // reached the origin
+		return
 	}
 	last := len(m.Path) - 1
 	m.To = m.Path[last]
@@ -476,9 +522,15 @@ func (e *Engine) onReply(m *proto.Message) {
 // Run is a convenience wrapper: build an engine for cfg and s, run it, and
 // return the result.
 func Run(cfg Config, s scheme.Scheme) (*Result, error) {
+	return RunContext(context.Background(), cfg, s)
+}
+
+// RunContext builds an engine for cfg and s and runs it under ctx; see
+// (*Engine).RunContext for the cancellation contract.
+func RunContext(ctx context.Context, cfg Config, s scheme.Scheme) (*Result, error) {
 	e, err := New(cfg, s)
 	if err != nil {
 		return nil, err
 	}
-	return e.Run()
+	return e.RunContext(ctx)
 }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"dup/internal/scheme"
@@ -39,6 +40,13 @@ func (r *Replicated) CostCI95() float64 { return r.Cost.CI95() }
 // studied in our simulation and the results are similar"). mk must return
 // a fresh scheme instance on every call.
 func RunReplicated(cfg Config, mk func() scheme.Scheme, replicas int) (*Replicated, error) {
+	return RunReplicatedContext(context.Background(), cfg, mk, replicas)
+}
+
+// RunReplicatedContext is RunReplicated under a context: cancellation stops
+// the current replica mid-run (see (*Engine).RunContext) and discards the
+// partial aggregate.
+func RunReplicatedContext(ctx context.Context, cfg Config, mk func() scheme.Scheme, replicas int) (*Replicated, error) {
 	if replicas < 1 {
 		return nil, fmt.Errorf("sim: need at least one replica, got %d", replicas)
 	}
@@ -47,7 +55,7 @@ func RunReplicated(cfg Config, mk func() scheme.Scheme, replicas int) (*Replicat
 		c := cfg
 		c.Seed = cfg.Seed + uint64(i)
 		s := mk()
-		r, err := Run(c, s)
+		r, err := RunContext(ctx, c, s)
 		if err != nil {
 			return nil, fmt.Errorf("sim: replica %d: %w", i, err)
 		}

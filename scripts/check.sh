@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# check.sh is the one-command pre-commit gate: vet, build, the full test
+# suite under the race detector, and a quick pass of the performance
+# harness (print-only, so it never mutates BENCH_sim.json).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "== perf harness (quick, print-only) =="
+go run ./cmd/dupbench -perf -perfruns 2
+
+echo "check.sh: all green"
