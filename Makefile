@@ -1,12 +1,17 @@
 # Convenience targets; scripts/check.sh is the canonical pre-commit gate.
 
-.PHONY: check test bench perf perf-record
+.PHONY: check test bench perf perf-record cluster-demo
 
 check:
 	scripts/check.sh
 
 test:
 	go test ./...
+
+# Boot a three-process, nine-node DUP cluster on loopback TCP for ~10s
+# and assert queries resolve across the socket fabric.
+cluster-demo:
+	scripts/cluster_demo.sh
 
 bench:
 	go test -bench . -benchmem -benchtime 3x

@@ -1,0 +1,199 @@
+// Command dupd runs the hosted part of a DUP cluster as a daemon: the
+// same protocol state machine the simulator and the in-process live
+// network use, but over real TCP sockets via dup/internal/transport.
+//
+// Every process of a cluster must be started with the same -nodes,
+// -degree and -seed so they derive the identical index search tree; each
+// process then hosts a disjoint subset of the node ids (-host) and knows
+// where the others live (-peers). Node 0 is the authority for the index.
+//
+// A three-process loopback cluster of nine nodes:
+//
+//	dupd -listen 127.0.0.1:7070 -host 0,1,2 -authority \
+//	     -peers '3=127.0.0.1:7071,4=127.0.0.1:7071,5=127.0.0.1:7071,6=127.0.0.1:7072,7=127.0.0.1:7072,8=127.0.0.1:7072'
+//	dupd -listen 127.0.0.1:7071 -host 3,4,5 -peers '0=127.0.0.1:7070,...,8=127.0.0.1:7072'
+//	dupd -listen 127.0.0.1:7072 -host 6,7,8 -peers '0=127.0.0.1:7070,...,5=127.0.0.1:7071' -query 8
+//
+// With -query the daemon issues periodic index queries at a hosted node
+// and logs each result; with -stats it logs the network counters. It
+// stops cleanly on SIGINT/SIGTERM or after -run elapses.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"dup/internal/live"
+	"dup/internal/transport"
+)
+
+func main() {
+	log.SetFlags(log.Ltime | log.Lmicroseconds)
+	log.SetPrefix("dupd ")
+
+	cfg := live.DefaultConfig()
+	listen := flag.String("listen", "127.0.0.1:7070", "address to accept cluster traffic on")
+	hostList := flag.String("host", "", "comma-separated node ids this daemon hosts (required)")
+	peerList := flag.String("peers", "", "remote nodes as comma-separated id=host:port pairs")
+	authority := flag.Bool("authority", false, "assert that this daemon hosts the authority node 0")
+	flag.IntVar(&cfg.Nodes, "nodes", cfg.Nodes, "total cluster size n (identical on every process)")
+	flag.IntVar(&cfg.MaxDegree, "degree", cfg.MaxDegree, "maximum node degree D (identical on every process)")
+	flag.Uint64Var(&cfg.Seed, "seed", cfg.Seed, "topology seed (identical on every process)")
+	flag.DurationVar(&cfg.TTL, "ttl", cfg.TTL, "index version lifetime")
+	flag.DurationVar(&cfg.Lead, "lead", cfg.Lead, "push lead before each expiry")
+	flag.IntVar(&cfg.Threshold, "c", cfg.Threshold, "interest threshold c per TTL interval")
+	flag.DurationVar(&cfg.KeepAliveEvery, "keepalive", cfg.KeepAliveEvery, "keep-alive period")
+	flag.DurationVar(&cfg.DeadAfter, "deadafter", cfg.DeadAfter, "missed-ack window before a peer is declared failed")
+	queryAt := flag.Int("query", -1, "issue periodic queries at this hosted node id (-1 disables)")
+	queryEvery := flag.Duration("every", 500*time.Millisecond, "query period (with -query)")
+	statsEvery := flag.Duration("stats", 0, "log network counters this often (0 disables)")
+	runFor := flag.Duration("run", 0, "exit after this long (0 = until SIGINT/SIGTERM)")
+	flag.Parse()
+
+	hosts, err := parseIDs(*hostList)
+	if err != nil {
+		fail(fmt.Errorf("-host: %w", err))
+	}
+	if len(hosts) == 0 {
+		fail(fmt.Errorf("-host is required (which node ids does this daemon run?)"))
+	}
+	peers, err := parsePeers(*peerList)
+	if err != nil {
+		fail(fmt.Errorf("-peers: %w", err))
+	}
+	hosted := make(map[int]bool, len(hosts))
+	for _, id := range hosts {
+		hosted[id] = true
+	}
+	if *authority != hosted[0] {
+		fail(fmt.Errorf("-authority=%v but -host %s: the authority is node 0", *authority, *hostList))
+	}
+	for id := range peers {
+		if hosted[id] {
+			delete(peers, id) // local ids never cross the socket
+		}
+	}
+
+	tr, err := transport.NewTCP(transport.TCPConfig{
+		Listen: *listen,
+		Peers:  peers,
+		Seed:   cfg.Seed + uint64(hosts[0]) + 1,
+		Logf:   log.Printf,
+	})
+	if err != nil {
+		fail(err)
+	}
+	// No global liveness oracle exists across processes, so repairs rely on
+	// each node's own keep-alive suspicions.
+	dir := live.NewStaticDirectory(cfg.BuildTree())
+	nw, err := live.StartWith(cfg, live.Options{Transport: tr, Directory: dir, Hosts: hosts})
+	if err != nil {
+		tr.Close()
+		fail(err)
+	}
+	log.Printf("hosting %v of %d nodes on %s (authority=%v)", hosts, nw.Nodes(), tr.Addr(), hosted[0])
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+	var deadline <-chan time.Time
+	if *runFor > 0 {
+		deadline = time.After(*runFor)
+	}
+	queryTick, statsTick := ticker(*queryAt >= 0, *queryEvery), ticker(*statsEvery > 0, *statsEvery)
+
+	for running := true; running; {
+		select {
+		case sig := <-stop:
+			log.Printf("caught %v, shutting down", sig)
+			running = false
+		case <-deadline:
+			log.Printf("run time elapsed, shutting down")
+			running = false
+		case <-queryTick:
+			r, err := nw.Query(*queryAt, 2*time.Second)
+			if err != nil {
+				log.Printf("query node=%d failed: %v", *queryAt, err)
+				break
+			}
+			log.Printf("query node=%d resolved version=%d hops=%d local=%v", *queryAt, r.Version, r.Hops, r.Local)
+		case <-statsTick:
+			s := nw.Stats()
+			log.Printf("stats queries=%d local=%d pushes=%d subscribes=%d substitutes=%d keepalives=%d drops=%d",
+				s.Queries, s.LocalHits, s.Pushes, s.Subscribes, s.Substitutes, s.KeepAlives, s.Drops)
+		}
+	}
+	nw.Stop()
+	s := nw.Stats()
+	log.Printf("final queries=%d local=%d pushes=%d subscribes=%d substitutes=%d keepalives=%d drops=%d",
+		s.Queries, s.LocalHits, s.Pushes, s.Subscribes, s.Substitutes, s.KeepAlives, s.Drops)
+}
+
+// ticker returns a ticking channel when enabled, else a nil channel that
+// never fires (so the select arm is simply inert).
+func ticker(enabled bool, every time.Duration) <-chan time.Time {
+	if !enabled {
+		return nil
+	}
+	return time.Tick(every)
+}
+
+// parseIDs parses a comma-separated id list like "0,1,2".
+func parseIDs(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var ids []int
+	seen := map[int]bool{}
+	for _, f := range strings.Split(s, ",") {
+		id, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("bad node id %q", f)
+		}
+		if id < 0 {
+			return nil, fmt.Errorf("negative node id %d", id)
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("node id %d listed twice", id)
+		}
+		seen[id] = true
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids, nil
+}
+
+// parsePeers parses "id=host:port" pairs: "3=127.0.0.1:7071,4=127.0.0.1:7071".
+func parsePeers(s string) (map[int]string, error) {
+	peers := map[int]string{}
+	if strings.TrimSpace(s) == "" {
+		return peers, nil
+	}
+	for _, f := range strings.Split(s, ",") {
+		id, addr, ok := strings.Cut(strings.TrimSpace(f), "=")
+		if !ok || addr == "" {
+			return nil, fmt.Errorf("want id=host:port, got %q", f)
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(id))
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("bad node id in %q", f)
+		}
+		if old, dup := peers[n]; dup && old != addr {
+			return nil, fmt.Errorf("node %d mapped to both %s and %s", n, old, addr)
+		}
+		peers[n] = addr
+	}
+	return peers, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "dupd:", err)
+	os.Exit(1)
+}

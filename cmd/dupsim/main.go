@@ -21,7 +21,8 @@ import (
 
 func main() {
 	cfg := dup.DefaultConfig()
-	schemeName := flag.String("scheme", "dup", "scheme to simulate: pcx, cup, cup-cutoff, dup, dup-hopbyhop")
+	s := dup.DUP
+	flag.TextVar(&s, "scheme", dup.DUP, "scheme to simulate: pcx, cup, cup-cutoff, dup, dup-hopbyhop")
 	compare := flag.Bool("compare", false, "run PCX, CUP and DUP under the same workload")
 	flag.IntVar(&cfg.Nodes, "nodes", cfg.Nodes, "number of nodes n")
 	flag.IntVar(&cfg.MaxDegree, "degree", cfg.MaxDegree, "maximum node degree D")
@@ -74,10 +75,6 @@ func main() {
 		return
 	}
 
-	s, err := dup.ParseScheme(*schemeName)
-	if err != nil {
-		fail(err)
-	}
 	r, err := dup.Run(cfg, s)
 	if err != nil {
 		fail(err)

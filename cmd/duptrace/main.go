@@ -17,6 +17,7 @@ import (
 	"io"
 	"os"
 
+	"dup"
 	"dup/internal/proto"
 	"dup/internal/scheme"
 	"dup/internal/scheme/cup"
@@ -68,9 +69,10 @@ func main() {
 	cfg.Nodes = 512
 	cfg.Duration = 7200
 	cfg.Warmup = 0
-	schemeName := flag.String("scheme", "dup", "scheme: pcx, cup, dup")
+	schemeName := dup.DUP
+	flag.TextVar(&schemeName, "scheme", dup.DUP, "scheme: pcx, cup, cup-cutoff, dup, dup-hopbyhop")
 	asJSON := flag.Bool("json", false, "emit JSON lines instead of a summary")
-	asDot := flag.Bool("dot", false, "emit the final DUP tree as Graphviz DOT (dup scheme only)")
+	asDot := flag.Bool("dot", false, "emit the final DUP tree as Graphviz DOT (dup schemes only)")
 	flag.IntVar(&cfg.Nodes, "nodes", cfg.Nodes, "number of nodes")
 	flag.Float64Var(&cfg.Lambda, "lambda", cfg.Lambda, "query rate (queries/s)")
 	flag.Float64Var(&cfg.Theta, "theta", cfg.Theta, "Zipf skew")
@@ -78,21 +80,27 @@ func main() {
 	flag.Uint64Var(&cfg.Seed, "seed", cfg.Seed, "random seed")
 	flag.Parse()
 
+	// The flag already rejected unknown names via Scheme.UnmarshalText;
+	// this switch only picks the constructor (and keeps the concrete DUP
+	// handle that -dot needs to walk the final tree state).
 	var s scheme.Scheme
 	var dupS *dupscheme.DUP
-	switch *schemeName {
-	case "pcx":
+	switch schemeName {
+	case dup.PCX:
 		s = scheme.NewPCX()
-	case "cup":
+	case dup.CUP:
 		s = cup.New()
-	case "dup":
+	case dup.CUPCutoff:
+		s = cup.NewCutoff()
+	case dup.DUP:
 		dupS = dupscheme.New()
 		s = dupS
-	default:
-		fail(fmt.Errorf("unknown scheme %q", *schemeName))
+	case dup.DUPHopByHop:
+		dupS = dupscheme.NewHopByHop()
+		s = dupS
 	}
 	if *asDot && dupS == nil {
-		fail(fmt.Errorf("-dot requires -scheme dup"))
+		fail(fmt.Errorf("-dot requires a dup scheme, got %v", schemeName))
 	}
 
 	e, err := sim.New(cfg, s)

@@ -1,0 +1,220 @@
+package live
+
+import (
+	"sync"
+
+	"dup/internal/topology"
+)
+
+// Directory is the underlying DHT's routing state stand-in: who a node's
+// current upstream is, who the designated authority is, and the repair
+// primitives the paper delegates to the overlay. The live network asks it
+// where to re-home after a failure and who wins an authority fail-over.
+//
+// Two implementations exist. MemDirectory is a shared in-memory oracle for
+// clusters living in one process (every Network in the cluster points at
+// the same instance); it additionally knows which nodes the test harness
+// has killed, like a DHT whose routing tables have already repaired.
+// StaticDirectory is for multi-process deployments (cmd/dupd): it knows
+// only the static tree, so repairs rely purely on each node's own
+// keep-alive suspicions.
+type Directory interface {
+	// RootID returns the currently designated authority node.
+	RootID() int
+	// Parent returns the current upstream of id (-1 for the root).
+	Parent(id int) int
+	// SetParent records a repair: id re-homed under parent.
+	SetParent(id, parent int)
+	// AliveAncestor walks upstream from id and returns the nearest
+	// ancestor that is believed alive and not suspected by the caller
+	// (suspect may be nil), falling back to the designated authority and
+	// finally to -1 when nothing is left.
+	AliveAncestor(id int, suspect func(int) bool) int
+	// Promote elects id as the new authority if the designated one is
+	// believed dead; the first caller wins. It reports whether id now
+	// holds the role.
+	Promote(id int) bool
+	// SetDead records the harness-level liveness of id (MemDirectory
+	// only; StaticDirectory ignores it).
+	SetDead(id int, dead bool)
+	// Revive marks id alive again and reports whether it is still the
+	// designated authority, atomically with respect to Promote — so a
+	// recovering old root and a promoting substitute cannot both win.
+	Revive(id int) (isRoot bool)
+}
+
+// MemDirectory is the in-process Directory: one shared instance per
+// cluster, serialising repairs exactly like the old live.Network mutex
+// did.
+type MemDirectory struct {
+	mu     sync.Mutex
+	parent []int
+	dead   []bool
+	rootID int
+}
+
+// NewMemDirectory returns a directory seeded from the index search tree.
+func NewMemDirectory(tree *topology.Tree) *MemDirectory {
+	n := tree.N()
+	d := &MemDirectory{parent: make([]int, n), dead: make([]bool, n)}
+	for i := 0; i < n; i++ {
+		d.parent[i] = tree.Parent(i)
+	}
+	return d
+}
+
+// RootID returns the designated authority node.
+func (d *MemDirectory) RootID() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.rootID
+}
+
+// Parent returns the current routing parent of id.
+func (d *MemDirectory) Parent(id int) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.parent[id]
+}
+
+// SetParent records a repair.
+func (d *MemDirectory) SetParent(id, parent int) {
+	d.mu.Lock()
+	d.parent[id] = parent
+	d.mu.Unlock()
+}
+
+// AliveAncestor walks the directory upward from id until it reaches a
+// node that is alive and unsuspected (falling back to the authority).
+func (d *MemDirectory) AliveAncestor(id int, suspect func(int) bool) int {
+	if suspect == nil {
+		suspect = func(int) bool { return false }
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	p := d.parent[id]
+	for hops := 0; p != -1 && hops < len(d.parent); hops++ {
+		if !d.dead[p] && !suspect(p) {
+			return p
+		}
+		p = d.parent[p]
+	}
+	if d.rootID != id && !d.dead[d.rootID] && !suspect(d.rootID) {
+		return d.rootID
+	}
+	return -1
+}
+
+// Promote elects id if the designated authority is dead.
+func (d *MemDirectory) Promote(id int) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.dead[d.rootID] {
+		return false
+	}
+	d.rootID = id
+	d.parent[id] = -1
+	return true
+}
+
+// SetDead records harness-level liveness.
+func (d *MemDirectory) SetDead(id int, dead bool) {
+	d.mu.Lock()
+	d.dead[id] = dead
+	d.mu.Unlock()
+}
+
+// Revive marks id alive and reports whether it still holds the authority
+// role, atomically against Promote.
+func (d *MemDirectory) Revive(id int) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.dead[id] = false
+	return d.rootID == id
+}
+
+// StaticDirectory is the Directory for multi-process clusters: every
+// process derives the identical static tree from shared configuration, and
+// repairs rely on each node's own keep-alive suspicions because no global
+// liveness oracle exists. Promote trusts the caller's evidence (its whole
+// ancestor chain missed keep-alives), which in a partitioned network can
+// elect an authority per partition — the usual price of failure detection
+// without consensus; partitions re-converge on version numbers when they
+// heal.
+type StaticDirectory struct {
+	mu     sync.Mutex
+	parent []int
+	rootID int
+}
+
+// NewStaticDirectory returns a directory seeded from the static tree.
+func NewStaticDirectory(tree *topology.Tree) *StaticDirectory {
+	n := tree.N()
+	d := &StaticDirectory{parent: make([]int, n)}
+	for i := 0; i < n; i++ {
+		d.parent[i] = tree.Parent(i)
+	}
+	return d
+}
+
+// RootID returns this process's view of the authority node.
+func (d *StaticDirectory) RootID() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.rootID
+}
+
+// Parent returns the current routing parent of id.
+func (d *StaticDirectory) Parent(id int) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.parent[id]
+}
+
+// SetParent records a repair.
+func (d *StaticDirectory) SetParent(id, parent int) {
+	d.mu.Lock()
+	d.parent[id] = parent
+	d.mu.Unlock()
+}
+
+// AliveAncestor walks upward skipping the caller's suspects; without a
+// liveness oracle, unsuspected nodes count as alive.
+func (d *StaticDirectory) AliveAncestor(id int, suspect func(int) bool) int {
+	if suspect == nil {
+		suspect = func(int) bool { return false }
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	p := d.parent[id]
+	for hops := 0; p != -1 && hops < len(d.parent); hops++ {
+		if !suspect(p) {
+			return p
+		}
+		p = d.parent[p]
+	}
+	if d.rootID != id && !suspect(d.rootID) {
+		return d.rootID
+	}
+	return -1
+}
+
+// Promote trusts the caller's keep-alive evidence.
+func (d *StaticDirectory) Promote(id int) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.rootID = id
+	d.parent[id] = -1
+	return true
+}
+
+// SetDead is a no-op: there is no global liveness oracle.
+func (d *StaticDirectory) SetDead(id int, dead bool) {}
+
+// Revive reports whether id still holds the authority role in this
+// process's view.
+func (d *StaticDirectory) Revive(id int) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.rootID == id
+}

@@ -1,26 +1,28 @@
 // Package live runs the DUP protocol on a real concurrent network: one
-// goroutine per peer, messages delivered over channels with injected link
-// latency, periodic keep-alives with ack-based failure detection, and the
-// paper's Section III-C recovery — including case 5, authority (root)
-// fail-over.
+// goroutine per peer, messages delivered through a pluggable transport
+// (in-process channels or TCP sockets, dup/internal/transport), periodic
+// keep-alives with ack-based failure detection, and the paper's Section
+// III-C recovery — including case 5, authority (root) fail-over.
 //
 // Where the discrete-event simulator (dup/internal/sim) reproduces the
 // paper's measurements, this package demonstrates that the same protocol
 // state machine (dup/internal/core) drives a working system under true
-// concurrency: the examples/livecluster binary boots a network, kills
-// nodes mid-run and shows queries continuing to resolve.
+// concurrency. Start boots a self-contained cluster on the in-process
+// transport; StartWith accepts any Transport and Directory, which is how
+// cmd/dupd runs the identical state machine over real sockets and how the
+// tests boot a multi-Network loopback cluster.
 package live
 
 import (
 	"errors"
 	"fmt"
-	"math"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"dup/internal/rng"
 	"dup/internal/topology"
+	"dup/internal/transport"
 )
 
 // Config parametrises a live network.
@@ -35,13 +37,16 @@ type Config struct {
 	Lead time.Duration
 	// Threshold is the interest threshold c per TTL interval.
 	Threshold int
-	// HopDelay is the mean injected link latency.
+	// HopDelay is the mean injected link latency (in-process transport
+	// only; a TCP transport has real latency instead).
 	HopDelay time.Duration
 	// KeepAliveEvery is the keep-alive period; a peer that misses acks
 	// for DeadAfter is declared failed.
 	KeepAliveEvery time.Duration
 	DeadAfter      time.Duration
-	// Seed drives topology generation and latency jitter.
+	// Seed drives topology generation and latency jitter. Every process
+	// of a multi-process cluster must use the same Seed (and Nodes and
+	// MaxDegree) so they derive the same tree.
 	Seed uint64
 	// Tree optionally overrides topology generation, e.g. with an index
 	// search tree extracted from a Chord ring or CAN torus
@@ -87,6 +92,16 @@ func (c *Config) Validate() error {
 	return nil
 }
 
+// BuildTree returns the index search tree the configuration describes: the
+// preset Tree when set, otherwise a deterministic function of Nodes,
+// MaxDegree and Seed — so every process of a cluster derives the same one.
+func (c *Config) BuildTree() *topology.Tree {
+	if c.Tree != nil {
+		return c.Tree
+	}
+	return topology.Generate(c.Nodes, c.MaxDegree, rng.New(c.Seed).Split())
+}
+
 // QueryResult is the outcome of one index query.
 type QueryResult struct {
 	Version int64
@@ -94,7 +109,8 @@ type QueryResult struct {
 	Local   bool // served from the querying node's own cache
 }
 
-// Stats aggregates network-wide counters.
+// Stats aggregates network-wide counters. In a multi-process cluster each
+// Network counts only its hosted nodes' activity.
 type Stats struct {
 	Queries     int64
 	QueryHops   int64
@@ -103,22 +119,38 @@ type Stats struct {
 	Subscribes  int64
 	Substitutes int64
 	KeepAlives  int64
-	Drops       int64 // messages dropped at dead nodes
+	Drops       int64 // messages dropped by the transport (dead or unreachable nodes)
 }
 
-// Network is a running live cluster.
-type Network struct {
-	cfg   Config
-	nodes []*node
+// Options parametrises StartWith: which transport carries the messages,
+// which directory stands in for the underlying DHT, and which node ids
+// this Network hosts. Several Networks (or several processes) hosting
+// disjoint id sets over a shared transport fabric form one cluster.
+type Options struct {
+	// Transport carries the protocol messages. The Network takes
+	// ownership and closes it on Stop.
+	Transport transport.Transport
+	// Directory is the DHT routing stand-in. In-process clusters share
+	// one MemDirectory; cross-process clusters each hold a
+	// StaticDirectory over the same tree.
+	Directory Directory
+	// Hosts lists the node ids this Network runs. Ids must be in
+	// [0, tree size).
+	Hosts []int
+}
 
-	mu     sync.Mutex // guards parent and rootID (the DHT directory stand-in)
-	parent []int
-	rootID int // the designated authority node
+// Network runs the hosted subset of a live cluster.
+type Network struct {
+	cfg  Config
+	tr   transport.Transport
+	dir  Directory
+	size int // total cluster size, hosted or not
+
+	hosted map[int]*node
 
 	stats struct {
 		queries, queryHops, localHits              atomic.Int64
 		pushes, subscribes, substitutes, keepAlive atomic.Int64
-		drops                                      atomic.Int64
 	}
 
 	stopped atomic.Bool
@@ -129,39 +161,75 @@ type Network struct {
 // route passed through a failed node before repair finished).
 var ErrTimeout = errors.New("live: query timed out")
 
-// Start boots the network: builds the index search tree, spawns one
-// goroutine per node and begins the authority's refresh schedule.
+// Start boots a self-contained network: builds the index search tree,
+// wires every node over the in-process transport with injected link
+// latency, and begins the authority's refresh schedule.
 func Start(cfg Config) (*Network, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	src := rng.New(cfg.Seed)
-	tree := cfg.Tree
-	if tree == nil {
-		tree = topology.Generate(cfg.Nodes, cfg.MaxDegree, src.Split())
+	tree := cfg.BuildTree()
+	tr := transport.NewChan(transport.ChanConfig{HopDelay: cfg.HopDelay, Seed: cfg.Seed})
+	hosts := make([]int, tree.N())
+	for i := range hosts {
+		hosts[i] = i
 	}
-	n := tree.N()
-	nw := &Network{cfg: cfg, parent: make([]int, n), rootID: 0}
-	for i := 0; i < n; i++ {
-		nw.parent[i] = tree.Parent(i)
+	return boot(cfg, tree, tr, NewMemDirectory(tree), hosts)
+}
+
+// StartWith boots the hosted part of a cluster over the given transport
+// and directory. The same state machine runs whether the transport is
+// in-process channels or TCP sockets; cmd/dupd is StartWith plus flags.
+func StartWith(cfg Config, opts Options) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
-	nw.nodes = make([]*node, n)
-	for i := 0; i < n; i++ {
-		nw.nodes[i] = newNode(nw, i, tree.Parent(i), src.Split())
+	if opts.Transport == nil || opts.Directory == nil {
+		return nil, errors.New("live: StartWith needs a Transport and a Directory")
 	}
-	for _, n := range nw.nodes {
+	if len(opts.Hosts) == 0 {
+		return nil, errors.New("live: StartWith needs at least one hosted node")
+	}
+	tree := cfg.BuildTree()
+	for _, id := range opts.Hosts {
+		if id < 0 || id >= tree.N() {
+			return nil, fmt.Errorf("live: hosted node %d outside tree of %d", id, tree.N())
+		}
+	}
+	return boot(cfg, tree, opts.Transport, opts.Directory, opts.Hosts)
+}
+
+func boot(cfg Config, tree *topology.Tree, tr transport.Transport, dir Directory, hosts []int) (*Network, error) {
+	nw := &Network{
+		cfg:    cfg,
+		tr:     tr,
+		dir:    dir,
+		size:   tree.N(),
+		hosted: make(map[int]*node, len(hosts)),
+	}
+	for _, id := range hosts {
+		if nw.hosted[id] != nil {
+			return nil, fmt.Errorf("live: node %d hosted twice", id)
+		}
+		n := newNode(nw, id, dir.Parent(id))
+		nw.hosted[id] = n
+		tr.Register(id, n.handler())
+	}
+	for _, n := range nw.hosted {
 		nw.wg.Add(1)
 		go n.run()
 	}
 	return nw, nil
 }
 
-// Stop shuts the network down and waits for every node goroutine.
+// Stop shuts the network down: closes the transport and waits for every
+// hosted node goroutine.
 func (nw *Network) Stop() {
 	if nw.stopped.Swap(true) {
 		return
 	}
-	for _, n := range nw.nodes {
+	nw.tr.Close()
+	for _, n := range nw.hosted {
 		close(n.quit)
 	}
 	nw.wg.Wait()
@@ -177,12 +245,12 @@ func (nw *Network) Stats() Stats {
 		Subscribes:  nw.stats.subscribes.Load(),
 		Substitutes: nw.stats.substitutes.Load(),
 		KeepAlives:  nw.stats.keepAlive.Load(),
-		Drops:       nw.stats.drops.Load(),
+		Drops:       nw.tr.Drops(),
 	}
 }
 
-// Nodes returns the network size.
-func (nw *Network) Nodes() int { return len(nw.nodes) }
+// Nodes returns the total cluster size (hosted here or not).
+func (nw *Network) Nodes() int { return nw.size }
 
 // MeanLatency returns the average hops per resolved query so far.
 func (nw *Network) MeanLatency() float64 {
@@ -195,21 +263,27 @@ func (nw *Network) MeanLatency() float64 {
 
 // RootID returns the currently designated authority node's id (which may
 // be momentarily dead while fail-over is in progress).
-func (nw *Network) RootID() int {
-	nw.mu.Lock()
-	defer nw.mu.Unlock()
-	return nw.rootID
-}
+func (nw *Network) RootID() int { return nw.dir.RootID() }
 
-// Query issues an index query at the given node and waits up to timeout
-// for the answer.
+// Query issues an index query at the given hosted node and waits up to
+// timeout for the answer.
 func (nw *Network) Query(at int, timeout time.Duration) (QueryResult, error) {
-	if at < 0 || at >= len(nw.nodes) {
+	if at < 0 || at >= nw.size {
 		return QueryResult{}, fmt.Errorf("live: no node %d", at)
 	}
-	res := make(chan QueryResult, 1)
-	if !nw.nodes[at].post(message{kind: mQuery, res: res}) {
+	n := nw.hosted[at]
+	if n == nil {
+		return QueryResult{}, fmt.Errorf("live: node %d is not hosted here", at)
+	}
+	if nw.stopped.Load() || n.dead.Load() {
 		return QueryResult{}, fmt.Errorf("live: node %d is down", at)
+	}
+	res := make(chan QueryResult, 1)
+	c := ctrlMsg{kind: cQuery, res: res, deadline: time.Now().Add(timeout + time.Second)}
+	select {
+	case n.ctrl <- c:
+	default:
+		return QueryResult{}, fmt.Errorf("live: node %d is overloaded", at)
 	}
 	select {
 	case r := <-res:
@@ -219,85 +293,38 @@ func (nw *Network) Query(at int, timeout time.Duration) (QueryResult, error) {
 	}
 }
 
-// Fail kills node id abruptly: it stops processing messages. Neighbours
-// discover the failure through keep-alive timeouts. Killing the current
-// authority node exercises the paper's case 5 (a new authority takes
-// over).
-func (nw *Network) Fail(id int) { nw.nodes[id].dead.Store(true) }
+// Fail kills a hosted node abruptly: it stops processing messages.
+// Neighbours discover the failure through keep-alive timeouts. Killing
+// the current authority node exercises the paper's case 5 (a new
+// authority takes over).
+func (nw *Network) Fail(id int) {
+	n := nw.hosted[id]
+	if n == nil {
+		return
+	}
+	n.dead.Store(true)
+	nw.dir.SetDead(id, true)
+}
 
-// Recover brings node id back. If it is still the designated authority
-// (nobody was promoted while it was down) it resumes that role with a
-// fresh version; otherwise it rejoins blank under the nearest alive node
-// on its original ancestor path.
+// Recover brings a hosted node back. If it is still the designated
+// authority (nobody was promoted while it was down) it resumes that role
+// with a fresh version; otherwise it rejoins blank under the nearest
+// alive node on its original ancestor path.
 func (nw *Network) Recover(id int) {
-	n := nw.nodes[id]
-	if !n.dead.Load() {
+	n := nw.hosted[id]
+	if n == nil || !n.dead.Load() {
 		return
 	}
-	// Flip liveness under the directory mutex so a concurrent promote()
-	// cannot elect a second authority while we decide.
-	nw.mu.Lock()
-	designated := nw.rootID == id
+	// Revive decides atomically against a concurrent promotion, so a
+	// recovering old root and a promoting substitute cannot both win.
+	designated := nw.dir.Revive(id)
 	n.dead.Store(false)
-	nw.mu.Unlock()
 	if designated {
-		n.post(message{kind: mBecomeRoot})
+		n.postCtrl(ctrlMsg{kind: cBecomeRoot})
 		return
 	}
-	parent := nw.aliveAncestor(id)
-	n.post(message{kind: mReset, from: parent})
+	n.postCtrl(ctrlMsg{kind: cReset, parent: nw.dir.AliveAncestor(id, nil)})
 }
 
 // directoryParent is the DHT stand-in: the routing parent of id.
-func (nw *Network) directoryParent(id int) int {
-	nw.mu.Lock()
-	defer nw.mu.Unlock()
-	return nw.parent[id]
-}
-
-// setParent records a repair in the directory.
-func (nw *Network) setParent(id, parent int) {
-	nw.mu.Lock()
-	defer nw.mu.Unlock()
-	nw.parent[id] = parent
-}
-
-// aliveAncestor walks the directory upward from id until it reaches an
-// alive node (falling back to the current authority).
-func (nw *Network) aliveAncestor(id int) int {
-	nw.mu.Lock()
-	defer nw.mu.Unlock()
-	p := nw.parent[id]
-	for hops := 0; p != -1 && hops < len(nw.nodes); hops++ {
-		if !nw.nodes[p].dead.Load() {
-			return p
-		}
-		p = nw.parent[p]
-	}
-	// Fall back to the designated authority.
-	if nw.rootID != id && !nw.nodes[nw.rootID].dead.Load() {
-		return nw.rootID
-	}
-	return -1
-}
-
-// send delivers m to node `to` after an exponentially distributed link
-// delay. Messages to dead nodes are dropped (counted).
-func (nw *Network) send(to int, m message, delaySrc *rng.Source) {
-	if nw.stopped.Load() {
-		return
-	}
-	delay := time.Duration(0)
-	if nw.cfg.HopDelay > 0 {
-		delay = time.Duration(-float64(nw.cfg.HopDelay) * math.Log(delaySrc.Float64Open()))
-	}
-	target := nw.nodes[to]
-	time.AfterFunc(delay, func() {
-		if nw.stopped.Load() {
-			return
-		}
-		if !target.post(m) {
-			nw.stats.drops.Add(1)
-		}
-	})
-}
+func (nw *Network) directoryParent(id int) int { return nw.dir.Parent(id) }

@@ -5,53 +5,55 @@ import (
 	"time"
 
 	"dup/internal/core"
-	"dup/internal/rng"
+	"dup/internal/proto"
+	"dup/internal/transport"
 )
 
-// mKind enumerates live-network message kinds.
-type mKind uint8
+// ctrlKind enumerates local control injections (never on the wire).
+type ctrlKind uint8
 
 const (
-	mQuery        mKind = iota // external query injection
-	mRequest                   // forwarded query
-	mReply                     // index travelling back along the path
-	mPush                      // fresh index version across the DUP tree
-	mSubscribe                 // Figure 3 (B)
-	mUnsubscribe               // Figure 3 (E)
-	mSubstitute                // Figure 3 (C)
-	mKeepAlive                 // child -> parent liveness
-	mKeepAliveAck              // parent -> child
-	mReset                     // recovery: blank state, adopt new parent
-	mBecomeRoot                // case 5: take over as authority
+	cQuery      ctrlKind = iota // external query injection
+	cReset                      // recovery: blank state, adopt new parent
+	cBecomeRoot                 // case 5: take over as authority
 )
 
-// message is one live-network datagram.
-type message struct {
-	kind     mKind
-	from     int
-	subject  int // subscribe/unsubscribe subject
-	old, new int // substitute
-	version  int64
-	expiry   time.Time
-	hops     int
-	path     []int
+// ctrlMsg is one local control injection from the Network into a node.
+type ctrlMsg struct {
+	kind     ctrlKind
+	parent   int
 	res      chan QueryResult
+	deadline time.Time
+}
+
+// pendingQuery is a query issued at this node that is waiting for its
+// reply to retrace the request path back here.
+type pendingQuery struct {
+	res     chan QueryResult
+	expires time.Time
 }
 
 // node is one live peer. All fields below the channel block are owned by
-// the node's goroutine.
+// the node's goroutine. Protocol messages arrive through the transport
+// handler into inbox; control injections (query, reset, become-root)
+// arrive from the hosting Network through ctrl.
 type node struct {
 	nw    *Network
 	id    int
-	inbox chan message
+	inbox chan *proto.Message
+	ctrl  chan ctrlMsg
 	quit  chan struct{}
 
 	dead   atomic.Bool
 	isRoot atomic.Bool
 
-	parent   int
-	st       *core.State
-	delaySrc *rng.Source
+	parent int
+	st     *core.State
+
+	// Query correlation: queries born here wait in pending, keyed by the
+	// Seq their request carried.
+	nextSeq int64
+	pending map[int64]pendingQuery
 
 	// Cached index copy.
 	haveCopy   bool
@@ -67,22 +69,26 @@ type node struct {
 	count         int
 	intervalStart time.Time
 
-	// Liveness.
+	// Liveness. suspects holds peers this node has watched miss their
+	// keep-alive window; the directory skips them when re-homing.
 	lastAck   time.Time
 	childSeen map[int]time.Time
+	suspects  map[int]time.Time
 }
 
-func newNode(nw *Network, id, parent int, delaySrc *rng.Source) *node {
+func newNode(nw *Network, id, parent int) *node {
 	n := &node{
 		nw:         nw,
 		id:         id,
-		inbox:      make(chan message, 256),
+		inbox:      make(chan *proto.Message, 256),
+		ctrl:       make(chan ctrlMsg, 16),
 		quit:       make(chan struct{}),
 		parent:     parent,
 		st:         core.NewState(id, parent == -1),
-		delaySrc:   delaySrc,
+		pending:    map[int64]pendingQuery{},
 		lastPushed: -1,
 		childSeen:  map[int]time.Time{},
+		suspects:   map[int]time.Time{},
 	}
 	if parent == -1 {
 		n.isRoot.Store(true)
@@ -90,25 +96,57 @@ func newNode(nw *Network, id, parent int, delaySrc *rng.Source) *node {
 	return n
 }
 
-// post delivers m to the node unless it is dead or its inbox is full (a
-// dead-node stand-in for packet loss under overload). Recovery resets are
-// the only messages that reach a dead node.
-func (n *node) post(m message) bool {
-	if n.dead.Load() && m.kind != mReset {
-		return false
+// handler is the node's transport-facing inbox: it takes ownership of
+// accepted messages (the node goroutine releases them after handling) and
+// refuses delivery — so the transport counts a drop — when the node is
+// dead or the inbox is full.
+func (n *node) handler() transport.Handler {
+	return func(m *proto.Message) bool {
+		if n.dead.Load() {
+			return false
+		}
+		select {
+		case n.inbox <- m:
+			return true
+		default:
+			return false
+		}
 	}
+}
+
+// postCtrl delivers a control injection unless the node is wedged.
+func (n *node) postCtrl(c ctrlMsg) bool {
 	select {
-	case n.inbox <- m:
+	case n.ctrl <- c:
 		return true
 	default:
 		return false
 	}
 }
 
-// send routes a message to another node with link latency.
-func (n *node) send(to int, m message) {
-	m.from = n.id
-	n.nw.send(to, m, n.delaySrc)
+// newMsg builds an outbound message; the transport owns it after Send.
+func (n *node) newMsg(kind proto.Kind, to int) *proto.Message {
+	m := proto.NewMessage()
+	m.Kind = kind
+	m.To = to
+	m.Origin = n.id
+	return m
+}
+
+// timeToUnix and unixToTime convert between the node's monotonic-friendly
+// time.Time state and the float64 unix seconds that cross the wire.
+func timeToUnix(t time.Time) float64 {
+	if t.IsZero() {
+		return 0
+	}
+	return float64(t.UnixNano()) / 1e9
+}
+
+func unixToTime(f float64) time.Time {
+	if f == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, int64(f*1e9))
 }
 
 // run is the node's goroutine body.
@@ -128,9 +166,13 @@ func (n *node) run() {
 		case <-n.quit:
 			return
 		case m := <-n.inbox:
-			if !n.dead.Load() || m.kind == mReset {
-				n.handle(m)
+			if n.dead.Load() {
+				proto.Release(m) // raced in just before death
+				continue
 			}
+			n.handle(m)
+		case c := <-n.ctrl:
+			n.control(c)
 		case <-tick.C:
 			if !n.dead.Load() {
 				n.tick(time.Now())
@@ -153,7 +195,9 @@ func (n *node) tick(now time.Time) {
 	} else {
 		// Keep-alive to the parent; declare it dead after the timeout.
 		n.nw.stats.keepAlive.Add(1)
-		n.send(n.parent, message{kind: mKeepAlive})
+		if n.parent >= 0 {
+			n.nw.tr.Send(n.newMsg(proto.KindKeepAlive, n.parent))
+		}
 		if now.Sub(n.lastAck) > cfg.DeadAfter {
 			n.parentDied(now)
 		}
@@ -168,6 +212,18 @@ func (n *node) tick(now time.Time) {
 			}
 		}
 	}
+	// Forget old suspicions so a recovered peer becomes routable again.
+	for id, when := range n.suspects {
+		if now.Sub(when) > 4*cfg.DeadAfter {
+			delete(n.suspects, id)
+		}
+	}
+	// Abandoned queries: the caller timed out long ago.
+	for seq, p := range n.pending {
+		if now.After(p.expires) {
+			delete(n.pending, seq)
+		}
+	}
 	// Interval boundary: interest loss (Figure 3 D).
 	if now.Sub(n.intervalStart) >= cfg.TTL {
 		if n.st.Interested() && n.count <= cfg.Threshold {
@@ -178,24 +234,36 @@ func (n *node) tick(now time.Time) {
 	}
 }
 
+// suspected is the node's local failure-detector verdict, consulted by the
+// directory when picking a replacement ancestor.
+func (n *node) suspected(id int) bool {
+	_, ok := n.suspects[id]
+	return ok
+}
+
 // parentDied repairs after a keep-alive timeout: re-home under the nearest
-// alive ancestor (the underlying DHT's routing repair), re-announce any
-// virtual path (cases 3/4), or take over as authority when no root is
-// left (case 5).
+// believed-alive ancestor (the underlying DHT's routing repair),
+// re-announce any virtual path (cases 3/4), or take over as authority when
+// no root is left (case 5).
 func (n *node) parentDied(now time.Time) {
 	n.lastAck = now // do not re-trigger while repairing
-	newParent := n.nw.aliveAncestor(n.id)
+	if n.parent >= 0 {
+		n.suspects[n.parent] = now
+	}
+	newParent := n.nw.dir.AliveAncestor(n.id, n.suspected)
 	if newParent == -1 || newParent == n.id {
-		if n.nw.promote(n.id) {
+		if n.nw.dir.Promote(n.id) {
 			n.becomeRoot(now)
 		}
 		return
 	}
 	n.parent = newParent
-	n.nw.setParent(n.id, newParent)
+	n.nw.dir.SetParent(n.id, newParent)
 	if n.st.OnVirtualPath() {
 		n.nw.stats.subscribes.Add(1)
-		n.send(newParent, message{kind: mSubscribe, subject: n.st.Representative()})
+		m := n.newMsg(proto.KindSubscribe, newParent)
+		m.Subject = n.st.Representative()
+		n.nw.tr.Send(m)
 	}
 }
 
@@ -203,7 +271,7 @@ func (n *node) parentDied(now time.Time) {
 // with refreshed information and resumes update propagation.
 func (n *node) becomeRoot(now time.Time) {
 	n.parent = -1
-	n.nw.setParent(n.id, -1)
+	n.nw.dir.SetParent(n.id, -1)
 	n.st.SetRoot(true)
 	n.isRoot.Store(true)
 	if n.cacheVer > n.version {
@@ -214,33 +282,45 @@ func (n *node) becomeRoot(now time.Time) {
 	n.pushOut(n.version, n.expiry)
 }
 
-// handle processes one message.
-func (n *node) handle(m message) {
-	switch m.kind {
-	case mQuery:
-		n.localQuery(m.res)
-	case mRequest:
-		n.onRequest(m)
-	case mReply:
-		n.onReply(m)
-	case mPush:
-		n.onPush(m)
-	case mSubscribe:
-		n.emit(n.st.HandleSubscribe(m.subject))
-	case mUnsubscribe:
-		n.emit(n.st.HandleUnsubscribe(m.subject))
-	case mSubstitute:
-		n.emit(n.st.HandleSubstitute(m.old, m.new))
-	case mKeepAlive:
-		n.childSeen[m.from] = time.Now()
-		n.send(m.from, message{kind: mKeepAliveAck})
-	case mKeepAliveAck:
-		n.lastAck = time.Now()
-	case mReset:
-		n.reset(m.from)
-	case mBecomeRoot:
+// control processes one local injection from the hosting Network.
+func (n *node) control(c ctrlMsg) {
+	switch c.kind {
+	case cQuery:
+		n.localQuery(c)
+	case cReset:
+		n.reset(c.parent)
+	case cBecomeRoot:
 		n.becomeRoot(time.Now())
 	}
+}
+
+// handle processes one protocol message. The node owns m here: each case
+// either forwards it (ownership moves back to the transport) or falls
+// through to the final Release.
+func (n *node) handle(m *proto.Message) {
+	switch m.Kind {
+	case proto.KindRequest:
+		n.onRequest(m)
+		return
+	case proto.KindReply:
+		n.onReply(m)
+		return
+	case proto.KindPush:
+		n.onPush(m)
+	case proto.KindSubscribe:
+		n.emit(n.st.HandleSubscribe(m.Subject))
+	case proto.KindUnsubscribe:
+		n.emit(n.st.HandleUnsubscribe(m.Subject))
+	case proto.KindSubstitute:
+		n.emit(n.st.HandleSubstitute(m.Old, m.New))
+	case proto.KindKeepAlive:
+		n.childSeen[m.Origin] = time.Now()
+		n.nw.tr.Send(n.newMsg(proto.KindKeepAliveAck, m.Origin))
+	case proto.KindKeepAliveAck:
+		n.lastAck = time.Now()
+		delete(n.suspects, m.Origin)
+	}
+	proto.Release(m)
 }
 
 // reset blanks the node after recovery and re-homes it under parent.
@@ -249,13 +329,15 @@ func (n *node) reset(parent int) {
 	n.st.SetRoot(false)
 	n.isRoot.Store(false)
 	n.parent = parent
-	n.nw.setParent(n.id, parent)
+	n.nw.dir.SetParent(n.id, parent)
 	n.haveCopy = false
 	n.lastPushed = -1
 	n.count = 0
 	n.intervalStart = time.Now()
 	n.lastAck = time.Now()
 	clear(n.childSeen)
+	clear(n.suspects)
+	clear(n.pending)
 }
 
 // valid reports whether the node can serve the index right now, returning
@@ -279,70 +361,95 @@ func (n *node) access() {
 	}
 }
 
-// localQuery serves or forwards a query generated at this node.
-func (n *node) localQuery(res chan QueryResult) {
+// localQuery serves a query generated at this node, or sends a request
+// upstream and parks the caller in pending until the reply retraces.
+func (n *node) localQuery(c ctrlMsg) {
 	n.access()
 	n.nw.stats.queries.Add(1)
 	now := time.Now()
 	if v, _, ok := n.valid(now); ok {
 		n.nw.stats.localHits.Add(1)
-		res <- QueryResult{Version: v, Hops: 0, Local: true}
+		c.res <- QueryResult{Version: v, Hops: 0, Local: true}
 		return
 	}
-	n.send(n.parent, message{
-		kind: mRequest, hops: 1, path: []int{n.id}, res: res,
-	})
+	n.nextSeq++
+	n.pending[n.nextSeq] = pendingQuery{res: c.res, expires: c.deadline}
+	m := n.newMsg(proto.KindRequest, n.parent)
+	m.Seq = n.nextSeq
+	m.Hops = 1
+	m.Path = append(m.Path, n.id)
+	n.nw.tr.Send(m)
 }
 
 // onRequest serves the query if possible, otherwise forwards it upstream.
-func (n *node) onRequest(m message) {
+func (n *node) onRequest(m *proto.Message) {
 	n.access()
 	now := time.Now()
 	if v, exp, ok := n.valid(now); ok {
-		n.nw.stats.queryHops.Add(int64(m.hops))
-		m.res <- QueryResult{Version: v, Hops: m.hops}
-		last := len(m.path) - 1
-		n.send(m.path[last], message{
-			kind: mReply, version: v, expiry: exp, path: m.path[:last],
-		})
+		// Turn the request into the reply and retrace the path; the origin
+		// completes the waiting query when it arrives.
+		last := len(m.Path) - 1
+		if last < 0 {
+			proto.Release(m)
+			return
+		}
+		m.Kind = proto.KindReply
+		m.To = m.Path[last]
+		m.Path = m.Path[:last]
+		m.Version = v
+		m.Expiry = timeToUnix(exp)
+		n.nw.tr.Send(m)
 		return
 	}
 	if n.isRoot.Load() {
 		// The authority always serves; only a mid-fail-over vacuum gets
 		// here, and the query times out and is retried by the caller.
+		proto.Release(m)
 		return
 	}
-	m.path = append(m.path, n.id)
-	m.hops++
-	n.send(n.parent, m)
+	m.Path = append(m.Path, n.id)
+	m.Hops++
+	m.To = n.parent
+	n.nw.tr.Send(m)
 }
 
-// onReply caches the index and keeps retracing the request path.
-func (n *node) onReply(m message) {
-	n.store(m.version, m.expiry)
-	if len(m.path) == 0 {
+// onReply caches the index and keeps retracing the request path; at the
+// origin it completes the pending query.
+func (n *node) onReply(m *proto.Message) {
+	n.store(m.Version, unixToTime(m.Expiry))
+	if len(m.Path) == 0 {
+		if p, ok := n.pending[m.Seq]; ok {
+			delete(n.pending, m.Seq)
+			n.nw.stats.queryHops.Add(int64(m.Hops))
+			p.res <- QueryResult{Version: m.Version, Hops: m.Hops}
+		}
+		proto.Release(m)
 		return
 	}
-	last := len(m.path) - 1
-	next := m.path[last]
-	m.path = m.path[:last]
-	n.send(next, m)
+	last := len(m.Path) - 1
+	m.To = m.Path[last]
+	m.Path = m.Path[:last]
+	n.nw.tr.Send(m)
 }
 
 // onPush refreshes the cache and forwards across the DUP tree.
-func (n *node) onPush(m message) {
+func (n *node) onPush(m *proto.Message) {
 	n.nw.stats.pushes.Add(1)
-	n.store(m.version, m.expiry)
-	if m.version > n.lastPushed {
-		n.lastPushed = m.version
-		n.pushOut(m.version, m.expiry)
+	exp := unixToTime(m.Expiry)
+	n.store(m.Version, exp)
+	if m.Version > n.lastPushed {
+		n.lastPushed = m.Version
+		n.pushOut(m.Version, exp)
 	}
 }
 
 // pushOut sends version v directly to every DUP-tree push target.
 func (n *node) pushOut(v int64, exp time.Time) {
 	for _, target := range n.st.PushTargets() {
-		n.send(target, message{kind: mPush, version: v, expiry: exp})
+		m := n.newMsg(proto.KindPush, target)
+		m.Version = v
+		m.Expiry = timeToUnix(exp)
+		n.nw.tr.Send(m)
 	}
 }
 
@@ -362,25 +469,18 @@ func (n *node) emit(acts []core.Action) {
 		switch a.Kind {
 		case core.SendSubscribe:
 			n.nw.stats.subscribes.Add(1)
-			n.send(n.parent, message{kind: mSubscribe, subject: a.Subject})
+			m := n.newMsg(proto.KindSubscribe, n.parent)
+			m.Subject = a.Subject
+			n.nw.tr.Send(m)
 		case core.SendUnsubscribe:
-			n.send(n.parent, message{kind: mUnsubscribe, subject: a.Subject})
+			m := n.newMsg(proto.KindUnsubscribe, n.parent)
+			m.Subject = a.Subject
+			n.nw.tr.Send(m)
 		case core.SendSubstitute:
 			n.nw.stats.substitutes.Add(1)
-			n.send(n.parent, message{kind: mSubstitute, old: a.Old, new: a.New})
+			m := n.newMsg(proto.KindSubstitute, n.parent)
+			m.Old, m.New = a.Old, a.New
+			n.nw.tr.Send(m)
 		}
 	}
-}
-
-// promote elects id as the new authority if the designated one is dead;
-// the first caller wins (serialized by the directory mutex).
-func (nw *Network) promote(id int) bool {
-	nw.mu.Lock()
-	defer nw.mu.Unlock()
-	if !nw.nodes[nw.rootID].dead.Load() {
-		return false
-	}
-	nw.rootID = id
-	nw.parent[id] = -1
-	return true
 }

@@ -22,17 +22,37 @@ import (
 	"runtime"
 	"time"
 
+	"dup/internal/proto"
 	"dup/internal/scheme"
 	"dup/internal/scheme/cup"
 	"dup/internal/scheme/dupscheme"
 	"dup/internal/sim"
+	"dup/internal/wire"
 )
 
-// Workload is one fixed simulator configuration the harness measures.
+// Workload is one fixed measurement the harness runs: either a simulator
+// configuration (Cfg and New set) or an arbitrary function (Run set).
 type Workload struct {
 	ID  string
 	Cfg sim.Config
 	New func() scheme.Scheme
+	// Run, when set, replaces the simulator: it performs the work and
+	// reports how many events it processed (for a codec workload, events
+	// are messages) and how much simulated time elapsed (0 when the notion
+	// does not apply).
+	Run func() (events uint64, simSec float64, err error)
+}
+
+// run executes the workload once.
+func (w Workload) run() (events uint64, simSec float64, err error) {
+	if w.Run != nil {
+		return w.Run()
+	}
+	r, err := sim.Run(w.Cfg, w.New())
+	if err != nil {
+		return 0, 0, err
+	}
+	return r.Events, r.SimTime, nil
 }
 
 // throughputConfig mirrors bench_test.go's benchConfig(12) with λ = 50:
@@ -63,11 +83,61 @@ func DefaultWorkloads() []Workload {
 	churnCfg.RetryTimeout = 5
 	newDUP := func() scheme.Scheme { return dupscheme.New() }
 	return []Workload{
-		{"throughput-dup", throughputConfig(), newDUP},
-		{"throughput-cup", throughputConfig(), func() scheme.Scheme { return cup.New() }},
-		{"throughput-pcx", pcxCfg, func() scheme.Scheme { return scheme.NewPCX() }},
-		{"churn-dup", churnCfg, newDUP},
+		{ID: "throughput-dup", Cfg: throughputConfig(), New: newDUP},
+		{ID: "throughput-cup", Cfg: throughputConfig(), New: func() scheme.Scheme { return cup.New() }},
+		{ID: "throughput-pcx", Cfg: pcxCfg, New: func() scheme.Scheme { return scheme.NewPCX() }},
+		{ID: "churn-dup", Cfg: churnCfg, New: newDUP},
+		{ID: "wire-codec", Run: wireCodecRun},
 	}
+}
+
+// wireCodecRun measures the TCP transport's hot path: frame-encode and
+// decode a representative message mix (every kind, realistic paths, one
+// piggybacked control message) 100000 times. Events are messages, so
+// allocs_per_1000_events reads as allocations per thousand messages — the
+// decode side draws from the proto pool, so the only steady-state
+// allocation is the Piggyback on the one piggybacked kind in the mix.
+func wireCodecRun() (uint64, float64, error) {
+	const rounds = 100000 / proto.NumKinds
+	mix := make([]*proto.Message, 0, proto.NumKinds)
+	for k := 0; k < proto.NumKinds; k++ {
+		m := proto.NewMessage()
+		m.Kind = proto.Kind(k)
+		m.To, m.Origin, m.Subject = k*31, 42, 7
+		m.Old, m.New = 7, 11
+		m.Seq, m.Version, m.Hops = int64(k)<<20, 12345, k
+		m.Expiry = 1.7e9 + float64(k)
+		for p := 0; p < k; p++ {
+			m.Path = append(m.Path, p*1000)
+		}
+		if m.Kind == proto.KindPush {
+			m.Piggy = &proto.Piggyback{Kind: proto.KindSubscribe, Subject: 7}
+		}
+		mix = append(mix, m)
+	}
+	defer func() {
+		for _, m := range mix {
+			proto.Release(m)
+		}
+	}()
+	buf := make([]byte, 0, 256)
+	var events uint64
+	for i := 0; i < rounds; i++ {
+		for _, m := range mix {
+			buf = wire.AppendFrame(buf[:0], m)
+			got, err := wire.DecodeMessage(buf[4:])
+			if err != nil {
+				return 0, 0, fmt.Errorf("wire-codec: %w", err)
+			}
+			if got.Kind != m.Kind || got.Seq != m.Seq || len(got.Path) != len(m.Path) {
+				proto.Release(got)
+				return 0, 0, fmt.Errorf("wire-codec: round-trip mismatch for %v", m.Kind)
+			}
+			proto.Release(got)
+			events++
+		}
+	}
+	return events, 0, nil
 }
 
 // Sample is the measurement of one workload across several runs. Throughput
@@ -95,7 +165,7 @@ func Measure(w Workload, runs int) (Sample, error) {
 		runtime.GC()
 		runtime.ReadMemStats(&before)
 		start := time.Now()
-		r, err := sim.Run(w.Cfg, w.New())
+		events, simSec, err := w.run()
 		wall := time.Since(start).Seconds()
 		runtime.ReadMemStats(&after)
 		if err != nil {
@@ -105,9 +175,9 @@ func Measure(w Workload, runs int) (Sample, error) {
 		bytes := after.TotalAlloc - before.TotalAlloc
 		if i == 0 || wall < s.BestWallSeconds {
 			s.BestWallSeconds = wall
-			s.Events = r.Events
-			s.EventsPerSec = float64(r.Events) / wall
-			s.SimSecPerSec = r.SimTime / wall
+			s.Events = events
+			s.EventsPerSec = float64(events) / wall
+			s.SimSecPerSec = simSec / wall
 		}
 		if i == 0 || allocs < s.AllocsPerRun {
 			s.AllocsPerRun = allocs

@@ -41,12 +41,20 @@ const (
 	// authority node. It is not charged to the query cost metric: the
 	// underlying network requires it for all schemes alike.
 	KindKeepAlive
+	// KindKeepAliveAck answers a keep-alive. The live network uses it for
+	// ack-based failure detection; the simulator models detection delay
+	// directly and never sends it.
+	KindKeepAliveAck
 )
 
 var kindNames = [...]string{
 	"request", "reply", "push", "subscribe", "unsubscribe",
-	"substitute", "interest", "uninterest", "keepalive",
+	"substitute", "interest", "uninterest", "keepalive", "keepalive-ack",
 }
+
+// NumKinds is the number of defined message kinds; Kind values in
+// [0, NumKinds) are valid. The wire codec rejects anything else.
+const NumKinds = len(kindNames)
 
 // String returns the lower-case message kind name.
 func (k Kind) String() string {
@@ -83,10 +91,11 @@ func (k Kind) Control() bool {
 type Message struct {
 	Kind    Kind
 	To      int     // delivery target (next hop)
-	Origin  int     // query originator / pushing node
+	Origin  int     // query originator / pushing node / keep-alive sender
 	Subject int     // subscribe/unsubscribe/interest subject
 	Old     int     // substitute: node to remove
 	New     int     // substitute: node to insert
+	Seq     int64   // request/reply correlation id (live transports only)
 	Version int64   // index version carried by replies and pushes
 	Expiry  float64 // absolute expiry of that version
 	Hops    int     // hops travelled by the request (latency accounting)

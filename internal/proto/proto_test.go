@@ -7,15 +7,19 @@ import (
 
 func TestKindString(t *testing.T) {
 	cases := map[Kind]string{
-		KindRequest:     "request",
-		KindReply:       "reply",
-		KindPush:        "push",
-		KindSubscribe:   "subscribe",
-		KindUnsubscribe: "unsubscribe",
-		KindSubstitute:  "substitute",
-		KindInterest:    "interest",
-		KindUninterest:  "uninterest",
-		KindKeepAlive:   "keepalive",
+		KindRequest:      "request",
+		KindReply:        "reply",
+		KindPush:         "push",
+		KindSubscribe:    "subscribe",
+		KindUnsubscribe:  "unsubscribe",
+		KindSubstitute:   "substitute",
+		KindInterest:     "interest",
+		KindUninterest:   "uninterest",
+		KindKeepAlive:    "keepalive",
+		KindKeepAliveAck: "keepalive-ack",
+	}
+	if len(cases) != NumKinds {
+		t.Errorf("test covers %d kinds, NumKinds = %d", len(cases), NumKinds)
 	}
 	for k, want := range cases {
 		if k.String() != want {
@@ -29,7 +33,7 @@ func TestKindString(t *testing.T) {
 
 func TestKindControl(t *testing.T) {
 	control := []Kind{KindSubscribe, KindUnsubscribe, KindSubstitute, KindInterest, KindUninterest}
-	data := []Kind{KindRequest, KindReply, KindPush, KindKeepAlive}
+	data := []Kind{KindRequest, KindReply, KindPush, KindKeepAlive, KindKeepAliveAck}
 	for _, k := range control {
 		if !k.Control() {
 			t.Errorf("%v should be a control kind", k)
@@ -49,7 +53,7 @@ func TestMessagePoolRoundTrip(t *testing.T) {
 	}
 	m.Kind = KindRequest
 	m.To, m.Origin, m.Hops = 3, 7, 2
-	m.Version, m.Expiry = 9, 100
+	m.Seq, m.Version, m.Expiry = 5, 9, 100
 	m.Piggy = &Piggyback{Kind: KindSubscribe, Subject: 7}
 	m.Path = append(m.Path, 7, 3, 1)
 	pathCap := cap(m.Path)
@@ -60,7 +64,7 @@ func TestMessagePoolRoundTrip(t *testing.T) {
 	// same goroutine returns the value just Put).
 	got := NewMessage()
 	if got.Kind != 0 || got.To != 0 || got.Origin != 0 || got.Hops != 0 ||
-		got.Version != 0 || got.Expiry != 0 || got.Piggy != nil || len(got.Path) != 0 {
+		got.Seq != 0 || got.Version != 0 || got.Expiry != 0 || got.Piggy != nil || len(got.Path) != 0 {
 		t.Fatalf("pooled message not reset: %+v", got)
 	}
 	if got == m && cap(got.Path) != pathCap {

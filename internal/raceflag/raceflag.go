@@ -1,0 +1,10 @@
+//go:build !race
+
+// Package raceflag reports whether the binary was built with the race
+// detector. Allocation-exactness tests consult it: under -race, sync.Pool
+// deliberately drops items at random (to surface unsynchronised reuse),
+// so pooled hot paths are not allocation-free there by design.
+package raceflag
+
+// Enabled is true when the race detector is compiled in.
+const Enabled = false

@@ -1,0 +1,117 @@
+package transport
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dup/internal/proto"
+	"dup/internal/rng"
+)
+
+// ChanConfig parametrises the in-process transport.
+type ChanConfig struct {
+	// HopDelay is the mean of the exponentially distributed link latency
+	// injected per message; zero delivers immediately.
+	HopDelay time.Duration
+	// Seed drives the latency jitter.
+	Seed uint64
+	// DropHook, when set, sees every outbound message before delivery and
+	// drops the ones it returns true for (injected message loss).
+	DropHook func(m *proto.Message) bool
+}
+
+// Chan is the in-process transport: messages cross goroutines directly,
+// optionally delayed by a timer to model link latency.
+type Chan struct {
+	cfg ChanConfig
+
+	mu       sync.Mutex
+	handlers map[int]Handler
+	src      *rng.Source
+	hook     atomic.Pointer[func(m *proto.Message) bool]
+
+	drops  atomic.Int64
+	closed atomic.Bool
+}
+
+// NewChan returns a started in-process transport.
+func NewChan(cfg ChanConfig) *Chan {
+	c := &Chan{
+		cfg:      cfg,
+		handlers: make(map[int]Handler),
+		src:      rng.New(cfg.Seed),
+	}
+	if cfg.DropHook != nil {
+		h := cfg.DropHook
+		c.hook.Store(&h)
+	}
+	return c
+}
+
+// Register installs the handler for node id.
+func (c *Chan) Register(id int, h Handler) {
+	c.mu.Lock()
+	c.handlers[id] = h
+	c.mu.Unlock()
+}
+
+// SetDropHook installs (or with nil clears) the loss-injection hook.
+func (c *Chan) SetDropHook(h func(m *proto.Message) bool) {
+	if h == nil {
+		c.hook.Store(nil)
+		return
+	}
+	c.hook.Store(&h)
+}
+
+// Send delivers m to node m.To after the injected link latency.
+func (c *Chan) Send(m *proto.Message) {
+	if c.closed.Load() {
+		proto.Release(m)
+		return
+	}
+	if hook := c.hook.Load(); hook != nil && (*hook)(m) {
+		c.drop(m)
+		return
+	}
+	var delay time.Duration
+	if c.cfg.HopDelay > 0 {
+		c.mu.Lock()
+		delay = time.Duration(-float64(c.cfg.HopDelay) * math.Log(c.src.Float64Open()))
+		c.mu.Unlock()
+	}
+	if delay <= 0 {
+		c.deliver(m)
+		return
+	}
+	time.AfterFunc(delay, func() { c.deliver(m) })
+}
+
+func (c *Chan) deliver(m *proto.Message) {
+	if c.closed.Load() {
+		proto.Release(m)
+		return
+	}
+	c.mu.Lock()
+	h := c.handlers[m.To]
+	c.mu.Unlock()
+	if h == nil || !h(m) {
+		c.drop(m)
+	}
+}
+
+func (c *Chan) drop(m *proto.Message) {
+	c.drops.Add(1)
+	proto.Release(m)
+}
+
+// Drops reports dropped messages.
+func (c *Chan) Drops() int64 { return c.drops.Load() }
+
+// Close stops delivery; pending timers release their messages on firing.
+func (c *Chan) Close() error {
+	c.closed.Store(true)
+	return nil
+}

@@ -1,0 +1,118 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"dup/internal/proto"
+)
+
+// collector is a test handler accumulating delivered messages.
+type collector struct {
+	mu   sync.Mutex
+	got  []proto.Message
+	deny bool
+}
+
+func (c *collector) handler() Handler {
+	return func(m *proto.Message) bool {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if c.deny {
+			return false
+		}
+		cp := *m
+		cp.Path = append([]int(nil), m.Path...)
+		c.got = append(c.got, cp)
+		proto.Release(m)
+		return true
+	}
+}
+
+func (c *collector) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.got)
+}
+
+func (c *collector) waitFor(t *testing.T, n int, d time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for c.count() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("got %d messages, want %d", c.count(), n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func push(kind proto.Kind, to int) *proto.Message {
+	m := proto.NewMessage()
+	m.Kind, m.To = kind, to
+	return m
+}
+
+func TestChanDelivers(t *testing.T) {
+	tr := NewChan(ChanConfig{HopDelay: 100 * time.Microsecond, Seed: 1})
+	defer tr.Close()
+	var c collector
+	tr.Register(7, c.handler())
+	for i := 0; i < 10; i++ {
+		tr.Send(push(proto.KindPush, 7))
+	}
+	c.waitFor(t, 10, time.Second)
+	if tr.Drops() != 0 {
+		t.Fatalf("drops = %d, want 0", tr.Drops())
+	}
+}
+
+func TestChanDropsUnregisteredAndRefused(t *testing.T) {
+	tr := NewChan(ChanConfig{})
+	defer tr.Close()
+	tr.Send(push(proto.KindPush, 99)) // nobody there
+	var c collector
+	c.deny = true
+	tr.Register(1, c.handler())
+	tr.Send(push(proto.KindPush, 1)) // handler refuses
+	deadline := time.Now().Add(time.Second)
+	for tr.Drops() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("drops = %d, want 2", tr.Drops())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestChanDropHook(t *testing.T) {
+	tr := NewChan(ChanConfig{DropHook: func(m *proto.Message) bool { return m.To == 3 }})
+	defer tr.Close()
+	var c3, c4 collector
+	tr.Register(3, c3.handler())
+	tr.Register(4, c4.handler())
+	tr.Send(push(proto.KindPush, 3))
+	tr.Send(push(proto.KindPush, 4))
+	c4.waitFor(t, 1, time.Second)
+	if c3.count() != 0 {
+		t.Fatalf("hook let a message through to node 3")
+	}
+	if tr.Drops() != 1 {
+		t.Fatalf("drops = %d, want 1", tr.Drops())
+	}
+	// Clearing the hook restores delivery.
+	tr.SetDropHook(nil)
+	tr.Send(push(proto.KindPush, 3))
+	c3.waitFor(t, 1, time.Second)
+}
+
+func TestChanCloseStopsDelivery(t *testing.T) {
+	tr := NewChan(ChanConfig{})
+	var c collector
+	tr.Register(1, c.handler())
+	tr.Close()
+	tr.Send(push(proto.KindPush, 1))
+	time.Sleep(10 * time.Millisecond)
+	if c.count() != 0 {
+		t.Fatal("delivered after Close")
+	}
+}

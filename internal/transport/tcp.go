@@ -1,0 +1,421 @@
+package transport
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dup/internal/proto"
+	"dup/internal/rng"
+	"dup/internal/wire"
+)
+
+// TCPConfig parametrises a TCP transport.
+type TCPConfig struct {
+	// Listen is the address to accept inbound frames on ("" for a
+	// send-only transport). Use "127.0.0.1:0" in tests and read the bound
+	// address back with Addr.
+	Listen string
+	// Peers maps remote node ids to dial addresses. Several ids may share
+	// one address (a daemon hosting several peers behind one listener).
+	// SetPeer adds or updates entries after construction.
+	Peers map[int]string
+
+	// DialTimeout bounds one dial attempt (default 2s).
+	DialTimeout time.Duration
+	// BackoffBase and BackoffMax shape the exponential dial retry with
+	// jitter: attempt n sleeps min(BackoffMax, BackoffBase<<n) scaled by a
+	// uniform factor in [0.5, 1.5). Defaults 25ms and 1s.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// QueueLen is the per-connection write queue depth (default 256);
+	// when the queue is full, new messages are dropped, not blocked on.
+	QueueLen int
+	// KeepAlivePeriod is the TCP-level keep-alive interval on every
+	// connection (default 15s; <0 disables).
+	KeepAlivePeriod time.Duration
+	// Seed drives the backoff jitter.
+	Seed uint64
+	// Logf, when set, receives connection lifecycle diagnostics.
+	Logf func(format string, args ...any)
+}
+
+func (c *TCPConfig) fill() {
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 2 * time.Second
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 25 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = time.Second
+	}
+	if c.QueueLen <= 0 {
+		c.QueueLen = 256
+	}
+	if c.KeepAlivePeriod == 0 {
+		c.KeepAlivePeriod = 15 * time.Second
+	}
+}
+
+// TCP is the socket transport. Outbound connections are dialled lazily on
+// the first send to a peer address and reused for every later message to
+// that address; each has a single writer goroutine draining a bounded
+// queue, so senders never block on the network.
+type TCP struct {
+	cfg TCPConfig
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	ln     net.Listener
+
+	mu       sync.Mutex
+	handlers map[int]Handler
+	peers    map[int]string
+	conns    map[string]*peerConn // outbound, keyed by address
+	inbound  map[net.Conn]struct{}
+
+	hook atomic.Pointer[func(m *proto.Message) bool]
+
+	jmu sync.Mutex
+	src *rng.Source
+
+	drops  atomic.Int64
+	closed atomic.Bool
+	wg     sync.WaitGroup
+}
+
+// peerConn is one reused outbound connection: a bounded frame queue and
+// the writer goroutine that owns dialling, writing and reconnecting.
+type peerConn struct {
+	addr  string
+	queue chan *[]byte
+}
+
+// frameBufs recycles encode buffers between Send and the writer
+// goroutines, so steady-state sending allocates nothing per message.
+var frameBufs = sync.Pool{New: func() any { b := make([]byte, 0, 128); return &b }}
+
+// NewTCP returns a started transport. With a Listen address it binds
+// immediately, so Addr is valid as soon as NewTCP returns.
+func NewTCP(cfg TCPConfig) (*TCP, error) {
+	cfg.fill()
+	ctx, cancel := context.WithCancel(context.Background())
+	t := &TCP{
+		cfg:      cfg,
+		ctx:      ctx,
+		cancel:   cancel,
+		handlers: make(map[int]Handler),
+		peers:    make(map[int]string, len(cfg.Peers)),
+		conns:    make(map[string]*peerConn),
+		inbound:  make(map[net.Conn]struct{}),
+		src:      rng.New(cfg.Seed),
+	}
+	for id, addr := range cfg.Peers {
+		t.peers[id] = addr
+	}
+	if cfg.Listen != "" {
+		ln, err := net.Listen("tcp", cfg.Listen)
+		if err != nil {
+			cancel()
+			return nil, fmt.Errorf("transport: listen %s: %w", cfg.Listen, err)
+		}
+		t.ln = ln
+		t.wg.Add(1)
+		go t.acceptLoop()
+	}
+	return t, nil
+}
+
+// Addr returns the bound listen address ("" for a send-only transport).
+func (t *TCP) Addr() string {
+	if t.ln == nil {
+		return ""
+	}
+	return t.ln.Addr().String()
+}
+
+// Register installs the handler for node id. Sends addressed to locally
+// registered ids are delivered directly, without touching the network.
+func (t *TCP) Register(id int, h Handler) {
+	t.mu.Lock()
+	t.handlers[id] = h
+	t.mu.Unlock()
+}
+
+// SetPeer adds or updates the dial address for a remote node id.
+func (t *TCP) SetPeer(id int, addr string) {
+	t.mu.Lock()
+	t.peers[id] = addr
+	t.mu.Unlock()
+}
+
+// SetDropHook installs (or with nil clears) a loss-injection hook that
+// sees every outbound message and drops the ones it returns true for.
+// Tests use it to cut a node off deterministically.
+func (t *TCP) SetDropHook(h func(m *proto.Message) bool) {
+	if h == nil {
+		t.hook.Store(nil)
+		return
+	}
+	t.hook.Store(&h)
+}
+
+// Send routes m to node m.To: directly to a local handler, or framed onto
+// the reused connection for the peer's address.
+func (t *TCP) Send(m *proto.Message) {
+	if t.closed.Load() {
+		proto.Release(m)
+		return
+	}
+	if hook := t.hook.Load(); hook != nil && (*hook)(m) {
+		t.drop(m)
+		return
+	}
+	t.mu.Lock()
+	h := t.handlers[m.To]
+	addr := t.peers[m.To]
+	t.mu.Unlock()
+	if h != nil {
+		if !h(m) {
+			t.drop(m)
+		}
+		return
+	}
+	if addr == "" {
+		t.drop(m)
+		return
+	}
+	bufp := frameBufs.Get().(*[]byte)
+	*bufp = wire.AppendFrame((*bufp)[:0], m)
+	proto.Release(m)
+	pc := t.conn(addr)
+	if pc == nil {
+		frameBufs.Put(bufp)
+		t.drops.Add(1)
+		return
+	}
+	select {
+	case pc.queue <- bufp:
+		// The writer goroutine returns the buffer to the pool after the
+		// frame is on the wire.
+	default:
+		frameBufs.Put(bufp)
+		t.drops.Add(1)
+	}
+}
+
+func (t *TCP) drop(m *proto.Message) {
+	t.drops.Add(1)
+	proto.Release(m)
+}
+
+// Drops reports dropped messages.
+func (t *TCP) Drops() int64 { return t.drops.Load() }
+
+// conn returns the reused connection for addr, creating it (and its
+// writer goroutine) on first use.
+func (t *TCP) conn(addr string) *peerConn {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed.Load() {
+		return nil
+	}
+	pc := t.conns[addr]
+	if pc == nil {
+		pc = &peerConn{addr: addr, queue: make(chan *[]byte, t.cfg.QueueLen)}
+		t.conns[addr] = pc
+		t.wg.Add(1)
+		go t.writeLoop(pc)
+	}
+	return pc
+}
+
+// writeLoop owns one outbound connection: dial with backoff, drain the
+// queue, reconnect on error. Frames lost to a failed write are counted as
+// drops; the protocol's keep-alives re-establish state after reconnects.
+func (t *TCP) writeLoop(pc *peerConn) {
+	defer t.wg.Done()
+	for {
+		conn := t.dial(pc.addr)
+		if conn == nil {
+			return // shutting down
+		}
+		bw := bufio.NewWriter(conn)
+		for {
+			var bufp *[]byte
+			select {
+			case <-t.ctx.Done():
+				conn.Close()
+				return
+			case bufp = <-pc.queue:
+			}
+			err := writeFrame(bw, bufp)
+			// Opportunistically drain whatever queued while writing, then
+			// flush once: one syscall for a burst of messages.
+			for err == nil {
+				select {
+				case bufp = <-pc.queue:
+					err = writeFrame(bw, bufp)
+					continue
+				default:
+				}
+				break
+			}
+			if err == nil {
+				err = bw.Flush()
+			}
+			if err != nil {
+				t.drops.Add(1)
+				conn.Close()
+				t.logf("transport: write %s: %v (reconnecting)", pc.addr, err)
+				break
+			}
+		}
+	}
+}
+
+func writeFrame(bw *bufio.Writer, bufp *[]byte) error {
+	_, err := bw.Write(*bufp)
+	frameBufs.Put(bufp)
+	return err
+}
+
+// dial connects to addr, retrying with exponential backoff and jitter
+// until it succeeds or the transport shuts down (then it returns nil).
+func (t *TCP) dial(addr string) net.Conn {
+	d := net.Dialer{Timeout: t.cfg.DialTimeout, KeepAlive: t.cfg.KeepAlivePeriod}
+	for attempt := 0; ; attempt++ {
+		if t.ctx.Err() != nil {
+			return nil
+		}
+		conn, err := d.DialContext(t.ctx, "tcp", addr)
+		if err == nil {
+			return conn
+		}
+		delay := t.backoff(attempt)
+		t.logf("transport: dial %s: %v (retry in %v)", addr, err, delay)
+		select {
+		case <-t.ctx.Done():
+			return nil
+		case <-time.After(delay):
+		}
+	}
+}
+
+// backoff computes min(BackoffMax, BackoffBase<<attempt) scaled by a
+// uniform jitter factor in [0.5, 1.5).
+func (t *TCP) backoff(attempt int) time.Duration {
+	if attempt > 20 {
+		attempt = 20
+	}
+	d := t.cfg.BackoffBase << uint(attempt)
+	if d <= 0 || d > t.cfg.BackoffMax {
+		d = t.cfg.BackoffMax
+	}
+	t.jmu.Lock()
+	f := 0.5 + t.src.Float64()
+	t.jmu.Unlock()
+	return time.Duration(float64(d) * f)
+}
+
+// acceptLoop owns the listener.
+func (t *TCP) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			if t.ctx.Err() != nil {
+				return
+			}
+			t.logf("transport: accept: %v", err)
+			if t.closed.Load() {
+				return
+			}
+			continue
+		}
+		t.mu.Lock()
+		if t.closed.Load() {
+			t.mu.Unlock()
+			conn.Close()
+			return
+		}
+		t.inbound[conn] = struct{}{}
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.readLoop(conn)
+	}
+}
+
+// readLoop decodes frames off one inbound connection and dispatches them
+// to the registered handler for their target node.
+func (t *TCP) readLoop(conn net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		conn.Close()
+		t.mu.Lock()
+		delete(t.inbound, conn)
+		t.mu.Unlock()
+	}()
+	r := wire.NewReader(conn)
+	for {
+		m, err := r.ReadMessage()
+		if err != nil {
+			if t.ctx.Err() == nil && !errors.Is(err, io.EOF) {
+				t.logf("transport: read %s: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		t.mu.Lock()
+		h := t.handlers[m.To]
+		t.mu.Unlock()
+		if h == nil || !h(m) {
+			t.drop(m)
+		}
+	}
+}
+
+// Close shuts the transport down: stop accepting, close every connection,
+// wake the writer goroutines and wait for them.
+func (t *TCP) Close() error {
+	if t.closed.Swap(true) {
+		return nil
+	}
+	t.cancel()
+	if t.ln != nil {
+		t.ln.Close()
+	}
+	t.mu.Lock()
+	for conn := range t.inbound {
+		conn.Close()
+	}
+	t.mu.Unlock()
+	t.wg.Wait()
+	// Return queued frame buffers to the pool.
+	t.mu.Lock()
+	for _, pc := range t.conns {
+		draining := true
+		for draining {
+			select {
+			case bufp := <-pc.queue:
+				frameBufs.Put(bufp)
+			default:
+				draining = false
+			}
+		}
+	}
+	t.mu.Unlock()
+	return nil
+}
+
+func (t *TCP) logf(format string, args ...any) {
+	if t.cfg.Logf != nil {
+		t.cfg.Logf(format, args...)
+	}
+}

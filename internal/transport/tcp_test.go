@@ -1,0 +1,183 @@
+package transport
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"dup/internal/proto"
+)
+
+// tcpPair returns two connected TCP transports: node 1 lives on a, node 2
+// lives on b, each knowing the other's address.
+func tcpPair(t *testing.T) (a, b *TCP) {
+	t.Helper()
+	a, err := NewTCP(TCPConfig{Listen: "127.0.0.1:0", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err = NewTCP(TCPConfig{Listen: "127.0.0.1:0", Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close(); b.Close() })
+	a.SetPeer(2, b.Addr())
+	b.SetPeer(1, a.Addr())
+	return a, b
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	a, b := tcpPair(t)
+	var ca, cb collector
+	a.Register(1, ca.handler())
+	b.Register(2, cb.handler())
+	for i := 0; i < 20; i++ {
+		m := proto.NewMessage()
+		m.Kind, m.To, m.Origin, m.Seq = proto.KindRequest, 2, 1, int64(i)
+		m.Path = append(m.Path, 1)
+		a.Send(m)
+	}
+	cb.waitFor(t, 20, 3*time.Second)
+	cb.mu.Lock()
+	first := cb.got[0]
+	cb.mu.Unlock()
+	if first.Kind != proto.KindRequest || first.Origin != 1 || len(first.Path) != 1 || first.Path[0] != 1 {
+		t.Fatalf("message mangled in transit: %+v", first)
+	}
+	// And the reverse direction, reusing b's inbound... outbound conn is
+	// separate by design; this exercises b dialling a.
+	m := proto.NewMessage()
+	m.Kind, m.To, m.Origin = proto.KindKeepAliveAck, 1, 2
+	b.Send(m)
+	ca.waitFor(t, 1, 3*time.Second)
+}
+
+func TestTCPLocalDeliveryBypassesNetwork(t *testing.T) {
+	a, err := NewTCP(TCPConfig{Seed: 3}) // send-only: no listener at all
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	var c collector
+	a.Register(5, c.handler())
+	a.Send(push(proto.KindPush, 5))
+	c.waitFor(t, 1, time.Second)
+}
+
+func TestTCPDialRetryWithLateListener(t *testing.T) {
+	a, err := NewTCP(TCPConfig{Seed: 4, BackoffBase: 5 * time.Millisecond, BackoffMax: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	// Reserve an address, then close it so the first dials fail.
+	probe, err := NewTCP(TCPConfig{Listen: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := probe.Addr()
+	probe.Close()
+	a.SetPeer(9, addr)
+	a.Send(push(proto.KindPush, 9)) // queued; dial retries in the background
+	time.Sleep(100 * time.Millisecond)
+	// Now the listener comes up on the same address: the queued frame must
+	// arrive once a retry succeeds.
+	b, err := NewTCP(TCPConfig{Listen: addr, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	var c collector
+	b.Register(9, c.handler())
+	c.waitFor(t, 1, 5*time.Second)
+	if a.Drops() != 0 {
+		t.Fatalf("drops = %d, want 0 (frame should have waited in the queue)", a.Drops())
+	}
+}
+
+func TestTCPConnectionReuse(t *testing.T) {
+	a, b := tcpPair(t)
+	var c collector
+	b.Register(2, c.handler())
+	for i := 0; i < 50; i++ {
+		a.Send(push(proto.KindPush, 2))
+	}
+	c.waitFor(t, 50, 3*time.Second)
+	a.mu.Lock()
+	conns := len(a.conns)
+	a.mu.Unlock()
+	if conns != 1 {
+		t.Fatalf("%d outbound connections for one peer address, want 1", conns)
+	}
+}
+
+func TestTCPDropHook(t *testing.T) {
+	a, b := tcpPair(t)
+	var c collector
+	b.Register(2, c.handler())
+	a.SetDropHook(func(m *proto.Message) bool { return true })
+	a.Send(push(proto.KindPush, 2))
+	time.Sleep(50 * time.Millisecond)
+	if c.count() != 0 {
+		t.Fatal("hooked message was delivered")
+	}
+	if a.Drops() != 1 {
+		t.Fatalf("drops = %d, want 1", a.Drops())
+	}
+	a.SetDropHook(nil)
+	a.Send(push(proto.KindPush, 2))
+	c.waitFor(t, 1, 3*time.Second)
+}
+
+func TestTCPUnknownTargetDropped(t *testing.T) {
+	a, _ := tcpPair(t)
+	a.Send(push(proto.KindPush, 42)) // no handler, no peer address
+	if a.Drops() != 1 {
+		t.Fatalf("drops = %d, want 1", a.Drops())
+	}
+}
+
+func TestTCPCloseIsIdempotentAndFast(t *testing.T) {
+	a, b := tcpPair(t)
+	var c collector
+	b.Register(2, c.handler())
+	a.Send(push(proto.KindPush, 2))
+	c.waitFor(t, 1, 3*time.Second)
+	done := make(chan struct{})
+	go func() {
+		a.Close()
+		a.Close()
+		b.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung")
+	}
+	a.Send(push(proto.KindPush, 2)) // after close: silently released
+}
+
+func TestTCPMalformedInboundDoesNotKillTransport(t *testing.T) {
+	a, b := tcpPair(t)
+	var c collector
+	b.Register(2, c.handler())
+	// A healthy message first, so the good connection exists.
+	a.Send(push(proto.KindPush, 2))
+	c.waitFor(t, 1, 3*time.Second)
+	// Now a raw garbage connection straight at b's listener: the read loop
+	// must reject it and keep serving the healthy connection.
+	garbage, err := newRawConn(b.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	garbage.Write([]byte{0, 0, 0, 3, 0xff, 0xff, 0xff})
+	garbage.Close()
+	a.Send(push(proto.KindPush, 2))
+	c.waitFor(t, 2, 3*time.Second)
+}
+
+// newRawConn dials addr directly, bypassing the transport.
+func newRawConn(addr string) (net.Conn, error) {
+	return net.DialTimeout("tcp", addr, time.Second)
+}

@@ -1,0 +1,51 @@
+// Package transport moves proto messages between peers. It defines the
+// Transport interface the live network speaks and two implementations:
+//
+//   - Chan: in-process delivery over goroutines and timers with injected
+//     exponential link latency — the transport the original live network
+//     used, now behind the shared interface.
+//   - TCP: real sockets. One listener per transport, lazily dialled and
+//     reused outbound connections with per-connection write queues, dial
+//     retry with exponential backoff and jitter, TCP keep-alive, and
+//     clean shutdown. Frames use the dup/internal/wire codec.
+//
+// Both implementations drive the identical protocol state machine in
+// dup/internal/live; the loopback cluster tests prove it.
+//
+// Message ownership: a message handed to Send belongs to the transport,
+// which either delivers it to a registered handler (ownership passes to
+// the handler) or releases it back to the proto pool. A handler that
+// returns false refuses delivery (dead or overloaded node); the transport
+// releases the message and counts a drop. Inbound TCP frames are decoded
+// into pooled messages, so the same ownership rule holds end to end.
+package transport
+
+import "dup/internal/proto"
+
+// Handler consumes one inbound message addressed to a hosted node. It
+// must not block: the live network's handlers post into a buffered inbox
+// and report false when the node refuses delivery. Returning false hands
+// the message back to the transport, which releases it and counts a drop.
+type Handler func(m *proto.Message) bool
+
+// Transport delivers protocol messages between peers addressed by node id.
+type Transport interface {
+	// Register installs the handler for inbound messages addressed to
+	// node id, marking the node as locally hosted. Register before
+	// traffic flows; messages for unregistered ids are dropped.
+	Register(id int, h Handler)
+
+	// Send delivers m to node m.To, taking ownership of m. Delivery is
+	// asynchronous and unreliable by design (the protocol tolerates loss
+	// and repairs through keep-alives); failures are counted as drops,
+	// never surfaced to the sender.
+	Send(m *proto.Message)
+
+	// Drops reports how many messages this transport has dropped: dead or
+	// missing targets, full queues, failed writes, and hook-injected loss.
+	Drops() int64
+
+	// Close shuts the transport down and releases its resources. Messages
+	// sent after Close are dropped silently.
+	Close() error
+}

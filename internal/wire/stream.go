@@ -1,0 +1,78 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"dup/internal/proto"
+)
+
+// Writer frames messages onto a byte stream. It keeps one reusable encode
+// buffer, so steady-state writing does not allocate. Not safe for
+// concurrent use; the TCP transport gives each connection one writer
+// goroutine and one Writer.
+type Writer struct {
+	w   *bufio.Writer
+	buf []byte
+}
+
+// NewWriter returns a Writer framing onto w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w)}
+}
+
+// WriteMessage frames and buffers m. The caller keeps ownership of m.
+func (w *Writer) WriteMessage(m *proto.Message) error {
+	w.buf = AppendFrame(w.buf[:0], m)
+	if len(w.buf)-frameHeader > MaxFrame {
+		return fmt.Errorf("%w: %d bytes", ErrTooLarge, len(w.buf)-frameHeader)
+	}
+	_, err := w.w.Write(w.buf)
+	return err
+}
+
+// Flush pushes buffered frames to the underlying stream.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// Reader decodes frames from a byte stream into pooled messages, reusing
+// one payload buffer across reads. Not safe for concurrent use.
+type Reader struct {
+	r   *bufio.Reader
+	buf []byte
+}
+
+// NewReader returns a Reader decoding from r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReader(r)}
+}
+
+// ReadMessage reads one frame and decodes it. On success the caller owns
+// the returned message and must eventually proto.Release it. io.EOF at a
+// frame boundary is returned as io.EOF; a partial frame becomes
+// io.ErrUnexpectedEOF.
+func (r *Reader) ReadMessage() (*proto.Message, error) {
+	var hdr [frameHeader]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("%w: partial frame header", ErrTruncated)
+		}
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 {
+		return nil, fmt.Errorf("%w: empty frame", ErrTruncated)
+	}
+	if n > MaxFrame {
+		return nil, fmt.Errorf("%w: %d bytes", ErrTooLarge, n)
+	}
+	if cap(r.buf) < int(n) {
+		r.buf = make([]byte, n)
+	}
+	buf := r.buf[:n]
+	if _, err := io.ReadFull(r.r, buf); err != nil {
+		return nil, fmt.Errorf("%w: frame body: %v", ErrTruncated, err)
+	}
+	return DecodeMessage(buf)
+}

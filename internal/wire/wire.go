@@ -1,0 +1,208 @@
+// Package wire is the binary codec that carries proto messages between
+// peers over a byte stream. Frames are length-prefixed and versioned:
+//
+//	| u32 payload length (big endian) | payload |
+//
+// and the payload is
+//
+//	| u8 version | u8 kind | u8 flags | varint fields ... |
+//
+// with every integer field as a signed varint (zigzag, so the protocol's
+// -1 sentinels stay one byte), the expiry as 8 IEEE-754 big-endian bytes,
+// the path as a count-prefixed varint list, and an optional piggyback
+// behind a flag bit. Encoding appends to a caller buffer; decoding fills a
+// pooled proto.Message whose Path backing array is reused, so a busy
+// connection round-trips messages without per-message allocation.
+//
+// Decoding is strict: unknown versions, unknown kinds, unknown flag bits,
+// truncated fields, oversized paths and trailing bytes are all rejected,
+// so a malformed or hostile frame can not smuggle state into a node.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"dup/internal/proto"
+)
+
+const (
+	// Version is the current payload format version; it is the first byte
+	// of every payload so the format can evolve behind one check.
+	Version = 1
+
+	// MaxFrame bounds the payload length a reader accepts (and a writer
+	// produces). Protocol messages are tens of bytes; the megabyte bound
+	// only exists to cap what a broken or hostile peer can make us buffer.
+	MaxFrame = 1 << 20
+
+	// MaxPath bounds the request/reply path length. No index search tree
+	// here is remotely that deep; like MaxFrame it is an input-sanity cap.
+	MaxPath = 1 << 12
+
+	// frameHeader is the byte length of the frame length prefix.
+	frameHeader = 4
+
+	// flagPiggy marks a trailing piggyback record.
+	flagPiggy = 1 << 0
+	// knownFlags masks the flag bits this version defines.
+	knownFlags = flagPiggy
+)
+
+// Decode errors. Errors wrap these sentinels, so callers can classify with
+// errors.Is while still seeing the offending detail.
+var (
+	ErrVersion      = errors.New("wire: unsupported version")
+	ErrUnknownKind  = errors.New("wire: unknown message kind")
+	ErrBadFlags     = errors.New("wire: unknown flag bits")
+	ErrTruncated    = errors.New("wire: truncated payload")
+	ErrTrailing     = errors.New("wire: trailing bytes after payload")
+	ErrTooLarge     = errors.New("wire: frame exceeds size bound")
+	ErrNonCanonical = errors.New("wire: non-canonical varint")
+)
+
+// AppendMessage appends m's payload encoding (no length prefix) to dst and
+// returns the extended slice.
+func AppendMessage(dst []byte, m *proto.Message) []byte {
+	flags := byte(0)
+	if m.Piggy != nil {
+		flags |= flagPiggy
+	}
+	dst = append(dst, Version, byte(m.Kind), flags)
+	dst = binary.AppendVarint(dst, int64(m.To))
+	dst = binary.AppendVarint(dst, int64(m.Origin))
+	dst = binary.AppendVarint(dst, int64(m.Subject))
+	dst = binary.AppendVarint(dst, int64(m.Old))
+	dst = binary.AppendVarint(dst, int64(m.New))
+	dst = binary.AppendVarint(dst, m.Seq)
+	dst = binary.AppendVarint(dst, m.Version)
+	dst = binary.AppendVarint(dst, int64(m.Hops))
+	dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(m.Expiry))
+	dst = binary.AppendVarint(dst, int64(len(m.Path)))
+	for _, p := range m.Path {
+		dst = binary.AppendVarint(dst, int64(p))
+	}
+	if m.Piggy != nil {
+		dst = append(dst, byte(m.Piggy.Kind))
+		dst = binary.AppendVarint(dst, int64(m.Piggy.Subject))
+	}
+	return dst
+}
+
+// AppendFrame appends the length-prefixed frame for m to dst.
+func AppendFrame(dst []byte, m *proto.Message) []byte {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0)
+	dst = AppendMessage(dst, m)
+	binary.BigEndian.PutUint32(dst[start:], uint32(len(dst)-start-frameHeader))
+	return dst
+}
+
+// decoder walks a payload, remembering the first error.
+type decoder struct {
+	p   []byte
+	err error
+}
+
+func (d *decoder) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.p) == 0 {
+		d.err = fmt.Errorf("%w: missing byte", ErrTruncated)
+		return 0
+	}
+	b := d.p[0]
+	d.p = d.p[1:]
+	return b
+}
+
+func (d *decoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.p)
+	if n <= 0 {
+		d.err = fmt.Errorf("%w: bad varint", ErrTruncated)
+		return 0
+	}
+	// A multi-byte varint ending in a zero byte carries redundant
+	// continuation groups; rejecting it keeps the encoding canonical (one
+	// byte sequence per message), which the fuzzer relies on.
+	if n > 1 && d.p[n-1] == 0 {
+		d.err = ErrNonCanonical
+		return 0
+	}
+	d.p = d.p[n:]
+	return v
+}
+
+func (d *decoder) float() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.p) < 8 {
+		d.err = fmt.Errorf("%w: missing float64", ErrTruncated)
+		return 0
+	}
+	v := math.Float64frombits(binary.BigEndian.Uint64(d.p))
+	d.p = d.p[8:]
+	return v
+}
+
+// DecodeMessage decodes one payload (as produced by AppendMessage) into a
+// pooled proto.Message. On success the caller owns the message and must
+// eventually proto.Release it (or hand it to a transport that does). On
+// error no message is retained.
+func DecodeMessage(p []byte) (*proto.Message, error) {
+	d := decoder{p: p}
+	if v := d.byte(); d.err == nil && v != Version {
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrVersion, v, Version)
+	}
+	kind := d.byte()
+	if d.err == nil && int(kind) >= proto.NumKinds {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownKind, kind)
+	}
+	flags := d.byte()
+	if d.err == nil && flags&^byte(knownFlags) != 0 {
+		return nil, fmt.Errorf("%w: %#x", ErrBadFlags, flags)
+	}
+	m := proto.NewMessage()
+	m.Kind = proto.Kind(kind)
+	m.To = int(d.varint())
+	m.Origin = int(d.varint())
+	m.Subject = int(d.varint())
+	m.Old = int(d.varint())
+	m.New = int(d.varint())
+	m.Seq = d.varint()
+	m.Version = d.varint()
+	m.Hops = int(d.varint())
+	m.Expiry = d.float()
+	pathLen := d.varint()
+	if d.err == nil && (pathLen < 0 || pathLen > MaxPath) {
+		proto.Release(m)
+		return nil, fmt.Errorf("%w: path length %d", ErrTooLarge, pathLen)
+	}
+	for i := int64(0); i < pathLen && d.err == nil; i++ {
+		m.Path = append(m.Path, int(d.varint()))
+	}
+	if flags&flagPiggy != 0 {
+		pk := d.byte()
+		if d.err == nil && int(pk) >= proto.NumKinds {
+			proto.Release(m)
+			return nil, fmt.Errorf("%w: piggy kind %d", ErrUnknownKind, pk)
+		}
+		m.Piggy = &proto.Piggyback{Kind: proto.Kind(pk), Subject: int(d.varint())}
+	}
+	if d.err != nil {
+		proto.Release(m)
+		return nil, d.err
+	}
+	if len(d.p) != 0 {
+		proto.Release(m)
+		return nil, fmt.Errorf("%w: %d bytes", ErrTrailing, len(d.p))
+	}
+	return m, nil
+}

@@ -1,0 +1,280 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"net"
+	"testing"
+
+	"dup/internal/proto"
+	"dup/internal/raceflag"
+)
+
+// sampleMessages returns one representative message per kind, plus
+// variants exercising every field: negative sentinels, long paths and a
+// piggyback rider.
+func sampleMessages() []*proto.Message {
+	msgs := []*proto.Message{
+		{Kind: proto.KindRequest, To: 3, Origin: 7, Seq: 41, Hops: 2, Path: []int{7, 3}},
+		{Kind: proto.KindReply, To: 7, Origin: 7, Seq: 41, Version: 9, Expiry: 1234.5, Hops: 3, Path: []int{7}},
+		{Kind: proto.KindPush, To: 5, Origin: 0, Version: 2, Expiry: 17.25},
+		{Kind: proto.KindSubscribe, To: 4, Subject: 5},
+		{Kind: proto.KindUnsubscribe, To: 4, Subject: 5},
+		{Kind: proto.KindSubstitute, To: 1, Old: 5, New: 2},
+		{Kind: proto.KindInterest, To: 2, Subject: 9},
+		{Kind: proto.KindUninterest, To: 2, Subject: 9},
+		{Kind: proto.KindKeepAlive, To: 0, Origin: 12},
+		{Kind: proto.KindKeepAliveAck, To: 12, Origin: 0},
+		// Negative sentinels (-1 parents) and a piggyback rider.
+		{Kind: proto.KindRequest, To: -1, Origin: -1, Old: -1, New: -1, Subject: -1, Hops: 1,
+			Piggy: &proto.Piggyback{Kind: proto.KindSubscribe, Subject: 6}},
+		// A long path.
+		{Kind: proto.KindReply, To: 1, Version: 1 << 40, Expiry: -2.5,
+			Path: []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15}},
+	}
+	return msgs
+}
+
+// equalMessage compares every field; an empty and a nil path are the same
+// path.
+func equalMessage(a, b *proto.Message) bool {
+	if a.Kind != b.Kind || a.To != b.To || a.Origin != b.Origin ||
+		a.Subject != b.Subject || a.Old != b.Old || a.New != b.New ||
+		a.Seq != b.Seq || a.Version != b.Version ||
+		math.Float64bits(a.Expiry) != math.Float64bits(b.Expiry) ||
+		a.Hops != b.Hops || len(a.Path) != len(b.Path) {
+		return false
+	}
+	for i := range a.Path {
+		if a.Path[i] != b.Path[i] {
+			return false
+		}
+	}
+	if (a.Piggy == nil) != (b.Piggy == nil) {
+		return false
+	}
+	if a.Piggy != nil && *a.Piggy != *b.Piggy {
+		return false
+	}
+	return true
+}
+
+func TestRoundTripEveryKind(t *testing.T) {
+	seen := map[proto.Kind]bool{}
+	for _, m := range sampleMessages() {
+		seen[m.Kind] = true
+		payload := AppendMessage(nil, m)
+		got, err := DecodeMessage(payload)
+		if err != nil {
+			t.Fatalf("%v: decode: %v", m, err)
+		}
+		if !equalMessage(m, got) {
+			t.Fatalf("round trip mismatch:\n in  %+v\n out %+v", m, got)
+		}
+		proto.Release(got)
+	}
+	if len(seen) != proto.NumKinds {
+		t.Fatalf("samples cover %d kinds, want %d", len(seen), proto.NumKinds)
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	m := &proto.Message{Kind: proto.KindPush, To: 9, Origin: 1, Version: 4, Expiry: 99.5}
+	frame := AppendFrame(nil, m)
+	r := NewReader(bytes.NewReader(frame))
+	got, err := r.ReadMessage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalMessage(m, got) {
+		t.Fatalf("frame round trip mismatch: %+v vs %+v", m, got)
+	}
+	proto.Release(got)
+	if _, err := r.ReadMessage(); err != io.EOF {
+		t.Fatalf("after last frame: %v, want io.EOF", err)
+	}
+}
+
+func TestStreamManyMessages(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	msgs := sampleMessages()
+	for _, m := range msgs {
+		if err := w.WriteMessage(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	for i, want := range msgs {
+		got, err := r.ReadMessage()
+		if err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		if !equalMessage(want, got) {
+			t.Fatalf("message %d mismatch: %+v vs %+v", i, want, got)
+		}
+		proto.Release(got)
+	}
+	if _, err := r.ReadMessage(); err != io.EOF {
+		t.Fatalf("after stream: %v, want io.EOF", err)
+	}
+}
+
+func TestStreamOverSocketPair(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	want := &proto.Message{Kind: proto.KindRequest, To: 2, Origin: 5, Seq: 7, Hops: 1, Path: []int{5}}
+	go func() {
+		w := NewWriter(a)
+		if err := w.WriteMessage(want); err == nil {
+			w.Flush()
+		}
+	}()
+	got, err := NewReader(b).ReadMessage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalMessage(want, got) {
+		t.Fatalf("mismatch over pipe: %+v vs %+v", want, got)
+	}
+	proto.Release(got)
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	good := AppendMessage(nil, &proto.Message{Kind: proto.KindSubscribe, To: 1, Subject: 2})
+	cases := []struct {
+		name string
+		p    []byte
+		want error
+	}{
+		{"empty", nil, ErrTruncated},
+		{"bad version", append([]byte{99}, good[1:]...), ErrVersion},
+		{"unknown kind", append([]byte{Version, 200}, good[2:]...), ErrUnknownKind},
+		{"unknown flags", append([]byte{Version, good[1], 0x80}, good[3:]...), ErrBadFlags},
+		{"truncated fields", good[:4], ErrTruncated},
+		{"trailing bytes", append(append([]byte{}, good...), 0), ErrTrailing},
+	}
+	for _, c := range cases {
+		if _, err := DecodeMessage(c.p); !errors.Is(err, c.want) {
+			t.Errorf("%s: err = %v, want %v", c.name, err, c.want)
+		}
+	}
+	// Oversized path length.
+	huge := []byte{Version, byte(proto.KindRequest), 0}
+	for i := 0; i < 8; i++ {
+		huge = append(huge, 0) // To..Hops zeros
+	}
+	huge = append(huge, make([]byte, 8)...) // expiry
+	huge = appendVarintBytes(huge, MaxPath+1)
+	if _, err := DecodeMessage(huge); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("oversized path: err = %v, want %v", err, ErrTooLarge)
+	}
+	// Negative path length.
+	neg := huge[:len(huge)-varintLen(MaxPath+1)]
+	neg = appendVarintBytes(neg, -1)
+	if _, err := DecodeMessage(neg); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("negative path: err = %v, want %v", err, ErrTooLarge)
+	}
+}
+
+func TestReaderRejectsBadFrames(t *testing.T) {
+	// Oversized frame header.
+	var hdr [4]byte
+	hdr[0], hdr[1], hdr[2], hdr[3] = 0xff, 0xff, 0xff, 0xff
+	if _, err := NewReader(bytes.NewReader(hdr[:])).ReadMessage(); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("oversized frame: %v, want %v", err, ErrTooLarge)
+	}
+	// Zero-length frame.
+	if _, err := NewReader(bytes.NewReader(make([]byte, 4))).ReadMessage(); !errors.Is(err, ErrTruncated) {
+		t.Errorf("empty frame: %v, want %v", err, ErrTruncated)
+	}
+	// Partial header.
+	if _, err := NewReader(bytes.NewReader([]byte{0, 0})).ReadMessage(); !errors.Is(err, ErrTruncated) {
+		t.Errorf("partial header: %v, want %v", err, ErrTruncated)
+	}
+	// Header promising more than the stream holds.
+	frame := AppendFrame(nil, &proto.Message{Kind: proto.KindPush, To: 1})
+	if _, err := NewReader(bytes.NewReader(frame[:len(frame)-2])).ReadMessage(); !errors.Is(err, ErrTruncated) {
+		t.Errorf("short body: %v, want %v", err, ErrTruncated)
+	}
+}
+
+func TestDecodedMessageIsPooledAndClean(t *testing.T) {
+	payload := AppendMessage(nil, &proto.Message{Kind: proto.KindRequest, To: 1, Path: []int{1, 2, 3}})
+	m, err := DecodeMessage(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proto.Release(m)
+	fresh := proto.NewMessage()
+	defer proto.Release(fresh)
+	if fresh.Kind != 0 || len(fresh.Path) != 0 || fresh.To != 0 {
+		t.Fatalf("released decoded message leaked state: %+v", fresh)
+	}
+}
+
+func appendVarintBytes(p []byte, v int64) []byte {
+	u := uint64(v<<1) ^ uint64(v>>63)
+	for u >= 0x80 {
+		p = append(p, byte(u)|0x80)
+		u >>= 7
+	}
+	return append(p, byte(u))
+}
+
+func varintLen(v int64) int {
+	return len(appendVarintBytes(nil, v))
+}
+
+func TestEncodeDecodeAllocFree(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("sync.Pool drops items at random under the race detector, so decode is not allocation-free there")
+	}
+	m := &proto.Message{Kind: proto.KindReply, To: 3, Origin: 9, Seq: 2, Version: 7, Expiry: 5.5, Hops: 4, Path: []int{9, 4, 3}}
+	buf := AppendMessage(nil, m)
+	// Warm the pool so the measured loop reuses one message.
+	if got, err := DecodeMessage(buf); err != nil {
+		t.Fatal(err)
+	} else {
+		proto.Release(got)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		buf = AppendMessage(buf[:0], m)
+		got, err := DecodeMessage(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		proto.Release(got)
+	})
+	if allocs > 0.5 {
+		t.Errorf("encode+decode allocates %.1f times per message, want 0", allocs)
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	m := &proto.Message{Kind: proto.KindReply, To: 3, Origin: 9, Seq: 2, Version: 7, Expiry: 5.5, Hops: 4, Path: []int{9, 4, 3}}
+	var buf []byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = AppendMessage(buf[:0], m)
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	m := &proto.Message{Kind: proto.KindReply, To: 3, Origin: 9, Seq: 2, Version: 7, Expiry: 5.5, Hops: 4, Path: []int{9, 4, 3}}
+	buf := AppendMessage(nil, m)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		got, err := DecodeMessage(buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		proto.Release(got)
+	}
+}

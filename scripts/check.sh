@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # check.sh is the one-command pre-commit gate: vet, build, the full test
-# suite under the race detector, and a quick pass of the performance
-# harness (print-only, so it never mutates BENCH_sim.json).
+# suite under the race detector (with the concurrency-heavy wire,
+# transport and live packages forced uncached), a short fuzz smoke of the
+# wire codec, and a quick pass of the performance harness (print-only, so
+# it never mutates BENCH_sim.json).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -13,6 +15,13 @@ go build ./...
 
 echo "== go test -race =="
 go test -race ./...
+
+echo "== go test -race -count=1 (wire, transport, live) =="
+go test -race -count=1 ./internal/wire/ ./internal/transport/ ./internal/live/
+
+echo "== fuzz smoke (wire codec) =="
+go test -run '^$' -fuzz 'FuzzDecodeEncode' -fuzztime 5s ./internal/wire/
+go test -run '^$' -fuzz 'FuzzFrameReader' -fuzztime 5s ./internal/wire/
 
 echo "== perf harness (quick, print-only) =="
 go run ./cmd/dupbench -perf -perfruns 2
