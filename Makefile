@@ -1,6 +1,6 @@
 # Convenience targets; scripts/check.sh is the canonical pre-commit gate.
 
-.PHONY: check test bench perf perf-record cluster-demo
+.PHONY: check test bench perf perf-record cluster-demo chaos
 
 check:
 	scripts/check.sh
@@ -12,6 +12,13 @@ test:
 # and assert queries resolve across the socket fabric.
 cluster-demo:
 	scripts/cluster_demo.sh
+
+# Play a seeded fault schedule (partitions, crashes, kills, loss bursts)
+# against a live cluster under the race detector and check the
+# convergence / tree-consistency / no-leak invariants. Scale or reseed:
+#   make chaos CHAOS_FLAGS="-chaos.nodes 20 -chaos.steps 24 -chaos.seed 9"
+chaos:
+	go test -race -count=1 -v -run 'TestChaosRun' ./internal/chaos/ -args $(CHAOS_FLAGS)
 
 bench:
 	go test -bench . -benchmem -benchtime 3x

@@ -125,15 +125,20 @@ func main() {
 			}
 			log.Printf("query node=%d resolved version=%d hops=%d local=%v", *queryAt, r.Version, r.Hops, r.Local)
 		case <-statsTick:
-			s := nw.Stats()
-			log.Printf("stats queries=%d local=%d pushes=%d subscribes=%d substitutes=%d keepalives=%d drops=%d",
-				s.Queries, s.LocalHits, s.Pushes, s.Subscribes, s.Substitutes, s.KeepAlives, s.Drops)
+			logStats("stats", nw.Stats())
 		}
 	}
 	nw.Stop()
-	s := nw.Stats()
-	log.Printf("final queries=%d local=%d pushes=%d subscribes=%d substitutes=%d keepalives=%d drops=%d",
-		s.Queries, s.LocalHits, s.Pushes, s.Subscribes, s.Substitutes, s.KeepAlives, s.Drops)
+	dir.Close()
+	logStats("final", nw.Stats())
+}
+
+// logStats logs one counters line, including the delivery-guarantee
+// counters (retransmissions, acks, suppressed duplicates, give-ups).
+func logStats(prefix string, s live.Stats) {
+	log.Printf("%s queries=%d local=%d pushes=%d subscribes=%d substitutes=%d keepalives=%d drops=%d retrans=%d acks=%d dups=%d giveups=%d",
+		prefix, s.Queries, s.LocalHits, s.Pushes, s.Subscribes, s.Substitutes, s.KeepAlives,
+		s.Drops, s.Retransmits, s.Acks, s.DupSuppressed, s.RetransmitGiveUps)
 }
 
 // ticker returns a ticking channel when enabled, else a nil channel that

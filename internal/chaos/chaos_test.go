@@ -1,0 +1,124 @@
+package chaos
+
+import (
+	"flag"
+	"testing"
+	"time"
+)
+
+// Flags so `make chaos` can scale the run without recompiling; zero
+// values fall back to DefaultConfig.
+var (
+	flagSeed  = flag.Uint64("chaos.seed", 0, "chaos schedule seed")
+	flagNodes = flag.Int("chaos.nodes", 0, "cluster size")
+	flagSteps = flag.Int("chaos.steps", 0, "schedule steps")
+)
+
+func TestScheduleIsDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Seed = 42
+	a, b := Schedule(cfg), Schedule(cfg)
+	if len(a) == 0 {
+		t.Fatal("empty schedule")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed gave %d vs %d events", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at event %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	cfg.Seed = 43
+	c := Schedule(cfg)
+	same := len(c) == len(a)
+	for i := 0; same && i < len(a); i++ {
+		same = c[i] == a[i]
+	}
+	if same {
+		t.Fatal("different seeds produced the identical schedule")
+	}
+}
+
+// TestScheduleCleansUpAfterItself replays a schedule's bookkeeping and
+// asserts every fault it opens is healed by the cleanup tail.
+func TestScheduleCleansUpAfterItself(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		cfg := DefaultConfig()
+		cfg.Seed = seed
+		open := map[string]int{}
+		for _, e := range Schedule(cfg) {
+			switch e.Op {
+			case OpPartition:
+				open["partition"]++
+			case OpHeal:
+				open["partition"]--
+			case OpCrash:
+				open["crash"]++
+			case OpRestart:
+				open["crash"]--
+			case OpKill:
+				open["kill"]++
+			case OpRevive:
+				open["kill"]--
+			case OpLoss:
+				open["loss"]++
+			case OpCalm:
+				open["loss"]--
+			}
+		}
+		for what, n := range open {
+			if n != 0 {
+				t.Fatalf("seed %d leaves %d unhealed %s faults", seed, n, what)
+			}
+		}
+	}
+}
+
+// TestChaosReproducible is the harness's core promise: two runs from the
+// same seed produce byte-identical reports, and the invariants hold.
+func TestChaosReproducible(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Seed = 7
+	first, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !first.Passed {
+		t.Fatalf("chaos run failed:\n%s", first)
+	}
+	second, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Passed {
+		t.Fatalf("second chaos run failed:\n%s", second)
+	}
+	if first.String() != second.String() {
+		t.Fatalf("same seed, different reports:\n--- first\n%s--- second\n%s", first, second)
+	}
+}
+
+// TestChaosRun is the `make chaos` entry point: one run at whatever scale
+// the -chaos.* flags request, report logged, invariants fatal on failure.
+func TestChaosRun(t *testing.T) {
+	cfg := DefaultConfig()
+	if *flagSeed != 0 {
+		cfg.Seed = *flagSeed
+	}
+	if *flagNodes != 0 {
+		cfg.Nodes = *flagNodes
+	}
+	if *flagSteps != 0 {
+		cfg.Steps = *flagSteps
+		cfg.StepEvery = 50 * time.Millisecond
+	}
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", rep)
+	if !rep.Passed {
+		t.Fatalf("invariants violated:\n%s", rep)
+	}
+}

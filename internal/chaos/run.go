@@ -1,0 +1,341 @@
+package chaos
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"dup/internal/faults"
+	"dup/internal/live"
+	"dup/internal/proto"
+	"dup/internal/transport"
+)
+
+// Invariant is one checked property and its verdict.
+type Invariant struct {
+	Name   string
+	OK     bool
+	Detail string
+}
+
+// Report is the outcome of a chaos run. For a passing run its String is a
+// pure function of the configuration: same seed, same report, bytes for
+// bytes — which is what makes a failing seed a reproducible bug report.
+type Report struct {
+	Seed       uint64
+	Nodes      int
+	Steps      int
+	Events     []Event
+	Invariants []Invariant
+	Passed     bool
+}
+
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "chaos seed=%d nodes=%d steps=%d\n", r.Seed, r.Nodes, r.Steps)
+	for _, e := range r.Events {
+		fmt.Fprintf(&b, "  %s\n", e)
+	}
+	for _, iv := range r.Invariants {
+		verdict := "ok"
+		if !iv.OK {
+			verdict = "FAIL"
+		}
+		fmt.Fprintf(&b, "invariant %-16s %-4s %s\n", iv.Name, verdict, iv.Detail)
+	}
+	if r.Passed {
+		b.WriteString("PASS\n")
+	} else {
+		b.WriteString("FAIL\n")
+	}
+	return b.String()
+}
+
+// harness is one booted chaos cluster: a shared in-process fabric, one
+// single-node live.Network per peer, each behind its own fault wrapper so
+// every node's links can be hurt independently.
+type harness struct {
+	cfg    Config
+	lcfg   live.Config
+	fabric *transport.Chan
+	wraps  []*faults.Transport
+	nets   []*live.Network
+	dir    *live.MemDirectory
+	hot    []int
+	down   map[int]bool
+	rr     int
+}
+
+// liveConfig is the protocol timing a chaos run uses: fast enough that a
+// dozen steps exercise several TTL generations, slow enough that repair
+// paths (keep-alive detection, retransmit deadlines) get room to work.
+func liveConfig(cfg Config) live.Config {
+	return live.Config{
+		Nodes:          cfg.Nodes,
+		MaxDegree:      cfg.MaxDegree,
+		TTL:            250 * time.Millisecond,
+		Lead:           50 * time.Millisecond,
+		Threshold:      2,
+		HopDelay:       200 * time.Microsecond,
+		KeepAliveEvery: 25 * time.Millisecond,
+		DeadAfter:      90 * time.Millisecond,
+		Seed:           cfg.Seed,
+	}
+}
+
+func newHarness(cfg Config) (*harness, error) {
+	lcfg := liveConfig(cfg)
+	tree := lcfg.BuildTree()
+	lcfg.Tree = tree
+	h := &harness{
+		cfg:    cfg,
+		lcfg:   lcfg,
+		fabric: transport.NewChan(transport.ChanConfig{HopDelay: lcfg.HopDelay, Seed: cfg.Seed}),
+		wraps:  make([]*faults.Transport, cfg.Nodes),
+		nets:   make([]*live.Network, cfg.Nodes),
+		dir:    live.NewMemDirectory(tree),
+		down:   map[int]bool{},
+	}
+	for id := 0; id < cfg.Nodes; id++ {
+		h.wraps[id] = faults.Wrap(h.fabric, faults.Config{Seed: cfg.Seed + uint64(id)})
+		nw, err := live.StartWith(lcfg, live.Options{
+			Transport: h.wraps[id],
+			Directory: h.dir,
+			Hosts:     []int{id},
+		})
+		if err != nil {
+			h.shutdown()
+			return nil, err
+		}
+		h.nets[id] = nw
+	}
+	// The three highest ids sit deepest in a generated tree: keeping them
+	// hot makes authority pushes cross the most links.
+	h.hot = []int{cfg.Nodes - 1, cfg.Nodes - 2, cfg.Nodes - 3}
+	return h, nil
+}
+
+// shutdown stops every network (closing its wrapper) and the shared fabric.
+func (h *harness) shutdown() {
+	for _, nw := range h.nets {
+		if nw != nil {
+			nw.Stop()
+		}
+	}
+	h.fabric.Close()
+}
+
+// warmup makes the hot nodes cross the interest threshold and subscribe
+// before any fault is injected.
+func (h *harness) warmup() {
+	for _, id := range h.hot {
+		for i := 0; i < h.lcfg.Threshold+2; i++ {
+			h.nets[id].Query(id, 500*time.Millisecond)
+		}
+	}
+}
+
+// apply plays one schedule event against the cluster.
+func (h *harness) apply(e Event) {
+	switch e.Op {
+	case OpPartition:
+		h.wraps[e.A].Block(e.B)
+		h.wraps[e.B].Block(e.A)
+	case OpHeal:
+		h.wraps[e.A].Unblock(e.B)
+		h.wraps[e.B].Unblock(e.A)
+	case OpCrash:
+		h.wraps[e.A].Crash()
+		h.down[e.A] = true
+	case OpRestart:
+		h.wraps[e.A].Restart()
+		delete(h.down, e.A)
+	case OpKill:
+		h.nets[e.A].Fail(e.A)
+		h.down[e.A] = true
+	case OpRevive:
+		h.nets[e.A].Recover(e.A)
+		delete(h.down, e.A)
+	case OpLoss:
+		h.wraps[e.A].SetLoss(float64(e.Pct) / 100)
+	case OpCalm:
+		h.wraps[e.A].SetLoss(0)
+	}
+}
+
+// play runs the schedule: each step applies its events, issues the step's
+// queries and waits StepEvery. Query errors are expected mid-fault and
+// ignored; the invariants judge the end state, not the turbulence.
+func (h *harness) play(events []Event) {
+	byStep := map[int][]Event{}
+	for _, e := range events {
+		byStep[e.Step] = append(byStep[e.Step], e)
+	}
+	for step := 0; step <= h.cfg.Steps; step++ {
+		for _, e := range byStep[step] {
+			h.apply(e)
+		}
+		h.queries()
+		time.Sleep(h.cfg.StepEvery)
+	}
+}
+
+// queries keeps the hot nodes above the interest threshold and spreads
+// QueriesPerStep extra queries round-robin over the alive cluster.
+func (h *harness) queries() {
+	for _, id := range h.hot {
+		if !h.down[id] {
+			h.nets[id].Query(id, 25*time.Millisecond)
+		}
+	}
+	for i := 0; i < h.cfg.QueriesPerStep; i++ {
+		h.rr = (h.rr + 1) % h.cfg.Nodes
+		if !h.down[h.rr] {
+			h.nets[h.rr].Query(h.rr, 25*time.Millisecond)
+		}
+	}
+}
+
+// checkConvergence asserts that, with the faults healed, every node
+// resolves queries to at least the authority's current version within a
+// bounded time.
+func (h *harness) checkConvergence() (bool, string) {
+	rootID := h.dir.RootID()
+	in, err := h.nets[rootID].Inspect(rootID, time.Second)
+	if err != nil {
+		return false, "could not inspect the authority node"
+	}
+	v0 := in.Version
+	deadline := time.Now().Add(8 * h.lcfg.TTL)
+	for id := 0; id < h.cfg.Nodes; id++ {
+		for {
+			r, err := h.nets[id].Query(id, 200*time.Millisecond)
+			if err == nil && r.Version >= v0 {
+				break
+			}
+			if time.Now().After(deadline) {
+				return false, fmt.Sprintf("node %d never reached the authority version", id)
+			}
+		}
+	}
+	return true, "every node reached the authority version within 8 TTLs"
+}
+
+// checkConsistency asserts the subscriber lists agree with the repaired
+// tree: every list entry is a real node, and every node that believes it
+// is subscribed is actually reached by authority pushes. The check polls,
+// because graceful unsubscribes of cooling nodes are still in flight
+// right after the run; the hot nodes are kept hot so their subscriptions
+// must survive.
+func (h *harness) checkConsistency() (bool, string) {
+	deadline := time.Now().Add(8 * h.lcfg.TTL)
+	detail := ""
+	for {
+		var ok bool
+		ok, detail = h.treeConsistent()
+		if ok {
+			return true, "subscriber lists agree with the repaired tree"
+		}
+		if time.Now().After(deadline) {
+			return false, detail
+		}
+		for _, id := range h.hot {
+			h.nets[id].Query(id, 25*time.Millisecond)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func (h *harness) treeConsistent() (bool, string) {
+	n := h.cfg.Nodes
+	infos := make([]live.NodeInfo, n)
+	for id := 0; id < n; id++ {
+		in, err := h.nets[id].Inspect(id, time.Second)
+		if err != nil {
+			return false, fmt.Sprintf("could not inspect node %d", id)
+		}
+		infos[id] = in
+	}
+	for id, in := range infos {
+		// A subscriber list may contain the node itself (that is what
+		// "interested" means); push targets never do.
+		for _, t := range in.Subscribers {
+			if t < 0 || t >= n {
+				return false, fmt.Sprintf("node %d lists bogus subscriber %d", id, t)
+			}
+		}
+		for _, t := range in.PushTargets {
+			if t < 0 || t >= n || t == id {
+				return false, fmt.Sprintf("node %d lists bogus push target %d", id, t)
+			}
+		}
+	}
+	// Push reachability: breadth-first over push edges from the authority.
+	root := h.dir.RootID()
+	reached := make([]bool, n)
+	reached[root] = true
+	queue := []int{root}
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		for _, t := range infos[id].PushTargets {
+			if !reached[t] {
+				reached[t] = true
+				queue = append(queue, t)
+			}
+		}
+	}
+	for id, in := range infos {
+		if id == root || in.Dead || !in.Interested {
+			continue
+		}
+		if !reached[id] {
+			return false, fmt.Sprintf("interested node %d is not reached by pushes", id)
+		}
+	}
+	return true, ""
+}
+
+// checkLeaks stops the cluster and asserts every pooled message came back.
+func (h *harness) checkLeaks(base int64) (bool, string) {
+	h.shutdown()
+	deadline := time.Now().Add(3 * time.Second)
+	for proto.InUse() > base {
+		if time.Now().After(deadline) {
+			return false, fmt.Sprintf("%d pooled messages never returned", proto.InUse()-base)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return true, "every pooled message was returned"
+}
+
+// Run plays one full chaos run and returns its report. The cluster is
+// always torn down before returning.
+func Run(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	base := proto.InUse()
+	events := Schedule(cfg)
+	h, err := newHarness(cfg)
+	if err != nil {
+		return nil, err
+	}
+	h.warmup()
+	h.play(events)
+	time.Sleep(2 * h.lcfg.TTL) // settle: let repairs and final pushes land
+
+	rep := &Report{Seed: cfg.Seed, Nodes: cfg.Nodes, Steps: cfg.Steps, Events: events}
+	add := func(name string, ok bool, detail string) {
+		rep.Invariants = append(rep.Invariants, Invariant{Name: name, OK: ok, Detail: detail})
+	}
+	convOK, convDetail := h.checkConvergence()
+	add("convergence", convOK, convDetail)
+	treeOK, treeDetail := h.checkConsistency()
+	add("tree-consistency", treeOK, treeDetail)
+	leakOK, leakDetail := h.checkLeaks(base)
+	add("no-leak", leakOK, leakDetail)
+	rep.Passed = convOK && treeOK && leakOK
+	return rep, nil
+}

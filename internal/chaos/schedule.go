@@ -1,0 +1,288 @@
+// Package chaos is the deterministic chaos harness: it boots a live DUP
+// cluster where every node's endpoint sits behind its own fault wrapper
+// (dup/internal/faults), plays a seeded schedule of partitions, crashes,
+// kills and loss bursts against it while issuing queries, and then checks
+// the invariants the protocol promises to keep:
+//
+//   - convergence: after the faults heal, every node resolves queries to
+//     at least the authority's version within a bounded time;
+//   - tree consistency: subscriber lists agree with the repaired DUP tree
+//     — every node that believes it is subscribed is actually reached by
+//     authority pushes, and no list entry points outside the cluster;
+//   - no leaks: once the cluster stops, every pooled message has been
+//     returned.
+//
+// The schedule is a pure function of the seed, and the report contains
+// only the schedule and the invariant verdicts, so two runs with the same
+// configuration produce byte-identical reports — a failing seed is a
+// reproducible bug.
+package chaos
+
+import (
+	"fmt"
+	"time"
+
+	"dup/internal/rng"
+)
+
+// Config parametrises one chaos run.
+type Config struct {
+	// Seed drives the schedule and every derived randomness. Same seed,
+	// same schedule.
+	Seed uint64
+	// Nodes and MaxDegree shape the cluster (min 8 nodes, so there is
+	// room to disturb a quarter of them).
+	Nodes     int
+	MaxDegree int
+	// Steps is how many schedule steps to play; StepEvery the pause
+	// between them.
+	Steps     int
+	StepEvery time.Duration
+	// QueriesPerStep is how many round-robin queries accompany each step,
+	// on top of the standing queries that keep the hot nodes subscribed.
+	QueriesPerStep int
+}
+
+// DefaultConfig returns a small run that finishes in a few seconds.
+func DefaultConfig() Config {
+	return Config{
+		Seed:           1,
+		Nodes:          12,
+		MaxDegree:      3,
+		Steps:          12,
+		StepEvery:      60 * time.Millisecond,
+		QueriesPerStep: 4,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.Nodes == 0 {
+		c.Nodes = d.Nodes
+	}
+	if c.MaxDegree == 0 {
+		c.MaxDegree = d.MaxDegree
+	}
+	if c.Steps == 0 {
+		c.Steps = d.Steps
+	}
+	if c.StepEvery == 0 {
+		c.StepEvery = d.StepEvery
+	}
+	if c.QueriesPerStep == 0 {
+		c.QueriesPerStep = d.QueriesPerStep
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.Nodes < 8:
+		return fmt.Errorf("chaos: need at least 8 nodes, got %d", c.Nodes)
+	case c.MaxDegree < 2:
+		return fmt.Errorf("chaos: need MaxDegree >= 2, got %d", c.MaxDegree)
+	case c.Steps < 1:
+		return fmt.Errorf("chaos: need at least 1 step, got %d", c.Steps)
+	case c.StepEvery <= 0:
+		return fmt.Errorf("chaos: need StepEvery > 0, got %v", c.StepEvery)
+	case c.QueriesPerStep < 0:
+		return fmt.Errorf("chaos: need QueriesPerStep >= 0, got %d", c.QueriesPerStep)
+	}
+	return nil
+}
+
+// Op enumerates the fault operations a schedule can play.
+type Op uint8
+
+const (
+	// OpPartition blocks both directions between nodes A and B.
+	OpPartition Op = iota
+	// OpHeal undoes a partition between A and B.
+	OpHeal
+	// OpCrash takes node A's endpoint down (outbound dropped, inbound
+	// refused) without the directory learning anything.
+	OpCrash
+	// OpRestart brings a crashed endpoint back.
+	OpRestart
+	// OpKill fails node A at the process level: the directory oracle
+	// learns of the death, like a DHT whose routing has repaired.
+	OpKill
+	// OpRevive recovers a killed node.
+	OpRevive
+	// OpLoss sets Pct% i.i.d. loss on node A's outbound link.
+	OpLoss
+	// OpCalm sets node A's loss back to zero.
+	OpCalm
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpPartition:
+		return "partition"
+	case OpHeal:
+		return "heal"
+	case OpCrash:
+		return "crash"
+	case OpRestart:
+		return "restart"
+	case OpKill:
+		return "kill"
+	case OpRevive:
+		return "revive"
+	case OpLoss:
+		return "loss"
+	case OpCalm:
+		return "calm"
+	}
+	return "unknown"
+}
+
+// Event is one scheduled fault operation. Events at Step == Config.Steps
+// are the cleanup tail that heals everything before the invariant checks.
+type Event struct {
+	Step int
+	Op   Op
+	A, B int
+	Pct  int // loss percent, OpLoss only
+}
+
+func (e Event) String() string {
+	switch e.Op {
+	case OpPartition, OpHeal:
+		return fmt.Sprintf("step %2d: %s %d <-> %d", e.Step, e.Op, e.A, e.B)
+	case OpLoss:
+		return fmt.Sprintf("step %2d: %s %d%% at %d", e.Step, e.Op, e.Pct, e.A)
+	default:
+		return fmt.Sprintf("step %2d: %s %d", e.Step, e.Op, e.A)
+	}
+}
+
+// schedState tracks which faults are live while generating a schedule.
+type schedState struct {
+	nodes      int
+	disturbed  map[int]bool
+	partitions [][2]int
+	crashed    []int
+	killed     []int
+	lossy      []int
+}
+
+// count is how many nodes are currently disturbed in some way.
+func (s *schedState) count() int {
+	return 2*len(s.partitions) + len(s.crashed) + len(s.killed) + len(s.lossy)
+}
+
+// free lists undisturbed node ids in ascending order.
+func (s *schedState) free() []int {
+	var ids []int
+	for i := 0; i < s.nodes; i++ {
+		if !s.disturbed[i] {
+			ids = append(ids, i)
+		}
+	}
+	return ids
+}
+
+// repair pops the oldest live fault and returns its healing event.
+func (s *schedState) repair(step int) (Event, bool) {
+	switch {
+	case len(s.partitions) > 0:
+		p := s.partitions[0]
+		s.partitions = s.partitions[1:]
+		delete(s.disturbed, p[0])
+		delete(s.disturbed, p[1])
+		return Event{Step: step, Op: OpHeal, A: p[0], B: p[1]}, true
+	case len(s.crashed) > 0:
+		a := s.crashed[0]
+		s.crashed = s.crashed[1:]
+		delete(s.disturbed, a)
+		return Event{Step: step, Op: OpRestart, A: a}, true
+	case len(s.killed) > 0:
+		a := s.killed[0]
+		s.killed = s.killed[1:]
+		delete(s.disturbed, a)
+		return Event{Step: step, Op: OpRevive, A: a}, true
+	case len(s.lossy) > 0:
+		a := s.lossy[0]
+		s.lossy = s.lossy[1:]
+		delete(s.disturbed, a)
+		return Event{Step: step, Op: OpCalm, A: a}, true
+	}
+	return Event{}, false
+}
+
+// Schedule generates the fault schedule for cfg: one event per step, a
+// bounded number of simultaneously disturbed nodes (a quarter of the
+// cluster), and a cleanup tail at step Config.Steps that heals every
+// outstanding fault. It is a pure function of the configuration.
+func Schedule(cfg Config) []Event {
+	cfg = cfg.withDefaults()
+	src := rng.New(cfg.Seed)
+	st := &schedState{nodes: cfg.Nodes, disturbed: map[int]bool{}}
+	limit := cfg.Nodes / 4
+	if limit < 2 {
+		limit = 2
+	}
+	var events []Event
+	for step := 0; step < cfg.Steps; step++ {
+		if st.count() >= limit {
+			if e, ok := st.repair(step); ok {
+				events = append(events, e)
+				continue
+			}
+		}
+		events = append(events, nextEvent(src, st, step))
+	}
+	// Cleanup tail: heal everything so the invariants measure recovery,
+	// not the faults themselves.
+	for {
+		e, ok := st.repair(cfg.Steps)
+		if !ok {
+			break
+		}
+		events = append(events, e)
+	}
+	return events
+}
+
+// nextEvent draws one fault event, falling back to loss (always legal on
+// a free node) or a repair when the preferred op has no candidates.
+func nextEvent(src *rng.Source, st *schedState, step int) Event {
+	free := st.free()
+	pick := func() int { // draw and remove one free node
+		i := src.Intn(len(free))
+		a := free[i]
+		free = append(free[:i], free[i+1:]...)
+		return a
+	}
+	switch op := src.Intn(6); {
+	case op == 0 && len(free) >= 2: // partition a pair
+		a, b := pick(), pick()
+		st.partitions = append(st.partitions, [2]int{a, b})
+		st.disturbed[a], st.disturbed[b] = true, true
+		return Event{Step: step, Op: OpPartition, A: a, B: b}
+	case op == 1 && len(free) >= 1: // crash an endpoint
+		a := pick()
+		st.crashed = append(st.crashed, a)
+		st.disturbed[a] = true
+		return Event{Step: step, Op: OpCrash, A: a}
+	case op == 2 && len(free) >= 1: // kill a process
+		a := pick()
+		st.killed = append(st.killed, a)
+		st.disturbed[a] = true
+		return Event{Step: step, Op: OpKill, A: a}
+	case op == 3: // heal something early
+		if e, ok := st.repair(step); ok {
+			return e
+		}
+	}
+	if len(free) >= 1 { // loss burst, the default disturbance
+		a := pick()
+		pct := 20 + 10*src.Intn(5) // 20%..60%
+		st.lossy = append(st.lossy, a)
+		st.disturbed[a] = true
+		return Event{Step: step, Op: OpLoss, A: a, Pct: pct}
+	}
+	e, _ := st.repair(step) // nothing free: something must be repairable
+	return e
+}

@@ -1,0 +1,254 @@
+// Package faults is the one way to hurt the network: a composable
+// transport middleware that wraps any dup/internal/transport.Transport
+// (in-process channels or TCP sockets) and injects seeded, deterministic
+// failures between the protocol and the wire. It replaces the ad-hoc drop
+// hooks the transports used to carry.
+//
+// A wrapper represents one endpoint's view of the network — in a live
+// cluster each Network (or each node, for per-node fault control) sends
+// through its own wrapper — so every fault is naturally directional:
+// blocking B on A's wrapper kills A→B while B→A still flows, which is
+// exactly the asymmetric-partition shape the churn literature cares
+// about. The injectable faults are:
+//
+//   - probabilistic loss (SetLoss / Config.Loss),
+//   - duplication of delivered messages (Config.Duplicate) — retries and
+//     duplicates must be idempotent at the receiver,
+//   - reordering, by holding a random subset of messages back for a delay
+//     (Config.Reorder / Config.ReorderDelay),
+//   - extra per-message delay with an exponential distribution
+//     (Config.Delay),
+//   - asymmetric partitions (Block / BlockKind and their Unblock pairs),
+//   - crash/restart of the whole endpoint (Crash / Restart): outbound
+//     messages are dropped and inbound deliveries are refused, as if the
+//     process behind the endpoint died with its listener up.
+//
+// All randomness comes from one seeded source, so a single-threaded
+// sender sees a reproducible fault pattern; under true concurrency the
+// per-message rates stay deterministic even though the interleaving does
+// not. Injected drops are folded into Drops/KindDrops along with the
+// wrapped transport's own, so existing accounting keeps working.
+package faults
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dup/internal/proto"
+	"dup/internal/rng"
+	"dup/internal/transport"
+)
+
+// Config parametrises a fault wrapper. The zero value injects nothing.
+type Config struct {
+	// Seed drives every probabilistic draw. Wrappers with the same seed
+	// and the same send sequence make the same decisions.
+	Seed uint64
+	// Loss is the i.i.d. probability that an outbound message is dropped.
+	Loss float64
+	// Duplicate is the probability that an outbound message is delivered
+	// twice (the copy is a deep clone; receivers must dedup).
+	Duplicate float64
+	// Reorder is the probability that an outbound message is held back
+	// for ReorderDelay before delivery, letting later sends overtake it.
+	Reorder float64
+	// ReorderDelay is how long a reordered message is held (default 5ms).
+	ReorderDelay time.Duration
+	// Delay, when positive, adds an exponentially distributed extra delay
+	// with this mean to every outbound message.
+	Delay time.Duration
+	// CloseInner, when set, closes the wrapped transport on Close. Leave
+	// it unset when several wrappers share one fabric (the owner of the
+	// fabric closes it once).
+	CloseInner bool
+}
+
+type blockKey struct {
+	to   int
+	kind proto.Kind
+}
+
+// Transport is the fault-injecting middleware. It implements
+// transport.Transport and forwards to the wrapped transport whatever the
+// configured faults let through.
+type Transport struct {
+	inner transport.Transport
+	cfg   Config
+
+	mu          sync.Mutex
+	src         *rng.Source
+	loss        float64
+	blockedTo   map[int]bool
+	blockedKind map[blockKey]bool
+
+	down   atomic.Bool
+	closed atomic.Bool
+
+	injected  atomic.Int64
+	kindDrops [proto.NumKinds]atomic.Int64
+}
+
+var _ transport.Transport = (*Transport)(nil)
+
+// Wrap returns a fault wrapper around inner.
+func Wrap(inner transport.Transport, cfg Config) *Transport {
+	if cfg.ReorderDelay <= 0 {
+		cfg.ReorderDelay = 5 * time.Millisecond
+	}
+	return &Transport{
+		inner:       inner,
+		cfg:         cfg,
+		src:         rng.New(cfg.Seed),
+		loss:        cfg.Loss,
+		blockedTo:   make(map[int]bool),
+		blockedKind: make(map[blockKey]bool),
+	}
+}
+
+// Register installs the handler for node id on the wrapped transport,
+// interposing the endpoint's crash state: while the endpoint is down,
+// inbound deliveries are refused (and counted as drops by the inner
+// transport, where the message arrived).
+func (f *Transport) Register(id int, h transport.Handler) {
+	f.inner.Register(id, func(m *proto.Message) bool {
+		if f.down.Load() || f.closed.Load() {
+			return false
+		}
+		return h(m)
+	})
+}
+
+// Send applies the configured faults to m and forwards whatever survives.
+func (f *Transport) Send(m *proto.Message) {
+	if f.closed.Load() || f.down.Load() {
+		f.drop(m)
+		return
+	}
+	f.mu.Lock()
+	if f.blockedTo[m.To] || f.blockedKind[blockKey{m.To, m.Kind}] {
+		f.mu.Unlock()
+		f.drop(m)
+		return
+	}
+	lost := f.loss > 0 && f.src.Float64() < f.loss
+	duped := !lost && f.cfg.Duplicate > 0 && f.src.Float64() < f.cfg.Duplicate
+	held := !lost && f.cfg.Reorder > 0 && f.src.Float64() < f.cfg.Reorder
+	var extra time.Duration
+	if !lost && f.cfg.Delay > 0 {
+		extra = time.Duration(-float64(f.cfg.Delay) * math.Log(f.src.Float64Open()))
+	}
+	f.mu.Unlock()
+	if lost {
+		f.drop(m)
+		return
+	}
+	if duped {
+		f.forward(proto.Clone(m), 0)
+	}
+	if held {
+		extra += f.cfg.ReorderDelay
+	}
+	f.forward(m, extra)
+}
+
+// forward hands m to the inner transport, after delay when positive.
+func (f *Transport) forward(m *proto.Message, delay time.Duration) {
+	if delay <= 0 {
+		f.inner.Send(m)
+		return
+	}
+	time.AfterFunc(delay, func() {
+		if f.closed.Load() || f.down.Load() {
+			f.drop(m)
+			return
+		}
+		f.inner.Send(m)
+	})
+}
+
+func (f *Transport) drop(m *proto.Message) {
+	f.injected.Add(1)
+	if int(m.Kind) < proto.NumKinds {
+		f.kindDrops[m.Kind].Add(1)
+	}
+	proto.Release(m)
+}
+
+// SetLoss changes the i.i.d. outbound loss probability (0 disables).
+func (f *Transport) SetLoss(p float64) {
+	f.mu.Lock()
+	f.loss = p
+	f.mu.Unlock()
+}
+
+// Block makes node id unreachable from this endpoint: every outbound
+// message to it is dropped. Traffic from id keeps arriving — that is the
+// asymmetric half of a partition; block the reverse direction on the
+// other endpoint's wrapper for a full partition.
+func (f *Transport) Block(id int) {
+	f.mu.Lock()
+	f.blockedTo[id] = true
+	f.mu.Unlock()
+}
+
+// Unblock lifts a Block.
+func (f *Transport) Unblock(id int) {
+	f.mu.Lock()
+	delete(f.blockedTo, id)
+	f.mu.Unlock()
+}
+
+// BlockKind drops only outbound messages of kind k addressed to id —
+// e.g. lose pushes to one neighbour while its keep-alives flow.
+func (f *Transport) BlockKind(id int, k proto.Kind) {
+	f.mu.Lock()
+	f.blockedKind[blockKey{id, k}] = true
+	f.mu.Unlock()
+}
+
+// UnblockKind lifts a BlockKind.
+func (f *Transport) UnblockKind(id int, k proto.Kind) {
+	f.mu.Lock()
+	delete(f.blockedKind, blockKey{id, k})
+	f.mu.Unlock()
+}
+
+// Crash takes the endpoint down: outbound messages are dropped here and
+// inbound deliveries are refused at the wrapped handlers, in both cases
+// invisible to the peers until their failure detectors notice.
+func (f *Transport) Crash() { f.down.Store(true) }
+
+// Restart brings a crashed endpoint back.
+func (f *Transport) Restart() { f.down.Store(false) }
+
+// Down reports whether the endpoint is currently crashed.
+func (f *Transport) Down() bool { return f.down.Load() }
+
+// Injected reports how many messages this wrapper itself dropped
+// (partitions, loss, crash), excluding the wrapped transport's drops.
+func (f *Transport) Injected() int64 { return f.injected.Load() }
+
+// Drops reports injected drops plus the wrapped transport's own.
+func (f *Transport) Drops() int64 { return f.injected.Load() + f.inner.Drops() }
+
+// KindDrops reports per-kind drops, injected plus inner.
+func (f *Transport) KindDrops() [proto.NumKinds]int64 {
+	out := f.inner.KindDrops()
+	for k := range out {
+		out[k] += f.kindDrops[k].Load()
+	}
+	return out
+}
+
+// Close shuts the wrapper down; the wrapped transport is closed too when
+// Config.CloseInner is set. Held (reordered/delayed) messages are
+// released when their timers fire.
+func (f *Transport) Close() error {
+	f.closed.Store(true)
+	if f.cfg.CloseInner {
+		return f.inner.Close()
+	}
+	return nil
+}

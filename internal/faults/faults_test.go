@@ -1,0 +1,260 @@
+package faults
+
+import (
+	"testing"
+	"time"
+
+	"dup/internal/proto"
+	"dup/internal/transport"
+)
+
+// sink is a test handler counting deliveries per (kind, seq).
+type sink struct {
+	ch chan proto.Message
+}
+
+func newSink() *sink { return &sink{ch: make(chan proto.Message, 1024)} }
+
+func (s *sink) handler() transport.Handler {
+	return func(m *proto.Message) bool {
+		cp := *m
+		cp.Path = nil
+		s.ch <- cp
+		proto.Release(m)
+		return true
+	}
+}
+
+func (s *sink) collect(d time.Duration) []proto.Message {
+	var got []proto.Message
+	deadline := time.After(d)
+	for {
+		select {
+		case m := <-s.ch:
+			got = append(got, m)
+		case <-deadline:
+			return got
+		}
+	}
+}
+
+func send(f *Transport, kind proto.Kind, to int, seq int64) {
+	m := proto.NewMessage()
+	m.Kind, m.To, m.Seq = kind, to, seq
+	f.Send(m)
+}
+
+func wrapped(t *testing.T, cfg Config) (*Transport, *sink) {
+	t.Helper()
+	cfg.CloseInner = true
+	f := Wrap(transport.NewChan(transport.ChanConfig{}), cfg)
+	t.Cleanup(func() { f.Close() })
+	s := newSink()
+	f.Register(1, s.handler())
+	return f, s
+}
+
+func TestNoFaultsPassesEverythingThrough(t *testing.T) {
+	f, s := wrapped(t, Config{Seed: 1})
+	for i := 0; i < 50; i++ {
+		send(f, proto.KindPush, 1, int64(i))
+	}
+	if got := s.collect(50 * time.Millisecond); len(got) != 50 {
+		t.Fatalf("delivered %d of 50", len(got))
+	}
+	if f.Drops() != 0 || f.Injected() != 0 {
+		t.Fatalf("drops = %d injected = %d, want 0", f.Drops(), f.Injected())
+	}
+}
+
+func TestLossIsSeededAndReproducible(t *testing.T) {
+	deliveredWith := func(seed uint64) []int64 {
+		f := Wrap(transport.NewChan(transport.ChanConfig{}), Config{Seed: seed, Loss: 0.5, CloseInner: true})
+		defer f.Close()
+		s := newSink()
+		f.Register(1, s.handler())
+		for i := 0; i < 200; i++ {
+			send(f, proto.KindPush, 1, int64(i))
+		}
+		var seqs []int64
+		for _, m := range s.collect(50 * time.Millisecond) {
+			seqs = append(seqs, m.Seq)
+		}
+		return seqs
+	}
+	a, b := deliveredWith(7), deliveredWith(7)
+	if len(a) == 0 || len(a) == 200 {
+		t.Fatalf("loss 0.5 delivered %d of 200", len(a))
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed delivered %d vs %d messages", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	if c := deliveredWith(8); len(c) == len(a) && equal(c, a) {
+		t.Fatal("different seeds produced the identical loss pattern")
+	}
+}
+
+func equal(a, b []int64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestDuplicationDeliversCopies(t *testing.T) {
+	f, s := wrapped(t, Config{Seed: 3, Duplicate: 1})
+	for i := 0; i < 10; i++ {
+		send(f, proto.KindPush, 1, int64(i))
+	}
+	got := s.collect(100 * time.Millisecond)
+	if len(got) != 20 {
+		t.Fatalf("delivered %d, want 20 (every message doubled)", len(got))
+	}
+	perSeq := map[int64]int{}
+	for _, m := range got {
+		perSeq[m.Seq]++
+	}
+	for seq, n := range perSeq {
+		if n != 2 {
+			t.Fatalf("seq %d delivered %d times, want 2", seq, n)
+		}
+	}
+}
+
+func TestReorderHoldsMessagesBack(t *testing.T) {
+	// Hold the first message; deliver the rest straight through. With a
+	// 30ms hold, seq 0 must arrive after seq 1..9 — a genuine reorder.
+	f := Wrap(transport.NewChan(transport.ChanConfig{}),
+		Config{Seed: 1, CloseInner: true, ReorderDelay: 30 * time.Millisecond})
+	defer f.Close()
+	s := newSink()
+	f.Register(1, s.handler())
+	f.cfg.Reorder = 1 // deterministically hold...
+	send(f, proto.KindPush, 1, 0)
+	f.cfg.Reorder = 0 // ...only the first
+	for i := 1; i < 10; i++ {
+		send(f, proto.KindPush, 1, int64(i))
+	}
+	got := s.collect(100 * time.Millisecond)
+	if len(got) != 10 {
+		t.Fatalf("delivered %d of 10", len(got))
+	}
+	if got[len(got)-1].Seq != 0 {
+		t.Fatalf("held message arrived at position %d, want last", func() int {
+			for i, m := range got {
+				if m.Seq == 0 {
+					return i
+				}
+			}
+			return -1
+		}())
+	}
+}
+
+func TestAsymmetricBlock(t *testing.T) {
+	inner := transport.NewChan(transport.ChanConfig{})
+	a := Wrap(inner, Config{Seed: 1})
+	b := Wrap(inner, Config{Seed: 2, CloseInner: true})
+	defer b.Close()
+	defer a.Close()
+	sa, sb := newSink(), newSink()
+	a.Register(1, sa.handler()) // node 1 lives behind a
+	b.Register(2, sb.handler()) // node 2 lives behind b
+
+	a.Block(2) // A→B dead, B→A alive
+	send(a, proto.KindPush, 2, 0)
+	send(b, proto.KindPush, 1, 1)
+	if got := sb.collect(30 * time.Millisecond); len(got) != 0 {
+		t.Fatalf("blocked direction delivered %d messages", len(got))
+	}
+	if got := sa.collect(30 * time.Millisecond); len(got) != 1 {
+		t.Fatalf("open direction delivered %d messages, want 1", len(got))
+	}
+	if a.Injected() != 1 {
+		t.Fatalf("a injected %d drops, want 1", a.Injected())
+	}
+	if kd := a.KindDrops(); kd[proto.KindPush] != 1 {
+		t.Fatalf("kind drops = %v, want one push", kd)
+	}
+
+	a.Unblock(2)
+	send(a, proto.KindPush, 2, 2)
+	if got := sb.collect(30 * time.Millisecond); len(got) != 1 {
+		t.Fatalf("unblocked direction delivered %d messages, want 1", len(got))
+	}
+}
+
+func TestBlockKindIsSelective(t *testing.T) {
+	f, s := wrapped(t, Config{Seed: 1})
+	f.BlockKind(1, proto.KindPush)
+	send(f, proto.KindPush, 1, 0)
+	send(f, proto.KindKeepAlive, 1, 1)
+	got := s.collect(30 * time.Millisecond)
+	if len(got) != 1 || got[0].Kind != proto.KindKeepAlive {
+		t.Fatalf("got %v, want only the keep-alive", got)
+	}
+	f.UnblockKind(1, proto.KindPush)
+	send(f, proto.KindPush, 1, 2)
+	if got := s.collect(30 * time.Millisecond); len(got) != 1 || got[0].Kind != proto.KindPush {
+		t.Fatalf("got %v after unblock, want the push", got)
+	}
+}
+
+func TestCrashCutsBothDirections(t *testing.T) {
+	inner := transport.NewChan(transport.ChanConfig{})
+	a := Wrap(inner, Config{Seed: 1})
+	b := Wrap(inner, Config{Seed: 2, CloseInner: true})
+	defer b.Close()
+	defer a.Close()
+	sa, sb := newSink(), newSink()
+	a.Register(1, sa.handler())
+	b.Register(2, sb.handler())
+
+	b.Crash()
+	send(b, proto.KindPush, 1, 0) // outbound from the crashed endpoint
+	send(a, proto.KindPush, 2, 1) // inbound to the crashed endpoint
+	if got := sa.collect(30 * time.Millisecond); len(got) != 0 {
+		t.Fatalf("crashed endpoint still sent %d messages", len(got))
+	}
+	if got := sb.collect(30 * time.Millisecond); len(got) != 0 {
+		t.Fatalf("crashed endpoint still received %d messages", len(got))
+	}
+	if !b.Down() {
+		t.Fatal("Down() = false after Crash")
+	}
+
+	b.Restart()
+	send(b, proto.KindPush, 1, 2)
+	send(a, proto.KindPush, 2, 3)
+	if got := sa.collect(50 * time.Millisecond); len(got) != 1 {
+		t.Fatalf("restarted endpoint sent %d messages, want 1", len(got))
+	}
+	if got := sb.collect(50 * time.Millisecond); len(got) != 1 {
+		t.Fatalf("restarted endpoint received %d messages, want 1", len(got))
+	}
+}
+
+func TestNoPooledMessageLeaks(t *testing.T) {
+	base := proto.InUse()
+	f, s := wrapped(t, Config{Seed: 5, Loss: 0.3, Duplicate: 0.3, Reorder: 0.3,
+		ReorderDelay: 2 * time.Millisecond, Delay: time.Millisecond})
+	for i := 0; i < 300; i++ {
+		send(f, proto.KindPush, 1, int64(i))
+	}
+	send(f, proto.KindPush, 99, 0) // unregistered: inner drop
+	s.collect(150 * time.Millisecond)
+	deadline := time.Now().Add(2 * time.Second)
+	for proto.InUse() > base {
+		if time.Now().After(deadline) {
+			t.Fatalf("%d pooled messages leaked", proto.InUse()-base)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

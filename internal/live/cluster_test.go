@@ -5,18 +5,21 @@ import (
 	"testing"
 	"time"
 
+	"dup/internal/faults"
 	"dup/internal/proto"
 	"dup/internal/topology"
 	"dup/internal/transport"
 )
 
 // bootTCPCluster starts one Network per host set, each on its own TCP
-// transport bound to 127.0.0.1, all sharing one MemDirectory — a loopback
-// stand-in for a multi-process deployment. Every message between host
-// sets crosses a real socket.
-func bootTCPCluster(t *testing.T, cfg Config, hostSets [][]int) ([]*Network, []*transport.TCP) {
+// transport bound to 127.0.0.1 behind a fault wrapper, all sharing one
+// MemDirectory — a loopback stand-in for a multi-process deployment.
+// Every message between host sets crosses a real socket, and each
+// endpoint's wrapper is the handle for hurting it.
+func bootTCPCluster(t *testing.T, cfg Config, hostSets [][]int) ([]*Network, []*faults.Transport) {
 	t.Helper()
-	trs := make([]*transport.TCP, len(hostSets))
+	tcps := make([]*transport.TCP, len(hostSets))
+	trs := make([]*faults.Transport, len(hostSets))
 	for i := range hostSets {
 		tr, err := transport.NewTCP(transport.TCPConfig{
 			Listen:      "127.0.0.1:0",
@@ -27,22 +30,23 @@ func bootTCPCluster(t *testing.T, cfg Config, hostSets [][]int) ([]*Network, []*
 		if err != nil {
 			t.Fatal(err)
 		}
-		trs[i] = tr
+		tcps[i] = tr
+		trs[i] = faults.Wrap(tr, faults.Config{Seed: uint64(i + 1), CloseInner: true})
 	}
 	addrOf := map[int]string{}
 	for i, hosts := range hostSets {
 		for _, id := range hosts {
-			addrOf[id] = trs[i].Addr()
+			addrOf[id] = tcps[i].Addr()
 		}
 	}
-	for i := range trs {
+	for i := range tcps {
 		local := map[int]bool{}
 		for _, id := range hostSets[i] {
 			local[id] = true
 		}
 		for id, addr := range addrOf {
 			if !local[id] {
-				trs[i].SetPeer(id, addr)
+				tcps[i].SetPeer(id, addr)
 			}
 		}
 	}
@@ -159,12 +163,12 @@ func TestTCPLoopbackCluster(t *testing.T) {
 	}
 }
 
-// TestTCPClusterKeepAliveMissSubstitute isolates a leaf with the drop
-// hook and asserts the exact Section III-C consequence: the branch point
+// TestTCPClusterKeepAliveMissSubstitute isolates a leaf with the fault
+// wrapper and asserts the exact Section III-C consequence: the branch point
 // above it misses keep-alives, synthesises the unsubscribe, leaves the
 // DUP tree with substitute(self, remaining), and the intermediate node
 // forwards the substitution — two substitute emissions, deterministically.
-// Clearing the hook lets the leaf rejoin and resolve queries again.
+// Healing the faults lets the leaf rejoin and resolve queries again.
 func TestTCPClusterKeepAliveMissSubstitute(t *testing.T) {
 	//   0 - 1 - 2 - {3, 4}
 	tree := topology.FromParents([]int{-1, 0, 1, 2, 2})
@@ -206,10 +210,11 @@ func TestTCPClusterKeepAliveMissSubstitute(t *testing.T) {
 	}
 	base := netA.Stats().Substitutes
 
-	// Cut node 3 off in both directions: everything it sends and
-	// everything sent to it is dropped. Node 2 now misses 3's keep-alives.
-	trB.SetDropHook(func(m *proto.Message) bool { return true })
-	trA.SetDropHook(func(m *proto.Message) bool { return m.To == 3 })
+	// Cut node 3 off in both directions: its endpoint crashes (outbound
+	// dropped, inbound refused) and side A additionally drops traffic to
+	// it at the source. Node 2 now misses 3's keep-alives.
+	trB.Crash()
+	trA.Block(3)
 
 	// Section III-C: 2's failure detector fires, it unsubscribes 3, drops
 	// to one subscriber, and leaves the tree with substitute(2, 4); node 1
@@ -231,8 +236,8 @@ func TestTCPClusterKeepAliveMissSubstitute(t *testing.T) {
 
 	// Heal the partition: node 3 answers queries again (through whatever
 	// ancestor it re-homed under while isolated).
-	trB.SetDropHook(nil)
-	trA.SetDropHook(nil)
+	trB.Restart()
+	trA.Unblock(3)
 	waitUntil(t, 5*time.Second, "leaf 3 to resolve queries after healing", func() bool {
 		_, err := netB.Query(3, 500*time.Millisecond)
 		return err == nil

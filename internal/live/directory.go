@@ -70,18 +70,26 @@ func (d *MemDirectory) RootID() int {
 	return d.rootID
 }
 
-// Parent returns the current routing parent of id.
+// Parent returns the current routing parent of id, or -1 for an id the
+// directory does not know.
 func (d *MemDirectory) Parent(id int) int {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if id < 0 || id >= len(d.parent) {
+		return -1
+	}
 	return d.parent[id]
 }
 
-// SetParent records a repair.
+// SetParent records a repair. Unknown ids and unknown parents (other
+// than -1, the root marker) are ignored rather than corrupting state.
 func (d *MemDirectory) SetParent(id, parent int) {
 	d.mu.Lock()
+	defer d.mu.Unlock()
+	if id < 0 || id >= len(d.parent) || parent < -1 || parent >= len(d.parent) {
+		return
+	}
 	d.parent[id] = parent
-	d.mu.Unlock()
 }
 
 // AliveAncestor walks the directory upward from id until it reaches a
@@ -92,6 +100,9 @@ func (d *MemDirectory) AliveAncestor(id int, suspect func(int) bool) int {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if id < 0 || id >= len(d.parent) {
+		return -1
+	}
 	p := d.parent[id]
 	for hops := 0; p != -1 && hops < len(d.parent); hops++ {
 		if !d.dead[p] && !suspect(p) {
@@ -109,7 +120,7 @@ func (d *MemDirectory) AliveAncestor(id int, suspect func(int) bool) int {
 func (d *MemDirectory) Promote(id int) bool {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if !d.dead[d.rootID] {
+	if id < 0 || id >= len(d.parent) || !d.dead[d.rootID] {
 		return false
 	}
 	d.rootID = id
@@ -117,11 +128,14 @@ func (d *MemDirectory) Promote(id int) bool {
 	return true
 }
 
-// SetDead records harness-level liveness.
+// SetDead records harness-level liveness; unknown ids are ignored.
 func (d *MemDirectory) SetDead(id int, dead bool) {
 	d.mu.Lock()
+	defer d.mu.Unlock()
+	if id < 0 || id >= len(d.dead) {
+		return
+	}
 	d.dead[id] = dead
-	d.mu.Unlock()
 }
 
 // Revive marks id alive and reports whether it still holds the authority
@@ -129,6 +143,9 @@ func (d *MemDirectory) SetDead(id int, dead bool) {
 func (d *MemDirectory) Revive(id int) bool {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if id < 0 || id >= len(d.dead) {
+		return false
+	}
 	d.dead[id] = false
 	return d.rootID == id
 }
@@ -145,6 +162,7 @@ type StaticDirectory struct {
 	mu     sync.Mutex
 	parent []int
 	rootID int
+	closed bool
 }
 
 // NewStaticDirectory returns a directory seeded from the static tree.
@@ -164,18 +182,26 @@ func (d *StaticDirectory) RootID() int {
 	return d.rootID
 }
 
-// Parent returns the current routing parent of id.
+// Parent returns the current routing parent of id, or -1 for an id the
+// directory does not know (or after Close).
 func (d *StaticDirectory) Parent(id int) int {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.closed || id < 0 || id >= len(d.parent) {
+		return -1
+	}
 	return d.parent[id]
 }
 
-// SetParent records a repair.
+// SetParent records a repair. Unknown ids and unknown parents (other
+// than -1, the root marker) are ignored, as is any write after Close.
 func (d *StaticDirectory) SetParent(id, parent int) {
 	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed || id < 0 || id >= len(d.parent) || parent < -1 || parent >= len(d.parent) {
+		return
+	}
 	d.parent[id] = parent
-	d.mu.Unlock()
 }
 
 // AliveAncestor walks upward skipping the caller's suspects; without a
@@ -186,6 +212,9 @@ func (d *StaticDirectory) AliveAncestor(id int, suspect func(int) bool) int {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.closed || id < 0 || id >= len(d.parent) {
+		return -1
+	}
 	p := d.parent[id]
 	for hops := 0; p != -1 && hops < len(d.parent); hops++ {
 		if !suspect(p) {
@@ -203,6 +232,9 @@ func (d *StaticDirectory) AliveAncestor(id int, suspect func(int) bool) int {
 func (d *StaticDirectory) Promote(id int) bool {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.closed || id < 0 || id >= len(d.parent) {
+		return false
+	}
 	d.rootID = id
 	d.parent[id] = -1
 	return true
@@ -216,5 +248,15 @@ func (d *StaticDirectory) SetDead(id int, dead bool) {}
 func (d *StaticDirectory) Revive(id int) bool {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return d.rootID == id
+	return !d.closed && d.rootID == id
+}
+
+// Close releases the directory: further lookups behave as if the tree
+// were empty (Parent/AliveAncestor return -1, writes are ignored). A
+// dupd process calls this after its Network stops, so a stray late
+// lookup cannot resurrect routing state.
+func (d *StaticDirectory) Close() {
+	d.mu.Lock()
+	d.closed = true
+	d.mu.Unlock()
 }

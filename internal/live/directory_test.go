@@ -1,0 +1,92 @@
+package live
+
+import (
+	"testing"
+
+	"dup/internal/topology"
+	"dup/internal/transport"
+)
+
+func testTree() *topology.Tree {
+	return topology.FromParents([]int{-1, 0, 0, 1})
+}
+
+func TestMemDirectoryUnknownIDs(t *testing.T) {
+	d := NewMemDirectory(testTree())
+	if got := d.Parent(-1); got != -1 {
+		t.Fatalf("Parent(-1) = %d, want -1", got)
+	}
+	if got := d.Parent(99); got != -1 {
+		t.Fatalf("Parent(99) = %d, want -1", got)
+	}
+	if got := d.AliveAncestor(-5, nil); got != -1 {
+		t.Fatalf("AliveAncestor(-5) = %d, want -1", got)
+	}
+	d.SetParent(99, 0)  // ignored
+	d.SetParent(1, 99)  // unknown parent: ignored
+	d.SetDead(99, true) // ignored
+	if d.Parent(1) != 0 {
+		t.Fatalf("Parent(1) = %d after bogus writes, want 0", d.Parent(1))
+	}
+	if d.Promote(-1) {
+		t.Fatal("Promote(-1) succeeded")
+	}
+	if d.Revive(99) {
+		t.Fatal("Revive(99) reported a root")
+	}
+}
+
+func TestStaticDirectoryUnknownIDs(t *testing.T) {
+	d := NewStaticDirectory(testTree())
+	if got := d.Parent(99); got != -1 {
+		t.Fatalf("Parent(99) = %d, want -1", got)
+	}
+	if got := d.AliveAncestor(99, nil); got != -1 {
+		t.Fatalf("AliveAncestor(99) = %d, want -1", got)
+	}
+	d.SetParent(99, 0)
+	d.SetParent(1, 99)
+	if d.Parent(1) != 0 {
+		t.Fatalf("Parent(1) = %d after bogus writes, want 0", d.Parent(1))
+	}
+	if d.Promote(99) {
+		t.Fatal("Promote(99) succeeded")
+	}
+}
+
+func TestStaticDirectoryLookupAfterClose(t *testing.T) {
+	d := NewStaticDirectory(testTree())
+	if d.Parent(3) != 1 {
+		t.Fatalf("Parent(3) = %d before Close, want 1", d.Parent(3))
+	}
+	d.Close()
+	if got := d.Parent(3); got != -1 {
+		t.Fatalf("Parent(3) = %d after Close, want -1", got)
+	}
+	if got := d.AliveAncestor(3, nil); got != -1 {
+		t.Fatalf("AliveAncestor(3) = %d after Close, want -1", got)
+	}
+	if d.Promote(2) {
+		t.Fatal("Promote succeeded after Close")
+	}
+	if d.Revive(0) {
+		t.Fatal("Revive reported a root after Close")
+	}
+	d.SetParent(3, 0) // ignored
+	d.Close()         // idempotent
+}
+
+func TestStartWithDuplicateHostsFails(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Tree = testTree()
+	tr := transport.NewChan(transport.ChanConfig{})
+	defer tr.Close()
+	_, err := StartWith(cfg, Options{
+		Transport: tr,
+		Directory: NewMemDirectory(testTree()),
+		Hosts:     []int{1, 2, 1},
+	})
+	if err == nil {
+		t.Fatal("StartWith accepted a duplicate host registration")
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dup/internal/proto"
 	"dup/internal/rng"
 	"dup/internal/topology"
 	"dup/internal/transport"
@@ -44,6 +45,14 @@ type Config struct {
 	// for DeadAfter is declared failed.
 	KeepAliveEvery time.Duration
 	DeadAfter      time.Duration
+	// RetransmitAfter is the initial backoff before an unacknowledged
+	// reliable message (push, subscribe, unsubscribe, substitute) is sent
+	// again; it doubles per retry. Zero means KeepAliveEvery.
+	RetransmitAfter time.Duration
+	// RetransmitDeadline bounds how long a reliable message may stay
+	// unacknowledged before the sender gives up and escalates into the
+	// Section III-C repair path. Zero means DeadAfter.
+	RetransmitDeadline time.Duration
 	// Seed drives topology generation and latency jitter. Every process
 	// of a multi-process cluster must use the same Seed (and Nodes and
 	// MaxDegree) so they derive the same tree.
@@ -88,8 +97,30 @@ func (c *Config) Validate() error {
 	case c.KeepAliveEvery <= 0 || c.DeadAfter <= c.KeepAliveEvery:
 		return fmt.Errorf("live: need DeadAfter > KeepAliveEvery > 0, got %v, %v",
 			c.DeadAfter, c.KeepAliveEvery)
+	case c.RetransmitAfter < 0 || c.RetransmitDeadline < 0:
+		return fmt.Errorf("live: need RetransmitAfter and RetransmitDeadline >= 0, got %v, %v",
+			c.RetransmitAfter, c.RetransmitDeadline)
+	case c.retransmitDeadline() <= c.retransmitAfter():
+		return fmt.Errorf("live: need RetransmitDeadline > RetransmitAfter, got %v, %v",
+			c.retransmitDeadline(), c.retransmitAfter())
 	}
 	return nil
+}
+
+// retransmitAfter resolves the effective initial retransmit backoff.
+func (c *Config) retransmitAfter() time.Duration {
+	if c.RetransmitAfter > 0 {
+		return c.RetransmitAfter
+	}
+	return c.KeepAliveEvery
+}
+
+// retransmitDeadline resolves the effective retransmit give-up bound.
+func (c *Config) retransmitDeadline() time.Duration {
+	if c.RetransmitDeadline > 0 {
+		return c.RetransmitDeadline
+	}
+	return c.DeadAfter
 }
 
 // BuildTree returns the index search tree the configuration describes: the
@@ -119,7 +150,24 @@ type Stats struct {
 	Subscribes  int64
 	Substitutes int64
 	KeepAlives  int64
-	Drops       int64 // messages dropped by the transport (dead or unreachable nodes)
+	// Drops counts messages the transport dropped (dead or unreachable
+	// nodes, full queues, injected faults); DropsByKind breaks it down by
+	// message kind.
+	Drops       int64
+	DropsByKind [proto.NumKinds]int64
+	// Delivery guarantees: Retransmits counts re-sent reliable messages,
+	// Acks counts acknowledgements received back, DupSuppressed counts
+	// retransmitted or duplicated copies the receiver recognised and
+	// absorbed, and RetransmitGiveUps counts reliable sends abandoned at
+	// the retransmit deadline (each escalates into the Section III-C
+	// repair path). The ByKind arrays are indexed by proto.Kind.
+	Retransmits         int64
+	RetransmitsByKind   [proto.NumKinds]int64
+	Acks                int64
+	AcksByKind          [proto.NumKinds]int64
+	DupSuppressed       int64
+	DupSuppressedByKind [proto.NumKinds]int64
+	RetransmitGiveUps   int64
 }
 
 // Options parametrises StartWith: which transport carries the messages,
@@ -151,6 +199,10 @@ type Network struct {
 	stats struct {
 		queries, queryHops, localHits              atomic.Int64
 		pushes, subscribes, substitutes, keepAlive atomic.Int64
+		retransmits, acks, dups, giveUps           atomic.Int64
+		retransmitsByKind                          [proto.NumKinds]atomic.Int64
+		acksByKind                                 [proto.NumKinds]atomic.Int64
+		dupsByKind                                 [proto.NumKinds]atomic.Int64
 	}
 
 	stopped atomic.Bool
@@ -222,8 +274,9 @@ func boot(cfg Config, tree *topology.Tree, tr transport.Transport, dir Directory
 	return nw, nil
 }
 
-// Stop shuts the network down: closes the transport and waits for every
-// hosted node goroutine.
+// Stop shuts the network down: closes the transport, waits for every
+// hosted node goroutine, and releases messages still parked in inboxes so
+// pooled-message accounting stays balanced.
 func (nw *Network) Stop() {
 	if nw.stopped.Swap(true) {
 		return
@@ -233,19 +286,77 @@ func (nw *Network) Stop() {
 		close(n.quit)
 	}
 	nw.wg.Wait()
+	for _, n := range nw.hosted {
+		n.drain()
+	}
 }
 
 // Stats returns a snapshot of the network counters.
 func (nw *Network) Stats() Stats {
-	return Stats{
-		Queries:     nw.stats.queries.Load(),
-		QueryHops:   nw.stats.queryHops.Load(),
-		LocalHits:   nw.stats.localHits.Load(),
-		Pushes:      nw.stats.pushes.Load(),
-		Subscribes:  nw.stats.subscribes.Load(),
-		Substitutes: nw.stats.substitutes.Load(),
-		KeepAlives:  nw.stats.keepAlive.Load(),
-		Drops:       nw.tr.Drops(),
+	s := Stats{
+		Queries:           nw.stats.queries.Load(),
+		QueryHops:         nw.stats.queryHops.Load(),
+		LocalHits:         nw.stats.localHits.Load(),
+		Pushes:            nw.stats.pushes.Load(),
+		Subscribes:        nw.stats.subscribes.Load(),
+		Substitutes:       nw.stats.substitutes.Load(),
+		KeepAlives:        nw.stats.keepAlive.Load(),
+		Drops:             nw.tr.Drops(),
+		DropsByKind:       nw.tr.KindDrops(),
+		Retransmits:       nw.stats.retransmits.Load(),
+		Acks:              nw.stats.acks.Load(),
+		DupSuppressed:     nw.stats.dups.Load(),
+		RetransmitGiveUps: nw.stats.giveUps.Load(),
+	}
+	for k := 0; k < proto.NumKinds; k++ {
+		s.RetransmitsByKind[k] = nw.stats.retransmitsByKind[k].Load()
+		s.AcksByKind[k] = nw.stats.acksByKind[k].Load()
+		s.DupSuppressedByKind[k] = nw.stats.dupsByKind[k].Load()
+	}
+	return s
+}
+
+// NodeInfo is a consistent snapshot of one hosted node's protocol state,
+// taken on the node's own goroutine.
+type NodeInfo struct {
+	ID     int
+	Parent int
+	IsRoot bool
+	Dead   bool
+	// HaveCopy/Version/Expiry describe the index copy the node would
+	// serve right now: the authority's own version for the root, the
+	// cached copy otherwise (HaveCopy false when there is none).
+	HaveCopy bool
+	Version  int64
+	Expiry   time.Time
+	// Interested reports whether the node's own query rate crossed the
+	// interest threshold this interval window.
+	Interested bool
+	// Subscribers is the node's DUP subscriber list; PushTargets is who
+	// it forwards a push to (subscribers minus virtual-path absorption).
+	Subscribers []int
+	PushTargets []int
+	// Unacked counts reliable messages still awaiting acknowledgement.
+	Unacked int
+}
+
+// Inspect returns a snapshot of a hosted node's protocol state, taken on
+// the node's own goroutine so it is internally consistent. It works on
+// dead nodes too — the chaos harness uses it to audit repaired trees.
+func (nw *Network) Inspect(id int, timeout time.Duration) (NodeInfo, error) {
+	n := nw.hosted[id]
+	if n == nil {
+		return NodeInfo{}, fmt.Errorf("live: node %d is not hosted here", id)
+	}
+	res := make(chan NodeInfo, 1)
+	if !n.postCtrl(ctrlMsg{kind: cInspect, info: res}) {
+		return NodeInfo{}, fmt.Errorf("live: node %d is overloaded", id)
+	}
+	select {
+	case in := <-res:
+		return in, nil
+	case <-time.After(timeout):
+		return NodeInfo{}, ErrTimeout
 	}
 }
 

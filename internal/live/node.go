@@ -16,6 +16,7 @@ const (
 	cQuery      ctrlKind = iota // external query injection
 	cReset                      // recovery: blank state, adopt new parent
 	cBecomeRoot                 // case 5: take over as authority
+	cInspect                    // state snapshot for Network.Inspect
 )
 
 // ctrlMsg is one local control injection from the Network into a node.
@@ -23,7 +24,64 @@ type ctrlMsg struct {
 	kind     ctrlKind
 	parent   int
 	res      chan QueryResult
+	info     chan NodeInfo
 	deadline time.Time
+}
+
+// reliableKind reports whether k carries tree or index state that must
+// survive message loss: such messages are seq-stamped, acknowledged by
+// the receiver, and retransmitted until acked or given up on.
+func reliableKind(k proto.Kind) bool {
+	switch k {
+	case proto.KindPush, proto.KindSubscribe, proto.KindUnsubscribe, proto.KindSubstitute:
+		return true
+	}
+	return false
+}
+
+// maxUnacked bounds the retransmit queue; beyond it messages go out
+// untracked (fire-and-forget, like before the reliability layer).
+const maxUnacked = 256
+
+// relEntry is one reliable message awaiting acknowledgement: enough of
+// the payload to rebuild it for a retransmission.
+type relEntry struct {
+	kind              proto.Kind
+	to                int
+	subject, old, new int
+	version           int64
+	expiry            float64
+	retryAt, deadline time.Time
+	backoff           time.Duration
+}
+
+// dedupWindow is how many recent sequence numbers a receiver remembers
+// per origin. Eviction is FIFO, which is safe because a sender only ever
+// retransmits its few most recent unacknowledged messages.
+const dedupWindow = 128
+
+// seqWindow dedups inbound (origin, seq) pairs so retransmissions and
+// transport-level duplicates are absorbed instead of re-applied.
+type seqWindow struct {
+	seen map[int64]struct{}
+	fifo []int64
+	next int
+}
+
+// observe records seq and reports whether it was already seen.
+func (w *seqWindow) observe(seq int64) bool {
+	if _, ok := w.seen[seq]; ok {
+		return true
+	}
+	if len(w.fifo) < dedupWindow {
+		w.fifo = append(w.fifo, seq)
+	} else {
+		delete(w.seen, w.fifo[w.next])
+		w.fifo[w.next] = seq
+		w.next = (w.next + 1) % dedupWindow
+	}
+	w.seen[seq] = struct{}{}
+	return false
 }
 
 // pendingQuery is a query issued at this node that is waiting for its
@@ -74,6 +132,14 @@ type node struct {
 	lastAck   time.Time
 	childSeen map[int]time.Time
 	suspects  map[int]time.Time
+
+	// Delivery guarantees. Reliable outbound messages wait in unacked
+	// (keyed by their seq) until the receiver's ack arrives, re-sent with
+	// doubling backoff until the retransmit deadline; seen dedups inbound
+	// (origin, seq) pairs so retries are idempotent.
+	relSeq  int64
+	unacked map[int64]*relEntry
+	seen    map[int]*seqWindow
 }
 
 func newNode(nw *Network, id, parent int) *node {
@@ -89,6 +155,12 @@ func newNode(nw *Network, id, parent int) *node {
 		lastPushed: -1,
 		childSeen:  map[int]time.Time{},
 		suspects:   map[int]time.Time{},
+		// Seeding relSeq from the clock keeps seqs unique across process
+		// restarts, so a rebooted peer's fresh stream is not mistaken for
+		// retransmissions of its previous incarnation's.
+		relSeq:  time.Now().UnixNano(),
+		unacked: map[int64]*relEntry{},
+		seen:    map[int]*seqWindow{},
 	}
 	if parent == -1 {
 		n.isRoot.Store(true)
@@ -133,6 +205,61 @@ func (n *node) newMsg(kind proto.Kind, to int) *proto.Message {
 	return m
 }
 
+// send transmits m, first registering reliable kinds for
+// acknowledgement tracking so a lost message is retransmitted.
+func (n *node) send(m *proto.Message) {
+	if m.To < 0 || m.To == n.id {
+		proto.Release(m)
+		return
+	}
+	if reliableKind(m.Kind) {
+		n.track(m)
+	}
+	n.nw.tr.Send(m)
+}
+
+// track assigns m the next reliable sequence number and files a
+// retransmit entry. The queue is bounded: at capacity the message still
+// goes out once, untracked, counted as a give-up. A newer push to the
+// same target supersedes any older unacked push to it — the receiver
+// only wants the latest version anyway — but inherits the superseded
+// entry's deadline: the clock measures how long the peer has gone
+// without acking, and must not reset just because fresh versions keep
+// coming.
+func (n *node) track(m *proto.Message) {
+	now := time.Now()
+	deadline := now.Add(n.nw.cfg.retransmitDeadline())
+	if m.Kind == proto.KindPush {
+		for seq, e := range n.unacked {
+			if e.kind == proto.KindPush && e.to == m.To {
+				if e.deadline.Before(deadline) {
+					deadline = e.deadline
+				}
+				delete(n.unacked, seq)
+			}
+		}
+	}
+	if len(n.unacked) >= maxUnacked {
+		n.nw.stats.giveUps.Add(1)
+		return
+	}
+	n.relSeq++
+	m.Seq = n.relSeq
+	backoff := n.nw.cfg.retransmitAfter()
+	n.unacked[n.relSeq] = &relEntry{
+		kind:     m.Kind,
+		to:       m.To,
+		subject:  m.Subject,
+		old:      m.Old,
+		new:      m.New,
+		version:  m.Version,
+		expiry:   m.Expiry,
+		retryAt:  now.Add(backoff),
+		deadline: deadline,
+		backoff:  backoff,
+	}
+}
+
 // timeToUnix and unixToTime convert between the node's monotonic-friendly
 // time.Time state and the float64 unix seconds that cross the wire.
 func timeToUnix(t time.Time) float64 {
@@ -164,6 +291,7 @@ func (n *node) run() {
 	for {
 		select {
 		case <-n.quit:
+			n.drain()
 			return
 		case m := <-n.inbox:
 			if n.dead.Load() {
@@ -218,6 +346,30 @@ func (n *node) tick(now time.Time) {
 			delete(n.suspects, id)
 		}
 	}
+	// Retransmit unacknowledged reliable messages with doubling backoff;
+	// at the deadline give up and escalate exactly like a keep-alive miss.
+	for seq, e := range n.unacked {
+		if now.After(e.deadline) {
+			delete(n.unacked, seq)
+			n.nw.stats.giveUps.Add(1)
+			n.escalate(e.to, now)
+			continue
+		}
+		if now.After(e.retryAt) {
+			e.backoff *= 2
+			if limit := 8 * cfg.retransmitAfter(); e.backoff > limit {
+				e.backoff = limit
+			}
+			e.retryAt = now.Add(e.backoff)
+			n.nw.stats.retransmits.Add(1)
+			n.nw.stats.retransmitsByKind[e.kind].Add(1)
+			m := n.newMsg(e.kind, e.to)
+			m.Seq = seq
+			m.Subject, m.Old, m.New = e.subject, e.old, e.new
+			m.Version, m.Expiry = e.version, e.expiry
+			n.nw.tr.Send(m)
+		}
+	}
 	// Abandoned queries: the caller timed out long ago.
 	for seq, p := range n.pending {
 		if now.After(p.expires) {
@@ -241,6 +393,22 @@ func (n *node) suspected(id int) bool {
 	return ok
 }
 
+// escalate reacts to a peer that stopped acknowledging reliable
+// messages: treat it exactly like a keep-alive miss. A dead parent
+// re-homes the node (cases 3/4/5); a dead DUP-tree neighbour is
+// unsubscribed so the subscriber list matches the repaired tree (case 2).
+func (n *node) escalate(to int, now time.Time) {
+	n.suspects[to] = now
+	if to == n.parent {
+		n.parentDied(now)
+		return
+	}
+	delete(n.childSeen, to)
+	if n.st.Contains(to) {
+		n.emit(n.st.HandleUnsubscribe(to))
+	}
+}
+
 // parentDied repairs after a keep-alive timeout: re-home under the nearest
 // believed-alive ancestor (the underlying DHT's routing repair),
 // re-announce any virtual path (cases 3/4), or take over as authority when
@@ -249,6 +417,13 @@ func (n *node) parentDied(now time.Time) {
 	n.lastAck = now // do not re-trigger while repairing
 	if n.parent >= 0 {
 		n.suspects[n.parent] = now
+		// Abandon reliable messages aimed at the dead parent: re-homing
+		// re-announces the virtual path, which supersedes them.
+		for seq, e := range n.unacked {
+			if e.to == n.parent {
+				delete(n.unacked, seq)
+			}
+		}
 	}
 	newParent := n.nw.dir.AliveAncestor(n.id, n.suspected)
 	if newParent == -1 || newParent == n.id {
@@ -263,7 +438,7 @@ func (n *node) parentDied(now time.Time) {
 		n.nw.stats.subscribes.Add(1)
 		m := n.newMsg(proto.KindSubscribe, newParent)
 		m.Subject = n.st.Representative()
-		n.nw.tr.Send(m)
+		n.send(m)
 	}
 }
 
@@ -291,6 +466,42 @@ func (n *node) control(c ctrlMsg) {
 		n.reset(c.parent)
 	case cBecomeRoot:
 		n.becomeRoot(time.Now())
+	case cInspect:
+		c.info <- n.info()
+	}
+}
+
+// info snapshots the node's protocol state for Network.Inspect.
+func (n *node) info() NodeInfo {
+	in := NodeInfo{
+		ID:          n.id,
+		Parent:      n.parent,
+		IsRoot:      n.isRoot.Load(),
+		Dead:        n.dead.Load(),
+		Interested:  n.st.Interested(),
+		Subscribers: append([]int(nil), n.st.Subscribers()...),
+		PushTargets: append([]int(nil), n.st.PushTargets()...),
+		Unacked:     len(n.unacked),
+	}
+	if in.IsRoot {
+		in.HaveCopy, in.Version, in.Expiry = true, n.version, n.expiry
+	} else if n.haveCopy {
+		in.HaveCopy, in.Version, in.Expiry = true, n.cacheVer, n.cacheExp
+	}
+	return in
+}
+
+// drain releases whatever is still parked in the inbox; called on the
+// node goroutine at quit and again by Stop after the goroutine exits (a
+// handler may have raced one last message in).
+func (n *node) drain() {
+	for {
+		select {
+		case m := <-n.inbox:
+			proto.Release(m)
+		default:
+			return
+		}
 	}
 }
 
@@ -298,6 +509,25 @@ func (n *node) control(c ctrlMsg) {
 // either forwards it (ownership moves back to the transport) or falls
 // through to the final Release.
 func (n *node) handle(m *proto.Message) {
+	if m.Kind == proto.KindAck {
+		n.onAck(m)
+		proto.Release(m)
+		return
+	}
+	// Reliable kinds with a seq are acknowledged; duplicates (a
+	// retransmission whose original got through, or a transport-level
+	// copy) are re-acked — the first ack may have been the loss — and
+	// absorbed without touching protocol state.
+	if reliableKind(m.Kind) && m.Seq > 0 {
+		if n.dedup(m.Origin, m.Seq) {
+			n.nw.stats.dups.Add(1)
+			n.nw.stats.dupsByKind[m.Kind].Add(1)
+			n.ackTo(m)
+			proto.Release(m)
+			return
+		}
+		n.ackTo(m)
+	}
 	switch m.Kind {
 	case proto.KindRequest:
 		n.onRequest(m)
@@ -323,6 +553,40 @@ func (n *node) handle(m *proto.Message) {
 	proto.Release(m)
 }
 
+// ackTo acknowledges a reliable message back to its sender.
+func (n *node) ackTo(m *proto.Message) {
+	a := n.newMsg(proto.KindAck, m.Origin)
+	a.Seq = m.Seq
+	a.Subject = int(m.Kind)
+	n.send(a)
+}
+
+// dedup records the (origin, seq) pair and reports a duplicate.
+func (n *node) dedup(origin int, seq int64) bool {
+	w := n.seen[origin]
+	if w == nil {
+		w = &seqWindow{seen: map[int64]struct{}{}}
+		n.seen[origin] = w
+	}
+	return w.observe(seq)
+}
+
+// onAck settles a reliable message: the peer has it. An ack is also a
+// liveness proof at least as good as a keep-alive ack.
+func (n *node) onAck(m *proto.Message) {
+	e, ok := n.unacked[m.Seq]
+	if !ok || e.to != m.Origin {
+		return // late ack for a settled or abandoned message
+	}
+	delete(n.unacked, m.Seq)
+	n.nw.stats.acks.Add(1)
+	n.nw.stats.acksByKind[e.kind].Add(1)
+	delete(n.suspects, m.Origin)
+	if m.Origin == n.parent {
+		n.lastAck = time.Now()
+	}
+}
+
 // reset blanks the node after recovery and re-homes it under parent.
 func (n *node) reset(parent int) {
 	n.st.Reset()
@@ -338,6 +602,10 @@ func (n *node) reset(parent int) {
 	clear(n.childSeen)
 	clear(n.suspects)
 	clear(n.pending)
+	// Drop the retransmit queue (those messages described pre-failure
+	// state) but keep the dedup windows and relSeq: peers' seq streams
+	// continue across our recovery, and ours must not restart.
+	clear(n.unacked)
 }
 
 // valid reports whether the node can serve the index right now, returning
@@ -449,7 +717,7 @@ func (n *node) pushOut(v int64, exp time.Time) {
 		m := n.newMsg(proto.KindPush, target)
 		m.Version = v
 		m.Expiry = timeToUnix(exp)
-		n.nw.tr.Send(m)
+		n.send(m)
 	}
 }
 
@@ -471,16 +739,16 @@ func (n *node) emit(acts []core.Action) {
 			n.nw.stats.subscribes.Add(1)
 			m := n.newMsg(proto.KindSubscribe, n.parent)
 			m.Subject = a.Subject
-			n.nw.tr.Send(m)
+			n.send(m)
 		case core.SendUnsubscribe:
 			m := n.newMsg(proto.KindUnsubscribe, n.parent)
 			m.Subject = a.Subject
-			n.nw.tr.Send(m)
+			n.send(m)
 		case core.SendSubstitute:
 			n.nw.stats.substitutes.Add(1)
 			m := n.newMsg(proto.KindSubstitute, n.parent)
 			m.Old, m.New = a.Old, a.New
-			n.nw.tr.Send(m)
+			n.send(m)
 		}
 	}
 }

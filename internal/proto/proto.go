@@ -7,6 +7,7 @@ package proto
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Kind identifies a protocol message type.
@@ -45,11 +46,19 @@ const (
 	// ack-based failure detection; the simulator models detection delay
 	// directly and never sends it.
 	KindKeepAliveAck
+	// KindAck acknowledges one reliable message (push, subscribe,
+	// unsubscribe, substitute) by echoing its sender-assigned Seq. Subject
+	// carries the acknowledged kind so the sender can keep per-kind
+	// counters. Acks themselves are best-effort: a lost ack just means one
+	// idempotent retransmission. The simulator's lossless event queue never
+	// sends them.
+	KindAck
 )
 
 var kindNames = [...]string{
 	"request", "reply", "push", "subscribe", "unsubscribe",
 	"substitute", "interest", "uninterest", "keepalive", "keepalive-ack",
+	"ack",
 }
 
 // NumKinds is the number of defined message kinds; Kind values in
@@ -109,10 +118,42 @@ type Message struct {
 // instead of allocating one per send.
 var pool = sync.Pool{New: func() any { return new(Message) }}
 
+// inUse tracks NewMessage calls minus Release calls, so harnesses can
+// assert that every pooled message handed out came back (no leaks through
+// abandoned inboxes or queues). An atomic add per checkout is noise next
+// to the send it accompanies and allocates nothing, so the hot path keeps
+// its alloc-free guarantee.
+var inUse atomic.Int64
+
+// InUse reports how many pooled messages are currently checked out
+// (NewMessage minus Release). Messages built as plain literals and then
+// Released skew the count down, so callers comparing before/after a
+// workload should take a baseline snapshot rather than assume zero.
+func InUse() int64 { return inUse.Load() }
+
 // NewMessage returns a zeroed Message, reusing a pooled one when
 // available. Callers hand the message to the transport with Send; the
 // transport releases it after final delivery.
-func NewMessage() *Message { return pool.Get().(*Message) }
+func NewMessage() *Message {
+	inUse.Add(1)
+	return pool.Get().(*Message)
+}
+
+// Clone returns a pooled deep copy of m: the Path contents are copied into
+// the clone's own backing array and any Piggyback is duplicated, so the
+// clone and the original can be released independently. The fault
+// injection layer uses it to duplicate in-flight messages.
+func Clone(m *Message) *Message {
+	c := NewMessage()
+	path := c.Path
+	*c = *m
+	c.Path = append(path[:0], m.Path...)
+	if m.Piggy != nil {
+		p := *m.Piggy
+		c.Piggy = &p
+	}
+	return c
+}
 
 // Reset zeroes every field but keeps the Path capacity for reuse.
 func (m *Message) Reset() {
@@ -125,6 +166,7 @@ func (m *Message) Reset() {
 // Path slice) is invalid, because the next NewMessage may hand it out
 // again.
 func Release(m *Message) {
+	inUse.Add(-1)
 	m.Reset()
 	pool.Put(m)
 }
@@ -154,6 +196,8 @@ func (m *Message) String() string {
 		return fmt.Sprintf("%s{to:%d subject:%d}", m.Kind, m.To, m.Subject)
 	case KindSubstitute:
 		return fmt.Sprintf("substitute{to:%d old:%d new:%d}", m.To, m.Old, m.New)
+	case KindAck:
+		return fmt.Sprintf("ack{to:%d seq:%d of:%s}", m.To, m.Seq, Kind(m.Subject))
 	default:
 		return fmt.Sprintf("%s{to:%d}", m.Kind, m.To)
 	}

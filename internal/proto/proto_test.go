@@ -17,6 +17,7 @@ func TestKindString(t *testing.T) {
 		KindUninterest:   "uninterest",
 		KindKeepAlive:    "keepalive",
 		KindKeepAliveAck: "keepalive-ack",
+		KindAck:          "ack",
 	}
 	if len(cases) != NumKinds {
 		t.Errorf("test covers %d kinds, NumKinds = %d", len(cases), NumKinds)
@@ -33,7 +34,7 @@ func TestKindString(t *testing.T) {
 
 func TestKindControl(t *testing.T) {
 	control := []Kind{KindSubscribe, KindUnsubscribe, KindSubstitute, KindInterest, KindUninterest}
-	data := []Kind{KindRequest, KindReply, KindPush, KindKeepAlive, KindKeepAliveAck}
+	data := []Kind{KindRequest, KindReply, KindPush, KindKeepAlive, KindKeepAliveAck, KindAck}
 	for _, k := range control {
 		if !k.Control() {
 			t.Errorf("%v should be a control kind", k)
@@ -72,6 +73,51 @@ func TestMessagePoolRoundTrip(t *testing.T) {
 	}
 }
 
+func TestCloneIsDeepAndIndependent(t *testing.T) {
+	m := NewMessage()
+	m.Kind, m.To, m.Origin, m.Seq, m.Version, m.Expiry = KindPush, 4, 1, 7, 3, 12.5
+	m.Path = append(m.Path, 1, 2)
+	m.Piggy = &Piggyback{Kind: KindSubscribe, Subject: 6}
+	c := Clone(m)
+	if c == m || &c.Path[0] == &m.Path[0] || c.Piggy == m.Piggy {
+		t.Fatal("clone shares storage with the original")
+	}
+	if c.Kind != m.Kind || c.To != m.To || c.Seq != m.Seq || c.Version != m.Version ||
+		c.Expiry != m.Expiry || len(c.Path) != 2 || c.Path[0] != 1 || c.Path[1] != 2 ||
+		*c.Piggy != *m.Piggy {
+		t.Fatalf("clone differs from original: %+v vs %+v", c, m)
+	}
+	m.Path[0] = 99
+	if c.Path[0] != 1 {
+		t.Fatal("mutating the original changed the clone")
+	}
+	m.Piggy = nil
+	Release(m)
+	Release(c)
+}
+
+func TestInUseBalancesAcrossNewAndRelease(t *testing.T) {
+	base := InUse()
+	msgs := make([]*Message, 10)
+	for i := range msgs {
+		msgs[i] = NewMessage()
+	}
+	if got := InUse() - base; got != 10 {
+		t.Fatalf("InUse rose by %d, want 10", got)
+	}
+	clone := Clone(msgs[0])
+	if got := InUse() - base; got != 11 {
+		t.Fatalf("InUse after clone rose by %d, want 11", got)
+	}
+	Release(clone)
+	for _, m := range msgs {
+		Release(m)
+	}
+	if got := InUse() - base; got != 0 {
+		t.Fatalf("InUse did not return to baseline: %+d", got)
+	}
+}
+
 func TestMessageString(t *testing.T) {
 	cases := []struct {
 		m    Message
@@ -83,6 +129,7 @@ func TestMessageString(t *testing.T) {
 		{Message{Kind: KindSubscribe, To: 4, Subject: 5}, "subscribe{to:4 subject:5}"},
 		{Message{Kind: KindSubstitute, To: 1, Old: 5, New: 2}, "substitute{to:1 old:5 new:2}"},
 		{Message{Kind: KindKeepAlive, To: 0}, "keepalive{to:0}"},
+		{Message{Kind: KindAck, To: 2, Seq: 9, Subject: int(KindPush)}, "ack{to:2 seq:9 of:push}"},
 	}
 	for _, c := range cases {
 		if got := c.m.String(); got != c.want {

@@ -17,37 +17,31 @@ type ChanConfig struct {
 	HopDelay time.Duration
 	// Seed drives the latency jitter.
 	Seed uint64
-	// DropHook, when set, sees every outbound message before delivery and
-	// drops the ones it returns true for (injected message loss).
-	DropHook func(m *proto.Message) bool
 }
 
 // Chan is the in-process transport: messages cross goroutines directly,
-// optionally delayed by a timer to model link latency.
+// optionally delayed by a timer to model link latency. Message loss,
+// duplication and partitions are injected by wrapping a Chan in a
+// faults.Transport, not here.
 type Chan struct {
 	cfg ChanConfig
 
 	mu       sync.Mutex
 	handlers map[int]Handler
 	src      *rng.Source
-	hook     atomic.Pointer[func(m *proto.Message) bool]
 
-	drops  atomic.Int64
-	closed atomic.Bool
+	drops     atomic.Int64
+	kindDrops [proto.NumKinds]atomic.Int64
+	closed    atomic.Bool
 }
 
 // NewChan returns a started in-process transport.
 func NewChan(cfg ChanConfig) *Chan {
-	c := &Chan{
+	return &Chan{
 		cfg:      cfg,
 		handlers: make(map[int]Handler),
 		src:      rng.New(cfg.Seed),
 	}
-	if cfg.DropHook != nil {
-		h := cfg.DropHook
-		c.hook.Store(&h)
-	}
-	return c
 }
 
 // Register installs the handler for node id.
@@ -57,23 +51,10 @@ func (c *Chan) Register(id int, h Handler) {
 	c.mu.Unlock()
 }
 
-// SetDropHook installs (or with nil clears) the loss-injection hook.
-func (c *Chan) SetDropHook(h func(m *proto.Message) bool) {
-	if h == nil {
-		c.hook.Store(nil)
-		return
-	}
-	c.hook.Store(&h)
-}
-
 // Send delivers m to node m.To after the injected link latency.
 func (c *Chan) Send(m *proto.Message) {
 	if c.closed.Load() {
 		proto.Release(m)
-		return
-	}
-	if hook := c.hook.Load(); hook != nil && (*hook)(m) {
-		c.drop(m)
 		return
 	}
 	var delay time.Duration
@@ -104,11 +85,23 @@ func (c *Chan) deliver(m *proto.Message) {
 
 func (c *Chan) drop(m *proto.Message) {
 	c.drops.Add(1)
+	if int(m.Kind) < proto.NumKinds {
+		c.kindDrops[m.Kind].Add(1)
+	}
 	proto.Release(m)
 }
 
 // Drops reports dropped messages.
 func (c *Chan) Drops() int64 { return c.drops.Load() }
+
+// KindDrops reports dropped messages broken down by kind.
+func (c *Chan) KindDrops() [proto.NumKinds]int64 {
+	var out [proto.NumKinds]int64
+	for k := range out {
+		out[k] = c.kindDrops[k].Load()
+	}
+	return out
+}
 
 // Close stops delivery; pending timers release their messages on firing.
 func (c *Chan) Close() error {

@@ -84,25 +84,23 @@ func TestChanDropsUnregisteredAndRefused(t *testing.T) {
 	}
 }
 
-func TestChanDropHook(t *testing.T) {
-	tr := NewChan(ChanConfig{DropHook: func(m *proto.Message) bool { return m.To == 3 }})
+func TestChanKindDrops(t *testing.T) {
+	tr := NewChan(ChanConfig{})
 	defer tr.Close()
-	var c3, c4 collector
-	tr.Register(3, c3.handler())
-	tr.Register(4, c4.handler())
-	tr.Send(push(proto.KindPush, 3))
-	tr.Send(push(proto.KindPush, 4))
-	c4.waitFor(t, 1, time.Second)
-	if c3.count() != 0 {
-		t.Fatalf("hook let a message through to node 3")
+	tr.Send(push(proto.KindPush, 99))      // nobody there
+	tr.Send(push(proto.KindPush, 99))      // nobody there
+	tr.Send(push(proto.KindSubscribe, 99)) // nobody there
+	kd := tr.KindDrops()
+	if kd[proto.KindPush] != 2 || kd[proto.KindSubscribe] != 1 {
+		t.Fatalf("kind drops = %v, want 2 pushes and 1 subscribe", kd)
 	}
-	if tr.Drops() != 1 {
-		t.Fatalf("drops = %d, want 1", tr.Drops())
+	var total int64
+	for _, n := range kd {
+		total += n
 	}
-	// Clearing the hook restores delivery.
-	tr.SetDropHook(nil)
-	tr.Send(push(proto.KindPush, 3))
-	c3.waitFor(t, 1, time.Second)
+	if total != tr.Drops() {
+		t.Fatalf("kind drops sum to %d, Drops() = %d", total, tr.Drops())
+	}
 }
 
 func TestChanCloseStopsDelivery(t *testing.T) {

@@ -81,14 +81,13 @@ type TCP struct {
 	conns    map[string]*peerConn // outbound, keyed by address
 	inbound  map[net.Conn]struct{}
 
-	hook atomic.Pointer[func(m *proto.Message) bool]
-
 	jmu sync.Mutex
 	src *rng.Source
 
-	drops  atomic.Int64
-	closed atomic.Bool
-	wg     sync.WaitGroup
+	drops     atomic.Int64
+	kindDrops [proto.NumKinds]atomic.Int64
+	closed    atomic.Bool
+	wg        sync.WaitGroup
 }
 
 // peerConn is one reused outbound connection: a bounded frame queue and
@@ -156,26 +155,11 @@ func (t *TCP) SetPeer(id int, addr string) {
 	t.mu.Unlock()
 }
 
-// SetDropHook installs (or with nil clears) a loss-injection hook that
-// sees every outbound message and drops the ones it returns true for.
-// Tests use it to cut a node off deterministically.
-func (t *TCP) SetDropHook(h func(m *proto.Message) bool) {
-	if h == nil {
-		t.hook.Store(nil)
-		return
-	}
-	t.hook.Store(&h)
-}
-
 // Send routes m to node m.To: directly to a local handler, or framed onto
 // the reused connection for the peer's address.
 func (t *TCP) Send(m *proto.Message) {
 	if t.closed.Load() {
 		proto.Release(m)
-		return
-	}
-	if hook := t.hook.Load(); hook != nil && (*hook)(m) {
-		t.drop(m)
 		return
 	}
 	t.mu.Lock()
@@ -194,11 +178,12 @@ func (t *TCP) Send(m *proto.Message) {
 	}
 	bufp := frameBufs.Get().(*[]byte)
 	*bufp = wire.AppendFrame((*bufp)[:0], m)
+	kind := m.Kind
 	proto.Release(m)
 	pc := t.conn(addr)
 	if pc == nil {
 		frameBufs.Put(bufp)
-		t.drops.Add(1)
+		t.dropKind(kind)
 		return
 	}
 	select {
@@ -207,17 +192,33 @@ func (t *TCP) Send(m *proto.Message) {
 		// frame is on the wire.
 	default:
 		frameBufs.Put(bufp)
-		t.drops.Add(1)
+		t.dropKind(kind)
 	}
 }
 
 func (t *TCP) drop(m *proto.Message) {
-	t.drops.Add(1)
+	t.dropKind(m.Kind)
 	proto.Release(m)
+}
+
+func (t *TCP) dropKind(k proto.Kind) {
+	t.drops.Add(1)
+	if int(k) < proto.NumKinds {
+		t.kindDrops[k].Add(1)
+	}
 }
 
 // Drops reports dropped messages.
 func (t *TCP) Drops() int64 { return t.drops.Load() }
+
+// KindDrops reports dropped messages broken down by kind.
+func (t *TCP) KindDrops() [proto.NumKinds]int64 {
+	var out [proto.NumKinds]int64
+	for k := range out {
+		out[k] = t.kindDrops[k].Load()
+	}
+	return out
+}
 
 // conn returns the reused connection for addr, creating it (and its
 // writer goroutine) on first use.
@@ -256,12 +257,14 @@ func (t *TCP) writeLoop(pc *peerConn) {
 				return
 			case bufp = <-pc.queue:
 			}
+			lastKind := frameKind(bufp)
 			err := writeFrame(bw, bufp)
 			// Opportunistically drain whatever queued while writing, then
 			// flush once: one syscall for a burst of messages.
 			for err == nil {
 				select {
 				case bufp = <-pc.queue:
+					lastKind = frameKind(bufp)
 					err = writeFrame(bw, bufp)
 					continue
 				default:
@@ -272,7 +275,7 @@ func (t *TCP) writeLoop(pc *peerConn) {
 				err = bw.Flush()
 			}
 			if err != nil {
-				t.drops.Add(1)
+				t.dropKind(lastKind)
 				conn.Close()
 				t.logf("transport: write %s: %v (reconnecting)", pc.addr, err)
 				break
@@ -285,6 +288,16 @@ func writeFrame(bw *bufio.Writer, bufp *[]byte) error {
 	_, err := bw.Write(*bufp)
 	frameBufs.Put(bufp)
 	return err
+}
+
+// frameKind reads the kind byte out of an encoded frame (length prefix,
+// version byte, then the kind) so a post-encode drop can still be
+// attributed; out-of-range values fall into the untyped total only.
+func frameKind(bufp *[]byte) proto.Kind {
+	if len(*bufp) > 5 {
+		return proto.Kind((*bufp)[5])
+	}
+	return proto.Kind(proto.NumKinds)
 }
 
 // dial connects to addr, retrying with exponential backoff and jitter

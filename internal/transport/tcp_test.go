@@ -111,29 +111,14 @@ func TestTCPConnectionReuse(t *testing.T) {
 	}
 }
 
-func TestTCPDropHook(t *testing.T) {
-	a, b := tcpPair(t)
-	var c collector
-	b.Register(2, c.handler())
-	a.SetDropHook(func(m *proto.Message) bool { return true })
-	a.Send(push(proto.KindPush, 2))
-	time.Sleep(50 * time.Millisecond)
-	if c.count() != 0 {
-		t.Fatal("hooked message was delivered")
-	}
-	if a.Drops() != 1 {
-		t.Fatalf("drops = %d, want 1", a.Drops())
-	}
-	a.SetDropHook(nil)
-	a.Send(push(proto.KindPush, 2))
-	c.waitFor(t, 1, 3*time.Second)
-}
-
 func TestTCPUnknownTargetDropped(t *testing.T) {
 	a, _ := tcpPair(t)
 	a.Send(push(proto.KindPush, 42)) // no handler, no peer address
 	if a.Drops() != 1 {
 		t.Fatalf("drops = %d, want 1", a.Drops())
+	}
+	if kd := a.KindDrops(); kd[proto.KindPush] != 1 {
+		t.Fatalf("kind drops = %v, want one push", kd)
 	}
 }
 

@@ -42,8 +42,15 @@ type Transport interface {
 	Send(m *proto.Message)
 
 	// Drops reports how many messages this transport has dropped: dead or
-	// missing targets, full queues, failed writes, and hook-injected loss.
+	// missing targets, full queues, and failed writes. Injected loss comes
+	// from the fault middleware in dup/internal/faults, which wraps any
+	// Transport and folds its own drops into these counts.
 	Drops() int64
+
+	// KindDrops breaks Drops down by message kind, indexed by proto.Kind.
+	// The sums can trail Drops slightly: a frame lost after encoding whose
+	// kind byte is no longer reachable is counted only in the total.
+	KindDrops() [proto.NumKinds]int64
 
 	// Close shuts the transport down and releases its resources. Messages
 	// sent after Close are dropped silently.

@@ -27,6 +27,7 @@ func sampleMessages() []*proto.Message {
 		{Kind: proto.KindUninterest, To: 2, Subject: 9},
 		{Kind: proto.KindKeepAlive, To: 0, Origin: 12},
 		{Kind: proto.KindKeepAliveAck, To: 12, Origin: 0},
+		{Kind: proto.KindAck, To: 0, Origin: 5, Seq: 17, Subject: int(proto.KindPush)},
 		// Negative sentinels (-1 parents) and a piggyback rider.
 		{Kind: proto.KindRequest, To: -1, Origin: -1, Old: -1, New: -1, Subject: -1, Hops: 1,
 			Piggy: &proto.Piggyback{Kind: proto.KindSubscribe, Subject: 6}},

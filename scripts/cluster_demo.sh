@@ -7,19 +7,47 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-DUPD=$(mktemp -d)/dupd
-LOGS=$(dirname "$DUPD")
-trap 'kill $(jobs -p) 2>/dev/null || true; rm -rf "$LOGS"' EXIT
+LOGS=$(mktemp -d)
+DUPD=$LOGS/dupd
+cleanup() { kill $(jobs -p) 2>/dev/null || true; rm -rf "$LOGS"; }
+trap cleanup EXIT INT TERM
 
 echo "== build dupd =="
 go build -o "$DUPD" ./cmd/dupd
 
+# Ask the kernel for three free loopback ports instead of hard-coding
+# them, so concurrent runs (or anything else on the host) cannot collide.
+cat >"$LOGS/freeports.go" <<'EOF'
+package main
+
+import (
+	"fmt"
+	"net"
+)
+
+func main() {
+	var ls []net.Listener
+	for i := 0; i < 3; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			panic(err)
+		}
+		ls = append(ls, l)
+	}
+	for _, l := range ls {
+		fmt.Println(l.Addr().(*net.TCPAddr).Port)
+		l.Close()
+	}
+}
+EOF
+mapfile -t PORTS < <(go run "$LOGS/freeports.go")
+A=127.0.0.1:${PORTS[0]}
+B=127.0.0.1:${PORTS[1]}
+C=127.0.0.1:${PORTS[2]}
+
 # Nine nodes over three processes, identical -nodes/-degree/-seed so every
 # process derives the same index search tree. Node 0 is the authority.
 COMMON="-nodes 9 -degree 2 -seed 11"
-A=127.0.0.1:17870
-B=127.0.0.1:17871
-C=127.0.0.1:17872
 peers_for() { # emit id=addr pairs for every node not hosted locally
   local out=() id
   for id in 0 1 2; do [[ $1 != A ]] && out+=("$id=$A"); done
@@ -29,16 +57,20 @@ peers_for() { # emit id=addr pairs for every node not hosted locally
   echo "${out[*]}"
 }
 
-echo "== boot three daemons (10s run) =="
+echo "== boot three daemons on $A / $B / $C (10s run) =="
 "$DUPD" $COMMON -listen $A -host 0,1,2 -authority -peers "$(peers_for A)" \
         -run 10s -stats 5s >"$LOGS/a.log" 2>&1 &
 "$DUPD" $COMMON -listen $B -host 3,4,5 -peers "$(peers_for B)" \
         -run 10s >"$LOGS/b.log" 2>&1 &
+# Query fast enough to cross the default interest threshold (3 per 400ms
+# TTL interval), so node 8 subscribes and the authority starts pushing —
+# that exercises the acknowledged-delivery path end to end.
 "$DUPD" $COMMON -listen $C -host 6,7,8 -peers "$(peers_for C)" \
-        -query 8 -every 250ms -run 10s -stats 5s >"$LOGS/c.log" 2>&1 &
+        -query 8 -every 80ms -run 10s -stats 5s >"$LOGS/c.log" 2>&1 &
 wait
 
 echo "== verify =="
 grep -m3 'resolved' "$LOGS/c.log" || { echo "no queries resolved"; cat "$LOGS"/*.log; exit 1; }
 grep -q 'keepalives=[1-9]' "$LOGS/a.log" || { echo "no keep-alives at the authority daemon"; cat "$LOGS/a.log"; exit 1; }
+grep -q 'acks=[1-9]' "$LOGS/a.log" || { echo "no reliable-delivery acks at the authority daemon"; cat "$LOGS/a.log"; exit 1; }
 echo "cluster-demo: queries resolved over real sockets; all green"
