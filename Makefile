@@ -13,10 +13,12 @@ test:
 cluster-demo:
 	scripts/cluster_demo.sh
 
-# Play a seeded fault schedule (partitions, crashes, kills, loss bursts)
-# against a live cluster under the race detector and check the
-# convergence / tree-consistency / no-leak invariants. Scale or reseed:
-#   make chaos CHAOS_FLAGS="-chaos.nodes 20 -chaos.steps 24 -chaos.seed 9"
+# Play a seeded fault-and-churn schedule (partitions, crashes, kills,
+# loss bursts, joins, leaves, recovery reboots) against a live cluster
+# under the race detector and check the convergence / tree-consistency /
+# no-leak invariants over the changed membership. Scale, reseed or tune
+# the churn rate (-chaos.churn, percent; -1 disables membership ops):
+#   make chaos CHAOS_FLAGS="-chaos.nodes 20 -chaos.steps 24 -chaos.seed 9 -chaos.churn 40"
 chaos:
 	go test -race -count=1 -v -run 'TestChaosRun' ./internal/chaos/ -args $(CHAOS_FLAGS)
 

@@ -16,7 +16,14 @@
 //
 // With -query the daemon issues periodic index queries at a hosted node
 // and logs each result; with -stats it logs the network counters. It
-// stops cleanly on SIGINT/SIGTERM or after -run elapses.
+// stops cleanly on SIGINT/SIGTERM or after -run elapses, and exits
+// non-zero when the run ended because the transport died underneath it.
+//
+// With -state-dir the daemon journals every hosted node's protocol state
+// (role, version, subscriber list) to an append-only log in that
+// directory and, on startup, resumes whatever a previous incarnation
+// recorded there: a restarted authority continues from its pre-crash
+// index version instead of regressing to zero.
 package main
 
 import (
@@ -32,10 +39,15 @@ import (
 	"time"
 
 	"dup/internal/live"
+	"dup/internal/store"
 	"dup/internal/transport"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	log.SetFlags(log.Ltime | log.Lmicroseconds)
 	log.SetPrefix("dupd ")
 
@@ -56,29 +68,54 @@ func main() {
 	queryEvery := flag.Duration("every", 500*time.Millisecond, "query period (with -query)")
 	statsEvery := flag.Duration("stats", 0, "log network counters this often (0 disables)")
 	runFor := flag.Duration("run", 0, "exit after this long (0 = until SIGINT/SIGTERM)")
+	stateDir := flag.String("state-dir", "", "journal hosted nodes' state here and recover it on restart")
 	flag.Parse()
 
 	hosts, err := parseIDs(*hostList)
 	if err != nil {
-		fail(fmt.Errorf("-host: %w", err))
+		return fail(fmt.Errorf("-host: %w", err))
 	}
 	if len(hosts) == 0 {
-		fail(fmt.Errorf("-host is required (which node ids does this daemon run?)"))
+		return fail(fmt.Errorf("-host is required (which node ids does this daemon run?)"))
 	}
 	peers, err := parsePeers(*peerList)
 	if err != nil {
-		fail(fmt.Errorf("-peers: %w", err))
+		return fail(fmt.Errorf("-peers: %w", err))
 	}
 	hosted := make(map[int]bool, len(hosts))
 	for _, id := range hosts {
 		hosted[id] = true
 	}
 	if *authority != hosted[0] {
-		fail(fmt.Errorf("-authority=%v but -host %s: the authority is node 0", *authority, *hostList))
+		return fail(fmt.Errorf("-authority=%v but -host %s: the authority is node 0", *authority, *hostList))
 	}
 	for id := range peers {
 		if hosted[id] {
 			delete(peers, id) // local ids never cross the socket
+		}
+	}
+
+	// Durable state: open (or create) the journal and collect whatever a
+	// previous incarnation recorded for the ids we are about to host.
+	var st *store.Store
+	var recovered map[int]store.NodeState
+	if *stateDir != "" {
+		st, err = store.Open(*stateDir)
+		if err != nil {
+			return fail(fmt.Errorf("-state-dir: %w", err))
+		}
+		recovered = map[int]store.NodeState{}
+		for _, id := range hosts {
+			ns, ok := st.Node(id)
+			if !ok {
+				continue
+			}
+			recovered[id] = ns
+			if ns.IsRoot {
+				log.Printf("recovered node %d as authority at version %d", id, ns.Version)
+			} else {
+				log.Printf("recovered node %d (parent %d, %d subscribers)", id, ns.Parent, len(ns.Subscribers))
+			}
 		}
 	}
 
@@ -89,15 +126,19 @@ func main() {
 		Logf:   log.Printf,
 	})
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 	// No global liveness oracle exists across processes, so repairs rely on
 	// each node's own keep-alive suspicions.
 	dir := live.NewStaticDirectory(cfg.BuildTree())
-	nw, err := live.StartWith(cfg, live.Options{Transport: tr, Directory: dir, Hosts: hosts})
+	opts := live.Options{Transport: tr, Directory: dir, Hosts: hosts, Recovered: recovered}
+	if st != nil {
+		opts.Journal = st
+	}
+	nw, err := live.StartWith(cfg, opts)
 	if err != nil {
 		tr.Close()
-		fail(err)
+		return fail(err)
 	}
 	log.Printf("hosting %v of %d nodes on %s (authority=%v)", hosts, nw.Nodes(), tr.Addr(), hosted[0])
 
@@ -109,6 +150,7 @@ func main() {
 	}
 	queryTick, statsTick := ticker(*queryAt >= 0, *queryEvery), ticker(*statsEvery > 0, *statsEvery)
 
+	code := 0
 	for running := true; running; {
 		select {
 		case sig := <-stop:
@@ -117,6 +159,10 @@ func main() {
 		case <-deadline:
 			log.Printf("run time elapsed, shutting down")
 			running = false
+		case <-tr.Done():
+			log.Printf("transport died: %v", tr.Err())
+			running = false
+			code = 1
 		case <-queryTick:
 			r, err := nw.Query(*queryAt, 2*time.Second)
 			if err != nil {
@@ -128,9 +174,20 @@ func main() {
 			logStats("stats", nw.Stats())
 		}
 	}
+	// Shutdown order matters: stop the protocol first (its nodes write
+	// their last journal records as they drain), flush the final stats and
+	// close the state log while the directory is still answering, then
+	// release the directory.
 	nw.Stop()
-	dir.Close()
 	logStats("final", nw.Stats())
+	if st != nil {
+		if err := st.Close(); err != nil {
+			log.Printf("state journal close: %v", err)
+			code = 1
+		}
+	}
+	dir.Close()
+	return code
 }
 
 // logStats logs one counters line, including the delivery-guarantee
@@ -198,7 +255,7 @@ func parsePeers(s string) (map[int]string, error) {
 	return peers, nil
 }
 
-func fail(err error) {
+func fail(err error) int {
 	fmt.Fprintln(os.Stderr, "dupd:", err)
-	os.Exit(1)
+	return 1
 }

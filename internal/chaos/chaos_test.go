@@ -12,6 +12,7 @@ var (
 	flagSeed  = flag.Uint64("chaos.seed", 0, "chaos schedule seed")
 	flagNodes = flag.Int("chaos.nodes", 0, "cluster size")
 	flagSteps = flag.Int("chaos.steps", 0, "schedule steps")
+	flagChurn = flag.Int("chaos.churn", 0, "membership churn percent (-1 disables)")
 )
 
 func TestScheduleIsDeterministic(t *testing.T) {
@@ -41,13 +42,28 @@ func TestScheduleIsDeterministic(t *testing.T) {
 }
 
 // TestScheduleCleansUpAfterItself replays a schedule's bookkeeping and
-// asserts every fault it opens is healed by the cleanup tail.
+// asserts every fault it opens is healed by the cleanup tail, and that
+// the membership churn respects its own rules: joins use fresh ids and
+// are capped, leaves hit only live members and never shrink the roster
+// below three quarters of the initial cluster, reboots and faults touch
+// only current members.
 func TestScheduleCleansUpAfterItself(t *testing.T) {
 	for seed := uint64(1); seed <= 20; seed++ {
 		cfg := DefaultConfig()
 		cfg.Seed = seed
+		members := map[int]bool{}
+		for id := 0; id < cfg.Nodes; id++ {
+			members[id] = true
+		}
+		joins := 0
 		open := map[string]int{}
 		for _, e := range Schedule(cfg) {
+			if e.Op != OpJoin && !members[e.A] {
+				t.Fatalf("seed %d: %s targets non-member %d", seed, e.Op, e.A)
+			}
+			if (e.Op == OpPartition || e.Op == OpHeal) && !members[e.B] {
+				t.Fatalf("seed %d: %s targets non-member %d", seed, e.Op, e.B)
+			}
 			switch e.Op {
 			case OpPartition:
 				open["partition"]++
@@ -65,6 +81,25 @@ func TestScheduleCleansUpAfterItself(t *testing.T) {
 				open["loss"]++
 			case OpCalm:
 				open["loss"]--
+			case OpJoin:
+				if members[e.A] {
+					t.Fatalf("seed %d joins existing node %d", seed, e.A)
+				}
+				members[e.A] = true
+				if joins++; joins > cfg.Nodes/2 {
+					t.Fatalf("seed %d exceeds the join cap", seed)
+				}
+			case OpLeave:
+				if !members[e.A] {
+					t.Fatalf("seed %d departs non-member %d", seed, e.A)
+				}
+				if e.A == 0 {
+					t.Fatalf("seed %d departs the designated authority", seed)
+				}
+				delete(members, e.A)
+				if len(members) < cfg.Nodes-cfg.Nodes/4 {
+					t.Fatalf("seed %d shrinks the roster below its floor", seed)
+				}
 			}
 		}
 		for what, n := range open {
@@ -72,6 +107,41 @@ func TestScheduleCleansUpAfterItself(t *testing.T) {
 				t.Fatalf("seed %d leaves %d unhealed %s faults", seed, n, what)
 			}
 		}
+	}
+}
+
+// TestScheduleChurnDisabled asserts Churn = -1 restores the fixed-roster
+// schedules: no membership operation appears for any seed.
+func TestScheduleChurnDisabled(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		cfg := DefaultConfig()
+		cfg.Seed = seed
+		cfg.Churn = -1
+		for _, e := range Schedule(cfg) {
+			switch e.Op {
+			case OpJoin, OpLeave, OpReboot:
+				t.Fatalf("seed %d schedules %s with churn disabled", seed, e.Op)
+			}
+		}
+	}
+}
+
+// TestScheduleHasChurn asserts the default churn rate actually produces
+// membership operations across a handful of seeds.
+func TestScheduleHasChurn(t *testing.T) {
+	churned := 0
+	for seed := uint64(1); seed <= 20; seed++ {
+		cfg := DefaultConfig()
+		cfg.Seed = seed
+		for _, e := range Schedule(cfg) {
+			switch e.Op {
+			case OpJoin, OpLeave, OpReboot:
+				churned++
+			}
+		}
+	}
+	if churned == 0 {
+		t.Fatal("20 seeds at default churn produced no membership operations")
 	}
 }
 
@@ -112,6 +182,9 @@ func TestChaosRun(t *testing.T) {
 	if *flagSteps != 0 {
 		cfg.Steps = *flagSteps
 		cfg.StepEvery = 50 * time.Millisecond
+	}
+	if *flagChurn != 0 {
+		cfg.Churn = *flagChurn
 	}
 	rep, err := Run(cfg)
 	if err != nil {

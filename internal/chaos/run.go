@@ -8,6 +8,7 @@ import (
 	"dup/internal/faults"
 	"dup/internal/live"
 	"dup/internal/proto"
+	"dup/internal/store"
 	"dup/internal/transport"
 )
 
@@ -21,10 +22,15 @@ type Invariant struct {
 // Report is the outcome of a chaos run. For a passing run its String is a
 // pure function of the configuration: same seed, same report, bytes for
 // bytes — which is what makes a failing seed a reproducible bug report.
+// Members and Epoch are the verdict-time roster: the invariants audit the
+// cluster the churn left behind, not the initial one.
 type Report struct {
 	Seed       uint64
 	Nodes      int
 	Steps      int
+	Churn      int
+	Members    int
+	Epoch      uint64
 	Events     []Event
 	Invariants []Invariant
 	Passed     bool
@@ -32,7 +38,8 @@ type Report struct {
 
 func (r *Report) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "chaos seed=%d nodes=%d steps=%d\n", r.Seed, r.Nodes, r.Steps)
+	fmt.Fprintf(&b, "chaos seed=%d nodes=%d steps=%d churn=%d members=%d epoch=%d\n",
+		r.Seed, r.Nodes, r.Steps, r.Churn, r.Members, r.Epoch)
 	for _, e := range r.Events {
 		fmt.Fprintf(&b, "  %s\n", e)
 	}
@@ -53,17 +60,22 @@ func (r *Report) String() string {
 
 // harness is one booted chaos cluster: a shared in-process fabric, one
 // single-node live.Network per peer, each behind its own fault wrapper so
-// every node's links can be hurt independently.
+// every node's links can be hurt independently. The maps are keyed by
+// node id because the roster changes mid-run: joins add entries, leaves
+// remove them. Each node journals to its own store.Mem so a reboot event
+// can recover the state a real process would have read from disk.
 type harness struct {
 	cfg    Config
 	lcfg   live.Config
 	fabric *transport.Chan
-	wraps  []*faults.Transport
-	nets   []*live.Network
-	dir    *live.MemDirectory
+	wraps  map[int]*faults.Transport
+	nets   map[int]*live.Network
+	mems   map[int]*store.Mem
+	dir    *live.DynDirectory
 	hot    []int
 	down   map[int]bool
 	rr     int
+	opErr  error
 }
 
 // liveConfig is the protocol timing a chaos run uses: fast enough that a
@@ -91,28 +103,51 @@ func newHarness(cfg Config) (*harness, error) {
 		cfg:    cfg,
 		lcfg:   lcfg,
 		fabric: transport.NewChan(transport.ChanConfig{HopDelay: lcfg.HopDelay, Seed: cfg.Seed}),
-		wraps:  make([]*faults.Transport, cfg.Nodes),
-		nets:   make([]*live.Network, cfg.Nodes),
-		dir:    live.NewMemDirectory(tree),
+		wraps:  map[int]*faults.Transport{},
+		nets:   map[int]*live.Network{},
+		mems:   map[int]*store.Mem{},
+		dir:    live.NewDynDirectory(tree, cfg.MaxDegree),
 		down:   map[int]bool{},
 	}
 	for id := 0; id < cfg.Nodes; id++ {
-		h.wraps[id] = faults.Wrap(h.fabric, faults.Config{Seed: cfg.Seed + uint64(id)})
-		nw, err := live.StartWith(lcfg, live.Options{
-			Transport: h.wraps[id],
-			Directory: h.dir,
-			Hosts:     []int{id},
-		})
-		if err != nil {
+		if err := h.spawn(id, []int{id}); err != nil {
 			h.shutdown()
 			return nil, err
 		}
-		h.nets[id] = nw
 	}
-	// The three highest ids sit deepest in a generated tree: keeping them
-	// hot makes authority pushes cross the most links.
+	// The three highest initial ids sit deepest in a generated tree:
+	// keeping them hot makes authority pushes cross the most links. The
+	// schedule protects them (and node 0) from ever leaving.
 	h.hot = []int{cfg.Nodes - 1, cfg.Nodes - 2, cfg.Nodes - 3}
 	return h, nil
+}
+
+// spawn boots one node's Network behind a fresh fault wrapper and memory
+// journal. hosts is []int{id} at startup and nil for joiners, which enter
+// the cluster through Network.Join afterwards.
+func (h *harness) spawn(id int, hosts []int) error {
+	h.mems[id] = store.NewMem()
+	h.wraps[id] = faults.Wrap(h.fabric, faults.Config{Seed: h.cfg.Seed + uint64(id)})
+	nw, err := live.StartWith(h.lcfg, live.Options{
+		Transport: h.wraps[id],
+		Directory: h.dir,
+		Hosts:     hosts,
+		Journal:   h.mems[id],
+	})
+	if err != nil {
+		return err
+	}
+	h.nets[id] = nw
+	return nil
+}
+
+// fail records the first harness-level error; Run surfaces it instead of
+// a report, because a schedule op that cannot be applied is a bug in the
+// harness, not a protocol failure.
+func (h *harness) fail(err error) {
+	if h.opErr == nil {
+		h.opErr = err
+	}
 }
 
 // shutdown stops every network (closing its wrapper) and the shared fabric.
@@ -160,6 +195,31 @@ func (h *harness) apply(e Event) {
 		h.wraps[e.A].SetLoss(float64(e.Pct) / 100)
 	case OpCalm:
 		h.wraps[e.A].SetLoss(0)
+	case OpJoin:
+		if err := h.spawn(e.A, nil); err != nil {
+			h.fail(err)
+			return
+		}
+		if err := h.nets[e.A].Join(e.A); err != nil {
+			h.fail(err)
+		}
+	case OpLeave:
+		nw := h.nets[e.A]
+		if err := nw.Leave(e.A, 500*time.Millisecond); err != nil {
+			h.fail(err)
+		}
+		nw.Stop()
+		delete(h.nets, e.A)
+		delete(h.wraps, e.A)
+		delete(h.mems, e.A)
+	case OpReboot:
+		var rec *store.NodeState
+		if ns, ok := h.mems[e.A].Node(e.A); ok {
+			rec = &ns
+		}
+		if err := h.nets[e.A].Reboot(e.A, rec); err != nil {
+			h.fail(err)
+		}
 	}
 }
 
@@ -181,35 +241,55 @@ func (h *harness) play(events []Event) {
 }
 
 // queries keeps the hot nodes above the interest threshold and spreads
-// QueriesPerStep extra queries round-robin over the alive cluster.
+// QueriesPerStep extra queries round-robin over the current membership —
+// joiners start receiving queries the step after they appear, departed
+// nodes drop out of the rotation.
 func (h *harness) queries() {
 	for _, id := range h.hot {
 		if !h.down[id] {
 			h.nets[id].Query(id, 25*time.Millisecond)
 		}
 	}
-	for i := 0; i < h.cfg.QueriesPerStep; i++ {
-		h.rr = (h.rr + 1) % h.cfg.Nodes
-		if !h.down[h.rr] {
-			h.nets[h.rr].Query(h.rr, 25*time.Millisecond)
+	members := h.dir.Members()
+	for i := 0; i < h.cfg.QueriesPerStep && len(members) > 0; i++ {
+		h.rr = (h.rr + 1) % len(members)
+		id := members[h.rr]
+		if nw := h.nets[id]; nw != nil && !h.down[id] {
+			nw.Query(id, 25*time.Millisecond)
 		}
 	}
 }
 
-// checkConvergence asserts that, with the faults healed, every node
-// resolves queries to at least the authority's current version within a
-// bounded time.
+// checkConvergence asserts that, with the faults healed, every current
+// member resolves queries to at least the authority's version within a
+// bounded time. Membership is read from the directory at verdict time:
+// joiners must converge like founding members, departed nodes are not
+// consulted. The authority role may have moved to a promoted successor
+// during the run (case 5 of the III-C repair), so the check waits for a
+// hosted authority before sampling its version.
 func (h *harness) checkConvergence() (bool, string) {
+	deadline := time.Now().Add(8 * h.lcfg.TTL)
 	rootID := h.dir.RootID()
+	for h.nets[rootID] == nil {
+		if time.Now().After(deadline) {
+			return false, "authority departed and no successor was promoted"
+		}
+		time.Sleep(20 * time.Millisecond)
+		rootID = h.dir.RootID()
+	}
 	in, err := h.nets[rootID].Inspect(rootID, time.Second)
 	if err != nil {
 		return false, "could not inspect the authority node"
 	}
 	v0 := in.Version
-	deadline := time.Now().Add(8 * h.lcfg.TTL)
-	for id := 0; id < h.cfg.Nodes; id++ {
+	members := h.dir.Members()
+	for _, id := range members {
+		nw := h.nets[id]
+		if nw == nil {
+			return false, fmt.Sprintf("member %d has no running node", id)
+		}
 		for {
-			r, err := h.nets[id].Query(id, 200*time.Millisecond)
+			r, err := nw.Query(id, 200*time.Millisecond)
 			if err == nil && r.Version >= v0 {
 				break
 			}
@@ -218,7 +298,7 @@ func (h *harness) checkConvergence() (bool, string) {
 			}
 		}
 	}
-	return true, "every node reached the authority version within 8 TTLs"
+	return true, fmt.Sprintf("all %d members reached the authority version within 8 TTLs", len(members))
 }
 
 // checkConsistency asserts the subscriber lists agree with the repaired
@@ -247,33 +327,45 @@ func (h *harness) checkConsistency() (bool, string) {
 }
 
 func (h *harness) treeConsistent() (bool, string) {
-	n := h.cfg.Nodes
-	infos := make([]live.NodeInfo, n)
-	for id := 0; id < n; id++ {
-		in, err := h.nets[id].Inspect(id, time.Second)
+	members := h.dir.Members()
+	isMember := make(map[int]bool, len(members))
+	for _, id := range members {
+		isMember[id] = true
+	}
+	infos := make(map[int]live.NodeInfo, len(members))
+	for _, id := range members {
+		nw := h.nets[id]
+		if nw == nil {
+			return false, fmt.Sprintf("member %d has no running node", id)
+		}
+		in, err := nw.Inspect(id, time.Second)
 		if err != nil {
 			return false, fmt.Sprintf("could not inspect node %d", id)
 		}
 		infos[id] = in
 	}
-	for id, in := range infos {
+	for _, id := range members {
+		in := infos[id]
 		// A subscriber list may contain the node itself (that is what
-		// "interested" means); push targets never do.
+		// "interested" means); push targets never do. Entries pointing at
+		// departed nodes mean a leave's substitute repair never landed.
 		for _, t := range in.Subscribers {
-			if t < 0 || t >= n {
-				return false, fmt.Sprintf("node %d lists bogus subscriber %d", id, t)
+			if !isMember[t] {
+				return false, fmt.Sprintf("node %d lists departed or bogus subscriber %d", id, t)
 			}
 		}
 		for _, t := range in.PushTargets {
-			if t < 0 || t >= n || t == id {
-				return false, fmt.Sprintf("node %d lists bogus push target %d", id, t)
+			if !isMember[t] || t == id {
+				return false, fmt.Sprintf("node %d lists departed or bogus push target %d", id, t)
 			}
 		}
 	}
 	// Push reachability: breadth-first over push edges from the authority.
 	root := h.dir.RootID()
-	reached := make([]bool, n)
-	reached[root] = true
+	if !isMember[root] {
+		return false, fmt.Sprintf("authority %d is not a member", root)
+	}
+	reached := map[int]bool{root: true}
 	queue := []int{root}
 	for len(queue) > 0 {
 		id := queue[0]
@@ -285,7 +377,8 @@ func (h *harness) treeConsistent() (bool, string) {
 			}
 		}
 	}
-	for id, in := range infos {
+	for _, id := range members {
+		in := infos[id]
 		if id == root || in.Dead || !in.Interested {
 			continue
 		}
@@ -325,8 +418,15 @@ func Run(cfg Config) (*Report, error) {
 	h.warmup()
 	h.play(events)
 	time.Sleep(2 * h.lcfg.TTL) // settle: let repairs and final pushes land
+	if h.opErr != nil {
+		h.shutdown()
+		return nil, h.opErr
+	}
 
-	rep := &Report{Seed: cfg.Seed, Nodes: cfg.Nodes, Steps: cfg.Steps, Events: events}
+	rep := &Report{
+		Seed: cfg.Seed, Nodes: cfg.Nodes, Steps: cfg.Steps, Churn: cfg.Churn,
+		Members: len(h.dir.Members()), Epoch: h.dir.Epoch(), Events: events,
+	}
 	add := func(name string, ok bool, detail string) {
 		rep.Invariants = append(rep.Invariants, Invariant{Name: name, OK: ok, Detail: detail})
 	}

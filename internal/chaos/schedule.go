@@ -1,14 +1,17 @@
 // Package chaos is the deterministic chaos harness: it boots a live DUP
 // cluster where every node's endpoint sits behind its own fault wrapper
 // (dup/internal/faults), plays a seeded schedule of partitions, crashes,
-// kills and loss bursts against it while issuing queries, and then checks
-// the invariants the protocol promises to keep:
+// kills, loss bursts and membership churn — live joins, graceful leaves,
+// restarts with durable-state recovery — against it while issuing
+// queries, and then checks the invariants the protocol promises to keep
+// over the changed roster:
 //
-//   - convergence: after the faults heal, every node resolves queries to
-//     at least the authority's version within a bounded time;
+//   - convergence: after the faults heal, every current member resolves
+//     queries to at least the authority's version within a bounded time;
 //   - tree consistency: subscriber lists agree with the repaired DUP tree
 //     — every node that believes it is subscribed is actually reached by
-//     authority pushes, and no list entry points outside the cluster;
+//     authority pushes, and no list entry points outside the current
+//     membership (departed nodes must have been spliced out);
 //   - no leaks: once the cluster stops, every pooled message has been
 //     returned.
 //
@@ -20,6 +23,7 @@ package chaos
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"dup/internal/rng"
@@ -41,6 +45,11 @@ type Config struct {
 	// QueriesPerStep is how many round-robin queries accompany each step,
 	// on top of the standing queries that keep the hot nodes subscribed.
 	QueriesPerStep int
+	// Churn is the percentage of steps that draw a membership operation
+	// (join, leave, or restart-with-recovery) instead of a fault. Zero
+	// means the default (25); -1 disables churn entirely, reproducing the
+	// fixed-roster schedules of earlier harness versions.
+	Churn int
 }
 
 // DefaultConfig returns a small run that finishes in a few seconds.
@@ -52,6 +61,7 @@ func DefaultConfig() Config {
 		Steps:          12,
 		StepEvery:      60 * time.Millisecond,
 		QueriesPerStep: 4,
+		Churn:          25,
 	}
 }
 
@@ -72,6 +82,9 @@ func (c Config) withDefaults() Config {
 	if c.QueriesPerStep == 0 {
 		c.QueriesPerStep = d.QueriesPerStep
 	}
+	if c.Churn == 0 {
+		c.Churn = d.Churn
+	}
 	return c
 }
 
@@ -87,6 +100,8 @@ func (c Config) validate() error {
 		return fmt.Errorf("chaos: need StepEvery > 0, got %v", c.StepEvery)
 	case c.QueriesPerStep < 0:
 		return fmt.Errorf("chaos: need QueriesPerStep >= 0, got %d", c.QueriesPerStep)
+	case c.Churn < -1 || c.Churn > 100:
+		return fmt.Errorf("chaos: need Churn in [-1, 100], got %d", c.Churn)
 	}
 	return nil
 }
@@ -113,6 +128,16 @@ const (
 	OpLoss
 	// OpCalm sets node A's loss back to zero.
 	OpCalm
+	// OpJoin attaches brand-new node A to the running cluster: the
+	// directory assigns it a parent and it announces itself with KindJoin.
+	OpJoin
+	// OpLeave departs node A gracefully and permanently: substitute logic
+	// runs proactively and the directory forgets the node.
+	OpLeave
+	// OpReboot crash-restarts node A with recovery: in-memory state is
+	// blanked and resumed from the node's journal, like a restarted dupd
+	// reading its -state-dir. Instantaneous — no repair event pairs it.
+	OpReboot
 )
 
 func (o Op) String() string {
@@ -133,6 +158,12 @@ func (o Op) String() string {
 		return "loss"
 	case OpCalm:
 		return "calm"
+	case OpJoin:
+		return "join"
+	case OpLeave:
+		return "leave"
+	case OpReboot:
+		return "reboot"
 	}
 	return "unknown"
 }
@@ -157,14 +188,22 @@ func (e Event) String() string {
 	}
 }
 
-// schedState tracks which faults are live while generating a schedule.
+// schedState tracks which faults are live and which nodes are members
+// while generating a schedule.
 type schedState struct {
-	nodes      int
+	nodes      int // initial cluster size
 	disturbed  map[int]bool
 	partitions [][2]int
 	crashed    []int
 	killed     []int
 	lossy      []int
+	// members is the schedule's view of the roster; joins add fresh ids
+	// from nextID upward, leaves remove permanently. protected nodes (the
+	// designated authority and the hot query nodes) never leave.
+	members   map[int]bool
+	protected map[int]bool
+	nextID    int
+	joined    int
 }
 
 // count is how many nodes are currently disturbed in some way.
@@ -172,14 +211,15 @@ func (s *schedState) count() int {
 	return 2*len(s.partitions) + len(s.crashed) + len(s.killed) + len(s.lossy)
 }
 
-// free lists undisturbed node ids in ascending order.
+// free lists undisturbed member ids in ascending order.
 func (s *schedState) free() []int {
 	var ids []int
-	for i := 0; i < s.nodes; i++ {
-		if !s.disturbed[i] {
-			ids = append(ids, i)
+	for id := range s.members {
+		if !s.disturbed[id] {
+			ids = append(ids, id)
 		}
 	}
+	sort.Ints(ids)
 	return ids
 }
 
@@ -211,14 +251,29 @@ func (s *schedState) repair(step int) (Event, bool) {
 	return Event{}, false
 }
 
-// Schedule generates the fault schedule for cfg: one event per step, a
-// bounded number of simultaneously disturbed nodes (a quarter of the
-// cluster), and a cleanup tail at step Config.Steps that heals every
-// outstanding fault. It is a pure function of the configuration.
+// Schedule generates the fault-and-churn schedule for cfg: one event per
+// step, a bounded number of simultaneously disturbed nodes (a quarter of
+// the cluster), membership churn at the configured rate, and a cleanup
+// tail at step Config.Steps that heals every outstanding fault (leaves
+// are permanent and need no healing). It is a pure function of the
+// configuration.
 func Schedule(cfg Config) []Event {
 	cfg = cfg.withDefaults()
 	src := rng.New(cfg.Seed)
-	st := &schedState{nodes: cfg.Nodes, disturbed: map[int]bool{}}
+	st := &schedState{
+		nodes:     cfg.Nodes,
+		disturbed: map[int]bool{},
+		members:   map[int]bool{},
+		protected: map[int]bool{0: true},
+		nextID:    cfg.Nodes,
+	}
+	for id := 0; id < cfg.Nodes; id++ {
+		st.members[id] = true
+	}
+	// The hot query nodes (see newHarness) must survive the whole run.
+	for _, id := range []int{cfg.Nodes - 1, cfg.Nodes - 2, cfg.Nodes - 3} {
+		st.protected[id] = true
+	}
 	limit := cfg.Nodes / 4
 	if limit < 2 {
 		limit = 2
@@ -227,6 +282,12 @@ func Schedule(cfg Config) []Event {
 	for step := 0; step < cfg.Steps; step++ {
 		if st.count() >= limit {
 			if e, ok := st.repair(step); ok {
+				events = append(events, e)
+				continue
+			}
+		}
+		if cfg.Churn > 0 && src.Intn(100) < cfg.Churn {
+			if e, ok := membershipEvent(src, st, step, cfg); ok {
 				events = append(events, e)
 				continue
 			}
@@ -243,6 +304,46 @@ func Schedule(cfg Config) []Event {
 		events = append(events, e)
 	}
 	return events
+}
+
+// membershipEvent draws one churn operation — join, leave, or
+// restart-with-recovery — returning false when the drawn operation has no
+// legal candidate (joins capped at half the initial cluster, the roster
+// never shrinks below three quarters of it, protected nodes never leave).
+func membershipEvent(src *rng.Source, st *schedState, step int, cfg Config) (Event, bool) {
+	switch src.Intn(3) {
+	case 0: // join a brand-new node
+		if st.joined >= cfg.Nodes/2 {
+			return Event{}, false
+		}
+		id := st.nextID
+		st.nextID++
+		st.joined++
+		st.members[id] = true
+		return Event{Step: step, Op: OpJoin, A: id}, true
+	case 1: // leave: a free, unprotected member, roster floor respected
+		if len(st.members) <= cfg.Nodes-cfg.Nodes/4 {
+			return Event{}, false
+		}
+		var cands []int
+		for _, id := range st.free() {
+			if !st.protected[id] {
+				cands = append(cands, id)
+			}
+		}
+		if len(cands) == 0 {
+			return Event{}, false
+		}
+		id := cands[src.Intn(len(cands))]
+		delete(st.members, id)
+		return Event{Step: step, Op: OpLeave, A: id}, true
+	default: // reboot with recovery: any free member, authority included
+		free := st.free()
+		if len(free) == 0 {
+			return Event{}, false
+		}
+		return Event{Step: step, Op: OpReboot, A: free[src.Intn(len(free))]}, true
+	}
 }
 
 // nextEvent draws one fault event, falling back to loss (always legal on

@@ -112,6 +112,13 @@ func Wrap(inner transport.Transport, cfg Config) *Transport {
 // inbound deliveries are refused (and counted as drops by the inner
 // transport, where the message arrived).
 func (f *Transport) Register(id int, h transport.Handler) {
+	// A nil handler deregisters id; pass it through unwrapped so the inner
+	// transport sees the removal (wrapping nil would turn deregistration
+	// into a crash on the next delivery).
+	if h == nil {
+		f.inner.Register(id, nil)
+		return
+	}
 	f.inner.Register(id, func(m *proto.Message) bool {
 		if f.down.Load() || f.closed.Load() {
 			return false

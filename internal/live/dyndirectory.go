@@ -1,0 +1,256 @@
+package live
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"dup/internal/topology"
+)
+
+// Dynamic extends Directory with live membership: nodes can join a
+// running cluster (the directory inserts them into the index search tree
+// and assigns a parent) and leave it (their children are re-homed to
+// their grandparent). Every membership change bumps an epoch counter, so
+// concurrent observers of a join/leave race can order their snapshots
+// deterministically — the chaos harness audits its invariants against the
+// membership at verdict-time epoch, not the initial roster.
+type Dynamic interface {
+	Directory
+	// Join inserts id as a new member and returns its assigned parent.
+	Join(id int) (parent int, err error)
+	// Leave removes id, re-homing its children under its parent.
+	Leave(id int) error
+	// Children returns the current children of id, ascending.
+	Children(id int) []int
+	// Members returns the current member ids, ascending.
+	Members() []int
+	// Epoch returns the membership epoch: it increments on every Join and
+	// Leave and never moves otherwise.
+	Epoch() uint64
+}
+
+// DynDirectory is the mutable in-process Directory: MemDirectory's
+// liveness oracle plus live membership. One shared instance per cluster.
+type DynDirectory struct {
+	mu        sync.Mutex
+	parent    map[int]int
+	member    map[int]bool
+	dead      map[int]bool
+	rootID    int
+	epoch     uint64
+	maxDegree int
+}
+
+// NewDynDirectory returns a directory seeded from the index search tree;
+// joiners are attached respecting maxDegree where possible.
+func NewDynDirectory(tree *topology.Tree, maxDegree int) *DynDirectory {
+	if maxDegree < 1 {
+		maxDegree = 1
+	}
+	d := &DynDirectory{
+		parent:    make(map[int]int, tree.N()),
+		member:    make(map[int]bool, tree.N()),
+		dead:      make(map[int]bool),
+		maxDegree: maxDegree,
+		epoch:     1,
+	}
+	for i := 0; i < tree.N(); i++ {
+		d.parent[i] = tree.Parent(i)
+		d.member[i] = true
+	}
+	return d
+}
+
+// RootID returns the designated authority node.
+func (d *DynDirectory) RootID() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.rootID
+}
+
+// Parent returns the current routing parent of id, or -1 for a node the
+// directory does not know (or that left).
+func (d *DynDirectory) Parent(id int) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.member[id] {
+		return -1
+	}
+	return d.parent[id]
+}
+
+// SetParent records a repair. Non-members (on either side, except the -1
+// root marker) are ignored rather than corrupting state.
+func (d *DynDirectory) SetParent(id, parent int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.member[id] || (parent != -1 && !d.member[parent]) {
+		return
+	}
+	d.parent[id] = parent
+}
+
+// AliveAncestor walks the directory upward from id until it reaches a
+// member that is alive and unsuspected (falling back to the authority).
+func (d *DynDirectory) AliveAncestor(id int, suspect func(int) bool) int {
+	if suspect == nil {
+		suspect = func(int) bool { return false }
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.member[id] {
+		return -1
+	}
+	p := d.parent[id]
+	for hops := 0; p != -1 && hops < len(d.parent); hops++ {
+		if d.member[p] && !d.dead[p] && !suspect(p) {
+			return p
+		}
+		p = d.parent[p]
+	}
+	if d.rootID != id && d.member[d.rootID] && !d.dead[d.rootID] && !suspect(d.rootID) {
+		return d.rootID
+	}
+	return -1
+}
+
+// Promote elects id if the designated authority is dead or departed.
+func (d *DynDirectory) Promote(id int) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.member[id] || (d.member[d.rootID] && !d.dead[d.rootID]) {
+		return false
+	}
+	d.rootID = id
+	d.parent[id] = -1
+	return true
+}
+
+// SetDead records harness-level liveness; non-members are ignored.
+func (d *DynDirectory) SetDead(id int, dead bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.member[id] {
+		return
+	}
+	d.dead[id] = dead
+}
+
+// Revive marks id alive and reports whether it still holds the authority
+// role, atomically against Promote.
+func (d *DynDirectory) Revive(id int) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.member[id] {
+		return false
+	}
+	d.dead[id] = false
+	return d.rootID == id
+}
+
+// Join inserts id under the alive member with the fewest children —
+// preferring members with spare degree, ties broken by lowest id — so the
+// same join sequence always yields the same tree.
+func (d *DynDirectory) Join(id int) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if id < 0 {
+		return -1, fmt.Errorf("live: cannot join negative id %d", id)
+	}
+	if d.member[id] {
+		return -1, fmt.Errorf("live: node %d is already a member", id)
+	}
+	degree := make(map[int]int, len(d.parent))
+	for c, p := range d.parent {
+		if d.member[c] && p >= 0 {
+			degree[p]++
+		}
+	}
+	// Prefer members with spare degree over saturated ones, then fewest
+	// children; the ascending scan breaks ties by lowest id.
+	better := func(deg, bestDeg int) bool {
+		if (deg < d.maxDegree) != (bestDeg < d.maxDegree) {
+			return deg < d.maxDegree
+		}
+		return deg < bestDeg
+	}
+	best, bestDeg := -1, 0
+	for _, cand := range d.sortedMembersLocked() {
+		if d.dead[cand] {
+			continue
+		}
+		if best == -1 || better(degree[cand], bestDeg) {
+			best, bestDeg = cand, degree[cand]
+		}
+	}
+	if best == -1 {
+		return -1, fmt.Errorf("live: no alive member to adopt node %d", id)
+	}
+	d.member[id] = true
+	d.dead[id] = false
+	d.parent[id] = best
+	d.epoch++
+	return best, nil
+}
+
+// Leave removes id, re-homing its children under its parent. A departed
+// root counts as dead, so a child's Promote succeeds.
+func (d *DynDirectory) Leave(id int) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.member[id] {
+		return fmt.Errorf("live: node %d is not a member", id)
+	}
+	p := d.parent[id]
+	for c, cp := range d.parent {
+		if cp == id && d.member[c] {
+			d.parent[c] = p
+		}
+	}
+	delete(d.member, id)
+	d.dead[id] = true
+	d.epoch++
+	return nil
+}
+
+// Children returns the current children of id, ascending.
+func (d *DynDirectory) Children(id int) []int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var out []int
+	for c, p := range d.parent {
+		if p == id && d.member[c] {
+			out = append(out, c)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Members returns the current member ids, ascending. Dead-but-member
+// nodes (crashed, not departed) are included: they still occupy their
+// place in the tree.
+func (d *DynDirectory) Members() []int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.sortedMembersLocked()
+}
+
+func (d *DynDirectory) sortedMembersLocked() []int {
+	out := make([]int, 0, len(d.member))
+	for id, ok := range d.member {
+		if ok {
+			out = append(out, id)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Epoch returns the membership epoch.
+func (d *DynDirectory) Epoch() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.epoch
+}

@@ -1,0 +1,108 @@
+package live
+
+import (
+	"testing"
+
+	"dup/internal/topology"
+)
+
+func TestDynDirectoryJoinPrefersSpareDegree(t *testing.T) {
+	//   0
+	//  / \
+	// 1   2
+	d := NewDynDirectory(topology.FromParents([]int{-1, 0, 0}), 2)
+	p, err := d.Join(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 1 {
+		t.Fatalf("first joiner attached under %d, want 1 (lowest id with spare degree)", p)
+	}
+	p, err = d.Join(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 2 {
+		t.Fatalf("second joiner attached under %d, want 2 (fewest children)", p)
+	}
+	if _, err := d.Join(4); err == nil {
+		t.Fatal("joining an existing member succeeded")
+	}
+	if _, err := d.Join(-1); err == nil {
+		t.Fatal("joining a negative id succeeded")
+	}
+}
+
+func TestDynDirectoryJoinAvoidsDeadMembers(t *testing.T) {
+	d := NewDynDirectory(topology.FromParents([]int{-1, 0, 0}), 8)
+	d.SetDead(0, true)
+	p, err := d.Join(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p == 0 {
+		t.Fatal("joiner was attached under a dead member")
+	}
+}
+
+func TestDynDirectoryLeaveRehomesChildren(t *testing.T) {
+	// 0 - 1 - 2 chain: when 1 leaves, 2 must re-home under 0.
+	d := NewDynDirectory(topology.FromParents([]int{-1, 0, 1}), 2)
+	if err := d.Leave(1); err != nil {
+		t.Fatal(err)
+	}
+	if p := d.Parent(2); p != 0 {
+		t.Fatalf("orphaned child re-homed under %d, want 0", p)
+	}
+	if p := d.Parent(1); p != -1 {
+		t.Fatalf("departed node still has parent %d", p)
+	}
+	if got := d.Members(); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("members after leave = %v, want [0 2]", got)
+	}
+	if err := d.Leave(1); err == nil {
+		t.Fatal("leaving twice succeeded")
+	}
+}
+
+func TestDynDirectoryEpochMovesOnlyOnMembership(t *testing.T) {
+	d := NewDynDirectory(topology.FromParents([]int{-1, 0, 1}), 2)
+	e0 := d.Epoch()
+	d.SetParent(2, 0)
+	d.SetDead(2, true)
+	d.SetDead(2, false)
+	if d.Epoch() != e0 {
+		t.Fatal("epoch moved without a membership change")
+	}
+	if _, err := d.Join(3); err != nil {
+		t.Fatal(err)
+	}
+	if d.Epoch() != e0+1 {
+		t.Fatalf("epoch after join = %d, want %d", d.Epoch(), e0+1)
+	}
+	if err := d.Leave(3); err != nil {
+		t.Fatal(err)
+	}
+	if d.Epoch() != e0+2 {
+		t.Fatalf("epoch after leave = %d, want %d", d.Epoch(), e0+2)
+	}
+}
+
+func TestDynDirectoryPromoteAfterRootLeaves(t *testing.T) {
+	d := NewDynDirectory(topology.FromParents([]int{-1, 0, 0}), 2)
+	if d.Promote(1) {
+		t.Fatal("promoted over a live authority")
+	}
+	if err := d.Leave(0); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Promote(1) {
+		t.Fatal("could not promote after the authority departed")
+	}
+	if got := d.RootID(); got != 1 {
+		t.Fatalf("authority is %d after promotion, want 1", got)
+	}
+	if p := d.Parent(1); p != -1 {
+		t.Fatalf("new authority still has parent %d", p)
+	}
+}

@@ -22,6 +22,7 @@ import (
 
 	"dup/internal/proto"
 	"dup/internal/rng"
+	"dup/internal/store"
 	"dup/internal/topology"
 	"dup/internal/transport"
 )
@@ -53,6 +54,16 @@ type Config struct {
 	// unacknowledged before the sender gives up and escalates into the
 	// Section III-C repair path. Zero means DeadAfter.
 	RetransmitDeadline time.Duration
+	// MaxUnacked bounds the per-node retransmit queue; beyond it reliable
+	// messages go out untracked and count as give-ups. Zero means 256.
+	MaxUnacked int
+	// DedupWindow is how many recent sequence numbers a receiver remembers
+	// per origin when absorbing retransmissions and transport duplicates.
+	// Zero means 128.
+	DedupWindow int
+	// InboxDepth is the per-node inbound message buffer; when it is full
+	// the transport counts a drop. Zero means 256.
+	InboxDepth int
 	// Seed drives topology generation and latency jitter. Every process
 	// of a multi-process cluster must use the same Seed (and Nodes and
 	// MaxDegree) so they derive the same tree.
@@ -75,6 +86,9 @@ func DefaultConfig() Config {
 		HopDelay:       time.Millisecond,
 		KeepAliveEvery: 40 * time.Millisecond,
 		DeadAfter:      150 * time.Millisecond,
+		MaxUnacked:     256,
+		DedupWindow:    128,
+		InboxDepth:     256,
 		Seed:           1,
 	}
 }
@@ -103,8 +117,35 @@ func (c *Config) Validate() error {
 	case c.retransmitDeadline() <= c.retransmitAfter():
 		return fmt.Errorf("live: need RetransmitDeadline > RetransmitAfter, got %v, %v",
 			c.retransmitDeadline(), c.retransmitAfter())
+	case c.MaxUnacked < 0 || c.DedupWindow < 0 || c.InboxDepth < 0:
+		return fmt.Errorf("live: need MaxUnacked, DedupWindow and InboxDepth >= 0, got %d, %d, %d",
+			c.MaxUnacked, c.DedupWindow, c.InboxDepth)
 	}
 	return nil
+}
+
+// maxUnacked resolves the effective retransmit-queue bound.
+func (c *Config) maxUnacked() int {
+	if c.MaxUnacked > 0 {
+		return c.MaxUnacked
+	}
+	return 256
+}
+
+// dedupWindow resolves the effective per-origin dedup window size.
+func (c *Config) dedupWindow() int {
+	if c.DedupWindow > 0 {
+		return c.DedupWindow
+	}
+	return 128
+}
+
+// inboxDepth resolves the effective inbound buffer depth.
+func (c *Config) inboxDepth() int {
+	if c.InboxDepth > 0 {
+		return c.InboxDepth
+	}
+	return 256
 }
 
 // retransmitAfter resolves the effective initial retransmit backoff.
@@ -183,18 +224,33 @@ type Options struct {
 	// StaticDirectory over the same tree.
 	Directory Directory
 	// Hosts lists the node ids this Network runs. Ids must be in
-	// [0, tree size).
+	// [0, tree size). Hosts may be empty: such a Network starts with no
+	// nodes and populates itself through Join.
 	Hosts []int
+	// Journal, when set, receives a durable state record every time a
+	// hosted node's protocol state (parent, role, version, subscriber
+	// list) changes. dupd wires a file-backed store.Store here; the chaos
+	// harness a store.Mem.
+	Journal store.Journal
+	// Recovered seeds hosted nodes with state a previous incarnation
+	// recorded: the authority resumes its version, subscribers re-adopt
+	// their lists and re-sync via a join/state-transfer exchange.
+	Recovered map[int]store.NodeState
 }
 
 // Network runs the hosted subset of a live cluster.
 type Network struct {
-	cfg  Config
-	tr   transport.Transport
-	dir  Directory
-	size int // total cluster size, hosted or not
+	cfg     Config
+	tr      transport.Transport
+	dir     Directory
+	journal store.Journal
 
+	// mu guards the mutable membership below: hosted grows on Join and
+	// shrinks on Leave, size tracks the highest id ever seen.
+	mu     sync.RWMutex
+	size   int // total cluster size, hosted or not
 	hosted map[int]*node
+	left   []*node // departed nodes, drained once more at Stop
 
 	stats struct {
 		queries, queryHops, localHits              atomic.Int64
@@ -226,7 +282,9 @@ func Start(cfg Config) (*Network, error) {
 	for i := range hosts {
 		hosts[i] = i
 	}
-	return boot(cfg, tree, tr, NewMemDirectory(tree), hosts)
+	// The dynamic directory keeps MemDirectory's oracle semantics and
+	// additionally supports live Join/Leave.
+	return boot(cfg, tree, tr, NewDynDirectory(tree, cfg.MaxDegree), hosts, Options{})
 }
 
 // StartWith boots the hosted part of a cluster over the given transport
@@ -239,31 +297,36 @@ func StartWith(cfg Config, opts Options) (*Network, error) {
 	if opts.Transport == nil || opts.Directory == nil {
 		return nil, errors.New("live: StartWith needs a Transport and a Directory")
 	}
-	if len(opts.Hosts) == 0 {
-		return nil, errors.New("live: StartWith needs at least one hosted node")
-	}
 	tree := cfg.BuildTree()
 	for _, id := range opts.Hosts {
 		if id < 0 || id >= tree.N() {
 			return nil, fmt.Errorf("live: hosted node %d outside tree of %d", id, tree.N())
 		}
 	}
-	return boot(cfg, tree, opts.Transport, opts.Directory, opts.Hosts)
+	return boot(cfg, tree, opts.Transport, opts.Directory, opts.Hosts, opts)
 }
 
-func boot(cfg Config, tree *topology.Tree, tr transport.Transport, dir Directory, hosts []int) (*Network, error) {
+func boot(cfg Config, tree *topology.Tree, tr transport.Transport, dir Directory, hosts []int, opts Options) (*Network, error) {
 	nw := &Network{
-		cfg:    cfg,
-		tr:     tr,
-		dir:    dir,
-		size:   tree.N(),
-		hosted: make(map[int]*node, len(hosts)),
+		cfg:     cfg,
+		tr:      tr,
+		dir:     dir,
+		journal: opts.Journal,
+		size:    tree.N(),
+		hosted:  make(map[int]*node, len(hosts)),
 	}
 	for _, id := range hosts {
 		if nw.hosted[id] != nil {
 			return nil, fmt.Errorf("live: node %d hosted twice", id)
 		}
 		n := newNode(nw, id, dir.Parent(id))
+		if ns, ok := opts.Recovered[id]; ok {
+			// Restore the previous incarnation's durable state before the
+			// goroutine starts; the node re-announces itself (join +
+			// state-transfer) once running.
+			n.adoptState(&ns)
+			n.announce = true
+		}
 		nw.hosted[id] = n
 		tr.Register(id, n.handler())
 	}
@@ -282,11 +345,23 @@ func (nw *Network) Stop() {
 		return
 	}
 	nw.tr.Close()
+	nw.mu.Lock()
+	hosted := make([]*node, 0, len(nw.hosted))
 	for _, n := range nw.hosted {
-		close(n.quit)
+		hosted = append(hosted, n)
+	}
+	left := nw.left
+	nw.mu.Unlock()
+	for _, n := range hosted {
+		n.stop()
 	}
 	nw.wg.Wait()
-	for _, n := range nw.hosted {
+	for _, n := range hosted {
+		n.drain()
+	}
+	// Departed nodes drained themselves at exit, but a handler may have
+	// raced one last message in before deregistration took effect.
+	for _, n := range left {
 		n.drain()
 	}
 }
@@ -344,7 +419,7 @@ type NodeInfo struct {
 // the node's own goroutine so it is internally consistent. It works on
 // dead nodes too — the chaos harness uses it to audit repaired trees.
 func (nw *Network) Inspect(id int, timeout time.Duration) (NodeInfo, error) {
-	n := nw.hosted[id]
+	n := nw.node(id)
 	if n == nil {
 		return NodeInfo{}, fmt.Errorf("live: node %d is not hosted here", id)
 	}
@@ -360,8 +435,19 @@ func (nw *Network) Inspect(id int, timeout time.Duration) (NodeInfo, error) {
 	}
 }
 
+// node returns the hosted node for id, or nil.
+func (nw *Network) node(id int) *node {
+	nw.mu.RLock()
+	defer nw.mu.RUnlock()
+	return nw.hosted[id]
+}
+
 // Nodes returns the total cluster size (hosted here or not).
-func (nw *Network) Nodes() int { return nw.size }
+func (nw *Network) Nodes() int {
+	nw.mu.RLock()
+	defer nw.mu.RUnlock()
+	return nw.size
+}
 
 // MeanLatency returns the average hops per resolved query so far.
 func (nw *Network) MeanLatency() float64 {
@@ -379,10 +465,10 @@ func (nw *Network) RootID() int { return nw.dir.RootID() }
 // Query issues an index query at the given hosted node and waits up to
 // timeout for the answer.
 func (nw *Network) Query(at int, timeout time.Duration) (QueryResult, error) {
-	if at < 0 || at >= nw.size {
+	if at < 0 || at >= nw.Nodes() {
 		return QueryResult{}, fmt.Errorf("live: no node %d", at)
 	}
-	n := nw.hosted[at]
+	n := nw.node(at)
 	if n == nil {
 		return QueryResult{}, fmt.Errorf("live: node %d is not hosted here", at)
 	}
@@ -409,7 +495,7 @@ func (nw *Network) Query(at int, timeout time.Duration) (QueryResult, error) {
 // the current authority node exercises the paper's case 5 (a new
 // authority takes over).
 func (nw *Network) Fail(id int) {
-	n := nw.hosted[id]
+	n := nw.node(id)
 	if n == nil {
 		return
 	}
@@ -422,7 +508,7 @@ func (nw *Network) Fail(id int) {
 // with a fresh version; otherwise it rejoins blank under the nearest
 // alive node on its original ancestor path.
 func (nw *Network) Recover(id int) {
-	n := nw.hosted[id]
+	n := nw.node(id)
 	if n == nil || !n.dead.Load() {
 		return
 	}
@@ -439,3 +525,122 @@ func (nw *Network) Recover(id int) {
 
 // directoryParent is the DHT stand-in: the routing parent of id.
 func (nw *Network) directoryParent(id int) int { return nw.dir.Parent(id) }
+
+// Members returns the current roster: the directory's membership when it
+// is dynamic, otherwise every id in the static tree.
+func (nw *Network) Members() []int {
+	if dyn, ok := nw.dir.(Dynamic); ok {
+		return dyn.Members()
+	}
+	nw.mu.RLock()
+	defer nw.mu.RUnlock()
+	out := make([]int, nw.size)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// dynamic returns the membership-capable directory, or an error when the
+// configured Directory cannot mutate its node set.
+func (nw *Network) dynamic() (Dynamic, error) {
+	if dyn, ok := nw.dir.(Dynamic); ok {
+		return dyn, nil
+	}
+	return nil, fmt.Errorf("live: directory %T does not support membership changes", nw.dir)
+}
+
+// Join attaches a brand-new node to the running cluster: the directory
+// inserts it into the index search tree (epoch-stamped, so races against
+// other membership changes resolve deterministically), and the node
+// announces itself to its assigned parent with a KindJoin — the parent
+// adopts it into the keep-alive fabric and answers with a state transfer
+// when it holds a valid index copy. The joiner builds interest from
+// scratch like any cold node.
+func (nw *Network) Join(id int) error {
+	dyn, err := nw.dynamic()
+	if err != nil {
+		return err
+	}
+	if nw.stopped.Load() {
+		return errors.New("live: network is stopped")
+	}
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	if nw.hosted[id] != nil {
+		return fmt.Errorf("live: node %d is already hosted here", id)
+	}
+	parent, err := dyn.Join(id)
+	if err != nil {
+		return err
+	}
+	n := newNode(nw, id, parent)
+	n.announce = true
+	nw.hosted[id] = n
+	if id >= nw.size {
+		nw.size = id + 1
+	}
+	nw.tr.Register(id, n.handler())
+	nw.wg.Add(1)
+	go n.run()
+	return nil
+}
+
+// Leave departs a hosted node gracefully: the directory re-homes its
+// children, and the node runs the paper's substitute logic proactively —
+// its parent splices the remaining representative into the subscriber
+// list (or unsubscribes the branch) on receipt of KindLeave instead of
+// waiting a keep-alive death to notice. Leave waits up to timeout for the
+// departure announcements to be acknowledged, then deregisters the node.
+func (nw *Network) Leave(id int, timeout time.Duration) error {
+	dyn, err := nw.dynamic()
+	if err != nil {
+		return err
+	}
+	nw.mu.Lock()
+	n := nw.hosted[id]
+	if n == nil {
+		nw.mu.Unlock()
+		return fmt.Errorf("live: node %d is not hosted here", id)
+	}
+	// Snapshot the children before the directory re-homes them: they are
+	// exactly the peers whose keep-alive parent is about to vanish.
+	children := dyn.Children(id)
+	if err := dyn.Leave(id); err != nil {
+		nw.mu.Unlock()
+		return err
+	}
+	delete(nw.hosted, id)
+	nw.left = append(nw.left, n)
+	nw.mu.Unlock()
+
+	done := make(chan struct{})
+	if n.postCtrl(ctrlMsg{kind: cLeave, children: children, done: done}) {
+		select {
+		case <-done:
+		case <-time.After(timeout):
+		}
+	}
+	// Deregister and stop: late messages to the departed id count as
+	// transport drops from here on.
+	nw.tr.Register(id, nil)
+	n.dead.Store(true)
+	n.stop()
+	return nil
+}
+
+// Reboot models a crash-and-restart with durable state: the hosted node
+// blanks its in-memory protocol state and resumes from ns (as recorded by
+// a Journal), re-announcing itself to its parent exactly like a restarted
+// dupd with -state-dir. A nil ns reboots cold. The node set is unchanged
+// — the directory still counts the node as a member throughout.
+func (nw *Network) Reboot(id int, ns *store.NodeState) error {
+	n := nw.node(id)
+	if n == nil {
+		return fmt.Errorf("live: node %d is not hosted here", id)
+	}
+	if !n.postCtrl(ctrlMsg{kind: cReboot, state: ns}) {
+		return fmt.Errorf("live: node %d is overloaded", id)
+	}
+	return nil
+}

@@ -1,0 +1,155 @@
+package live
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"dup/internal/topology"
+)
+
+// listedAnywhere reports whether any member's subscriber list or push
+// targets still mention id.
+func listedAnywhere(t *testing.T, nw *Network, members []int, id int) bool {
+	t.Helper()
+	for _, m := range members {
+		if m == id {
+			continue
+		}
+		in, err := nw.Inspect(m, time.Second)
+		if err != nil {
+			continue
+		}
+		for _, s := range in.Subscribers {
+			if s == id {
+				return true
+			}
+		}
+		for _, p := range in.PushTargets {
+			if p == id {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// TestJoinSubscribeLeaveRejoinWithinTTL runs the full membership dance
+// inside a single TTL generation: a node joins the running cluster,
+// becomes interested and subscribes, departs gracefully (its subscription
+// must be spliced out everywhere), then rejoins under the same id and
+// subscribes again. The rejoin is the hard part — peers still hold the
+// first incarnation's suspicion marks and dedup window, and none of that
+// may bleed into the second incarnation's subscription.
+func TestJoinSubscribeLeaveRejoinWithinTTL(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Nodes = 8
+	cfg.MaxDegree = 2
+	cfg.TTL = 10 * time.Second // one generation spans the whole test
+	cfg.Lead = 500 * time.Millisecond
+	cfg.Threshold = 2
+	nw, err := Start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Stop()
+	start := time.Now()
+	id := cfg.Nodes // first fresh id above the initial roster
+
+	subscribeAndVerify := func(round string) {
+		t.Helper()
+		for i := 0; i < cfg.Threshold+2; i++ {
+			query(t, nw, id, 2*time.Second)
+		}
+		waitUntil(t, 4*time.Second, round+": joiner listed as a subscriber", func() bool {
+			in, err := nw.Inspect(id, time.Second)
+			if err != nil || !in.Interested {
+				return false
+			}
+			return listedAnywhere(t, nw, nw.Members(), id)
+		})
+	}
+
+	if err := nw.Join(id); err != nil {
+		t.Fatal(err)
+	}
+	subscribeAndVerify("join")
+
+	if err := nw.Leave(id, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	members := nw.Members()
+	for _, m := range members {
+		if m == id {
+			t.Fatal("directory still lists the departed node")
+		}
+	}
+	waitUntil(t, 4*time.Second, "departure spliced out of every subscriber list", func() bool {
+		return !listedAnywhere(t, nw, members, id)
+	})
+
+	if err := nw.Join(id); err != nil {
+		t.Fatalf("rejoin: %v", err)
+	}
+	subscribeAndVerify("rejoin")
+
+	if elapsed := time.Since(start); elapsed >= cfg.TTL {
+		t.Fatalf("dance took %v, exceeding one TTL (%v) — the rejoin no longer races the first incarnation's state", elapsed, cfg.TTL)
+	}
+}
+
+// TestInspectDuringRepair hammers Inspect from several goroutines while a
+// Section III-C repair is in flight (an interior node is killed mid-run,
+// its subtree re-homes and substitutes). Inspect must stay responsive and
+// race-free throughout, and the repair must still complete.
+func TestInspectDuringRepair(t *testing.T) {
+	//   0 - 1 - 2 - {3, 4}
+	tree := topology.FromParents([]int{-1, 0, 1, 2, 2})
+	cfg := DefaultConfig()
+	cfg.Tree = tree
+	cfg.Threshold = 2
+	nw, err := Start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Stop()
+
+	// Make the leaves hot so the kill has a DUP tree to repair.
+	for _, leaf := range []int{3, 4} {
+		for i := 0; i < cfg.Threshold+2; i++ {
+			query(t, nw, leaf, 2*time.Second)
+		}
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for _, id := range []int{0, 2, 3, 4} {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if in, err := nw.Inspect(id, time.Second); err == nil && in.ID != id {
+					t.Errorf("inspect of %d answered for %d", id, in.ID)
+					return
+				}
+			}
+		}(id)
+	}
+
+	// Kill the interior node and let the keep-alive detector trigger the
+	// repair while the inspectors run.
+	nw.Fail(1)
+	time.Sleep(cfg.DeadAfter + 6*cfg.KeepAliveEvery)
+	close(stop)
+	wg.Wait()
+
+	// The subtree must answer again on the repaired tree.
+	for _, id := range []int{2, 3, 4} {
+		query(t, nw, id, 4*time.Second)
+	}
+}

@@ -1,11 +1,13 @@
 package live
 
 import (
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"dup/internal/core"
 	"dup/internal/proto"
+	"dup/internal/store"
 	"dup/internal/transport"
 )
 
@@ -17,6 +19,8 @@ const (
 	cReset                      // recovery: blank state, adopt new parent
 	cBecomeRoot                 // case 5: take over as authority
 	cInspect                    // state snapshot for Network.Inspect
+	cLeave                      // graceful departure: proactive substitute
+	cReboot                     // crash-and-restart with durable state
 )
 
 // ctrlMsg is one local control injection from the Network into a node.
@@ -26,22 +30,23 @@ type ctrlMsg struct {
 	res      chan QueryResult
 	info     chan NodeInfo
 	deadline time.Time
+	children []int            // cLeave: keep-alive children to notify
+	done     chan struct{}    // cLeave: closed once departure is acked
+	state    *store.NodeState // cReboot: durable state to resume from
 }
 
-// reliableKind reports whether k carries tree or index state that must
-// survive message loss: such messages are seq-stamped, acknowledged by
-// the receiver, and retransmitted until acked or given up on.
+// reliableKind reports whether k carries tree, index or membership state
+// that must survive message loss: such messages are seq-stamped,
+// acknowledged by the receiver, and retransmitted until acked or given up
+// on.
 func reliableKind(k proto.Kind) bool {
 	switch k {
-	case proto.KindPush, proto.KindSubscribe, proto.KindUnsubscribe, proto.KindSubstitute:
+	case proto.KindPush, proto.KindSubscribe, proto.KindUnsubscribe, proto.KindSubstitute,
+		proto.KindJoin, proto.KindLeave:
 		return true
 	}
 	return false
 }
-
-// maxUnacked bounds the retransmit queue; beyond it messages go out
-// untracked (fire-and-forget, like before the reliability layer).
-const maxUnacked = 256
 
 // relEntry is one reliable message awaiting acknowledgement: enough of
 // the payload to rebuild it for a retransmission.
@@ -55,17 +60,16 @@ type relEntry struct {
 	backoff           time.Duration
 }
 
-// dedupWindow is how many recent sequence numbers a receiver remembers
-// per origin. Eviction is FIFO, which is safe because a sender only ever
-// retransmits its few most recent unacknowledged messages.
-const dedupWindow = 128
-
 // seqWindow dedups inbound (origin, seq) pairs so retransmissions and
-// transport-level duplicates are absorbed instead of re-applied.
+// transport-level duplicates are absorbed instead of re-applied. It
+// remembers the most recent limit (Config.DedupWindow) sequence numbers;
+// eviction is FIFO, which is safe because a sender only ever retransmits
+// its few most recent unacknowledged messages.
 type seqWindow struct {
-	seen map[int64]struct{}
-	fifo []int64
-	next int
+	seen  map[int64]struct{}
+	fifo  []int64
+	next  int
+	limit int
 }
 
 // observe records seq and reports whether it was already seen.
@@ -73,12 +77,12 @@ func (w *seqWindow) observe(seq int64) bool {
 	if _, ok := w.seen[seq]; ok {
 		return true
 	}
-	if len(w.fifo) < dedupWindow {
+	if len(w.fifo) < w.limit {
 		w.fifo = append(w.fifo, seq)
 	} else {
 		delete(w.seen, w.fifo[w.next])
 		w.fifo[w.next] = seq
-		w.next = (w.next + 1) % dedupWindow
+		w.next = (w.next + 1) % w.limit
 	}
 	w.seen[seq] = struct{}{}
 	return false
@@ -140,13 +144,27 @@ type node struct {
 	relSeq  int64
 	unacked map[int64]*relEntry
 	seen    map[int]*seqWindow
+
+	// Membership. announce makes the node introduce itself to its parent
+	// (KindJoin) when its goroutine starts — set for joiners and for nodes
+	// resuming from recovered state. leaving/leaveDone track a graceful
+	// departure waiting for its announcements to be acknowledged.
+	announce  bool
+	leaving   bool
+	leaveDone chan struct{}
+	stopOnce  sync.Once
+
+	// Durable state. lastRec is the last journal record written, so state
+	// that did not change does not hit the log again.
+	lastRec  store.NodeState
+	recValid bool
 }
 
 func newNode(nw *Network, id, parent int) *node {
 	n := &node{
 		nw:         nw,
 		id:         id,
-		inbox:      make(chan *proto.Message, 256),
+		inbox:      make(chan *proto.Message, nw.cfg.inboxDepth()),
 		ctrl:       make(chan ctrlMsg, 16),
 		quit:       make(chan struct{}),
 		parent:     parent,
@@ -239,7 +257,7 @@ func (n *node) track(m *proto.Message) {
 			}
 		}
 	}
-	if len(n.unacked) >= maxUnacked {
+	if len(n.unacked) >= n.nw.cfg.maxUnacked() {
 		n.nw.stats.giveUps.Add(1)
 		return
 	}
@@ -282,10 +300,17 @@ func (n *node) run() {
 	now := time.Now()
 	n.intervalStart = now
 	n.lastAck = now
-	if n.isRoot.Load() {
+	// A recovered authority enters with its pre-crash version already
+	// adopted; only a genuinely fresh root starts the schedule at zero.
+	if n.isRoot.Load() && n.expiry.IsZero() {
 		n.version = 0
 		n.expiry = now.Add(n.nw.cfg.TTL)
 	}
+	if n.announce {
+		n.announce = false
+		n.sendJoin()
+	}
+	n.record()
 	tick := time.NewTicker(n.nw.cfg.KeepAliveEvery)
 	defer tick.Stop()
 	for {
@@ -299,14 +324,23 @@ func (n *node) run() {
 				continue
 			}
 			n.handle(m)
+			n.record()
 		case c := <-n.ctrl:
 			n.control(c)
+			n.record()
 		case <-tick.C:
 			if !n.dead.Load() {
 				n.tick(time.Now())
+				n.record()
 			}
 		}
 	}
+}
+
+// stop closes the quit channel exactly once: Leave and Network.Stop can
+// race to shut the same node down.
+func (n *node) stop() {
+	n.stopOnce.Do(func() { close(n.quit) })
 }
 
 // tick runs the periodic work: the authority refresh schedule, keep-alives
@@ -384,6 +418,7 @@ func (n *node) tick(now time.Time) {
 		n.count = 0
 		n.intervalStart = now
 	}
+	n.maybeFinishLeave()
 }
 
 // suspected is the node's local failure-detector verdict, consulted by the
@@ -468,6 +503,10 @@ func (n *node) control(c ctrlMsg) {
 		n.becomeRoot(time.Now())
 	case cInspect:
 		c.info <- n.info()
+	case cLeave:
+		n.beginLeave(c)
+	case cReboot:
+		n.reboot(c.state)
 	}
 }
 
@@ -517,9 +556,13 @@ func (n *node) handle(m *proto.Message) {
 	// Reliable kinds with a seq are acknowledged; duplicates (a
 	// retransmission whose original got through, or a transport-level
 	// copy) are re-acked — the first ack may have been the loss — and
-	// absorbed without touching protocol state.
+	// absorbed without touching protocol state. KindJoin is the exception:
+	// it marks a new incarnation of the origin, whose clock-seeded seq
+	// stream could overlap the previous incarnation's window if its clock
+	// lags, so it is processed regardless (onJoin is idempotent) and
+	// resets the origin's window.
 	if reliableKind(m.Kind) && m.Seq > 0 {
-		if n.dedup(m.Origin, m.Seq) {
+		if n.dedup(m.Origin, m.Seq) && m.Kind != proto.KindJoin {
 			n.nw.stats.dups.Add(1)
 			n.nw.stats.dupsByKind[m.Kind].Add(1)
 			n.ackTo(m)
@@ -549,8 +592,56 @@ func (n *node) handle(m *proto.Message) {
 	case proto.KindKeepAliveAck:
 		n.lastAck = time.Now()
 		delete(n.suspects, m.Origin)
+	case proto.KindJoin:
+		n.onJoin(m)
+	case proto.KindLeave:
+		n.onLeave(m)
+	case proto.KindState:
+		n.store(m.Version, unixToTime(m.Expiry))
 	}
 	proto.Release(m)
+}
+
+// onJoin adopts a joining (or recovering) child into the keep-alive
+// fabric and answers with a best-effort state transfer, so the joiner
+// holds a servable index copy without waiting out a TTL of misses.
+func (n *node) onJoin(m *proto.Message) {
+	now := time.Now()
+	// A join starts the origin's incarnation afresh: drop the dedup window
+	// its predecessor filled, so the newcomer's messages can never be
+	// absorbed as duplicates of messages it never sent.
+	delete(n.seen, m.Origin)
+	n.childSeen[m.Origin] = now
+	delete(n.suspects, m.Origin)
+	if v, exp, ok := n.valid(now); ok {
+		s := n.newMsg(proto.KindState, m.Origin)
+		s.Version = v
+		s.Expiry = timeToUnix(exp)
+		n.nw.tr.Send(s)
+	}
+}
+
+// onLeave handles a peer's graceful departure announcement. From a
+// subscriber it is the paper's substitute logic run proactively: splice
+// the departing node's remaining representative into the list (Figure 3
+// C), or unsubscribe the branch when nothing remains (Figure 3 E). From
+// the parent it triggers immediate re-homing — the same repair a
+// keep-alive death would cause, minus the detection delay.
+func (n *node) onLeave(m *proto.Message) {
+	now := time.Now()
+	delete(n.childSeen, m.Origin)
+	delete(n.seen, m.Origin) // a departed peer's window is dead state
+	n.suspects[m.Origin] = now
+	if n.st.Contains(m.Origin) {
+		if m.Subject >= 0 && m.Subject != n.id {
+			n.emit(n.st.HandleSubstitute(m.Origin, m.Subject))
+		} else {
+			n.emit(n.st.HandleUnsubscribe(m.Origin))
+		}
+	}
+	if m.Origin == n.parent {
+		n.parentDied(now)
+	}
 }
 
 // ackTo acknowledges a reliable message back to its sender.
@@ -565,7 +656,7 @@ func (n *node) ackTo(m *proto.Message) {
 func (n *node) dedup(origin int, seq int64) bool {
 	w := n.seen[origin]
 	if w == nil {
-		w = &seqWindow{seen: map[int64]struct{}{}}
+		w = &seqWindow{seen: map[int64]struct{}{}, limit: n.nw.cfg.dedupWindow()}
 		n.seen[origin] = w
 	}
 	return w.observe(seq)
@@ -585,6 +676,179 @@ func (n *node) onAck(m *proto.Message) {
 	if m.Origin == n.parent {
 		n.lastAck = time.Now()
 	}
+	n.maybeFinishLeave()
+}
+
+// sendJoin announces this node to its parent: a reliable KindJoin
+// carrying the membership epoch, answered by a state transfer when the
+// parent holds a valid copy.
+func (n *node) sendJoin() {
+	if n.parent < 0 {
+		return
+	}
+	m := n.newMsg(proto.KindJoin, n.parent)
+	if dyn, ok := n.nw.dir.(Dynamic); ok {
+		m.Version = int64(dyn.Epoch())
+	}
+	n.send(m)
+}
+
+// beginLeave starts a graceful departure: withdraw interest the ordinary
+// way (Figure 3 D), tell the parent how to splice this node out of its
+// subscriber list, and tell the keep-alive children to re-home now rather
+// than after a detection timeout. The node keeps running — acking,
+// retransmitting — until its departure announcements are acknowledged;
+// maybeFinishLeave then signals the waiting Network.Leave.
+func (n *node) beginLeave(c ctrlMsg) {
+	if n.leaving {
+		if c.done != nil {
+			close(c.done)
+		}
+		return
+	}
+	n.leaving = true
+	n.leaveDone = c.done
+	if n.st.Interested() {
+		n.emit(n.st.LoseInterest())
+	}
+	if n.parent >= 0 {
+		// With exactly one remaining subscriber the parent can substitute
+		// it in place (Figure 3 C). With more, no single node represents
+		// the branch: the parent unsubscribes it and the re-homed children
+		// re-announce their own virtual paths.
+		rep := -1
+		if subs := n.st.Subscribers(); len(subs) == 1 && subs[0] != n.id {
+			rep = subs[0]
+		}
+		m := n.newMsg(proto.KindLeave, n.parent)
+		m.Subject = rep
+		n.send(m)
+	}
+	for _, child := range c.children {
+		if child == n.id {
+			continue
+		}
+		m := n.newMsg(proto.KindLeave, child)
+		m.Subject = -1
+		n.send(m)
+	}
+	n.maybeFinishLeave()
+}
+
+// maybeFinishLeave completes a pending departure once nothing reliable is
+// left unacknowledged (the retransmit deadline bounds how long that can
+// take: give-ups empty the queue too).
+func (n *node) maybeFinishLeave() {
+	if !n.leaving || n.leaveDone == nil || len(n.unacked) != 0 {
+		return
+	}
+	close(n.leaveDone)
+	n.leaveDone = nil
+}
+
+// reboot models a crash-and-restart: blank in-memory state, then resume
+// from the durable record ns as a restarted process would. Cold reboots
+// (ns nil) come back like a plain recovery.
+func (n *node) reboot(ns *store.NodeState) {
+	if ns != nil {
+		n.adoptState(ns)
+		n.sendJoin()
+		return
+	}
+	if n.nw.dir.RootID() == n.id {
+		n.becomeRoot(time.Now())
+		return
+	}
+	n.reset(n.nw.dir.Parent(n.id))
+	n.sendJoin()
+}
+
+// adoptState restores durable state recorded by a previous incarnation.
+// A still-designated authority resumes its exact pre-crash version with a
+// fresh TTL and immediately re-pushes it (subscribers accept an equal
+// version, so the tree learns the authority is back without a version
+// regression). Any other node re-homes under its recorded parent, adopts
+// its recorded subscriber list, and re-announces interest upstream.
+func (n *node) adoptState(ns *store.NodeState) {
+	now := time.Now()
+	if ns.IsRoot && n.nw.dir.RootID() == n.id {
+		n.reset(-1)
+		n.st.SetRoot(true)
+		n.isRoot.Store(true)
+		for _, s := range ns.Subscribers {
+			if s != n.id {
+				n.st.AdoptSubscriber(s)
+			}
+		}
+		n.version = ns.Version
+		n.expiry = now.Add(n.nw.cfg.TTL)
+		n.pushOut(n.version, n.expiry)
+		return
+	}
+	parent := ns.Parent
+	if parent < 0 || parent == n.id {
+		parent = n.nw.dir.Parent(n.id)
+	}
+	n.reset(parent)
+	interested := false
+	for _, s := range ns.Subscribers {
+		if s == n.id {
+			interested = true
+			continue
+		}
+		n.st.AdoptSubscriber(s)
+	}
+	if interested {
+		n.emit(n.st.BecomeInterested())
+	} else if n.st.OnVirtualPath() && parent >= 0 {
+		// Re-announce the virtual path: the parent may have dropped this
+		// branch while the node was down.
+		n.nw.stats.subscribes.Add(1)
+		m := n.newMsg(proto.KindSubscribe, parent)
+		m.Subject = n.st.Representative()
+		n.send(m)
+	}
+	if exp := unixToTime(ns.Expiry); exp.After(now) {
+		n.haveCopy, n.cacheVer, n.cacheExp = true, ns.Version, exp
+	}
+}
+
+// record journals the node's durable state when it changed since the last
+// record: the run loop calls it after every message, control injection
+// and tick, so the journal tracks parent, role, version and subscriber
+// list without the protocol paths knowing about persistence.
+func (n *node) record() {
+	if n.nw.journal == nil || n.dead.Load() {
+		return
+	}
+	ns := store.NodeState{ID: n.id, Parent: n.parent, IsRoot: n.isRoot.Load()}
+	if ns.IsRoot {
+		ns.Version, ns.Expiry = n.version, timeToUnix(n.expiry)
+	} else if n.haveCopy {
+		ns.Version, ns.Expiry = n.cacheVer, timeToUnix(n.cacheExp)
+	}
+	subs := n.st.Subscribers()
+	if n.recValid && ns.Parent == n.lastRec.Parent && ns.IsRoot == n.lastRec.IsRoot &&
+		ns.Version == n.lastRec.Version && ns.Expiry == n.lastRec.Expiry &&
+		equalInts(subs, n.lastRec.Subscribers) {
+		return
+	}
+	ns.Subscribers = append([]int(nil), subs...)
+	n.lastRec = ns
+	n.recValid = true
+	n.nw.journal.Record(ns)
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // reset blanks the node after recovery and re-homes it under parent.

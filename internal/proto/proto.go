@@ -53,12 +53,29 @@ const (
 	// idempotent retransmission. The simulator's lossless event queue never
 	// sends them.
 	KindAck
+	// KindJoin announces a node attaching to a running cluster. The joiner
+	// sends it (reliably) to the parent the directory assigned; the parent
+	// adopts the joiner into its keep-alive fabric and answers with a
+	// KindState transfer when it holds a valid index copy. Version carries
+	// the directory membership epoch at send time.
+	KindJoin
+	// KindLeave announces a graceful departure. Sent to the parent with
+	// Subject = the leaver's remaining representative subscriber (or -1),
+	// it runs the paper's substitute/unsubscribe logic proactively instead
+	// of waiting for keep-alive death; copies sent to the leaver's
+	// keep-alive children (Subject = -1) trigger immediate re-homing.
+	KindLeave
+	// KindState is a point-to-point index state transfer (Version, Expiry)
+	// answering a KindJoin, so a rejoining subscriber re-syncs in one
+	// message instead of a TTL of misses. Best-effort: a lost transfer
+	// degrades to the ordinary query path.
+	KindState
 )
 
 var kindNames = [...]string{
 	"request", "reply", "push", "subscribe", "unsubscribe",
 	"substitute", "interest", "uninterest", "keepalive", "keepalive-ack",
-	"ack",
+	"ack", "join", "leave", "state",
 }
 
 // NumKinds is the number of defined message kinds; Kind values in
@@ -198,6 +215,12 @@ func (m *Message) String() string {
 		return fmt.Sprintf("substitute{to:%d old:%d new:%d}", m.To, m.Old, m.New)
 	case KindAck:
 		return fmt.Sprintf("ack{to:%d seq:%d of:%s}", m.To, m.Seq, Kind(m.Subject))
+	case KindJoin:
+		return fmt.Sprintf("join{to:%d origin:%d epoch:%d}", m.To, m.Origin, m.Version)
+	case KindLeave:
+		return fmt.Sprintf("leave{to:%d origin:%d rep:%d}", m.To, m.Origin, m.Subject)
+	case KindState:
+		return fmt.Sprintf("state{to:%d from:%d v:%d}", m.To, m.Origin, m.Version)
 	default:
 		return fmt.Sprintf("%s{to:%d}", m.Kind, m.To)
 	}

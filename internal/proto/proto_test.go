@@ -18,6 +18,9 @@ func TestKindString(t *testing.T) {
 		KindKeepAlive:    "keepalive",
 		KindKeepAliveAck: "keepalive-ack",
 		KindAck:          "ack",
+		KindJoin:         "join",
+		KindLeave:        "leave",
+		KindState:        "state",
 	}
 	if len(cases) != NumKinds {
 		t.Errorf("test covers %d kinds, NumKinds = %d", len(cases), NumKinds)
@@ -34,7 +37,7 @@ func TestKindString(t *testing.T) {
 
 func TestKindControl(t *testing.T) {
 	control := []Kind{KindSubscribe, KindUnsubscribe, KindSubstitute, KindInterest, KindUninterest}
-	data := []Kind{KindRequest, KindReply, KindPush, KindKeepAlive, KindKeepAliveAck, KindAck}
+	data := []Kind{KindRequest, KindReply, KindPush, KindKeepAlive, KindKeepAliveAck, KindAck, KindJoin, KindLeave, KindState}
 	for _, k := range control {
 		if !k.Control() {
 			t.Errorf("%v should be a control kind", k)
@@ -130,6 +133,9 @@ func TestMessageString(t *testing.T) {
 		{Message{Kind: KindSubstitute, To: 1, Old: 5, New: 2}, "substitute{to:1 old:5 new:2}"},
 		{Message{Kind: KindKeepAlive, To: 0}, "keepalive{to:0}"},
 		{Message{Kind: KindAck, To: 2, Seq: 9, Subject: int(KindPush)}, "ack{to:2 seq:9 of:push}"},
+		{Message{Kind: KindJoin, To: 2, Origin: 9, Version: 3}, "join{to:2 origin:9 epoch:3}"},
+		{Message{Kind: KindLeave, To: 2, Origin: 9, Subject: -1}, "leave{to:2 origin:9 rep:-1}"},
+		{Message{Kind: KindState, To: 9, Origin: 2, Version: 7}, "state{to:9 from:2 v:7}"},
 	}
 	for _, c := range cases {
 		if got := c.m.String(); got != c.want {

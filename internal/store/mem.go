@@ -1,0 +1,35 @@
+package store
+
+import "sync"
+
+// Mem is an in-memory Journal: the chaos harness uses one per simulated
+// process so a restart-with-recovery event can reload the state a real
+// deployment would have read from disk, without touching the filesystem.
+type Mem struct {
+	mu    sync.Mutex
+	nodes map[int]NodeState
+}
+
+// NewMem returns an empty in-memory journal.
+func NewMem() *Mem {
+	return &Mem{nodes: make(map[int]NodeState)}
+}
+
+// Record keeps the latest state per node.
+func (m *Mem) Record(ns NodeState) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ns.Subscribers = append([]int(nil), ns.Subscribers...)
+	m.nodes[ns.ID] = ns
+}
+
+// Node returns the recorded state for id, if any.
+func (m *Mem) Node(id int) (NodeState, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ns, ok := m.nodes[id]
+	if ok {
+		ns.Subscribers = append([]int(nil), ns.Subscribers...)
+	}
+	return ns, ok
+}

@@ -1,0 +1,386 @@
+// Package store persists per-node protocol state — the authority's
+// (version, subscriber list) and every node's subscription set — so a
+// killed process can resume where it crashed instead of losing its index
+// to the mid-fail-over vacuum.
+//
+// The layout is a classic append-only log plus snapshot. Every state
+// change appends one CRC-framed record to wal.log:
+//
+//	| u32 payload length (big endian) | u32 CRC-32 (IEEE) of payload | payload |
+//
+// where the payload reuses the wire codec: a KindState message carrying
+// the node id (Origin), parent (Subject), root flag (Old), version and
+// expiry, with the subscriber list in Path. Recovery replays the snapshot
+// and then the log, keeping the last record per node; a torn tail (a
+// record cut short by the crash) is truncated, never propagated. When the
+// log outgrows CompactAt the store writes a fresh snapshot (tmp + fsync +
+// rename, so a crash mid-compaction leaves the old one intact) and resets
+// the log. Root version bumps fsync before Record returns — the authority
+// never acknowledges a version it could forget.
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"dup/internal/proto"
+	"dup/internal/wire"
+)
+
+const (
+	walName  = "wal.log"
+	snapName = "snapshot.dat"
+
+	// recHeader is the byte length of the per-record length + CRC prefix.
+	recHeader = 8
+
+	// DefaultCompactAt is the log size that triggers a snapshot + log
+	// reset. State records are tens of bytes, so this keeps recovery
+	// replay bounded at a few thousand records.
+	DefaultCompactAt = 1 << 18
+)
+
+// ErrCorrupt marks a snapshot that fails its CRC or decode. Snapshots are
+// written atomically, so unlike a torn log tail this indicates real
+// damage and is surfaced rather than repaired silently.
+var ErrCorrupt = errors.New("store: corrupt snapshot")
+
+// NodeState is the durable protocol state of one node: everything needed
+// to resume its role after a crash. Expiry is the wire representation
+// (absolute unix seconds as float64); the live layer converts.
+type NodeState struct {
+	ID          int
+	Parent      int
+	IsRoot      bool
+	Version     int64
+	Expiry      float64
+	Subscribers []int
+}
+
+// Journal receives state records as a node's durable state changes. The
+// file-backed Store and the in-memory Mem both implement it; the live
+// layer records through this interface so tests and the chaos harness can
+// capture state without touching disk.
+type Journal interface {
+	Record(ns NodeState)
+}
+
+// Store is a file-backed Journal rooted at one directory. It is safe for
+// concurrent use by multiple node goroutines.
+type Store struct {
+	mu        sync.Mutex
+	dir       string
+	wal       *os.File
+	walBytes  int64
+	compactAt int64
+	nodes     map[int]NodeState
+	lastRoot  map[int]int64 // last fsynced root version per node
+	buf       []byte
+	err       error // first write error; surfaced by Err/Close
+}
+
+// Open opens (or creates) the store in dir, replaying any snapshot and
+// log found there. A torn record at the log tail — the normal signature
+// of a crash mid-append — is truncated away; corruption anywhere else is
+// an error.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := &Store{
+		dir:       dir,
+		compactAt: DefaultCompactAt,
+		nodes:     make(map[int]NodeState),
+		lastRoot:  make(map[int]int64),
+	}
+	if err := s.loadSnapshot(); err != nil {
+		return nil, err
+	}
+	if err := s.loadWAL(); err != nil {
+		return nil, err
+	}
+	wal, err := os.OpenFile(filepath.Join(dir, walName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	s.wal = wal
+	if fi, err := wal.Stat(); err == nil {
+		s.walBytes = fi.Size()
+	}
+	for id, ns := range s.nodes {
+		if ns.IsRoot {
+			s.lastRoot[id] = ns.Version
+		}
+	}
+	return s, nil
+}
+
+// SetCompactAt overrides the log size that triggers compaction (tests use
+// tiny values to force the path).
+func (s *Store) SetCompactAt(n int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n > 0 {
+		s.compactAt = n
+	}
+}
+
+// Node returns the recovered state for id, if any.
+func (s *Store) Node(id int) (NodeState, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ns, ok := s.nodes[id]
+	if ok {
+		ns.Subscribers = append([]int(nil), ns.Subscribers...)
+	}
+	return ns, ok
+}
+
+// Nodes returns a copy of every recovered node state, keyed by id.
+func (s *Store) Nodes() map[int]NodeState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[int]NodeState, len(s.nodes))
+	for id, ns := range s.nodes {
+		ns.Subscribers = append([]int(nil), ns.Subscribers...)
+		out[id] = ns
+	}
+	return out
+}
+
+// Record appends one state record to the log. A root version bump fsyncs
+// before returning; everything else rides on the OS page cache (a crash
+// loses at most the most recent subscription flux, which the protocol
+// rebuilds anyway). Write errors are sticky and surfaced by Err/Close —
+// Record itself stays fire-and-forget so node goroutines never block on
+// error handling.
+func (s *Store) Record(ns NodeState) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil || s.wal == nil {
+		return
+	}
+	s.buf = appendRecord(s.buf[:0], &ns)
+	if _, err := s.wal.Write(s.buf); err != nil {
+		s.err = err
+		return
+	}
+	s.walBytes += int64(len(s.buf))
+	ns.Subscribers = append([]int(nil), ns.Subscribers...)
+	s.nodes[ns.ID] = ns
+	if ns.IsRoot && ns.Version != s.lastRoot[ns.ID] {
+		if err := s.wal.Sync(); err != nil {
+			s.err = err
+			return
+		}
+		s.lastRoot[ns.ID] = ns.Version
+	}
+	if s.walBytes >= s.compactAt {
+		s.compactLocked()
+	}
+}
+
+// Sync flushes the log to stable storage.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	if s.wal == nil {
+		return nil
+	}
+	return s.wal.Sync()
+}
+
+// Err returns the first write error, if any.
+func (s *Store) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Close syncs and closes the log, returning the first error seen.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return s.err
+	}
+	if err := s.wal.Sync(); err != nil && s.err == nil {
+		s.err = err
+	}
+	if err := s.wal.Close(); err != nil && s.err == nil {
+		s.err = err
+	}
+	s.wal = nil
+	return s.err
+}
+
+// compactLocked writes every node's latest state into a fresh snapshot
+// (atomically, via tmp + fsync + rename) and resets the log.
+func (s *Store) compactLocked() {
+	tmp := filepath.Join(s.dir, snapName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		s.err = err
+		return
+	}
+	s.buf = s.buf[:0]
+	for _, ns := range s.nodes {
+		s.buf = appendRecord(s.buf, &ns)
+	}
+	if _, err := f.Write(s.buf); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, filepath.Join(s.dir, snapName))
+	}
+	if err == nil {
+		err = syncDir(s.dir)
+	}
+	if err == nil {
+		err = s.wal.Truncate(0)
+	}
+	if err == nil {
+		_, err = s.wal.Seek(0, io.SeekStart)
+	}
+	if err == nil {
+		err = s.wal.Sync()
+	}
+	if err != nil {
+		s.err = err
+		return
+	}
+	s.walBytes = 0
+}
+
+// syncDir fsyncs a directory so a completed rename survives power loss.
+// Not every platform supports it; failure to open is ignored.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	err = d.Sync()
+	d.Close()
+	return err
+}
+
+func (s *Store) loadSnapshot() error {
+	p, err := os.ReadFile(filepath.Join(s.dir, snapName))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	_, err = replay(p, s.nodes)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return nil
+}
+
+func (s *Store) loadWAL() error {
+	path := filepath.Join(s.dir, walName)
+	p, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	good, err := replay(p, s.nodes)
+	if err != nil {
+		// Torn tail from a crash mid-append: keep the good prefix.
+		if terr := os.Truncate(path, int64(good)); terr != nil {
+			return terr
+		}
+	}
+	return nil
+}
+
+// replay applies every complete record in p to nodes, returning the byte
+// offset of the last fully-applied record and the error that stopped it.
+func replay(p []byte, nodes map[int]NodeState) (int, error) {
+	off := 0
+	for off < len(p) {
+		if len(p)-off < recHeader {
+			return off, fmt.Errorf("torn record header at %d", off)
+		}
+		n := int(binary.BigEndian.Uint32(p[off:]))
+		sum := binary.BigEndian.Uint32(p[off+4:])
+		if n <= 0 || n > wire.MaxFrame || len(p)-off-recHeader < n {
+			return off, fmt.Errorf("torn record body at %d", off)
+		}
+		payload := p[off+recHeader : off+recHeader+n]
+		if crc32.ChecksumIEEE(payload) != sum {
+			return off, fmt.Errorf("crc mismatch at %d", off)
+		}
+		ns, err := decodeRecord(payload)
+		if err != nil {
+			return off, err
+		}
+		nodes[ns.ID] = ns
+		off += recHeader + n
+	}
+	return off, nil
+}
+
+// appendRecord appends the CRC-framed encoding of ns to dst. The payload
+// is the wire encoding of a KindState message, so the store shares the
+// codec's canonical varints and strict decoding instead of inventing a
+// second format.
+func appendRecord(dst []byte, ns *NodeState) []byte {
+	m := proto.NewMessage()
+	m.Kind = proto.KindState
+	m.Origin = ns.ID
+	m.Subject = ns.Parent
+	if ns.IsRoot {
+		m.Old = 1
+	}
+	m.Version = ns.Version
+	m.Expiry = ns.Expiry
+	m.Path = append(m.Path, ns.Subscribers...)
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0, 0, 0, 0, 0)
+	dst = wire.AppendMessage(dst, m)
+	payload := dst[start+recHeader:]
+	binary.BigEndian.PutUint32(dst[start:], uint32(len(payload)))
+	binary.BigEndian.PutUint32(dst[start+4:], crc32.ChecksumIEEE(payload))
+	proto.Release(m)
+	return dst
+}
+
+func decodeRecord(payload []byte) (NodeState, error) {
+	m, err := wire.DecodeMessage(payload)
+	if err != nil {
+		return NodeState{}, err
+	}
+	if m.Kind != proto.KindState {
+		proto.Release(m)
+		return NodeState{}, fmt.Errorf("record kind %s, want state", m.Kind)
+	}
+	ns := NodeState{
+		ID:      m.Origin,
+		Parent:  m.Subject,
+		IsRoot:  m.Old == 1,
+		Version: m.Version,
+		Expiry:  m.Expiry,
+	}
+	if len(m.Path) > 0 {
+		ns.Subscribers = append([]int(nil), m.Path...)
+	}
+	proto.Release(m)
+	return ns, nil
+}

@@ -88,6 +88,13 @@ type TCP struct {
 	kindDrops [proto.NumKinds]atomic.Int64
 	closed    atomic.Bool
 	wg        sync.WaitGroup
+
+	// Permanent-failure signal: failed is closed (with failErr set first)
+	// when the transport can no longer serve — e.g. the listener dies and
+	// stays dead — so a daemon can exit non-zero instead of running deaf.
+	failed   chan struct{}
+	failErr  error
+	failOnce sync.Once
 }
 
 // peerConn is one reused outbound connection: a bounded frame queue and
@@ -115,6 +122,7 @@ func NewTCP(cfg TCPConfig) (*TCP, error) {
 		conns:    make(map[string]*peerConn),
 		inbound:  make(map[net.Conn]struct{}),
 		src:      rng.New(cfg.Seed),
+		failed:   make(chan struct{}),
 	}
 	for id, addr := range cfg.Peers {
 		t.peers[id] = addr
@@ -130,6 +138,31 @@ func NewTCP(cfg TCPConfig) (*TCP, error) {
 		go t.acceptLoop()
 	}
 	return t, nil
+}
+
+// fail records the first permanent failure and closes the Done channel.
+func (t *TCP) fail(err error) {
+	t.failOnce.Do(func() {
+		t.failErr = err
+		close(t.failed)
+	})
+}
+
+// Done is closed when the transport has failed permanently (the listener
+// died and stayed dead). A daemon selects on it next to its signal and
+// deadline channels so it can exit non-zero instead of running deaf; an
+// orderly Close never fires it.
+func (t *TCP) Done() <-chan struct{} { return t.failed }
+
+// Err returns the permanent failure, or nil. Only meaningful after Done
+// is closed.
+func (t *TCP) Err() error {
+	select {
+	case <-t.failed:
+		return t.failErr
+	default:
+		return nil
+	}
 }
 
 // Addr returns the bound listen address ("" for a send-only transport).
@@ -341,6 +374,7 @@ func (t *TCP) backoff(attempt int) time.Duration {
 // acceptLoop owns the listener.
 func (t *TCP) acceptLoop() {
 	defer t.wg.Done()
+	errStreak := 0
 	for {
 		conn, err := t.ln.Accept()
 		if err != nil {
@@ -351,8 +385,19 @@ func (t *TCP) acceptLoop() {
 			if t.closed.Load() {
 				return
 			}
+			// A transient hiccup clears on the next accept; a listener that
+			// only ever returns errors is dead. Declare permanent failure
+			// after a run of consecutive errors so the daemon can exit
+			// instead of running deaf.
+			errStreak++
+			if errStreak >= 5 {
+				t.fail(fmt.Errorf("transport: listener failed: %w", err))
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
 			continue
 		}
+		errStreak = 0
 		t.mu.Lock()
 		if t.closed.Load() {
 			t.mu.Unlock()

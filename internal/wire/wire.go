@@ -30,8 +30,16 @@ import (
 
 const (
 	// Version is the current payload format version; it is the first byte
-	// of every payload so the format can evolve behind one check.
-	Version = 1
+	// of every payload so the format can evolve behind one check. Version 2
+	// added the membership kinds (join, leave, state); the field layout is
+	// unchanged.
+	Version = 2
+
+	// v1Kinds is the kind-vocabulary size of version-1 payloads. Kinds
+	// below it encode as version 1 (so upgraded peers interoperate with
+	// version-1 binaries for the original vocabulary); the membership kinds
+	// at and above it require version 2.
+	v1Kinds = 11
 
 	// MaxFrame bounds the payload length a reader accepts (and a writer
 	// produces). Protocol messages are tens of bytes; the megabyte bound
@@ -63,6 +71,18 @@ var (
 	ErrNonCanonical = errors.New("wire: non-canonical varint")
 )
 
+// payloadVersion returns the version byte a kind encodes under: the
+// minimal version whose vocabulary includes it. Stamping the minimum (not
+// the current Version) keeps the encoding canonical — one byte sequence
+// per message — and lets the original vocabulary stay readable by
+// version-1 decoders.
+func payloadVersion(k proto.Kind) byte {
+	if int(k) >= v1Kinds {
+		return 2
+	}
+	return 1
+}
+
 // AppendMessage appends m's payload encoding (no length prefix) to dst and
 // returns the extended slice.
 func AppendMessage(dst []byte, m *proto.Message) []byte {
@@ -70,7 +90,7 @@ func AppendMessage(dst []byte, m *proto.Message) []byte {
 	if m.Piggy != nil {
 		flags |= flagPiggy
 	}
-	dst = append(dst, Version, byte(m.Kind), flags)
+	dst = append(dst, payloadVersion(m.Kind), byte(m.Kind), flags)
 	dst = binary.AppendVarint(dst, int64(m.To))
 	dst = binary.AppendVarint(dst, int64(m.Origin))
 	dst = binary.AppendVarint(dst, int64(m.Subject))
@@ -158,12 +178,20 @@ func (d *decoder) float() float64 {
 // error no message is retained.
 func DecodeMessage(p []byte) (*proto.Message, error) {
 	d := decoder{p: p}
-	if v := d.byte(); d.err == nil && v != Version {
-		return nil, fmt.Errorf("%w: got %d, want %d", ErrVersion, v, Version)
+	v := d.byte()
+	if d.err == nil && (v == 0 || v > Version) {
+		return nil, fmt.Errorf("%w: got %d, want 1..%d", ErrVersion, v, Version)
 	}
 	kind := d.byte()
 	if d.err == nil && int(kind) >= proto.NumKinds {
 		return nil, fmt.Errorf("%w: %d", ErrUnknownKind, kind)
+	}
+	// Each kind has exactly one valid version byte (the minimal version
+	// that defines it), so the encoding stays canonical under fuzzing and a
+	// membership kind can not masquerade as a version-1 payload.
+	if d.err == nil && v != payloadVersion(proto.Kind(kind)) {
+		return nil, fmt.Errorf("%w: kind %s requires version %d, got %d",
+			ErrVersion, proto.Kind(kind), payloadVersion(proto.Kind(kind)), v)
 	}
 	flags := d.byte()
 	if d.err == nil && flags&^byte(knownFlags) != 0 {

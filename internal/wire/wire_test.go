@@ -28,6 +28,9 @@ func sampleMessages() []*proto.Message {
 		{Kind: proto.KindKeepAlive, To: 0, Origin: 12},
 		{Kind: proto.KindKeepAliveAck, To: 12, Origin: 0},
 		{Kind: proto.KindAck, To: 0, Origin: 5, Seq: 17, Subject: int(proto.KindPush)},
+		{Kind: proto.KindJoin, To: 2, Origin: 9, Seq: 3, Version: 4},
+		{Kind: proto.KindLeave, To: 2, Origin: 9, Seq: 5, Subject: -1},
+		{Kind: proto.KindState, To: 9, Origin: 2, Version: 7, Expiry: 321.5},
 		// Negative sentinels (-1 parents) and a piggyback rider.
 		{Kind: proto.KindRequest, To: -1, Origin: -1, Old: -1, New: -1, Subject: -1, Hops: 1,
 			Piggy: &proto.Piggyback{Kind: proto.KindSubscribe, Subject: 6}},
@@ -78,6 +81,23 @@ func TestRoundTripEveryKind(t *testing.T) {
 	}
 	if len(seen) != proto.NumKinds {
 		t.Fatalf("samples cover %d kinds, want %d", len(seen), proto.NumKinds)
+	}
+}
+
+// TestPayloadVersionStamping pins the version byte each kind encodes
+// under: the original vocabulary stays at 1 (so version-1 binaries keep
+// decoding it) and the membership kinds added in version 2 stamp 2.
+func TestPayloadVersionStamping(t *testing.T) {
+	for _, m := range sampleMessages() {
+		p := AppendMessage(nil, m)
+		want := byte(1)
+		switch m.Kind {
+		case proto.KindJoin, proto.KindLeave, proto.KindState:
+			want = 2
+		}
+		if p[0] != want {
+			t.Errorf("kind %s stamped version %d, want %d", m.Kind, p[0], want)
+		}
 	}
 }
 
@@ -156,10 +176,20 @@ func TestDecodeRejectsMalformed(t *testing.T) {
 	}{
 		{"empty", nil, ErrTruncated},
 		{"bad version", append([]byte{99}, good[1:]...), ErrVersion},
-		{"unknown kind", append([]byte{Version, 200}, good[2:]...), ErrUnknownKind},
-		{"unknown flags", append([]byte{Version, good[1], 0x80}, good[3:]...), ErrBadFlags},
+		{"zero version", append([]byte{0}, good[1:]...), ErrVersion},
+		{"unknown kind", append([]byte{good[0], 200}, good[2:]...), ErrUnknownKind},
+		{"unknown flags", append([]byte{good[0], good[1], 0x80}, good[3:]...), ErrBadFlags},
 		{"truncated fields", good[:4], ErrTruncated},
 		{"trailing bytes", append(append([]byte{}, good...), 0), ErrTrailing},
+		// Each kind is bound to the minimal version that defines it; any
+		// other version byte is non-canonical and rejected.
+		{"v1 kind stamped v2", append([]byte{2}, good[1:]...), ErrVersion},
+		{"v2 kind stamped v1",
+			func() []byte {
+				p := AppendMessage(nil, &proto.Message{Kind: proto.KindJoin, To: 1, Origin: 2})
+				p[0] = 1
+				return p
+			}(), ErrVersion},
 	}
 	for _, c := range cases {
 		if _, err := DecodeMessage(c.p); !errors.Is(err, c.want) {
@@ -167,7 +197,7 @@ func TestDecodeRejectsMalformed(t *testing.T) {
 		}
 	}
 	// Oversized path length.
-	huge := []byte{Version, byte(proto.KindRequest), 0}
+	huge := []byte{1, byte(proto.KindRequest), 0}
 	for i := 0; i < 8; i++ {
 		huge = append(huge, 0) // To..Hops zeros
 	}

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # check.sh is the one-command pre-commit gate: vet, build, the full test
 # suite under the race detector (with the concurrency-heavy wire,
-# transport, faults, live and chaos packages forced uncached), a
+# transport, faults, live, store and chaos packages forced uncached), a
 # fixed-seed chaos smoke, a short fuzz smoke of the wire codec, and a
 # quick pass of the performance harness (print-only, so it never mutates
 # BENCH_sim.json).
@@ -17,8 +17,8 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
-echo "== go test -race -count=1 (wire, transport, faults, live, chaos) =="
-go test -race -count=1 ./internal/wire/ ./internal/transport/ ./internal/faults/ ./internal/live/ ./internal/chaos/
+echo "== go test -race -count=1 (wire, transport, faults, live, store, chaos) =="
+go test -race -count=1 ./internal/wire/ ./internal/transport/ ./internal/faults/ ./internal/live/ ./internal/store/ ./internal/chaos/
 
 echo "== chaos smoke (fixed seed, race) =="
 go test -race -count=1 -run 'TestChaosReproducible' ./internal/chaos/

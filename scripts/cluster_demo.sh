@@ -2,8 +2,11 @@
 # cluster_demo.sh boots a real three-process DUP cluster on loopback TCP
 # (nine nodes, three dupd daemons), lets it run for ~10 seconds with one
 # daemon issuing periodic queries, then asserts that queries resolved and
-# that the authority's keep-alive fabric was active. It is the executable
-# form of the README's "Running a real cluster" section.
+# that the authority's keep-alive fabric was active. A second phase
+# SIGKILLs the authority daemon mid-run and restarts it from its
+# -state-dir, asserting it resumes its pre-crash index version and that
+# no peer ever observes the version regress. It is the executable form of
+# the README's "Running a real cluster" and "Surviving restarts" sections.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -74,3 +77,44 @@ grep -m3 'resolved' "$LOGS/c.log" || { echo "no queries resolved"; cat "$LOGS"/*
 grep -q 'keepalives=[1-9]' "$LOGS/a.log" || { echo "no keep-alives at the authority daemon"; cat "$LOGS/a.log"; exit 1; }
 grep -q 'acks=[1-9]' "$LOGS/a.log" || { echo "no reliable-delivery acks at the authority daemon"; cat "$LOGS/a.log"; exit 1; }
 echo "cluster-demo: queries resolved over real sockets; all green"
+
+echo "== phase 2: kill the authority, restart from its state dir =="
+STATE=$LOGS/state-a
+# Slow failure detection way down: the authority will be gone for ~2
+# seconds and nothing should be promoted in its place — this phase tests
+# durable recovery, not fail-over.
+SLOW="-keepalive 250ms -deadafter 8s"
+"$DUPD" $COMMON $SLOW -listen $A -host 0,1,2 -authority -peers "$(peers_for A)" \
+        -state-dir "$STATE" -run 20s >"$LOGS/a2.log" 2>&1 &
+APID=$!
+"$DUPD" $COMMON $SLOW -listen $B -host 3,4,5 -peers "$(peers_for B)" \
+        -run 20s >"$LOGS/b2.log" 2>&1 &
+"$DUPD" $COMMON $SLOW -listen $C -host 6,7,8 -peers "$(peers_for C)" \
+        -query 8 -every 80ms -run 20s >"$LOGS/c2.log" 2>&1 &
+
+sleep 5
+kill -9 "$APID" 2>/dev/null || { echo "authority daemon exited early"; cat "$LOGS/a2.log"; exit 1; }
+wait "$APID" 2>/dev/null || true
+PRE=$(grep -o 'version=[0-9]*' "$LOGS/c2.log" | cut -d= -f2 | sort -n | tail -1)
+[[ -n $PRE ]] || { echo "no versions resolved before the kill"; cat "$LOGS/c2.log"; exit 1; }
+echo "authority killed; highest version observed so far: $PRE"
+
+sleep 2
+"$DUPD" $COMMON $SLOW -listen $A -host 0,1,2 -authority -peers "$(peers_for A)" \
+        -state-dir "$STATE" -run 13s >"$LOGS/a3.log" 2>&1 &
+wait
+
+grep -m1 'recovered node 0 as authority' "$LOGS/a3.log" \
+  || { echo "restarted daemon did not recover the authority"; cat "$LOGS/a3.log"; exit 1; }
+REC=$(grep -o 'recovered node 0 as authority at version [0-9]*' "$LOGS/a3.log" | grep -o '[0-9]*$')
+(( REC >= PRE )) || { echo "recovered at version $REC, below the pre-crash $PRE"; exit 1; }
+
+# No peer may ever see the index version go backwards: the full resolved
+# sequence at the querying daemon must be non-decreasing, and it must move
+# past the recovered version once pushes resume.
+grep -o 'version=[0-9]*' "$LOGS/c2.log" | cut -d= -f2 \
+  | awk -v rec="$REC" 'NR>1 && $1<prev { print "version regressed: " prev " -> " $1; exit 1 }
+                       { prev=$1; if ($1>rec) past=1 } END { exit past?0:2 }' \
+  || { rc=$?; if (( rc == 2 )); then echo "cluster never advanced past the recovered version $REC"; \
+       else echo "a peer observed a version regression"; fi; cat "$LOGS/c2.log" | tail -20; exit 1; }
+echo "cluster-demo: authority recovered at version $REC (pre-crash $PRE), no regression; all green"
