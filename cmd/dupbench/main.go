@@ -110,8 +110,12 @@ func runPerf(runs int, out, label string) error {
 	}
 	for _, w := range perf.DefaultWorkloads() {
 		s := entry.Samples[w.ID]
-		fmt.Printf("%-16s %11.0f events/s  %7d allocs/run  %6.2f allocs/1k-events  %8d B/run  (%d runs, best %.3fs)\n",
-			w.ID, s.EventsPerSec, s.AllocsPerRun, s.AllocsPerKEvent, s.BytesPerRun, s.Runs, s.BestWallSeconds)
+		frames := ""
+		if s.FramesPerPush > 0 {
+			frames = fmt.Sprintf("  %.3f frames/push", s.FramesPerPush)
+		}
+		fmt.Printf("%-16s %11.0f events/s  %7d allocs/run  %6.2f allocs/1k-events  %8d B/run%s  (%d runs, best %.3fs)\n",
+			w.ID, s.EventsPerSec, s.AllocsPerRun, s.AllocsPerKEvent, s.BytesPerRun, frames, s.Runs, s.BestWallSeconds)
 	}
 	if out == "" {
 		fmt.Println("(print only; pass -perfout or -perflabel to record)")

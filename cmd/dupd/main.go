@@ -30,6 +30,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"sort"
@@ -69,6 +71,8 @@ func run() int {
 	statsEvery := flag.Duration("stats", 0, "log network counters this often (0 disables)")
 	runFor := flag.Duration("run", 0, "exit after this long (0 = until SIGINT/SIGTERM)")
 	stateDir := flag.String("state-dir", "", "journal hosted nodes' state here and recover it on restart")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty disables)")
+	flag.IntVar(&cfg.Keys, "keys", cfg.Keys, "keyed index trees per node at boot (0 means 1)")
 	flag.Parse()
 
 	hosts, err := parseIDs(*hostList)
@@ -95,26 +99,39 @@ func run() int {
 		}
 	}
 
+	// Profiling: pprof runs on its own listener so the protocol port stays
+	// clean, and only when asked for.
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("pprof listening on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
+	}
+
 	// Durable state: open (or create) the journal and collect whatever a
-	// previous incarnation recorded for the ids we are about to host.
+	// previous incarnation recorded for the ids we are about to host —
+	// one record per keyed index tree the node participated in.
 	var st *store.Store
-	var recovered map[int]store.NodeState
+	var recovered map[int][]store.NodeState
 	if *stateDir != "" {
 		st, err = store.Open(*stateDir)
 		if err != nil {
 			return fail(fmt.Errorf("-state-dir: %w", err))
 		}
-		recovered = map[int]store.NodeState{}
+		recovered = map[int][]store.NodeState{}
 		for _, id := range hosts {
-			ns, ok := st.Node(id)
-			if !ok {
+			states := st.States(id)
+			if len(states) == 0 {
 				continue
 			}
-			recovered[id] = ns
+			recovered[id] = states
+			ns := states[0]
 			if ns.IsRoot {
-				log.Printf("recovered node %d as authority at version %d", id, ns.Version)
+				log.Printf("recovered node %d as authority at version %d (%d keys)", id, ns.Version, len(states))
 			} else {
-				log.Printf("recovered node %d (parent %d, %d subscribers)", id, ns.Parent, len(ns.Subscribers))
+				log.Printf("recovered node %d (parent %d, %d subscribers, %d keys)", id, ns.Parent, len(ns.Subscribers), len(states))
 			}
 		}
 	}

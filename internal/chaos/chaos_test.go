@@ -13,6 +13,7 @@ var (
 	flagNodes = flag.Int("chaos.nodes", 0, "cluster size")
 	flagSteps = flag.Int("chaos.steps", 0, "schedule steps")
 	flagChurn = flag.Int("chaos.churn", 0, "membership churn percent (-1 disables)")
+	flagKeys  = flag.Int("chaos.keys", 0, "keyed index trees (0 means 1)")
 )
 
 func TestScheduleIsDeterministic(t *testing.T) {
@@ -185,6 +186,9 @@ func TestChaosRun(t *testing.T) {
 	}
 	if *flagChurn != 0 {
 		cfg.Churn = *flagChurn
+	}
+	if *flagKeys != 0 {
+		cfg.Keys = *flagKeys
 	}
 	rep, err := Run(cfg)
 	if err != nil {

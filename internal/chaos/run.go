@@ -91,6 +91,7 @@ func liveConfig(cfg Config) live.Config {
 		HopDelay:       200 * time.Microsecond,
 		KeepAliveEvery: 25 * time.Millisecond,
 		DeadAfter:      90 * time.Millisecond,
+		Keys:           cfg.Keys,
 		Seed:           cfg.Seed,
 	}
 }
@@ -213,11 +214,7 @@ func (h *harness) apply(e Event) {
 		delete(h.wraps, e.A)
 		delete(h.mems, e.A)
 	case OpReboot:
-		var rec *store.NodeState
-		if ns, ok := h.mems[e.A].Node(e.A); ok {
-			rec = &ns
-		}
-		if err := h.nets[e.A].Reboot(e.A, rec); err != nil {
+		if err := h.nets[e.A].Reboot(e.A, h.mems[e.A].States(e.A)); err != nil {
 			h.fail(err)
 		}
 	}
@@ -243,7 +240,9 @@ func (h *harness) play(events []Event) {
 // queries keeps the hot nodes above the interest threshold and spreads
 // QueriesPerStep extra queries round-robin over the current membership —
 // joiners start receiving queries the step after they appear, departed
-// nodes drop out of the rotation.
+// nodes drop out of the rotation. With several keys the round-robin
+// queries rotate deterministically over the key space too, so every keyed
+// tree carries traffic.
 func (h *harness) queries() {
 	for _, id := range h.hot {
 		if !h.down[id] {
@@ -255,7 +254,7 @@ func (h *harness) queries() {
 		h.rr = (h.rr + 1) % len(members)
 		id := members[h.rr]
 		if nw := h.nets[id]; nw != nil && !h.down[id] {
-			nw.Query(id, 25*time.Millisecond)
+			nw.QueryKey(id, h.rr%h.cfg.Keys, 25*time.Millisecond)
 		}
 	}
 }
@@ -277,26 +276,35 @@ func (h *harness) checkConvergence() (bool, string) {
 		time.Sleep(20 * time.Millisecond)
 		rootID = h.dir.RootID()
 	}
-	in, err := h.nets[rootID].Inspect(rootID, time.Second)
-	if err != nil {
-		return false, "could not inspect the authority node"
-	}
-	v0 := in.Version
 	members := h.dir.Members()
-	for _, id := range members {
-		nw := h.nets[id]
-		if nw == nil {
-			return false, fmt.Sprintf("member %d has no running node", id)
+	for key := 0; key < h.cfg.Keys; key++ {
+		in, err := h.nets[rootID].InspectKey(rootID, key, time.Second)
+		if err != nil {
+			return false, "could not inspect the authority node"
 		}
-		for {
-			r, err := nw.Query(id, 200*time.Millisecond)
-			if err == nil && r.Version >= v0 {
-				break
+		v0 := in.Version
+		for _, id := range members {
+			nw := h.nets[id]
+			if nw == nil {
+				return false, fmt.Sprintf("member %d has no running node", id)
 			}
-			if time.Now().After(deadline) {
-				return false, fmt.Sprintf("node %d never reached the authority version", id)
+			for {
+				r, err := nw.QueryKey(id, key, 200*time.Millisecond)
+				if err == nil && r.Version >= v0 {
+					break
+				}
+				if time.Now().After(deadline) {
+					if h.cfg.Keys > 1 {
+						return false, fmt.Sprintf("node %d never reached the authority version for key %d", id, key)
+					}
+					return false, fmt.Sprintf("node %d never reached the authority version", id)
+				}
 			}
 		}
+	}
+	if h.cfg.Keys > 1 {
+		return true, fmt.Sprintf("all %d members reached the authority version on %d keys within 8 TTLs",
+			len(members), h.cfg.Keys)
 	}
 	return true, fmt.Sprintf("all %d members reached the authority version within 8 TTLs", len(members))
 }

@@ -50,6 +50,11 @@ type Config struct {
 	// means the default (25); -1 disables churn entirely, reproducing the
 	// fixed-roster schedules of earlier harness versions.
 	Churn int
+	// Keys is how many keyed index trees the cluster carries. Zero means 1
+	// — the single-index runs, whose reports stay byte-identical to the
+	// pre-multi-key harness. With more keys the step queries rotate over
+	// the key space and convergence is checked per key.
+	Keys int
 }
 
 // DefaultConfig returns a small run that finishes in a few seconds.
@@ -85,6 +90,9 @@ func (c Config) withDefaults() Config {
 	if c.Churn == 0 {
 		c.Churn = d.Churn
 	}
+	if c.Keys == 0 {
+		c.Keys = 1
+	}
 	return c
 }
 
@@ -102,6 +110,8 @@ func (c Config) validate() error {
 		return fmt.Errorf("chaos: need QueriesPerStep >= 0, got %d", c.QueriesPerStep)
 	case c.Churn < -1 || c.Churn > 100:
 		return fmt.Errorf("chaos: need Churn in [-1, 100], got %d", c.Churn)
+	case c.Keys < 1:
+		return fmt.Errorf("chaos: need Keys >= 1, got %d", c.Keys)
 	}
 	return nil
 }

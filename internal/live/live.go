@@ -16,6 +16,7 @@ package live
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -64,6 +65,13 @@ type Config struct {
 	// InboxDepth is the per-node inbound message buffer; when it is full
 	// the transport counts a drop. Zero means 256.
 	InboxDepth int
+	// Keys is how many keyed index trees every hosted node participates in
+	// at boot (keys 0..Keys-1, each with its own DUP tree, authority
+	// schedule and interest window over the shared routing tree). Zero
+	// means 1 — the single-index protocol, byte-identical on the wire to
+	// the pre-multi-key format. Nodes also pick up keys lazily when
+	// traffic for them arrives, and per node via JoinKey/LeaveKey.
+	Keys int
 	// Seed drives topology generation and latency jitter. Every process
 	// of a multi-process cluster must use the same Seed (and Nodes and
 	// MaxDegree) so they derive the same tree.
@@ -120,6 +128,8 @@ func (c *Config) Validate() error {
 	case c.MaxUnacked < 0 || c.DedupWindow < 0 || c.InboxDepth < 0:
 		return fmt.Errorf("live: need MaxUnacked, DedupWindow and InboxDepth >= 0, got %d, %d, %d",
 			c.MaxUnacked, c.DedupWindow, c.InboxDepth)
+	case c.Keys < 0:
+		return fmt.Errorf("live: need Keys >= 0, got %d", c.Keys)
 	}
 	return nil
 }
@@ -146,6 +156,14 @@ func (c *Config) inboxDepth() int {
 		return c.InboxDepth
 	}
 	return 256
+}
+
+// keys resolves the effective boot-time key count.
+func (c *Config) keys() int {
+	if c.Keys > 0 {
+		return c.Keys
+	}
+	return 1
 }
 
 // retransmitAfter resolves the effective initial retransmit backoff.
@@ -211,6 +229,27 @@ type Stats struct {
 	RetransmitGiveUps   int64
 }
 
+// KeyStats aggregates one keyed index tree's counters across the nodes
+// this Network hosts. The per-key counters are additive slices of the
+// corresponding global Stats fields: summing a field over every key that
+// carries traffic yields the global count.
+type KeyStats struct {
+	Key         int
+	Queries     int64
+	QueryHops   int64
+	LocalHits   int64
+	Pushes      int64
+	Subscribes  int64
+	Substitutes int64
+}
+
+// keyCounters is the mutable registry entry behind KeyStats, shared by
+// every hosted shard of one key.
+type keyCounters struct {
+	queries, queryHops, localHits   atomic.Int64
+	pushes, subscribes, substitutes atomic.Int64
+}
+
 // Options parametrises StartWith: which transport carries the messages,
 // which directory stands in for the underlying DHT, and which node ids
 // this Network hosts. Several Networks (or several processes) hosting
@@ -233,9 +272,10 @@ type Options struct {
 	// harness a store.Mem.
 	Journal store.Journal
 	// Recovered seeds hosted nodes with state a previous incarnation
-	// recorded: the authority resumes its version, subscribers re-adopt
-	// their lists and re-sync via a join/state-transfer exchange.
-	Recovered map[int]store.NodeState
+	// recorded, one record per keyed index tree: the authority resumes its
+	// versions, subscribers re-adopt their lists and re-sync via a
+	// join/state-transfer exchange.
+	Recovered map[int][]store.NodeState
 }
 
 // Network runs the hosted subset of a live cluster.
@@ -251,6 +291,10 @@ type Network struct {
 	size   int // total cluster size, hosted or not
 	hosted map[int]*node
 	left   []*node // departed nodes, drained once more at Stop
+
+	// kmu guards the lazily-populated per-key counter registry.
+	kmu      sync.RWMutex
+	keyStats map[int]*keyCounters
 
 	stats struct {
 		queries, queryHops, localHits              atomic.Int64
@@ -308,23 +352,28 @@ func StartWith(cfg Config, opts Options) (*Network, error) {
 
 func boot(cfg Config, tree *topology.Tree, tr transport.Transport, dir Directory, hosts []int, opts Options) (*Network, error) {
 	nw := &Network{
-		cfg:     cfg,
-		tr:      tr,
-		dir:     dir,
-		journal: opts.Journal,
-		size:    tree.N(),
-		hosted:  make(map[int]*node, len(hosts)),
+		cfg:      cfg,
+		tr:       tr,
+		dir:      dir,
+		journal:  opts.Journal,
+		size:     tree.N(),
+		hosted:   make(map[int]*node, len(hosts)),
+		keyStats: make(map[int]*keyCounters),
 	}
+	now := time.Now()
 	for _, id := range hosts {
 		if nw.hosted[id] != nil {
 			return nil, fmt.Errorf("live: node %d hosted twice", id)
 		}
 		n := newNode(nw, id, dir.Parent(id))
-		if ns, ok := opts.Recovered[id]; ok {
+		for k := 1; k < cfg.keys(); k++ {
+			n.addShard(k, now)
+		}
+		if states, ok := opts.Recovered[id]; ok {
 			// Restore the previous incarnation's durable state before the
 			// goroutine starts; the node re-announces itself (join +
 			// state-transfer) once running.
-			n.adoptState(&ns)
+			n.adoptStates(states)
 			n.announce = true
 		}
 		nw.hosted[id] = n
@@ -391,10 +440,65 @@ func (nw *Network) Stats() Stats {
 	return s
 }
 
+// kc returns the counter registry entry for one key, creating it on first
+// touch. Shards cache the returned pointer, so the lock is off the hot
+// path.
+func (nw *Network) kc(key int) *keyCounters {
+	nw.kmu.RLock()
+	c := nw.keyStats[key]
+	nw.kmu.RUnlock()
+	if c != nil {
+		return c
+	}
+	nw.kmu.Lock()
+	defer nw.kmu.Unlock()
+	if c = nw.keyStats[key]; c == nil {
+		c = &keyCounters{}
+		nw.keyStats[key] = c
+	}
+	return c
+}
+
+// StatsKey returns one keyed index tree's counter snapshot. Keys nobody
+// touched report zeros.
+func (nw *Network) StatsKey(key int) KeyStats {
+	s := KeyStats{Key: key}
+	nw.kmu.RLock()
+	c := nw.keyStats[key]
+	nw.kmu.RUnlock()
+	if c == nil {
+		return s
+	}
+	s.Queries = c.queries.Load()
+	s.QueryHops = c.queryHops.Load()
+	s.LocalHits = c.localHits.Load()
+	s.Pushes = c.pushes.Load()
+	s.Subscribes = c.subscribes.Load()
+	s.Substitutes = c.substitutes.Load()
+	return s
+}
+
+// Keys returns every key that has a counter registry entry on this
+// Network (every key any hosted node ever sharded), sorted ascending.
+func (nw *Network) Keys() []int {
+	nw.kmu.RLock()
+	out := make([]int, 0, len(nw.keyStats))
+	for k := range nw.keyStats {
+		out = append(out, k)
+	}
+	nw.kmu.RUnlock()
+	sort.Ints(out)
+	return out
+}
+
 // NodeInfo is a consistent snapshot of one hosted node's protocol state,
 // taken on the node's own goroutine.
 type NodeInfo struct {
-	ID     int
+	ID int
+	// Key is the keyed index tree this snapshot describes; Keys lists
+	// every key the node currently participates in.
+	Key    int
+	Keys   []int
 	Parent int
 	IsRoot bool
 	Dead   bool
@@ -415,16 +519,27 @@ type NodeInfo struct {
 	Unacked int
 }
 
-// Inspect returns a snapshot of a hosted node's protocol state, taken on
-// the node's own goroutine so it is internally consistent. It works on
-// dead nodes too — the chaos harness uses it to audit repaired trees.
+// Inspect returns a snapshot of a hosted node's protocol state for key 0,
+// taken on the node's own goroutine so it is internally consistent. It
+// works on dead nodes too — the chaos harness uses it to audit repaired
+// trees.
 func (nw *Network) Inspect(id int, timeout time.Duration) (NodeInfo, error) {
+	return nw.InspectKey(id, 0, timeout)
+}
+
+// InspectKey is Inspect for one keyed index tree. Inspecting a key the
+// node does not participate in returns the node-level fields with empty
+// shard state.
+func (nw *Network) InspectKey(id, key int, timeout time.Duration) (NodeInfo, error) {
+	if key < 0 {
+		return NodeInfo{}, fmt.Errorf("live: need key >= 0, got %d", key)
+	}
 	n := nw.node(id)
 	if n == nil {
 		return NodeInfo{}, fmt.Errorf("live: node %d is not hosted here", id)
 	}
 	res := make(chan NodeInfo, 1)
-	if !n.postCtrl(ctrlMsg{kind: cInspect, info: res}) {
+	if !n.postCtrl(ctrlMsg{kind: cInspect, key: key, info: res}) {
 		return NodeInfo{}, fmt.Errorf("live: node %d is overloaded", id)
 	}
 	select {
@@ -462,11 +577,20 @@ func (nw *Network) MeanLatency() float64 {
 // be momentarily dead while fail-over is in progress).
 func (nw *Network) RootID() int { return nw.dir.RootID() }
 
-// Query issues an index query at the given hosted node and waits up to
-// timeout for the answer.
+// Query issues a key-0 index query at the given hosted node and waits up
+// to timeout for the answer.
 func (nw *Network) Query(at int, timeout time.Duration) (QueryResult, error) {
+	return nw.QueryKey(at, 0, timeout)
+}
+
+// QueryKey is Query against one keyed index tree. Querying a key the node
+// has never seen makes it a lazy participant in that key's tree.
+func (nw *Network) QueryKey(at, key int, timeout time.Duration) (QueryResult, error) {
 	if at < 0 || at >= nw.Nodes() {
 		return QueryResult{}, fmt.Errorf("live: no node %d", at)
+	}
+	if key < 0 {
+		return QueryResult{}, fmt.Errorf("live: need key >= 0, got %d", key)
 	}
 	n := nw.node(at)
 	if n == nil {
@@ -476,7 +600,7 @@ func (nw *Network) Query(at int, timeout time.Duration) (QueryResult, error) {
 		return QueryResult{}, fmt.Errorf("live: node %d is down", at)
 	}
 	res := make(chan QueryResult, 1)
-	c := ctrlMsg{kind: cQuery, res: res, deadline: time.Now().Add(timeout + time.Second)}
+	c := ctrlMsg{kind: cQuery, key: key, res: res, deadline: time.Now().Add(timeout + time.Second)}
 	select {
 	case n.ctrl <- c:
 	default:
@@ -630,16 +754,53 @@ func (nw *Network) Leave(id int, timeout time.Duration) error {
 }
 
 // Reboot models a crash-and-restart with durable state: the hosted node
-// blanks its in-memory protocol state and resumes from ns (as recorded by
-// a Journal), re-announcing itself to its parent exactly like a restarted
-// dupd with -state-dir. A nil ns reboots cold. The node set is unchanged
-// — the directory still counts the node as a member throughout.
-func (nw *Network) Reboot(id int, ns *store.NodeState) error {
+// blanks its in-memory protocol state and resumes from states (one record
+// per keyed index tree, as recorded by a Journal), re-announcing itself
+// to its parent exactly like a restarted dupd with -state-dir. An empty
+// slice reboots cold. The node set is unchanged — the directory still
+// counts the node as a member throughout.
+func (nw *Network) Reboot(id int, states []store.NodeState) error {
 	n := nw.node(id)
 	if n == nil {
 		return fmt.Errorf("live: node %d is not hosted here", id)
 	}
-	if !n.postCtrl(ctrlMsg{kind: cReboot, state: ns}) {
+	if !n.postCtrl(ctrlMsg{kind: cReboot, states: states}) {
+		return fmt.Errorf("live: node %d is overloaded", id)
+	}
+	return nil
+}
+
+// JoinKey makes a hosted node a participant in one keyed index tree: it
+// creates the key's shard and announces it upstream, so the parent adopts
+// the branch and transfers its index copy when it holds a valid one. Key
+// participation is per node — node-level membership is Join/Leave.
+func (nw *Network) JoinKey(id, key int) error {
+	if key < 0 {
+		return fmt.Errorf("live: need key >= 0, got %d", key)
+	}
+	n := nw.node(id)
+	if n == nil {
+		return fmt.Errorf("live: node %d is not hosted here", id)
+	}
+	if !n.postCtrl(ctrlMsg{kind: cJoinKey, key: key}) {
+		return fmt.Errorf("live: node %d is overloaded", id)
+	}
+	return nil
+}
+
+// LeaveKey departs a hosted node from one keyed index tree: it withdraws
+// interest, tells its parent how to splice it out of that key's
+// subscriber list, and drops the shard. Key 0 cannot be left — it is the
+// node's own existence; use Leave.
+func (nw *Network) LeaveKey(id, key int) error {
+	if key <= 0 {
+		return fmt.Errorf("live: need key > 0, got %d (key 0 is node-level: use Leave)", key)
+	}
+	n := nw.node(id)
+	if n == nil {
+		return fmt.Errorf("live: node %d is not hosted here", id)
+	}
+	if !n.postCtrl(ctrlMsg{kind: cLeaveKey, key: key}) {
 		return fmt.Errorf("live: node %d is overloaded", id)
 	}
 	return nil

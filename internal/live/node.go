@@ -1,6 +1,7 @@
 package live
 
 import (
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -21,18 +22,21 @@ const (
 	cInspect                    // state snapshot for Network.Inspect
 	cLeave                      // graceful departure: proactive substitute
 	cReboot                     // crash-and-restart with durable state
+	cJoinKey                    // join one keyed index tree
+	cLeaveKey                   // depart one keyed index tree
 )
 
 // ctrlMsg is one local control injection from the Network into a node.
 type ctrlMsg struct {
 	kind     ctrlKind
 	parent   int
+	key      int
 	res      chan QueryResult
 	info     chan NodeInfo
 	deadline time.Time
-	children []int            // cLeave: keep-alive children to notify
-	done     chan struct{}    // cLeave: closed once departure is acked
-	state    *store.NodeState // cReboot: durable state to resume from
+	children []int             // cLeave: keep-alive children to notify
+	done     chan struct{}     // cLeave: closed once departure is acked
+	states   []store.NodeState // cReboot: durable per-key state to resume from
 }
 
 // reliableKind reports whether k carries tree, index or membership state
@@ -54,10 +58,20 @@ type relEntry struct {
 	kind              proto.Kind
 	to                int
 	subject, old, new int
+	key               int
 	version           int64
 	expiry            float64
 	retryAt, deadline time.Time
 	backoff           time.Duration
+}
+
+// batchRec remembers which reliable member seqs one batch envelope
+// carried, so the envelope's single ack can settle all of them. Entries
+// expire at the members' retransmit deadline: by then every member has
+// either been settled or given up on.
+type batchRec struct {
+	seqs     []int64
+	deadline time.Time
 }
 
 // seqWindow dedups inbound (origin, seq) pairs so retransmissions and
@@ -95,27 +109,15 @@ type pendingQuery struct {
 	expires time.Time
 }
 
-// node is one live peer. All fields below the channel block are owned by
-// the node's goroutine. Protocol messages arrive through the transport
-// handler into inbox; control injections (query, reset, become-root)
-// arrive from the hosting Network through ctrl.
-type node struct {
-	nw    *Network
-	id    int
-	inbox chan *proto.Message
-	ctrl  chan ctrlMsg
-	quit  chan struct{}
-
-	dead   atomic.Bool
-	isRoot atomic.Bool
-
-	parent int
-	st     *core.State
-
-	// Query correlation: queries born here wait in pending, keyed by the
-	// Seq their request carried.
-	nextSeq int64
-	pending map[int64]pendingQuery
+// shard is one keyed index tree's per-node state: the DUP-tree state
+// machine plus the cache, authority schedule, interest window and durable
+// record for that key. The routing tree (parent, keep-alive fabric,
+// retransmit queue, dedup windows) stays node-level — the underlying DHT
+// routes every key through the same neighbours — so a shard is exactly
+// the per-key state the paper hangs off one index.
+type shard struct {
+	key int
+	st  *core.State
 
 	// Cached index copy.
 	haveCopy   bool
@@ -131,6 +133,42 @@ type node struct {
 	count         int
 	intervalStart time.Time
 
+	// Per-key stats sink (registry entry shared with Network.StatsKey).
+	kc *keyCounters
+
+	// Durable state. lastRec is the last journal record written for this
+	// key, so state that did not change does not hit the log again.
+	lastRec  store.NodeState
+	recValid bool
+}
+
+// node is one live peer. All fields below the channel block are owned by
+// the node's goroutine. Protocol messages arrive through the transport
+// handler into inbox; control injections (query, reset, become-root)
+// arrive from the hosting Network through ctrl.
+type node struct {
+	nw    *Network
+	id    int
+	inbox chan *proto.Message
+	ctrl  chan ctrlMsg
+	quit  chan struct{}
+
+	dead   atomic.Bool
+	isRoot atomic.Bool
+
+	parent int
+
+	// Per-key data plane: one shard per keyed index tree this node
+	// participates in. keys mirrors the map in sorted order so iteration
+	// is deterministic.
+	shards map[int]*shard
+	keys   []int
+
+	// Query correlation: queries born here wait in pending, keyed by the
+	// Seq their request carried.
+	nextSeq int64
+	pending map[int64]pendingQuery
+
 	// Liveness. suspects holds peers this node has watched miss their
 	// keep-alive window; the directory skips them when re-homing.
 	lastAck   time.Time
@@ -140,10 +178,21 @@ type node struct {
 	// Delivery guarantees. Reliable outbound messages wait in unacked
 	// (keyed by their seq) until the receiver's ack arrives, re-sent with
 	// doubling backoff until the retransmit deadline; seen dedups inbound
-	// (origin, seq) pairs so retries are idempotent.
+	// (origin, seq) pairs so retries are idempotent. relSeq is node-global
+	// across keys, so one (origin, seq) window per origin suffices.
 	relSeq  int64
 	unacked map[int64]*relEntry
 	seen    map[int]*seqWindow
+
+	// Send-side coalescer: messages bound for the same neighbour within
+	// one node-loop iteration are flushed together — bare when alone,
+	// inside one KindBatch envelope when several — so a busy link carries
+	// many protocol messages per frame and one ack settles all of them.
+	// batches maps an envelope's seq to the reliable member seqs it
+	// carried.
+	obOrder []int
+	obBins  map[int][]*proto.Message
+	batches map[int64]*batchRec
 
 	// Membership. announce makes the node introduce itself to its parent
 	// (KindJoin) when its goroutine starts — set for joiners and for nodes
@@ -153,37 +202,80 @@ type node struct {
 	leaving   bool
 	leaveDone chan struct{}
 	stopOnce  sync.Once
-
-	// Durable state. lastRec is the last journal record written, so state
-	// that did not change does not hit the log again.
-	lastRec  store.NodeState
-	recValid bool
 }
+
+// maxEnvelope bounds how many members one flushed envelope carries; it is
+// comfortably below wire.MaxBatch so every envelope the coalescer builds
+// is decodable.
+const maxEnvelope = 1 << 10
 
 func newNode(nw *Network, id, parent int) *node {
 	n := &node{
-		nw:         nw,
-		id:         id,
-		inbox:      make(chan *proto.Message, nw.cfg.inboxDepth()),
-		ctrl:       make(chan ctrlMsg, 16),
-		quit:       make(chan struct{}),
-		parent:     parent,
-		st:         core.NewState(id, parent == -1),
-		pending:    map[int64]pendingQuery{},
-		lastPushed: -1,
-		childSeen:  map[int]time.Time{},
-		suspects:   map[int]time.Time{},
+		nw:        nw,
+		id:        id,
+		inbox:     make(chan *proto.Message, nw.cfg.inboxDepth()),
+		ctrl:      make(chan ctrlMsg, 16),
+		quit:      make(chan struct{}),
+		parent:    parent,
+		shards:    map[int]*shard{},
+		pending:   map[int64]pendingQuery{},
+		childSeen: map[int]time.Time{},
+		suspects:  map[int]time.Time{},
 		// Seeding relSeq from the clock keeps seqs unique across process
 		// restarts, so a rebooted peer's fresh stream is not mistaken for
 		// retransmissions of its previous incarnation's.
 		relSeq:  time.Now().UnixNano(),
 		unacked: map[int64]*relEntry{},
 		seen:    map[int]*seqWindow{},
+		obBins:  map[int][]*proto.Message{},
+		batches: map[int64]*batchRec{},
 	}
 	if parent == -1 {
 		n.isRoot.Store(true)
 	}
+	n.addShard(0, time.Now())
 	return n
+}
+
+// shard returns the state for one keyed index tree, creating it on first
+// touch: a push or request for a key this node has never seen makes it a
+// participant in that key's tree.
+func (n *node) shard(key int) *shard {
+	if sh, ok := n.shards[key]; ok {
+		return sh
+	}
+	return n.addShard(key, time.Now())
+}
+
+func (n *node) addShard(key int, now time.Time) *shard {
+	sh := &shard{
+		key:           key,
+		st:            core.NewState(n.id, n.isRoot.Load()),
+		lastPushed:    -1,
+		intervalStart: now,
+		kc:            n.nw.kc(key),
+	}
+	if n.isRoot.Load() {
+		sh.expiry = now.Add(n.nw.cfg.TTL)
+	}
+	n.shards[key] = sh
+	n.keys = append(n.keys, key)
+	sort.Ints(n.keys)
+	return sh
+}
+
+// dropShard removes one keyed shard (LeaveKey); key 0 never drops.
+func (n *node) dropShard(key int) {
+	if key == 0 {
+		return
+	}
+	delete(n.shards, key)
+	for i, k := range n.keys {
+		if k == key {
+			n.keys = append(n.keys[:i], n.keys[i+1:]...)
+			break
+		}
+	}
 }
 
 // handler is the node's transport-facing inbox: it takes ownership of
@@ -223,8 +315,9 @@ func (n *node) newMsg(kind proto.Kind, to int) *proto.Message {
 	return m
 }
 
-// send transmits m, first registering reliable kinds for
-// acknowledgement tracking so a lost message is retransmitted.
+// send queues m for this loop iteration's flush, first registering
+// reliable kinds for acknowledgement tracking so a lost message is
+// retransmitted.
 func (n *node) send(m *proto.Message) {
 	if m.To < 0 || m.To == n.id {
 		proto.Release(m)
@@ -233,23 +326,76 @@ func (n *node) send(m *proto.Message) {
 	if reliableKind(m.Kind) {
 		n.track(m)
 	}
-	n.nw.tr.Send(m)
+	n.out(m)
+}
+
+// out bins m by target for the end-of-iteration flush, keeping bins in
+// first-touch order so flushing is deterministic.
+func (n *node) out(m *proto.Message) {
+	bin, ok := n.obBins[m.To]
+	if !ok || len(bin) == 0 {
+		n.obOrder = append(n.obOrder, m.To)
+	}
+	n.obBins[m.To] = append(bin, m)
+}
+
+// flush drains the outbox: a lone message to a target goes out bare
+// (byte-identical to the unbatched protocol, and kind-level fault
+// injection still sees it); two or more are coalesced into one KindBatch
+// envelope — one frame, one syscall, and when any member is reliable one
+// envelope ack settles them all. Retransmissions never pass through here:
+// tick re-sends them bare so they are individually acknowledged.
+func (n *node) flush() {
+	for _, to := range n.obOrder {
+		bin := n.obBins[to]
+		for len(bin) > 0 {
+			if len(bin) == 1 {
+				n.nw.tr.Send(bin[0])
+				bin = bin[1:]
+				break
+			}
+			chunk := bin
+			if len(chunk) > maxEnvelope {
+				chunk = chunk[:maxEnvelope]
+			}
+			env := n.newMsg(proto.KindBatch, to)
+			env.Batch = append(env.Batch, chunk...)
+			var seqs []int64
+			for _, m := range chunk {
+				if reliableKind(m.Kind) && m.Seq > 0 {
+					seqs = append(seqs, m.Seq)
+				}
+			}
+			if len(seqs) > 0 {
+				n.relSeq++
+				env.Seq = n.relSeq
+				n.batches[env.Seq] = &batchRec{
+					seqs:     seqs,
+					deadline: time.Now().Add(n.nw.cfg.retransmitDeadline()),
+				}
+			}
+			n.nw.tr.Send(env)
+			bin = bin[len(chunk):]
+		}
+		n.obBins[to] = n.obBins[to][:0]
+	}
+	n.obOrder = n.obOrder[:0]
 }
 
 // track assigns m the next reliable sequence number and files a
 // retransmit entry. The queue is bounded: at capacity the message still
 // goes out once, untracked, counted as a give-up. A newer push to the
-// same target supersedes any older unacked push to it — the receiver
-// only wants the latest version anyway — but inherits the superseded
-// entry's deadline: the clock measures how long the peer has gone
-// without acking, and must not reset just because fresh versions keep
-// coming.
+// same target and key supersedes any older unacked push to it — the
+// receiver only wants the latest version anyway — but inherits the
+// superseded entry's deadline: the clock measures how long the peer has
+// gone without acking, and must not reset just because fresh versions
+// keep coming.
 func (n *node) track(m *proto.Message) {
 	now := time.Now()
 	deadline := now.Add(n.nw.cfg.retransmitDeadline())
 	if m.Kind == proto.KindPush {
 		for seq, e := range n.unacked {
-			if e.kind == proto.KindPush && e.to == m.To {
+			if e.kind == proto.KindPush && e.to == m.To && e.key == m.Key {
 				if e.deadline.Before(deadline) {
 					deadline = e.deadline
 				}
@@ -270,6 +416,7 @@ func (n *node) track(m *proto.Message) {
 		subject:  m.Subject,
 		old:      m.Old,
 		new:      m.New,
+		key:      m.Key,
 		version:  m.Version,
 		expiry:   m.Expiry,
 		retryAt:  now.Add(backoff),
@@ -298,19 +445,23 @@ func unixToTime(f float64) time.Time {
 func (n *node) run() {
 	defer n.nw.wg.Done()
 	now := time.Now()
-	n.intervalStart = now
 	n.lastAck = now
-	// A recovered authority enters with its pre-crash version already
-	// adopted; only a genuinely fresh root starts the schedule at zero.
-	if n.isRoot.Load() && n.expiry.IsZero() {
-		n.version = 0
-		n.expiry = now.Add(n.nw.cfg.TTL)
+	for _, k := range n.keys {
+		sh := n.shards[k]
+		sh.intervalStart = now
+		// A recovered authority enters with its pre-crash version already
+		// adopted; only a genuinely fresh root starts the schedule at zero.
+		if n.isRoot.Load() && sh.expiry.IsZero() {
+			sh.version = 0
+			sh.expiry = now.Add(n.nw.cfg.TTL)
+		}
 	}
 	if n.announce {
 		n.announce = false
 		n.sendJoin()
 	}
 	n.record()
+	n.flush()
 	tick := time.NewTicker(n.nw.cfg.KeepAliveEvery)
 	defer tick.Stop()
 	for {
@@ -334,6 +485,7 @@ func (n *node) run() {
 				n.record()
 			}
 		}
+		n.flush()
 	}
 }
 
@@ -343,35 +495,39 @@ func (n *node) stop() {
 	n.stopOnce.Do(func() { close(n.quit) })
 }
 
-// tick runs the periodic work: the authority refresh schedule, keep-alives
-// with parent-death detection, child-death detection, and the
+// tick runs the periodic work: the per-key authority refresh schedule,
+// keep-alives with parent-death detection, child-death detection, and the
 // interest-loss policy at interval boundaries.
 func (n *node) tick(now time.Time) {
 	cfg := n.nw.cfg
 	if n.isRoot.Load() {
-		if now.After(n.expiry.Add(-cfg.Lead)) {
-			n.version++
-			n.expiry = now.Add(cfg.TTL)
-			n.pushOut(n.version, n.expiry)
+		for _, k := range n.keys {
+			sh := n.shards[k]
+			if now.After(sh.expiry.Add(-cfg.Lead)) {
+				sh.version++
+				sh.expiry = now.Add(cfg.TTL)
+				n.pushOut(sh, sh.version, sh.expiry)
+			}
 		}
 	} else {
-		// Keep-alive to the parent; declare it dead after the timeout.
-		n.nw.stats.keepAlive.Add(1)
-		if n.parent >= 0 {
-			n.nw.tr.Send(n.newMsg(proto.KindKeepAlive, n.parent))
+		// Keep-alive to the parent, suppressed while acks are flowing: any
+		// ack from the parent is liveness proof as good as a keep-alive
+		// ack, so a busy link carries no keep-alive frames at all. Declare
+		// the parent dead after the timeout as before.
+		if n.parent >= 0 && now.Sub(n.lastAck) >= cfg.KeepAliveEvery {
+			n.nw.stats.keepAlive.Add(1)
+			n.send(n.newMsg(proto.KindKeepAlive, n.parent))
 		}
 		if now.Sub(n.lastAck) > cfg.DeadAfter {
 			n.parentDied(now)
 		}
 	}
 	// Child-death detection (case 2: the upstream virtual-path neighbour
-	// notices and clears the path).
+	// notices and clears the path) — across every keyed tree.
 	for child, seen := range n.childSeen {
 		if now.Sub(seen) > cfg.DeadAfter {
 			delete(n.childSeen, child)
-			if n.st.Contains(child) {
-				n.emit(n.st.HandleUnsubscribe(child))
-			}
+			n.unsubscribeEverywhere(child)
 		}
 	}
 	// Forget old suspicions so a recovered peer becomes routable again.
@@ -382,6 +538,8 @@ func (n *node) tick(now time.Time) {
 	}
 	// Retransmit unacknowledged reliable messages with doubling backoff;
 	// at the deadline give up and escalate exactly like a keep-alive miss.
+	// Retransmissions go out bare (not through the coalescer) so the
+	// receiver acks them individually.
 	for seq, e := range n.unacked {
 		if now.After(e.deadline) {
 			delete(n.unacked, seq)
@@ -400,8 +558,15 @@ func (n *node) tick(now time.Time) {
 			m := n.newMsg(e.kind, e.to)
 			m.Seq = seq
 			m.Subject, m.Old, m.New = e.subject, e.old, e.new
+			m.Key = e.key
 			m.Version, m.Expiry = e.version, e.expiry
 			n.nw.tr.Send(m)
+		}
+	}
+	// Settled or abandoned batch envelopes.
+	for seq, b := range n.batches {
+		if now.After(b.deadline) {
+			delete(n.batches, seq)
 		}
 	}
 	// Abandoned queries: the caller timed out long ago.
@@ -410,13 +575,16 @@ func (n *node) tick(now time.Time) {
 			delete(n.pending, seq)
 		}
 	}
-	// Interval boundary: interest loss (Figure 3 D).
-	if now.Sub(n.intervalStart) >= cfg.TTL {
-		if n.st.Interested() && n.count <= cfg.Threshold {
-			n.emit(n.st.LoseInterest())
+	// Interval boundary per key: interest loss (Figure 3 D).
+	for _, k := range n.keys {
+		sh := n.shards[k]
+		if now.Sub(sh.intervalStart) >= cfg.TTL {
+			if sh.st.Interested() && sh.count <= cfg.Threshold {
+				n.emit(sh, sh.st.LoseInterest())
+			}
+			sh.count = 0
+			sh.intervalStart = now
 		}
-		n.count = 0
-		n.intervalStart = now
 	}
 	n.maybeFinishLeave()
 }
@@ -428,10 +596,21 @@ func (n *node) suspected(id int) bool {
 	return ok
 }
 
+// unsubscribeEverywhere clears a dead peer out of every keyed tree it
+// subscribed to on this node.
+func (n *node) unsubscribeEverywhere(id int) {
+	for _, k := range n.keys {
+		sh := n.shards[k]
+		if sh.st.Contains(id) {
+			n.emit(sh, sh.st.HandleUnsubscribe(id))
+		}
+	}
+}
+
 // escalate reacts to a peer that stopped acknowledging reliable
 // messages: treat it exactly like a keep-alive miss. A dead parent
 // re-homes the node (cases 3/4/5); a dead DUP-tree neighbour is
-// unsubscribed so the subscriber list matches the repaired tree (case 2).
+// unsubscribed so the subscriber lists match the repaired trees (case 2).
 func (n *node) escalate(to int, now time.Time) {
 	n.suspects[to] = now
 	if to == n.parent {
@@ -439,15 +618,13 @@ func (n *node) escalate(to int, now time.Time) {
 		return
 	}
 	delete(n.childSeen, to)
-	if n.st.Contains(to) {
-		n.emit(n.st.HandleUnsubscribe(to))
-	}
+	n.unsubscribeEverywhere(to)
 }
 
 // parentDied repairs after a keep-alive timeout: re-home under the nearest
 // believed-alive ancestor (the underlying DHT's routing repair),
-// re-announce any virtual path (cases 3/4), or take over as authority when
-// no root is left (case 5).
+// re-announce any virtual path per keyed tree (cases 3/4), or take over as
+// authority when no root is left (case 5).
 func (n *node) parentDied(now time.Time) {
 	n.lastAck = now // do not re-trigger while repairing
 	if n.parent >= 0 {
@@ -469,27 +646,36 @@ func (n *node) parentDied(now time.Time) {
 	}
 	n.parent = newParent
 	n.nw.dir.SetParent(n.id, newParent)
-	if n.st.OnVirtualPath() {
-		n.nw.stats.subscribes.Add(1)
-		m := n.newMsg(proto.KindSubscribe, newParent)
-		m.Subject = n.st.Representative()
-		n.send(m)
+	for _, k := range n.keys {
+		sh := n.shards[k]
+		if sh.st.OnVirtualPath() {
+			n.nw.stats.subscribes.Add(1)
+			sh.kc.subscribes.Add(1)
+			m := n.newMsg(proto.KindSubscribe, newParent)
+			m.Key = k
+			m.Subject = sh.st.Representative()
+			n.send(m)
+		}
 	}
 }
 
-// becomeRoot is case 5: this node takes over the failed authority's index
-// with refreshed information and resumes update propagation.
+// becomeRoot is case 5: this node takes over the failed authority's
+// indexes (every key) with refreshed information and resumes update
+// propagation.
 func (n *node) becomeRoot(now time.Time) {
 	n.parent = -1
 	n.nw.dir.SetParent(n.id, -1)
-	n.st.SetRoot(true)
 	n.isRoot.Store(true)
-	if n.cacheVer > n.version {
-		n.version = n.cacheVer
+	for _, k := range n.keys {
+		sh := n.shards[k]
+		sh.st.SetRoot(true)
+		if sh.cacheVer > sh.version {
+			sh.version = sh.cacheVer
+		}
+		sh.version++
+		sh.expiry = now.Add(n.nw.cfg.TTL)
+		n.pushOut(sh, sh.version, sh.expiry)
 	}
-	n.version++
-	n.expiry = now.Add(n.nw.cfg.TTL)
-	n.pushOut(n.version, n.expiry)
 }
 
 // control processes one local injection from the hosting Network.
@@ -502,38 +688,55 @@ func (n *node) control(c ctrlMsg) {
 	case cBecomeRoot:
 		n.becomeRoot(time.Now())
 	case cInspect:
-		c.info <- n.info()
+		c.info <- n.info(c.key)
 	case cLeave:
 		n.beginLeave(c)
 	case cReboot:
-		n.reboot(c.state)
+		n.reboot(c.states)
+	case cJoinKey:
+		n.joinKey(c.key)
+	case cLeaveKey:
+		n.leaveKey(c.key)
 	}
 }
 
-// info snapshots the node's protocol state for Network.Inspect.
-func (n *node) info() NodeInfo {
+// info snapshots one keyed shard's protocol state for Network.Inspect.
+func (n *node) info(key int) NodeInfo {
 	in := NodeInfo{
-		ID:          n.id,
-		Parent:      n.parent,
-		IsRoot:      n.isRoot.Load(),
-		Dead:        n.dead.Load(),
-		Interested:  n.st.Interested(),
-		Subscribers: append([]int(nil), n.st.Subscribers()...),
-		PushTargets: append([]int(nil), n.st.PushTargets()...),
-		Unacked:     len(n.unacked),
+		ID:      n.id,
+		Key:     key,
+		Parent:  n.parent,
+		IsRoot:  n.isRoot.Load(),
+		Dead:    n.dead.Load(),
+		Keys:    append([]int(nil), n.keys...),
+		Unacked: len(n.unacked),
 	}
+	sh, ok := n.shards[key]
+	if !ok {
+		return in
+	}
+	in.Interested = sh.st.Interested()
+	in.Subscribers = append([]int(nil), sh.st.Subscribers()...)
+	in.PushTargets = append([]int(nil), sh.st.PushTargets()...)
 	if in.IsRoot {
-		in.HaveCopy, in.Version, in.Expiry = true, n.version, n.expiry
-	} else if n.haveCopy {
-		in.HaveCopy, in.Version, in.Expiry = true, n.cacheVer, n.cacheExp
+		in.HaveCopy, in.Version, in.Expiry = true, sh.version, sh.expiry
+	} else if sh.haveCopy {
+		in.HaveCopy, in.Version, in.Expiry = true, sh.cacheVer, sh.cacheExp
 	}
 	return in
 }
 
-// drain releases whatever is still parked in the inbox; called on the
-// node goroutine at quit and again by Stop after the goroutine exits (a
-// handler may have raced one last message in).
+// drain releases whatever is still parked in the inbox or the unflushed
+// outbox; called on the node goroutine at quit and again by Stop after the
+// goroutine exits (a handler may have raced one last message in).
 func (n *node) drain() {
+	for _, to := range n.obOrder {
+		for _, m := range n.obBins[to] {
+			proto.Release(m)
+		}
+		n.obBins[to] = n.obBins[to][:0]
+	}
+	n.obOrder = n.obOrder[:0]
 	for {
 		select {
 		case m := <-n.inbox:
@@ -544,10 +747,30 @@ func (n *node) drain() {
 	}
 }
 
-// handle processes one protocol message. The node owns m here: each case
-// either forwards it (ownership moves back to the transport) or falls
-// through to the final Release.
+// handle processes one protocol message arriving from the transport.
 func (n *node) handle(m *proto.Message) {
+	n.handleMsg(m, false)
+}
+
+// handleMsg processes one protocol message; batched members skip the
+// individual acknowledgement (the envelope was acked once for all of
+// them) but still pass the dedup window. Each case either forwards m
+// (ownership moves back to the transport) or falls through to the final
+// Release.
+func (n *node) handleMsg(m *proto.Message, batched bool) {
+	if m.Kind == proto.KindBatch {
+		if batched {
+			proto.Release(m) // envelopes never nest
+			return
+		}
+		n.onBatch(m)
+		return
+	}
+	// Any message from a known keep-alive child proves it alive, which is
+	// what lets busy children suppress their keep-alive frames entirely.
+	if _, ok := n.childSeen[m.Origin]; ok {
+		n.childSeen[m.Origin] = time.Now()
+	}
 	if m.Kind == proto.KindAck {
 		n.onAck(m)
 		proto.Release(m)
@@ -556,20 +779,25 @@ func (n *node) handle(m *proto.Message) {
 	// Reliable kinds with a seq are acknowledged; duplicates (a
 	// retransmission whose original got through, or a transport-level
 	// copy) are re-acked — the first ack may have been the loss — and
-	// absorbed without touching protocol state. KindJoin is the exception:
-	// it marks a new incarnation of the origin, whose clock-seeded seq
-	// stream could overlap the previous incarnation's window if its clock
-	// lags, so it is processed regardless (onJoin is idempotent) and
-	// resets the origin's window.
+	// absorbed without touching protocol state. A node-level KindJoin is
+	// the exception: it marks a new incarnation of the origin, whose
+	// clock-seeded seq stream could overlap the previous incarnation's
+	// window if its clock lags, so it is processed regardless (onJoin is
+	// idempotent) and resets the origin's window.
 	if reliableKind(m.Kind) && m.Seq > 0 {
-		if n.dedup(m.Origin, m.Seq) && m.Kind != proto.KindJoin {
+		nodeJoin := m.Kind == proto.KindJoin && m.Key == 0
+		if n.dedup(m.Origin, m.Seq) && !nodeJoin {
 			n.nw.stats.dups.Add(1)
 			n.nw.stats.dupsByKind[m.Kind].Add(1)
-			n.ackTo(m)
+			if !batched {
+				n.ackTo(m)
+			}
 			proto.Release(m)
 			return
 		}
-		n.ackTo(m)
+		if !batched {
+			n.ackTo(m)
+		}
 	}
 	switch m.Kind {
 	case proto.KindRequest:
@@ -581,14 +809,17 @@ func (n *node) handle(m *proto.Message) {
 	case proto.KindPush:
 		n.onPush(m)
 	case proto.KindSubscribe:
-		n.emit(n.st.HandleSubscribe(m.Subject))
+		sh := n.shard(m.Key)
+		n.emit(sh, sh.st.HandleSubscribe(m.Subject))
 	case proto.KindUnsubscribe:
-		n.emit(n.st.HandleUnsubscribe(m.Subject))
+		sh := n.shard(m.Key)
+		n.emit(sh, sh.st.HandleUnsubscribe(m.Subject))
 	case proto.KindSubstitute:
-		n.emit(n.st.HandleSubstitute(m.Old, m.New))
+		sh := n.shard(m.Key)
+		n.emit(sh, sh.st.HandleSubstitute(m.Old, m.New))
 	case proto.KindKeepAlive:
 		n.childSeen[m.Origin] = time.Now()
-		n.nw.tr.Send(n.newMsg(proto.KindKeepAliveAck, m.Origin))
+		n.send(n.newMsg(proto.KindKeepAliveAck, m.Origin))
 	case proto.KindKeepAliveAck:
 		n.lastAck = time.Now()
 		delete(n.suspects, m.Origin)
@@ -597,48 +828,94 @@ func (n *node) handle(m *proto.Message) {
 	case proto.KindLeave:
 		n.onLeave(m)
 	case proto.KindState:
-		n.store(m.Version, unixToTime(m.Expiry))
+		sh := n.shard(m.Key)
+		n.storeIn(sh, m.Version, unixToTime(m.Expiry))
+	}
+	proto.Release(m)
+}
+
+// onBatch unpacks a coalescing envelope: acknowledge the envelope once
+// (settling every reliable member at the sender), then process the
+// members in order. Members are detached before the envelope is released
+// so the pooled envelope cannot take them down with it.
+func (n *node) onBatch(m *proto.Message) {
+	if m.Seq > 0 {
+		a := n.newMsg(proto.KindAck, m.Origin)
+		a.Seq = m.Seq
+		a.Subject = int(proto.KindBatch)
+		n.send(a)
+	}
+	subs := m.Batch
+	m.Batch = m.Batch[:0]
+	for i, sub := range subs {
+		subs[i] = nil
+		if sub != nil {
+			n.handleMsg(sub, true)
+		}
 	}
 	proto.Release(m)
 }
 
 // onJoin adopts a joining (or recovering) child into the keep-alive
-// fabric and answers with a best-effort state transfer, so the joiner
-// holds a servable index copy without waiting out a TTL of misses.
+// fabric and answers with best-effort state transfers, so the joiner
+// holds servable index copies without waiting out a TTL of misses. A
+// node-level join (key 0) resets the origin's incarnation and transfers
+// every key's state; a key-scoped join transfers just that key.
 func (n *node) onJoin(m *proto.Message) {
 	now := time.Now()
+	n.childSeen[m.Origin] = now
+	delete(n.suspects, m.Origin)
+	if m.Key != 0 {
+		if sh, ok := n.shards[m.Key]; ok {
+			n.transferState(sh, m.Origin, now)
+		}
+		return
+	}
 	// A join starts the origin's incarnation afresh: drop the dedup window
 	// its predecessor filled, so the newcomer's messages can never be
 	// absorbed as duplicates of messages it never sent.
 	delete(n.seen, m.Origin)
-	n.childSeen[m.Origin] = now
-	delete(n.suspects, m.Origin)
-	if v, exp, ok := n.valid(now); ok {
-		s := n.newMsg(proto.KindState, m.Origin)
-		s.Version = v
-		s.Expiry = timeToUnix(exp)
-		n.nw.tr.Send(s)
+	for _, k := range n.keys {
+		n.transferState(n.shards[k], m.Origin, now)
 	}
 }
 
-// onLeave handles a peer's graceful departure announcement. From a
-// subscriber it is the paper's substitute logic run proactively: splice
-// the departing node's remaining representative into the list (Figure 3
-// C), or unsubscribe the branch when nothing remains (Figure 3 E). From
-// the parent it triggers immediate re-homing — the same repair a
-// keep-alive death would cause, minus the detection delay.
+// transferState sends one key's valid index copy to a joiner.
+func (n *node) transferState(sh *shard, to int, now time.Time) {
+	v, exp, ok := n.valid(sh, now)
+	if !ok {
+		return
+	}
+	s := n.newMsg(proto.KindState, to)
+	s.Key = sh.key
+	s.Version = v
+	s.Expiry = timeToUnix(exp)
+	n.send(s)
+}
+
+// onLeave handles a peer's departure announcement. A key-scoped leave
+// splices the departing node out of that key's subscriber list only —
+// substitute its remaining representative (Figure 3 C) or unsubscribe the
+// branch (Figure 3 E). A node-level leave (key 0) additionally retires the
+// origin from the keep-alive fabric; from the parent it triggers immediate
+// re-homing — the same repair a keep-alive death would cause, minus the
+// detection delay. A departing multi-key node sends one leave per key,
+// key 0 last, so the per-key splices land before the node-level effects.
 func (n *node) onLeave(m *proto.Message) {
 	now := time.Now()
+	if sh, ok := n.shards[m.Key]; ok && sh.st.Contains(m.Origin) {
+		if m.Subject >= 0 && m.Subject != n.id {
+			n.emit(sh, sh.st.HandleSubstitute(m.Origin, m.Subject))
+		} else {
+			n.emit(sh, sh.st.HandleUnsubscribe(m.Origin))
+		}
+	}
+	if m.Key != 0 {
+		return
+	}
 	delete(n.childSeen, m.Origin)
 	delete(n.seen, m.Origin) // a departed peer's window is dead state
 	n.suspects[m.Origin] = now
-	if n.st.Contains(m.Origin) {
-		if m.Subject >= 0 && m.Subject != n.id {
-			n.emit(n.st.HandleSubstitute(m.Origin, m.Subject))
-		} else {
-			n.emit(n.st.HandleUnsubscribe(m.Origin))
-		}
-	}
 	if m.Origin == n.parent {
 		n.parentDied(now)
 	}
@@ -662,16 +939,41 @@ func (n *node) dedup(origin int, seq int64) bool {
 	return w.observe(seq)
 }
 
-// onAck settles a reliable message: the peer has it. An ack is also a
-// liveness proof at least as good as a keep-alive ack.
-func (n *node) onAck(m *proto.Message) {
-	e, ok := n.unacked[m.Seq]
-	if !ok || e.to != m.Origin {
-		return // late ack for a settled or abandoned message
+// settle removes one reliable message from the retransmit queue if origin
+// is the peer it was sent to, counting the ack.
+func (n *node) settle(seq int64, origin int) bool {
+	e, ok := n.unacked[seq]
+	if !ok || e.to != origin {
+		return false
 	}
-	delete(n.unacked, m.Seq)
+	delete(n.unacked, seq)
 	n.nw.stats.acks.Add(1)
 	n.nw.stats.acksByKind[e.kind].Add(1)
+	return true
+}
+
+// onAck settles reliable messages: the peer has them. A batch-envelope
+// ack settles every reliable member the envelope carried in one step. An
+// ack is also a liveness proof at least as good as a keep-alive ack.
+func (n *node) onAck(m *proto.Message) {
+	settled := false
+	if m.Subject == int(proto.KindBatch) {
+		b, ok := n.batches[m.Seq]
+		if !ok {
+			return
+		}
+		delete(n.batches, m.Seq)
+		for _, seq := range b.seqs {
+			if n.settle(seq, m.Origin) {
+				settled = true
+			}
+		}
+	} else {
+		settled = n.settle(m.Seq, m.Origin)
+	}
+	if !settled {
+		return // late ack for a settled or abandoned message
+	}
 	delete(n.suspects, m.Origin)
 	if m.Origin == n.parent {
 		n.lastAck = time.Now()
@@ -680,8 +982,8 @@ func (n *node) onAck(m *proto.Message) {
 }
 
 // sendJoin announces this node to its parent: a reliable KindJoin
-// carrying the membership epoch, answered by a state transfer when the
-// parent holds a valid copy.
+// carrying the membership epoch, answered by per-key state transfers when
+// the parent holds valid copies.
 func (n *node) sendJoin() {
 	if n.parent < 0 {
 		return
@@ -693,10 +995,57 @@ func (n *node) sendJoin() {
 	n.send(m)
 }
 
+// joinKey makes this node a participant in one keyed index tree: create
+// the shard and announce it upstream (key-scoped KindJoin, answered by a
+// state transfer when the parent holds a valid copy of that key).
+func (n *node) joinKey(key int) {
+	n.shard(key)
+	if key == 0 || n.parent < 0 {
+		return
+	}
+	m := n.newMsg(proto.KindJoin, n.parent)
+	m.Key = key
+	if dyn, ok := n.nw.dir.(Dynamic); ok {
+		m.Version = int64(dyn.Epoch())
+	}
+	n.send(m)
+}
+
+// leaveKey departs one keyed index tree: withdraw interest, tell the
+// parent how to splice this node out of that key's subscriber list, and
+// drop the shard. Key 0 is the node's own existence — use Network.Leave.
+// Downstream subscribers of the dropped key self-heal: their queries still
+// route through this node (routing is node-level), and a later push or
+// request for the key lazily recreates the shard.
+func (n *node) leaveKey(key int) {
+	if key == 0 {
+		return
+	}
+	sh, ok := n.shards[key]
+	if !ok {
+		return
+	}
+	if sh.st.Interested() {
+		n.emit(sh, sh.st.LoseInterest())
+	}
+	if n.parent >= 0 && sh.st.OnVirtualPath() {
+		rep := -1
+		if subs := sh.st.Subscribers(); len(subs) == 1 && subs[0] != n.id {
+			rep = subs[0]
+		}
+		m := n.newMsg(proto.KindLeave, n.parent)
+		m.Key = key
+		m.Subject = rep
+		n.send(m)
+	}
+	n.dropShard(key)
+}
+
 // beginLeave starts a graceful departure: withdraw interest the ordinary
-// way (Figure 3 D), tell the parent how to splice this node out of its
-// subscriber list, and tell the keep-alive children to re-home now rather
-// than after a detection timeout. The node keeps running — acking,
+// way (Figure 3 D), tell the parent how to splice this node out of each
+// keyed subscriber list — key 0 last, because the key-0 leave carries the
+// node-level departure — and tell the keep-alive children to re-home now
+// rather than after a detection timeout. The node keeps running — acking,
 // retransmitting — until its departure announcements are acknowledged;
 // maybeFinishLeave then signals the waiting Network.Leave.
 func (n *node) beginLeave(c ctrlMsg) {
@@ -708,21 +1057,34 @@ func (n *node) beginLeave(c ctrlMsg) {
 	}
 	n.leaving = true
 	n.leaveDone = c.done
-	if n.st.Interested() {
-		n.emit(n.st.LoseInterest())
+	for _, k := range n.keys {
+		sh := n.shards[k]
+		if sh.st.Interested() {
+			n.emit(sh, sh.st.LoseInterest())
+		}
 	}
 	if n.parent >= 0 {
 		// With exactly one remaining subscriber the parent can substitute
 		// it in place (Figure 3 C). With more, no single node represents
 		// the branch: the parent unsubscribes it and the re-homed children
-		// re-announce their own virtual paths.
-		rep := -1
-		if subs := n.st.Subscribers(); len(subs) == 1 && subs[0] != n.id {
-			rep = subs[0]
+		// re-announce their own virtual paths. One leave per key; keys are
+		// sorted ascending and 0 is always present, so iterating in
+		// reverse puts the node-level (key 0) leave last.
+		for i := len(n.keys) - 1; i >= 0; i-- {
+			k := n.keys[i]
+			sh := n.shards[k]
+			if k != 0 && !sh.st.OnVirtualPath() {
+				continue
+			}
+			rep := -1
+			if subs := sh.st.Subscribers(); len(subs) == 1 && subs[0] != n.id {
+				rep = subs[0]
+			}
+			m := n.newMsg(proto.KindLeave, n.parent)
+			m.Key = k
+			m.Subject = rep
+			n.send(m)
 		}
-		m := n.newMsg(proto.KindLeave, n.parent)
-		m.Subject = rep
-		n.send(m)
 	}
 	for _, child := range c.children {
 		if child == n.id {
@@ -747,11 +1109,11 @@ func (n *node) maybeFinishLeave() {
 }
 
 // reboot models a crash-and-restart: blank in-memory state, then resume
-// from the durable record ns as a restarted process would. Cold reboots
-// (ns nil) come back like a plain recovery.
-func (n *node) reboot(ns *store.NodeState) {
-	if ns != nil {
-		n.adoptState(ns)
+// from the durable per-key records as a restarted process would. Cold
+// reboots (no records) come back like a plain recovery.
+func (n *node) reboot(states []store.NodeState) {
+	if len(states) > 0 {
+		n.adoptStates(states)
 		n.sendJoin()
 		return
 	}
@@ -763,80 +1125,97 @@ func (n *node) reboot(ns *store.NodeState) {
 	n.sendJoin()
 }
 
-// adoptState restores durable state recorded by a previous incarnation.
-// A still-designated authority resumes its exact pre-crash version with a
-// fresh TTL and immediately re-pushes it (subscribers accept an equal
-// version, so the tree learns the authority is back without a version
-// regression). Any other node re-homes under its recorded parent, adopts
-// its recorded subscriber list, and re-announces interest upstream.
-func (n *node) adoptState(ns *store.NodeState) {
-	now := time.Now()
-	if ns.IsRoot && n.nw.dir.RootID() == n.id {
-		n.reset(-1)
-		n.st.SetRoot(true)
-		n.isRoot.Store(true)
-		for _, s := range ns.Subscribers {
-			if s != n.id {
-				n.st.AdoptSubscriber(s)
-			}
-		}
-		n.version = ns.Version
-		n.expiry = now.Add(n.nw.cfg.TTL)
-		n.pushOut(n.version, n.expiry)
+// adoptStates restores durable state recorded by a previous incarnation,
+// one record per key. A still-designated authority resumes its exact
+// pre-crash versions with fresh TTLs and immediately re-pushes them
+// (subscribers accept an equal version, so the trees learn the authority
+// is back without a version regression). Any other node re-homes under
+// its recorded parent, adopts its recorded subscriber lists, and
+// re-announces interest upstream per key.
+func (n *node) adoptStates(states []store.NodeState) {
+	if len(states) == 0 {
 		return
 	}
-	parent := ns.Parent
+	now := time.Now()
+	// Role and parent are node-level, so every key's record agrees on them.
+	if states[0].IsRoot && n.nw.dir.RootID() == n.id {
+		n.reset(-1)
+		n.isRoot.Store(true)
+		for _, ns := range states {
+			sh := n.shard(ns.Key)
+			sh.st.SetRoot(true)
+			for _, s := range ns.Subscribers {
+				if s != n.id {
+					sh.st.AdoptSubscriber(s)
+				}
+			}
+			sh.version = ns.Version
+			sh.expiry = now.Add(n.nw.cfg.TTL)
+			n.pushOut(sh, sh.version, sh.expiry)
+		}
+		return
+	}
+	parent := states[0].Parent
 	if parent < 0 || parent == n.id {
 		parent = n.nw.dir.Parent(n.id)
 	}
 	n.reset(parent)
-	interested := false
-	for _, s := range ns.Subscribers {
-		if s == n.id {
-			interested = true
-			continue
+	for _, ns := range states {
+		sh := n.shard(ns.Key)
+		interested := false
+		for _, s := range ns.Subscribers {
+			if s == n.id {
+				interested = true
+				continue
+			}
+			sh.st.AdoptSubscriber(s)
 		}
-		n.st.AdoptSubscriber(s)
-	}
-	if interested {
-		n.emit(n.st.BecomeInterested())
-	} else if n.st.OnVirtualPath() && parent >= 0 {
-		// Re-announce the virtual path: the parent may have dropped this
-		// branch while the node was down.
-		n.nw.stats.subscribes.Add(1)
-		m := n.newMsg(proto.KindSubscribe, parent)
-		m.Subject = n.st.Representative()
-		n.send(m)
-	}
-	if exp := unixToTime(ns.Expiry); exp.After(now) {
-		n.haveCopy, n.cacheVer, n.cacheExp = true, ns.Version, exp
+		if interested {
+			n.emit(sh, sh.st.BecomeInterested())
+		} else if sh.st.OnVirtualPath() && parent >= 0 {
+			// Re-announce the virtual path: the parent may have dropped
+			// this branch while the node was down.
+			n.nw.stats.subscribes.Add(1)
+			sh.kc.subscribes.Add(1)
+			m := n.newMsg(proto.KindSubscribe, parent)
+			m.Key = ns.Key
+			m.Subject = sh.st.Representative()
+			n.send(m)
+		}
+		if exp := unixToTime(ns.Expiry); exp.After(now) {
+			sh.haveCopy, sh.cacheVer, sh.cacheExp = true, ns.Version, exp
+		}
 	}
 }
 
 // record journals the node's durable state when it changed since the last
-// record: the run loop calls it after every message, control injection
-// and tick, so the journal tracks parent, role, version and subscriber
-// list without the protocol paths knowing about persistence.
+// record — one record per keyed shard: the run loop calls it after every
+// message, control injection and tick, so the journal tracks parent,
+// role, version and subscriber lists without the protocol paths knowing
+// about persistence.
 func (n *node) record() {
 	if n.nw.journal == nil || n.dead.Load() {
 		return
 	}
-	ns := store.NodeState{ID: n.id, Parent: n.parent, IsRoot: n.isRoot.Load()}
-	if ns.IsRoot {
-		ns.Version, ns.Expiry = n.version, timeToUnix(n.expiry)
-	} else if n.haveCopy {
-		ns.Version, ns.Expiry = n.cacheVer, timeToUnix(n.cacheExp)
+	for _, k := range n.keys {
+		sh := n.shards[k]
+		ns := store.NodeState{ID: n.id, Key: k, Parent: n.parent, IsRoot: n.isRoot.Load()}
+		if ns.IsRoot {
+			ns.Version, ns.Expiry = sh.version, timeToUnix(sh.expiry)
+		} else if sh.haveCopy {
+			ns.Version, ns.Expiry = sh.cacheVer, timeToUnix(sh.cacheExp)
+		}
+		subs := sh.st.Subscribers()
+		if sh.recValid && ns.Parent == sh.lastRec.Parent && ns.IsRoot == sh.lastRec.IsRoot &&
+			ns.Version == sh.lastRec.Version && ns.Expiry == sh.lastRec.Expiry &&
+			equalInts(subs, sh.lastRec.Subscribers) {
+			continue
+		}
+		ns.Subscribers = append([]int(nil), subs...)
+		sh.lastRec = ns
+		sh.recValid = true
+		n.nw.journal.Record(ns)
 	}
-	subs := n.st.Subscribers()
-	if n.recValid && ns.Parent == n.lastRec.Parent && ns.IsRoot == n.lastRec.IsRoot &&
-		ns.Version == n.lastRec.Version && ns.Expiry == n.lastRec.Expiry &&
-		equalInts(subs, n.lastRec.Subscribers) {
-		return
-	}
-	ns.Subscribers = append([]int(nil), subs...)
-	n.lastRec = ns
-	n.recValid = true
-	n.nw.journal.Record(ns)
 }
 
 func equalInts(a, b []int) bool {
@@ -852,17 +1231,22 @@ func equalInts(a, b []int) bool {
 }
 
 // reset blanks the node after recovery and re-homes it under parent.
+// Every keyed shard blanks with it: the underlying process restarted.
 func (n *node) reset(parent int) {
-	n.st.Reset()
-	n.st.SetRoot(false)
 	n.isRoot.Store(false)
 	n.parent = parent
 	n.nw.dir.SetParent(n.id, parent)
-	n.haveCopy = false
-	n.lastPushed = -1
-	n.count = 0
-	n.intervalStart = time.Now()
-	n.lastAck = time.Now()
+	now := time.Now()
+	for _, k := range n.keys {
+		sh := n.shards[k]
+		sh.st.Reset()
+		sh.st.SetRoot(false)
+		sh.haveCopy = false
+		sh.lastPushed = -1
+		sh.count = 0
+		sh.intervalStart = now
+	}
+	n.lastAck = now
 	clear(n.childSeen)
 	clear(n.suspects)
 	clear(n.pending)
@@ -870,54 +1254,60 @@ func (n *node) reset(parent int) {
 	// state) but keep the dedup windows and relSeq: peers' seq streams
 	// continue across our recovery, and ours must not restart.
 	clear(n.unacked)
+	clear(n.batches)
 }
 
-// valid reports whether the node can serve the index right now, returning
-// the version and expiry it would serve.
-func (n *node) valid(now time.Time) (int64, time.Time, bool) {
+// valid reports whether the node can serve one key's index right now,
+// returning the version and expiry it would serve.
+func (n *node) valid(sh *shard, now time.Time) (int64, time.Time, bool) {
 	if n.isRoot.Load() {
-		return n.version, n.expiry, true
+		return sh.version, sh.expiry, true
 	}
-	if n.haveCopy && now.Before(n.cacheExp) {
-		return n.cacheVer, n.cacheExp, true
+	if sh.haveCopy && now.Before(sh.cacheExp) {
+		return sh.cacheVer, sh.cacheExp, true
 	}
 	return 0, time.Time{}, false
 }
 
-// access counts a query arrival and applies the interest-gain policy
-// (Figure 3 A).
-func (n *node) access() {
-	n.count++
-	if n.count > n.nw.cfg.Threshold && !n.st.Interested() && !n.isRoot.Load() {
-		n.emit(n.st.BecomeInterested())
+// access counts a query arrival on one key and applies the interest-gain
+// policy (Figure 3 A).
+func (n *node) access(sh *shard) {
+	sh.count++
+	if sh.count > n.nw.cfg.Threshold && !sh.st.Interested() && !n.isRoot.Load() {
+		n.emit(sh, sh.st.BecomeInterested())
 	}
 }
 
 // localQuery serves a query generated at this node, or sends a request
 // upstream and parks the caller in pending until the reply retraces.
 func (n *node) localQuery(c ctrlMsg) {
-	n.access()
+	sh := n.shard(c.key)
+	n.access(sh)
 	n.nw.stats.queries.Add(1)
+	sh.kc.queries.Add(1)
 	now := time.Now()
-	if v, _, ok := n.valid(now); ok {
+	if v, _, ok := n.valid(sh, now); ok {
 		n.nw.stats.localHits.Add(1)
+		sh.kc.localHits.Add(1)
 		c.res <- QueryResult{Version: v, Hops: 0, Local: true}
 		return
 	}
 	n.nextSeq++
 	n.pending[n.nextSeq] = pendingQuery{res: c.res, expires: c.deadline}
 	m := n.newMsg(proto.KindRequest, n.parent)
+	m.Key = c.key
 	m.Seq = n.nextSeq
 	m.Hops = 1
 	m.Path = append(m.Path, n.id)
-	n.nw.tr.Send(m)
+	n.send(m)
 }
 
 // onRequest serves the query if possible, otherwise forwards it upstream.
 func (n *node) onRequest(m *proto.Message) {
-	n.access()
+	sh := n.shard(m.Key)
+	n.access(sh)
 	now := time.Now()
-	if v, exp, ok := n.valid(now); ok {
+	if v, exp, ok := n.valid(sh, now); ok {
 		// Turn the request into the reply and retrace the path; the origin
 		// completes the waiting query when it arrives.
 		last := len(m.Path) - 1
@@ -930,7 +1320,7 @@ func (n *node) onRequest(m *proto.Message) {
 		m.Path = m.Path[:last]
 		m.Version = v
 		m.Expiry = timeToUnix(exp)
-		n.nw.tr.Send(m)
+		n.send(m)
 		return
 	}
 	if n.isRoot.Load() {
@@ -942,17 +1332,19 @@ func (n *node) onRequest(m *proto.Message) {
 	m.Path = append(m.Path, n.id)
 	m.Hops++
 	m.To = n.parent
-	n.nw.tr.Send(m)
+	n.send(m)
 }
 
 // onReply caches the index and keeps retracing the request path; at the
 // origin it completes the pending query.
 func (n *node) onReply(m *proto.Message) {
-	n.store(m.Version, unixToTime(m.Expiry))
+	sh := n.shard(m.Key)
+	n.storeIn(sh, m.Version, unixToTime(m.Expiry))
 	if len(m.Path) == 0 {
 		if p, ok := n.pending[m.Seq]; ok {
 			delete(n.pending, m.Seq)
 			n.nw.stats.queryHops.Add(int64(m.Hops))
+			sh.kc.queryHops.Add(int64(m.Hops))
 			p.res <- QueryResult{Version: m.Version, Hops: m.Hops}
 		}
 		proto.Release(m)
@@ -961,56 +1353,66 @@ func (n *node) onReply(m *proto.Message) {
 	last := len(m.Path) - 1
 	m.To = m.Path[last]
 	m.Path = m.Path[:last]
-	n.nw.tr.Send(m)
+	n.send(m)
 }
 
-// onPush refreshes the cache and forwards across the DUP tree.
+// onPush refreshes the key's cache and forwards across that key's DUP
+// tree.
 func (n *node) onPush(m *proto.Message) {
+	sh := n.shard(m.Key)
 	n.nw.stats.pushes.Add(1)
+	sh.kc.pushes.Add(1)
 	exp := unixToTime(m.Expiry)
-	n.store(m.Version, exp)
-	if m.Version > n.lastPushed {
-		n.lastPushed = m.Version
-		n.pushOut(m.Version, exp)
+	n.storeIn(sh, m.Version, exp)
+	if m.Version > sh.lastPushed {
+		sh.lastPushed = m.Version
+		n.pushOut(sh, m.Version, exp)
 	}
 }
 
-// pushOut sends version v directly to every DUP-tree push target.
-func (n *node) pushOut(v int64, exp time.Time) {
-	for _, target := range n.st.PushTargets() {
+// pushOut sends version v directly to every push target of one key's DUP
+// tree.
+func (n *node) pushOut(sh *shard, v int64, exp time.Time) {
+	for _, target := range sh.st.PushTargets() {
 		m := n.newMsg(proto.KindPush, target)
+		m.Key = sh.key
 		m.Version = v
 		m.Expiry = timeToUnix(exp)
 		n.send(m)
 	}
 }
 
-// store updates the cached copy, ignoring stale versions.
-func (n *node) store(v int64, exp time.Time) {
-	if n.haveCopy && v < n.cacheVer {
+// storeIn updates one key's cached copy, ignoring stale versions.
+func (n *node) storeIn(sh *shard, v int64, exp time.Time) {
+	if sh.haveCopy && v < sh.cacheVer {
 		return
 	}
-	n.haveCopy = true
-	n.cacheVer = v
-	n.cacheExp = exp
+	sh.haveCopy = true
+	sh.cacheVer = v
+	sh.cacheExp = exp
 }
 
-// emit sends the state machine's upstream actions to the current parent.
-func (n *node) emit(acts []core.Action) {
+// emit sends one shard's state-machine actions to the current parent.
+func (n *node) emit(sh *shard, acts []core.Action) {
 	for _, a := range acts {
 		switch a.Kind {
 		case core.SendSubscribe:
 			n.nw.stats.subscribes.Add(1)
+			sh.kc.subscribes.Add(1)
 			m := n.newMsg(proto.KindSubscribe, n.parent)
+			m.Key = sh.key
 			m.Subject = a.Subject
 			n.send(m)
 		case core.SendUnsubscribe:
 			m := n.newMsg(proto.KindUnsubscribe, n.parent)
+			m.Key = sh.key
 			m.Subject = a.Subject
 			n.send(m)
 		case core.SendSubstitute:
 			n.nw.stats.substitutes.Add(1)
+			sh.kc.substitutes.Add(1)
 			m := n.newMsg(proto.KindSubstitute, n.parent)
+			m.Key = sh.key
 			m.Old, m.New = a.Old, a.New
 			n.send(m)
 		}

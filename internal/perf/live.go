@@ -1,0 +1,165 @@
+package perf
+
+import (
+	"fmt"
+	"time"
+
+	"dup/internal/live"
+	"dup/internal/topology"
+	"dup/internal/transport"
+)
+
+// liveKeys is how many keyed index trees the live-cluster workload runs.
+// Eight keys refreshing on the same schedule is what gives the send-side
+// coalescer envelopes to build: each authority tick emits one push per
+// key per target, and they all land in the same flush.
+const liveKeys = 8
+
+// liveClusterRun measures the live data plane end to end: a nine-node
+// cluster split across three Networks, every inter-Network message
+// crossing a real loopback TCP socket, all liveKeys index trees
+// refreshing and every node kept interested in every key. Events are the
+// protocol messages the cluster processed (queries, pushes, control,
+// acks); FramesPerPush is TCP frames written per push delivered — below 1
+// means the coalescer amortised several protocol messages per frame.
+func liveClusterRun() (Result, error) { return liveCluster(liveKeys) }
+
+// liveCluster is the workload body, parameterised by key count so the
+// EXPERIMENTS.md key-count sweep can reuse it.
+func liveCluster(liveKeys int) (Result, error) {
+	//        0
+	//      /   \
+	//     1     2
+	//    / \   / \
+	//   3   4 5   6
+	//   |   |
+	//   7   8
+	tree := topology.FromParents([]int{-1, 0, 0, 1, 1, 2, 2, 3, 4})
+	cfg := live.DefaultConfig()
+	cfg.Tree = tree
+	cfg.TTL = 80 * time.Millisecond
+	cfg.Lead = 20 * time.Millisecond
+	cfg.Threshold = 1
+	cfg.KeepAliveEvery = 20 * time.Millisecond
+	cfg.DeadAfter = 100 * time.Millisecond
+	cfg.Keys = liveKeys
+
+	hostSets := [][]int{{0, 1, 2}, {3, 4, 5}, {6, 7, 8}}
+	tcps := make([]*transport.TCP, len(hostSets))
+	for i := range hostSets {
+		tr, err := transport.NewTCP(transport.TCPConfig{
+			Listen:      "127.0.0.1:0",
+			Seed:        uint64(i + 1),
+			BackoffBase: 5 * time.Millisecond,
+			BackoffMax:  100 * time.Millisecond,
+		})
+		if err != nil {
+			return Result{}, fmt.Errorf("live-cluster: %w", err)
+		}
+		tcps[i] = tr
+	}
+	addrOf := map[int]string{}
+	for i, hosts := range hostSets {
+		for _, id := range hosts {
+			addrOf[id] = tcps[i].Addr()
+		}
+	}
+	for i := range tcps {
+		local := map[int]bool{}
+		for _, id := range hostSets[i] {
+			local[id] = true
+		}
+		for id, addr := range addrOf {
+			if !local[id] {
+				tcps[i].SetPeer(id, addr)
+			}
+		}
+	}
+	dir := live.NewMemDirectory(tree)
+	nets := make([]*live.Network, len(hostSets))
+	for i, hosts := range hostSets {
+		nw, err := live.StartWith(cfg, live.Options{Transport: tcps[i], Directory: dir, Hosts: hosts})
+		if err != nil {
+			for _, booted := range nets {
+				if booted != nil {
+					booted.Stop()
+				}
+			}
+			return Result{}, fmt.Errorf("live-cluster: %w", err)
+		}
+		nets[i] = nw
+	}
+	defer func() {
+		for _, nw := range nets {
+			nw.Stop()
+		}
+	}()
+	netOf := func(id int) *live.Network {
+		for i, hosts := range hostSets {
+			for _, h := range hosts {
+				if h == id {
+					return nets[i]
+				}
+			}
+		}
+		return nil
+	}
+
+	// Warm up: every node crosses the interest threshold on every key, so
+	// each keyed DUP tree spans the full cluster and authority refreshes
+	// push along every edge.
+	for key := 0; key < liveKeys; key++ {
+		for id := 1; id < tree.N(); id++ {
+			for i := 0; i <= cfg.Threshold+1; i++ {
+				netOf(id).QueryKey(id, key, time.Second)
+			}
+		}
+	}
+
+	// Measure from here: the warmup's subscription flux is connection
+	// setup, not steady state.
+	var framesBase int64
+	for _, tr := range tcps {
+		framesBase += tr.FramesOut()
+	}
+	statsBase := make([]live.Stats, len(nets))
+	for i, nw := range nets {
+		statsBase[i] = nw.Stats()
+	}
+
+	// Steady state: a query per (node, key) every 25 ms keeps every shard
+	// above the interest threshold (almost all are local hits, so the wire
+	// carries mostly push traffic) while the authority refreshes all
+	// liveKeys trees every TTL.
+	deadline := time.Now().Add(time.Second)
+	for time.Now().Before(deadline) {
+		for key := 0; key < liveKeys; key++ {
+			for id := 0; id < tree.N(); id++ {
+				netOf(id).QueryKey(id, key, 100*time.Millisecond)
+			}
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	var frames int64
+	for _, tr := range tcps {
+		frames += tr.FramesOut()
+	}
+	frames -= framesBase
+	var events uint64
+	var pushes int64
+	for i, nw := range nets {
+		s, b := nw.Stats(), statsBase[i]
+		pushes += s.Pushes - b.Pushes
+		events += uint64((s.Queries - b.Queries) + (s.Pushes - b.Pushes) +
+			(s.Subscribes - b.Subscribes) + (s.Substitutes - b.Substitutes) +
+			(s.Acks - b.Acks) + (s.KeepAlives - b.KeepAlives) + (s.Retransmits - b.Retransmits))
+	}
+	if pushes == 0 {
+		return Result{}, fmt.Errorf("live-cluster: no pushes flowed during the measurement window")
+	}
+	return Result{
+		Events:        events,
+		FramesPerPush: float64(frames) / float64(pushes),
+	}, nil
+}

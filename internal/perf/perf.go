@@ -37,22 +37,37 @@ type Workload struct {
 	Cfg sim.Config
 	New func() scheme.Scheme
 	// Run, when set, replaces the simulator: it performs the work and
-	// reports how many events it processed (for a codec workload, events
-	// are messages) and how much simulated time elapsed (0 when the notion
-	// does not apply).
-	Run func() (events uint64, simSec float64, err error)
+	// reports what it measured.
+	Run func() (Result, error)
+	// NoisyAllocs marks workloads whose allocation counts are dominated by
+	// runtime machinery outside the measured code (goroutines, sockets,
+	// timers) and so vary run to run; the regression guard skips their
+	// allocation bound.
+	NoisyAllocs bool
+}
+
+// Result is what one workload run measured: how many events it processed
+// (for a codec workload, events are messages; for a live cluster,
+// protocol messages), how much simulated time elapsed (0 when the notion
+// does not apply), and — for workloads running a real transport — how
+// many wire frames each push cost (0 when not applicable; below 1 means
+// the send-side coalescer batched several messages per frame).
+type Result struct {
+	Events        uint64
+	SimSec        float64
+	FramesPerPush float64
 }
 
 // run executes the workload once.
-func (w Workload) run() (events uint64, simSec float64, err error) {
+func (w Workload) run() (Result, error) {
 	if w.Run != nil {
 		return w.Run()
 	}
 	r, err := sim.Run(w.Cfg, w.New())
 	if err != nil {
-		return 0, 0, err
+		return Result{}, err
 	}
-	return r.Events, r.SimTime, nil
+	return Result{Events: r.Events, SimSec: r.SimTime}, nil
 }
 
 // throughputConfig mirrors bench_test.go's benchConfig(12) with λ = 50:
@@ -88,21 +103,36 @@ func DefaultWorkloads() []Workload {
 		{ID: "throughput-pcx", Cfg: pcxCfg, New: func() scheme.Scheme { return scheme.NewPCX() }},
 		{ID: "churn-dup", Cfg: churnCfg, New: newDUP},
 		{ID: "wire-codec", Run: wireCodecRun},
+		{ID: "live-cluster", Run: liveClusterRun, NoisyAllocs: true},
 	}
 }
 
 // wireCodecRun measures the TCP transport's hot path: frame-encode and
-// decode a representative message mix (every kind, realistic paths, one
-// piggybacked control message) 100000 times. Events are messages, so
-// allocs_per_1000_events reads as allocations per thousand messages — the
-// decode side draws from the proto pool, so the only steady-state
-// allocation is the Piggyback on the one piggybacked kind in the mix.
-func wireCodecRun() (uint64, float64, error) {
-	const rounds = 100000 / proto.NumKinds
-	mix := make([]*proto.Message, 0, proto.NumKinds)
+// decode a representative message mix (every kind, realistic paths, a
+// piggybacked control message, keyed traffic and a coalescing batch
+// envelope) 100000 times. Events are messages, so allocs_per_1000_events
+// reads as allocations per thousand messages — the decode side draws from
+// the proto pool and the encoder's scratch from the shared buffer pool,
+// so steady state allocates (almost) nothing.
+func wireCodecRun() (Result, error) {
+	const rounds = 100000 / (proto.NumKinds + 1)
+	mix := make([]*proto.Message, 0, proto.NumKinds+1)
 	for k := 0; k < proto.NumKinds; k++ {
 		m := proto.NewMessage()
 		m.Kind = proto.Kind(k)
+		if m.Kind == proto.KindBatch {
+			// The envelope kind carries members, not fields of its own.
+			m.To, m.Origin, m.Seq = k*31, 42, int64(k)<<20
+			for i := 0; i < 4; i++ {
+				sub := proto.NewMessage()
+				sub.Kind = proto.KindPush
+				sub.To, sub.Origin, sub.Key = k*31, 42, i
+				sub.Version, sub.Expiry = 12345, 1.7e9
+				m.Batch = append(m.Batch, sub)
+			}
+			mix = append(mix, m)
+			continue
+		}
 		m.To, m.Origin, m.Subject = k*31, 42, 7
 		m.Old, m.New = 7, 11
 		m.Seq, m.Version, m.Hops = int64(k)<<20, 12345, k
@@ -111,10 +141,17 @@ func wireCodecRun() (uint64, float64, error) {
 			m.Path = append(m.Path, p*1000)
 		}
 		if m.Kind == proto.KindPush {
-			m.Piggy = &proto.Piggyback{Kind: proto.KindSubscribe, Subject: 7}
+			m.SetPiggy(proto.KindSubscribe, 7)
 		}
 		mix = append(mix, m)
 	}
+	// One keyed message exercises the version-3 key varint path.
+	keyed := proto.NewMessage()
+	keyed.Kind = proto.KindRequest
+	keyed.To, keyed.Origin, keyed.Key = 9, 42, 64
+	keyed.Seq, keyed.Hops = 77, 2
+	keyed.Path = append(keyed.Path, 42, 17)
+	mix = append(mix, keyed)
 	defer func() {
 		for _, m := range mix {
 			proto.Release(m)
@@ -127,17 +164,18 @@ func wireCodecRun() (uint64, float64, error) {
 			buf = wire.AppendFrame(buf[:0], m)
 			got, err := wire.DecodeMessage(buf[4:])
 			if err != nil {
-				return 0, 0, fmt.Errorf("wire-codec: %w", err)
+				return Result{}, fmt.Errorf("wire-codec: %w", err)
 			}
-			if got.Kind != m.Kind || got.Seq != m.Seq || len(got.Path) != len(m.Path) {
+			if got.Kind != m.Kind || got.Seq != m.Seq || len(got.Path) != len(m.Path) ||
+				got.Key != m.Key || len(got.Batch) != len(m.Batch) {
 				proto.Release(got)
-				return 0, 0, fmt.Errorf("wire-codec: round-trip mismatch for %v", m.Kind)
+				return Result{}, fmt.Errorf("wire-codec: round-trip mismatch for %v", m.Kind)
 			}
 			proto.Release(got)
 			events++
 		}
 	}
-	return events, 0, nil
+	return Result{Events: events}, nil
 }
 
 // Sample is the measurement of one workload across several runs. Throughput
@@ -150,6 +188,10 @@ type Sample struct {
 	AllocsPerRun    uint64  `json:"allocs_per_run"`
 	BytesPerRun     uint64  `json:"bytes_per_run"`
 	AllocsPerKEvent float64 `json:"allocs_per_1000_events"`
+	// FramesPerPush is wire frames sent per push delivered, for workloads
+	// driving a real transport; below 1 means the send-side coalescer
+	// batched several protocol messages per frame. Omitted elsewhere.
+	FramesPerPush   float64 `json:"frames_per_push,omitempty"`
 	BestWallSeconds float64 `json:"best_wall_seconds"`
 	Runs            int     `json:"runs"`
 }
@@ -165,7 +207,7 @@ func Measure(w Workload, runs int) (Sample, error) {
 		runtime.GC()
 		runtime.ReadMemStats(&before)
 		start := time.Now()
-		events, simSec, err := w.run()
+		r, err := w.run()
 		wall := time.Since(start).Seconds()
 		runtime.ReadMemStats(&after)
 		if err != nil {
@@ -175,9 +217,10 @@ func Measure(w Workload, runs int) (Sample, error) {
 		bytes := after.TotalAlloc - before.TotalAlloc
 		if i == 0 || wall < s.BestWallSeconds {
 			s.BestWallSeconds = wall
-			s.Events = events
-			s.EventsPerSec = float64(events) / wall
-			s.SimSecPerSec = simSec / wall
+			s.Events = r.Events
+			s.EventsPerSec = float64(r.Events) / wall
+			s.SimSecPerSec = r.SimSec / wall
+			s.FramesPerPush = r.FramesPerPush
 		}
 		if i == 0 || allocs < s.AllocsPerRun {
 			s.AllocsPerRun = allocs

@@ -70,12 +70,17 @@ const (
 	// message instead of a TTL of misses. Best-effort: a lost transfer
 	// degrades to the ordinary query path.
 	KindState
+	// KindBatch is a coalescing envelope: several messages bound for the
+	// same neighbour, sent as one frame (Batch holds the members). When the
+	// envelope carries reliable members its own Seq is set and one ack for
+	// the envelope settles all of them at once. Envelopes never nest.
+	KindBatch
 )
 
 var kindNames = [...]string{
 	"request", "reply", "push", "subscribe", "unsubscribe",
 	"substitute", "interest", "uninterest", "keepalive", "keepalive-ack",
-	"ack", "join", "leave", "state",
+	"ack", "join", "leave", "state", "batch",
 }
 
 // NumKinds is the number of defined message kinds; Kind values in
@@ -121,12 +126,26 @@ type Message struct {
 	Subject int     // subscribe/unsubscribe/interest subject
 	Old     int     // substitute: node to remove
 	New     int     // substitute: node to insert
+	Key     int     // which keyed index tree the message belongs to (0 = default)
 	Seq     int64   // request/reply correlation id (live transports only)
 	Version int64   // index version carried by replies and pushes
 	Expiry  float64 // absolute expiry of that version
 	Hops    int     // hops travelled by the request (latency accounting)
 	Path    []int   // request: visited nodes; reply: remaining reverse path
+	Batch   []*Message // KindBatch only: the coalesced member messages
 	Piggy   *Piggyback
+
+	// piggyStore is inline backing for Piggy (see SetPiggy), so decoding a
+	// piggybacked message does not allocate.
+	piggyStore Piggyback
+}
+
+// SetPiggy attaches a piggyback using the message's inline storage, so hot
+// paths (the wire decoder, Clone) stay allocation-free. The Piggy pointer
+// is only valid while the caller owns the message.
+func (m *Message) SetPiggy(k Kind, subject int) {
+	m.piggyStore = Piggyback{Kind: k, Subject: subject}
+	m.Piggy = &m.piggyStore
 }
 
 // pool recycles Message values between simulator runs and hops. Pooled
@@ -157,32 +176,49 @@ func NewMessage() *Message {
 }
 
 // Clone returns a pooled deep copy of m: the Path contents are copied into
-// the clone's own backing array and any Piggyback is duplicated, so the
+// the clone's own backing array, any Piggyback is duplicated into the
+// clone's inline storage, and batch members are cloned recursively, so the
 // clone and the original can be released independently. The fault
 // injection layer uses it to duplicate in-flight messages.
 func Clone(m *Message) *Message {
 	c := NewMessage()
-	path := c.Path
+	path, batch := c.Path, c.Batch
 	*c = *m
 	c.Path = append(path[:0], m.Path...)
+	c.Batch = batch[:0]
+	for _, sub := range m.Batch {
+		c.Batch = append(c.Batch, Clone(sub))
+	}
 	if m.Piggy != nil {
-		p := *m.Piggy
-		c.Piggy = &p
+		c.piggyStore = *m.Piggy
+		c.Piggy = &c.piggyStore
 	}
 	return c
 }
 
-// Reset zeroes every field but keeps the Path capacity for reuse.
+// Reset zeroes every field but keeps the Path and Batch capacity for
+// reuse. It does not release batch members — that is Release's job; a
+// caller that detached them resets with an empty Batch.
 func (m *Message) Reset() {
 	path := m.Path[:0]
-	*m = Message{Path: path}
+	batch := m.Batch
+	for i := range batch {
+		batch[i] = nil // do not pin released members past the next reuse
+	}
+	*m = Message{Path: path, Batch: batch[:0]}
 }
 
-// Release resets m and returns it to the pool. The caller must be the
-// message's sole owner: after Release any retained pointer to m (or to its
-// Path slice) is invalid, because the next NewMessage may hand it out
-// again.
+// Release resets m and returns it to the pool, first releasing any batch
+// members still attached (an envelope owns its members). The caller must
+// be the message's sole owner: after Release any retained pointer to m (or
+// to its Path slice) is invalid, because the next NewMessage may hand it
+// out again.
 func Release(m *Message) {
+	for _, sub := range m.Batch {
+		if sub != nil {
+			Release(sub)
+		}
+	}
 	inUse.Add(-1)
 	m.Reset()
 	pool.Put(m)
@@ -221,6 +257,8 @@ func (m *Message) String() string {
 		return fmt.Sprintf("leave{to:%d origin:%d rep:%d}", m.To, m.Origin, m.Subject)
 	case KindState:
 		return fmt.Sprintf("state{to:%d from:%d v:%d}", m.To, m.Origin, m.Version)
+	case KindBatch:
+		return fmt.Sprintf("batch{to:%d from:%d seq:%d n:%d}", m.To, m.Origin, m.Seq, len(m.Batch))
 	default:
 		return fmt.Sprintf("%s{to:%d}", m.Kind, m.To)
 	}

@@ -21,6 +21,7 @@ func TestKindString(t *testing.T) {
 		KindJoin:         "join",
 		KindLeave:        "leave",
 		KindState:        "state",
+		KindBatch:        "batch",
 	}
 	if len(cases) != NumKinds {
 		t.Errorf("test covers %d kinds, NumKinds = %d", len(cases), NumKinds)
@@ -37,7 +38,7 @@ func TestKindString(t *testing.T) {
 
 func TestKindControl(t *testing.T) {
 	control := []Kind{KindSubscribe, KindUnsubscribe, KindSubstitute, KindInterest, KindUninterest}
-	data := []Kind{KindRequest, KindReply, KindPush, KindKeepAlive, KindKeepAliveAck, KindAck, KindJoin, KindLeave, KindState}
+	data := []Kind{KindRequest, KindReply, KindPush, KindKeepAlive, KindKeepAliveAck, KindAck, KindJoin, KindLeave, KindState, KindBatch}
 	for _, k := range control {
 		if !k.Control() {
 			t.Errorf("%v should be a control kind", k)
@@ -56,7 +57,7 @@ func TestMessagePoolRoundTrip(t *testing.T) {
 		t.Fatalf("NewMessage returned a dirty message: %+v", m)
 	}
 	m.Kind = KindRequest
-	m.To, m.Origin, m.Hops = 3, 7, 2
+	m.To, m.Origin, m.Hops, m.Key = 3, 7, 2, 4
 	m.Seq, m.Version, m.Expiry = 5, 9, 100
 	m.Piggy = &Piggyback{Kind: KindSubscribe, Subject: 7}
 	m.Path = append(m.Path, 7, 3, 1)
@@ -67,8 +68,9 @@ func TestMessagePoolRoundTrip(t *testing.T) {
 	// preserved for reuse (the pool is per-P, so the very next Get on the
 	// same goroutine returns the value just Put).
 	got := NewMessage()
-	if got.Kind != 0 || got.To != 0 || got.Origin != 0 || got.Hops != 0 ||
-		got.Seq != 0 || got.Version != 0 || got.Expiry != 0 || got.Piggy != nil || len(got.Path) != 0 {
+	if got.Kind != 0 || got.To != 0 || got.Origin != 0 || got.Hops != 0 || got.Key != 0 ||
+		got.Seq != 0 || got.Version != 0 || got.Expiry != 0 || got.Piggy != nil ||
+		len(got.Path) != 0 || len(got.Batch) != 0 {
 		t.Fatalf("pooled message not reset: %+v", got)
 	}
 	if got == m && cap(got.Path) != pathCap {
@@ -121,6 +123,53 @@ func TestInUseBalancesAcrossNewAndRelease(t *testing.T) {
 	}
 }
 
+func TestBatchReleaseCascades(t *testing.T) {
+	base := InUse()
+	env := NewMessage()
+	env.Kind = KindBatch
+	env.To, env.Origin, env.Seq = 3, 1, 99
+	for i := 0; i < 4; i++ {
+		sub := NewMessage()
+		sub.Kind, sub.To, sub.Key, sub.Seq = KindPush, 3, i, int64(i+1)
+		env.Batch = append(env.Batch, sub)
+	}
+	if got := InUse() - base; got != 5 {
+		t.Fatalf("InUse rose by %d, want 5", got)
+	}
+	c := Clone(env)
+	if len(c.Batch) != 4 || c.Batch[0] == env.Batch[0] {
+		t.Fatalf("clone did not deep-copy the batch: %+v", c)
+	}
+	if c.Batch[2].Key != 2 || c.Batch[2].Seq != 3 {
+		t.Fatalf("cloned member differs: %+v", c.Batch[2])
+	}
+	if got := InUse() - base; got != 10 {
+		t.Fatalf("InUse after clone rose by %d, want 10", got)
+	}
+	Release(env)
+	Release(c)
+	if got := InUse() - base; got != 0 {
+		t.Fatalf("batch release leaked %d messages", got)
+	}
+}
+
+func TestSetPiggyUsesInlineStorage(t *testing.T) {
+	m := NewMessage()
+	m.SetPiggy(KindSubscribe, 7)
+	if m.Piggy == nil || m.Piggy.Kind != KindSubscribe || m.Piggy.Subject != 7 {
+		t.Fatalf("SetPiggy: %+v", m.Piggy)
+	}
+	if m.Piggy != &m.piggyStore {
+		t.Fatal("SetPiggy allocated instead of using the inline store")
+	}
+	c := Clone(m)
+	if c.Piggy == m.Piggy || *c.Piggy != *m.Piggy {
+		t.Fatalf("clone shares or mangles the piggyback: %p vs %p", c.Piggy, m.Piggy)
+	}
+	Release(m)
+	Release(c)
+}
+
 func TestMessageString(t *testing.T) {
 	cases := []struct {
 		m    Message
@@ -136,6 +185,7 @@ func TestMessageString(t *testing.T) {
 		{Message{Kind: KindJoin, To: 2, Origin: 9, Version: 3}, "join{to:2 origin:9 epoch:3}"},
 		{Message{Kind: KindLeave, To: 2, Origin: 9, Subject: -1}, "leave{to:2 origin:9 rep:-1}"},
 		{Message{Kind: KindState, To: 9, Origin: 2, Version: 7}, "state{to:9 from:2 v:7}"},
+		{Message{Kind: KindBatch, To: 3, Origin: 1, Seq: 9}, "batch{to:3 from:1 seq:9 n:0}"},
 	}
 	for _, c := range cases {
 		if got := c.m.String(); got != c.want {

@@ -7,29 +7,37 @@ import "sync"
 // deployment would have read from disk, without touching the filesystem.
 type Mem struct {
 	mu    sync.Mutex
-	nodes map[int]NodeState
+	nodes map[nodeKey]NodeState
 }
 
 // NewMem returns an empty in-memory journal.
 func NewMem() *Mem {
-	return &Mem{nodes: make(map[int]NodeState)}
+	return &Mem{nodes: make(map[nodeKey]NodeState)}
 }
 
-// Record keeps the latest state per node.
+// Record keeps the latest state per (node, key).
 func (m *Mem) Record(ns NodeState) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	ns.Subscribers = append([]int(nil), ns.Subscribers...)
-	m.nodes[ns.ID] = ns
+	m.nodes[nodeKey{ns.ID, ns.Key}] = ns
 }
 
-// Node returns the recorded state for id, if any.
+// Node returns the recorded key-0 state for id, if any.
 func (m *Mem) Node(id int) (NodeState, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	ns, ok := m.nodes[id]
+	ns, ok := m.nodes[nodeKey{id, 0}]
 	if ok {
 		ns.Subscribers = append([]int(nil), ns.Subscribers...)
 	}
 	return ns, ok
+}
+
+// States returns every recorded record for id, one per keyed index tree,
+// sorted by key (nil when there are none).
+func (m *Mem) States(id int) []NodeState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return statesOf(m.nodes, id)
 }

@@ -27,6 +27,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 
 	"dup/internal/proto"
@@ -51,17 +52,24 @@ const (
 // damage and is surfaced rather than repaired silently.
 var ErrCorrupt = errors.New("store: corrupt snapshot")
 
-// NodeState is the durable protocol state of one node: everything needed
-// to resume its role after a crash. Expiry is the wire representation
-// (absolute unix seconds as float64); the live layer converts.
+// NodeState is the durable protocol state of one node for one keyed
+// index tree: everything needed to resume its role after a crash. A node
+// participating in several keys records one NodeState per key; Key 0 is
+// the base index (its records encode byte-identically to the
+// pre-multi-key format). Expiry is the wire representation (absolute unix
+// seconds as float64); the live layer converts.
 type NodeState struct {
 	ID          int
+	Key         int
 	Parent      int
 	IsRoot      bool
 	Version     int64
 	Expiry      float64
 	Subscribers []int
 }
+
+// nodeKey identifies one (node, keyed tree) record.
+type nodeKey struct{ id, key int }
 
 // Journal receives state records as a node's durable state changes. The
 // file-backed Store and the in-memory Mem both implement it; the live
@@ -79,8 +87,8 @@ type Store struct {
 	wal       *os.File
 	walBytes  int64
 	compactAt int64
-	nodes     map[int]NodeState
-	lastRoot  map[int]int64 // last fsynced root version per node
+	nodes     map[nodeKey]NodeState
+	lastRoot  map[nodeKey]int64 // last fsynced root version per (node, key)
 	buf       []byte
 	err       error // first write error; surfaced by Err/Close
 }
@@ -96,8 +104,8 @@ func Open(dir string) (*Store, error) {
 	s := &Store{
 		dir:       dir,
 		compactAt: DefaultCompactAt,
-		nodes:     make(map[int]NodeState),
-		lastRoot:  make(map[int]int64),
+		nodes:     make(map[nodeKey]NodeState),
+		lastRoot:  make(map[nodeKey]int64),
 	}
 	if err := s.loadSnapshot(); err != nil {
 		return nil, err
@@ -113,9 +121,9 @@ func Open(dir string) (*Store, error) {
 	if fi, err := wal.Stat(); err == nil {
 		s.walBytes = fi.Size()
 	}
-	for id, ns := range s.nodes {
+	for nk, ns := range s.nodes {
 		if ns.IsRoot {
-			s.lastRoot[id] = ns.Version
+			s.lastRoot[nk] = ns.Version
 		}
 	}
 	return s, nil
@@ -131,26 +139,51 @@ func (s *Store) SetCompactAt(n int64) {
 	}
 }
 
-// Node returns the recovered state for id, if any.
+// Node returns the recovered key-0 state for id, if any.
 func (s *Store) Node(id int) (NodeState, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	ns, ok := s.nodes[id]
+	ns, ok := s.nodes[nodeKey{id, 0}]
 	if ok {
 		ns.Subscribers = append([]int(nil), ns.Subscribers...)
 	}
 	return ns, ok
 }
 
-// Nodes returns a copy of every recovered node state, keyed by id.
+// States returns every recovered record for id, one per keyed index
+// tree, sorted by key (nil when the store has none).
+func (s *Store) States(id int) []NodeState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return statesOf(s.nodes, id)
+}
+
+// Nodes returns a copy of every recovered key-0 node state, keyed by id.
 func (s *Store) Nodes() map[int]NodeState {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := make(map[int]NodeState, len(s.nodes))
-	for id, ns := range s.nodes {
+	for nk, ns := range s.nodes {
+		if nk.key != 0 {
+			continue
+		}
 		ns.Subscribers = append([]int(nil), ns.Subscribers...)
-		out[id] = ns
+		out[nk.id] = ns
 	}
+	return out
+}
+
+// statesOf collects and sorts id's records out of a (node, key) map.
+func statesOf(nodes map[nodeKey]NodeState, id int) []NodeState {
+	var out []NodeState
+	for nk, ns := range nodes {
+		if nk.id != id {
+			continue
+		}
+		ns.Subscribers = append([]int(nil), ns.Subscribers...)
+		out = append(out, ns)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
 	return out
 }
 
@@ -173,13 +206,14 @@ func (s *Store) Record(ns NodeState) {
 	}
 	s.walBytes += int64(len(s.buf))
 	ns.Subscribers = append([]int(nil), ns.Subscribers...)
-	s.nodes[ns.ID] = ns
-	if ns.IsRoot && ns.Version != s.lastRoot[ns.ID] {
+	nk := nodeKey{ns.ID, ns.Key}
+	s.nodes[nk] = ns
+	if ns.IsRoot && ns.Version != s.lastRoot[nk] {
 		if err := s.wal.Sync(); err != nil {
 			s.err = err
 			return
 		}
-		s.lastRoot[ns.ID] = ns.Version
+		s.lastRoot[nk] = ns.Version
 	}
 	if s.walBytes >= s.compactAt {
 		s.compactLocked()
@@ -312,7 +346,7 @@ func (s *Store) loadWAL() error {
 
 // replay applies every complete record in p to nodes, returning the byte
 // offset of the last fully-applied record and the error that stopped it.
-func replay(p []byte, nodes map[int]NodeState) (int, error) {
+func replay(p []byte, nodes map[nodeKey]NodeState) (int, error) {
 	off := 0
 	for off < len(p) {
 		if len(p)-off < recHeader {
@@ -331,7 +365,7 @@ func replay(p []byte, nodes map[int]NodeState) (int, error) {
 		if err != nil {
 			return off, err
 		}
-		nodes[ns.ID] = ns
+		nodes[nodeKey{ns.ID, ns.Key}] = ns
 		off += recHeader + n
 	}
 	return off, nil
@@ -344,6 +378,7 @@ func replay(p []byte, nodes map[int]NodeState) (int, error) {
 func appendRecord(dst []byte, ns *NodeState) []byte {
 	m := proto.NewMessage()
 	m.Kind = proto.KindState
+	m.Key = ns.Key
 	m.Origin = ns.ID
 	m.Subject = ns.Parent
 	if ns.IsRoot {
@@ -373,6 +408,7 @@ func decodeRecord(payload []byte) (NodeState, error) {
 	}
 	ns := NodeState{
 		ID:      m.Origin,
+		Key:     m.Key,
 		Parent:  m.Subject,
 		IsRoot:  m.Old == 1,
 		Version: m.Version,

@@ -86,6 +86,7 @@ type TCP struct {
 
 	drops     atomic.Int64
 	kindDrops [proto.NumKinds]atomic.Int64
+	framesOut atomic.Int64
 	closed    atomic.Bool
 	wg        sync.WaitGroup
 
@@ -103,10 +104,6 @@ type peerConn struct {
 	addr  string
 	queue chan *[]byte
 }
-
-// frameBufs recycles encode buffers between Send and the writer
-// goroutines, so steady-state sending allocates nothing per message.
-var frameBufs = sync.Pool{New: func() any { b := make([]byte, 0, 128); return &b }}
 
 // NewTCP returns a started transport. With a Listen address it binds
 // immediately, so Addr is valid as soon as NewTCP returns.
@@ -209,13 +206,13 @@ func (t *TCP) Send(m *proto.Message) {
 		t.drop(m)
 		return
 	}
-	bufp := frameBufs.Get().(*[]byte)
+	bufp := wire.GetBuf()
 	*bufp = wire.AppendFrame((*bufp)[:0], m)
 	kind := m.Kind
 	proto.Release(m)
 	pc := t.conn(addr)
 	if pc == nil {
-		frameBufs.Put(bufp)
+		wire.PutBuf(bufp)
 		t.dropKind(kind)
 		return
 	}
@@ -224,7 +221,7 @@ func (t *TCP) Send(m *proto.Message) {
 		// The writer goroutine returns the buffer to the pool after the
 		// frame is on the wire.
 	default:
-		frameBufs.Put(bufp)
+		wire.PutBuf(bufp)
 		t.dropKind(kind)
 	}
 }
@@ -243,6 +240,11 @@ func (t *TCP) dropKind(k proto.Kind) {
 
 // Drops reports dropped messages.
 func (t *TCP) Drops() int64 { return t.drops.Load() }
+
+// FramesOut reports how many frames have been written to outbound
+// connections. Divided by a protocol-level message count it measures how
+// well the send-side coalescer amortizes syscalls and frames.
+func (t *TCP) FramesOut() int64 { return t.framesOut.Load() }
 
 // KindDrops reports dropped messages broken down by kind.
 func (t *TCP) KindDrops() [proto.NumKinds]int64 {
@@ -291,14 +293,14 @@ func (t *TCP) writeLoop(pc *peerConn) {
 			case bufp = <-pc.queue:
 			}
 			lastKind := frameKind(bufp)
-			err := writeFrame(bw, bufp)
+			err := t.writeFrame(bw, bufp)
 			// Opportunistically drain whatever queued while writing, then
 			// flush once: one syscall for a burst of messages.
 			for err == nil {
 				select {
 				case bufp = <-pc.queue:
 					lastKind = frameKind(bufp)
-					err = writeFrame(bw, bufp)
+					err = t.writeFrame(bw, bufp)
 					continue
 				default:
 				}
@@ -317,9 +319,12 @@ func (t *TCP) writeLoop(pc *peerConn) {
 	}
 }
 
-func writeFrame(bw *bufio.Writer, bufp *[]byte) error {
+func (t *TCP) writeFrame(bw *bufio.Writer, bufp *[]byte) error {
 	_, err := bw.Write(*bufp)
-	frameBufs.Put(bufp)
+	wire.PutBuf(bufp)
+	if err == nil {
+		t.framesOut.Add(1)
+	}
 	return err
 }
 
@@ -462,7 +467,7 @@ func (t *TCP) Close() error {
 		for draining {
 			select {
 			case bufp := <-pc.queue:
-				frameBufs.Put(bufp)
+				wire.PutBuf(bufp)
 			default:
 				draining = false
 			}

@@ -10,13 +10,18 @@
 // with every integer field as a signed varint (zigzag, so the protocol's
 // -1 sentinels stay one byte), the expiry as 8 IEEE-754 big-endian bytes,
 // the path as a count-prefixed varint list, and an optional piggyback
-// behind a flag bit. Encoding appends to a caller buffer; decoding fills a
-// pooled proto.Message whose Path backing array is reused, so a busy
-// connection round-trips messages without per-message allocation.
+// behind a flag bit. Version-3 payloads insert a non-zero Key varint
+// (multi-key data plane) between Hops and Expiry; KindBatch envelopes use
+// their own compact layout carrying a count-prefixed list of
+// length-delimited member payloads. Encoding appends to a caller buffer;
+// decoding fills a pooled proto.Message whose Path backing array is
+// reused, so a busy connection round-trips messages without per-message
+// allocation.
 //
 // Decoding is strict: unknown versions, unknown kinds, unknown flag bits,
-// truncated fields, oversized paths and trailing bytes are all rejected,
-// so a malformed or hostile frame can not smuggle state into a node.
+// truncated fields, oversized paths or batches, nested envelopes and
+// trailing bytes are all rejected, so a malformed or hostile frame can not
+// smuggle state into a node.
 package wire
 
 import (
@@ -24,6 +29,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"dup/internal/proto"
 )
@@ -31,9 +37,11 @@ import (
 const (
 	// Version is the current payload format version; it is the first byte
 	// of every payload so the format can evolve behind one check. Version 2
-	// added the membership kinds (join, leave, state); the field layout is
-	// unchanged.
-	Version = 2
+	// added the membership kinds (join, leave, state) with the field layout
+	// unchanged; version 3 adds the Key field (stamped only when Key != 0,
+	// so single-key traffic stays byte-identical to version 2) and the
+	// KindBatch envelope.
+	Version = 3
 
 	// v1Kinds is the kind-vocabulary size of version-1 payloads. Kinds
 	// below it encode as version 1 (so upgraded peers interoperate with
@@ -49,6 +57,11 @@ const (
 	// MaxPath bounds the request/reply path length. No index search tree
 	// here is remotely that deep; like MaxFrame it is an input-sanity cap.
 	MaxPath = 1 << 12
+
+	// MaxBatch bounds how many member messages one batch envelope may
+	// carry. A node's coalescer flushes per loop iteration, so real
+	// envelopes hold at most an inbox's worth of messages.
+	MaxBatch = 1 << 12
 
 	// frameHeader is the byte length of the frame length prefix.
 	frameHeader = 4
@@ -71,26 +84,60 @@ var (
 	ErrNonCanonical = errors.New("wire: non-canonical varint")
 )
 
-// payloadVersion returns the version byte a kind encodes under: the
-// minimal version whose vocabulary includes it. Stamping the minimum (not
-// the current Version) keeps the encoding canonical — one byte sequence
-// per message — and lets the original vocabulary stay readable by
-// version-1 decoders.
-func payloadVersion(k proto.Kind) byte {
-	if int(k) >= v1Kinds {
+// bufPool recycles encode buffers across senders. The transport's write
+// path and the batch encoder both borrow from it, so steady-state encoding
+// reuses the same few buffers instead of allocating one per frame.
+var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 256); return &b }}
+
+// GetBuf borrows a reusable byte buffer (length 0) from the shared encode
+// pool. Return it with PutBuf when the encoded bytes have been copied out
+// or written.
+func GetBuf() *[]byte { return bufPool.Get().(*[]byte) }
+
+// PutBuf returns a buffer borrowed with GetBuf to the pool. The caller
+// must not retain the slice afterwards.
+func PutBuf(b *[]byte) {
+	*b = (*b)[:0]
+	bufPool.Put(b)
+}
+
+// minVersion returns the minimal payload version whose vocabulary includes
+// the kind. Stamping the minimum (not the current Version) keeps the
+// encoding canonical — one byte sequence per message — and lets older
+// vocabularies stay readable by older decoders.
+func minVersion(k proto.Kind) byte {
+	switch {
+	case k == proto.KindBatch:
+		return 3
+	case int(k) >= v1Kinds:
 		return 2
 	}
 	return 1
 }
 
+// payloadVersion returns the version byte the message encodes under: the
+// kind's minimal version, raised to 3 when the message carries a non-zero
+// Key (the Key field only exists in version-3 payloads). Key-0 messages
+// therefore stay byte-identical to their version-1/2 encodings.
+func payloadVersion(m *proto.Message) byte {
+	if m.Key != 0 {
+		return 3
+	}
+	return minVersion(m.Kind)
+}
+
 // AppendMessage appends m's payload encoding (no length prefix) to dst and
 // returns the extended slice.
 func AppendMessage(dst []byte, m *proto.Message) []byte {
+	if m.Kind == proto.KindBatch {
+		return appendBatch(dst, m)
+	}
+	v := payloadVersion(m)
 	flags := byte(0)
 	if m.Piggy != nil {
 		flags |= flagPiggy
 	}
-	dst = append(dst, payloadVersion(m.Kind), byte(m.Kind), flags)
+	dst = append(dst, v, byte(m.Kind), flags)
 	dst = binary.AppendVarint(dst, int64(m.To))
 	dst = binary.AppendVarint(dst, int64(m.Origin))
 	dst = binary.AppendVarint(dst, int64(m.Subject))
@@ -99,6 +146,9 @@ func AppendMessage(dst []byte, m *proto.Message) []byte {
 	dst = binary.AppendVarint(dst, m.Seq)
 	dst = binary.AppendVarint(dst, m.Version)
 	dst = binary.AppendVarint(dst, int64(m.Hops))
+	if v >= 3 {
+		dst = binary.AppendVarint(dst, int64(m.Key))
+	}
 	dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(m.Expiry))
 	dst = binary.AppendVarint(dst, int64(len(m.Path)))
 	for _, p := range m.Path {
@@ -108,6 +158,29 @@ func AppendMessage(dst []byte, m *proto.Message) []byte {
 		dst = append(dst, byte(m.Piggy.Kind))
 		dst = binary.AppendVarint(dst, int64(m.Piggy.Subject))
 	}
+	return dst
+}
+
+// appendBatch encodes a KindBatch envelope: only the envelope's routing
+// identity (To, Origin, Seq) and its members travel, each member as a
+// length-delimited full payload encoding:
+//
+//	| 3 | KindBatch | 0 | To | Origin | Seq | count | { len | payload }* |
+//
+// Keeping the envelope this narrow makes decode→re-encode byte-identical.
+func appendBatch(dst []byte, m *proto.Message) []byte {
+	dst = append(dst, byte(3), byte(proto.KindBatch), 0)
+	dst = binary.AppendVarint(dst, int64(m.To))
+	dst = binary.AppendVarint(dst, int64(m.Origin))
+	dst = binary.AppendVarint(dst, m.Seq)
+	dst = binary.AppendVarint(dst, int64(len(m.Batch)))
+	sp := GetBuf()
+	for _, sub := range m.Batch {
+		*sp = AppendMessage((*sp)[:0], sub)
+		dst = binary.AppendVarint(dst, int64(len(*sp)))
+		dst = append(dst, *sp...)
+	}
+	PutBuf(sp)
 	return dst
 }
 
@@ -177,6 +250,13 @@ func (d *decoder) float() float64 {
 // eventually proto.Release it (or hand it to a transport that does). On
 // error no message is retained.
 func DecodeMessage(p []byte) (*proto.Message, error) {
+	return decodeMessage(p, 0)
+}
+
+// decodeMessage is DecodeMessage with a nesting depth: batch members
+// decode at depth 1, where a further envelope is rejected (envelopes never
+// nest).
+func decodeMessage(p []byte, depth int) (*proto.Message, error) {
 	d := decoder{p: p}
 	v := d.byte()
 	if d.err == nil && (v == 0 || v > Version) {
@@ -186,19 +266,34 @@ func DecodeMessage(p []byte) (*proto.Message, error) {
 	if d.err == nil && int(kind) >= proto.NumKinds {
 		return nil, fmt.Errorf("%w: %d", ErrUnknownKind, kind)
 	}
-	// Each kind has exactly one valid version byte (the minimal version
-	// that defines it), so the encoding stays canonical under fuzzing and a
-	// membership kind can not masquerade as a version-1 payload.
-	if d.err == nil && v != payloadVersion(proto.Kind(kind)) {
-		return nil, fmt.Errorf("%w: kind %s requires version %d, got %d",
-			ErrVersion, proto.Kind(kind), payloadVersion(proto.Kind(kind)), v)
+	k := proto.Kind(kind)
+	// A kind has exactly two valid version bytes: its minimal version
+	// (Key == 0) and version 3 (non-zero Key), so the encoding stays
+	// canonical under fuzzing and a membership kind can not masquerade as a
+	// version-1 payload. A version-3 non-batch payload whose Key decodes to
+	// zero is rejected below for the same reason.
+	if d.err == nil && v != minVersion(k) && v != Version {
+		return nil, fmt.Errorf("%w: kind %s requires version %d or %d, got %d",
+			ErrVersion, k, minVersion(k), Version, v)
+	}
+	if k == proto.KindBatch && depth > 0 {
+		return nil, fmt.Errorf("%w: nested batch envelope", ErrUnknownKind)
 	}
 	flags := d.byte()
 	if d.err == nil && flags&^byte(knownFlags) != 0 {
 		return nil, fmt.Errorf("%w: %#x", ErrBadFlags, flags)
 	}
+	if d.err == nil && k == proto.KindBatch && flags != 0 {
+		return nil, fmt.Errorf("%w: %#x on batch envelope", ErrBadFlags, flags)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if k == proto.KindBatch {
+		return decodeBatch(&d, depth)
+	}
 	m := proto.NewMessage()
-	m.Kind = proto.Kind(kind)
+	m.Kind = k
 	m.To = int(d.varint())
 	m.Origin = int(d.varint())
 	m.Subject = int(d.varint())
@@ -207,6 +302,13 @@ func DecodeMessage(p []byte) (*proto.Message, error) {
 	m.Seq = d.varint()
 	m.Version = d.varint()
 	m.Hops = int(d.varint())
+	if v >= 3 {
+		m.Key = int(d.varint())
+		if d.err == nil && m.Key == 0 {
+			proto.Release(m)
+			return nil, fmt.Errorf("%w: version 3 with zero key", ErrNonCanonical)
+		}
+	}
 	m.Expiry = d.float()
 	pathLen := d.varint()
 	if d.err == nil && (pathLen < 0 || pathLen > MaxPath) {
@@ -222,10 +324,52 @@ func DecodeMessage(p []byte) (*proto.Message, error) {
 			proto.Release(m)
 			return nil, fmt.Errorf("%w: piggy kind %d", ErrUnknownKind, pk)
 		}
-		m.Piggy = &proto.Piggyback{Kind: proto.Kind(pk), Subject: int(d.varint())}
+		m.SetPiggy(proto.Kind(pk), int(d.varint()))
 	}
 	if d.err != nil {
 		proto.Release(m)
+		return nil, d.err
+	}
+	if len(d.p) != 0 {
+		proto.Release(m)
+		return nil, fmt.Errorf("%w: %d bytes", ErrTrailing, len(d.p))
+	}
+	return m, nil
+}
+
+// decodeBatch decodes the envelope body after version/kind/flags. Each
+// member payload is decoded strictly (its declared length must be consumed
+// exactly), so a valid envelope re-encodes byte-identically.
+func decodeBatch(d *decoder, depth int) (*proto.Message, error) {
+	m := proto.NewMessage()
+	m.Kind = proto.KindBatch
+	m.To = int(d.varint())
+	m.Origin = int(d.varint())
+	m.Seq = d.varint()
+	count := d.varint()
+	if d.err == nil && (count < 1 || count > MaxBatch) {
+		proto.Release(m)
+		return nil, fmt.Errorf("%w: batch of %d members", ErrTooLarge, count)
+	}
+	for i := int64(0); i < count && d.err == nil; i++ {
+		sublen := d.varint()
+		if d.err != nil {
+			break
+		}
+		if sublen < 1 || sublen > int64(len(d.p)) {
+			d.err = fmt.Errorf("%w: batch member length %d of %d", ErrTruncated, sublen, len(d.p))
+			break
+		}
+		sub, err := decodeMessage(d.p[:sublen], depth+1)
+		if err != nil {
+			d.err = err
+			break
+		}
+		d.p = d.p[sublen:]
+		m.Batch = append(m.Batch, sub)
+	}
+	if d.err != nil {
+		proto.Release(m) // cascades into any members decoded so far
 		return nil, d.err
 	}
 	if len(d.p) != 0 {

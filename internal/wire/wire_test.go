@@ -37,6 +37,18 @@ func sampleMessages() []*proto.Message {
 		// A long path.
 		{Kind: proto.KindReply, To: 1, Version: 1 << 40, Expiry: -2.5,
 			Path: []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15}},
+		// Keyed (version-3) variants: the Key field only exists in v3
+		// payloads, for both version-1 and version-2 kind vocabularies.
+		{Kind: proto.KindPush, To: 5, Origin: 2, Key: 8, Version: 6, Expiry: 90.5},
+		{Kind: proto.KindRequest, To: 3, Origin: 7, Key: 64, Seq: 8, Hops: 1, Path: []int{7}},
+		{Kind: proto.KindJoin, To: 2, Origin: 9, Key: 3, Seq: 6, Version: 4},
+		// A coalescing envelope with mixed-kind, mixed-key members.
+		{Kind: proto.KindBatch, To: 4, Origin: 1, Seq: 33, Batch: []*proto.Message{
+			{Kind: proto.KindPush, To: 4, Origin: 1, Key: 8, Version: 12, Expiry: 64.5},
+			{Kind: proto.KindAck, To: 4, Origin: 1, Seq: 17, Subject: int(proto.KindPush)},
+			{Kind: proto.KindSubscribe, To: 4, Origin: 1, Key: 3, Subject: 9},
+			{Kind: proto.KindState, To: 4, Origin: 1, Version: 7, Expiry: 321.5},
+		}},
 	}
 	return msgs
 }
@@ -46,13 +58,19 @@ func sampleMessages() []*proto.Message {
 func equalMessage(a, b *proto.Message) bool {
 	if a.Kind != b.Kind || a.To != b.To || a.Origin != b.Origin ||
 		a.Subject != b.Subject || a.Old != b.Old || a.New != b.New ||
-		a.Seq != b.Seq || a.Version != b.Version ||
+		a.Key != b.Key || a.Seq != b.Seq || a.Version != b.Version ||
 		math.Float64bits(a.Expiry) != math.Float64bits(b.Expiry) ||
-		a.Hops != b.Hops || len(a.Path) != len(b.Path) {
+		a.Hops != b.Hops || len(a.Path) != len(b.Path) ||
+		len(a.Batch) != len(b.Batch) {
 		return false
 	}
 	for i := range a.Path {
 		if a.Path[i] != b.Path[i] {
+			return false
+		}
+	}
+	for i := range a.Batch {
+		if !equalMessage(a.Batch[i], b.Batch[i]) {
 			return false
 		}
 	}
@@ -84,19 +102,23 @@ func TestRoundTripEveryKind(t *testing.T) {
 	}
 }
 
-// TestPayloadVersionStamping pins the version byte each kind encodes
+// TestPayloadVersionStamping pins the version byte each message encodes
 // under: the original vocabulary stays at 1 (so version-1 binaries keep
-// decoding it) and the membership kinds added in version 2 stamp 2.
+// decoding it), the membership kinds added in version 2 stamp 2, and only
+// keyed messages and batch envelopes stamp 3 — which is what keeps key-0
+// traffic byte-identical to the version-2 wire format.
 func TestPayloadVersionStamping(t *testing.T) {
 	for _, m := range sampleMessages() {
 		p := AppendMessage(nil, m)
 		want := byte(1)
-		switch m.Kind {
-		case proto.KindJoin, proto.KindLeave, proto.KindState:
+		switch {
+		case m.Kind == proto.KindBatch || m.Key != 0:
+			want = 3
+		case m.Kind == proto.KindJoin || m.Kind == proto.KindLeave || m.Kind == proto.KindState:
 			want = 2
 		}
 		if p[0] != want {
-			t.Errorf("kind %s stamped version %d, want %d", m.Kind, p[0], want)
+			t.Errorf("kind %s (key %d) stamped version %d, want %d", m.Kind, m.Key, p[0], want)
 		}
 	}
 }
@@ -181,8 +203,8 @@ func TestDecodeRejectsMalformed(t *testing.T) {
 		{"unknown flags", append([]byte{good[0], good[1], 0x80}, good[3:]...), ErrBadFlags},
 		{"truncated fields", good[:4], ErrTruncated},
 		{"trailing bytes", append(append([]byte{}, good...), 0), ErrTrailing},
-		// Each kind is bound to the minimal version that defines it; any
-		// other version byte is non-canonical and rejected.
+		// Each kind is bound to its minimal version (plus version 3 when
+		// keyed); any other version byte is non-canonical and rejected.
 		{"v1 kind stamped v2", append([]byte{2}, good[1:]...), ErrVersion},
 		{"v2 kind stamped v1",
 			func() []byte {
@@ -190,11 +212,56 @@ func TestDecodeRejectsMalformed(t *testing.T) {
 				p[0] = 1
 				return p
 			}(), ErrVersion},
+		{"batch stamped v2",
+			func() []byte {
+				p := batchPayload()
+				p[0] = 2
+				return p
+			}(), ErrVersion},
+		{"batch with piggy flag", []byte{3, byte(proto.KindBatch), flagPiggy}, ErrBadFlags},
+		{"truncated batch member",
+			func() []byte {
+				p := batchPayload()
+				return p[:len(p)-1]
+			}(), ErrTruncated},
+		{"nested batch",
+			AppendMessage(nil, &proto.Message{Kind: proto.KindBatch, To: 1, Batch: []*proto.Message{
+				{Kind: proto.KindBatch, To: 1, Batch: []*proto.Message{{Kind: proto.KindPush, To: 1}}},
+			}}), ErrUnknownKind},
 	}
 	for _, c := range cases {
 		if _, err := DecodeMessage(c.p); !errors.Is(err, c.want) {
 			t.Errorf("%s: err = %v, want %v", c.name, err, c.want)
 		}
+	}
+	// A version-3 non-batch payload whose Key field is zero would be a
+	// second encoding of a key-0 message, so the decoder rejects it.
+	v3zero := []byte{3, byte(proto.KindSubscribe), 0}
+	for i := 0; i < 9; i++ {
+		v3zero = append(v3zero, 0) // To..Hops (8 varints) + Key
+	}
+	v3zero = append(v3zero, make([]byte, 8)...) // expiry
+	v3zero = append(v3zero, 0)                  // path length
+	if _, err := DecodeMessage(v3zero); !errors.Is(err, ErrNonCanonical) {
+		t.Errorf("v3 with zero key: err = %v, want %v", err, ErrNonCanonical)
+	}
+	// Zero-member and oversized batch envelopes.
+	bz := []byte{3, byte(proto.KindBatch), 0, 0, 0, 0} // To, Origin, Seq zeros
+	if _, err := DecodeMessage(appendVarintBytes(append([]byte{}, bz...), 0)); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("empty batch: err = %v, want %v", err, ErrTooLarge)
+	}
+	if _, err := DecodeMessage(appendVarintBytes(append([]byte{}, bz...), MaxBatch+1)); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("oversized batch: err = %v, want %v", err, ErrTooLarge)
+	}
+	// A member whose declared length leaves slack inside the sub-payload.
+	slack := append([]byte{}, bz...)
+	slack = appendVarintBytes(slack, 1) // one member
+	member := AppendMessage(nil, &proto.Message{Kind: proto.KindPush, To: 1})
+	slack = appendVarintBytes(slack, int64(len(member)+1))
+	slack = append(slack, member...)
+	slack = append(slack, 0)
+	if _, err := DecodeMessage(slack); !errors.Is(err, ErrTrailing) {
+		t.Errorf("slack batch member: err = %v, want %v", err, ErrTrailing)
 	}
 	// Oversized path length.
 	huge := []byte{1, byte(proto.KindRequest), 0}
@@ -248,6 +315,13 @@ func TestDecodedMessageIsPooledAndClean(t *testing.T) {
 	if fresh.Kind != 0 || len(fresh.Path) != 0 || fresh.To != 0 {
 		t.Fatalf("released decoded message leaked state: %+v", fresh)
 	}
+}
+
+// batchPayload encodes a small valid envelope for the malformed-decode
+// cases to corrupt.
+func batchPayload() []byte {
+	return AppendMessage(nil, &proto.Message{Kind: proto.KindBatch, To: 2, Origin: 1, Seq: 5,
+		Batch: []*proto.Message{{Kind: proto.KindPush, To: 2, Origin: 1, Key: 3, Version: 9}}})
 }
 
 func appendVarintBytes(p []byte, v int64) []byte {

@@ -27,7 +27,7 @@ echo "== fuzz smoke (wire codec) =="
 go test -run '^$' -fuzz 'FuzzDecodeEncode' -fuzztime 5s ./internal/wire/
 go test -run '^$' -fuzz 'FuzzFrameReader' -fuzztime 5s ./internal/wire/
 
-echo "== perf harness (quick, print-only) =="
-go run ./cmd/dupbench -perf -perfruns 2
+echo "== perf smoke (quick, print-only) =="
+make perf-smoke
 
 echo "check.sh: all green"
