@@ -3,7 +3,8 @@
 // network use, but over real TCP sockets via dup/internal/transport.
 //
 // Every process of a cluster must be started with the same -nodes,
-// -degree and -seed so they derive the identical index search tree; each
+// -degree, -seed and -shards so they derive the identical index search
+// tree and route keyed traffic onto matching shard lanes; each
 // process then hosts a disjoint subset of the node ids (-host) and knows
 // where the others live (-peers). Node 0 is the authority for the index.
 //
@@ -73,6 +74,7 @@ func run() int {
 	stateDir := flag.String("state-dir", "", "journal hosted nodes' state here and recover it on restart")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty disables)")
 	flag.IntVar(&cfg.Keys, "keys", cfg.Keys, "keyed index trees per node at boot (0 means 1)")
+	flag.IntVar(&cfg.ShardLoops, "shards", cfg.ShardLoops, "shard lanes per node, keys spread key mod L (identical on every process; 0 means 1)")
 	flag.Parse()
 
 	hosts, err := parseIDs(*hostList)

@@ -85,6 +85,31 @@ func ExampleNewPubSub() {
 	// DUP cheaper than SCRIBE: true
 }
 
+// Work with one topic through its handle: name it once, then subscribe,
+// publish and read inboxes without repeating the topic string.
+func ExampleNewPubSub_topicHandle() {
+	p, err := dup.NewPubSub(64, 1)
+	if err != nil {
+		panic(err)
+	}
+	nodes := p.Nodes()
+	alerts := p.Topic("alerts") // a dup.PubSubTopic handle
+	alerts.Subscribe(nodes[10])
+	alerts.Subscribe(nodes[40])
+
+	d, err := alerts.Publish("cpu high")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("topic:", alerts.Name())
+	fmt.Println("subscribers reached:", d.Subscribers)
+	fmt.Println("node 10 inbox:", len(alerts.Inbox(nodes[10])))
+	// Output:
+	// topic: alerts
+	// subscribers reached: 2
+	// node 10 inbox: 1
+}
+
 // Resolve content through the multi-key directory.
 func ExampleNewDirectory() {
 	cfg := dup.DefaultDirectoryConfig()

@@ -254,7 +254,7 @@ func (h *harness) queries() {
 		h.rr = (h.rr + 1) % len(members)
 		id := members[h.rr]
 		if nw := h.nets[id]; nw != nil && !h.down[id] {
-			nw.QueryKey(id, h.rr%h.cfg.Keys, 25*time.Millisecond)
+			nw.Key(h.rr%h.cfg.Keys).Query(id, 25*time.Millisecond)
 		}
 	}
 }
@@ -278,7 +278,7 @@ func (h *harness) checkConvergence() (bool, string) {
 	}
 	members := h.dir.Members()
 	for key := 0; key < h.cfg.Keys; key++ {
-		in, err := h.nets[rootID].InspectKey(rootID, key, time.Second)
+		in, err := h.nets[rootID].Key(key).Inspect(rootID, time.Second)
 		if err != nil {
 			return false, "could not inspect the authority node"
 		}
@@ -289,7 +289,7 @@ func (h *harness) checkConvergence() (bool, string) {
 				return false, fmt.Sprintf("member %d has no running node", id)
 			}
 			for {
-				r, err := nw.QueryKey(id, key, 200*time.Millisecond)
+				r, err := nw.Key(key).Query(id, 200*time.Millisecond)
 				if err == nil && r.Version >= v0 {
 					break
 				}

@@ -306,3 +306,53 @@ func (p *Platform) TreeInfo(topicName string) (nodes, maxDepth int, meanDepth fl
 	}
 	return t.tree.N(), t.tree.MaxDepth(), t.tree.MeanDepth(), nil
 }
+
+// Topic is a handle on one named topic, mirroring the live Network's
+// Key(k) handle: every per-topic operation hangs off it, so call sites
+// name the topic once instead of threading the string through each call.
+// The handle is a cheap value — it holds no topic state of its own, and
+// any number of handles on the same name address the same topic.
+type Topic struct {
+	p    *Platform
+	name string
+}
+
+// Topic returns a handle on the named topic. The topic's search tree and
+// protocol state are built lazily on first use, exactly as with the
+// string-keyed Platform methods.
+func (p *Platform) Topic(name string) *Topic { return &Topic{p: p, name: name} }
+
+// Name returns the topic name the handle addresses.
+func (t *Topic) Name() string { return t.name }
+
+// Rendezvous returns the ring id of the topic's rendezvous (authority)
+// node.
+func (t *Topic) Rendezvous() (chord.ID, error) { return t.p.Rendezvous(t.name) }
+
+// Subscribe registers node for the topic, returning the control hops the
+// subscription cost.
+func (t *Topic) Subscribe(node chord.ID) (int, error) { return t.p.Subscribe(node, t.name) }
+
+// Unsubscribe withdraws node's subscription, returning the control hops
+// used.
+func (t *Topic) Unsubscribe(node chord.ID) (int, error) { return t.p.Unsubscribe(node, t.name) }
+
+// Subscribers returns the topic's current subscribers in ascending
+// ring-id order.
+func (t *Topic) Subscribers() []chord.ID { return t.p.Subscribers(t.name) }
+
+// Publish delivers payload to every subscriber across the topic's
+// dissemination tree and returns the delivery summary.
+func (t *Topic) Publish(payload string) (Delivery, error) { return t.p.Publish(t.name, payload) }
+
+// Inbox returns the events delivered to node for the topic, in order.
+func (t *Topic) Inbox(node chord.ID) []Event { return t.p.Inbox(node, t.name) }
+
+// Route returns the topic's index-search-tree path from node toward the
+// rendezvous.
+func (t *Topic) Route(node chord.ID) ([]chord.ID, error) { return t.p.Route(node, t.name) }
+
+// TreeInfo describes the topic's search tree.
+func (t *Topic) TreeInfo() (nodes, maxDepth int, meanDepth float64, err error) {
+	return t.p.TreeInfo(t.name)
+}

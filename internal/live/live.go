@@ -72,6 +72,16 @@ type Config struct {
 	// the pre-multi-key format. Nodes also pick up keys lazily when
 	// traffic for them arrives, and per node via JoinKey/LeaveKey.
 	Keys int
+	// ShardLoops runs each hosted node as that many parallel receive/ctrl
+	// loops ("lanes"), partitioning its keyed shards by key modulo the
+	// lane count so independent keys process on independent cores. Lane 0
+	// keeps the node-level fabric (parent, keep-alives, failure
+	// detection, membership). Reliable sequence numbers are strided by
+	// lane, which is how receivers route acknowledgements without parsing
+	// payloads — so, like Nodes, MaxDegree and Seed, every process of a
+	// cluster must use the same ShardLoops. Zero means 1: one loop per
+	// node, byte-identical behaviour to the unsharded protocol.
+	ShardLoops int
 	// Seed drives topology generation and latency jitter. Every process
 	// of a multi-process cluster must use the same Seed (and Nodes and
 	// MaxDegree) so they derive the same tree.
@@ -130,6 +140,8 @@ func (c *Config) Validate() error {
 			c.MaxUnacked, c.DedupWindow, c.InboxDepth)
 	case c.Keys < 0:
 		return fmt.Errorf("live: need Keys >= 0, got %d", c.Keys)
+	case c.ShardLoops < 0:
+		return fmt.Errorf("live: need ShardLoops >= 0, got %d", c.ShardLoops)
 	}
 	return nil
 }
@@ -162,6 +174,14 @@ func (c *Config) inboxDepth() int {
 func (c *Config) keys() int {
 	if c.Keys > 0 {
 		return c.Keys
+	}
+	return 1
+}
+
+// shardLoops resolves the effective lane count per node.
+func (c *Config) shardLoops() int {
+	if c.ShardLoops > 0 {
+		return c.ShardLoops
 	}
 	return 1
 }
@@ -367,21 +387,23 @@ func boot(cfg Config, tree *topology.Tree, tr transport.Transport, dir Directory
 		}
 		n := newNode(nw, id, dir.Parent(id))
 		for k := 1; k < cfg.keys(); k++ {
-			n.addShard(k, now)
+			n.laneForKey(k).addShard(k, now)
 		}
 		if states, ok := opts.Recovered[id]; ok {
 			// Restore the previous incarnation's durable state before the
-			// goroutine starts; the node re-announces itself (join +
+			// goroutines start; the node re-announces itself (join +
 			// state-transfer) once running.
-			n.adoptStates(states)
+			n.adopt(states, false)
 			n.announce = true
 		}
 		nw.hosted[id] = n
 		tr.Register(id, n.handler())
 	}
 	for _, n := range nw.hosted {
-		nw.wg.Add(1)
-		go n.run()
+		for _, l := range n.lanes {
+			nw.wg.Add(1)
+			go l.run()
+		}
 	}
 	return nw, nil
 }
@@ -459,23 +481,11 @@ func (nw *Network) kc(key int) *keyCounters {
 	return c
 }
 
-// StatsKey returns one keyed index tree's counter snapshot. Keys nobody
-// touched report zeros.
+// StatsKey returns one keyed index tree's counter snapshot.
+//
+// Deprecated: use Network.Key(key).Stats instead.
 func (nw *Network) StatsKey(key int) KeyStats {
-	s := KeyStats{Key: key}
-	nw.kmu.RLock()
-	c := nw.keyStats[key]
-	nw.kmu.RUnlock()
-	if c == nil {
-		return s
-	}
-	s.Queries = c.queries.Load()
-	s.QueryHops = c.queryHops.Load()
-	s.LocalHits = c.localHits.Load()
-	s.Pushes = c.pushes.Load()
-	s.Subscribes = c.subscribes.Load()
-	s.Substitutes = c.substitutes.Load()
-	return s
+	return nw.Key(key).Stats()
 }
 
 // Keys returns every key that has a counter registry entry on this
@@ -515,7 +525,9 @@ type NodeInfo struct {
 	// it forwards a push to (subscribers minus virtual-path absorption).
 	Subscribers []int
 	PushTargets []int
-	// Unacked counts reliable messages still awaiting acknowledgement.
+	// Unacked counts reliable messages still awaiting acknowledgement on
+	// the inspected key's lane; with ShardLoops == 1 (the default) that
+	// is the whole node.
 	Unacked int
 }
 
@@ -524,30 +536,14 @@ type NodeInfo struct {
 // works on dead nodes too — the chaos harness uses it to audit repaired
 // trees.
 func (nw *Network) Inspect(id int, timeout time.Duration) (NodeInfo, error) {
-	return nw.InspectKey(id, 0, timeout)
+	return nw.Key(0).Inspect(id, timeout)
 }
 
-// InspectKey is Inspect for one keyed index tree. Inspecting a key the
-// node does not participate in returns the node-level fields with empty
-// shard state.
+// InspectKey is Inspect for one keyed index tree.
+//
+// Deprecated: use Network.Key(key).Inspect instead.
 func (nw *Network) InspectKey(id, key int, timeout time.Duration) (NodeInfo, error) {
-	if key < 0 {
-		return NodeInfo{}, fmt.Errorf("live: need key >= 0, got %d", key)
-	}
-	n := nw.node(id)
-	if n == nil {
-		return NodeInfo{}, fmt.Errorf("live: node %d is not hosted here", id)
-	}
-	res := make(chan NodeInfo, 1)
-	if !n.postCtrl(ctrlMsg{kind: cInspect, key: key, info: res}) {
-		return NodeInfo{}, fmt.Errorf("live: node %d is overloaded", id)
-	}
-	select {
-	case in := <-res:
-		return in, nil
-	case <-time.After(timeout):
-		return NodeInfo{}, ErrTimeout
-	}
+	return nw.Key(key).Inspect(id, timeout)
 }
 
 // node returns the hosted node for id, or nil.
@@ -580,38 +576,14 @@ func (nw *Network) RootID() int { return nw.dir.RootID() }
 // Query issues a key-0 index query at the given hosted node and waits up
 // to timeout for the answer.
 func (nw *Network) Query(at int, timeout time.Duration) (QueryResult, error) {
-	return nw.QueryKey(at, 0, timeout)
+	return nw.Key(0).Query(at, timeout)
 }
 
-// QueryKey is Query against one keyed index tree. Querying a key the node
-// has never seen makes it a lazy participant in that key's tree.
+// QueryKey is Query against one keyed index tree.
+//
+// Deprecated: use Network.Key(key).Query instead.
 func (nw *Network) QueryKey(at, key int, timeout time.Duration) (QueryResult, error) {
-	if at < 0 || at >= nw.Nodes() {
-		return QueryResult{}, fmt.Errorf("live: no node %d", at)
-	}
-	if key < 0 {
-		return QueryResult{}, fmt.Errorf("live: need key >= 0, got %d", key)
-	}
-	n := nw.node(at)
-	if n == nil {
-		return QueryResult{}, fmt.Errorf("live: node %d is not hosted here", at)
-	}
-	if nw.stopped.Load() || n.dead.Load() {
-		return QueryResult{}, fmt.Errorf("live: node %d is down", at)
-	}
-	res := make(chan QueryResult, 1)
-	c := ctrlMsg{kind: cQuery, key: key, res: res, deadline: time.Now().Add(timeout + time.Second)}
-	select {
-	case n.ctrl <- c:
-	default:
-		return QueryResult{}, fmt.Errorf("live: node %d is overloaded", at)
-	}
-	select {
-	case r := <-res:
-		return r, nil
-	case <-time.After(timeout):
-		return QueryResult{}, ErrTimeout
-	}
+	return nw.Key(key).Query(at, timeout)
 }
 
 // Fail kills a hosted node abruptly: it stops processing messages.
@@ -641,10 +613,10 @@ func (nw *Network) Recover(id int) {
 	designated := nw.dir.Revive(id)
 	n.dead.Store(false)
 	if designated {
-		n.postCtrl(ctrlMsg{kind: cBecomeRoot})
+		n.lanes[0].postCtrl(ctrlMsg{kind: cBecomeRoot})
 		return
 	}
-	n.postCtrl(ctrlMsg{kind: cReset, parent: nw.dir.AliveAncestor(id, nil)})
+	n.lanes[0].postCtrl(ctrlMsg{kind: cReset, parent: nw.dir.AliveAncestor(id, nil)})
 }
 
 // directoryParent is the DHT stand-in: the routing parent of id.
@@ -705,8 +677,10 @@ func (nw *Network) Join(id int) error {
 		nw.size = id + 1
 	}
 	nw.tr.Register(id, n.handler())
-	nw.wg.Add(1)
-	go n.run()
+	for _, l := range n.lanes {
+		nw.wg.Add(1)
+		go l.run()
+	}
 	return nil
 }
 
@@ -739,7 +713,7 @@ func (nw *Network) Leave(id int, timeout time.Duration) error {
 	nw.mu.Unlock()
 
 	done := make(chan struct{})
-	if n.postCtrl(ctrlMsg{kind: cLeave, children: children, done: done}) {
+	if n.lanes[0].postCtrl(ctrlMsg{kind: cLeave, children: children, done: done}) {
 		select {
 		case <-done:
 		case <-time.After(timeout):
@@ -764,43 +738,154 @@ func (nw *Network) Reboot(id int, states []store.NodeState) error {
 	if n == nil {
 		return fmt.Errorf("live: node %d is not hosted here", id)
 	}
-	if !n.postCtrl(ctrlMsg{kind: cReboot, states: states}) {
+	if !n.lanes[0].postCtrl(ctrlMsg{kind: cReboot, states: states}) {
 		return fmt.Errorf("live: node %d is overloaded", id)
 	}
 	return nil
 }
 
-// JoinKey makes a hosted node a participant in one keyed index tree: it
-// creates the key's shard and announces it upstream, so the parent adopts
-// the branch and transfers its index copy when it holds a valid one. Key
-// participation is per node — node-level membership is Join/Leave.
+// JoinKey makes a hosted node a participant in one keyed index tree.
+//
+// Deprecated: use Network.Key(key).Join instead.
 func (nw *Network) JoinKey(id, key int) error {
-	if key < 0 {
-		return fmt.Errorf("live: need key >= 0, got %d", key)
+	return nw.Key(key).Join(id)
+}
+
+// LeaveKey departs a hosted node from one keyed index tree.
+//
+// Deprecated: use Network.Key(key).Leave instead.
+func (nw *Network) LeaveKey(id, key int) error {
+	return nw.Key(key).Leave(id)
+}
+
+// KeyHandle scopes Network operations to one keyed index tree. It is the
+// keyed API surface: nw.Key(k).Query(...) replaces the older pairs of
+// key-0 methods and *Key variants. Handles are cheap values — build them
+// on the fly or keep one per key; they hold no state beyond the key.
+type KeyHandle struct {
+	nw  *Network
+	key int
+}
+
+// Key returns the operation handle for one keyed index tree. Key 0 is
+// the node-level tree every peer participates in; negative keys yield a
+// handle whose operations fail with a validation error.
+func (nw *Network) Key(key int) *KeyHandle {
+	return &KeyHandle{nw: nw, key: key}
+}
+
+// Key reports which keyed index tree this handle scopes to.
+func (h *KeyHandle) Key() int { return h.key }
+
+// Query issues an index query for this key at the given hosted node and
+// waits up to timeout for the answer. Querying a key the node has never
+// seen makes it a lazy participant in that key's tree.
+func (h *KeyHandle) Query(at int, timeout time.Duration) (QueryResult, error) {
+	nw := h.nw
+	if at < 0 || at >= nw.Nodes() {
+		return QueryResult{}, fmt.Errorf("live: no node %d", at)
+	}
+	if h.key < 0 {
+		return QueryResult{}, fmt.Errorf("live: need key >= 0, got %d", h.key)
+	}
+	n := nw.node(at)
+	if n == nil {
+		return QueryResult{}, fmt.Errorf("live: node %d is not hosted here", at)
+	}
+	if nw.stopped.Load() || n.dead.Load() {
+		return QueryResult{}, fmt.Errorf("live: node %d is down", at)
+	}
+	res := make(chan QueryResult, 1)
+	c := ctrlMsg{kind: cQuery, key: h.key, res: res, deadline: time.Now().Add(timeout + time.Second)}
+	if !n.laneForKey(h.key).postCtrl(c) {
+		return QueryResult{}, fmt.Errorf("live: node %d is overloaded", at)
+	}
+	select {
+	case r := <-res:
+		return r, nil
+	case <-time.After(timeout):
+		return QueryResult{}, ErrTimeout
+	}
+}
+
+// Stats returns this keyed index tree's counter snapshot across the
+// nodes the Network hosts. Keys nobody touched report zeros.
+func (h *KeyHandle) Stats() KeyStats {
+	nw := h.nw
+	s := KeyStats{Key: h.key}
+	nw.kmu.RLock()
+	c := nw.keyStats[h.key]
+	nw.kmu.RUnlock()
+	if c == nil {
+		return s
+	}
+	s.Queries = c.queries.Load()
+	s.QueryHops = c.queryHops.Load()
+	s.LocalHits = c.localHits.Load()
+	s.Pushes = c.pushes.Load()
+	s.Subscribes = c.subscribes.Load()
+	s.Substitutes = c.substitutes.Load()
+	return s
+}
+
+// Inspect snapshots a hosted node's protocol state for this key, taken
+// on the owning lane's goroutine so it is internally consistent. It
+// works on dead nodes too — the chaos harness uses it to audit repaired
+// trees. Inspecting a key the node does not participate in returns the
+// node-level fields with empty shard state.
+func (h *KeyHandle) Inspect(id int, timeout time.Duration) (NodeInfo, error) {
+	nw := h.nw
+	if h.key < 0 {
+		return NodeInfo{}, fmt.Errorf("live: need key >= 0, got %d", h.key)
 	}
 	n := nw.node(id)
 	if n == nil {
+		return NodeInfo{}, fmt.Errorf("live: node %d is not hosted here", id)
+	}
+	res := make(chan NodeInfo, 1)
+	if !n.laneForKey(h.key).postCtrl(ctrlMsg{kind: cInspect, key: h.key, info: res}) {
+		return NodeInfo{}, fmt.Errorf("live: node %d is overloaded", id)
+	}
+	select {
+	case in := <-res:
+		return in, nil
+	case <-time.After(timeout):
+		return NodeInfo{}, ErrTimeout
+	}
+}
+
+// Join makes a hosted node a participant in this keyed index tree: it
+// creates the key's shard and announces it upstream, so the parent
+// adopts the branch and transfers its index copy when it holds a valid
+// one. Key participation is per node — node-level membership is
+// Network.Join and Network.Leave.
+func (h *KeyHandle) Join(id int) error {
+	if h.key < 0 {
+		return fmt.Errorf("live: need key >= 0, got %d", h.key)
+	}
+	n := h.nw.node(id)
+	if n == nil {
 		return fmt.Errorf("live: node %d is not hosted here", id)
 	}
-	if !n.postCtrl(ctrlMsg{kind: cJoinKey, key: key}) {
+	if !n.laneForKey(h.key).postCtrl(ctrlMsg{kind: cJoinKey, key: h.key}) {
 		return fmt.Errorf("live: node %d is overloaded", id)
 	}
 	return nil
 }
 
-// LeaveKey departs a hosted node from one keyed index tree: it withdraws
-// interest, tells its parent how to splice it out of that key's
+// Leave departs a hosted node from this keyed index tree: it withdraws
+// interest, tells its parent how to splice it out of the key's
 // subscriber list, and drops the shard. Key 0 cannot be left — it is the
-// node's own existence; use Leave.
-func (nw *Network) LeaveKey(id, key int) error {
-	if key <= 0 {
-		return fmt.Errorf("live: need key > 0, got %d (key 0 is node-level: use Leave)", key)
+// node's own existence; use Network.Leave.
+func (h *KeyHandle) Leave(id int) error {
+	if h.key <= 0 {
+		return fmt.Errorf("live: need key > 0, got %d (key 0 is node-level: use Leave)", h.key)
 	}
-	n := nw.node(id)
+	n := h.nw.node(id)
 	if n == nil {
 		return fmt.Errorf("live: node %d is not hosted here", id)
 	}
-	if !n.postCtrl(ctrlMsg{kind: cLeaveKey, key: key}) {
+	if !n.laneForKey(h.key).postCtrl(ctrlMsg{kind: cLeaveKey, key: h.key}) {
 		return fmt.Errorf("live: node %d is overloaded", id)
 	}
 	return nil

@@ -14,7 +14,7 @@ func queryKey(t *testing.T, nw *Network, at, key int, deadline time.Duration) Qu
 	end := time.Now().Add(deadline)
 	var last error
 	for time.Now().Before(end) {
-		r, err := nw.QueryKey(at, key, 250*time.Millisecond)
+		r, err := nw.Key(key).Query(at, 250*time.Millisecond)
 		if err == nil {
 			return r
 		}
@@ -52,14 +52,14 @@ func TestMultiKeyQueriesResolve(t *testing.T) {
 		t.Fatalf("Keys() = %v, want at least %d keys", keys, cfg.Keys)
 	}
 	for key := 0; key < cfg.Keys; key++ {
-		ks := nw.StatsKey(key)
+		ks := nw.Key(key).Stats()
 		if ks.Key != key {
-			t.Fatalf("StatsKey(%d).Key = %d", key, ks.Key)
+			t.Fatalf("Key(%d).Stats().Key = %d", key, ks.Key)
 		}
 		if ks.Queries != 3 {
 			t.Fatalf("key %d: %d queries attributed, want 3", key, ks.Queries)
 		}
-		in, err := nw.InspectKey(0, key, time.Second)
+		in, err := nw.Key(key).Inspect(0, time.Second)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -72,7 +72,7 @@ func TestMultiKeyQueriesResolve(t *testing.T) {
 		t.Fatalf("global queries = %d, want %d", got, want)
 	}
 	// A key nobody touched reports zeros.
-	if ks := nw.StatsKey(97); ks.Queries != 0 || ks.Pushes != 0 {
+	if ks := nw.Key(97).Stats(); ks.Queries != 0 || ks.Pushes != 0 {
 		t.Fatalf("untouched key has counters: %+v", ks)
 	}
 }
@@ -108,26 +108,27 @@ func TestCrossKeyIsolationUnderFailure(t *testing.T) {
 	}
 	// Both keyed trees must start pushing to their hot node.
 	deadline := time.Now().Add(3 * time.Second)
-	for nw.StatsKey(1).Pushes == 0 || nw.StatsKey(2).Pushes == 0 {
+	key1, key2 := nw.Key(1), nw.Key(2)
+	for key1.Stats().Pushes == 0 || key2.Stats().Pushes == 0 {
 		if time.Now().After(deadline) {
-			t.Fatalf("pushes never flowed: key1=%+v key2=%+v", nw.StatsKey(1), nw.StatsKey(2))
+			t.Fatalf("pushes never flowed: key1=%+v key2=%+v", key1.Stats(), key2.Stats())
 		}
 		time.Sleep(20 * time.Millisecond)
 	}
 
 	nw.Fail(2)
 	time.Sleep(cfg.DeadAfter + 4*cfg.KeepAliveEvery)
-	key1Stalled := nw.StatsKey(1).Pushes
-	key2Before := nw.StatsKey(2).Pushes
+	key1Stalled := key1.Stats().Pushes
+	key2Before := key2.Stats().Pushes
 	// Keep key 2 hot across several refresh cycles while node 2 is dead.
 	for end := time.Now().Add(4 * cfg.TTL); time.Now().Before(end); {
 		queryKey(t, nw, 3, 2, time.Second)
 		time.Sleep(cfg.TTL / 4)
 	}
-	if got := nw.StatsKey(2).Pushes; got <= key2Before {
+	if got := key2.Stats().Pushes; got <= key2Before {
 		t.Fatalf("key 2 pushes stalled at %d while key 1's node was dead", got)
 	}
-	if got := nw.StatsKey(1).Pushes; got != key1Stalled {
+	if got := key1.Stats().Pushes; got != key1Stalled {
 		t.Fatalf("key 1 pushes moved from %d to %d with its only subscriber dead", key1Stalled, got)
 	}
 
@@ -138,7 +139,7 @@ func TestCrossKeyIsolationUnderFailure(t *testing.T) {
 		queryKey(t, nw, 2, 1, 2*time.Second)
 	}
 	deadline = time.Now().Add(3 * time.Second)
-	for nw.StatsKey(1).Pushes == key1Stalled {
+	for key1.Stats().Pushes == key1Stalled {
 		if time.Now().After(deadline) {
 			t.Fatal("key 1 never reconverged after recovery")
 		}
@@ -160,15 +161,19 @@ func TestJoinKeyLeaveKey(t *testing.T) {
 	}
 	defer nw.Stop()
 
-	if err := nw.LeaveKey(1, 0); err == nil {
-		t.Fatal("LeaveKey accepted key 0 (node-level membership)")
+	if err := nw.Key(0).Leave(1); err == nil {
+		t.Fatal("Key(0).Leave accepted key 0 (node-level membership)")
 	}
-	if err := nw.JoinKey(1, -1); err == nil {
-		t.Fatal("JoinKey accepted a negative key")
+	if err := nw.Key(-1).Join(1); err == nil {
+		t.Fatal("Key(-1).Join accepted a negative key")
 	}
 
+	h := nw.Key(1)
+	if h.Key() != 1 {
+		t.Fatalf("Key(1).Key() = %d", h.Key())
+	}
 	queryKey(t, nw, 1, 1, 2*time.Second)
-	in, err := nw.InspectKey(1, 1, time.Second)
+	in, err := h.Inspect(1, time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,12 +181,12 @@ func TestJoinKeyLeaveKey(t *testing.T) {
 		t.Fatalf("node 1 missing shard for key 1: keys %v", in.Keys)
 	}
 
-	if err := nw.LeaveKey(1, 1); err != nil {
+	if err := h.Leave(1); err != nil {
 		t.Fatal(err)
 	}
 	deadline := time.Now().Add(2 * time.Second)
 	for {
-		in, err = nw.InspectKey(1, 1, time.Second)
+		in, err = h.Inspect(1, time.Second)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -189,22 +194,22 @@ func TestJoinKeyLeaveKey(t *testing.T) {
 			break
 		}
 		if time.Now().After(deadline) {
-			t.Fatalf("shard for key 1 still present after LeaveKey: keys %v", in.Keys)
+			t.Fatalf("shard for key 1 still present after Leave: keys %v", in.Keys)
 		}
 		time.Sleep(20 * time.Millisecond)
 	}
 	// Node-level membership and the other keys are untouched.
 	if !hasKey(in.Keys, 0) {
-		t.Fatalf("LeaveKey removed the key-0 shard: keys %v", in.Keys)
+		t.Fatalf("keyed Leave removed the key-0 shard: keys %v", in.Keys)
 	}
 	queryKey(t, nw, 1, 0, 2*time.Second)
 
-	if err := nw.JoinKey(1, 1); err != nil {
+	if err := h.Join(1); err != nil {
 		t.Fatal(err)
 	}
 	deadline = time.Now().Add(2 * time.Second)
 	for {
-		in, err = nw.InspectKey(1, 1, time.Second)
+		in, err = h.Inspect(1, time.Second)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -212,11 +217,47 @@ func TestJoinKeyLeaveKey(t *testing.T) {
 			break
 		}
 		if time.Now().After(deadline) {
-			t.Fatal("shard for key 1 never reappeared after JoinKey")
+			t.Fatal("shard for key 1 never reappeared after Join")
 		}
 		time.Sleep(20 * time.Millisecond)
 	}
 	queryKey(t, nw, 1, 1, 2*time.Second)
+}
+
+// TestDeprecatedKeyWrappers pins the compatibility contract: the old
+// per-key method names (QueryKey, StatsKey, InspectKey, JoinKey,
+// LeaveKey) must keep working and behave exactly like the Key(k) handle
+// they now delegate to.
+func TestDeprecatedKeyWrappers(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Tree = topology.FromParents([]int{-1, 0, 0})
+	cfg.Nodes = 0
+	cfg.Keys = 2
+	nw, err := Start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Stop()
+
+	if _, err := nw.QueryKey(1, 1, 2*time.Second); err != nil {
+		t.Fatalf("QueryKey: %v", err)
+	}
+	if got, want := nw.StatsKey(1), nw.Key(1).Stats(); got != want {
+		t.Fatalf("StatsKey(1) = %+v, Key(1).Stats() = %+v", got, want)
+	}
+	in, err := nw.InspectKey(1, 1, time.Second)
+	if err != nil {
+		t.Fatalf("InspectKey: %v", err)
+	}
+	if !hasKey(in.Keys, 1) {
+		t.Fatalf("InspectKey(1, 1): keys %v", in.Keys)
+	}
+	if err := nw.LeaveKey(1, 1); err != nil {
+		t.Fatalf("LeaveKey: %v", err)
+	}
+	if err := nw.JoinKey(1, 1); err != nil {
+		t.Fatalf("JoinKey: %v", err)
+	}
 }
 
 func hasKey(keys []int, key int) bool {

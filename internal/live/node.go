@@ -12,7 +12,11 @@ import (
 	"dup/internal/transport"
 )
 
-// ctrlKind enumerates local control injections (never on the wire).
+// ctrlKind enumerates local control injections (never on the wire). The
+// first block arrives from the hosting Network; the second block is
+// inter-lane coordination on sharded nodes — lane 0 owns the node-level
+// fabric (parent, keep-alives, suspects) and fans node-wide effects out to
+// the data lanes, which report peer observations back.
 type ctrlKind uint8
 
 const (
@@ -24,19 +28,32 @@ const (
 	cReboot                     // crash-and-restart with durable state
 	cJoinKey                    // join one keyed index tree
 	cLeaveKey                   // depart one keyed index tree
+
+	cResetLane // lane 0 -> data lane: blank lane state after recovery
+	cRootLane  // lane 0 -> data lane: this node became authority
+	cReparent  // lane 0 -> data lane: re-homed; drop old parent's queue, re-announce
+	cAdoptLane // lane 0 -> data lane: resume from durable per-key records
+	cLaneLeave // lane 0 -> data lane: graceful departure started
+	cPeerJoin  // lane 0 -> data lane: peer rejoined; reset its window, transfer state
+	cUnsubPeer // lane 0 -> data lane: peer died; splice it out of lane shards
+	cSuspect   // data lane -> lane 0: peer stopped acking reliable messages
+	cAlive     // data lane -> lane 0: peers whose messages this lane saw
 )
 
-// ctrlMsg is one local control injection from the Network into a node.
+// ctrlMsg is one local control injection into a lane.
 type ctrlMsg struct {
 	kind     ctrlKind
 	parent   int
 	key      int
+	peer     int  // cReparent/cPeerJoin/cUnsubPeer/cSuspect/cRootLane subject
+	asRoot   bool // cAdoptLane: resume as the designated authority
 	res      chan QueryResult
 	info     chan NodeInfo
 	deadline time.Time
 	children []int             // cLeave: keep-alive children to notify
+	peers    []int             // cAlive: peers seen since the last digest
 	done     chan struct{}     // cLeave: closed once departure is acked
-	states   []store.NodeState // cReboot: durable per-key state to resume from
+	states   []store.NodeState // cReboot/cAdoptLane: durable state to resume from
 }
 
 // reliableKind reports whether k carries tree, index or membership state
@@ -53,7 +70,8 @@ func reliableKind(k proto.Kind) bool {
 }
 
 // relEntry is one reliable message awaiting acknowledgement: enough of
-// the payload to rebuild it for a retransmission.
+// the payload to rebuild it for a retransmission. Entries are pooled on a
+// per-lane freelist so the steady-state send path allocates nothing.
 type relEntry struct {
 	kind              proto.Kind
 	to                int
@@ -68,7 +86,7 @@ type relEntry struct {
 // batchRec remembers which reliable member seqs one batch envelope
 // carried, so the envelope's single ack can settle all of them. Entries
 // expire at the members' retransmit deadline: by then every member has
-// either been settled or given up on.
+// either been settled or given up on. Records are pooled per lane.
 type batchRec struct {
 	seqs     []int64
 	deadline time.Time
@@ -142,50 +160,92 @@ type shard struct {
 	recValid bool
 }
 
-// node is one live peer. All fields below the channel block are owned by
-// the node's goroutine. Protocol messages arrive through the transport
-// handler into inbox; control injections (query, reset, become-root)
-// arrive from the hosting Network through ctrl.
+// node is one live peer. With Config.ShardLoops > 1 the node runs several
+// lanes — independent receive/ctrl loops that partition the keyed shards
+// by key % L, so independent keys process in parallel across cores. Lane
+// 0 additionally owns the node-level fabric: the routing parent, the
+// keep-alive protocol, child liveness, suspicion, membership and graceful
+// departure. The fields grouped as "lane-0-owned" below are touched only
+// on lane 0's goroutine; parent and lastAck are atomics because data
+// lanes read the parent on every send and refresh lastAck when the parent
+// acks lane traffic.
 type node struct {
-	nw    *Network
-	id    int
-	inbox chan *proto.Message
-	ctrl  chan ctrlMsg
-	quit  chan struct{}
+	nw   *Network
+	id   int
+	quit chan struct{}
 
 	dead   atomic.Bool
 	isRoot atomic.Bool
 
-	parent int
+	// parentV is the routing parent id (-1 for the root), read by every
+	// lane on the send path and written by lane 0 during repair.
+	parentV atomic.Int64
 
-	// Per-key data plane: one shard per keyed index tree this node
-	// participates in. keys mirrors the map in sorted order so iteration
-	// is deterministic.
+	// lastAckV is the last time the parent acknowledged anything from this
+	// node, in unix nanoseconds: keep-alive suppression and parent-death
+	// detection read it on lane 0; any lane stores it when a parent ack
+	// settles.
+	lastAckV atomic.Int64
+
+	lanes []*lane
+
+	// Lane-0-owned liveness. suspects holds peers this node has watched
+	// miss their keep-alive window; the directory skips them when
+	// re-homing. childSeen tracks keep-alive children.
+	childSeen map[int]time.Time
+	suspects  map[int]time.Time
+
+	// keyMu guards allKeys, the node-wide sorted key registry behind
+	// NodeInfo.Keys: shards live per lane, so the union is kept here.
+	keyMu   sync.Mutex
+	allKeys []int
+
+	// Membership. announce makes the node introduce itself to its parent
+	// (KindJoin) when lane 0 starts — set for joiners and for nodes
+	// resuming from recovered state. leaving/leaveDone/leaveLanes track a
+	// graceful departure: each lane signals once its reliable queue
+	// drains, and the last one closes leaveDone.
+	announce   bool
+	leaving    bool
+	leaveDone  chan struct{}
+	leaveLanes atomic.Int32
+	stopOnce   sync.Once
+}
+
+// lane is one receive/ctrl loop of a node: a partition of the keyed
+// shards (key % ShardLoops == idx) with its own inbox, reliable-delivery
+// machinery and send-side coalescer. Every field is owned by the lane's
+// goroutine. Reliable seq streams are strided — lane i issues seqs
+// congruent to i modulo the lane count — so a receiver routes acks and
+// envelopes to the owning lane from the seq alone.
+type lane struct {
+	n      *node
+	idx    int
+	stride int64
+
+	inbox chan *proto.Message
+	ctrl  chan ctrlMsg
+
+	// Per-key data plane: the shards this lane owns. keys mirrors the map
+	// in sorted order so iteration is deterministic.
 	shards map[int]*shard
 	keys   []int
 
-	// Query correlation: queries born here wait in pending, keyed by the
-	// Seq their request carried.
+	// Query correlation: queries born on this lane wait in pending, keyed
+	// by the Seq their request carried.
 	nextSeq int64
 	pending map[int64]pendingQuery
-
-	// Liveness. suspects holds peers this node has watched miss their
-	// keep-alive window; the directory skips them when re-homing.
-	lastAck   time.Time
-	childSeen map[int]time.Time
-	suspects  map[int]time.Time
 
 	// Delivery guarantees. Reliable outbound messages wait in unacked
 	// (keyed by their seq) until the receiver's ack arrives, re-sent with
 	// doubling backoff until the retransmit deadline; seen dedups inbound
-	// (origin, seq) pairs so retries are idempotent. relSeq is node-global
-	// across keys, so one (origin, seq) window per origin suffices.
+	// (origin, seq) pairs so retries are idempotent.
 	relSeq  int64
 	unacked map[int64]*relEntry
 	seen    map[int]*seqWindow
 
 	// Send-side coalescer: messages bound for the same neighbour within
-	// one node-loop iteration are flushed together — bare when alone,
+	// one lane-loop iteration are flushed together — bare when alone,
 	// inside one KindBatch envelope when several — so a busy link carries
 	// many protocol messages per frame and one ack settles all of them.
 	// batches maps an envelope's seq to the reliable member seqs it
@@ -194,14 +254,22 @@ type node struct {
 	obBins  map[int][]*proto.Message
 	batches map[int64]*batchRec
 
-	// Membership. announce makes the node introduce itself to its parent
-	// (KindJoin) when its goroutine starts — set for joiners and for nodes
-	// resuming from recovered state. leaving/leaveDone track a graceful
-	// departure waiting for its announcements to be acknowledged.
-	announce  bool
+	// Freelists: settled retransmit entries and batch records are reused
+	// so the steady-state push path allocates nothing.
+	relFree []*relEntry
+	recFree []*batchRec
+
+	// seenPeers accumulates message origins on data lanes between ticks;
+	// each tick flushes a cAlive digest to lane 0, which refreshes
+	// childSeen — the sharded equivalent of "any message from a child
+	// proves it alive". Nil on lane 0.
+	seenPeers map[int]struct{}
+
+	// Graceful departure: leaving is set by beginLeave (lane 0) or
+	// cLaneLeave; leaveSent records that this lane already reported its
+	// queue drained.
 	leaving   bool
-	leaveDone chan struct{}
-	stopOnce  sync.Once
+	leaveSent bool
 }
 
 // maxEnvelope bounds how many members one flushed envelope carries; it is
@@ -210,85 +278,121 @@ type node struct {
 const maxEnvelope = 1 << 10
 
 func newNode(nw *Network, id, parent int) *node {
+	loops := nw.cfg.shardLoops()
 	n := &node{
 		nw:        nw,
 		id:        id,
-		inbox:     make(chan *proto.Message, nw.cfg.inboxDepth()),
-		ctrl:      make(chan ctrlMsg, 16),
 		quit:      make(chan struct{}),
-		parent:    parent,
-		shards:    map[int]*shard{},
-		pending:   map[int64]pendingQuery{},
 		childSeen: map[int]time.Time{},
 		suspects:  map[int]time.Time{},
-		// Seeding relSeq from the clock keeps seqs unique across process
-		// restarts, so a rebooted peer's fresh stream is not mistaken for
-		// retransmissions of its previous incarnation's.
-		relSeq:  time.Now().UnixNano(),
-		unacked: map[int64]*relEntry{},
-		seen:    map[int]*seqWindow{},
-		obBins:  map[int][]*proto.Message{},
-		batches: map[int64]*batchRec{},
 	}
+	n.setParent(parent)
 	if parent == -1 {
 		n.isRoot.Store(true)
 	}
-	n.addShard(0, time.Now())
+	// Seeding relSeq from the clock keeps seqs unique across process
+	// restarts, so a rebooted peer's fresh stream is not mistaken for
+	// retransmissions of its previous incarnation's. The base is rounded
+	// down to a multiple of the lane count and lane i starts at base+i:
+	// every seq a lane ever issues stays congruent to its index, which is
+	// what lets receivers route acks by seq alone.
+	base := time.Now().UnixNano()
+	base -= base % int64(loops)
+	n.lanes = make([]*lane, loops)
+	for i := range n.lanes {
+		l := &lane{
+			n:       n,
+			idx:     i,
+			stride:  int64(loops),
+			inbox:   make(chan *proto.Message, nw.cfg.inboxDepth()),
+			ctrl:    make(chan ctrlMsg, 16),
+			shards:  map[int]*shard{},
+			pending: map[int64]pendingQuery{},
+			relSeq:  base + int64(i),
+			unacked: map[int64]*relEntry{},
+			seen:    map[int]*seqWindow{},
+			obBins:  map[int][]*proto.Message{},
+			batches: map[int64]*batchRec{},
+		}
+		if i > 0 {
+			l.seenPeers = map[int]struct{}{}
+		}
+		n.lanes[i] = l
+	}
+	n.lanes[0].addShard(0, time.Now())
 	return n
 }
 
-// shard returns the state for one keyed index tree, creating it on first
-// touch: a push or request for a key this node has never seen makes it a
-// participant in that key's tree.
-func (n *node) shard(key int) *shard {
-	if sh, ok := n.shards[key]; ok {
-		return sh
+// parent returns the current routing parent (-1 for the root).
+func (n *node) parent() int { return int(n.parentV.Load()) }
+
+func (n *node) setParent(p int) { n.parentV.Store(int64(p)) }
+
+func (n *node) lastAck() time.Time { return time.Unix(0, n.lastAckV.Load()) }
+
+func (n *node) sawParentAck(now time.Time) { n.lastAckV.Store(now.UnixNano()) }
+
+// laneForKey returns the lane owning one keyed shard.
+func (n *node) laneForKey(key int) *lane {
+	if len(n.lanes) == 1 {
+		return n.lanes[0]
 	}
-	return n.addShard(key, time.Now())
+	i := key % len(n.lanes)
+	if i < 0 {
+		i += len(n.lanes)
+	}
+	return n.lanes[i]
 }
 
-func (n *node) addShard(key int, now time.Time) *shard {
-	sh := &shard{
-		key:           key,
-		st:            core.NewState(n.id, n.isRoot.Load()),
-		lastPushed:    -1,
-		intervalStart: now,
-		kc:            n.nw.kc(key),
+// laneForSeq returns the lane that issued a reliable seq: streams are
+// strided, so seq mod the lane count is the issuing lane's index. This
+// only holds when every process of the cluster runs the same ShardLoops,
+// which Config documents as a requirement (like Nodes and Seed).
+func (n *node) laneForSeq(seq int64) *lane {
+	i := int(seq % int64(len(n.lanes)))
+	if i < 0 {
+		i += len(n.lanes)
 	}
-	if n.isRoot.Load() {
-		sh.expiry = now.Add(n.nw.cfg.TTL)
-	}
-	n.shards[key] = sh
-	n.keys = append(n.keys, key)
-	sort.Ints(n.keys)
-	return sh
+	return n.lanes[i]
 }
 
-// dropShard removes one keyed shard (LeaveKey); key 0 never drops.
-func (n *node) dropShard(key int) {
-	if key == 0 {
-		return
+// laneFor routes one inbound message to the lane that owns its state:
+// keyed traffic by key, acks and reliable envelopes by the seq stride,
+// node-level fabric (keep-alives, key-0 membership) to lane 0. Every
+// member of a coalesced envelope routes to the same lane as the envelope
+// itself, because a lane only coalesces its own traffic.
+func (n *node) laneFor(m *proto.Message) *lane {
+	if len(n.lanes) == 1 {
+		return n.lanes[0]
 	}
-	delete(n.shards, key)
-	for i, k := range n.keys {
-		if k == key {
-			n.keys = append(n.keys[:i], n.keys[i+1:]...)
-			break
+	switch m.Kind {
+	case proto.KindAck:
+		return n.laneForSeq(m.Seq)
+	case proto.KindBatch:
+		if m.Seq > 0 {
+			return n.laneForSeq(m.Seq)
 		}
+		if len(m.Batch) > 0 && m.Batch[0] != nil {
+			return n.laneFor(m.Batch[0])
+		}
+		return n.lanes[0]
+	case proto.KindKeepAlive, proto.KindKeepAliveAck:
+		return n.lanes[0]
 	}
+	return n.laneForKey(m.Key)
 }
 
 // handler is the node's transport-facing inbox: it takes ownership of
-// accepted messages (the node goroutine releases them after handling) and
+// accepted messages (the owning lane releases them after handling) and
 // refuses delivery — so the transport counts a drop — when the node is
-// dead or the inbox is full.
+// dead or the lane's inbox is full.
 func (n *node) handler() transport.Handler {
 	return func(m *proto.Message) bool {
 		if n.dead.Load() {
 			return false
 		}
 		select {
-		case n.inbox <- m:
+		case n.laneFor(m).inbox <- m:
 			return true
 		default:
 			return false
@@ -296,47 +400,160 @@ func (n *node) handler() transport.Handler {
 	}
 }
 
-// postCtrl delivers a control injection unless the node is wedged.
-func (n *node) postCtrl(c ctrlMsg) bool {
+// postCtrl delivers a control injection unless the lane is wedged.
+func (l *lane) postCtrl(c ctrlMsg) bool {
 	select {
-	case n.ctrl <- c:
+	case l.ctrl <- c:
 		return true
 	default:
 		return false
 	}
 }
 
+// bcast fans a control injection out to every data lane; lane 0 calls it
+// to apply node-level transitions (recovery, promotion, re-homing,
+// departure) to the whole node. Best-effort like any postCtrl.
+func (l *lane) bcast(c ctrlMsg) {
+	for _, dl := range l.n.lanes[1:] {
+		dl.postCtrl(c)
+	}
+}
+
+// registerKey and unregisterKey maintain the node-wide key registry
+// behind NodeInfo.Keys; shard ownership itself is per lane.
+func (n *node) registerKey(key int) {
+	n.keyMu.Lock()
+	defer n.keyMu.Unlock()
+	i := sort.SearchInts(n.allKeys, key)
+	if i < len(n.allKeys) && n.allKeys[i] == key {
+		return
+	}
+	n.allKeys = append(n.allKeys, 0)
+	copy(n.allKeys[i+1:], n.allKeys[i:])
+	n.allKeys[i] = key
+}
+
+func (n *node) unregisterKey(key int) {
+	n.keyMu.Lock()
+	defer n.keyMu.Unlock()
+	i := sort.SearchInts(n.allKeys, key)
+	if i < len(n.allKeys) && n.allKeys[i] == key {
+		n.allKeys = append(n.allKeys[:i], n.allKeys[i+1:]...)
+	}
+}
+
+func (n *node) keysSnapshot() []int {
+	n.keyMu.Lock()
+	defer n.keyMu.Unlock()
+	return append([]int(nil), n.allKeys...)
+}
+
 // newMsg builds an outbound message; the transport owns it after Send.
-func (n *node) newMsg(kind proto.Kind, to int) *proto.Message {
+func (l *lane) newMsg(kind proto.Kind, to int) *proto.Message {
 	m := proto.NewMessage()
 	m.Kind = kind
 	m.To = to
-	m.Origin = n.id
+	m.Origin = l.n.id
 	return m
+}
+
+// shard returns the state for one keyed index tree, creating it on first
+// touch: a push or request for a key this node has never seen makes it a
+// participant in that key's tree.
+func (l *lane) shard(key int) *shard {
+	if sh, ok := l.shards[key]; ok {
+		return sh
+	}
+	return l.addShard(key, time.Now())
+}
+
+func (l *lane) addShard(key int, now time.Time) *shard {
+	sh := &shard{
+		key:           key,
+		st:            core.NewState(l.n.id, l.n.isRoot.Load()),
+		lastPushed:    -1,
+		intervalStart: now,
+		kc:            l.n.nw.kc(key),
+	}
+	if l.n.isRoot.Load() {
+		sh.expiry = now.Add(l.n.nw.cfg.TTL)
+	}
+	l.shards[key] = sh
+	l.keys = append(l.keys, key)
+	sort.Ints(l.keys)
+	l.n.registerKey(key)
+	return sh
+}
+
+// dropShard removes one keyed shard (LeaveKey); key 0 never drops.
+func (l *lane) dropShard(key int) {
+	if key == 0 {
+		return
+	}
+	delete(l.shards, key)
+	for i, k := range l.keys {
+		if k == key {
+			l.keys = append(l.keys[:i], l.keys[i+1:]...)
+			break
+		}
+	}
+	l.n.unregisterKey(key)
+}
+
+// getRel and putRel run the pooled retransmit-entry freelist.
+func (l *lane) getRel() *relEntry {
+	if n := len(l.relFree); n > 0 {
+		e := l.relFree[n-1]
+		l.relFree = l.relFree[:n-1]
+		return e
+	}
+	return &relEntry{}
+}
+
+func (l *lane) putRel(e *relEntry) {
+	*e = relEntry{}
+	l.relFree = append(l.relFree, e)
+}
+
+// getRec and putRec run the pooled batch-record freelist; seqs keeps its
+// capacity across reuses.
+func (l *lane) getRec() *batchRec {
+	if n := len(l.recFree); n > 0 {
+		b := l.recFree[n-1]
+		l.recFree = l.recFree[:n-1]
+		return b
+	}
+	return &batchRec{}
+}
+
+func (l *lane) putRec(b *batchRec) {
+	b.seqs = b.seqs[:0]
+	b.deadline = time.Time{}
+	l.recFree = append(l.recFree, b)
 }
 
 // send queues m for this loop iteration's flush, first registering
 // reliable kinds for acknowledgement tracking so a lost message is
 // retransmitted.
-func (n *node) send(m *proto.Message) {
-	if m.To < 0 || m.To == n.id {
+func (l *lane) send(m *proto.Message) {
+	if m.To < 0 || m.To == l.n.id {
 		proto.Release(m)
 		return
 	}
 	if reliableKind(m.Kind) {
-		n.track(m)
+		l.track(m)
 	}
-	n.out(m)
+	l.out(m)
 }
 
 // out bins m by target for the end-of-iteration flush, keeping bins in
 // first-touch order so flushing is deterministic.
-func (n *node) out(m *proto.Message) {
-	bin, ok := n.obBins[m.To]
+func (l *lane) out(m *proto.Message) {
+	bin, ok := l.obBins[m.To]
 	if !ok || len(bin) == 0 {
-		n.obOrder = append(n.obOrder, m.To)
+		l.obOrder = append(l.obOrder, m.To)
 	}
-	n.obBins[m.To] = append(bin, m)
+	l.obBins[m.To] = append(bin, m)
 }
 
 // flush drains the outbox: a lone message to a target goes out bare
@@ -345,12 +562,12 @@ func (n *node) out(m *proto.Message) {
 // envelope — one frame, one syscall, and when any member is reliable one
 // envelope ack settles them all. Retransmissions never pass through here:
 // tick re-sends them bare so they are individually acknowledged.
-func (n *node) flush() {
-	for _, to := range n.obOrder {
-		bin := n.obBins[to]
+func (l *lane) flush() {
+	for _, to := range l.obOrder {
+		bin := l.obBins[to]
 		for len(bin) > 0 {
 			if len(bin) == 1 {
-				n.nw.tr.Send(bin[0])
+				l.n.nw.tr.Send(bin[0])
 				bin = bin[1:]
 				break
 			}
@@ -358,28 +575,29 @@ func (n *node) flush() {
 			if len(chunk) > maxEnvelope {
 				chunk = chunk[:maxEnvelope]
 			}
-			env := n.newMsg(proto.KindBatch, to)
+			env := l.newMsg(proto.KindBatch, to)
 			env.Batch = append(env.Batch, chunk...)
-			var seqs []int64
+			var rec *batchRec
 			for _, m := range chunk {
 				if reliableKind(m.Kind) && m.Seq > 0 {
-					seqs = append(seqs, m.Seq)
+					if rec == nil {
+						rec = l.getRec()
+					}
+					rec.seqs = append(rec.seqs, m.Seq)
 				}
 			}
-			if len(seqs) > 0 {
-				n.relSeq++
-				env.Seq = n.relSeq
-				n.batches[env.Seq] = &batchRec{
-					seqs:     seqs,
-					deadline: time.Now().Add(n.nw.cfg.retransmitDeadline()),
-				}
+			if rec != nil {
+				l.relSeq += l.stride
+				env.Seq = l.relSeq
+				rec.deadline = time.Now().Add(l.n.nw.cfg.retransmitDeadline())
+				l.batches[env.Seq] = rec
 			}
-			n.nw.tr.Send(env)
+			l.n.nw.tr.Send(env)
 			bin = bin[len(chunk):]
 		}
-		n.obBins[to] = n.obBins[to][:0]
+		l.obBins[to] = l.obBins[to][:0]
 	}
-	n.obOrder = n.obOrder[:0]
+	l.obOrder = l.obOrder[:0]
 }
 
 // track assigns m the next reliable sequence number and files a
@@ -390,39 +608,37 @@ func (n *node) flush() {
 // superseded entry's deadline: the clock measures how long the peer has
 // gone without acking, and must not reset just because fresh versions
 // keep coming.
-func (n *node) track(m *proto.Message) {
+func (l *lane) track(m *proto.Message) {
 	now := time.Now()
-	deadline := now.Add(n.nw.cfg.retransmitDeadline())
+	deadline := now.Add(l.n.nw.cfg.retransmitDeadline())
 	if m.Kind == proto.KindPush {
-		for seq, e := range n.unacked {
+		for seq, e := range l.unacked {
 			if e.kind == proto.KindPush && e.to == m.To && e.key == m.Key {
 				if e.deadline.Before(deadline) {
 					deadline = e.deadline
 				}
-				delete(n.unacked, seq)
+				delete(l.unacked, seq)
+				l.putRel(e)
 			}
 		}
 	}
-	if len(n.unacked) >= n.nw.cfg.maxUnacked() {
-		n.nw.stats.giveUps.Add(1)
+	if len(l.unacked) >= l.n.nw.cfg.maxUnacked() {
+		l.n.nw.stats.giveUps.Add(1)
 		return
 	}
-	n.relSeq++
-	m.Seq = n.relSeq
-	backoff := n.nw.cfg.retransmitAfter()
-	n.unacked[n.relSeq] = &relEntry{
-		kind:     m.Kind,
-		to:       m.To,
-		subject:  m.Subject,
-		old:      m.Old,
-		new:      m.New,
-		key:      m.Key,
-		version:  m.Version,
-		expiry:   m.Expiry,
-		retryAt:  now.Add(backoff),
-		deadline: deadline,
-		backoff:  backoff,
-	}
+	l.relSeq += l.stride
+	m.Seq = l.relSeq
+	backoff := l.n.nw.cfg.retransmitAfter()
+	e := l.getRel()
+	e.kind = m.Kind
+	e.to = m.To
+	e.subject, e.old, e.new = m.Subject, m.Old, m.New
+	e.key = m.Key
+	e.version, e.expiry = m.Version, m.Expiry
+	e.retryAt = now.Add(backoff)
+	e.deadline = deadline
+	e.backoff = backoff
+	l.unacked[l.relSeq] = e
 }
 
 // timeToUnix and unixToTime convert between the node's monotonic-friendly
@@ -441,13 +657,18 @@ func unixToTime(f float64) time.Time {
 	return time.Unix(0, int64(f*1e9))
 }
 
-// run is the node's goroutine body.
-func (n *node) run() {
+// run is one lane's goroutine body. Lane 0 additionally runs the
+// node-level fabric: the initial join announcement, keep-alives and
+// failure detection happen there.
+func (l *lane) run() {
+	n := l.n
 	defer n.nw.wg.Done()
 	now := time.Now()
-	n.lastAck = now
-	for _, k := range n.keys {
-		sh := n.shards[k]
+	if l.idx == 0 {
+		n.sawParentAck(now)
+	}
+	for _, k := range l.keys {
+		sh := l.shards[k]
 		sh.intervalStart = now
 		// A recovered authority enters with its pre-crash version already
 		// adopted; only a genuinely fresh root starts the schedule at zero.
@@ -456,95 +677,113 @@ func (n *node) run() {
 			sh.expiry = now.Add(n.nw.cfg.TTL)
 		}
 	}
-	if n.announce {
+	if l.idx == 0 && n.announce {
 		n.announce = false
-		n.sendJoin()
+		l.sendJoin()
 	}
-	n.record()
-	n.flush()
+	l.record()
+	l.flush()
 	tick := time.NewTicker(n.nw.cfg.KeepAliveEvery)
 	defer tick.Stop()
 	for {
 		select {
 		case <-n.quit:
-			n.drain()
+			l.drain()
 			return
-		case m := <-n.inbox:
+		case m := <-l.inbox:
 			if n.dead.Load() {
 				proto.Release(m) // raced in just before death
 				continue
 			}
-			n.handle(m)
-			n.record()
-		case c := <-n.ctrl:
-			n.control(c)
-			n.record()
+			l.handleMsg(m, false)
+			l.record()
+		case c := <-l.ctrl:
+			l.control(c)
+			l.record()
 		case <-tick.C:
 			if !n.dead.Load() {
-				n.tick(time.Now())
-				n.record()
+				l.tick(time.Now())
+				l.record()
 			}
 		}
-		n.flush()
+		l.flush()
 	}
 }
 
 // stop closes the quit channel exactly once: Leave and Network.Stop can
-// race to shut the same node down.
+// race to shut the same node down. Every lane watches it.
 func (n *node) stop() {
 	n.stopOnce.Do(func() { close(n.quit) })
 }
 
-// tick runs the periodic work: the per-key authority refresh schedule,
-// keep-alives with parent-death detection, child-death detection, and the
-// interest-loss policy at interval boundaries.
-func (n *node) tick(now time.Time) {
+// tick runs one lane's periodic work: the authority refresh schedule and
+// interest-loss policy for the lane's shards, retransmits for its
+// reliable queue — plus, on lane 0 only, keep-alives with parent-death
+// detection, child-death detection and suspicion expiry. Data lanes flush
+// their peer-observation digest to lane 0 instead.
+func (l *lane) tick(now time.Time) {
+	n := l.n
 	cfg := n.nw.cfg
 	if n.isRoot.Load() {
-		for _, k := range n.keys {
-			sh := n.shards[k]
+		for _, k := range l.keys {
+			sh := l.shards[k]
 			if now.After(sh.expiry.Add(-cfg.Lead)) {
 				sh.version++
 				sh.expiry = now.Add(cfg.TTL)
-				n.pushOut(sh, sh.version, sh.expiry)
+				l.pushOut(sh, sh.version, sh.expiry)
 			}
 		}
-	} else {
+	} else if l.idx == 0 {
 		// Keep-alive to the parent, suppressed while acks are flowing: any
-		// ack from the parent is liveness proof as good as a keep-alive
-		// ack, so a busy link carries no keep-alive frames at all. Declare
-		// the parent dead after the timeout as before.
-		if n.parent >= 0 && now.Sub(n.lastAck) >= cfg.KeepAliveEvery {
+		// ack from the parent — on any lane — is liveness proof as good as
+		// a keep-alive ack, so a busy link carries no keep-alive frames at
+		// all. Declare the parent dead after the timeout as before.
+		parent := n.parent()
+		last := n.lastAck()
+		if parent >= 0 && now.Sub(last) >= cfg.KeepAliveEvery {
 			n.nw.stats.keepAlive.Add(1)
-			n.send(n.newMsg(proto.KindKeepAlive, n.parent))
+			l.send(l.newMsg(proto.KindKeepAlive, parent))
 		}
-		if now.Sub(n.lastAck) > cfg.DeadAfter {
-			n.parentDied(now)
-		}
-	}
-	// Child-death detection (case 2: the upstream virtual-path neighbour
-	// notices and clears the path) — across every keyed tree.
-	for child, seen := range n.childSeen {
-		if now.Sub(seen) > cfg.DeadAfter {
-			delete(n.childSeen, child)
-			n.unsubscribeEverywhere(child)
+		if now.Sub(last) > cfg.DeadAfter {
+			l.parentDied(now)
 		}
 	}
-	// Forget old suspicions so a recovered peer becomes routable again.
-	for id, when := range n.suspects {
-		if now.Sub(when) > 4*cfg.DeadAfter {
-			delete(n.suspects, id)
+	if l.idx == 0 {
+		// Child-death detection (case 2: the upstream virtual-path
+		// neighbour notices and clears the path) — across every keyed tree,
+		// so the splice fans out to the data lanes.
+		for child, seen := range n.childSeen {
+			if now.Sub(seen) > cfg.DeadAfter {
+				delete(n.childSeen, child)
+				l.unsubscribePeer(child)
+				l.bcast(ctrlMsg{kind: cUnsubPeer, peer: child})
+			}
 		}
+		// Forget old suspicions so a recovered peer becomes routable again.
+		for id, when := range n.suspects {
+			if now.Sub(when) > 4*cfg.DeadAfter {
+				delete(n.suspects, id)
+			}
+		}
+	} else if len(l.seenPeers) > 0 {
+		peers := make([]int, 0, len(l.seenPeers))
+		for p := range l.seenPeers {
+			peers = append(peers, p)
+		}
+		clear(l.seenPeers)
+		n.lanes[0].postCtrl(ctrlMsg{kind: cAlive, peers: peers})
 	}
 	// Retransmit unacknowledged reliable messages with doubling backoff;
 	// at the deadline give up and escalate exactly like a keep-alive miss.
 	// Retransmissions go out bare (not through the coalescer) so the
 	// receiver acks them individually.
-	for seq, e := range n.unacked {
+	for seq, e := range l.unacked {
 		if now.After(e.deadline) {
-			delete(n.unacked, seq)
+			delete(l.unacked, seq)
 			n.nw.stats.giveUps.Add(1)
-			n.escalate(e.to, now)
+			to := e.to
+			l.putRel(e)
+			l.escalate(to, now)
 			continue
 		}
 		if now.After(e.retryAt) {
@@ -555,7 +794,7 @@ func (n *node) tick(now time.Time) {
 			e.retryAt = now.Add(e.backoff)
 			n.nw.stats.retransmits.Add(1)
 			n.nw.stats.retransmitsByKind[e.kind].Add(1)
-			m := n.newMsg(e.kind, e.to)
+			m := l.newMsg(e.kind, e.to)
 			m.Seq = seq
 			m.Subject, m.Old, m.New = e.subject, e.old, e.new
 			m.Key = e.key
@@ -564,154 +803,246 @@ func (n *node) tick(now time.Time) {
 		}
 	}
 	// Settled or abandoned batch envelopes.
-	for seq, b := range n.batches {
+	for seq, b := range l.batches {
 		if now.After(b.deadline) {
-			delete(n.batches, seq)
+			delete(l.batches, seq)
+			l.putRec(b)
 		}
 	}
 	// Abandoned queries: the caller timed out long ago.
-	for seq, p := range n.pending {
+	for seq, p := range l.pending {
 		if now.After(p.expires) {
-			delete(n.pending, seq)
+			delete(l.pending, seq)
 		}
 	}
 	// Interval boundary per key: interest loss (Figure 3 D).
-	for _, k := range n.keys {
-		sh := n.shards[k]
+	for _, k := range l.keys {
+		sh := l.shards[k]
 		if now.Sub(sh.intervalStart) >= cfg.TTL {
 			if sh.st.Interested() && sh.count <= cfg.Threshold {
-				n.emit(sh, sh.st.LoseInterest())
+				l.emit(sh, sh.st.LoseInterest())
 			}
 			sh.count = 0
 			sh.intervalStart = now
 		}
 	}
-	n.maybeFinishLeave()
+	l.maybeFinishLeave()
 }
 
 // suspected is the node's local failure-detector verdict, consulted by the
-// directory when picking a replacement ancestor.
+// directory when picking a replacement ancestor (on lane 0's goroutine).
 func (n *node) suspected(id int) bool {
 	_, ok := n.suspects[id]
 	return ok
 }
 
-// unsubscribeEverywhere clears a dead peer out of every keyed tree it
-// subscribed to on this node.
-func (n *node) unsubscribeEverywhere(id int) {
-	for _, k := range n.keys {
-		sh := n.shards[k]
+// unsubscribePeer clears a dead or departed peer out of every keyed tree
+// it subscribed to on this lane.
+func (l *lane) unsubscribePeer(id int) {
+	for _, k := range l.keys {
+		sh := l.shards[k]
 		if sh.st.Contains(id) {
-			n.emit(sh, sh.st.HandleUnsubscribe(id))
+			l.emit(sh, sh.st.HandleUnsubscribe(id))
 		}
 	}
 }
 
 // escalate reacts to a peer that stopped acknowledging reliable
-// messages: treat it exactly like a keep-alive miss. A dead parent
-// re-homes the node (cases 3/4/5); a dead DUP-tree neighbour is
-// unsubscribed so the subscriber lists match the repaired trees (case 2).
-func (n *node) escalate(to int, now time.Time) {
+// messages: treat it exactly like a keep-alive miss. On lane 0 that runs
+// the full repair (a dead parent re-homes the node, cases 3/4/5; a dead
+// DUP-tree neighbour is unsubscribed, case 2). A data lane splices the
+// peer out of its own shards and reports the suspicion to lane 0, which
+// owns the node-level verdict.
+func (l *lane) escalate(to int, now time.Time) {
+	n := l.n
+	if l.idx != 0 {
+		l.unsubscribePeer(to)
+		n.lanes[0].postCtrl(ctrlMsg{kind: cSuspect, peer: to})
+		return
+	}
 	n.suspects[to] = now
-	if to == n.parent {
-		n.parentDied(now)
+	if to == n.parent() {
+		l.parentDied(now)
 		return
 	}
 	delete(n.childSeen, to)
-	n.unsubscribeEverywhere(to)
+	l.unsubscribePeer(to)
+	l.bcast(ctrlMsg{kind: cUnsubPeer, peer: to})
 }
 
-// parentDied repairs after a keep-alive timeout: re-home under the nearest
-// believed-alive ancestor (the underlying DHT's routing repair),
-// re-announce any virtual path per keyed tree (cases 3/4), or take over as
-// authority when no root is left (case 5).
-func (n *node) parentDied(now time.Time) {
-	n.lastAck = now // do not re-trigger while repairing
-	if n.parent >= 0 {
-		n.suspects[n.parent] = now
+// onSuspect is lane 0's half of a data lane's escalation.
+func (l *lane) onSuspect(peer int, now time.Time) {
+	n := l.n
+	n.suspects[peer] = now
+	if peer == n.parent() {
+		l.parentDied(now)
+		return
+	}
+	delete(n.childSeen, peer)
+	l.unsubscribePeer(peer)
+	l.bcast(ctrlMsg{kind: cUnsubPeer, peer: peer})
+}
+
+// parentDied repairs after a keep-alive timeout (lane 0): re-home under
+// the nearest believed-alive ancestor (the underlying DHT's routing
+// repair), re-announce any virtual path per keyed tree (cases 3/4), or
+// take over as authority when no root is left (case 5). Data lanes follow
+// through cReparent or cRootLane.
+func (l *lane) parentDied(now time.Time) {
+	n := l.n
+	n.sawParentAck(now) // do not re-trigger while repairing
+	old := n.parent()
+	if old >= 0 {
+		n.suspects[old] = now
 		// Abandon reliable messages aimed at the dead parent: re-homing
 		// re-announces the virtual path, which supersedes them.
-		for seq, e := range n.unacked {
-			if e.to == n.parent {
-				delete(n.unacked, seq)
-			}
-		}
+		l.dropUnackedTo(old)
 	}
 	newParent := n.nw.dir.AliveAncestor(n.id, n.suspected)
 	if newParent == -1 || newParent == n.id {
 		if n.nw.dir.Promote(n.id) {
-			n.becomeRoot(now)
+			l.becomeRoot(now, old)
 		}
 		return
 	}
-	n.parent = newParent
+	n.setParent(newParent)
 	n.nw.dir.SetParent(n.id, newParent)
-	for _, k := range n.keys {
-		sh := n.shards[k]
-		if sh.st.OnVirtualPath() {
-			n.nw.stats.subscribes.Add(1)
-			sh.kc.subscribes.Add(1)
-			m := n.newMsg(proto.KindSubscribe, newParent)
-			m.Key = k
-			m.Subject = sh.st.Representative()
-			n.send(m)
+	l.reannounce(newParent)
+	l.bcast(ctrlMsg{kind: cReparent, parent: newParent, peer: old})
+}
+
+// dropUnackedTo abandons every reliable message queued for one peer.
+func (l *lane) dropUnackedTo(to int) {
+	for seq, e := range l.unacked {
+		if e.to == to {
+			delete(l.unacked, seq)
+			l.putRel(e)
 		}
 	}
 }
 
-// becomeRoot is case 5: this node takes over the failed authority's
-// indexes (every key) with refreshed information and resumes update
-// propagation.
-func (n *node) becomeRoot(now time.Time) {
-	n.parent = -1
+// reannounce re-subscribes this lane's virtual paths under a new parent.
+func (l *lane) reannounce(parent int) {
+	if parent < 0 {
+		return
+	}
+	for _, k := range l.keys {
+		sh := l.shards[k]
+		if sh.st.OnVirtualPath() {
+			l.n.nw.stats.subscribes.Add(1)
+			sh.kc.subscribes.Add(1)
+			m := l.newMsg(proto.KindSubscribe, parent)
+			m.Key = k
+			m.Subject = sh.st.Representative()
+			l.send(m)
+		}
+	}
+}
+
+// onReparent is a data lane's half of re-homing: lane 0 already updated
+// the parent atomically, so drop the queue aimed at the old parent and
+// re-announce this lane's virtual paths to the new one.
+func (l *lane) onReparent(parent, old int) {
+	if old >= 0 {
+		l.dropUnackedTo(old)
+	}
+	l.reannounce(parent)
+}
+
+// becomeRoot is case 5 (lane 0): this node takes over the failed
+// authority's indexes (every key, every lane) with refreshed information
+// and resumes update propagation.
+func (l *lane) becomeRoot(now time.Time, old int) {
+	n := l.n
+	n.setParent(-1)
 	n.nw.dir.SetParent(n.id, -1)
 	n.isRoot.Store(true)
-	for _, k := range n.keys {
-		sh := n.shards[k]
+	l.rootLane(now, old)
+	l.bcast(ctrlMsg{kind: cRootLane, peer: old})
+}
+
+// rootLane applies a promotion to one lane's shards: refresh every
+// version past any cached copy and push. old (when >= 0) is the dead
+// parent whose queued messages are abandoned.
+func (l *lane) rootLane(now time.Time, old int) {
+	if old >= 0 {
+		l.dropUnackedTo(old)
+	}
+	for _, k := range l.keys {
+		sh := l.shards[k]
 		sh.st.SetRoot(true)
 		if sh.cacheVer > sh.version {
 			sh.version = sh.cacheVer
 		}
 		sh.version++
-		sh.expiry = now.Add(n.nw.cfg.TTL)
-		n.pushOut(sh, sh.version, sh.expiry)
+		sh.expiry = now.Add(l.n.nw.cfg.TTL)
+		l.pushOut(sh, sh.version, sh.expiry)
 	}
 }
 
-// control processes one local injection from the hosting Network.
-func (n *node) control(c ctrlMsg) {
+// control processes one local injection.
+func (l *lane) control(c ctrlMsg) {
 	switch c.kind {
 	case cQuery:
-		n.localQuery(c)
+		l.localQuery(c)
 	case cReset:
-		n.reset(c.parent)
+		l.reset(c.parent)
 	case cBecomeRoot:
-		n.becomeRoot(time.Now())
+		l.becomeRoot(time.Now(), -1)
 	case cInspect:
-		c.info <- n.info(c.key)
+		c.info <- l.info(c.key)
 	case cLeave:
-		n.beginLeave(c)
+		l.beginLeave(c)
 	case cReboot:
-		n.reboot(c.states)
+		l.reboot(c.states)
 	case cJoinKey:
-		n.joinKey(c.key)
+		l.joinKey(c.key)
 	case cLeaveKey:
-		n.leaveKey(c.key)
+		l.leaveKey(c.key)
+	case cResetLane:
+		l.resetLane()
+	case cRootLane:
+		l.rootLane(time.Now(), c.peer)
+	case cReparent:
+		l.onReparent(c.parent, c.peer)
+	case cAdoptLane:
+		l.adoptLane(c.states, c.asRoot)
+	case cLaneLeave:
+		l.leaving = true
+		l.leaveAnnounce()
+		l.maybeFinishLeave()
+	case cPeerJoin:
+		l.onPeerJoin(c.peer)
+	case cUnsubPeer:
+		l.unsubscribePeer(c.peer)
+	case cSuspect:
+		l.onSuspect(c.peer, time.Now())
+	case cAlive:
+		now := time.Now()
+		for _, p := range c.peers {
+			if _, ok := l.n.childSeen[p]; ok {
+				l.n.childSeen[p] = now
+			}
+		}
 	}
 }
 
 // info snapshots one keyed shard's protocol state for Network.Inspect.
-func (n *node) info(key int) NodeInfo {
+// Unacked counts the inspected key's lane only: each lane runs its own
+// reliable queue, and with ShardLoops == 1 (the default) that is the
+// whole node.
+func (l *lane) info(key int) NodeInfo {
+	n := l.n
 	in := NodeInfo{
 		ID:      n.id,
 		Key:     key,
-		Parent:  n.parent,
+		Parent:  n.parent(),
 		IsRoot:  n.isRoot.Load(),
 		Dead:    n.dead.Load(),
-		Keys:    append([]int(nil), n.keys...),
-		Unacked: len(n.unacked),
+		Keys:    n.keysSnapshot(),
+		Unacked: len(l.unacked),
 	}
-	sh, ok := n.shards[key]
+	sh, ok := l.shards[key]
 	if !ok {
 		return in
 	}
@@ -726,20 +1057,21 @@ func (n *node) info(key int) NodeInfo {
 	return in
 }
 
-// drain releases whatever is still parked in the inbox or the unflushed
-// outbox; called on the node goroutine at quit and again by Stop after the
-// goroutine exits (a handler may have raced one last message in).
-func (n *node) drain() {
-	for _, to := range n.obOrder {
-		for _, m := range n.obBins[to] {
+// drain releases whatever is still parked in one lane's inbox or
+// unflushed outbox; called on the lane goroutine at quit and again by
+// Stop after the goroutine exits (a handler may have raced one last
+// message in).
+func (l *lane) drain() {
+	for _, to := range l.obOrder {
+		for _, m := range l.obBins[to] {
 			proto.Release(m)
 		}
-		n.obBins[to] = n.obBins[to][:0]
+		l.obBins[to] = l.obBins[to][:0]
 	}
-	n.obOrder = n.obOrder[:0]
+	l.obOrder = l.obOrder[:0]
 	for {
 		select {
-		case m := <-n.inbox:
+		case m := <-l.inbox:
 			proto.Release(m)
 		default:
 			return
@@ -747,9 +1079,12 @@ func (n *node) drain() {
 	}
 }
 
-// handle processes one protocol message arriving from the transport.
-func (n *node) handle(m *proto.Message) {
-	n.handleMsg(m, false)
+// drain drains every lane; Network.Stop calls it after the goroutines
+// have exited.
+func (n *node) drain() {
+	for _, l := range n.lanes {
+		l.drain()
+	}
 }
 
 // handleMsg processes one protocol message; batched members skip the
@@ -757,22 +1092,29 @@ func (n *node) handle(m *proto.Message) {
 // them) but still pass the dedup window. Each case either forwards m
 // (ownership moves back to the transport) or falls through to the final
 // Release.
-func (n *node) handleMsg(m *proto.Message, batched bool) {
+func (l *lane) handleMsg(m *proto.Message, batched bool) {
+	n := l.n
 	if m.Kind == proto.KindBatch {
 		if batched {
 			proto.Release(m) // envelopes never nest
 			return
 		}
-		n.onBatch(m)
+		l.onBatch(m)
 		return
 	}
 	// Any message from a known keep-alive child proves it alive, which is
 	// what lets busy children suppress their keep-alive frames entirely.
-	if _, ok := n.childSeen[m.Origin]; ok {
-		n.childSeen[m.Origin] = time.Now()
+	// Lane 0 owns childSeen; data lanes accumulate origins and digest them
+	// to lane 0 each tick.
+	if l.idx == 0 {
+		if _, ok := n.childSeen[m.Origin]; ok {
+			n.childSeen[m.Origin] = time.Now()
+		}
+	} else {
+		l.seenPeers[m.Origin] = struct{}{}
 	}
 	if m.Kind == proto.KindAck {
-		n.onAck(m)
+		l.onAck(m)
 		proto.Release(m)
 		return
 	}
@@ -786,50 +1128,50 @@ func (n *node) handleMsg(m *proto.Message, batched bool) {
 	// idempotent) and resets the origin's window.
 	if reliableKind(m.Kind) && m.Seq > 0 {
 		nodeJoin := m.Kind == proto.KindJoin && m.Key == 0
-		if n.dedup(m.Origin, m.Seq) && !nodeJoin {
+		if l.dedup(m.Origin, m.Seq) && !nodeJoin {
 			n.nw.stats.dups.Add(1)
 			n.nw.stats.dupsByKind[m.Kind].Add(1)
 			if !batched {
-				n.ackTo(m)
+				l.ackTo(m)
 			}
 			proto.Release(m)
 			return
 		}
 		if !batched {
-			n.ackTo(m)
+			l.ackTo(m)
 		}
 	}
 	switch m.Kind {
 	case proto.KindRequest:
-		n.onRequest(m)
+		l.onRequest(m)
 		return
 	case proto.KindReply:
-		n.onReply(m)
+		l.onReply(m)
 		return
 	case proto.KindPush:
-		n.onPush(m)
+		l.onPush(m)
 	case proto.KindSubscribe:
-		sh := n.shard(m.Key)
-		n.emit(sh, sh.st.HandleSubscribe(m.Subject))
+		sh := l.shard(m.Key)
+		l.emit(sh, sh.st.HandleSubscribe(m.Subject))
 	case proto.KindUnsubscribe:
-		sh := n.shard(m.Key)
-		n.emit(sh, sh.st.HandleUnsubscribe(m.Subject))
+		sh := l.shard(m.Key)
+		l.emit(sh, sh.st.HandleUnsubscribe(m.Subject))
 	case proto.KindSubstitute:
-		sh := n.shard(m.Key)
-		n.emit(sh, sh.st.HandleSubstitute(m.Old, m.New))
+		sh := l.shard(m.Key)
+		l.emit(sh, sh.st.HandleSubstitute(m.Old, m.New))
 	case proto.KindKeepAlive:
 		n.childSeen[m.Origin] = time.Now()
-		n.send(n.newMsg(proto.KindKeepAliveAck, m.Origin))
+		l.send(l.newMsg(proto.KindKeepAliveAck, m.Origin))
 	case proto.KindKeepAliveAck:
-		n.lastAck = time.Now()
+		n.sawParentAck(time.Now())
 		delete(n.suspects, m.Origin)
 	case proto.KindJoin:
-		n.onJoin(m)
+		l.onJoin(m)
 	case proto.KindLeave:
-		n.onLeave(m)
+		l.onLeave(m)
 	case proto.KindState:
-		sh := n.shard(m.Key)
-		n.storeIn(sh, m.Version, unixToTime(m.Expiry))
+		sh := l.shard(m.Key)
+		l.storeIn(sh, m.Version, unixToTime(m.Expiry))
 	}
 	proto.Release(m)
 }
@@ -837,20 +1179,22 @@ func (n *node) handleMsg(m *proto.Message, batched bool) {
 // onBatch unpacks a coalescing envelope: acknowledge the envelope once
 // (settling every reliable member at the sender), then process the
 // members in order. Members are detached before the envelope is released
-// so the pooled envelope cannot take them down with it.
-func (n *node) onBatch(m *proto.Message) {
+// so the pooled envelope cannot take them down with it. Routing by the
+// envelope's strided seq (or its first member) delivered it to the lane
+// that owns every member.
+func (l *lane) onBatch(m *proto.Message) {
 	if m.Seq > 0 {
-		a := n.newMsg(proto.KindAck, m.Origin)
+		a := l.newMsg(proto.KindAck, m.Origin)
 		a.Seq = m.Seq
 		a.Subject = int(proto.KindBatch)
-		n.send(a)
+		l.send(a)
 	}
 	subs := m.Batch
 	m.Batch = m.Batch[:0]
 	for i, sub := range subs {
 		subs[i] = nil
 		if sub != nil {
-			n.handleMsg(sub, true)
+			l.handleMsg(sub, true)
 		}
 	}
 	proto.Release(m)
@@ -859,156 +1203,183 @@ func (n *node) onBatch(m *proto.Message) {
 // onJoin adopts a joining (or recovering) child into the keep-alive
 // fabric and answers with best-effort state transfers, so the joiner
 // holds servable index copies without waiting out a TTL of misses. A
-// node-level join (key 0) resets the origin's incarnation and transfers
-// every key's state; a key-scoped join transfers just that key.
-func (n *node) onJoin(m *proto.Message) {
+// node-level join (key 0, always lane 0) resets the origin's incarnation
+// and transfers every key's state — the data lanes theirs via cPeerJoin;
+// a key-scoped join transfers just that key.
+func (l *lane) onJoin(m *proto.Message) {
 	now := time.Now()
-	n.childSeen[m.Origin] = now
-	delete(n.suspects, m.Origin)
+	n := l.n
+	if l.idx == 0 {
+		n.childSeen[m.Origin] = now
+		delete(n.suspects, m.Origin)
+	}
 	if m.Key != 0 {
-		if sh, ok := n.shards[m.Key]; ok {
-			n.transferState(sh, m.Origin, now)
+		if sh, ok := l.shards[m.Key]; ok {
+			l.transferState(sh, m.Origin, now)
 		}
 		return
 	}
 	// A join starts the origin's incarnation afresh: drop the dedup window
 	// its predecessor filled, so the newcomer's messages can never be
 	// absorbed as duplicates of messages it never sent.
-	delete(n.seen, m.Origin)
-	for _, k := range n.keys {
-		n.transferState(n.shards[k], m.Origin, now)
+	delete(l.seen, m.Origin)
+	for _, k := range l.keys {
+		l.transferState(l.shards[k], m.Origin, now)
+	}
+	l.bcast(ctrlMsg{kind: cPeerJoin, peer: m.Origin})
+}
+
+// onPeerJoin is a data lane's half of a node-level join: reset the
+// peer's dedup window for this lane's seq stream and transfer this
+// lane's keys.
+func (l *lane) onPeerJoin(peer int) {
+	now := time.Now()
+	delete(l.seen, peer)
+	for _, k := range l.keys {
+		l.transferState(l.shards[k], peer, now)
 	}
 }
 
 // transferState sends one key's valid index copy to a joiner.
-func (n *node) transferState(sh *shard, to int, now time.Time) {
-	v, exp, ok := n.valid(sh, now)
+func (l *lane) transferState(sh *shard, to int, now time.Time) {
+	v, exp, ok := l.valid(sh, now)
 	if !ok {
 		return
 	}
-	s := n.newMsg(proto.KindState, to)
+	s := l.newMsg(proto.KindState, to)
 	s.Key = sh.key
 	s.Version = v
 	s.Expiry = timeToUnix(exp)
-	n.send(s)
+	l.send(s)
 }
 
 // onLeave handles a peer's departure announcement. A key-scoped leave
 // splices the departing node out of that key's subscriber list only —
 // substitute its remaining representative (Figure 3 C) or unsubscribe the
-// branch (Figure 3 E). A node-level leave (key 0) additionally retires the
-// origin from the keep-alive fabric; from the parent it triggers immediate
-// re-homing — the same repair a keep-alive death would cause, minus the
-// detection delay. A departing multi-key node sends one leave per key,
-// key 0 last, so the per-key splices land before the node-level effects.
-func (n *node) onLeave(m *proto.Message) {
+// branch (Figure 3 E). A node-level leave (key 0, always lane 0)
+// additionally retires the origin from the keep-alive fabric; from the
+// parent it triggers immediate re-homing — the same repair a keep-alive
+// death would cause, minus the detection delay. A departing multi-key
+// node sends one leave per key, key 0 last, so the per-key splices land
+// before the node-level effects.
+func (l *lane) onLeave(m *proto.Message) {
 	now := time.Now()
-	if sh, ok := n.shards[m.Key]; ok && sh.st.Contains(m.Origin) {
+	n := l.n
+	if sh, ok := l.shards[m.Key]; ok && sh.st.Contains(m.Origin) {
 		if m.Subject >= 0 && m.Subject != n.id {
-			n.emit(sh, sh.st.HandleSubstitute(m.Origin, m.Subject))
+			l.emit(sh, sh.st.HandleSubstitute(m.Origin, m.Subject))
 		} else {
-			n.emit(sh, sh.st.HandleUnsubscribe(m.Origin))
+			l.emit(sh, sh.st.HandleUnsubscribe(m.Origin))
 		}
 	}
 	if m.Key != 0 {
 		return
 	}
 	delete(n.childSeen, m.Origin)
-	delete(n.seen, m.Origin) // a departed peer's window is dead state
+	delete(l.seen, m.Origin) // a departed peer's window is dead state
 	n.suspects[m.Origin] = now
-	if m.Origin == n.parent {
-		n.parentDied(now)
+	if m.Origin == n.parent() {
+		l.parentDied(now)
 	}
 }
 
 // ackTo acknowledges a reliable message back to its sender.
-func (n *node) ackTo(m *proto.Message) {
-	a := n.newMsg(proto.KindAck, m.Origin)
+func (l *lane) ackTo(m *proto.Message) {
+	a := l.newMsg(proto.KindAck, m.Origin)
 	a.Seq = m.Seq
 	a.Subject = int(m.Kind)
-	n.send(a)
+	l.send(a)
 }
 
-// dedup records the (origin, seq) pair and reports a duplicate.
-func (n *node) dedup(origin int, seq int64) bool {
-	w := n.seen[origin]
+// dedup records the (origin, seq) pair and reports a duplicate. Windows
+// are per lane: with strided seq streams each lane only ever sees the
+// slice of an origin's seqs congruent to its own index.
+func (l *lane) dedup(origin int, seq int64) bool {
+	w := l.seen[origin]
 	if w == nil {
-		w = &seqWindow{seen: map[int64]struct{}{}, limit: n.nw.cfg.dedupWindow()}
-		n.seen[origin] = w
+		w = &seqWindow{seen: map[int64]struct{}{}, limit: l.n.nw.cfg.dedupWindow()}
+		l.seen[origin] = w
 	}
 	return w.observe(seq)
 }
 
 // settle removes one reliable message from the retransmit queue if origin
 // is the peer it was sent to, counting the ack.
-func (n *node) settle(seq int64, origin int) bool {
-	e, ok := n.unacked[seq]
+func (l *lane) settle(seq int64, origin int) bool {
+	e, ok := l.unacked[seq]
 	if !ok || e.to != origin {
 		return false
 	}
-	delete(n.unacked, seq)
-	n.nw.stats.acks.Add(1)
-	n.nw.stats.acksByKind[e.kind].Add(1)
+	delete(l.unacked, seq)
+	l.n.nw.stats.acks.Add(1)
+	l.n.nw.stats.acksByKind[e.kind].Add(1)
+	l.putRel(e)
 	return true
 }
 
 // onAck settles reliable messages: the peer has them. A batch-envelope
 // ack settles every reliable member the envelope carried in one step. An
 // ack is also a liveness proof at least as good as a keep-alive ack.
-func (n *node) onAck(m *proto.Message) {
+func (l *lane) onAck(m *proto.Message) {
+	n := l.n
 	settled := false
 	if m.Subject == int(proto.KindBatch) {
-		b, ok := n.batches[m.Seq]
+		b, ok := l.batches[m.Seq]
 		if !ok {
 			return
 		}
-		delete(n.batches, m.Seq)
+		delete(l.batches, m.Seq)
 		for _, seq := range b.seqs {
-			if n.settle(seq, m.Origin) {
+			if l.settle(seq, m.Origin) {
 				settled = true
 			}
 		}
+		l.putRec(b)
 	} else {
-		settled = n.settle(m.Seq, m.Origin)
+		settled = l.settle(m.Seq, m.Origin)
 	}
 	if !settled {
 		return // late ack for a settled or abandoned message
 	}
-	delete(n.suspects, m.Origin)
-	if m.Origin == n.parent {
-		n.lastAck = time.Now()
+	if l.idx == 0 {
+		delete(n.suspects, m.Origin)
 	}
-	n.maybeFinishLeave()
+	if m.Origin == n.parent() {
+		n.sawParentAck(time.Now())
+	}
+	l.maybeFinishLeave()
 }
 
-// sendJoin announces this node to its parent: a reliable KindJoin
-// carrying the membership epoch, answered by per-key state transfers when
-// the parent holds valid copies.
-func (n *node) sendJoin() {
-	if n.parent < 0 {
+// sendJoin announces this node to its parent (lane 0): a reliable
+// KindJoin carrying the membership epoch, answered by per-key state
+// transfers when the parent holds valid copies.
+func (l *lane) sendJoin() {
+	parent := l.n.parent()
+	if parent < 0 {
 		return
 	}
-	m := n.newMsg(proto.KindJoin, n.parent)
-	if dyn, ok := n.nw.dir.(Dynamic); ok {
+	m := l.newMsg(proto.KindJoin, parent)
+	if dyn, ok := l.n.nw.dir.(Dynamic); ok {
 		m.Version = int64(dyn.Epoch())
 	}
-	n.send(m)
+	l.send(m)
 }
 
 // joinKey makes this node a participant in one keyed index tree: create
 // the shard and announce it upstream (key-scoped KindJoin, answered by a
 // state transfer when the parent holds a valid copy of that key).
-func (n *node) joinKey(key int) {
-	n.shard(key)
-	if key == 0 || n.parent < 0 {
+func (l *lane) joinKey(key int) {
+	l.shard(key)
+	parent := l.n.parent()
+	if key == 0 || parent < 0 {
 		return
 	}
-	m := n.newMsg(proto.KindJoin, n.parent)
+	m := l.newMsg(proto.KindJoin, parent)
 	m.Key = key
-	if dyn, ok := n.nw.dir.(Dynamic); ok {
+	if dyn, ok := l.n.nw.dir.(Dynamic); ok {
 		m.Version = int64(dyn.Epoch())
 	}
-	n.send(m)
+	l.send(m)
 }
 
 // leaveKey departs one keyed index tree: withdraw interest, tell the
@@ -1017,38 +1388,41 @@ func (n *node) joinKey(key int) {
 // Downstream subscribers of the dropped key self-heal: their queries still
 // route through this node (routing is node-level), and a later push or
 // request for the key lazily recreates the shard.
-func (n *node) leaveKey(key int) {
+func (l *lane) leaveKey(key int) {
 	if key == 0 {
 		return
 	}
-	sh, ok := n.shards[key]
+	sh, ok := l.shards[key]
 	if !ok {
 		return
 	}
 	if sh.st.Interested() {
-		n.emit(sh, sh.st.LoseInterest())
+		l.emit(sh, sh.st.LoseInterest())
 	}
-	if n.parent >= 0 && sh.st.OnVirtualPath() {
+	parent := l.n.parent()
+	if parent >= 0 && sh.st.OnVirtualPath() {
 		rep := -1
-		if subs := sh.st.Subscribers(); len(subs) == 1 && subs[0] != n.id {
+		if subs := sh.st.Subscribers(); len(subs) == 1 && subs[0] != l.n.id {
 			rep = subs[0]
 		}
-		m := n.newMsg(proto.KindLeave, n.parent)
+		m := l.newMsg(proto.KindLeave, parent)
 		m.Key = key
 		m.Subject = rep
-		n.send(m)
+		l.send(m)
 	}
-	n.dropShard(key)
+	l.dropShard(key)
 }
 
-// beginLeave starts a graceful departure: withdraw interest the ordinary
-// way (Figure 3 D), tell the parent how to splice this node out of each
-// keyed subscriber list — key 0 last, because the key-0 leave carries the
-// node-level departure — and tell the keep-alive children to re-home now
-// rather than after a detection timeout. The node keeps running — acking,
-// retransmitting — until its departure announcements are acknowledged;
+// beginLeave starts a graceful departure (lane 0): every lane withdraws
+// interest the ordinary way (Figure 3 D) and tells the parent how to
+// splice this node out of its keyed subscriber lists — lane 0's key-0
+// leave carries the node-level departure and goes last within its lane —
+// and the keep-alive children are told to re-home now rather than after a
+// detection timeout. The node keeps running — acking, retransmitting —
+// until every lane's departure announcements are acknowledged;
 // maybeFinishLeave then signals the waiting Network.Leave.
-func (n *node) beginLeave(c ctrlMsg) {
+func (l *lane) beginLeave(c ctrlMsg) {
+	n := l.n
 	if n.leaving {
 		if c.done != nil {
 			close(c.done)
@@ -1057,92 +1431,156 @@ func (n *node) beginLeave(c ctrlMsg) {
 	}
 	n.leaving = true
 	n.leaveDone = c.done
-	for _, k := range n.keys {
-		sh := n.shards[k]
-		if sh.st.Interested() {
-			n.emit(sh, sh.st.LoseInterest())
+	n.leaveLanes.Store(int32(len(n.lanes)))
+	l.leaving = true
+	for _, dl := range n.lanes[1:] {
+		if !dl.postCtrl(ctrlMsg{kind: cLaneLeave}) {
+			n.laneLeaveDone()
 		}
 	}
-	if n.parent >= 0 {
-		// With exactly one remaining subscriber the parent can substitute
-		// it in place (Figure 3 C). With more, no single node represents
-		// the branch: the parent unsubscribes it and the re-homed children
-		// re-announce their own virtual paths. One leave per key; keys are
-		// sorted ascending and 0 is always present, so iterating in
-		// reverse puts the node-level (key 0) leave last.
-		for i := len(n.keys) - 1; i >= 0; i-- {
-			k := n.keys[i]
-			sh := n.shards[k]
-			if k != 0 && !sh.st.OnVirtualPath() {
-				continue
-			}
-			rep := -1
-			if subs := sh.st.Subscribers(); len(subs) == 1 && subs[0] != n.id {
-				rep = subs[0]
-			}
-			m := n.newMsg(proto.KindLeave, n.parent)
-			m.Key = k
-			m.Subject = rep
-			n.send(m)
-		}
-	}
+	l.leaveAnnounce()
 	for _, child := range c.children {
 		if child == n.id {
 			continue
 		}
-		m := n.newMsg(proto.KindLeave, child)
+		m := l.newMsg(proto.KindLeave, child)
 		m.Subject = -1
-		n.send(m)
+		l.send(m)
 	}
-	n.maybeFinishLeave()
+	l.maybeFinishLeave()
 }
 
-// maybeFinishLeave completes a pending departure once nothing reliable is
-// left unacknowledged (the retransmit deadline bounds how long that can
-// take: give-ups empty the queue too).
-func (n *node) maybeFinishLeave() {
-	if !n.leaving || n.leaveDone == nil || len(n.unacked) != 0 {
+// leaveAnnounce withdraws this lane's interest and announces its per-key
+// departures upstream. With exactly one remaining subscriber the parent
+// can substitute it in place (Figure 3 C). With more, no single node
+// represents the branch: the parent unsubscribes it and the re-homed
+// children re-announce their own virtual paths. One leave per key; keys
+// are sorted ascending and lane 0 always holds key 0, so iterating in
+// reverse puts the node-level (key 0) leave last.
+func (l *lane) leaveAnnounce() {
+	n := l.n
+	for _, k := range l.keys {
+		sh := l.shards[k]
+		if sh.st.Interested() {
+			l.emit(sh, sh.st.LoseInterest())
+		}
+	}
+	parent := n.parent()
+	if parent < 0 {
 		return
 	}
-	close(n.leaveDone)
-	n.leaveDone = nil
+	for i := len(l.keys) - 1; i >= 0; i-- {
+		k := l.keys[i]
+		sh := l.shards[k]
+		if k != 0 && !sh.st.OnVirtualPath() {
+			continue
+		}
+		rep := -1
+		if subs := sh.st.Subscribers(); len(subs) == 1 && subs[0] != n.id {
+			rep = subs[0]
+		}
+		m := l.newMsg(proto.KindLeave, parent)
+		m.Key = k
+		m.Subject = rep
+		l.send(m)
+	}
 }
 
-// reboot models a crash-and-restart: blank in-memory state, then resume
-// from the durable per-key records as a restarted process would. Cold
-// reboots (no records) come back like a plain recovery.
-func (n *node) reboot(states []store.NodeState) {
+// maybeFinishLeave reports this lane's part of a pending departure done
+// once nothing reliable is left unacknowledged (the retransmit deadline
+// bounds how long that can take: give-ups empty the queue too). The last
+// lane to drain closes the waiter's channel.
+func (l *lane) maybeFinishLeave() {
+	if !l.leaving || l.leaveSent || len(l.unacked) != 0 {
+		return
+	}
+	l.leaveSent = true
+	l.n.laneLeaveDone()
+}
+
+func (n *node) laneLeaveDone() {
+	if n.leaveLanes.Add(-1) == 0 && n.leaveDone != nil {
+		close(n.leaveDone)
+	}
+}
+
+// reboot models a crash-and-restart (lane 0): blank in-memory state, then
+// resume from the durable per-key records as a restarted process would.
+// Cold reboots (no records) come back like a plain recovery.
+func (l *lane) reboot(states []store.NodeState) {
+	n := l.n
 	if len(states) > 0 {
-		n.adoptStates(states)
-		n.sendJoin()
+		n.adopt(states, true)
+		l.sendJoin()
 		return
 	}
 	if n.nw.dir.RootID() == n.id {
-		n.becomeRoot(time.Now())
+		l.becomeRoot(time.Now(), -1)
 		return
 	}
-	n.reset(n.nw.dir.Parent(n.id))
-	n.sendJoin()
+	l.reset(n.nw.dir.Parent(n.id))
+	l.sendJoin()
 }
 
-// adoptStates restores durable state recorded by a previous incarnation,
-// one record per key. A still-designated authority resumes its exact
+// adopt restores durable state recorded by a previous incarnation, one
+// record per key. A still-designated authority resumes its exact
 // pre-crash versions with fresh TTLs and immediately re-pushes them
 // (subscribers accept an equal version, so the trees learn the authority
 // is back without a version regression). Any other node re-homes under
 // its recorded parent, adopts its recorded subscriber lists, and
-// re-announces interest upstream per key.
-func (n *node) adoptStates(states []store.NodeState) {
+// re-announces interest upstream per key. Records are partitioned to the
+// lanes that own their keys; at boot (runtime false, no goroutines yet)
+// lanes adopt directly, at runtime lane 0 adopts its own slice and fans
+// the rest out via cAdoptLane.
+func (n *node) adopt(states []store.NodeState, runtime bool) {
 	if len(states) == 0 {
 		return
 	}
-	now := time.Now()
 	// Role and parent are node-level, so every key's record agrees on them.
-	if states[0].IsRoot && n.nw.dir.RootID() == n.id {
-		n.reset(-1)
-		n.isRoot.Store(true)
-		for _, ns := range states {
-			sh := n.shard(ns.Key)
+	asRoot := states[0].IsRoot && n.nw.dir.RootID() == n.id
+	parent := -1
+	if !asRoot {
+		parent = states[0].Parent
+		if parent < 0 || parent == n.id {
+			parent = n.nw.dir.Parent(n.id)
+		}
+	}
+	n.isRoot.Store(asRoot)
+	n.setParent(parent)
+	n.nw.dir.SetParent(n.id, parent)
+	now := time.Now()
+	n.sawParentAck(now)
+	clear(n.childSeen)
+	clear(n.suspects)
+	parts := make([][]store.NodeState, len(n.lanes))
+	for _, ns := range states {
+		li := n.laneForKey(ns.Key).idx
+		parts[li] = append(parts[li], ns)
+	}
+	if !runtime {
+		for i, l := range n.lanes {
+			l.adoptLane(parts[i], asRoot)
+		}
+		return
+	}
+	n.lanes[0].adoptLane(parts[0], asRoot)
+	for i := 1; i < len(n.lanes); i++ {
+		// Every data lane gets the injection even with no records: the
+		// resetLane half still applies.
+		n.lanes[i].postCtrl(ctrlMsg{kind: cAdoptLane, states: parts[i], asRoot: asRoot})
+	}
+}
+
+// adoptLane applies one lane's slice of the durable records: blank the
+// lane, then resume as authority or as subscriber per key.
+func (l *lane) adoptLane(states []store.NodeState, asRoot bool) {
+	n := l.n
+	l.resetLane()
+	now := time.Now()
+	parent := n.parent()
+	for _, ns := range states {
+		sh := l.shard(ns.Key)
+		if asRoot {
 			sh.st.SetRoot(true)
 			for _, s := range ns.Subscribers {
 				if s != n.id {
@@ -1151,17 +1589,9 @@ func (n *node) adoptStates(states []store.NodeState) {
 			}
 			sh.version = ns.Version
 			sh.expiry = now.Add(n.nw.cfg.TTL)
-			n.pushOut(sh, sh.version, sh.expiry)
+			l.pushOut(sh, sh.version, sh.expiry)
+			continue
 		}
-		return
-	}
-	parent := states[0].Parent
-	if parent < 0 || parent == n.id {
-		parent = n.nw.dir.Parent(n.id)
-	}
-	n.reset(parent)
-	for _, ns := range states {
-		sh := n.shard(ns.Key)
 		interested := false
 		for _, s := range ns.Subscribers {
 			if s == n.id {
@@ -1171,16 +1601,16 @@ func (n *node) adoptStates(states []store.NodeState) {
 			sh.st.AdoptSubscriber(s)
 		}
 		if interested {
-			n.emit(sh, sh.st.BecomeInterested())
+			l.emit(sh, sh.st.BecomeInterested())
 		} else if sh.st.OnVirtualPath() && parent >= 0 {
 			// Re-announce the virtual path: the parent may have dropped
 			// this branch while the node was down.
 			n.nw.stats.subscribes.Add(1)
 			sh.kc.subscribes.Add(1)
-			m := n.newMsg(proto.KindSubscribe, parent)
+			m := l.newMsg(proto.KindSubscribe, parent)
 			m.Key = ns.Key
 			m.Subject = sh.st.Representative()
-			n.send(m)
+			l.send(m)
 		}
 		if exp := unixToTime(ns.Expiry); exp.After(now) {
 			sh.haveCopy, sh.cacheVer, sh.cacheExp = true, ns.Version, exp
@@ -1188,18 +1618,21 @@ func (n *node) adoptStates(states []store.NodeState) {
 	}
 }
 
-// record journals the node's durable state when it changed since the last
-// record — one record per keyed shard: the run loop calls it after every
+// record journals the lane's durable state when it changed since the last
+// record — one record per keyed shard: the lane loop calls it after every
 // message, control injection and tick, so the journal tracks parent,
 // role, version and subscriber lists without the protocol paths knowing
 // about persistence.
-func (n *node) record() {
+func (l *lane) record() {
+	n := l.n
 	if n.nw.journal == nil || n.dead.Load() {
 		return
 	}
-	for _, k := range n.keys {
-		sh := n.shards[k]
-		ns := store.NodeState{ID: n.id, Key: k, Parent: n.parent, IsRoot: n.isRoot.Load()}
+	parent := n.parent()
+	isRoot := n.isRoot.Load()
+	for _, k := range l.keys {
+		sh := l.shards[k]
+		ns := store.NodeState{ID: n.id, Key: k, Parent: parent, IsRoot: isRoot}
 		if ns.IsRoot {
 			ns.Version, ns.Expiry = sh.version, timeToUnix(sh.expiry)
 		} else if sh.haveCopy {
@@ -1230,15 +1663,29 @@ func equalInts(a, b []int) bool {
 	return true
 }
 
-// reset blanks the node after recovery and re-homes it under parent.
-// Every keyed shard blanks with it: the underlying process restarted.
-func (n *node) reset(parent int) {
+// reset blanks the node after recovery and re-homes it under parent
+// (lane 0): node-level liveness clears here, every lane blanks its
+// shards — data lanes through cResetLane.
+func (l *lane) reset(parent int) {
+	n := l.n
 	n.isRoot.Store(false)
-	n.parent = parent
+	n.setParent(parent)
 	n.nw.dir.SetParent(n.id, parent)
+	n.sawParentAck(time.Now())
+	clear(n.childSeen)
+	clear(n.suspects)
+	l.resetLane()
+	l.bcast(ctrlMsg{kind: cResetLane})
+}
+
+// resetLane blanks one lane's protocol state: the underlying process
+// restarted. It drops the retransmit queue (those messages described
+// pre-failure state) but keeps the dedup windows and relSeq: peers' seq
+// streams continue across our recovery, and ours must not restart.
+func (l *lane) resetLane() {
 	now := time.Now()
-	for _, k := range n.keys {
-		sh := n.shards[k]
+	for _, k := range l.keys {
+		sh := l.shards[k]
 		sh.st.Reset()
 		sh.st.SetRoot(false)
 		sh.haveCopy = false
@@ -1246,21 +1693,21 @@ func (n *node) reset(parent int) {
 		sh.count = 0
 		sh.intervalStart = now
 	}
-	n.lastAck = now
-	clear(n.childSeen)
-	clear(n.suspects)
-	clear(n.pending)
-	// Drop the retransmit queue (those messages described pre-failure
-	// state) but keep the dedup windows and relSeq: peers' seq streams
-	// continue across our recovery, and ours must not restart.
-	clear(n.unacked)
-	clear(n.batches)
+	clear(l.pending)
+	for seq, e := range l.unacked {
+		delete(l.unacked, seq)
+		l.putRel(e)
+	}
+	for seq, b := range l.batches {
+		delete(l.batches, seq)
+		l.putRec(b)
+	}
 }
 
 // valid reports whether the node can serve one key's index right now,
 // returning the version and expiry it would serve.
-func (n *node) valid(sh *shard, now time.Time) (int64, time.Time, bool) {
-	if n.isRoot.Load() {
+func (l *lane) valid(sh *shard, now time.Time) (int64, time.Time, bool) {
+	if l.n.isRoot.Load() {
 		return sh.version, sh.expiry, true
 	}
 	if sh.haveCopy && now.Before(sh.cacheExp) {
@@ -1271,43 +1718,44 @@ func (n *node) valid(sh *shard, now time.Time) (int64, time.Time, bool) {
 
 // access counts a query arrival on one key and applies the interest-gain
 // policy (Figure 3 A).
-func (n *node) access(sh *shard) {
+func (l *lane) access(sh *shard) {
 	sh.count++
-	if sh.count > n.nw.cfg.Threshold && !sh.st.Interested() && !n.isRoot.Load() {
-		n.emit(sh, sh.st.BecomeInterested())
+	if sh.count > l.n.nw.cfg.Threshold && !sh.st.Interested() && !l.n.isRoot.Load() {
+		l.emit(sh, sh.st.BecomeInterested())
 	}
 }
 
 // localQuery serves a query generated at this node, or sends a request
 // upstream and parks the caller in pending until the reply retraces.
-func (n *node) localQuery(c ctrlMsg) {
-	sh := n.shard(c.key)
-	n.access(sh)
+func (l *lane) localQuery(c ctrlMsg) {
+	n := l.n
+	sh := l.shard(c.key)
+	l.access(sh)
 	n.nw.stats.queries.Add(1)
 	sh.kc.queries.Add(1)
 	now := time.Now()
-	if v, _, ok := n.valid(sh, now); ok {
+	if v, _, ok := l.valid(sh, now); ok {
 		n.nw.stats.localHits.Add(1)
 		sh.kc.localHits.Add(1)
 		c.res <- QueryResult{Version: v, Hops: 0, Local: true}
 		return
 	}
-	n.nextSeq++
-	n.pending[n.nextSeq] = pendingQuery{res: c.res, expires: c.deadline}
-	m := n.newMsg(proto.KindRequest, n.parent)
+	l.nextSeq++
+	l.pending[l.nextSeq] = pendingQuery{res: c.res, expires: c.deadline}
+	m := l.newMsg(proto.KindRequest, n.parent())
 	m.Key = c.key
-	m.Seq = n.nextSeq
+	m.Seq = l.nextSeq
 	m.Hops = 1
 	m.Path = append(m.Path, n.id)
-	n.send(m)
+	l.send(m)
 }
 
 // onRequest serves the query if possible, otherwise forwards it upstream.
-func (n *node) onRequest(m *proto.Message) {
-	sh := n.shard(m.Key)
-	n.access(sh)
+func (l *lane) onRequest(m *proto.Message) {
+	sh := l.shard(m.Key)
+	l.access(sh)
 	now := time.Now()
-	if v, exp, ok := n.valid(sh, now); ok {
+	if v, exp, ok := l.valid(sh, now); ok {
 		// Turn the request into the reply and retrace the path; the origin
 		// completes the waiting query when it arrives.
 		last := len(m.Path) - 1
@@ -1320,30 +1768,30 @@ func (n *node) onRequest(m *proto.Message) {
 		m.Path = m.Path[:last]
 		m.Version = v
 		m.Expiry = timeToUnix(exp)
-		n.send(m)
+		l.send(m)
 		return
 	}
-	if n.isRoot.Load() {
+	if l.n.isRoot.Load() {
 		// The authority always serves; only a mid-fail-over vacuum gets
 		// here, and the query times out and is retried by the caller.
 		proto.Release(m)
 		return
 	}
-	m.Path = append(m.Path, n.id)
+	m.Path = append(m.Path, l.n.id)
 	m.Hops++
-	m.To = n.parent
-	n.send(m)
+	m.To = l.n.parent()
+	l.send(m)
 }
 
 // onReply caches the index and keeps retracing the request path; at the
 // origin it completes the pending query.
-func (n *node) onReply(m *proto.Message) {
-	sh := n.shard(m.Key)
-	n.storeIn(sh, m.Version, unixToTime(m.Expiry))
+func (l *lane) onReply(m *proto.Message) {
+	sh := l.shard(m.Key)
+	l.storeIn(sh, m.Version, unixToTime(m.Expiry))
 	if len(m.Path) == 0 {
-		if p, ok := n.pending[m.Seq]; ok {
-			delete(n.pending, m.Seq)
-			n.nw.stats.queryHops.Add(int64(m.Hops))
+		if p, ok := l.pending[m.Seq]; ok {
+			delete(l.pending, m.Seq)
+			l.n.nw.stats.queryHops.Add(int64(m.Hops))
 			sh.kc.queryHops.Add(int64(m.Hops))
 			p.res <- QueryResult{Version: m.Version, Hops: m.Hops}
 		}
@@ -1353,37 +1801,37 @@ func (n *node) onReply(m *proto.Message) {
 	last := len(m.Path) - 1
 	m.To = m.Path[last]
 	m.Path = m.Path[:last]
-	n.send(m)
+	l.send(m)
 }
 
 // onPush refreshes the key's cache and forwards across that key's DUP
 // tree.
-func (n *node) onPush(m *proto.Message) {
-	sh := n.shard(m.Key)
-	n.nw.stats.pushes.Add(1)
+func (l *lane) onPush(m *proto.Message) {
+	sh := l.shard(m.Key)
+	l.n.nw.stats.pushes.Add(1)
 	sh.kc.pushes.Add(1)
 	exp := unixToTime(m.Expiry)
-	n.storeIn(sh, m.Version, exp)
+	l.storeIn(sh, m.Version, exp)
 	if m.Version > sh.lastPushed {
 		sh.lastPushed = m.Version
-		n.pushOut(sh, m.Version, exp)
+		l.pushOut(sh, m.Version, exp)
 	}
 }
 
 // pushOut sends version v directly to every push target of one key's DUP
 // tree.
-func (n *node) pushOut(sh *shard, v int64, exp time.Time) {
+func (l *lane) pushOut(sh *shard, v int64, exp time.Time) {
 	for _, target := range sh.st.PushTargets() {
-		m := n.newMsg(proto.KindPush, target)
+		m := l.newMsg(proto.KindPush, target)
 		m.Key = sh.key
 		m.Version = v
 		m.Expiry = timeToUnix(exp)
-		n.send(m)
+		l.send(m)
 	}
 }
 
 // storeIn updates one key's cached copy, ignoring stale versions.
-func (n *node) storeIn(sh *shard, v int64, exp time.Time) {
+func (l *lane) storeIn(sh *shard, v int64, exp time.Time) {
 	if sh.haveCopy && v < sh.cacheVer {
 		return
 	}
@@ -1393,28 +1841,29 @@ func (n *node) storeIn(sh *shard, v int64, exp time.Time) {
 }
 
 // emit sends one shard's state-machine actions to the current parent.
-func (n *node) emit(sh *shard, acts []core.Action) {
+func (l *lane) emit(sh *shard, acts []core.Action) {
+	parent := l.n.parent()
 	for _, a := range acts {
 		switch a.Kind {
 		case core.SendSubscribe:
-			n.nw.stats.subscribes.Add(1)
+			l.n.nw.stats.subscribes.Add(1)
 			sh.kc.subscribes.Add(1)
-			m := n.newMsg(proto.KindSubscribe, n.parent)
+			m := l.newMsg(proto.KindSubscribe, parent)
 			m.Key = sh.key
 			m.Subject = a.Subject
-			n.send(m)
+			l.send(m)
 		case core.SendUnsubscribe:
-			m := n.newMsg(proto.KindUnsubscribe, n.parent)
+			m := l.newMsg(proto.KindUnsubscribe, parent)
 			m.Key = sh.key
 			m.Subject = a.Subject
-			n.send(m)
+			l.send(m)
 		case core.SendSubstitute:
-			n.nw.stats.substitutes.Add(1)
+			l.n.nw.stats.substitutes.Add(1)
 			sh.kc.substitutes.Add(1)
-			m := n.newMsg(proto.KindSubstitute, n.parent)
+			m := l.newMsg(proto.KindSubstitute, parent)
 			m.Key = sh.key
 			m.Old, m.New = a.Old, a.New
-			n.send(m)
+			l.send(m)
 		}
 	}
 }

@@ -2,49 +2,65 @@ package perf
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 	"time"
 
 	"dup/internal/live"
-	"dup/internal/topology"
 	"dup/internal/transport"
 )
 
-// liveKeys is how many keyed index trees the live-cluster workload runs.
-// Eight keys refreshing on the same schedule is what gives the send-side
-// coalescer envelopes to build: each authority tick emits one push per
-// key per target, and they all land in the same flush.
-const liveKeys = 8
+// Live-cluster workload shape. The PR 5 harness ran 9 nodes x 8 keys with
+// one sequential driver sleeping between rounds, which measured the
+// driver, not the cluster; this one runs a 48-node tree hosting 32 keyed
+// index trees across 4 shard lanes per node, with one closed-loop query
+// driver per node so every lane of every node carries traffic at once.
+const (
+	liveKeys   = 32
+	liveNodes  = 48
+	liveShards = 4
+	// liveProbeKeys is how many keys the push-to-resolve latency probers
+	// sample; probing every key would turn the probers into the workload.
+	liveProbeKeys = 8
+	// liveMeasure is the steady-state measurement window. Long enough to
+	// span many TTL refresh cycles, short enough that a multi-run Measure
+	// stays interactive.
+	liveMeasure = 2 * time.Second
+)
 
-// liveClusterRun measures the live data plane end to end: a nine-node
+// liveClusterRun measures the live data plane end to end: a 48-node
 // cluster split across three Networks, every inter-Network message
-// crossing a real loopback TCP socket, all liveKeys index trees
-// refreshing and every node kept interested in every key. Events are the
-// protocol messages the cluster processed (queries, pushes, control,
-// acks); FramesPerPush is TCP frames written per push delivered — below 1
-// means the coalescer amortised several protocol messages per frame.
+// crossing a real loopback TCP socket, all liveKeys index trees refreshing
+// and every node kept interested in every key by closed-loop drivers.
+// Events are the protocol messages the cluster processed (queries, pushes,
+// control, acks); FramesPerPush is TCP frames written per push delivered —
+// below 1 means the coalescer amortised several protocol messages per
+// frame. P50/P99 are push-to-resolve latencies: the time from the
+// authority publishing a fresh version to a leaf node resolving it from
+// its own pushed copy.
 func liveClusterRun() (Result, error) { return liveCluster(liveKeys) }
 
 // liveCluster is the workload body, parameterised by key count so the
 // EXPERIMENTS.md key-count sweep can reuse it.
 func liveCluster(liveKeys int) (Result, error) {
-	//        0
-	//      /   \
-	//     1     2
-	//    / \   / \
-	//   3   4 5   6
-	//   |   |
-	//   7   8
-	tree := topology.FromParents([]int{-1, 0, 0, 1, 1, 2, 2, 3, 4})
 	cfg := live.DefaultConfig()
-	cfg.Tree = tree
+	cfg.Nodes = liveNodes
+	cfg.MaxDegree = 4
+	cfg.Seed = 12
 	cfg.TTL = 80 * time.Millisecond
 	cfg.Lead = 20 * time.Millisecond
 	cfg.Threshold = 1
 	cfg.KeepAliveEvery = 20 * time.Millisecond
 	cfg.DeadAfter = 100 * time.Millisecond
 	cfg.Keys = liveKeys
+	cfg.ShardLoops = liveShards
+	tree := cfg.BuildTree()
 
-	hostSets := [][]int{{0, 1, 2}, {3, 4, 5}, {6, 7, 8}}
+	hostSets := make([][]int, 3)
+	for id := 0; id < liveNodes; id++ {
+		i := id * len(hostSets) / liveNodes
+		hostSets[i] = append(hostSets[i], id)
+	}
 	tcps := make([]*transport.TCP, len(hostSets))
 	for i := range hostSets {
 		tr, err := transport.NewTCP(transport.TCPConfig{
@@ -94,27 +110,33 @@ func liveCluster(liveKeys int) (Result, error) {
 			nw.Stop()
 		}
 	}()
-	netOf := func(id int) *live.Network {
-		for i, hosts := range hostSets {
-			for _, h := range hosts {
-				if h == id {
-					return nets[i]
-				}
-			}
+	netBy := make([]*live.Network, liveNodes)
+	for i, hosts := range hostSets {
+		for _, id := range hosts {
+			netBy[id] = nets[i]
 		}
-		return nil
 	}
 
 	// Warm up: every node crosses the interest threshold on every key, so
 	// each keyed DUP tree spans the full cluster and authority refreshes
-	// push along every edge.
-	for key := 0; key < liveKeys; key++ {
-		for id := 1; id < tree.N(); id++ {
-			for i := 0; i <= cfg.Threshold+1; i++ {
-				netOf(id).QueryKey(id, key, time.Second)
+	// push along every edge. One goroutine per node, each starting at a
+	// different key, so the subscription flux spreads across lanes instead
+	// of stampeding key by key.
+	var wwg sync.WaitGroup
+	for id := 1; id < liveNodes; id++ {
+		wwg.Add(1)
+		go func(id int) {
+			defer wwg.Done()
+			for o := 0; o < liveKeys; o++ {
+				key := (id*7 + o) % liveKeys
+				h := netBy[id].Key(key)
+				for i := 0; i <= cfg.Threshold+1; i++ {
+					h.Query(id, time.Second)
+				}
 			}
-		}
+		}(id)
 	}
+	wwg.Wait()
 
 	// Measure from here: the warmup's subscription flux is connection
 	// setup, not steady state.
@@ -127,19 +149,85 @@ func liveCluster(liveKeys int) (Result, error) {
 		statsBase[i] = nw.Stats()
 	}
 
-	// Steady state: a query per (node, key) every 25 ms keeps every shard
-	// above the interest threshold (almost all are local hits, so the wire
-	// carries mostly push traffic) while the authority refreshes all
-	// liveKeys trees every TTL.
-	deadline := time.Now().Add(time.Second)
-	for time.Now().Before(deadline) {
-		for key := 0; key < liveKeys; key++ {
-			for id := 0; id < tree.N(); id++ {
-				netOf(id).QueryKey(id, key, 100*time.Millisecond)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Steady state: one closed-loop driver per node cycling through the
+	// keys with no think time. After warmup almost every query is a local
+	// hit against the node's pushed copy, so the wire carries mostly push
+	// traffic while the drivers exercise the sharded receive loops.
+	for id := 0; id < liveNodes; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			nw := netBy[id]
+			key := id % liveKeys
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				nw.Key(key).Query(id, 100*time.Millisecond)
+				key++
+				if key == liveKeys {
+					key = 0
+				}
 			}
-		}
-		time.Sleep(25 * time.Millisecond)
+		}(id)
 	}
+
+	// Push-to-resolve probers: for a few sampled keys, watch the authority
+	// publish fresh versions (local query at the root) and stamp the moment
+	// a deep leaf first resolves each one from its own copy. The leaf's
+	// copy only advances when a push lands, so the gap is propagation
+	// latency through the keyed tree, not query latency.
+	probeKeys := liveProbeKeys
+	if probeKeys > liveKeys {
+		probeKeys = liveKeys
+	}
+	leaf := liveNodes - 1
+	latCh := make(chan time.Duration, 1024)
+	for p := 0; p < probeKeys; p++ {
+		wg.Add(1)
+		go func(key int) {
+			defer wg.Done()
+			hRoot := netBy[0].Key(key)
+			hLeaf := netBy[leaf].Key(key)
+			rootSeen := map[int64]time.Time{}
+			var lastRoot, lastLeaf int64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if r, err := hRoot.Query(0, 50*time.Millisecond); err == nil && r.Version > lastRoot {
+					lastRoot = r.Version
+					rootSeen[r.Version] = time.Now()
+				}
+				if r, err := hLeaf.Query(leaf, 50*time.Millisecond); err == nil && r.Version > lastLeaf {
+					lastLeaf = r.Version
+					if t0, ok := rootSeen[r.Version]; ok {
+						select {
+						case latCh <- time.Since(t0):
+						default:
+						}
+					}
+					for v := range rootSeen {
+						if v <= r.Version {
+							delete(rootSeen, v)
+						}
+					}
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}(p)
+	}
+
+	time.Sleep(liveMeasure)
+	close(stop)
+	wg.Wait()
 
 	var frames int64
 	for _, tr := range tcps {
@@ -158,8 +246,19 @@ func liveCluster(liveKeys int) (Result, error) {
 	if pushes == 0 {
 		return Result{}, fmt.Errorf("live-cluster: no pushes flowed during the measurement window")
 	}
-	return Result{
+	close(latCh)
+	var lats []time.Duration
+	for d := range latCh {
+		lats = append(lats, d)
+	}
+	res := Result{
 		Events:        events,
 		FramesPerPush: float64(frames) / float64(pushes),
-	}, nil
+	}
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		res.P50Latency = lats[len(lats)/2]
+		res.P99Latency = lats[len(lats)*99/100]
+	}
+	return res, nil
 }

@@ -56,6 +56,12 @@ type Result struct {
 	Events        uint64
 	SimSec        float64
 	FramesPerPush float64
+	// P50Latency/P99Latency are push-to-resolve propagation latencies for
+	// workloads that measure them (zero elsewhere): the time from an
+	// authority publishing a fresh version to a distant node resolving it
+	// from its own pushed copy.
+	P50Latency time.Duration
+	P99Latency time.Duration
 }
 
 // run executes the workload once.
@@ -191,7 +197,12 @@ type Sample struct {
 	// FramesPerPush is wire frames sent per push delivered, for workloads
 	// driving a real transport; below 1 means the send-side coalescer
 	// batched several protocol messages per frame. Omitted elsewhere.
-	FramesPerPush   float64 `json:"frames_per_push,omitempty"`
+	FramesPerPush float64 `json:"frames_per_push,omitempty"`
+	// P50LatencyMS/P99LatencyMS are push-to-resolve latencies in
+	// milliseconds for workloads that measure propagation (the live
+	// cluster); omitted elsewhere.
+	P50LatencyMS    float64 `json:"p50_latency_ms,omitempty"`
+	P99LatencyMS    float64 `json:"p99_latency_ms,omitempty"`
 	BestWallSeconds float64 `json:"best_wall_seconds"`
 	Runs            int     `json:"runs"`
 }
@@ -221,6 +232,8 @@ func Measure(w Workload, runs int) (Sample, error) {
 			s.EventsPerSec = float64(r.Events) / wall
 			s.SimSecPerSec = r.SimSec / wall
 			s.FramesPerPush = r.FramesPerPush
+			s.P50LatencyMS = float64(r.P50Latency) / float64(time.Millisecond)
+			s.P99LatencyMS = float64(r.P99Latency) / float64(time.Millisecond)
 		}
 		if i == 0 || allocs < s.AllocsPerRun {
 			s.AllocsPerRun = allocs

@@ -27,6 +27,13 @@ type PubSubDelivery = dissem.Delivery
 // PubSubEvent is one published datum.
 type PubSubEvent = dissem.Event
 
+// PubSubTopic is a handle on one named topic, obtained from
+// PubSub.Topic(name): Subscribe, Publish, Inbox and the other per-topic
+// operations hang off it, mirroring the live Network's keyed handle, so
+// call sites name the topic once instead of passing the string to every
+// call.
+type PubSubTopic = dissem.Topic
+
 // NewPubSub boots a dissemination platform over an n-node Chord ring.
 func NewPubSub(n int, seed uint64) (*PubSub, error) {
 	return dissem.NewPlatform(n, seed)

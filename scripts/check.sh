@@ -2,8 +2,11 @@
 # check.sh is the one-command pre-commit gate: vet, build, the full test
 # suite under the race detector (with the concurrency-heavy wire,
 # transport, faults, live, store and chaos packages forced uncached), a
-# fixed-seed chaos smoke, a short fuzz smoke of the wire codec, and a
-# quick pass of the performance harness (print-only, so it never mutates
+# fixed-seed chaos smoke, a short fuzz smoke of the wire codec, a grep
+# gate keeping internal callers off the deprecated *Key wrappers, the
+# perf regression guard against the newest BENCH_sim.json entry (run
+# without -race, where its bounds are meaningful), and a quick pass of
+# the performance harness (print-only, so it never mutates
 # BENCH_sim.json).
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -26,6 +29,20 @@ go test -race -count=1 -run 'TestChaosReproducible' ./internal/chaos/
 echo "== fuzz smoke (wire codec) =="
 go test -run '^$' -fuzz 'FuzzDecodeEncode' -fuzztime 5s ./internal/wire/
 go test -run '^$' -fuzz 'FuzzFrameReader' -fuzztime 5s ./internal/wire/
+
+echo "== deprecated *Key wrapper gate =="
+# The Key(k) handle replaced the QueryKey/StatsKey/InspectKey/JoinKey/
+# LeaveKey surface; the wrappers exist only for external compatibility.
+# internal/live may reference them (definitions + the compat test that
+# pins their equivalence) — nowhere else in the repo may call them.
+if grep -rnE '\.(QueryKey|StatsKey|InspectKey|JoinKey|LeaveKey)\(' \
+    --include='*.go' . | grep -v '^\./internal/live/'; then
+  echo "check.sh: deprecated *Key method called outside internal/live — use Network.Key(k)" >&2
+  exit 1
+fi
+
+echo "== perf regression guard (no race, vs newest BENCH_sim.json entry) =="
+go test -count=1 -run 'TestNoRegressionAgainstBaseline' ./internal/perf/
 
 echo "== perf smoke (quick, print-only) =="
 make perf-smoke
