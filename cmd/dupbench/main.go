@@ -114,6 +114,9 @@ func runPerf(runs int, out, label string) error {
 		if s.FramesPerPush > 0 {
 			frames = fmt.Sprintf("  %.3f frames/push", s.FramesPerPush)
 		}
+		if s.FailoverMS > 0 {
+			frames += fmt.Sprintf("  %.0fms failover", s.FailoverMS)
+		}
 		fmt.Printf("%-16s %11.0f events/s  %7d allocs/run  %6.2f allocs/1k-events  %8d B/run%s  (%d runs, best %.3fs)\n",
 			w.ID, s.EventsPerSec, s.AllocsPerRun, s.AllocsPerKEvent, s.BytesPerRun, frames, s.Runs, s.BestWallSeconds)
 	}

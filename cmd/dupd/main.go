@@ -25,6 +25,13 @@
 // directory and, on startup, resumes whatever a previous incarnation
 // recorded there: a restarted authority continues from its pre-crash
 // index version instead of regressing to zero.
+//
+// With -replicas R nodes 0..R-1 form a quorum-replicated authority:
+// the leaseholder's version stream is accepted by a majority before it
+// is exposed, so SIGKILLing the leaseholder's process promotes a
+// follower that serves at or above every version the old one ever
+// answered with. Combine with -state-dir so a restarted quorum member
+// rejoins with its durable accept log intact.
 package main
 
 import (
@@ -75,6 +82,7 @@ func run() int {
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty disables)")
 	flag.IntVar(&cfg.Keys, "keys", cfg.Keys, "keyed index trees per node at boot (0 means 1)")
 	flag.IntVar(&cfg.ShardLoops, "shards", cfg.ShardLoops, "shard lanes per node, keys spread key mod L (identical on every process; 0 means 1)")
+	flag.IntVar(&cfg.Replicas, "replicas", cfg.Replicas, "authority replication factor R: nodes 0..R-1 form the quorum (identical on every process; 0 or 1 disables)")
 	flag.Parse()
 
 	hosts, err := parseIDs(*hostList)
@@ -117,12 +125,14 @@ func run() int {
 	// one record per keyed index tree the node participated in.
 	var st *store.Store
 	var recovered map[int][]store.NodeState
+	var recoveredReplicas map[int][]store.ReplicaState
 	if *stateDir != "" {
 		st, err = store.Open(*stateDir)
 		if err != nil {
 			return fail(fmt.Errorf("-state-dir: %w", err))
 		}
 		recovered = map[int][]store.NodeState{}
+		recoveredReplicas = map[int][]store.ReplicaState{}
 		for _, id := range hosts {
 			states := st.States(id)
 			if len(states) == 0 {
@@ -135,6 +145,17 @@ func run() int {
 			} else {
 				log.Printf("recovered node %d (parent %d, %d subscribers, %d keys)", id, ns.Parent, len(ns.Subscribers), len(states))
 			}
+		}
+		// Replica log state is recovered independently of protocol state:
+		// a restarted quorum member must rejoin with everything it ever
+		// durably accepted, or the quorum-intersection floor is unsound.
+		for _, id := range hosts {
+			rs := st.ReplicaStates(id)
+			if len(rs) == 0 {
+				continue
+			}
+			recoveredReplicas[id] = rs
+			log.Printf("recovered replica log for node %d (%d keys, term %d)", id, len(rs), rs[0].Term)
 		}
 	}
 
@@ -150,7 +171,7 @@ func run() int {
 	// No global liveness oracle exists across processes, so repairs rely on
 	// each node's own keep-alive suspicions.
 	dir := live.NewStaticDirectory(cfg.BuildTree())
-	opts := live.Options{Transport: tr, Directory: dir, Hosts: hosts, Recovered: recovered}
+	opts := live.Options{Transport: tr, Directory: dir, Hosts: hosts, Recovered: recovered, RecoveredReplicas: recoveredReplicas}
 	if st != nil {
 		opts.Journal = st
 	}
@@ -168,6 +189,9 @@ func run() int {
 		deadline = time.After(*runFor)
 	}
 	queryTick, statsTick := ticker(*queryAt >= 0, *queryEvery), ticker(*statsEvery > 0, *statsEvery)
+	// Surface authority changes: fail-over is this daemon's most
+	// consequential event, and scripts assert on these lines.
+	rootTick, lastRoot := ticker(true, 100*time.Millisecond), nw.RootID()
 
 	code := 0
 	for running := true; running; {
@@ -191,6 +215,11 @@ func run() int {
 			log.Printf("query node=%d resolved version=%d hops=%d local=%v", *queryAt, r.Version, r.Hops, r.Local)
 		case <-statsTick:
 			logStats("stats", nw.Stats())
+		case <-rootTick:
+			if r := nw.RootID(); r != lastRoot {
+				log.Printf("authority changed: node %d -> node %d", lastRoot, r)
+				lastRoot = r
+			}
 		}
 	}
 	// Shutdown order matters: stop the protocol first (its nodes write

@@ -9,11 +9,13 @@ import (
 // Flags so `make chaos` can scale the run without recompiling; zero
 // values fall back to DefaultConfig.
 var (
-	flagSeed  = flag.Uint64("chaos.seed", 0, "chaos schedule seed")
-	flagNodes = flag.Int("chaos.nodes", 0, "cluster size")
-	flagSteps = flag.Int("chaos.steps", 0, "schedule steps")
-	flagChurn = flag.Int("chaos.churn", 0, "membership churn percent (-1 disables)")
-	flagKeys  = flag.Int("chaos.keys", 0, "keyed index trees (0 means 1)")
+	flagSeed     = flag.Uint64("chaos.seed", 0, "chaos schedule seed")
+	flagNodes    = flag.Int("chaos.nodes", 0, "cluster size")
+	flagSteps    = flag.Int("chaos.steps", 0, "schedule steps")
+	flagChurn    = flag.Int("chaos.churn", 0, "membership churn percent (-1 disables)")
+	flagKeys     = flag.Int("chaos.keys", 0, "keyed index trees (0 means 1)")
+	flagQuorum   = flag.Bool("chaos.quorum", false, "run the replicated-authority quorum scenario")
+	flagReplicas = flag.Int("chaos.replicas", 0, "authority replication factor (0 means 3 with -chaos.quorum)")
 )
 
 func TestScheduleIsDeterministic(t *testing.T) {
@@ -170,6 +172,89 @@ func TestChaosReproducible(t *testing.T) {
 	}
 }
 
+// goldenSeed7 is the verbatim report of `Run(DefaultConfig with Seed 7)`
+// as produced by the pre-replica harness. The replicated-authority work
+// must not perturb default runs in any way — same schedule, same
+// invariant verdicts, same text, byte for byte. Regenerate only on a
+// deliberate harness change.
+const goldenSeed7 = `chaos seed=7 nodes=12 steps=12 churn=25 members=13 epoch=4
+  step  0: crash 10
+  step  1: loss 20% at 9
+  step  2: leave 2
+  step  3: loss 60% at 11
+  step  4: restart 10
+  step  5: calm 9
+  step  6: kill 1
+  step  7: join 12
+  step  8: loss 50% at 4
+  step  9: revive 1
+  step 10: join 13
+  step 11: crash 7
+  step 12: restart 7
+  step 12: calm 11
+  step 12: calm 4
+invariant convergence      ok   all 13 members reached the authority version within 8 TTLs
+invariant tree-consistency ok   subscriber lists agree with the repaired tree
+invariant no-leak          ok   every pooled message was returned
+PASS
+`
+
+// TestChaosEquivalencePreReplica pins the unreplicated harness to its
+// pre-replica behaviour: a default seed-7 run must reproduce the golden
+// report byte for byte. Together with the wire package's golden frame
+// vectors this is the Replicas=1 equivalence guarantee of the replica
+// subsystem.
+func TestChaosEquivalencePreReplica(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Seed = 7
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.String(); got != goldenSeed7 {
+		t.Fatalf("default seed-7 report drifted from the pre-replica harness:\n--- got\n%s--- want\n%s",
+			got, goldenSeed7)
+	}
+}
+
+// TestChaosQuorumPartition plays the scripted quorum scenario: the
+// leaseholder is partitioned from its quorum mid-push, then killed; the
+// promoted successor must floor its versions above everything the old
+// one served, and no query site may ever see the stream go backwards.
+func TestChaosQuorumPartition(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Seed = 7
+	cfg.Quorum = true
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", rep)
+	if !rep.Passed {
+		t.Fatalf("quorum scenario violated invariants:\n%s", rep)
+	}
+	found := false
+	for _, iv := range rep.Invariants {
+		if iv.Name == "monotone-versions" {
+			found = true
+			if !iv.OK {
+				t.Fatalf("resolved versions regressed across fail-over: %s", iv.Detail)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("quorum run did not report the monotone-versions invariant")
+	}
+	// Two runs of the scripted scenario from the same seed must agree.
+	second, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.String() != rep.String() {
+		t.Fatalf("same seed, different quorum reports:\n--- first\n%s--- second\n%s", rep, second)
+	}
+}
+
 // TestChaosRun is the `make chaos` entry point: one run at whatever scale
 // the -chaos.* flags request, report logged, invariants fatal on failure.
 func TestChaosRun(t *testing.T) {
@@ -189,6 +274,12 @@ func TestChaosRun(t *testing.T) {
 	}
 	if *flagKeys != 0 {
 		cfg.Keys = *flagKeys
+	}
+	if *flagQuorum {
+		cfg.Quorum = true
+	}
+	if *flagReplicas != 0 {
+		cfg.Replicas = *flagReplicas
 	}
 	rep, err := Run(cfg)
 	if err != nil {

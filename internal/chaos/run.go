@@ -34,12 +34,21 @@ type Report struct {
 	Events     []Event
 	Invariants []Invariant
 	Passed     bool
+	// Quorum and Replicas describe the replicated-authority scenario;
+	// they appear in the header only when Quorum is set, so default
+	// reports stay byte-identical to the pre-replica harness.
+	Quorum   bool
+	Replicas int
 }
 
 func (r *Report) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "chaos seed=%d nodes=%d steps=%d churn=%d members=%d epoch=%d\n",
+	fmt.Fprintf(&b, "chaos seed=%d nodes=%d steps=%d churn=%d members=%d epoch=%d",
 		r.Seed, r.Nodes, r.Steps, r.Churn, r.Members, r.Epoch)
+	if r.Quorum {
+		fmt.Fprintf(&b, " replicas=%d quorum", r.Replicas)
+	}
+	b.WriteString("\n")
 	for _, e := range r.Events {
 		fmt.Fprintf(&b, "  %s\n", e)
 	}
@@ -76,6 +85,14 @@ type harness struct {
 	down   map[int]bool
 	rr     int
 	opErr  error
+
+	// Quorum-mode monotonicity audit: the highest version each query
+	// site has resolved per key, and the first observed regression. A
+	// site's resolutions must never go backwards — version order matches
+	// expiry order under a single exposure stream, and the quorum floor
+	// preserves that across fail-over — so any dip is a protocol bug.
+	mono    map[[2]int]int64
+	monoBad string
 }
 
 // liveConfig is the protocol timing a chaos run uses: fast enough that a
@@ -92,6 +109,7 @@ func liveConfig(cfg Config) live.Config {
 		KeepAliveEvery: 25 * time.Millisecond,
 		DeadAfter:      90 * time.Millisecond,
 		Keys:           cfg.Keys,
+		Replicas:       cfg.Replicas,
 		Seed:           cfg.Seed,
 	}
 }
@@ -109,6 +127,9 @@ func newHarness(cfg Config) (*harness, error) {
 		mems:   map[int]*store.Mem{},
 		dir:    live.NewDynDirectory(tree, cfg.MaxDegree),
 		down:   map[int]bool{},
+	}
+	if cfg.Quorum {
+		h.mono = map[[2]int]int64{}
 	}
 	for id := 0; id < cfg.Nodes; id++ {
 		if err := h.spawn(id, []int{id}); err != nil {
@@ -166,7 +187,8 @@ func (h *harness) shutdown() {
 func (h *harness) warmup() {
 	for _, id := range h.hot {
 		for i := 0; i < h.lcfg.Threshold+2; i++ {
-			h.nets[id].Query(id, 500*time.Millisecond)
+			r, err := h.nets[id].Query(id, 500*time.Millisecond)
+			h.sample(id, 0, r, err)
 		}
 	}
 }
@@ -246,17 +268,39 @@ func (h *harness) play(events []Event) {
 func (h *harness) queries() {
 	for _, id := range h.hot {
 		if !h.down[id] {
-			h.nets[id].Query(id, 25*time.Millisecond)
+			r, err := h.nets[id].Query(id, 25*time.Millisecond)
+			h.sample(id, 0, r, err)
 		}
 	}
 	members := h.dir.Members()
 	for i := 0; i < h.cfg.QueriesPerStep && len(members) > 0; i++ {
 		h.rr = (h.rr + 1) % len(members)
 		id := members[h.rr]
+		key := h.rr % h.cfg.Keys
 		if nw := h.nets[id]; nw != nil && !h.down[id] {
-			nw.Key(h.rr%h.cfg.Keys).Query(id, 25*time.Millisecond)
+			r, err := nw.Key(key).Query(id, 25*time.Millisecond)
+			h.sample(id, key, r, err)
 		}
 	}
+}
+
+// sample feeds one query outcome into the quorum-mode monotonicity
+// audit: a site that resolves a version below one it already resolved
+// has witnessed a regression. Errors (mid-fault timeouts) carry no
+// version and are ignored; outside quorum mode sampling is off.
+func (h *harness) sample(id, key int, r live.QueryResult, err error) {
+	if h.mono == nil || err != nil {
+		return
+	}
+	site := [2]int{id, key}
+	if prev, ok := h.mono[site]; ok && r.Version < prev {
+		if h.monoBad == "" {
+			h.monoBad = fmt.Sprintf("node %d resolved key %d at version %d after version %d",
+				id, key, r.Version, prev)
+		}
+		return
+	}
+	h.mono[site] = r.Version
 }
 
 // checkConvergence asserts that, with the faults healed, every current
@@ -290,6 +334,7 @@ func (h *harness) checkConvergence() (bool, string) {
 			}
 			for {
 				r, err := nw.Key(key).Query(id, 200*time.Millisecond)
+				h.sample(id, key, r, err)
 				if err == nil && r.Version >= v0 {
 					break
 				}
@@ -434,16 +479,33 @@ func Run(cfg Config) (*Report, error) {
 	rep := &Report{
 		Seed: cfg.Seed, Nodes: cfg.Nodes, Steps: cfg.Steps, Churn: cfg.Churn,
 		Members: len(h.dir.Members()), Epoch: h.dir.Epoch(), Events: events,
+		Quorum: cfg.Quorum, Replicas: cfg.Replicas,
 	}
 	add := func(name string, ok bool, detail string) {
 		rep.Invariants = append(rep.Invariants, Invariant{Name: name, OK: ok, Detail: detail})
 	}
 	convOK, convDetail := h.checkConvergence()
 	add("convergence", convOK, convDetail)
+	monoOK := true
+	if cfg.Quorum {
+		var monoDetail string
+		monoOK, monoDetail = h.checkMonotone()
+		add("monotone-versions", monoOK, monoDetail)
+	}
 	treeOK, treeDetail := h.checkConsistency()
 	add("tree-consistency", treeOK, treeDetail)
 	leakOK, leakDetail := h.checkLeaks(base)
 	add("no-leak", leakOK, leakDetail)
-	rep.Passed = convOK && treeOK && leakOK
+	rep.Passed = convOK && monoOK && treeOK && leakOK
 	return rep, nil
+}
+
+// checkMonotone reports the quorum-mode monotonicity verdict: across
+// the partition, the kill and the fail-over, no query site ever
+// resolved a version below one it had already resolved.
+func (h *harness) checkMonotone() (bool, string) {
+	if h.monoBad != "" {
+		return false, h.monoBad
+	}
+	return true, "no query site ever resolved a version below one it had already resolved"
 }

@@ -55,6 +55,18 @@ type Config struct {
 	// pre-multi-key harness. With more keys the step queries rotate over
 	// the key space and convergence is checked per key.
 	Keys int
+	// Quorum switches to the replicated-authority scenario: the cluster
+	// runs with Replicas authority replicas, the schedule is the scripted
+	// leader-partition-then-kill sequence (partition the leaseholder from
+	// its quorum mid-push, kill it, heal at the tail), and the report
+	// gains a monotone-versions invariant asserting no query site ever
+	// resolved a version below one it had already resolved — regression-
+	// free fail-over, observed from the outside. Off by default, keeping
+	// default reports byte-identical to the pre-replica harness.
+	Quorum bool
+	// Replicas is the authority replication factor (live.Config.Replicas).
+	// Zero means 3 when Quorum is set, unreplicated otherwise.
+	Replicas int
 }
 
 // DefaultConfig returns a small run that finishes in a few seconds.
@@ -93,6 +105,9 @@ func (c Config) withDefaults() Config {
 	if c.Keys == 0 {
 		c.Keys = 1
 	}
+	if c.Quorum && c.Replicas == 0 {
+		c.Replicas = 3
+	}
 	return c
 }
 
@@ -112,6 +127,10 @@ func (c Config) validate() error {
 		return fmt.Errorf("chaos: need Churn in [-1, 100], got %d", c.Churn)
 	case c.Keys < 1:
 		return fmt.Errorf("chaos: need Keys >= 1, got %d", c.Keys)
+	case c.Replicas < 0 || c.Replicas > c.Nodes:
+		return fmt.Errorf("chaos: need 0 <= Replicas <= Nodes, got %d", c.Replicas)
+	case c.Quorum && c.Replicas < 2:
+		return fmt.Errorf("chaos: quorum scenario needs Replicas >= 2, got %d", c.Replicas)
 	}
 	return nil
 }
@@ -269,6 +288,9 @@ func (s *schedState) repair(step int) (Event, bool) {
 // configuration.
 func Schedule(cfg Config) []Event {
 	cfg = cfg.withDefaults()
+	if cfg.Quorum {
+		return quorumSchedule(cfg)
+	}
 	src := rng.New(cfg.Seed)
 	st := &schedState{
 		nodes:     cfg.Nodes,
@@ -313,6 +335,29 @@ func Schedule(cfg Config) []Event {
 		}
 		events = append(events, e)
 	}
+	return events
+}
+
+// quorumSchedule scripts the replicated-authority fail-over scenario:
+// a third of the way in, the leaseholder (node 0) is partitioned from
+// every other replica-set member — its lease renewals stop reaching a
+// quorum mid-push, so it goes silent within one lease instead of
+// serving on; two thirds in it is killed, so the directory promotes a
+// successor, which must re-floor the version stream through the member
+// quorum it can still reach. The tail heals the partitions and revives
+// the old leaseholder, which rejoins as a follower. The script is a
+// pure function of the configuration, like the seeded schedules.
+func quorumSchedule(cfg Config) []Event {
+	part, kill := cfg.Steps/3, 2*cfg.Steps/3
+	var events []Event
+	for m := 1; m < cfg.Replicas; m++ {
+		events = append(events, Event{Step: part, Op: OpPartition, A: 0, B: m})
+	}
+	events = append(events, Event{Step: kill, Op: OpKill, A: 0})
+	for m := 1; m < cfg.Replicas; m++ {
+		events = append(events, Event{Step: cfg.Steps, Op: OpHeal, A: 0, B: m})
+	}
+	events = append(events, Event{Step: cfg.Steps, Op: OpRevive, A: 0})
 	return events
 }
 

@@ -82,6 +82,17 @@ type Config struct {
 	// cluster must use the same ShardLoops. Zero means 1: one loop per
 	// node, byte-identical behaviour to the unsharded protocol.
 	ShardLoops int
+	// Replicas is how many nodes replicate each key's authority version
+	// stream (nodes 0..Replicas-1, the replica set of every key). With
+	// Replicas R >= 2 the authority holds a quorum lease and appends every
+	// version it exposes to a replicated update log before (or within a
+	// bounded reserve ahead of) quorum acknowledgement, so losing the
+	// authority's disk cannot regress the stream: fail-over floors the new
+	// authority's versions above everything any quorum ever accepted. Zero
+	// or one means no replication — byte-identical on the wire to the
+	// pre-replica protocol. Like Nodes and Seed, every process of a
+	// cluster must use the same Replicas.
+	Replicas int
 	// Seed drives topology generation and latency jitter. Every process
 	// of a multi-process cluster must use the same Seed (and Nodes and
 	// MaxDegree) so they derive the same tree.
@@ -142,6 +153,12 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("live: need Keys >= 0, got %d", c.Keys)
 	case c.ShardLoops < 0:
 		return fmt.Errorf("live: need ShardLoops >= 0, got %d", c.ShardLoops)
+	case c.Replicas < 0:
+		return fmt.Errorf("live: need Replicas >= 0, got %d", c.Replicas)
+	case c.Tree == nil && c.Nodes >= 2 && c.Replicas > c.Nodes:
+		return fmt.Errorf("live: need Replicas <= Nodes, got %d > %d", c.Replicas, c.Nodes)
+	case c.Tree != nil && c.Replicas > c.Tree.N():
+		return fmt.Errorf("live: need Replicas <= tree size, got %d > %d", c.Replicas, c.Tree.N())
 	}
 	return nil
 }
@@ -174,6 +191,14 @@ func (c *Config) inboxDepth() int {
 func (c *Config) keys() int {
 	if c.Keys > 0 {
 		return c.Keys
+	}
+	return 1
+}
+
+// replicas resolves the effective authority replication factor.
+func (c *Config) replicas() int {
+	if c.Replicas > 0 {
+		return c.Replicas
 	}
 	return 1
 }
@@ -296,6 +321,13 @@ type Options struct {
 	// versions, subscribers re-adopt their lists and re-sync via a
 	// join/state-transfer exchange.
 	Recovered map[int][]store.NodeState
+	// RecoveredReplicas seeds hosted replica-set members with the
+	// replicated update log a previous incarnation accepted (one record
+	// per keyed index tree, as recorded by a store.ReplicaJournal). Only
+	// meaningful with Config.Replicas >= 2; a recovering authority
+	// re-runs the quorum promise round before exposing versions, so a
+	// stale or lost log never regresses the stream.
+	RecoveredReplicas map[int][]store.ReplicaState
 }
 
 // Network runs the hosted subset of a live cluster.
@@ -395,6 +427,11 @@ func boot(cfg Config, tree *topology.Tree, tr transport.Transport, dir Directory
 			// state-transfer) once running.
 			n.adopt(states, false)
 			n.announce = true
+		}
+		if rs := opts.RecoveredReplicas[id]; len(rs) > 0 {
+			if g := n.rep.Load(); g != nil {
+				g.Restore(rs)
+			}
 		}
 		nw.hosted[id] = n
 		tr.Register(id, n.handler())

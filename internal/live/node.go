@@ -8,6 +8,7 @@ import (
 
 	"dup/internal/core"
 	"dup/internal/proto"
+	"dup/internal/replica"
 	"dup/internal/store"
 	"dup/internal/transport"
 )
@@ -31,6 +32,7 @@ const (
 
 	cResetLane // lane 0 -> data lane: blank lane state after recovery
 	cRootLane  // lane 0 -> data lane: this node became authority
+	cAbdicate  // lane 0 -> data lane: lost the quorum race; serve as inner node again
 	cReparent  // lane 0 -> data lane: re-homed; drop old parent's queue, re-announce
 	cAdoptLane // lane 0 -> data lane: resume from durable per-key records
 	cLaneLeave // lane 0 -> data lane: graceful departure started
@@ -177,6 +179,14 @@ type node struct {
 	dead   atomic.Bool
 	isRoot atomic.Bool
 
+	// rep is the node's replicated-authority group (Config.Replicas >= 2
+	// only; nil otherwise — the zero-cost off switch). Members carry one
+	// from birth; a non-member carries one from the moment the directory
+	// promotes it. The Group is internally synchronised, so any lane may
+	// Step inbound replica traffic or Bump through it; the pointer itself
+	// is atomic because promotion (lane 0) can race data-lane reads.
+	rep atomic.Pointer[replica.Group]
+
 	// parentV is the routing parent id (-1 for the root), read by every
 	// lane on the send path and written by lane 0 during repair.
 	parentV atomic.Int64
@@ -290,6 +300,9 @@ func newNode(nw *Network, id, parent int) *node {
 	if parent == -1 {
 		n.isRoot.Store(true)
 	}
+	if r := nw.cfg.replicas(); r > 1 && id < r {
+		n.rep.Store(replica.New(n.replicaConfig()))
+	}
 	// Seeding relSeq from the clock keeps seqs unique across process
 	// restarts, so a rebooted peer's fresh stream is not mistaken for
 	// retransmissions of its previous incarnation's. The base is rounded
@@ -321,6 +334,41 @@ func newNode(nw *Network, id, parent int) *node {
 	}
 	n.lanes[0].addShard(0, time.Now())
 	return n
+}
+
+// replicaConfig builds this node's replica-group configuration: the
+// replica set is nodes 0..Replicas-1, the lease runs one TTL (the same
+// freshness horizon as the index itself), and accepted log entries land
+// in the Network's journal when it is replica-capable. With Replicas <=
+// 1 no Group is ever built, so this is only called in replicated mode.
+func (n *node) replicaConfig() replica.Config {
+	r := n.nw.cfg.replicas()
+	members := make([]int, r)
+	for i := range members {
+		members[i] = i
+	}
+	var rj store.ReplicaJournal
+	if j, ok := n.nw.journal.(store.ReplicaJournal); ok {
+		rj = j
+	}
+	return replica.Config{
+		ID:      n.id,
+		Members: members,
+		Lease:   n.nw.cfg.TTL,
+		Journal: rj,
+	}
+}
+
+// replicaKind reports whether k belongs to the replicated-authority
+// quorum protocol; such messages bypass the DUP state machine and step
+// the node's replica group instead.
+func replicaKind(k proto.Kind) bool {
+	switch k {
+	case proto.KindPrepare, proto.KindPromise, proto.KindAccept,
+		proto.KindCommit, proto.KindLease:
+		return true
+	}
+	return false
 }
 
 // parent returns the current routing parent (-1 for the root).
@@ -546,6 +594,13 @@ func (l *lane) send(m *proto.Message) {
 	l.out(m)
 }
 
+// sendAll queues a replica group's outbound messages.
+func (l *lane) sendAll(msgs []*proto.Message) {
+	for _, m := range msgs {
+		l.send(m)
+	}
+}
+
 // out bins m by target for the end-of-iteration flush, keeping bins in
 // first-touch order so flushing is deterministic.
 func (l *lane) out(m *proto.Message) {
@@ -681,6 +736,19 @@ func (l *lane) run() {
 		n.announce = false
 		l.sendJoin()
 	}
+	if l.idx == 0 && n.isRoot.Load() {
+		if g := n.rep.Load(); g != nil {
+			// A fresh cluster's boot root leads term 1 outright (there is
+			// nothing to floor above); a root resuming a recovered log
+			// re-runs the quorum promise round so its floors rise above
+			// every version any quorum ever accepted.
+			if g.Term() == 0 {
+				g.BootLeader()
+			} else if !g.Leading() {
+				l.sendAll(g.StartCandidate(now))
+			}
+		}
+	}
 	l.record()
 	l.flush()
 	tick := time.NewTicker(n.nw.cfg.KeepAliveEvery)
@@ -725,9 +793,28 @@ func (l *lane) tick(now time.Time) {
 	n := l.n
 	cfg := n.nw.cfg
 	if n.isRoot.Load() {
+		rep := n.rep.Load()
 		for _, k := range l.keys {
 			sh := l.shards[k]
 			if now.After(sh.expiry.Add(-cfg.Lead)) {
+				if rep != nil {
+					// Quorum gate: the bump goes through the replicated
+					// log — it may stall (no lease yet, or the reserve
+					// ahead of quorum acknowledgement is exhausted), in
+					// which case the old version keeps serving until its
+					// expiry and the next tick retries; and it may jump
+					// (a fail-over floor), which the stream adopts.
+					exp := now.Add(cfg.TTL)
+					v, msgs, ok := rep.Bump(k, sh.version+1, timeToUnix(exp), now)
+					l.sendAll(msgs)
+					if !ok {
+						continue
+					}
+					sh.version = v
+					sh.expiry = exp
+					l.pushOut(sh, v, exp)
+					continue
+				}
 				sh.version++
 				sh.expiry = now.Add(cfg.TTL)
 				l.pushOut(sh, sh.version, sh.expiry)
@@ -749,6 +836,24 @@ func (l *lane) tick(now time.Time) {
 		}
 	}
 	if l.idx == 0 {
+		// Replica-group periodic work: lease renewal and anti-entropy for
+		// a leader, prepare retransmission for a candidate, commit
+		// watermarks. Followers return nothing. A directory-promoted root
+		// first reconciles its role against the quorum: if someone else
+		// provably holds the lease it abdicates and re-homes under them
+		// (multi-process fail-over can promote one root per process — the
+		// quorum picks the survivor); if its own leadership went stale it
+		// re-elects rather than serving nothing forever.
+		if g := n.rep.Load(); g != nil {
+			if n.isRoot.Load() {
+				if to, ok := g.LeaseHolder(now); ok && to != n.id && !n.suspected(to) {
+					l.abdicate(to, now)
+				} else if g.StaleLeader(now) {
+					l.sendAll(g.StartCandidate(now))
+				}
+			}
+			l.sendAll(g.Tick(now))
+		}
 		// Child-death detection (case 2: the upstream virtual-path
 		// neighbour notices and clears the path) — across every keyed tree,
 		// so the splice fans out to the data lanes.
@@ -957,8 +1062,62 @@ func (l *lane) becomeRoot(now time.Time, old int) {
 	n.setParent(-1)
 	n.nw.dir.SetParent(n.id, -1)
 	n.isRoot.Store(true)
+	if n.nw.cfg.replicas() > 1 {
+		// The new authority must win a quorum promise round before it may
+		// expose versions: promotion floors its streams above everything
+		// any quorum ever accepted. Replica-set members carry their group
+		// from birth; a promoted outsider builds one here and leads from
+		// outside the set (its quorum counts purely among the members).
+		g := n.rep.Load()
+		if g == nil {
+			g = replica.New(n.replicaConfig())
+			n.rep.Store(g)
+		}
+		if !g.Leading() {
+			l.sendAll(g.StartCandidate(now))
+		}
+	}
 	l.rootLane(now, old)
 	l.bcast(ctrlMsg{kind: cRootLane, peer: old})
+}
+
+// abdicate is fail-over's losing side (lane 0): this directory-promoted
+// root lost the quorum race — the replica group proved a live lease held
+// by someone else — so it re-homes under the true leaseholder and goes
+// back to being an inner node. Its subtree keeps resolving through it:
+// whatever it exposed during its own brief lease survives as a cached
+// copy, and the winner's floored stream re-enters through the renewed
+// subscription.
+func (l *lane) abdicate(to int, now time.Time) {
+	n := l.n
+	if g := n.rep.Load(); g != nil {
+		// The abandoned candidacy must not keep escalating terms against
+		// the leader this node is about to adopt.
+		g.StandDown()
+	}
+	n.isRoot.Store(false)
+	n.setParent(to)
+	n.nw.dir.SetParent(n.id, to)
+	n.sawParentAck(now) // fresh keep-alive clock for the new parent
+	delete(n.suspects, to)
+	l.abdicateLane(to, now)
+	l.bcast(ctrlMsg{kind: cAbdicate, parent: to})
+}
+
+// abdicateLane applies an abdication to one lane's shards: back to inner-
+// node serving, with the lost candidacy's exposures preserved as cached
+// copies (per-site monotonicity: this node may never again resolve below
+// a version it served as root).
+func (l *lane) abdicateLane(parent int, now time.Time) {
+	for _, k := range l.keys {
+		sh := l.shards[k]
+		sh.st.SetRoot(false)
+		if sh.version > sh.cacheVer {
+			sh.cacheVer, sh.cacheExp = sh.version, sh.expiry
+			sh.haveCopy = true
+		}
+	}
+	l.reannounce(parent)
 }
 
 // rootLane applies a promotion to one lane's shards: refresh every
@@ -968,11 +1127,20 @@ func (l *lane) rootLane(now time.Time, old int) {
 	if old >= 0 {
 		l.dropUnackedTo(old)
 	}
+	rep := l.n.rep.Load()
 	for _, k := range l.keys {
 		sh := l.shards[k]
 		sh.st.SetRoot(true)
 		if sh.cacheVer > sh.version {
 			sh.version = sh.cacheVer
+		}
+		if rep != nil {
+			// Nothing is exposed or pushed yet: the expired schedule makes
+			// the next tick bump through the replicated log, which floors
+			// the stream above every version the old authority could have
+			// served — the cached version is only a lower-bound hint.
+			sh.expiry = now
+			continue
 		}
 		sh.version++
 		sh.expiry = now.Add(l.n.nw.cfg.TTL)
@@ -1003,6 +1171,8 @@ func (l *lane) control(c ctrlMsg) {
 		l.resetLane()
 	case cRootLane:
 		l.rootLane(time.Now(), c.peer)
+	case cAbdicate:
+		l.abdicateLane(c.parent, time.Now())
 	case cReparent:
 		l.onReparent(c.parent, c.peer)
 	case cAdoptLane:
@@ -1140,6 +1310,17 @@ func (l *lane) handleMsg(m *proto.Message, batched bool) {
 		if !batched {
 			l.ackTo(m)
 		}
+	}
+	if replicaKind(m.Kind) {
+		// Quorum-protocol traffic steps the replica group directly; the
+		// Group is internally synchronised, so whichever lane the keyed
+		// routing delivered to may step it. Nodes with no group (outside
+		// the replica set, never promoted) drop the frame.
+		if g := n.rep.Load(); g != nil {
+			l.sendAll(g.Step(m, time.Now()))
+		}
+		proto.Release(m)
+		return
 	}
 	switch m.Kind {
 	case proto.KindRequest:
@@ -1545,6 +1726,12 @@ func (n *node) adopt(states []store.NodeState, runtime bool) {
 			parent = n.nw.dir.Parent(n.id)
 		}
 	}
+	if g := n.rep.Load(); g != nil && !asRoot {
+		// Resuming as a non-root: drop any pre-crash leadership or
+		// candidacy so a stale high-term incarnation cannot depose the
+		// live authority (same rule as reset).
+		g.StandDown()
+	}
 	n.isRoot.Store(asRoot)
 	n.setParent(parent)
 	n.nw.dir.SetParent(n.id, parent)
@@ -1588,6 +1775,14 @@ func (l *lane) adoptLane(states []store.NodeState, asRoot bool) {
 				}
 			}
 			sh.version = ns.Version
+			if n.rep.Load() != nil {
+				// A replicated authority resuming from disk may hold a
+				// stale (or torn) journal: nothing is served or pushed
+				// until the quorum promise round floors the stream, then
+				// the next tick bumps through the replicated log.
+				sh.expiry = now
+				continue
+			}
 			sh.expiry = now.Add(n.nw.cfg.TTL)
 			l.pushOut(sh, sh.version, sh.expiry)
 			continue
@@ -1668,6 +1863,13 @@ func equalInts(a, b []int) bool {
 // shards — data lanes through cResetLane.
 func (l *lane) reset(parent int) {
 	n := l.n
+	if g := n.rep.Load(); g != nil {
+		// Rejoining as a non-root: any leadership or candidacy this
+		// incarnation held is over. Without this, a revived ex-root whose
+		// partitioned candidacy escalated the term would steal the lease
+		// from the legitimate authority the moment it reconnects.
+		g.StandDown()
+	}
 	n.isRoot.Store(false)
 	n.setParent(parent)
 	n.nw.dir.SetParent(n.id, parent)
@@ -1705,9 +1907,15 @@ func (l *lane) resetLane() {
 }
 
 // valid reports whether the node can serve one key's index right now,
-// returning the version and expiry it would serve.
+// returning the version and expiry it would serve. A replicated
+// authority additionally needs a live quorum lease and an unexpired
+// version: a promoted or lease-less root refusing to serve (the caller
+// retries) is what keeps resolved versions monotone across fail-over.
 func (l *lane) valid(sh *shard, now time.Time) (int64, time.Time, bool) {
 	if l.n.isRoot.Load() {
+		if g := l.n.rep.Load(); g != nil && (!g.MayServe(now) || !sh.expiry.After(now)) {
+			return 0, time.Time{}, false
+		}
 		return sh.version, sh.expiry, true
 	}
 	if sh.haveCopy && now.Before(sh.cacheExp) {

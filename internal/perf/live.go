@@ -28,6 +28,123 @@ const (
 	liveMeasure = 2 * time.Second
 )
 
+// Replicated-authority workload shape: small enough that the quorum
+// timing (not cluster size) dominates the fail-over number, big enough
+// that the promoted authority serves a real tree.
+const (
+	repNodes   = 24
+	repKeys    = 8
+	repShards  = 2
+	repMeasure = 1500 * time.Millisecond
+	// repFailoverDeadline bounds the fail-over wait; crossing it means
+	// promotion or the quorum floor is broken, which is an error, not a
+	// slow sample.
+	repFailoverDeadline = 10 * time.Second
+)
+
+// liveReplicatedRun measures the replicated authority end to end: a
+// 24-node in-process cluster with Replicas=3 runs the steady-state query
+// load (Events and throughput, like live-cluster), then the leaseholder
+// is killed outright and Failover is the time until a distant site
+// resolves a version strictly above everything the dead authority had
+// exposed — detection, promotion, the quorum lease round and the
+// version-reserve floor, all included.
+func liveReplicatedRun() (Result, error) {
+	cfg := live.DefaultConfig()
+	cfg.Nodes = repNodes
+	cfg.MaxDegree = 4
+	cfg.Seed = 12
+	cfg.TTL = 80 * time.Millisecond
+	cfg.Lead = 20 * time.Millisecond
+	cfg.Threshold = 1
+	cfg.KeepAliveEvery = 20 * time.Millisecond
+	cfg.DeadAfter = 100 * time.Millisecond
+	cfg.Keys = repKeys
+	cfg.ShardLoops = repShards
+	cfg.Replicas = 3
+	nw, err := live.Start(cfg)
+	if err != nil {
+		return Result{}, fmt.Errorf("live-replicated: %w", err)
+	}
+	defer nw.Stop()
+
+	// Warm up: every node crosses the interest threshold on every key.
+	var wwg sync.WaitGroup
+	for id := 1; id < repNodes; id++ {
+		wwg.Add(1)
+		go func(id int) {
+			defer wwg.Done()
+			for o := 0; o < repKeys; o++ {
+				key := (id*5 + o) % repKeys
+				h := nw.Key(key)
+				for i := 0; i <= cfg.Threshold+1; i++ {
+					h.Query(id, time.Second)
+				}
+			}
+		}(id)
+	}
+	wwg.Wait()
+
+	// Steady state: closed-loop drivers, one per node, measured by stats
+	// delta — the same shape as live-cluster minus the TCP fabric.
+	statsBase := nw.Stats()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for id := 0; id < repNodes; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			key := id % repKeys
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				nw.Key(key).Query(id, 100*time.Millisecond)
+				key++
+				if key == repKeys {
+					key = 0
+				}
+			}
+		}(id)
+	}
+	time.Sleep(repMeasure)
+	close(stop)
+	wg.Wait()
+	s, b := nw.Stats(), statsBase
+	events := uint64((s.Queries - b.Queries) + (s.Pushes - b.Pushes) +
+		(s.Subscribes - b.Subscribes) + (s.Substitutes - b.Substitutes) +
+		(s.Acks - b.Acks) + (s.KeepAlives - b.KeepAlives) + (s.Retransmits - b.Retransmits))
+
+	// Fail-over: sample the freshest exposed version at the leaseholder,
+	// kill it, and clock how long a distant site takes to resolve past it.
+	root := nw.RootID()
+	pre, err := nw.Key(0).Query(root, 2*time.Second)
+	if err != nil {
+		return Result{}, fmt.Errorf("live-replicated: pre-kill query: %w", err)
+	}
+	site := repNodes - 1
+	t0 := time.Now()
+	nw.Fail(root)
+	deadline := t0.Add(repFailoverDeadline)
+	var failover time.Duration
+	for {
+		r, qerr := nw.Key(0).Query(site, 100*time.Millisecond)
+		if qerr == nil && r.Version > pre.Version {
+			failover = time.Since(t0)
+			break
+		}
+		if time.Now().After(deadline) {
+			return Result{}, fmt.Errorf("live-replicated: no fail-over within %v of killing the leaseholder", repFailoverDeadline)
+		}
+	}
+	return Result{
+		Events:   events,
+		Failover: failover,
+	}, nil
+}
+
 // liveClusterRun measures the live data plane end to end: a 48-node
 // cluster split across three Networks, every inter-Network message
 // crossing a real loopback TCP socket, all liveKeys index trees refreshing

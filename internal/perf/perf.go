@@ -62,6 +62,10 @@ type Result struct {
 	// from its own pushed copy.
 	P50Latency time.Duration
 	P99Latency time.Duration
+	// Failover is how long the replicated-authority workload took from
+	// killing the leaseholder to a remote site resolving a version above
+	// everything the dead authority had exposed (zero elsewhere).
+	Failover time.Duration
 }
 
 // run executes the workload once.
@@ -110,6 +114,7 @@ func DefaultWorkloads() []Workload {
 		{ID: "churn-dup", Cfg: churnCfg, New: newDUP},
 		{ID: "wire-codec", Run: wireCodecRun},
 		{ID: "live-cluster", Run: liveClusterRun, NoisyAllocs: true},
+		{ID: "live-replicated", Run: liveReplicatedRun, NoisyAllocs: true},
 	}
 }
 
@@ -203,6 +208,10 @@ type Sample struct {
 	// cluster); omitted elsewhere.
 	P50LatencyMS    float64 `json:"p50_latency_ms,omitempty"`
 	P99LatencyMS    float64 `json:"p99_latency_ms,omitempty"`
+	// FailoverMS is the replicated-authority workload's fail-over time in
+	// milliseconds: leaseholder kill to a remote site resolving a version
+	// above everything the dead authority exposed; omitted elsewhere.
+	FailoverMS      float64 `json:"failover_ms,omitempty"`
 	BestWallSeconds float64 `json:"best_wall_seconds"`
 	Runs            int     `json:"runs"`
 }
@@ -234,6 +243,7 @@ func Measure(w Workload, runs int) (Sample, error) {
 			s.FramesPerPush = r.FramesPerPush
 			s.P50LatencyMS = float64(r.P50Latency) / float64(time.Millisecond)
 			s.P99LatencyMS = float64(r.P99Latency) / float64(time.Millisecond)
+			s.FailoverMS = float64(r.Failover) / float64(time.Millisecond)
 		}
 		if i == 0 || allocs < s.AllocsPerRun {
 			s.AllocsPerRun = allocs

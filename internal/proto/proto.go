@@ -75,12 +75,36 @@ const (
 	// envelope carries reliable members its own Seq is set and one ack for
 	// the envelope settles all of them at once. Envelopes never nest.
 	KindBatch
+	// KindPrepare opens a replica leadership round (dup/internal/replica):
+	// a candidate authority asks every member of the replica set to promise
+	// the term in Old and to report its accepted log. Expiry proposes the
+	// candidate's lease deadline. Replica kinds are not in the reliable
+	// class — the replica layer retransmits on its own tick until quorum.
+	KindPrepare
+	// KindPromise answers the replica protocol's round-trips. Subject
+	// discriminates: 0 = prepare promise (Path carries key,version pairs of
+	// the sender's accepted log), 1 = accept ack (Key, Seq = the sender's
+	// accepted version for that key), 2 = lease ack (Seq echoes the
+	// renewal counter). Old always carries the term being answered.
+	KindPromise
+	// KindAccept replicates one ordered log entry: the leaseholder asks a
+	// replica to durably accept (Key, Version, Expiry) under term Old.
+	KindAccept
+	// KindCommit tells a replica that a quorum has accepted (Key, Version)
+	// under term Old, advancing its committed watermark. Advisory: safety
+	// rests on the accepted log, commit only bounds failover work.
+	KindCommit
+	// KindLease renews the leaseholder's time-based lease: under term Old,
+	// renewal counter Seq, proposed deadline Expiry. A quorum of lease acks
+	// lets the leader keep serving reads and pushes locally.
+	KindLease
 )
 
 var kindNames = [...]string{
 	"request", "reply", "push", "subscribe", "unsubscribe",
 	"substitute", "interest", "uninterest", "keepalive", "keepalive-ack",
 	"ack", "join", "leave", "state", "batch",
+	"prepare", "promise", "accept", "commit", "lease",
 }
 
 // NumKinds is the number of defined message kinds; Kind values in
@@ -259,6 +283,16 @@ func (m *Message) String() string {
 		return fmt.Sprintf("state{to:%d from:%d v:%d}", m.To, m.Origin, m.Version)
 	case KindBatch:
 		return fmt.Sprintf("batch{to:%d from:%d seq:%d n:%d}", m.To, m.Origin, m.Seq, len(m.Batch))
+	case KindPrepare:
+		return fmt.Sprintf("prepare{to:%d from:%d term:%d}", m.To, m.Origin, m.Old)
+	case KindPromise:
+		return fmt.Sprintf("promise{to:%d from:%d term:%d sub:%d}", m.To, m.Origin, m.Old, m.Subject)
+	case KindAccept:
+		return fmt.Sprintf("accept{to:%d key:%d term:%d v:%d}", m.To, m.Key, m.Old, m.Version)
+	case KindCommit:
+		return fmt.Sprintf("commit{to:%d key:%d term:%d v:%d}", m.To, m.Key, m.Old, m.Version)
+	case KindLease:
+		return fmt.Sprintf("lease{to:%d from:%d term:%d seq:%d}", m.To, m.Origin, m.Old, m.Seq)
 	default:
 		return fmt.Sprintf("%s{to:%d}", m.Kind, m.To)
 	}

@@ -22,6 +22,11 @@ func TestKindString(t *testing.T) {
 		KindLeave:        "leave",
 		KindState:        "state",
 		KindBatch:        "batch",
+		KindPrepare:      "prepare",
+		KindPromise:      "promise",
+		KindAccept:       "accept",
+		KindCommit:       "commit",
+		KindLease:        "lease",
 	}
 	if len(cases) != NumKinds {
 		t.Errorf("test covers %d kinds, NumKinds = %d", len(cases), NumKinds)
@@ -38,7 +43,8 @@ func TestKindString(t *testing.T) {
 
 func TestKindControl(t *testing.T) {
 	control := []Kind{KindSubscribe, KindUnsubscribe, KindSubstitute, KindInterest, KindUninterest}
-	data := []Kind{KindRequest, KindReply, KindPush, KindKeepAlive, KindKeepAliveAck, KindAck, KindJoin, KindLeave, KindState, KindBatch}
+	data := []Kind{KindRequest, KindReply, KindPush, KindKeepAlive, KindKeepAliveAck, KindAck, KindJoin, KindLeave, KindState, KindBatch,
+		KindPrepare, KindPromise, KindAccept, KindCommit, KindLease}
 	for _, k := range control {
 		if !k.Control() {
 			t.Errorf("%v should be a control kind", k)

@@ -1,0 +1,802 @@
+// Package replica is the authority's quorum: a small-R ordered update
+// log that replicates each key's version stream across a fixed set of
+// nodes, so losing the authority's disk no longer loses the key. The
+// protocol is a compact viewstamped/Paxos-style accept round driven
+// entirely by the host layer (dup/internal/live), which owns the
+// goroutines, the transport and the clock — a Group is a locked state
+// machine that turns incoming frames and ticks into outgoing frames.
+//
+// # Version-reserve leases
+//
+// The hot path must stay a single local append: the leader may not cross
+// the quorum per TTL refresh. The trick is a version reserve B: the
+// leader may expose (serve or push) version v for a key only while some
+// quorum has durably accepted at least v-B for it. Refreshes then run
+// ahead of replication by up to B versions on nothing but a local fsync,
+// while a lagging or partitioned quorum stalls the stream instead of
+// silently un-replicating it.
+//
+// Failover rests on quorum intersection: a candidate gathers accepted-log
+// snapshots from a quorum of members and starts every key at
+//
+//	floor(k) = max accepted version over the quorum + B + 1
+//
+// Any version a previous leader ever exposed had a quorum accepting at
+// least v-B, every quorum intersects the candidate's, so floor(k) > v for
+// every exposed v: the version stream never regresses across failover,
+// even under dueling leaders (the DUP data plane already ignores version
+// downgrades). The new floor entry must itself reach a quorum before it
+// is exposed, which closes the loop for the next failover.
+//
+// The time-based lease is a liveness and freshness device on top: the
+// leader serves only while a quorum has recently acknowledged its lease,
+// so an isolated leader goes read-only stale within one lease instead of
+// serving a diverging stream, and followers waiting out a valid lease
+// avoid dueling-candidate churn for equal terms. Safety never depends on
+// clocks — a expired-lease leader can only stop exposing, never regress.
+package replica
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dup/internal/proto"
+	"dup/internal/store"
+)
+
+// DefaultReserve is the version reserve B: how far version exposure may
+// run ahead of quorum replication. TTL refreshes bump by one, so B=1024
+// covers 1024 refresh cycles of replication lag before the stream stalls.
+const DefaultReserve = 1024
+
+// Config parametrises one node's view of the replica group.
+type Config struct {
+	// ID is this node's id. It need not be a member: a non-member DUP
+	// root promoted by the directory leads the quorum from outside (its
+	// own log stays volatile; safety comes from the member quorum).
+	ID int
+	// Members is the fixed replica set, identical on every node.
+	Members []int
+	// Lease is the leader lease duration (and the failover freshness
+	// bound). Zero means one second.
+	Lease time.Duration
+	// Reserve overrides DefaultReserve when positive.
+	Reserve int64
+	// Journal, when non-nil, receives every accepted log entry before it
+	// is acknowledged. Members must pass one for crash safety.
+	Journal store.ReplicaJournal
+}
+
+type role uint8
+
+const (
+	follower role = iota
+	candidate
+	leader
+)
+
+// entry is one accepted log head: the highest (term, version) accepted
+// for a key.
+type entry struct {
+	term    int64
+	version int64
+	expiry  float64
+}
+
+// promiseSubject discriminates the three KindPromise payloads.
+const (
+	subPrepare = 0 // prepare promise: Path carries key,version pairs
+	subAccept  = 1 // accept ack: Key, Seq = accepted version
+	subLease   = 2 // lease ack: Seq echoes the renewal counter
+)
+
+// maxPromisePairs bounds the key,version pairs per prepare-promise
+// frame; larger logs are split into chunks (the final chunk sets New=1)
+// so the wire codec's MaxPath is never exceeded.
+const maxPromisePairs = 1024
+
+// Group is one node's replica state machine. All methods are safe for
+// concurrent use from any lane goroutine; MayServe is lock-free so the
+// read hot path can consult it per query.
+type Group struct {
+	mu      sync.Mutex
+	cfg     Config
+	quorum  int
+	member  bool
+	peers   []int // members minus self
+	lease   time.Duration
+	reserve int64
+
+	role role
+	term int64
+
+	// Accepted log and committed watermarks (all roles).
+	log       map[int]entry
+	committed map[int]int64
+
+	// Follower view of the current lease. leaseHolder/leaseUntil track any
+	// claim (a prepare stakes one for its round); grantHolder/grantUntil
+	// track only proven grants — KindLease frames an actual leader sent or
+	// a member relayed — and drive the host's abdication decision.
+	leaseHolder int
+	leaseUntil  time.Time
+	grantHolder int
+	grantUntil  time.Time
+
+	// Candidate state: merged snapshot per promising member, completion
+	// flags, and the lease deadline stamped into this round's prepares.
+	votes     map[int]map[int]int64
+	voted     map[int]bool
+	prepExp   float64
+	lastPrep  time.Time
+
+	// Leader state.
+	floors    map[int]int64
+	floorDef  int64 // floor for keys absent from the promise quorum
+	acked     map[int]map[int]int64
+	commitOut map[int]int64
+	leaseSeq  int64
+	leaseAcks map[int]bool
+	leaseSent time.Time
+	// lastGrant is the last time a lease quorum confirmed this leader (or
+	// its first leader tick); a leader stale past 2x the lease is a
+	// deposed or partitioned one, which the host resolves by re-election
+	// or abdication.
+	lastGrant time.Time
+
+	// leaseGood is the UnixNano deadline until which this node may serve
+	// as leader; zero whenever it is not a serving leader.
+	leaseGood atomic.Int64
+}
+
+// New returns a follower Group. The caller seeds recovered log state
+// with Restore, then either BootLeader (fresh cluster authority) or
+// waits for prepares / a promotion.
+func New(cfg Config) *Group {
+	if cfg.Lease <= 0 {
+		cfg.Lease = time.Second
+	}
+	if cfg.Reserve <= 0 {
+		cfg.Reserve = DefaultReserve
+	}
+	g := &Group{
+		cfg:         cfg,
+		quorum:      len(cfg.Members)/2 + 1,
+		lease:       cfg.Lease,
+		reserve:     cfg.Reserve,
+		log:         make(map[int]entry),
+		committed:   make(map[int]int64),
+		leaseHolder: -1,
+		grantHolder: -1,
+	}
+	for _, m := range cfg.Members {
+		if m == cfg.ID {
+			g.member = true
+		} else {
+			g.peers = append(g.peers, m)
+		}
+	}
+	return g
+}
+
+// Restore seeds the accepted log from journal recovery. Call before any
+// traffic flows.
+func (g *Group) Restore(states []store.ReplicaState) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, rs := range states {
+		g.log[rs.Key] = entry{term: rs.Term, version: rs.Version, expiry: rs.Expiry}
+		if rs.Term > g.term {
+			g.term = rs.Term
+		}
+	}
+}
+
+// BootLeader makes this node the term-1 leader of a genuinely fresh
+// cluster (the designated authority at first boot). It must not be used
+// after a crash or failover — those paths go through StartCandidate,
+// whose promise round re-establishes the exposure floor. The lease still
+// has to be acquired through Tick before the leader may serve.
+func (g *Group) BootLeader() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.term == 0 {
+		g.term = 1
+	}
+	g.role = leader
+	g.floors = make(map[int]int64)
+	g.floorDef = 0
+	g.resetLeaderLocked()
+}
+
+// resetLeaderLocked initialises the leader-side ack tracking.
+func (g *Group) resetLeaderLocked() {
+	g.acked = make(map[int]map[int]int64)
+	for _, p := range g.peers {
+		g.acked[p] = make(map[int]int64)
+	}
+	g.commitOut = make(map[int]int64)
+	g.leaseAcks = make(map[int]bool)
+	g.leaseSent = time.Time{}
+}
+
+// StartCandidate opens a new leadership round: bumps the term past
+// everything seen and asks every member for a promise plus its accepted
+// log. The returned prepares must be sent; Tick retransmits them until a
+// quorum answers.
+func (g *Group) StartCandidate(now time.Time) []*proto.Message {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.startRoundLocked(now)
+}
+
+// startRoundLocked opens (or reopens, from the candidate retransmission
+// path) a prepare round one term above everything seen. Reopening under
+// a fresh term also outruns a competitor's still-valid lease within one
+// retry, so a candidate that guessed a stale term is not stuck waiting
+// the lease out.
+func (g *Group) startRoundLocked(now time.Time) []*proto.Message {
+	g.term++
+	g.role = candidate
+	g.leaseGood.Store(0)
+	// A fresh round forgets stale grants (the dead incumbent's, usually):
+	// only a grant proven after this point may talk the host into
+	// abdicating the candidacy.
+	g.grantHolder = -1
+	g.votes = make(map[int]map[int]int64)
+	g.voted = make(map[int]bool)
+	if g.member {
+		snap := make(map[int]int64, len(g.log))
+		for k, e := range g.log {
+			snap[k] = e.version
+		}
+		g.votes[g.cfg.ID] = snap
+		g.voted[g.cfg.ID] = true
+	}
+	g.prepExp = timeToUnix(now.Add(g.lease))
+	g.lastPrep = now
+	msgs := g.preparesLocked()
+	g.maybePromoteLocked(now)
+	return msgs
+}
+
+// preparesLocked builds one prepare per peer for the current term.
+func (g *Group) preparesLocked() []*proto.Message {
+	var msgs []*proto.Message
+	for _, p := range g.peers {
+		m := proto.NewMessage()
+		m.Kind = proto.KindPrepare
+		m.To = p
+		m.Origin = g.cfg.ID
+		m.Old = int(g.term)
+		m.Expiry = g.prepExp
+		msgs = append(msgs, m)
+	}
+	return msgs
+}
+
+// maybePromoteLocked checks the candidate's promise tally and, at
+// quorum, assumes leadership: every key the quorum has ever accepted
+// gets an exposure floor strictly above anything a previous leader can
+// have exposed, and unseen keys get the zero-accept floor B+1.
+func (g *Group) maybePromoteLocked(now time.Time) {
+	if g.role != candidate {
+		return
+	}
+	n := 0
+	for id := range g.voted {
+		if g.voted[id] {
+			n++
+		}
+	}
+	if n < g.quorum {
+		return
+	}
+	g.role = leader
+	g.floors = make(map[int]int64)
+	g.floorDef = g.reserve + 1
+	for _, snap := range g.votes {
+		for k, v := range snap {
+			if f := v + g.reserve + 1; f > g.floors[k] {
+				g.floors[k] = f
+			}
+		}
+	}
+	g.resetLeaderLocked()
+	// Seed ack tracking from the promises themselves — those versions are
+	// known durable at their senders.
+	for id, snap := range g.votes {
+		if id == g.cfg.ID {
+			continue
+		}
+		am := g.acked[id]
+		if am == nil {
+			am = make(map[int]int64)
+			g.acked[id] = am
+		}
+		for k, v := range snap {
+			if v > am[k] {
+				am[k] = v
+			}
+		}
+	}
+	g.votes, g.voted = nil, nil
+	g.lastGrant = now
+	// The promise quorum doubles as the first lease grant: followers
+	// granted the deadline stamped in the prepares. If candidacy outlived
+	// it, the next Tick's renewal round re-acquires before serving.
+	if until := unixToTime(g.prepExp); now.Before(until) {
+		g.leaseGood.Store(until.UnixNano())
+	}
+}
+
+// MayServe reports whether this node currently holds a live leader
+// lease. Lock-free: the read and push hot paths gate on it per
+// operation.
+func (g *Group) MayServe(now time.Time) bool {
+	return now.UnixNano() < g.leaseGood.Load()
+}
+
+// Leading reports whether the group is in the leader role (its lease may
+// still be pending).
+func (g *Group) Leading() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.role == leader
+}
+
+// LeaseHolder reports the node this group can prove currently holds a
+// live leader lease, when that node is someone else. The proof is a
+// KindLease frame — a renewal from the leader itself or a member's relay
+// to a refused candidate — never a mere prepare claim. A directory-
+// promoted root that lost the quorum race uses this to abdicate in
+// favour of the true leaseholder.
+func (g *Group) LeaseHolder(now time.Time) (int, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.role == leader || g.grantHolder < 0 || g.grantHolder == g.cfg.ID || !now.Before(g.grantUntil) {
+		return -1, false
+	}
+	return g.grantHolder, true
+}
+
+// StandDown abandons any candidacy or stale leadership: the host calls
+// it while abdicating a lost fail-over so the dropped round cannot keep
+// escalating terms against the leader it just adopted.
+func (g *Group) StandDown() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.role = follower
+	g.leaseGood.Store(0)
+	g.votes, g.voted = nil, nil
+}
+
+// StaleLeader reports a leader whose lease quorum has been gone for over
+// twice the lease: it has been deposed by a higher term it never heard
+// of, or partitioned from every member. The host re-elects from this
+// state (if it still believes it is the authority) rather than serving
+// nothing forever.
+func (g *Group) StaleLeader(now time.Time) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.role == leader && !g.lastGrant.IsZero() && now.Sub(g.lastGrant) > 2*g.lease
+}
+
+// Term returns the highest term seen.
+func (g *Group) Term() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.term
+}
+
+// Committed returns the quorum-committed watermark for key.
+func (g *Group) Committed(key int) int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.committed[key]
+}
+
+// Accepted returns this node's accepted log head for key.
+func (g *Group) Accepted(key int) int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.log[key].version
+}
+
+// Bump is the leader hot path: expose version want (or the key's floor,
+// whichever is higher) for key. It returns the version actually exposed,
+// any accept frames that must be sent, and whether exposure is allowed
+// right now. Exposure is refused — with the stream left exactly where it
+// was — when this node holds no live lease or when the version reserve
+// is exhausted (a quorum has not yet accepted within B of the target);
+// the returned accepts still must be sent so replication can catch up.
+func (g *Group) Bump(key int, want int64, expiry float64, now time.Time) (int64, []*proto.Message, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.role != leader {
+		return 0, nil, false
+	}
+	v := want
+	if f, ok := g.floors[key]; ok {
+		if v < f {
+			v = f
+		}
+	} else if v < g.floorDef {
+		v = g.floorDef
+	}
+	cur := g.log[key]
+	if v < cur.version {
+		v = cur.version
+	}
+	var msgs []*proto.Message
+	if v > cur.version {
+		// Local append: durable before any frame leaves, so the accept we
+		// advertise can never be forgotten.
+		g.log[key] = entry{term: g.term, version: v, expiry: expiry}
+		if g.member && g.cfg.Journal != nil {
+			g.cfg.Journal.RecordReplica(store.ReplicaState{
+				ID: g.cfg.ID, Key: key, Term: g.term, Version: v, Expiry: expiry,
+			})
+		}
+		msgs = g.acceptsLocked(key)
+	}
+	if !g.MayServe(now) {
+		return 0, msgs, false
+	}
+	if v > g.quorumAcceptedLocked(key)+g.reserve {
+		return 0, msgs, false
+	}
+	return v, msgs, true
+}
+
+// acceptsLocked builds accept frames for every peer still behind the log
+// head of key.
+func (g *Group) acceptsLocked(key int) []*proto.Message {
+	e := g.log[key]
+	var msgs []*proto.Message
+	for _, p := range g.peers {
+		if g.acked[p][key] >= e.version {
+			continue
+		}
+		m := proto.NewMessage()
+		m.Kind = proto.KindAccept
+		m.To = p
+		m.Origin = g.cfg.ID
+		m.Old = int(e.term)
+		m.Key = key
+		m.Version = e.version
+		m.Expiry = e.expiry
+		msgs = append(msgs, m)
+	}
+	return msgs
+}
+
+// quorumAcceptedLocked returns the highest version a full quorum of
+// members has durably accepted for key (this node's own log counts when
+// it is a member).
+func (g *Group) quorumAcceptedLocked(key int) int64 {
+	vals := make([]int64, 0, len(g.cfg.Members))
+	for _, id := range g.cfg.Members {
+		if id == g.cfg.ID {
+			vals = append(vals, g.log[key].version)
+		} else {
+			vals = append(vals, g.acked[id][key])
+		}
+	}
+	if len(vals) < g.quorum {
+		return 0
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] > vals[j] })
+	return vals[g.quorum-1]
+}
+
+// Step feeds one replica frame to the state machine and returns the
+// frames to send in response. The caller keeps ownership of m.
+func (g *Group) Step(m *proto.Message, now time.Time) []*proto.Message {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	term := int64(m.Old)
+	switch m.Kind {
+	case proto.KindPrepare:
+		return g.onPrepareLocked(m, term, now)
+	case proto.KindPromise:
+		return g.onPromiseLocked(m, term, now)
+	case proto.KindAccept:
+		return g.onAcceptLocked(m, term)
+	case proto.KindCommit:
+		g.observeTermLocked(term)
+		if term == g.term && m.Version > g.committed[m.Key] {
+			g.committed[m.Key] = m.Version
+		}
+	case proto.KindLease:
+		return g.onLeaseLocked(m, term, now)
+	}
+	return nil
+}
+
+// observeTermLocked adopts a higher term, stepping down from any leader
+// or candidate role: a superseded leader stops exposing immediately and
+// for good (its lease can never renew under the old term).
+func (g *Group) observeTermLocked(term int64) {
+	if term <= g.term {
+		return
+	}
+	g.term = term
+	g.role = follower
+	g.leaseGood.Store(0)
+	g.votes, g.voted = nil, nil
+}
+
+func (g *Group) onPrepareLocked(m *proto.Message, term int64, now time.Time) []*proto.Message {
+	if term < g.term {
+		// Stale round. Teach the candidate who actually leads (when we can
+		// prove it): a non-member root that lost a fail-over race has no
+		// other way to learn it should abdicate.
+		return g.relayGrantLocked(m.Origin, now)
+	}
+	if term == g.term && g.leaseHolder != m.Origin && now.Before(g.leaseUntil) {
+		// Same-term competition against a live lease: first candidate wins
+		// this replica for the term.
+		return g.relayGrantLocked(m.Origin, now)
+	}
+	g.observeTermLocked(term)
+	if term == g.term && g.role != follower && m.Origin != g.cfg.ID {
+		if g.role == leader || m.Origin > g.cfg.ID {
+			// Equal term, we are leader (our round already won) or the
+			// rival candidate has the higher id: our round continues; the
+			// competitor needs a higher term.
+			return nil
+		}
+		// Equal-term candidate duel, rival has the lower id: stand down
+		// and vote for it. Without a tie-break two member candidates can
+		// refuse each other and re-escalate terms in lockstep forever —
+		// exactly the dual-promotion race a partitioned multi-process
+		// cluster produces when the old leaseholder's host dies.
+		g.role = follower
+		g.votes, g.voted = nil, nil
+	}
+	g.leaseHolder = m.Origin
+	g.leaseUntil = unixToTime(m.Expiry)
+	if !g.member {
+		return nil
+	}
+	// Promise: ship the accepted log back, chunked under the wire codec's
+	// path bound; the final chunk sets New=1 so the candidate counts the
+	// vote only when the snapshot is whole.
+	keys := make([]int, 0, len(g.log))
+	for k := range g.log {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var msgs []*proto.Message
+	pm := g.newPromiseLocked(m.Origin, subPrepare)
+	for _, k := range keys {
+		pm.Path = append(pm.Path, k, int(g.log[k].version))
+		if len(pm.Path) >= 2*maxPromisePairs {
+			msgs = append(msgs, pm)
+			pm = g.newPromiseLocked(m.Origin, subPrepare)
+		}
+	}
+	pm.New = 1
+	return append(msgs, pm)
+}
+
+// relayGrantLocked forwards the current proven lease grant to a refused
+// candidate: Origin names the true holder, Seq 0 marks a relay (a real
+// renewal's Seq is always positive, so any ack the receiver sends is
+// ignored by the holder's renewal tally). Members only — the relay's
+// authority is the member's own granted lease.
+func (g *Group) relayGrantLocked(to int, now time.Time) []*proto.Message {
+	if !g.member || g.grantHolder < 0 || g.grantHolder == to || !now.Before(g.grantUntil) {
+		return nil
+	}
+	m := proto.NewMessage()
+	m.Kind = proto.KindLease
+	m.To = to
+	m.Origin = g.grantHolder
+	m.Old = int(g.term)
+	m.Seq = 0
+	m.Expiry = timeToUnix(g.grantUntil)
+	return []*proto.Message{m}
+}
+
+func (g *Group) newPromiseLocked(to, subject int) *proto.Message {
+	pm := proto.NewMessage()
+	pm.Kind = proto.KindPromise
+	pm.To = to
+	pm.Origin = g.cfg.ID
+	pm.Old = int(g.term)
+	pm.Subject = subject
+	return pm
+}
+
+func (g *Group) onPromiseLocked(m *proto.Message, term int64, now time.Time) []*proto.Message {
+	g.observeTermLocked(term)
+	if term != g.term {
+		return nil
+	}
+	switch m.Subject {
+	case subPrepare:
+		if g.role != candidate {
+			return nil
+		}
+		snap := g.votes[m.Origin]
+		if snap == nil {
+			snap = make(map[int]int64)
+			g.votes[m.Origin] = snap
+		}
+		for i := 0; i+1 < len(m.Path); i += 2 {
+			k, v := m.Path[i], int64(m.Path[i+1])
+			if v > snap[k] {
+				snap[k] = v
+			}
+		}
+		if m.New == 1 {
+			g.voted[m.Origin] = true
+		}
+		g.maybePromoteLocked(now)
+	case subAccept:
+		if g.role != leader {
+			return nil
+		}
+		am := g.acked[m.Origin]
+		if am == nil {
+			am = make(map[int]int64)
+			g.acked[m.Origin] = am
+		}
+		if m.Seq > am[m.Key] {
+			am[m.Key] = m.Seq
+		}
+	case subLease:
+		if g.role != leader || m.Seq != g.leaseSeq {
+			return nil
+		}
+		g.leaseAcks[m.Origin] = true
+		n := len(g.leaseAcks)
+		if g.member {
+			n++ // our own grant
+		}
+		if n >= g.quorum {
+			g.lastGrant = now
+			until := g.leaseSent.Add(g.lease)
+			if until.UnixNano() > g.leaseGood.Load() {
+				g.leaseGood.Store(until.UnixNano())
+			}
+		}
+	}
+	return nil
+}
+
+func (g *Group) onAcceptLocked(m *proto.Message, term int64) []*proto.Message {
+	if term < g.term {
+		return nil // stale leader; no ack, let it stall
+	}
+	g.observeTermLocked(term)
+	if !g.member {
+		return nil
+	}
+	if m.Version > g.log[m.Key].version {
+		g.log[m.Key] = entry{term: term, version: m.Version, expiry: m.Expiry}
+		if g.cfg.Journal != nil {
+			g.cfg.Journal.RecordReplica(store.ReplicaState{
+				ID: g.cfg.ID, Key: m.Key, Term: term, Version: m.Version, Expiry: m.Expiry,
+			})
+		}
+	}
+	// Ack with the log head (even for duplicates), so a reordered or
+	// retransmitted accept still teaches the leader where we are.
+	pm := g.newPromiseLocked(m.Origin, subAccept)
+	pm.Key = m.Key
+	pm.Seq = g.log[m.Key].version
+	return []*proto.Message{pm}
+}
+
+func (g *Group) onLeaseLocked(m *proto.Message, term int64, now time.Time) []*proto.Message {
+	if term < g.term {
+		return nil
+	}
+	g.observeTermLocked(term)
+	g.leaseHolder = m.Origin
+	g.leaseUntil = unixToTime(m.Expiry)
+	// A lease frame is proof of leadership (renewals come from the leader,
+	// relays from a member vouching its own grant): record it for the
+	// host's abdication decision.
+	g.grantHolder = m.Origin
+	g.grantUntil = g.leaseUntil
+	if !g.member {
+		return nil
+	}
+	pm := g.newPromiseLocked(m.Origin, subLease)
+	pm.Seq = m.Seq
+	return []*proto.Message{pm}
+}
+
+// Tick drives the timers: candidate prepare retransmission, leader lease
+// renewal, accept anti-entropy for lagging peers, and commit watermark
+// propagation. The host calls it from its periodic loop (the keep-alive
+// cadence is fine).
+func (g *Group) Tick(now time.Time) []*proto.Message {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	switch g.role {
+	case candidate:
+		// Retry cadence is staggered by id so rival candidates do not
+		// re-escalate in lockstep: desynchronized rounds let one of them
+		// reach the survivors first and win.
+		stagger := g.lease * time.Duration(min(g.cfg.ID, 12)) / 64
+		if now.Sub(g.lastPrep) < g.lease/4+stagger {
+			return nil
+		}
+		return g.startRoundLocked(now)
+	case leader:
+		if g.lastGrant.IsZero() {
+			// First leader tick (BootLeader has no clock): start the
+			// staleness window now.
+			g.lastGrant = now
+		}
+		var msgs []*proto.Message
+		// Renew the lease at a third of its duration, so two consecutive
+		// renewal round-trips can be lost before serving pauses.
+		if g.leaseSent.IsZero() || now.Sub(g.leaseSent) >= g.lease/3 {
+			g.leaseSeq++
+			g.leaseAcks = make(map[int]bool)
+			g.leaseSent = now
+			for _, p := range g.peers {
+				m := proto.NewMessage()
+				m.Kind = proto.KindLease
+				m.To = p
+				m.Origin = g.cfg.ID
+				m.Old = int(g.term)
+				m.Seq = g.leaseSeq
+				m.Expiry = timeToUnix(now.Add(g.lease))
+				msgs = append(msgs, m)
+			}
+			// A sole-member group (degenerate R=1) self-renews.
+			if len(g.peers) == 0 && g.member {
+				g.leaseGood.Store(now.Add(g.lease).UnixNano())
+			}
+		}
+		// Anti-entropy: re-offer the log head to any peer behind it, and
+		// advance the commit watermark when a quorum has caught up.
+		for k := range g.log {
+			msgs = append(msgs, g.acceptsLocked(k)...)
+			if qa := g.quorumAcceptedLocked(k); qa > g.commitOut[k] {
+				g.commitOut[k] = qa
+				if qa > g.committed[k] {
+					g.committed[k] = qa
+				}
+				e := g.log[k]
+				for _, p := range g.peers {
+					m := proto.NewMessage()
+					m.Kind = proto.KindCommit
+					m.To = p
+					m.Origin = g.cfg.ID
+					m.Old = int(e.term)
+					m.Key = k
+					m.Version = qa
+					msgs = append(msgs, m)
+				}
+			}
+		}
+		return msgs
+	}
+	return nil
+}
+
+// timeToUnix and unixToTime mirror the live layer's wire-time
+// convention (absolute unix seconds as float64).
+func timeToUnix(t time.Time) float64 {
+	if t.IsZero() {
+		return 0
+	}
+	return float64(t.UnixNano()) / 1e9
+}
+
+func unixToTime(f float64) time.Time {
+	if f == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, int64(f*1e9))
+}

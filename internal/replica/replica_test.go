@@ -1,0 +1,387 @@
+package replica
+
+import (
+	"testing"
+	"time"
+
+	"dup/internal/proto"
+	"dup/internal/store"
+)
+
+// cluster wires R groups to an in-process bus for single-threaded
+// protocol tests.
+type cluster struct {
+	groups map[int]*Group
+	mems   map[int]*store.Mem
+}
+
+func newCluster(t *testing.T, members []int, ids []int, reserve int64) *cluster {
+	t.Helper()
+	c := &cluster{groups: map[int]*Group{}, mems: map[int]*store.Mem{}}
+	for _, id := range ids {
+		mem := store.NewMem()
+		c.mems[id] = mem
+		c.groups[id] = New(Config{
+			ID: id, Members: members, Lease: time.Second, Reserve: reserve, Journal: mem,
+		})
+	}
+	return c
+}
+
+// pump delivers msgs (and everything they trigger) until quiescent.
+func (c *cluster) pump(msgs []*proto.Message, now time.Time) {
+	for len(msgs) > 0 {
+		var next []*proto.Message
+		for _, m := range msgs {
+			if g, ok := c.groups[m.To]; ok {
+				next = append(next, g.Step(m, now)...)
+			}
+			proto.Release(m)
+		}
+		msgs = next
+	}
+}
+
+// drop releases msgs undelivered (a total partition).
+func drop(msgs []*proto.Message) {
+	for _, m := range msgs {
+		proto.Release(m)
+	}
+}
+
+func TestBootLeaderAcquiresLeaseThenReplicates(t *testing.T) {
+	now := time.Unix(1000, 0)
+	c := newCluster(t, []int{0, 1, 2}, []int{0, 1, 2}, 0)
+	g := c.groups[0]
+	g.BootLeader()
+	if g.MayServe(now) {
+		t.Fatal("leader serving before any lease ack")
+	}
+	c.pump(g.Tick(now), now) // lease round trip
+	if !g.MayServe(now) {
+		t.Fatal("leader has no lease after a quorum acked the renewal")
+	}
+	v, out, ok := g.Bump(0, 1, 2000.5, now)
+	if !ok || v != 1 {
+		t.Fatalf("Bump = (%d, ok=%v), want (1, true)", v, ok)
+	}
+	c.pump(out, now)
+	for _, id := range []int{1, 2} {
+		if got := c.groups[id].Accepted(0); got != 1 {
+			t.Fatalf("replica %d accepted %d, want 1", id, got)
+		}
+		rs := c.mems[id].ReplicaStates(id)
+		if len(rs) != 1 || rs[0].Version != 1 {
+			t.Fatalf("replica %d journal = %+v", id, rs)
+		}
+	}
+	// The commit watermark follows on the next tick.
+	c.pump(g.Tick(now.Add(400*time.Millisecond)), now)
+	if got := c.groups[1].Committed(0); got != 1 {
+		t.Fatalf("replica 1 committed %d, want 1", got)
+	}
+}
+
+func TestReserveStallsExposureWithoutQuorum(t *testing.T) {
+	now := time.Unix(1000, 0)
+	c := newCluster(t, []int{0, 1, 2}, []int{0, 1, 2}, 2)
+	g := c.groups[0]
+	g.BootLeader()
+	c.pump(g.Tick(now), now)
+	// Partition the followers: accepts never arrive. The reserve (B=2)
+	// lets two versions out, then the stream stalls.
+	var pending []*proto.Message
+	for want := int64(1); want <= 2; want++ {
+		v, out, ok := g.Bump(0, want, 2000.5, now)
+		pending = append(pending, out...)
+		if !ok || v != want {
+			t.Fatalf("Bump(%d) = (%d, ok=%v) inside the reserve", want, v, ok)
+		}
+	}
+	if v, out, ok := g.Bump(0, 3, 2000.5, now); ok {
+		drop(out)
+		t.Fatalf("Bump(3) exposed %d with the reserve exhausted", v)
+	} else {
+		pending = append(pending, out...)
+	}
+	// Heal: deliver everything; the acks reopen the window.
+	c.pump(pending, now)
+	c.pump(g.Tick(now.Add(400*time.Millisecond)), now)
+	if v, out, ok := g.Bump(0, 3, 2000.5, now); !ok || v != 3 {
+		t.Fatalf("Bump(3) after heal = (%d, ok=%v), want (3, true)", v, ok)
+	} else {
+		c.pump(out, now)
+	}
+}
+
+func TestFailoverNeverRegresses(t *testing.T) {
+	now := time.Unix(1000, 0)
+	c := newCluster(t, []int{0, 1, 2}, []int{0, 1, 2}, 4)
+	g0 := c.groups[0]
+	g0.BootLeader()
+	c.pump(g0.Tick(now), now)
+	// Expose a stream, replicating only sometimes: the last exposures ride
+	// the reserve with no quorum behind them.
+	var exposed int64
+	for want := int64(1); want <= 10; want++ {
+		v, out, ok := g0.Bump(0, want, 2000.5, now)
+		if want <= 6 {
+			c.pump(out, now)
+		} else {
+			drop(out) // partitioned mid-push
+		}
+		if ok {
+			exposed = v
+		}
+	}
+	if exposed < 6 {
+		t.Fatalf("exposed only %d versions", exposed)
+	}
+	// Leader dies; replica 1 runs the promise round and takes over.
+	g1 := c.groups[1]
+	msgs := g1.StartCandidate(now)
+	var kept []*proto.Message
+	for _, m := range msgs {
+		if m.To == 0 {
+			proto.Release(m) // dead leader
+			continue
+		}
+		kept = append(kept, m)
+	}
+	c.pump(kept, now)
+	if !g1.Leading() {
+		t.Fatal("candidate did not reach quorum with one peer alive")
+	}
+	// First bump appends the floor entry and replicates it before
+	// exposing; the retry exposes a version strictly above everything the
+	// old leader ever served.
+	v, out, ok := g1.Bump(0, 1, 3000.5, now)
+	c.pump(out, now)
+	if !ok {
+		v, out, ok = g1.Bump(0, 1, 3000.5, now)
+		c.pump(out, now)
+	}
+	if !ok {
+		t.Fatal("new leader never exposed after its floor replicated")
+	}
+	if v <= exposed {
+		t.Fatalf("failover regressed: new leader exposed %d, old leader had exposed %d", v, exposed)
+	}
+}
+
+func TestSupersededLeaderStopsServing(t *testing.T) {
+	now := time.Unix(1000, 0)
+	c := newCluster(t, []int{0, 1, 2}, []int{0, 1, 2}, 0)
+	g0 := c.groups[0]
+	g0.BootLeader()
+	c.pump(g0.Tick(now), now)
+	if v, out, ok := g0.Bump(0, 1, 2000.5, now); !ok || v != 1 {
+		t.Fatalf("Bump = (%d, %v)", v, ok)
+	} else {
+		c.pump(out, now)
+	}
+	// A higher-term candidate appears; the moment the old leader hears
+	// the new term it goes silent for good.
+	c.pump(c.groups[1].StartCandidate(now), now)
+	if !c.groups[1].Leading() {
+		t.Fatal("higher-term candidate not promoted")
+	}
+	if g0.MayServe(now) {
+		t.Fatal("superseded leader still holds a lease")
+	}
+	if _, out, ok := g0.Bump(0, 2, 2000.5, now); ok {
+		t.Fatal("superseded leader exposed a version")
+	} else {
+		drop(out)
+	}
+}
+
+func TestLeaseExpiresWithoutRenewalQuorum(t *testing.T) {
+	now := time.Unix(1000, 0)
+	c := newCluster(t, []int{0, 1, 2}, []int{0, 1, 2}, 0)
+	g := c.groups[0]
+	g.BootLeader()
+	c.pump(g.Tick(now), now)
+	if !g.MayServe(now) {
+		t.Fatal("no lease after boot round")
+	}
+	// Renewals stop reaching the quorum; the lease runs out.
+	later := now.Add(2 * time.Second)
+	drop(g.Tick(later))
+	if g.MayServe(later) {
+		t.Fatal("leader serving past an unrenewed lease")
+	}
+	// The quorum comes back; the next renewal restores service.
+	c.pump(g.Tick(later.Add(time.Second)), later.Add(time.Second))
+	if !g.MayServe(later.Add(time.Second)) {
+		t.Fatal("lease not restored after renewal quorum")
+	}
+}
+
+func TestNonMemberLeadsFromOutside(t *testing.T) {
+	now := time.Unix(1000, 0)
+	c := newCluster(t, []int{0, 1, 2}, []int{0, 1, 2}, 2)
+	g0 := c.groups[0]
+	g0.BootLeader()
+	c.pump(g0.Tick(now), now)
+	var v int64
+	for want := int64(1); want <= 5; want++ {
+		got, out, ok := g0.Bump(0, want, 2000.5, now)
+		c.pump(out, now)
+		if !ok || got != want {
+			t.Fatalf("Bump(%d) = (%d, %v)", want, got, ok)
+		}
+		v = got
+	}
+	// A non-member (the directory's promotion choice) takes over: its
+	// quorum is counted purely among the members. Its first round guesses
+	// term 1 — the incumbent's term — so the live lease refuses it; the
+	// candidate retransmission path escalates the term and the retry wins.
+	c.mems[9] = store.NewMem()
+	g9 := New(Config{ID: 9, Members: []int{0, 1, 2}, Lease: time.Second, Reserve: 2})
+	c.groups[9] = g9
+	deliver := func(msgs []*proto.Message, at time.Time) {
+		var kept []*proto.Message
+		for _, m := range msgs {
+			if m.To == 0 {
+				proto.Release(m) // dead leader
+				continue
+			}
+			kept = append(kept, m)
+		}
+		c.pump(kept, at)
+	}
+	deliver(g9.StartCandidate(now), now)
+	if g9.Leading() {
+		t.Fatal("stale-term candidate promoted over a live lease")
+	}
+	retry := now.Add(500 * time.Millisecond) // past lease/4 + the id-9 retry stagger
+	deliver(g9.Tick(retry), retry)
+	if !g9.Leading() {
+		t.Fatal("non-member candidate not promoted by member quorum")
+	}
+	nv, out, ok := g9.Bump(0, 1, 3000.5, now)
+	c.pump(out, now)
+	if !ok {
+		nv, out, ok = g9.Bump(0, 1, 3000.5, now)
+		c.pump(out, now)
+	}
+	if !ok || nv <= v {
+		t.Fatalf("non-member leader exposed (%d, ok=%v), want > %d", nv, ok, v)
+	}
+}
+
+// TestDuelingMemberCandidatesConverge is the dual-promotion race of a
+// multi-process cluster: the leaseholder 0 dies and the two surviving
+// members both start candidacies at the same instant. Without the
+// equal-term id tie-break they refuse each other's prepares and
+// re-escalate terms in lockstep forever; with it, exactly one wins
+// within a bounded number of staggered retries.
+func TestDuelingMemberCandidatesConverge(t *testing.T) {
+	now := time.Unix(1000, 0)
+	c := newCluster(t, []int{0, 1, 2}, []int{0, 1, 2}, 2)
+	g0 := c.groups[0]
+	g0.BootLeader()
+	c.pump(g0.Tick(now), now)
+	if _, out, ok := g0.Bump(0, 1, 2000.5, now); !ok {
+		t.Fatal("incumbent could not expose")
+	} else {
+		c.pump(out, now)
+	}
+	// Leaseholder dies; its messages stop. Both survivors promote at once.
+	delete(c.groups, 0)
+	g1, g2 := c.groups[1], c.groups[2]
+	c.pump(g1.StartCandidate(now), now)
+	c.pump(g2.StartCandidate(now), now)
+	// Drive both tickers in lockstep — the adversarial schedule.
+	at := now
+	for i := 0; i < 40 && !g1.Leading() && !g2.Leading(); i++ {
+		at = at.Add(50 * time.Millisecond)
+		c.pump(g1.Tick(at), at)
+		c.pump(g2.Tick(at), at)
+	}
+	if g1.Leading() == g2.Leading() {
+		t.Fatalf("dueling candidates did not converge on one leader: g1=%v g2=%v",
+			g1.Leading(), g2.Leading())
+	}
+	winner := g1
+	if g2.Leading() {
+		winner = g2
+	}
+	// The winner's floor must clear the dead incumbent's exposures, and
+	// the hot path must work: retry once if the floor round needs a pump.
+	v, out, ok := winner.Bump(0, 1, 3000.5, at)
+	c.pump(out, at)
+	if !ok {
+		v, out, ok = winner.Bump(0, 1, 3000.5, at)
+		c.pump(out, at)
+	}
+	if !ok || v <= 1 {
+		t.Fatalf("duel winner exposed (%d, ok=%v), want a version above the incumbent's 1", v, ok)
+	}
+}
+
+func TestRestoreSeedsLogAndTerm(t *testing.T) {
+	g := New(Config{ID: 1, Members: []int{0, 1, 2}})
+	g.Restore([]store.ReplicaState{
+		{ID: 1, Key: 0, Term: 3, Version: 40, Expiry: 2000.5},
+		{ID: 1, Key: 7, Term: 2, Version: 9, Expiry: 2000.5},
+	})
+	if got := g.Accepted(0); got != 40 {
+		t.Fatalf("Accepted(0) = %d, want 40", got)
+	}
+	if got := g.Accepted(7); got != 9 {
+		t.Fatalf("Accepted(7) = %d, want 9", got)
+	}
+	if got := g.Term(); got != 3 {
+		t.Fatalf("Term = %d, want 3", got)
+	}
+}
+
+func TestPromiseSnapshotChunksLargeLogs(t *testing.T) {
+	now := time.Unix(1000, 0)
+	// Member 0 is dead: the candidate (2) can only reach quorum with
+	// replica 1's vote, and that vote carries a multi-chunk snapshot —
+	// promotion must wait for the final chunk and merge all of them.
+	c := newCluster(t, []int{0, 1, 2}, []int{1, 2}, 0)
+	// Replica 1 holds a log wider than one promise frame can carry.
+	states := make([]store.ReplicaState, 0, maxPromisePairs+10)
+	for k := 0; k < maxPromisePairs+10; k++ {
+		states = append(states, store.ReplicaState{ID: 1, Key: k, Term: 1, Version: int64(k + 1)})
+	}
+	c.groups[1].Restore(states)
+	g2 := c.groups[2]
+	c.pump(g2.StartCandidate(now), now)
+	if !g2.Leading() {
+		t.Fatal("candidate did not assemble the chunked snapshot")
+	}
+	// The floor over the widest key must reflect the chunked promise.
+	wideKey := maxPromisePairs + 9
+	v, out, ok := g2.Bump(wideKey, 1, 3000.5, now)
+	c.pump(out, now)
+	if !ok {
+		v, out, ok = g2.Bump(wideKey, 1, 3000.5, now)
+		c.pump(out, now)
+	}
+	if !ok || v <= int64(wideKey+1) {
+		t.Fatalf("Bump on chunk-2 key = (%d, ok=%v), want > %d", v, ok, wideKey+1)
+	}
+}
+
+func TestMessageLeakFree(t *testing.T) {
+	base := proto.InUse()
+	now := time.Unix(1000, 0)
+	c := newCluster(t, []int{0, 1, 2}, []int{0, 1, 2}, 0)
+	g := c.groups[0]
+	g.BootLeader()
+	c.pump(g.Tick(now), now)
+	for want := int64(1); want <= 5; want++ {
+		_, out, _ := g.Bump(0, want, 2000.5, now)
+		c.pump(out, now)
+	}
+	c.pump(c.groups[1].StartCandidate(now), now)
+	c.pump(c.groups[1].Tick(now.Add(time.Second)), now)
+	if got := proto.InUse(); got != base {
+		t.Fatalf("pooled messages leaked: in use %d, baseline %d", got, base)
+	}
+}

@@ -8,11 +8,15 @@ import "sync"
 type Mem struct {
 	mu    sync.Mutex
 	nodes map[nodeKey]NodeState
+	reps  map[nodeKey]ReplicaState
 }
 
 // NewMem returns an empty in-memory journal.
 func NewMem() *Mem {
-	return &Mem{nodes: make(map[nodeKey]NodeState)}
+	return &Mem{
+		nodes: make(map[nodeKey]NodeState),
+		reps:  make(map[nodeKey]ReplicaState),
+	}
 }
 
 // Record keeps the latest state per (node, key).
@@ -40,4 +44,19 @@ func (m *Mem) States(id int) []NodeState {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return statesOf(m.nodes, id)
+}
+
+// RecordReplica keeps the latest replica log entry per (node, key).
+func (m *Mem) RecordReplica(rs ReplicaState) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.reps[nodeKey{rs.ID, rs.Key}] = rs
+}
+
+// ReplicaStates returns every recorded replica log entry for id, one per
+// keyed index tree, sorted by key (nil when there are none).
+func (m *Mem) ReplicaStates(id int) []ReplicaState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return replicaStatesOf(m.reps, id)
 }

@@ -10,9 +10,12 @@
 //
 // where the payload reuses the wire codec: a KindState message carrying
 // the node id (Origin), parent (Subject), root flag (Old), version and
-// expiry, with the subscriber list in Path. Recovery replays the snapshot
-// and then the log, keeping the last record per node; a torn tail (a
-// record cut short by the crash) is truncated, never propagated. When the
+// expiry, with the subscriber list in Path — or, for replica log entries
+// (dup/internal/replica), a KindAccept message carrying the accepted
+// (term, version, expiry) per keyed tree. Recovery replays the snapshot
+// and then the log, keeping the last record per node (per record type); a
+// torn tail (a record cut short by the crash) is truncated, never
+// propagated. When the
 // log outgrows CompactAt the store writes a fresh snapshot (tmp + fsync +
 // rename, so a crash mid-compaction leaves the old one intact) and resets
 // the log. Root version bumps fsync before Record returns — the authority
@@ -71,12 +74,33 @@ type NodeState struct {
 // nodeKey identifies one (node, keyed tree) record.
 type nodeKey struct{ id, key int }
 
+// ReplicaState is one durable entry of a node's replica log
+// (dup/internal/replica): the highest (term, version) the node has
+// accepted for one keyed index tree. The quorum protocol's safety rests on
+// these surviving a crash — a replica that forgot an accepted version
+// could promise a stale log during failover — so RecordReplica fsyncs on
+// every version advance.
+type ReplicaState struct {
+	ID      int
+	Key     int
+	Term    int64
+	Version int64
+	Expiry  float64
+}
+
 // Journal receives state records as a node's durable state changes. The
 // file-backed Store and the in-memory Mem both implement it; the live
 // layer records through this interface so tests and the chaos harness can
 // capture state without touching disk.
 type Journal interface {
 	Record(ns NodeState)
+}
+
+// ReplicaJournal receives replica log records. Store and Mem both
+// implement it; the replica layer type-asserts its journal to this
+// interface, so any plain Journal still works for non-replicated clusters.
+type ReplicaJournal interface {
+	RecordReplica(rs ReplicaState)
 }
 
 // Store is a file-backed Journal rooted at one directory. It is safe for
@@ -88,7 +112,9 @@ type Store struct {
 	walBytes  int64
 	compactAt int64
 	nodes     map[nodeKey]NodeState
+	reps      map[nodeKey]ReplicaState
 	lastRoot  map[nodeKey]int64 // last fsynced root version per (node, key)
+	lastRep   map[nodeKey]int64 // last fsynced replica-log version per (node, key)
 	buf       []byte
 	err       error // first write error; surfaced by Err/Close
 }
@@ -105,7 +131,9 @@ func Open(dir string) (*Store, error) {
 		dir:       dir,
 		compactAt: DefaultCompactAt,
 		nodes:     make(map[nodeKey]NodeState),
+		reps:      make(map[nodeKey]ReplicaState),
 		lastRoot:  make(map[nodeKey]int64),
+		lastRep:   make(map[nodeKey]int64),
 	}
 	if err := s.loadSnapshot(); err != nil {
 		return nil, err
@@ -125,6 +153,9 @@ func Open(dir string) (*Store, error) {
 		if ns.IsRoot {
 			s.lastRoot[nk] = ns.Version
 		}
+	}
+	for nk, rs := range s.reps {
+		s.lastRep[nk] = rs.Version
 	}
 	return s, nil
 }
@@ -156,6 +187,28 @@ func (s *Store) States(id int) []NodeState {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return statesOf(s.nodes, id)
+}
+
+// ReplicaStates returns every recovered replica log entry for id, one per
+// keyed index tree, sorted by key (nil when the store has none).
+func (s *Store) ReplicaStates(id int) []ReplicaState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return replicaStatesOf(s.reps, id)
+}
+
+// replicaStatesOf collects and sorts id's replica entries out of a
+// (node, key) map.
+func replicaStatesOf(reps map[nodeKey]ReplicaState, id int) []ReplicaState {
+	var out []ReplicaState
+	for nk, rs := range reps {
+		if nk.id != id {
+			continue
+		}
+		out = append(out, rs)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
 }
 
 // Nodes returns a copy of every recovered key-0 node state, keyed by id.
@@ -220,6 +273,36 @@ func (s *Store) Record(ns NodeState) {
 	}
 }
 
+// RecordReplica appends one replica log record. Every version advance
+// fsyncs before returning: an accepted version the disk could forget
+// would let a crashed replica promise a stale log during failover, which
+// is exactly the regression the quorum exists to rule out.
+func (s *Store) RecordReplica(rs ReplicaState) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil || s.wal == nil {
+		return
+	}
+	s.buf = appendReplicaRecord(s.buf[:0], &rs)
+	if _, err := s.wal.Write(s.buf); err != nil {
+		s.err = err
+		return
+	}
+	s.walBytes += int64(len(s.buf))
+	nk := nodeKey{rs.ID, rs.Key}
+	s.reps[nk] = rs
+	if rs.Version != s.lastRep[nk] {
+		if err := s.wal.Sync(); err != nil {
+			s.err = err
+			return
+		}
+		s.lastRep[nk] = rs.Version
+	}
+	if s.walBytes >= s.compactAt {
+		s.compactLocked()
+	}
+}
+
 // Sync flushes the log to stable storage.
 func (s *Store) Sync() error {
 	s.mu.Lock()
@@ -270,6 +353,9 @@ func (s *Store) compactLocked() {
 	for _, ns := range s.nodes {
 		s.buf = appendRecord(s.buf, &ns)
 	}
+	for _, rs := range s.reps {
+		s.buf = appendReplicaRecord(s.buf, &rs)
+	}
 	if _, err := f.Write(s.buf); err == nil {
 		err = f.Sync()
 	}
@@ -318,7 +404,7 @@ func (s *Store) loadSnapshot() error {
 	if err != nil {
 		return err
 	}
-	_, err = replay(p, s.nodes)
+	_, err = replay(p, s.nodes, s.reps)
 	if err != nil {
 		return fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
@@ -334,7 +420,7 @@ func (s *Store) loadWAL() error {
 	if err != nil {
 		return err
 	}
-	good, err := replay(p, s.nodes)
+	good, err := replay(p, s.nodes, s.reps)
 	if err != nil {
 		// Torn tail from a crash mid-append: keep the good prefix.
 		if terr := os.Truncate(path, int64(good)); terr != nil {
@@ -344,9 +430,10 @@ func (s *Store) loadWAL() error {
 	return nil
 }
 
-// replay applies every complete record in p to nodes, returning the byte
-// offset of the last fully-applied record and the error that stopped it.
-func replay(p []byte, nodes map[nodeKey]NodeState) (int, error) {
+// replay applies every complete record in p to nodes (KindState records)
+// or reps (KindAccept replica log records), returning the byte offset of
+// the last fully-applied record and the error that stopped it.
+func replay(p []byte, nodes map[nodeKey]NodeState, reps map[nodeKey]ReplicaState) (int, error) {
 	off := 0
 	for off < len(p) {
 		if len(p)-off < recHeader {
@@ -361,14 +448,49 @@ func replay(p []byte, nodes map[nodeKey]NodeState) (int, error) {
 		if crc32.ChecksumIEEE(payload) != sum {
 			return off, fmt.Errorf("crc mismatch at %d", off)
 		}
-		ns, err := decodeRecord(payload)
-		if err != nil {
+		if err := applyRecord(payload, nodes, reps); err != nil {
 			return off, err
 		}
-		nodes[nodeKey{ns.ID, ns.Key}] = ns
 		off += recHeader + n
 	}
 	return off, nil
+}
+
+// applyRecord decodes one record payload and applies it to the map its
+// kind belongs to.
+func applyRecord(payload []byte, nodes map[nodeKey]NodeState, reps map[nodeKey]ReplicaState) error {
+	m, err := wire.DecodeMessage(payload)
+	if err != nil {
+		return err
+	}
+	defer proto.Release(m)
+	switch m.Kind {
+	case proto.KindState:
+		ns := NodeState{
+			ID:      m.Origin,
+			Key:     m.Key,
+			Parent:  m.Subject,
+			IsRoot:  m.Old == 1,
+			Version: m.Version,
+			Expiry:  m.Expiry,
+		}
+		if len(m.Path) > 0 {
+			ns.Subscribers = append([]int(nil), m.Path...)
+		}
+		nodes[nodeKey{ns.ID, ns.Key}] = ns
+	case proto.KindAccept:
+		rs := ReplicaState{
+			ID:      m.Origin,
+			Key:     m.Key,
+			Term:    m.Seq,
+			Version: m.Version,
+			Expiry:  m.Expiry,
+		}
+		reps[nodeKey{rs.ID, rs.Key}] = rs
+	default:
+		return fmt.Errorf("record kind %s, want state or accept", m.Kind)
+	}
+	return nil
 }
 
 // appendRecord appends the CRC-framed encoding of ns to dst. The payload
@@ -397,26 +519,25 @@ func appendRecord(dst []byte, ns *NodeState) []byte {
 	return dst
 }
 
-func decodeRecord(payload []byte) (NodeState, error) {
-	m, err := wire.DecodeMessage(payload)
-	if err != nil {
-		return NodeState{}, err
-	}
-	if m.Kind != proto.KindState {
-		proto.Release(m)
-		return NodeState{}, fmt.Errorf("record kind %s, want state", m.Kind)
-	}
-	ns := NodeState{
-		ID:      m.Origin,
-		Key:     m.Key,
-		Parent:  m.Subject,
-		IsRoot:  m.Old == 1,
-		Version: m.Version,
-		Expiry:  m.Expiry,
-	}
-	if len(m.Path) > 0 {
-		ns.Subscribers = append([]int(nil), m.Path...)
-	}
+// appendReplicaRecord appends the CRC-framed encoding of rs: the wire
+// encoding of a KindAccept message with the node id in Origin and the
+// term in Seq (the full-width int64 field; the live protocol's Accept
+// frames carry the term in Old instead, but a store record never crosses
+// the wire, so the two layouts cannot be confused).
+func appendReplicaRecord(dst []byte, rs *ReplicaState) []byte {
+	m := proto.NewMessage()
+	m.Kind = proto.KindAccept
+	m.Key = rs.Key
+	m.Origin = rs.ID
+	m.Seq = rs.Term
+	m.Version = rs.Version
+	m.Expiry = rs.Expiry
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0, 0, 0, 0, 0)
+	dst = wire.AppendMessage(dst, m)
+	payload := dst[start+recHeader:]
+	binary.BigEndian.PutUint32(dst[start:], uint32(len(payload)))
+	binary.BigEndian.PutUint32(dst[start+4:], crc32.ChecksumIEEE(payload))
 	proto.Release(m)
-	return ns, nil
+	return dst
 }

@@ -196,3 +196,105 @@ func TestMemJournal(t *testing.T) {
 		t.Fatal("Node returned aliased subscriber slice")
 	}
 }
+
+func TestReplicaRecordAndRecover(t *testing.T) {
+	dir := t.TempDir()
+	s := reopen(t, dir)
+	s.RecordReplica(ReplicaState{ID: 1, Key: 0, Term: 2, Version: 7, Expiry: 1234.5})
+	s.RecordReplica(ReplicaState{ID: 1, Key: 3, Term: 2, Version: 9, Expiry: 1235.5})
+	// Later entries supersede earlier ones for the same (node, key).
+	s.RecordReplica(ReplicaState{ID: 1, Key: 0, Term: 3, Version: 11, Expiry: 1236.5})
+	// Replica and node records share one log without clobbering each other.
+	s.Record(NodeState{ID: 1, Parent: 0, Version: 4, Subscribers: []int{2}})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := reopen(t, dir)
+	got := r.ReplicaStates(1)
+	if len(got) != 2 {
+		t.Fatalf("recovered %d replica entries, want 2: %+v", len(got), got)
+	}
+	if got[0] != (ReplicaState{ID: 1, Key: 0, Term: 3, Version: 11, Expiry: 1236.5}) {
+		t.Fatalf("key-0 entry = %+v", got[0])
+	}
+	if got[1] != (ReplicaState{ID: 1, Key: 3, Term: 2, Version: 9, Expiry: 1235.5}) {
+		t.Fatalf("key-3 entry = %+v", got[1])
+	}
+	if r.ReplicaStates(99) != nil {
+		t.Fatal("recovered replica entries for a node never recorded")
+	}
+	if ns, ok := r.Node(1); !ok || ns.Version != 4 {
+		t.Fatalf("node record lost next to replica records: %+v ok=%v", ns, ok)
+	}
+}
+
+func TestReplicaTornTailIsTruncated(t *testing.T) {
+	dir := t.TempDir()
+	s := reopen(t, dir)
+	s.RecordReplica(ReplicaState{ID: 0, Key: 0, Term: 1, Version: 5})
+	s.RecordReplica(ReplicaState{ID: 0, Key: 1, Term: 1, Version: 6})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Chop bytes off the log tail, simulating a crash mid-append of a
+	// replica record: the intact prefix must survive, the torn entry must
+	// vanish rather than decode as garbage.
+	path := filepath.Join(dir, "wal.log")
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, fi.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	r := reopen(t, dir)
+	got := r.ReplicaStates(0)
+	if len(got) != 1 || got[0].Key != 0 || got[0].Version != 5 {
+		t.Fatalf("after torn tail: %+v, want only the key-0 entry at version 5", got)
+	}
+	// The store must remain appendable after repair.
+	r.RecordReplica(ReplicaState{ID: 0, Key: 1, Term: 2, Version: 8})
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r2 := reopen(t, dir)
+	got = r2.ReplicaStates(0)
+	if len(got) != 2 || got[1] != (ReplicaState{ID: 0, Key: 1, Term: 2, Version: 8}) {
+		t.Fatalf("post-repair replica entries = %+v", got)
+	}
+}
+
+func TestReplicaRecordsSurviveCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s := reopen(t, dir)
+	s.SetCompactAt(256)
+	for v := int64(1); v <= 64; v++ {
+		s.RecordReplica(ReplicaState{ID: 2, Key: 0, Term: 1, Version: v})
+	}
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := reopen(t, dir)
+	got := r.ReplicaStates(2)
+	if len(got) != 1 || got[0].Version != 64 {
+		t.Fatalf("post-compaction replica entries = %+v, want version 64", got)
+	}
+}
+
+func TestMemReplicaJournal(t *testing.T) {
+	m := NewMem()
+	if m.ReplicaStates(1) != nil {
+		t.Fatal("empty journal has replica entries")
+	}
+	m.RecordReplica(ReplicaState{ID: 1, Key: 2, Term: 1, Version: 3})
+	m.RecordReplica(ReplicaState{ID: 1, Key: 2, Term: 1, Version: 4})
+	got := m.ReplicaStates(1)
+	if len(got) != 1 || got[0].Version != 4 {
+		t.Fatalf("mem replica entries = %+v", got)
+	}
+}

@@ -1,0 +1,121 @@
+package wire
+
+import (
+	"encoding/hex"
+	"testing"
+
+	"dup/internal/proto"
+)
+
+// goldenVectors pins the byte-exact payload encoding of every pre-replica
+// message kind, keyed and key-0, as produced by the version-3 codec that
+// shipped before the replica subsystem (PR 7). The replica work bumped
+// Version to 4; these vectors are the executable proof that no pre-replica
+// frame changed — a Replicas=1 cluster speaks byte-identical wire format
+// to a pre-replica binary. Regenerate only on a deliberate format change.
+//
+// Every vector encodes the same field values (To=31, Origin=42, Subject=7,
+// Old=7, New=11, Seq=99, Version=12345, Hops=3, Expiry=1.7e9,
+// Path=[5,1000]), with Key 0 and 64 variants; push carries a piggybacked
+// subscribe(7); the batch envelope holds two keyed pushes.
+var goldenVectors = []struct {
+	name string
+	msg  *proto.Message
+	hex  string
+}{
+	{"request/key=0", goldenMsg(proto.KindRequest, 0), "0100003e540e0e16c601f2c0010641d954fc40000000040ad00f"},
+	{"request/key=64", goldenMsg(proto.KindRequest, 64), "0300003e540e0e16c601f2c00106800141d954fc40000000040ad00f"},
+	{"reply/key=0", goldenMsg(proto.KindReply, 0), "0101003e540e0e16c601f2c0010641d954fc40000000040ad00f"},
+	{"reply/key=64", goldenMsg(proto.KindReply, 64), "0301003e540e0e16c601f2c00106800141d954fc40000000040ad00f"},
+	{"push/key=0", goldenMsg(proto.KindPush, 0), "0102013e540e0e16c601f2c0010641d954fc40000000040ad00f030e"},
+	{"push/key=64", goldenMsg(proto.KindPush, 64), "0302013e540e0e16c601f2c00106800141d954fc40000000040ad00f030e"},
+	{"subscribe/key=0", goldenMsg(proto.KindSubscribe, 0), "0103003e540e0e16c601f2c0010641d954fc40000000040ad00f"},
+	{"subscribe/key=64", goldenMsg(proto.KindSubscribe, 64), "0303003e540e0e16c601f2c00106800141d954fc40000000040ad00f"},
+	{"unsubscribe/key=0", goldenMsg(proto.KindUnsubscribe, 0), "0104003e540e0e16c601f2c0010641d954fc40000000040ad00f"},
+	{"unsubscribe/key=64", goldenMsg(proto.KindUnsubscribe, 64), "0304003e540e0e16c601f2c00106800141d954fc40000000040ad00f"},
+	{"substitute/key=0", goldenMsg(proto.KindSubstitute, 0), "0105003e540e0e16c601f2c0010641d954fc40000000040ad00f"},
+	{"substitute/key=64", goldenMsg(proto.KindSubstitute, 64), "0305003e540e0e16c601f2c00106800141d954fc40000000040ad00f"},
+	{"interest/key=0", goldenMsg(proto.KindInterest, 0), "0106003e540e0e16c601f2c0010641d954fc40000000040ad00f"},
+	{"interest/key=64", goldenMsg(proto.KindInterest, 64), "0306003e540e0e16c601f2c00106800141d954fc40000000040ad00f"},
+	{"uninterest/key=0", goldenMsg(proto.KindUninterest, 0), "0107003e540e0e16c601f2c0010641d954fc40000000040ad00f"},
+	{"uninterest/key=64", goldenMsg(proto.KindUninterest, 64), "0307003e540e0e16c601f2c00106800141d954fc40000000040ad00f"},
+	{"keepalive/key=0", goldenMsg(proto.KindKeepAlive, 0), "0108003e540e0e16c601f2c0010641d954fc40000000040ad00f"},
+	{"keepalive/key=64", goldenMsg(proto.KindKeepAlive, 64), "0308003e540e0e16c601f2c00106800141d954fc40000000040ad00f"},
+	{"keepalive-ack/key=0", goldenMsg(proto.KindKeepAliveAck, 0), "0109003e540e0e16c601f2c0010641d954fc40000000040ad00f"},
+	{"keepalive-ack/key=64", goldenMsg(proto.KindKeepAliveAck, 64), "0309003e540e0e16c601f2c00106800141d954fc40000000040ad00f"},
+	{"ack/key=0", goldenMsg(proto.KindAck, 0), "010a003e540e0e16c601f2c0010641d954fc40000000040ad00f"},
+	{"ack/key=64", goldenMsg(proto.KindAck, 64), "030a003e540e0e16c601f2c00106800141d954fc40000000040ad00f"},
+	{"join/key=0", goldenMsg(proto.KindJoin, 0), "020b003e540e0e16c601f2c0010641d954fc40000000040ad00f"},
+	{"join/key=64", goldenMsg(proto.KindJoin, 64), "030b003e540e0e16c601f2c00106800141d954fc40000000040ad00f"},
+	{"leave/key=0", goldenMsg(proto.KindLeave, 0), "020c003e540e0e16c601f2c0010641d954fc40000000040ad00f"},
+	{"leave/key=64", goldenMsg(proto.KindLeave, 64), "030c003e540e0e16c601f2c00106800141d954fc40000000040ad00f"},
+	{"state/key=0", goldenMsg(proto.KindState, 0), "020d003e540e0e16c601f2c0010641d954fc40000000040ad00f"},
+	{"state/key=64", goldenMsg(proto.KindState, 64), "030d003e540e0e16c601f2c00106800141d954fc40000000040ad00f"},
+	{"batch/key=0", goldenBatch(), "030e003e5480808001042c0102003e5400000000f2c0010041d954fc40000000002e0302003e5400000000f2c001000241d954fc4000000000"},
+}
+
+// goldenMsg builds the fixed-field message the vectors were generated
+// from. Field values deliberately exercise multi-byte varints and the
+// float expiry.
+func goldenMsg(k proto.Kind, key int) *proto.Message {
+	m := &proto.Message{
+		Kind: k, To: 31, Origin: 42, Subject: 7, Old: 7, New: 11,
+		Key: key, Seq: 99, Version: 12345, Hops: 3,
+		Expiry: 1.7e9, Path: []int{5, 1000},
+	}
+	if k == proto.KindPush {
+		m.SetPiggy(proto.KindSubscribe, 7)
+	}
+	return m
+}
+
+// goldenBatch builds the envelope vector: two keyed pushes coalesced for
+// one neighbour, under an envelope Seq with multi-byte varint encoding.
+func goldenBatch() *proto.Message {
+	mk := func(key int) *proto.Message {
+		return &proto.Message{Kind: proto.KindPush, To: 31, Origin: 42, Key: key,
+			Version: 12345, Expiry: 1.7e9}
+	}
+	return &proto.Message{Kind: proto.KindBatch, To: 31, Origin: 42, Seq: 1 << 20,
+		Batch: []*proto.Message{mk(0), mk(1)}}
+}
+
+// TestGoldenPreReplicaEncodings asserts every pre-replica kind still
+// encodes to the exact bytes the version-3 codec produced, and that those
+// bytes decode back to the same message.
+func TestGoldenPreReplicaEncodings(t *testing.T) {
+	for _, g := range goldenVectors {
+		got := hex.EncodeToString(AppendMessage(nil, g.msg))
+		if got != g.hex {
+			t.Errorf("%s: encoding drifted from the pre-replica wire format\n got  %s\n want %s",
+				g.name, got, g.hex)
+			continue
+		}
+		raw, err := hex.DecodeString(g.hex)
+		if err != nil {
+			t.Fatalf("%s: bad vector: %v", g.name, err)
+		}
+		m, err := DecodeMessage(raw)
+		if err != nil {
+			t.Errorf("%s: golden bytes no longer decode: %v", g.name, err)
+			continue
+		}
+		if !equalMessage(g.msg, m) {
+			t.Errorf("%s: golden bytes decode to a different message:\n in  %+v\n out %+v",
+				g.name, g.msg, m)
+		}
+		proto.Release(m)
+	}
+	// The vectors must cover the entire pre-replica vocabulary — if a kind
+	// is added to it (rather than to the replica range) this test must be
+	// extended deliberately.
+	covered := map[proto.Kind]bool{}
+	for _, g := range goldenVectors {
+		covered[g.msg.Kind] = true
+	}
+	for k := proto.Kind(0); int(k) < v3Kinds; k++ {
+		if !covered[k] {
+			t.Errorf("pre-replica kind %s has no golden vector", k)
+		}
+	}
+}

@@ -11,8 +11,9 @@
 // -1 sentinels stay one byte), the expiry as 8 IEEE-754 big-endian bytes,
 // the path as a count-prefixed varint list, and an optional piggyback
 // behind a flag bit. Version-3 payloads insert a non-zero Key varint
-// (multi-key data plane) between Hops and Expiry; KindBatch envelopes use
-// their own compact layout carrying a count-prefixed list of
+// (multi-key data plane) between Hops and Expiry; version-4 payloads (the
+// replica quorum kinds) always carry the Key varint; KindBatch envelopes
+// use their own compact layout carrying a count-prefixed list of
 // length-delimited member payloads. Encoding appends to a caller buffer;
 // decoding fills a pooled proto.Message whose Path backing array is
 // reused, so a busy connection round-trips messages without per-message
@@ -40,14 +41,26 @@ const (
 	// added the membership kinds (join, leave, state) with the field layout
 	// unchanged; version 3 adds the Key field (stamped only when Key != 0,
 	// so single-key traffic stays byte-identical to version 2) and the
-	// KindBatch envelope.
-	Version = 3
+	// KindBatch envelope; version 4 adds the replica quorum kinds (prepare,
+	// promise, accept, commit, lease), which always carry the Key varint
+	// (even when zero) and exist in no older vocabulary. Pre-replica kinds
+	// never stamp version 4, so a cluster that does not use replication
+	// emits byte-identical frames to a version-3 binary.
+	Version = 4
 
 	// v1Kinds is the kind-vocabulary size of version-1 payloads. Kinds
 	// below it encode as version 1 (so upgraded peers interoperate with
 	// version-1 binaries for the original vocabulary); the membership kinds
 	// at and above it require version 2.
 	v1Kinds = 11
+
+	// v3Kinds is the kind-vocabulary size of version-3 payloads; the
+	// replica kinds at and above it require version 4.
+	v3Kinds = 15
+
+	// keyVersion is the payload version that introduced the optional Key
+	// field: any pre-replica kind may be raised to it when Key != 0.
+	keyVersion = 3
 
 	// MaxFrame bounds the payload length a reader accepts (and a writer
 	// produces). Protocol messages are tens of bytes; the megabyte bound
@@ -107,6 +120,8 @@ func PutBuf(b *[]byte) {
 // vocabularies stay readable by older decoders.
 func minVersion(k proto.Kind) byte {
 	switch {
+	case int(k) >= v3Kinds:
+		return 4
 	case k == proto.KindBatch:
 		return 3
 	case int(k) >= v1Kinds:
@@ -116,14 +131,16 @@ func minVersion(k proto.Kind) byte {
 }
 
 // payloadVersion returns the version byte the message encodes under: the
-// kind's minimal version, raised to 3 when the message carries a non-zero
-// Key (the Key field only exists in version-3 payloads). Key-0 messages
-// therefore stay byte-identical to their version-1/2 encodings.
+// kind's minimal version, raised to 3 when a pre-replica kind carries a
+// non-zero Key (the Key field only exists from version 3 on). Key-0
+// messages of the old vocabulary therefore stay byte-identical to their
+// version-1/2 encodings, and the replica kinds always stamp 4.
 func payloadVersion(m *proto.Message) byte {
-	if m.Key != 0 {
-		return 3
+	mv := minVersion(m.Kind)
+	if mv < keyVersion && m.Key != 0 {
+		return keyVersion
 	}
-	return minVersion(m.Kind)
+	return mv
 }
 
 // AppendMessage appends m's payload encoding (no length prefix) to dst and
@@ -267,14 +284,19 @@ func decodeMessage(p []byte, depth int) (*proto.Message, error) {
 		return nil, fmt.Errorf("%w: %d", ErrUnknownKind, kind)
 	}
 	k := proto.Kind(kind)
-	// A kind has exactly two valid version bytes: its minimal version
-	// (Key == 0) and version 3 (non-zero Key), so the encoding stays
-	// canonical under fuzzing and a membership kind can not masquerade as a
-	// version-1 payload. A version-3 non-batch payload whose Key decodes to
-	// zero is rejected below for the same reason.
-	if d.err == nil && v != minVersion(k) && v != Version {
+	// A pre-replica kind has exactly two valid version bytes: its minimal
+	// version (Key == 0) and version 3 (non-zero Key); a replica kind has
+	// exactly one (4, Key always present). That keeps the encoding
+	// canonical under fuzzing, and no kind can masquerade under a foreign
+	// vocabulary. A version-3 non-batch payload whose Key decodes to zero
+	// is rejected below for the same reason.
+	if d.err == nil && v != minVersion(k) && !(v == keyVersion && minVersion(k) < keyVersion) {
+		if minVersion(k) >= keyVersion {
+			return nil, fmt.Errorf("%w: kind %s requires version %d, got %d",
+				ErrVersion, k, minVersion(k), v)
+		}
 		return nil, fmt.Errorf("%w: kind %s requires version %d or %d, got %d",
-			ErrVersion, k, minVersion(k), Version, v)
+			ErrVersion, k, minVersion(k), keyVersion, v)
 	}
 	if k == proto.KindBatch && depth > 0 {
 		return nil, fmt.Errorf("%w: nested batch envelope", ErrUnknownKind)
@@ -304,7 +326,9 @@ func decodeMessage(p []byte, depth int) (*proto.Message, error) {
 	m.Hops = int(d.varint())
 	if v >= 3 {
 		m.Key = int(d.varint())
-		if d.err == nil && m.Key == 0 {
+		// Version 3 is only ever stamped to carry a non-zero Key; version 4
+		// payloads always include the field, so zero is canonical there.
+		if d.err == nil && v == keyVersion && m.Key == 0 {
 			proto.Release(m)
 			return nil, fmt.Errorf("%w: version 3 with zero key", ErrNonCanonical)
 		}

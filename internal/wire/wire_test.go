@@ -42,6 +42,15 @@ func sampleMessages() []*proto.Message {
 		{Kind: proto.KindPush, To: 5, Origin: 2, Key: 8, Version: 6, Expiry: 90.5},
 		{Kind: proto.KindRequest, To: 3, Origin: 7, Key: 64, Seq: 8, Hops: 1, Path: []int{7}},
 		{Kind: proto.KindJoin, To: 2, Origin: 9, Key: 3, Seq: 6, Version: 4},
+		// Replica quorum kinds (version 4): the Key varint always travels,
+		// including the zero key of the default index tree.
+		{Kind: proto.KindPrepare, To: 1, Origin: 2, Old: 3, Expiry: 444.25},
+		{Kind: proto.KindPromise, To: 2, Origin: 1, Old: 3, Subject: 0, Path: []int{0, 7, 2, 9}},
+		{Kind: proto.KindPromise, To: 0, Origin: 1, Old: 3, Subject: 1, Key: 2, Seq: 12},
+		{Kind: proto.KindAccept, To: 1, Origin: 0, Old: 3, Key: 2, Version: 12, Expiry: 90.5},
+		{Kind: proto.KindAccept, To: 1, Origin: 0, Old: 3, Key: 0, Version: 13, Expiry: 91.5},
+		{Kind: proto.KindCommit, To: 1, Origin: 0, Old: 3, Key: 2, Version: 12},
+		{Kind: proto.KindLease, To: 1, Origin: 0, Old: 3, Seq: 5, Expiry: 445.25},
 		// A coalescing envelope with mixed-kind, mixed-key members.
 		{Kind: proto.KindBatch, To: 4, Origin: 1, Seq: 33, Batch: []*proto.Message{
 			{Kind: proto.KindPush, To: 4, Origin: 1, Key: 8, Version: 12, Expiry: 64.5},
@@ -104,14 +113,17 @@ func TestRoundTripEveryKind(t *testing.T) {
 
 // TestPayloadVersionStamping pins the version byte each message encodes
 // under: the original vocabulary stays at 1 (so version-1 binaries keep
-// decoding it), the membership kinds added in version 2 stamp 2, and only
-// keyed messages and batch envelopes stamp 3 — which is what keeps key-0
-// traffic byte-identical to the version-2 wire format.
+// decoding it), the membership kinds added in version 2 stamp 2, keyed
+// messages and batch envelopes stamp 3 — which is what keeps key-0
+// traffic byte-identical to the version-2 wire format — and only the
+// replica quorum kinds stamp 4.
 func TestPayloadVersionStamping(t *testing.T) {
 	for _, m := range sampleMessages() {
 		p := AppendMessage(nil, m)
 		want := byte(1)
 		switch {
+		case int(m.Kind) >= v3Kinds:
+			want = 4
 		case m.Kind == proto.KindBatch || m.Key != 0:
 			want = 3
 		case m.Kind == proto.KindJoin || m.Kind == proto.KindLeave || m.Kind == proto.KindState:
@@ -210,6 +222,19 @@ func TestDecodeRejectsMalformed(t *testing.T) {
 			func() []byte {
 				p := AppendMessage(nil, &proto.Message{Kind: proto.KindJoin, To: 1, Origin: 2})
 				p[0] = 1
+				return p
+			}(), ErrVersion},
+		{"v1 kind stamped v4", append([]byte{4}, good[1:]...), ErrVersion},
+		{"replica kind stamped v3",
+			func() []byte {
+				p := AppendMessage(nil, &proto.Message{Kind: proto.KindAccept, To: 1, Old: 2, Key: 3, Version: 9})
+				p[0] = 3
+				return p
+			}(), ErrVersion},
+		{"batch stamped v4",
+			func() []byte {
+				p := batchPayload()
+				p[0] = 4
 				return p
 			}(), ErrVersion},
 		{"batch stamped v2",

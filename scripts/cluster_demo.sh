@@ -5,8 +5,13 @@
 # that the authority's keep-alive fabric was active. A second phase
 # SIGKILLs the authority daemon mid-run and restarts it from its
 # -state-dir, asserting it resumes its pre-crash index version and that
-# no peer ever observes the version regress. It is the executable form of
-# the README's "Running a real cluster" and "Surviving restarts" sections.
+# no peer ever observes the version regress. A third phase reboots the
+# cluster with -replicas 3 (quorum members 0,1,2 spread across the three
+# processes), SIGKILLs the leaseholder's process outright, and asserts a
+# follower takes over serving at or above the highest pre-kill version
+# with the querying site's resolved sequence never going backwards. It is
+# the executable form of the README's "Running a real cluster",
+# "Surviving restarts" and "Surviving disk loss" sections.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -118,3 +123,45 @@ grep -o 'version=[0-9]*' "$LOGS/c2.log" | cut -d= -f2 \
   || { rc=$?; if (( rc == 2 )); then echo "cluster never advanced past the recovered version $REC"; \
        else echo "a peer observed a version regression"; fi; cat "$LOGS/c2.log" | tail -20; exit 1; }
 echo "cluster-demo: authority recovered at version $REC (pre-crash $PRE), no regression; all green"
+
+echo "== phase 3: replicated authority, SIGKILL the leaseholder's process =="
+# The quorum members 0,1,2 live on three different processes, so killing
+# the leaseholder's host takes out exactly one of them and the surviving
+# majority can promote. Default timing: 150ms failure detection, 400ms
+# TTL (= lease), so fail-over completes well inside the run.
+peers3_for() { # id=addr pairs for the phase-3 host split
+  local out=() id
+  for id in 0 3 4; do [[ $1 != A ]] && out+=("$id=$A"); done
+  for id in 1 5 6; do [[ $1 != B ]] && out+=("$id=$B"); done
+  for id in 2 7 8; do [[ $1 != C ]] && out+=("$id=$C"); done
+  local IFS=,
+  echo "${out[*]}"
+}
+"$DUPD" $COMMON -replicas 3 -listen $A -host 0,3,4 -authority -peers "$(peers3_for A)" \
+        -run 18s >"$LOGS/a4.log" 2>&1 &
+APID=$!
+# The querying daemon hosts quorum member 1: its resolved sequence is the
+# per-site monotonicity witness across the fail-over.
+"$DUPD" $COMMON -replicas 3 -listen $B -host 1,5,6 -peers "$(peers3_for B)" \
+        -query 5 -every 80ms -run 18s >"$LOGS/b4.log" 2>&1 &
+"$DUPD" $COMMON -replicas 3 -listen $C -host 2,7,8 -peers "$(peers3_for C)" \
+        -run 18s >"$LOGS/c4.log" 2>&1 &
+
+sleep 6
+PRE=$(grep -o 'version=[0-9]*' "$LOGS/b4.log" | cut -d= -f2 | sort -n | tail -1)
+[[ -n $PRE ]] || { echo "no versions resolved before the leaseholder kill"; cat "$LOGS/b4.log"; exit 1; }
+MARK=$(grep -c 'version=' "$LOGS/b4.log" || true)
+kill -9 "$APID" 2>/dev/null || { echo "leaseholder daemon exited early"; cat "$LOGS/a4.log"; exit 1; }
+wait "$APID" 2>/dev/null || true
+echo "leaseholder killed; highest version observed so far: $PRE"
+wait
+
+POST=$(grep -o 'version=[0-9]*' "$LOGS/b4.log" | cut -d= -f2 | tail -n +$((MARK + 1)))
+[[ -n $POST ]] || { echo "no follower served after the leaseholder died"; cat "$LOGS/b4.log" | tail -20; exit 1; }
+FIRST=$(head -1 <<<"$POST"); TOP=$(sort -n <<<"$POST" | tail -1)
+(( FIRST >= PRE )) || { echo "fail-over regressed: first post-kill version $FIRST below pre-kill $PRE"; exit 1; }
+(( TOP > PRE )) || { echo "promoted authority never advanced past pre-kill version $PRE"; exit 1; }
+grep -o 'version=[0-9]*' "$LOGS/b4.log" | cut -d= -f2 \
+  | awk 'NR>1 && $1<prev { print "version regressed: " prev " -> " $1; exit 1 } { prev=$1 }' \
+  || { echo "the querying site observed a version regression across fail-over"; cat "$LOGS/b4.log" | tail -20; exit 1; }
+echo "cluster-demo: follower took over at >= $PRE, advanced to $TOP, no regression; all green"
