@@ -83,6 +83,8 @@ func run() int {
 	flag.IntVar(&cfg.Keys, "keys", cfg.Keys, "keyed index trees per node at boot (0 means 1)")
 	flag.IntVar(&cfg.ShardLoops, "shards", cfg.ShardLoops, "shard lanes per node, keys spread key mod L (identical on every process; 0 means 1)")
 	flag.IntVar(&cfg.Replicas, "replicas", cfg.Replicas, "authority replication factor R: nodes 0..R-1 form the quorum (identical on every process; 0 or 1 disables)")
+	flag.DurationVar(&cfg.RootAnnounceEvery, "announce-every", cfg.RootAnnounceEvery, "root sequence beacon period for the self-healing tree (0 disables)")
+	flag.DurationVar(&cfg.RootExpireAfter, "announce-expire", cfg.RootExpireAfter, "root path staleness bound before a node re-homes by score (0 means 4x -announce-every)")
 	flag.Parse()
 
 	hosts, err := parseIDs(*hostList)
@@ -239,11 +241,20 @@ func run() int {
 }
 
 // logStats logs one counters line, including the delivery-guarantee
-// counters (retransmissions, acks, suppressed duplicates, give-ups).
+// counters (retransmissions, acks, suppressed duplicates, give-ups), the
+// soft-state tree beacon counters, and — when a hosted node currently
+// leads a replica quorum — the replication lag and the lease reserve
+// headroom left before exposure would block on quorum acknowledgement.
+// The line is append-only: scripts grep its existing fields.
 func logStats(prefix string, s live.Stats) {
-	log.Printf("%s queries=%d local=%d pushes=%d subscribes=%d substitutes=%d keepalives=%d drops=%d retrans=%d acks=%d dups=%d giveups=%d",
+	line := fmt.Sprintf("%s queries=%d local=%d pushes=%d subscribes=%d substitutes=%d keepalives=%d drops=%d retrans=%d acks=%d dups=%d giveups=%d announces=%d expiries=%d",
 		prefix, s.Queries, s.LocalHits, s.Pushes, s.Subscribes, s.Substitutes, s.KeepAlives,
-		s.Drops, s.Retransmits, s.Acks, s.DupSuppressed, s.RetransmitGiveUps)
+		s.Drops, s.Retransmits, s.Acks, s.DupSuppressed, s.RetransmitGiveUps,
+		s.RootAnnounces, s.RootExpiries)
+	if s.ReplicaLag != 0 || s.ReserveHeadroom != 0 {
+		line += fmt.Sprintf(" lag=%d headroom=%d", s.ReplicaLag, s.ReserveHeadroom)
+	}
+	log.Print(line)
 }
 
 // ticker returns a ticking channel when enabled, else a nil channel that

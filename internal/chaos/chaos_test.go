@@ -14,8 +14,9 @@ var (
 	flagSteps    = flag.Int("chaos.steps", 0, "schedule steps")
 	flagChurn    = flag.Int("chaos.churn", 0, "membership churn percent (-1 disables)")
 	flagKeys     = flag.Int("chaos.keys", 0, "keyed index trees (0 means 1)")
-	flagQuorum   = flag.Bool("chaos.quorum", false, "run the replicated-authority quorum scenario")
-	flagReplicas = flag.Int("chaos.replicas", 0, "authority replication factor (0 means 3 with -chaos.quorum)")
+	flagQuorum    = flag.Bool("chaos.quorum", false, "run the replicated-authority quorum scenario")
+	flagReplicas  = flag.Int("chaos.replicas", 0, "authority replication factor (0 means 3 with -chaos.quorum)")
+	flagRootChurn = flag.Bool("chaos.rootchurn", false, "run the stale-root-path beacon scenario")
 )
 
 func TestScheduleIsDeterministic(t *testing.T) {
@@ -255,6 +256,64 @@ func TestChaosQuorumPartition(t *testing.T) {
 	}
 }
 
+// TestChaosRootChurn plays the scripted stale-root-path scenario: the
+// root is partitioned from one inner child at a time, held past the
+// root-path expiry. The child's subtree keeps a live, acking parent the
+// whole time, so only the sequence beacon going quiet can trigger the
+// repair — the stale-expiry invariant asserts it did. A second run from
+// the same seed must agree byte for byte, and the beacon must not make
+// delivery worse: the run's give-up count stays within generous slack of
+// the same schedule played with the beacon off.
+func TestChaosRootChurn(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Seed = 7
+	cfg.RootChurn = true
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", rep)
+	if !rep.Passed {
+		t.Fatalf("rootchurn scenario violated invariants:\n%s", rep)
+	}
+	found := false
+	for _, iv := range rep.Invariants {
+		if iv.Name == "stale-expiry" {
+			found = true
+			if !iv.OK {
+				t.Fatalf("no stale root path ever expired: %s", iv.Detail)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("rootchurn run did not report the stale-expiry invariant")
+	}
+	second, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.String() != rep.String() {
+		t.Fatalf("same seed, different rootchurn reports:\n--- first\n%s--- second\n%s", rep, second)
+	}
+	// Announce-off baseline: the identical scripted schedule without the
+	// beacon. The beacon-driven repairs must not inflate give-ups — the
+	// bound is deliberately loose (2x + 12) because both counts wobble
+	// with scheduling.
+	base := cfg
+	base.noAnnounce = true
+	baseline, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !baseline.Passed {
+		t.Fatalf("announce-off baseline failed:\n%s", baseline)
+	}
+	if rep.GiveUps > 2*baseline.GiveUps+12 {
+		t.Fatalf("beacon repairs inflated give-ups: %d with announce vs %d baseline",
+			rep.GiveUps, baseline.GiveUps)
+	}
+}
+
 // TestChaosRun is the `make chaos` entry point: one run at whatever scale
 // the -chaos.* flags request, report logged, invariants fatal on failure.
 func TestChaosRun(t *testing.T) {
@@ -280,6 +339,9 @@ func TestChaosRun(t *testing.T) {
 	}
 	if *flagReplicas != 0 {
 		cfg.Replicas = *flagReplicas
+	}
+	if *flagRootChurn {
+		cfg.RootChurn = true
 	}
 	rep, err := Run(cfg)
 	if err != nil {

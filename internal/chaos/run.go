@@ -39,6 +39,14 @@ type Report struct {
 	// reports stay byte-identical to the pre-replica harness.
 	Quorum   bool
 	Replicas int
+	// RootChurn marks the stale-root-path scenario; like Quorum it adds a
+	// header token only when set, so default reports stay byte-identical.
+	RootChurn bool
+	// GiveUps is the cluster-wide reliable-delivery give-up count sampled
+	// right after the schedule settles. Not part of String — the count is
+	// timing-dependent — but the rootchurn test compares it against an
+	// announce-off baseline of the same schedule.
+	GiveUps int64
 }
 
 func (r *Report) String() string {
@@ -47,6 +55,9 @@ func (r *Report) String() string {
 		r.Seed, r.Nodes, r.Steps, r.Churn, r.Members, r.Epoch)
 	if r.Quorum {
 		fmt.Fprintf(&b, " replicas=%d quorum", r.Replicas)
+	}
+	if r.RootChurn {
+		b.WriteString(" rootchurn")
 	}
 	b.WriteString("\n")
 	for _, e := range r.Events {
@@ -99,7 +110,7 @@ type harness struct {
 // dozen steps exercise several TTL generations, slow enough that repair
 // paths (keep-alive detection, retransmit deadlines) get room to work.
 func liveConfig(cfg Config) live.Config {
-	return live.Config{
+	lc := live.Config{
 		Nodes:          cfg.Nodes,
 		MaxDegree:      cfg.MaxDegree,
 		TTL:            250 * time.Millisecond,
@@ -112,7 +123,20 @@ func liveConfig(cfg Config) live.Config {
 		Replicas:       cfg.Replicas,
 		Seed:           cfg.Seed,
 	}
+	if cfg.RootChurn && !cfg.noAnnounce {
+		// The soft-state tree beacon, scaled to the chaos clock: the path
+		// expiry sits past DeadAfter (the keep-alive detector keeps first
+		// claim on a dead parent) and inside the scripted partition hold,
+		// so stale paths must expire while the faults are still live.
+		lc.RootAnnounceEvery = 40 * time.Millisecond
+		lc.RootExpireAfter = 200 * time.Millisecond
+	}
+	return lc
 }
+
+// rootChurnHold is how many steps a rootchurn partition is held: at the
+// default 60ms cadence that is 300ms, past the 200ms path expiry above.
+const rootChurnHold = 5
 
 func newHarness(cfg Config) (*harness, error) {
 	lcfg := liveConfig(cfg)
@@ -479,7 +503,10 @@ func Run(cfg Config) (*Report, error) {
 	rep := &Report{
 		Seed: cfg.Seed, Nodes: cfg.Nodes, Steps: cfg.Steps, Churn: cfg.Churn,
 		Members: len(h.dir.Members()), Epoch: h.dir.Epoch(), Events: events,
-		Quorum: cfg.Quorum, Replicas: cfg.Replicas,
+		Quorum: cfg.Quorum, Replicas: cfg.Replicas, RootChurn: cfg.RootChurn,
+	}
+	for _, nw := range h.nets {
+		rep.GiveUps += nw.Stats().RetransmitGiveUps
 	}
 	add := func(name string, ok bool, detail string) {
 		rep.Invariants = append(rep.Invariants, Invariant{Name: name, OK: ok, Detail: detail})
@@ -492,12 +519,34 @@ func Run(cfg Config) (*Report, error) {
 		monoOK, monoDetail = h.checkMonotone()
 		add("monotone-versions", monoOK, monoDetail)
 	}
+	staleOK := true
+	if cfg.RootChurn && !cfg.noAnnounce {
+		var staleDetail string
+		staleOK, staleDetail = h.checkStaleExpiry()
+		add("stale-expiry", staleOK, staleDetail)
+	}
 	treeOK, treeDetail := h.checkConsistency()
 	add("tree-consistency", treeOK, treeDetail)
 	leakOK, leakDetail := h.checkLeaks(base)
 	add("no-leak", leakOK, leakDetail)
-	rep.Passed = convOK && monoOK && treeOK && leakOK
+	rep.Passed = convOK && monoOK && staleOK && treeOK && leakOK
 	return rep, nil
+}
+
+// checkStaleExpiry reports the rootchurn verdict: at least one node
+// noticed its root sequence had stopped advancing — behind a parent that
+// was alive and acking the whole time — and re-homed by expiry. The
+// passing detail is constant so passing reports stay byte-identical;
+// only the failing detail carries the count.
+func (h *harness) checkStaleExpiry() (bool, string) {
+	var n int64
+	for _, nw := range h.nets {
+		n += nw.Stats().RootExpiries
+	}
+	if n == 0 {
+		return false, "no node ever expired a stale root path by sequence timeout"
+	}
+	return true, "stale root paths expired by sequence timeout and re-homed"
 }
 
 // checkMonotone reports the quorum-mode monotonicity verdict: across

@@ -67,6 +67,21 @@ type Config struct {
 	// Replicas is the authority replication factor (live.Config.Replicas).
 	// Zero means 3 when Quorum is set, unreplicated otherwise.
 	Replicas int
+	// RootChurn switches to the stale-root-path scenario: the cluster
+	// runs with the soft-state tree beacon enabled and the schedule is a
+	// scripted rotation that partitions the root from one inner child at
+	// a time, held past the root-path expiry. The disturbed child's own
+	// subtree keeps a live, acking parent the whole time — only the
+	// sequence beacon can tell its path upstream has gone stale — so the
+	// report gains a stale-expiry invariant asserting at least one node
+	// expired its root path by sequence timeout and re-homed. Off by
+	// default, keeping default reports byte-identical. Mutually
+	// exclusive with Quorum.
+	RootChurn bool
+	// noAnnounce keeps RootChurn's scripted schedule but leaves the
+	// beacon off (test-only): the baseline the give-up comparison in the
+	// rootchurn test measures against.
+	noAnnounce bool
 }
 
 // DefaultConfig returns a small run that finishes in a few seconds.
@@ -131,6 +146,8 @@ func (c Config) validate() error {
 		return fmt.Errorf("chaos: need 0 <= Replicas <= Nodes, got %d", c.Replicas)
 	case c.Quorum && c.Replicas < 2:
 		return fmt.Errorf("chaos: quorum scenario needs Replicas >= 2, got %d", c.Replicas)
+	case c.RootChurn && c.Quorum:
+		return fmt.Errorf("chaos: rootchurn and quorum scenarios are mutually exclusive")
 	}
 	return nil
 }
@@ -291,6 +308,9 @@ func Schedule(cfg Config) []Event {
 	if cfg.Quorum {
 		return quorumSchedule(cfg)
 	}
+	if cfg.RootChurn {
+		return rootChurnSchedule(cfg)
+	}
 	src := rng.New(cfg.Seed)
 	st := &schedState{
 		nodes:     cfg.Nodes,
@@ -358,6 +378,42 @@ func quorumSchedule(cfg Config) []Event {
 		events = append(events, Event{Step: cfg.Steps, Op: OpHeal, A: 0, B: m})
 	}
 	events = append(events, Event{Step: cfg.Steps, Op: OpRevive, A: 0})
+	return events
+}
+
+// rootChurnSchedule scripts the stale-root-path scenario: the root is
+// partitioned from one inner child at a time. The child's own subtree
+// keeps exchanging keep-alives and acks with its parent — which is alive
+// the whole time — while the parent's path upstream goes dark; only the
+// root sequence beacon going quiet reveals the staleness, so the
+// grandchildren must expire their paths by sequence timeout and re-home
+// by score. Each partition is held well past the rootchurn expiry, then
+// healed before the next child is disturbed. The inner children are read
+// from the same seeded tree the harness builds, so the script stays a
+// pure function of the configuration.
+func rootChurnSchedule(cfg Config) []Event {
+	lc := liveConfig(cfg)
+	tree := lc.BuildTree()
+	var inner []int
+	for _, c := range tree.Children(0) {
+		if len(tree.Children(c)) > 0 {
+			inner = append(inner, c)
+		}
+	}
+	if len(inner) == 0 {
+		inner = append(inner, tree.Children(0)...)
+	}
+	// Hold each partition rootChurnHold steps: at the default 60ms cadence
+	// that is 300ms, comfortably past the 200ms rootchurn path expiry.
+	const hold = rootChurnHold
+	var events []Event
+	step := 1
+	for i := 0; i < len(inner) && step+hold <= cfg.Steps; i++ {
+		events = append(events,
+			Event{Step: step, Op: OpPartition, A: 0, B: inner[i]},
+			Event{Step: step + hold, Op: OpHeal, A: 0, B: inner[i]})
+		step += hold + 1
+	}
 	return events
 }
 

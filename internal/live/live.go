@@ -47,6 +47,20 @@ type Config struct {
 	// for DeadAfter is declared failed.
 	KeepAliveEvery time.Duration
 	DeadAfter      time.Duration
+	// RootAnnounceEvery is the soft-state tree beacon period: the authority
+	// bumps a root sequence number that often and floods it down the
+	// keep-alive tree, and every node re-advertises its root path by
+	// forwarding the beacon to its children. Zero disables announces — the
+	// tree is pure hard state repaired by keep-alive misses, byte-identical
+	// on the wire to the pre-announce protocol.
+	RootAnnounceEvery time.Duration
+	// RootExpireAfter is how long a node lets its observed root sequence
+	// stall before declaring its root path stale and re-selecting a parent
+	// by score (announce freshness, ack reliability, smoothed delivery
+	// latency per neighbour). Zero means 4 × RootAnnounceEvery. It must
+	// exceed DeadAfter so the keep-alive failure detector gets first shot
+	// at a genuinely dead parent.
+	RootExpireAfter time.Duration
 	// RetransmitAfter is the initial backoff before an unacknowledged
 	// reliable message (push, subscribe, unsubscribe, substitute) is sent
 	// again; it doubles per retry. Zero means KeepAliveEvery.
@@ -115,10 +129,15 @@ func DefaultConfig() Config {
 		HopDelay:       time.Millisecond,
 		KeepAliveEvery: 40 * time.Millisecond,
 		DeadAfter:      150 * time.Millisecond,
-		MaxUnacked:     256,
-		DedupWindow:    128,
-		InboxDepth:     256,
-		Seed:           1,
+		// Beacon at a quarter of the TTL; paths expire after four missed
+		// beacons (RootExpireAfter zero = 4 × RootAnnounceEvery = 400ms),
+		// past DeadAfter so keep-alive detection still fires first on a
+		// dead parent.
+		RootAnnounceEvery: 100 * time.Millisecond,
+		MaxUnacked:        256,
+		DedupWindow:       128,
+		InboxDepth:        256,
+		Seed:              1,
 	}
 }
 
@@ -140,6 +159,21 @@ func (c *Config) Validate() error {
 	case c.KeepAliveEvery <= 0 || c.DeadAfter <= c.KeepAliveEvery:
 		return fmt.Errorf("live: need DeadAfter > KeepAliveEvery > 0, got %v, %v",
 			c.DeadAfter, c.KeepAliveEvery)
+	case c.RootAnnounceEvery < 0 || c.RootExpireAfter < 0:
+		return fmt.Errorf("live: need RootAnnounceEvery and RootExpireAfter >= 0, got %v, %v",
+			c.RootAnnounceEvery, c.RootExpireAfter)
+	case c.RootAnnounceEvery == 0 && c.RootExpireAfter != 0:
+		return fmt.Errorf("live: RootExpireAfter needs RootAnnounceEvery > 0, got %v, %v",
+			c.RootExpireAfter, c.RootAnnounceEvery)
+	case c.RootAnnounceEvery > 0 && c.RootAnnounceEvery >= c.TTL:
+		return fmt.Errorf("live: need RootAnnounceEvery < TTL, got %v, %v",
+			c.RootAnnounceEvery, c.TTL)
+	case c.RootAnnounceEvery > 0 && c.rootExpireAfter() <= c.RootAnnounceEvery:
+		return fmt.Errorf("live: need RootExpireAfter > RootAnnounceEvery, got %v, %v",
+			c.rootExpireAfter(), c.RootAnnounceEvery)
+	case c.RootAnnounceEvery > 0 && c.rootExpireAfter() <= c.DeadAfter:
+		return fmt.Errorf("live: need RootExpireAfter > DeadAfter, got %v, %v",
+			c.rootExpireAfter(), c.DeadAfter)
 	case c.RetransmitAfter < 0 || c.RetransmitDeadline < 0:
 		return fmt.Errorf("live: need RetransmitAfter and RetransmitDeadline >= 0, got %v, %v",
 			c.RetransmitAfter, c.RetransmitDeadline)
@@ -211,6 +245,24 @@ func (c *Config) shardLoops() int {
 	return 1
 }
 
+// rootExpireAfter resolves the effective root-path staleness bound:
+// four beacon periods, stretched past DeadAfter when a config slows the
+// keep-alive detector down — that detector must keep first claim on a
+// truly dead parent, so the default expiry always sits above it.
+func (c *Config) rootExpireAfter() time.Duration {
+	if c.RootExpireAfter > 0 {
+		return c.RootExpireAfter
+	}
+	e := 4 * c.RootAnnounceEvery
+	if e <= c.DeadAfter {
+		e = 2 * c.DeadAfter
+	}
+	return e
+}
+
+// announceOn reports whether the soft-state tree beacon is enabled.
+func (c *Config) announceOn() bool { return c.RootAnnounceEvery > 0 }
+
 // retransmitAfter resolves the effective initial retransmit backoff.
 func (c *Config) retransmitAfter() time.Duration {
 	if c.RetransmitAfter > 0 {
@@ -272,6 +324,20 @@ type Stats struct {
 	DupSuppressed       int64
 	DupSuppressedByKind [proto.NumKinds]int64
 	RetransmitGiveUps   int64
+	// Soft-state tree: RootAnnounces counts beacons sent (root bumps plus
+	// downstream forwards), RootExpiries counts root paths a node timed out
+	// because the observed root sequence stalled, each re-homing the node
+	// under the best-scored ancestor instead of waiting for a keep-alive
+	// miss. Zero when Config.RootAnnounceEvery is 0.
+	RootAnnounces int64
+	RootExpiries  int64
+	// Replication health (zero unless a node hosted here currently leads a
+	// replica quorum): ReplicaLag is the widest gap between a key's log
+	// head and the version a quorum has durably accepted; ReserveHeadroom
+	// is how much of the version-reserve lease remains before the leader
+	// would have to block on quorum acknowledgement.
+	ReplicaLag      int64
+	ReserveHeadroom int64
 }
 
 // KeyStats aggregates one keyed index tree's counters across the nodes
@@ -352,6 +418,7 @@ type Network struct {
 		queries, queryHops, localHits              atomic.Int64
 		pushes, subscribes, substitutes, keepAlive atomic.Int64
 		retransmits, acks, dups, giveUps           atomic.Int64
+		rootAnnounces, rootExpiries                atomic.Int64
 		retransmitsByKind                          [proto.NumKinds]atomic.Int64
 		acksByKind                                 [proto.NumKinds]atomic.Int64
 		dupsByKind                                 [proto.NumKinds]atomic.Int64
@@ -490,12 +557,30 @@ func (nw *Network) Stats() Stats {
 		Acks:              nw.stats.acks.Load(),
 		DupSuppressed:     nw.stats.dups.Load(),
 		RetransmitGiveUps: nw.stats.giveUps.Load(),
+		RootAnnounces:     nw.stats.rootAnnounces.Load(),
+		RootExpiries:      nw.stats.rootExpiries.Load(),
 	}
 	for k := 0; k < proto.NumKinds; k++ {
 		s.RetransmitsByKind[k] = nw.stats.retransmitsByKind[k].Load()
 		s.AcksByKind[k] = nw.stats.acksByKind[k].Load()
 		s.DupSuppressedByKind[k] = nw.stats.dupsByKind[k].Load()
 	}
+	nw.mu.RLock()
+	for _, n := range nw.hosted {
+		g := n.rep.Load()
+		if g == nil {
+			continue
+		}
+		if lag, headroom, leading := g.ReserveStatus(); leading {
+			if lag > s.ReplicaLag {
+				s.ReplicaLag = lag
+			}
+			if s.ReserveHeadroom == 0 || headroom < s.ReserveHeadroom {
+				s.ReserveHeadroom = headroom
+			}
+		}
+	}
+	nw.mu.RUnlock()
 	return s
 }
 
@@ -566,6 +651,12 @@ type NodeInfo struct {
 	// the inspected key's lane; with ShardLoops == 1 (the default) that
 	// is the whole node.
 	Unacked int
+	// RootSeq is the highest root sequence number the node has observed
+	// (or issued, for the root) on the soft-state tree beacon; RootSeqAge
+	// is how long ago it last advanced. Zero values when announces are
+	// disabled (Config.RootAnnounceEvery == 0).
+	RootSeq    int64
+	RootSeqAge time.Duration
 }
 
 // Inspect returns a snapshot of a hosted node's protocol state for key 0,

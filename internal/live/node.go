@@ -74,6 +74,7 @@ func reliableKind(k proto.Kind) bool {
 // relEntry is one reliable message awaiting acknowledgement: enough of
 // the payload to rebuild it for a retransmission. Entries are pooled on a
 // per-lane freelist so the steady-state send path allocates nothing.
+// sentAt/ps feed the per-neighbour delivery stats when the ack arrives.
 type relEntry struct {
 	kind              proto.Kind
 	to                int
@@ -83,6 +84,21 @@ type relEntry struct {
 	expiry            float64
 	retryAt, deadline time.Time
 	backoff           time.Duration
+	sentAt            time.Time
+	ps                *peerStat
+}
+
+// peerStat is one neighbour's observed delivery quality, feeding the
+// scored parent selection that replaces a blind nearest-ancestor walk
+// when a root path expires: sent/acked give ack reliability, srttNs a
+// smoothed ack round-trip latency (EWMA, gain 1/8), beaconAt the last
+// time a root-announce beacon arrived through this neighbour. All
+// counters are atomics so any lane can update them on its hot path.
+type peerStat struct {
+	sent     atomic.Int64
+	acked    atomic.Int64
+	srttNs   atomic.Int64
+	beaconAt atomic.Int64
 }
 
 // batchRec remembers which reliable member seqs one batch envelope
@@ -205,6 +221,23 @@ type node struct {
 	childSeen map[int]time.Time
 	suspects  map[int]time.Time
 
+	// Soft-state root path (Config.RootAnnounceEvery > 0, else dormant).
+	// rootSeqV is the highest root-announce sequence this node observed
+	// (or issued, on a root); rootSeqAtV is the unix-nano instant it last
+	// advanced. Lane 0 drives expiry off them; they are atomics so info()
+	// can snapshot from any lane. lastAnnounce is lane-0-owned: the last
+	// time this node originated a beacon as root.
+	rootSeqV     atomic.Int64
+	rootSeqAtV   atomic.Int64
+	lastAnnounce time.Time
+
+	// peerMu guards peers, the per-neighbour delivery-quality table behind
+	// scored parent selection. Entries are created on first touch and
+	// never removed; the counters inside are atomics, so steady-state
+	// updates take only the read lock.
+	peerMu sync.RWMutex
+	peers  map[int]*peerStat
+
 	// keyMu guards allKeys, the node-wide sorted key registry behind
 	// NodeInfo.Keys: shards live per lane, so the union is kept here.
 	keyMu   sync.Mutex
@@ -295,6 +328,7 @@ func newNode(nw *Network, id, parent int) *node {
 		quit:      make(chan struct{}),
 		childSeen: map[int]time.Time{},
 		suspects:  map[int]time.Time{},
+		peers:     map[int]*peerStat{},
 	}
 	n.setParent(parent)
 	if parent == -1 {
@@ -380,6 +414,31 @@ func (n *node) lastAck() time.Time { return time.Unix(0, n.lastAckV.Load()) }
 
 func (n *node) sawParentAck(now time.Time) { n.lastAckV.Store(now.UnixNano()) }
 
+// peerView returns the delivery-stat entry for id without creating one;
+// nil means the neighbour has never been observed.
+func (n *node) peerView(id int) *peerStat {
+	n.peerMu.RLock()
+	ps := n.peers[id]
+	n.peerMu.RUnlock()
+	return ps
+}
+
+// peerStatFor returns the delivery-stat entry for id, creating it on
+// first touch.
+func (n *node) peerStatFor(id int) *peerStat {
+	if ps := n.peerView(id); ps != nil {
+		return ps
+	}
+	n.peerMu.Lock()
+	defer n.peerMu.Unlock()
+	if ps := n.peers[id]; ps != nil {
+		return ps
+	}
+	ps := &peerStat{}
+	n.peers[id] = ps
+	return ps
+}
+
 // laneForKey returns the lane owning one keyed shard.
 func (n *node) laneForKey(key int) *lane {
 	if len(n.lanes) == 1 {
@@ -424,7 +483,7 @@ func (n *node) laneFor(m *proto.Message) *lane {
 			return n.laneFor(m.Batch[0])
 		}
 		return n.lanes[0]
-	case proto.KindKeepAlive, proto.KindKeepAliveAck:
+	case proto.KindKeepAlive, proto.KindKeepAliveAck, proto.KindRootAnnounce:
 		return n.lanes[0]
 	}
 	return n.laneForKey(m.Key)
@@ -672,6 +731,12 @@ func (l *lane) track(m *proto.Message) {
 				if e.deadline.Before(deadline) {
 					deadline = e.deadline
 				}
+				// The superseded push will never be acked through no fault of
+				// the peer's; take it back out of the reliability denominator
+				// so a healthy stream of fresh versions does not read as loss.
+				if e.ps != nil {
+					e.ps.sent.Add(-1)
+				}
 				delete(l.unacked, seq)
 				l.putRel(e)
 			}
@@ -693,6 +758,9 @@ func (l *lane) track(m *proto.Message) {
 	e.retryAt = now.Add(backoff)
 	e.deadline = deadline
 	e.backoff = backoff
+	e.sentAt = now
+	e.ps = l.n.peerStatFor(m.To)
+	e.ps.sent.Add(1)
 	l.unacked[l.relSeq] = e
 }
 
@@ -721,6 +789,9 @@ func (l *lane) run() {
 	now := time.Now()
 	if l.idx == 0 {
 		n.sawParentAck(now)
+		// The root-path clock starts fresh: a joiner has not missed any
+		// beacons yet.
+		n.rootSeqAtV.Store(now.UnixNano())
 	}
 	for _, k := range l.keys {
 		sh := l.shards[k]
@@ -836,6 +907,18 @@ func (l *lane) tick(now time.Time) {
 		}
 	}
 	if l.idx == 0 {
+		// Soft-state tree: a root originates its sequence beacon; an inner
+		// node whose root sequence stopped advancing for a full expiry —
+		// its parent is alive (keep-alive acks flow) but the path above it
+		// has gone stale — re-homes under the best-scored alternative.
+		if cfg.announceOn() && !n.leaving {
+			if n.isRoot.Load() {
+				l.announceRoot(now)
+			} else if n.parent() >= 0 &&
+				now.Sub(time.Unix(0, n.rootSeqAtV.Load())) > cfg.rootExpireAfter() {
+				l.expireRootPath(now)
+			}
+		}
 		// Replica-group periodic work: lease renewal and anti-entropy for
 		// a leader, prepare retransmission for a candidate, commit
 		// watermarks. Followers return nothing. A directory-promoted root
@@ -996,6 +1079,9 @@ func (l *lane) onSuspect(peer int, now time.Time) {
 func (l *lane) parentDied(now time.Time) {
 	n := l.n
 	n.sawParentAck(now) // do not re-trigger while repairing
+	// A keep-alive repair restarts the soft-state clock too: the new
+	// parent gets a full expiry to prove its path before beacons are due.
+	n.rootSeqAtV.Store(now.UnixNano())
 	old := n.parent()
 	if old >= 0 {
 		n.suspects[old] = now
@@ -1054,6 +1140,164 @@ func (l *lane) onReparent(parent, old int) {
 	l.reannounce(parent)
 }
 
+// announceRoot originates the root's soft-state beacon (lane 0): bump
+// the root sequence and flood it to every keep-alive child. A replicated
+// authority draws the sequence from its quorum group — term in the high
+// bits, so it resumes strictly above every predecessor's — and only
+// while it provably leads: a deposed or partitioned root falls silent,
+// which is exactly what lets its old subtree's paths expire over to the
+// live leader. A promoted non-replicated root continues one past the
+// highest sequence it ever observed, keeping the stream monotone.
+func (l *lane) announceRoot(now time.Time) {
+	n := l.n
+	if now.Sub(n.lastAnnounce) < n.nw.cfg.RootAnnounceEvery {
+		return
+	}
+	seq := n.rootSeqV.Load() + 1
+	if g := n.rep.Load(); g != nil {
+		s, ok := g.NextAnnounce(now)
+		if !ok {
+			return // no live lease: stay silent
+		}
+		if s > seq {
+			seq = s
+		}
+	}
+	n.lastAnnounce = now
+	n.rootSeqV.Store(seq)
+	n.rootSeqAtV.Store(now.UnixNano())
+	for child := range n.childSeen {
+		l.sendBeacon(child, n.id, seq)
+	}
+}
+
+// sendBeacon emits one root-announce frame. Best-effort by design: a
+// lost beacon is refreshed by the next one, so beacons never enter the
+// reliable queue.
+func (l *lane) sendBeacon(to, root int, seq int64) {
+	l.n.nw.stats.rootAnnounces.Add(1)
+	m := l.newMsg(proto.KindRootAnnounce, to)
+	m.Subject = root
+	m.Seq = seq
+	l.send(m)
+}
+
+// onRootAnnounce ingests a root-sequence beacon (lane 0). Any beacon
+// refreshes the forwarding neighbour's freshness stat — proof it has a
+// live path to the root, scored at selection time — but only a strictly
+// newer sequence arriving from the current parent advances this node's
+// own root path and propagates down: beacons from other neighbours must
+// not keep a stale parent's path looking fresh.
+func (l *lane) onRootAnnounce(m *proto.Message, now time.Time) {
+	n := l.n
+	if !n.nw.cfg.announceOn() || n.isRoot.Load() {
+		return
+	}
+	n.peerStatFor(m.Origin).beaconAt.Store(now.UnixNano())
+	if m.Origin != n.parent() || m.Seq <= n.rootSeqV.Load() {
+		return
+	}
+	n.rootSeqV.Store(m.Seq)
+	n.rootSeqAtV.Store(now.UnixNano())
+	for child := range n.childSeen {
+		if child != m.Origin {
+			l.sendBeacon(child, m.Subject, m.Seq)
+		}
+	}
+}
+
+// expireRootPath repairs a root path whose sequence stopped advancing
+// (lane 0): the parent still acks — it is alive — but everything above
+// it has gone stale (an upstream partition, a deposed authority still
+// chattering). Re-home under the best-scored alternative ancestor. The
+// old parent is NOT suspected: the keep-alive detector (DeadAfter <
+// RootExpireAfter by Validate) already had first claim on a truly dead
+// one, and a merely-stale parent must stay routable for its own subtree.
+func (l *lane) expireRootPath(now time.Time) {
+	n := l.n
+	old := n.parent()
+	// Restart the expiry clock whatever happens below: with no better
+	// candidate the node keeps its parent and re-evaluates one expiry
+	// later.
+	n.rootSeqAtV.Store(now.UnixNano())
+	best := n.selectParent(old, now)
+	if best < 0 || best == old {
+		return
+	}
+	n.nw.stats.rootExpiries.Add(1)
+	// Reliable traffic aimed at the stale parent is abandoned: re-homing
+	// re-announces the virtual paths, which supersedes it.
+	l.dropUnackedTo(old)
+	n.setParent(best)
+	n.nw.dir.SetParent(n.id, best)
+	n.sawParentAck(now) // fresh keep-alive clock for the new parent
+	l.reannounce(best)
+	l.bcast(ctrlMsg{kind: cReparent, parent: best, peer: old})
+}
+
+// selectParent picks the replacement parent for an expired root path:
+// walk the stale parent's ancestor chain (nearest first) plus the
+// designated authority, skipping self, the stale parent and suspects,
+// and keep the highest-scoring candidate. The strictly-greater
+// comparison keeps ties on the nearest ancestor, so a chain with no
+// observed history degrades to exactly the AliveAncestor choice.
+func (n *node) selectParent(old int, now time.Time) int {
+	best, bestScore := -1, 0.0
+	consider := func(id int) {
+		if id < 0 || id == n.id || id == old || n.suspected(id) {
+			return
+		}
+		if s := n.scorePeer(id, now); best < 0 || s > bestScore {
+			best, bestScore = id, s
+		}
+	}
+	maxHops := n.nw.cfg.Nodes
+	if maxHops <= 0 {
+		maxHops = 1 << 12 // preset-tree configs leave Nodes unset
+	}
+	p := n.nw.dir.Parent(old)
+	for hops := 0; p >= 0 && hops < maxHops; hops++ {
+		consider(p)
+		p = n.nw.dir.Parent(p)
+	}
+	consider(n.nw.dir.RootID())
+	return best
+}
+
+// scorePeer ranks one candidate parent by observed delivery quality:
+// ack reliability (with a +1 optimistic prior so a quiet neighbour is
+// not punished for silence), smoothed ack latency normalised against the
+// keep-alive period, and a freshness boost — up to 2x — for neighbours
+// whose beacons arrived recently. An entirely unobserved candidate
+// scores the neutral 1.0: better than a proven-lossy peer, worse than a
+// proven-fresh one.
+func (n *node) scorePeer(id int, now time.Time) float64 {
+	ps := n.peerView(id)
+	if ps == nil {
+		return 1.0
+	}
+	sent, acked := ps.sent.Load(), ps.acked.Load()
+	rel := float64(acked+1) / float64(sent+1)
+	if rel > 1 {
+		rel = 1
+	}
+	lat := 1.0
+	if srtt := ps.srttNs.Load(); srtt > 0 {
+		ka := float64(n.nw.cfg.KeepAliveEvery.Nanoseconds())
+		lat = ka / (ka + float64(srtt))
+	}
+	fresh := 1.0
+	if at := ps.beaconAt.Load(); at > 0 {
+		age := float64(now.UnixNano() - at)
+		if age < 0 {
+			age = 0
+		}
+		exp := float64(n.nw.cfg.rootExpireAfter().Nanoseconds())
+		fresh = 1 + exp/(exp+age)
+	}
+	return rel * lat * fresh
+}
+
 // becomeRoot is case 5 (lane 0): this node takes over the failed
 // authority's indexes (every key, every lane) with refreshed information
 // and resumes update propagation.
@@ -1099,6 +1343,7 @@ func (l *lane) abdicate(to int, now time.Time) {
 	n.setParent(to)
 	n.nw.dir.SetParent(n.id, to)
 	n.sawParentAck(now) // fresh keep-alive clock for the new parent
+	n.rootSeqAtV.Store(now.UnixNano())
 	delete(n.suspects, to)
 	l.abdicateLane(to, now)
 	l.bcast(ctrlMsg{kind: cAbdicate, parent: to})
@@ -1211,6 +1456,12 @@ func (l *lane) info(key int) NodeInfo {
 		Dead:    n.dead.Load(),
 		Keys:    n.keysSnapshot(),
 		Unacked: len(l.unacked),
+	}
+	if n.nw.cfg.announceOn() {
+		in.RootSeq = n.rootSeqV.Load()
+		if at := n.rootSeqAtV.Load(); at > 0 {
+			in.RootSeqAge = time.Since(time.Unix(0, at))
+		}
 	}
 	sh, ok := l.shards[key]
 	if !ok {
@@ -1346,6 +1597,10 @@ func (l *lane) handleMsg(m *proto.Message, batched bool) {
 	case proto.KindKeepAliveAck:
 		n.sawParentAck(time.Now())
 		delete(n.suspects, m.Origin)
+	case proto.KindRootAnnounce:
+		if l.idx == 0 {
+			l.onRootAnnounce(m, time.Now())
+		}
 	case proto.KindJoin:
 		l.onJoin(m)
 	case proto.KindLeave:
@@ -1494,6 +1749,18 @@ func (l *lane) settle(seq int64, origin int) bool {
 	delete(l.unacked, seq)
 	l.n.nw.stats.acks.Add(1)
 	l.n.nw.stats.acksByKind[e.kind].Add(1)
+	if e.ps != nil {
+		e.ps.acked.Add(1)
+		if rtt := time.Since(e.sentAt).Nanoseconds(); rtt > 0 {
+			if old := e.ps.srttNs.Load(); old == 0 {
+				e.ps.srttNs.Store(rtt)
+			} else {
+				// EWMA with gain 1/8; a racing store from another lane loses
+				// one sample, which the next ack smooths over anyway.
+				e.ps.srttNs.Store(old - old/8 + rtt/8)
+			}
+		}
+	}
 	l.putRel(e)
 	return true
 }
@@ -1737,6 +2004,7 @@ func (n *node) adopt(states []store.NodeState, runtime bool) {
 	n.nw.dir.SetParent(n.id, parent)
 	now := time.Now()
 	n.sawParentAck(now)
+	n.rootSeqAtV.Store(now.UnixNano())
 	clear(n.childSeen)
 	clear(n.suspects)
 	parts := make([][]store.NodeState, len(n.lanes))
@@ -1874,6 +2142,7 @@ func (l *lane) reset(parent int) {
 	n.setParent(parent)
 	n.nw.dir.SetParent(n.id, parent)
 	n.sawParentAck(time.Now())
+	n.rootSeqAtV.Store(time.Now().UnixNano())
 	clear(n.childSeen)
 	clear(n.suspects)
 	l.resetLane()

@@ -1,0 +1,163 @@
+package live
+
+import (
+	"testing"
+	"time"
+
+	"dup/internal/faults"
+	"dup/internal/proto"
+	"dup/internal/topology"
+)
+
+// TestStaleRootPathExpiresAndRehomes is the soft-state tree's core
+// guarantee, isolated from the keep-alive detector: on a 0 <- 1 <- 2
+// chain, only root-announce frames to node 1 are dropped. Node 1 stays
+// fully alive — it acks every keep-alive and every reliable send — but it
+// stops relaying the root sequence, so node 2's observed sequence stalls.
+// Node 2 must expire its root path and re-home under the best-scored
+// ancestor (the root itself) within a few beacon periods, with zero
+// retransmit give-ups and without node 1 ever being declared dead.
+func TestStaleRootPathExpiresAndRehomes(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Tree = topology.FromParents([]int{-1, 0, 1})
+	cfg.TTL = 400 * time.Millisecond
+	cfg.Lead = 100 * time.Millisecond
+	cfg.Threshold = 1
+	cfg.HopDelay = 100 * time.Microsecond
+	cfg.KeepAliveEvery = 15 * time.Millisecond
+	cfg.DeadAfter = 200 * time.Millisecond
+	cfg.RootAnnounceEvery = 25 * time.Millisecond
+	cfg.RootExpireAfter = 250 * time.Millisecond
+	nw, f := bootFaulty(t, cfg, faults.Config{Seed: 1})
+
+	// Wait for the beacon to reach the end of the chain.
+	waitUntil(t, 4*cfg.TTL, "the root sequence to reach node 2", func() bool {
+		in, err := nw.Inspect(2, time.Second)
+		return err == nil && in.RootSeq > 0
+	})
+
+	// Stall the sequence at node 1: beacons to it vanish, everything else
+	// (keep-alives, acks, pushes) still flows, so the keep-alive detector
+	// never has cause to fire.
+	blocked := time.Now()
+	f.BlockKind(1, proto.KindRootAnnounce)
+
+	waitUntil(t, 4*cfg.TTL, "node 2 to re-home under the root", func() bool {
+		in, err := nw.Inspect(2, time.Second)
+		return err == nil && in.Parent == 0
+	})
+	if elapsed, bound := time.Since(blocked), cfg.RootExpireAfter+20*cfg.RootAnnounceEvery; elapsed > bound {
+		t.Fatalf("re-home took %v, want <= %v (expiry plus beacon slack)", elapsed, bound)
+	}
+
+	s := nw.Stats()
+	if s.RootExpiries == 0 {
+		t.Fatal("node 2 changed parent without recording a root-path expiry")
+	}
+	if s.RetransmitGiveUps != 0 {
+		t.Fatalf("expiry repair must not cost delivery: %d retransmit give-ups", s.RetransmitGiveUps)
+	}
+	in1, err := nw.Inspect(1, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in1.Dead {
+		t.Fatal("node 1 was declared dead; repair must come from sequence expiry, not keep-alive miss")
+	}
+	if in1.Parent != 0 {
+		t.Fatalf("node 1 has no better ancestor than the root and must keep it, got parent %d", in1.Parent)
+	}
+
+	// Re-homed, node 2 hears the root first-hand: its sequence resumes
+	// advancing even though frames to node 1 stay blocked.
+	in2, err := nw.Inspect(2, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, 4*cfg.TTL, "node 2's root sequence to resume", func() bool {
+		in, err := nw.Inspect(2, time.Second)
+		return err == nil && in.RootSeq > in2.RootSeq
+	})
+}
+
+// TestAnnounceDisabledStaysInert pins the equivalence knob: with
+// RootAnnounceEvery zero the soft-state machinery must be completely
+// dormant — no beacons sent, no expiries, no observed sequence — while
+// queries still resolve.
+func TestAnnounceDisabledStaysInert(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Nodes = 8
+	cfg.RootAnnounceEvery = 0
+	nw, err := Start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Stop()
+
+	for id := 1; id < cfg.Nodes; id++ {
+		query(t, nw, id, 2*time.Second)
+	}
+	// Long enough for several default beacon periods, had one been armed.
+	time.Sleep(300 * time.Millisecond)
+
+	s := nw.Stats()
+	if s.RootAnnounces != 0 || s.RootExpiries != 0 {
+		t.Fatalf("announce disabled but counters moved: announces=%d expiries=%d",
+			s.RootAnnounces, s.RootExpiries)
+	}
+	for id := 0; id < cfg.Nodes; id++ {
+		in, err := nw.Inspect(id, time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if in.RootSeq != 0 || in.RootSeqAge != 0 {
+			t.Fatalf("node %d reports soft-state fields with announces off: seq=%d age=%v",
+				id, in.RootSeq, in.RootSeqAge)
+		}
+	}
+}
+
+// TestConfigValidateSoftState covers the beacon timing cross-checks and
+// the adaptive default expiry.
+func TestConfigValidateSoftState(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.RootAnnounceEvery = -time.Second },
+		func(c *Config) { c.RootExpireAfter = -time.Second },
+		// Expiry without a beacon can never be satisfied.
+		func(c *Config) { c.RootAnnounceEvery = 0; c.RootExpireAfter = 300 * time.Millisecond },
+		// Beacon slower than the data it protects.
+		func(c *Config) { c.RootAnnounceEvery = c.TTL },
+		// Expiry within one beacon period flaps on every tick.
+		func(c *Config) { c.RootExpireAfter = c.RootAnnounceEvery },
+		// Expiry at or below DeadAfter would race the keep-alive detector.
+		func(c *Config) { c.RootExpireAfter = c.DeadAfter },
+	}
+	for i, mutate := range bad {
+		c := DefaultConfig()
+		mutate(&c)
+		if c.Validate() == nil {
+			t.Errorf("soft-state mutation %d accepted", i)
+		}
+	}
+
+	// The zero-value expiry adapts: nominally 4 beacon periods, stretched
+	// to 2 x DeadAfter whenever a config slows the keep-alive detector
+	// past it, so the detector keeps first claim on dead parents.
+	c := DefaultConfig()
+	if want := 4 * c.RootAnnounceEvery; c.rootExpireAfter() != want {
+		t.Fatalf("default expiry = %v, want %v", c.rootExpireAfter(), want)
+	}
+	c.KeepAliveEvery = 2 * time.Second
+	c.DeadAfter = 10 * time.Second
+	if err := c.Validate(); err != nil {
+		t.Fatalf("stretched DeadAfter must stay valid with the default expiry: %v", err)
+	}
+	if want := 2 * c.DeadAfter; c.rootExpireAfter() != want {
+		t.Fatalf("stretched expiry = %v, want %v", c.rootExpireAfter(), want)
+	}
+	// An explicit expiry is taken at its word and validated strictly.
+	c.RootExpireAfter = 5 * time.Second
+	if err := c.Validate(); err == nil {
+		t.Fatal("explicit RootExpireAfter below DeadAfter accepted")
+	}
+}

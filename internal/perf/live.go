@@ -59,6 +59,9 @@ func liveReplicatedRun() (Result, error) {
 	cfg.Threshold = 1
 	cfg.KeepAliveEvery = 20 * time.Millisecond
 	cfg.DeadAfter = 100 * time.Millisecond
+	// The default beacon period assumes the default TTL; scale it with
+	// the compressed clock here (expiry resolves past DeadAfter).
+	cfg.RootAnnounceEvery = cfg.TTL / 4
 	cfg.Keys = repKeys
 	cfg.ShardLoops = repShards
 	cfg.Replicas = 3
@@ -169,6 +172,9 @@ func liveCluster(liveKeys int) (Result, error) {
 	cfg.Threshold = 1
 	cfg.KeepAliveEvery = 20 * time.Millisecond
 	cfg.DeadAfter = 100 * time.Millisecond
+	// The default beacon period assumes the default TTL; scale it with
+	// the compressed clock here (expiry resolves past DeadAfter).
+	cfg.RootAnnounceEvery = cfg.TTL / 4
 	cfg.Keys = liveKeys
 	cfg.ShardLoops = liveShards
 	tree := cfg.BuildTree()

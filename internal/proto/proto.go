@@ -98,6 +98,14 @@ const (
 	// renewal counter Seq, proposed deadline Expiry. A quorum of lease acks
 	// lets the leader keep serving reads and pushes locally.
 	KindLease
+	// KindRootAnnounce is the root's soft-state beacon: the authority
+	// periodically bumps a root sequence number (Seq) and floods it down
+	// the keep-alive tree (Subject = the announcing root, Origin = the
+	// forwarding neighbour). A node whose observed root sequence stops
+	// advancing times out its root path and re-selects a parent by score
+	// instead of waiting for a keep-alive miss. Best-effort: the next
+	// beacon refreshes whatever a lost one missed.
+	KindRootAnnounce
 )
 
 var kindNames = [...]string{
@@ -105,6 +113,7 @@ var kindNames = [...]string{
 	"substitute", "interest", "uninterest", "keepalive", "keepalive-ack",
 	"ack", "join", "leave", "state", "batch",
 	"prepare", "promise", "accept", "commit", "lease",
+	"root-announce",
 }
 
 // NumKinds is the number of defined message kinds; Kind values in
@@ -293,6 +302,8 @@ func (m *Message) String() string {
 		return fmt.Sprintf("commit{to:%d key:%d term:%d v:%d}", m.To, m.Key, m.Old, m.Version)
 	case KindLease:
 		return fmt.Sprintf("lease{to:%d from:%d term:%d seq:%d}", m.To, m.Origin, m.Old, m.Seq)
+	case KindRootAnnounce:
+		return fmt.Sprintf("root-announce{to:%d from:%d root:%d seq:%d}", m.To, m.Origin, m.Subject, m.Seq)
 	default:
 		return fmt.Sprintf("%s{to:%d}", m.Kind, m.To)
 	}

@@ -27,6 +27,7 @@ func TestKindString(t *testing.T) {
 		KindAccept:       "accept",
 		KindCommit:       "commit",
 		KindLease:        "lease",
+		KindRootAnnounce: "root-announce",
 	}
 	if len(cases) != NumKinds {
 		t.Errorf("test covers %d kinds, NumKinds = %d", len(cases), NumKinds)

@@ -140,6 +140,12 @@ type Group struct {
 	leaseSeq  int64
 	leaseAcks map[int]bool
 	leaseSent time.Time
+	// announceCtr counts root-announce beacons issued this term. The
+	// beacon sequence is term<<announceTermShift | announceCtr, so a new
+	// leader's beacons sort strictly above every beacon of every previous
+	// term — the sequence resumes monotonically across failover without
+	// any durable state beyond the term itself.
+	announceCtr int64
 	// lastGrant is the last time a lease quorum confirmed this leader (or
 	// its first leader tick); a leader stale past 2x the lease is a
 	// deposed or partitioned one, which the host resolves by re-election
@@ -220,6 +226,7 @@ func (g *Group) resetLeaderLocked() {
 	g.commitOut = make(map[int]int64)
 	g.leaseAcks = make(map[int]bool)
 	g.leaseSent = time.Time{}
+	g.announceCtr = 0
 }
 
 // StartCandidate opens a new leadership round: bumps the term past
@@ -389,6 +396,47 @@ func (g *Group) Term() int64 {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	return g.term
+}
+
+// announceTermShift positions the term in the high bits of a beacon
+// sequence, leaving 2^40 beacons per term before overflow (at one per
+// 100ms that is over three millennia of leadership).
+const announceTermShift = 40
+
+// NextAnnounce issues the next root-announce beacon sequence number.
+// Only a serving leader (live lease in hand) may announce: a deposed or
+// partitioned leader returns false and stays silent, so its stale
+// beacons can never refresh a subtree that should be expiring its path.
+// Sequences are term<<announceTermShift | counter — strictly increasing
+// within a term and, because terms only grow, strictly increasing
+// across failover too.
+func (g *Group) NextAnnounce(now time.Time) (int64, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.role != leader || !g.MayServe(now) {
+		return 0, false
+	}
+	g.announceCtr++
+	return g.term<<announceTermShift | g.announceCtr, true
+}
+
+// ReserveStatus reports the leader's replication health: lag is the
+// largest gap between an exposed log head and what a full quorum has
+// durably accepted, and headroom is how much of the version reserve B
+// remains before Bump starts refusing exposure. Followers report
+// leading=false with zero lag/headroom.
+func (g *Group) ReserveStatus() (lag, headroom int64, leading bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.role != leader {
+		return 0, 0, false
+	}
+	for k, e := range g.log {
+		if d := e.version - g.quorumAcceptedLocked(k); d > lag {
+			lag = d
+		}
+	}
+	return lag, g.reserve - lag, true
 }
 
 // Committed returns the quorum-committed watermark for key.

@@ -43,10 +43,12 @@ const (
 	// so single-key traffic stays byte-identical to version 2) and the
 	// KindBatch envelope; version 4 adds the replica quorum kinds (prepare,
 	// promise, accept, commit, lease), which always carry the Key varint
-	// (even when zero) and exist in no older vocabulary. Pre-replica kinds
-	// never stamp version 4, so a cluster that does not use replication
-	// emits byte-identical frames to a version-3 binary.
-	Version = 4
+	// (even when zero) and exist in no older vocabulary; version 5 adds
+	// the soft-state tree beacon (root-announce), likewise always carrying
+	// the Key varint. Each kind stamps its minimal version, so a cluster
+	// that does not use replication or root announces emits byte-identical
+	// frames to a version-3 binary.
+	Version = 5
 
 	// v1Kinds is the kind-vocabulary size of version-1 payloads. Kinds
 	// below it encode as version 1 (so upgraded peers interoperate with
@@ -57,6 +59,10 @@ const (
 	// v3Kinds is the kind-vocabulary size of version-3 payloads; the
 	// replica kinds at and above it require version 4.
 	v3Kinds = 15
+
+	// v4Kinds is the kind-vocabulary size of version-4 payloads; the
+	// soft-state tree kinds at and above it require version 5.
+	v4Kinds = 20
 
 	// keyVersion is the payload version that introduced the optional Key
 	// field: any pre-replica kind may be raised to it when Key != 0.
@@ -120,6 +126,8 @@ func PutBuf(b *[]byte) {
 // vocabularies stay readable by older decoders.
 func minVersion(k proto.Kind) byte {
 	switch {
+	case int(k) >= v4Kinds:
+		return 5
 	case int(k) >= v3Kinds:
 		return 4
 	case k == proto.KindBatch:
@@ -134,7 +142,8 @@ func minVersion(k proto.Kind) byte {
 // kind's minimal version, raised to 3 when a pre-replica kind carries a
 // non-zero Key (the Key field only exists from version 3 on). Key-0
 // messages of the old vocabulary therefore stay byte-identical to their
-// version-1/2 encodings, and the replica kinds always stamp 4.
+// version-1/2 encodings, the replica kinds always stamp 4, and the
+// soft-state tree kinds always stamp 5.
 func payloadVersion(m *proto.Message) byte {
 	mv := minVersion(m.Kind)
 	if mv < keyVersion && m.Key != 0 {
@@ -285,8 +294,9 @@ func decodeMessage(p []byte, depth int) (*proto.Message, error) {
 	}
 	k := proto.Kind(kind)
 	// A pre-replica kind has exactly two valid version bytes: its minimal
-	// version (Key == 0) and version 3 (non-zero Key); a replica kind has
-	// exactly one (4, Key always present). That keeps the encoding
+	// version (Key == 0) and version 3 (non-zero Key); a replica or
+	// soft-state tree kind has exactly one (its minimal version, Key always
+	// present). That keeps the encoding
 	// canonical under fuzzing, and no kind can masquerade under a foreign
 	// vocabulary. A version-3 non-batch payload whose Key decodes to zero
 	// is rejected below for the same reason.

@@ -51,6 +51,10 @@ func sampleMessages() []*proto.Message {
 		{Kind: proto.KindAccept, To: 1, Origin: 0, Old: 3, Key: 0, Version: 13, Expiry: 91.5},
 		{Kind: proto.KindCommit, To: 1, Origin: 0, Old: 3, Key: 2, Version: 12},
 		{Kind: proto.KindLease, To: 1, Origin: 0, Old: 3, Seq: 5, Expiry: 445.25},
+		// Soft-state tree beacon (version 5): like the replica kinds the
+		// Key varint always travels, including the zero key.
+		{Kind: proto.KindRootAnnounce, To: 4, Origin: 1, Subject: 0, Seq: 97},
+		{Kind: proto.KindRootAnnounce, To: 7, Origin: 4, Subject: 0, Key: 3, Seq: 98},
 		// A coalescing envelope with mixed-kind, mixed-key members.
 		{Kind: proto.KindBatch, To: 4, Origin: 1, Seq: 33, Batch: []*proto.Message{
 			{Kind: proto.KindPush, To: 4, Origin: 1, Key: 8, Version: 12, Expiry: 64.5},
@@ -115,13 +119,15 @@ func TestRoundTripEveryKind(t *testing.T) {
 // under: the original vocabulary stays at 1 (so version-1 binaries keep
 // decoding it), the membership kinds added in version 2 stamp 2, keyed
 // messages and batch envelopes stamp 3 — which is what keeps key-0
-// traffic byte-identical to the version-2 wire format — and only the
-// replica quorum kinds stamp 4.
+// traffic byte-identical to the version-2 wire format — only the replica
+// quorum kinds stamp 4, and only the soft-state tree kinds stamp 5.
 func TestPayloadVersionStamping(t *testing.T) {
 	for _, m := range sampleMessages() {
 		p := AppendMessage(nil, m)
 		want := byte(1)
 		switch {
+		case int(m.Kind) >= v4Kinds:
+			want = 5
 		case int(m.Kind) >= v3Kinds:
 			want = 4
 		case m.Kind == proto.KindBatch || m.Key != 0:
@@ -229,6 +235,12 @@ func TestDecodeRejectsMalformed(t *testing.T) {
 			func() []byte {
 				p := AppendMessage(nil, &proto.Message{Kind: proto.KindAccept, To: 1, Old: 2, Key: 3, Version: 9})
 				p[0] = 3
+				return p
+			}(), ErrVersion},
+		{"root-announce stamped v4",
+			func() []byte {
+				p := AppendMessage(nil, &proto.Message{Kind: proto.KindRootAnnounce, To: 1, Origin: 2, Seq: 9})
+				p[0] = 4
 				return p
 			}(), ErrVersion},
 		{"batch stamped v4",
