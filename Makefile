@@ -20,7 +20,8 @@ cluster-demo:
 # the churn rate (-chaos.churn, percent; -1 disables membership ops):
 #   make chaos CHAOS_FLAGS="-chaos.nodes 20 -chaos.steps 24 -chaos.seed 9 -chaos.churn 40"
 # Scripted scenarios: -chaos.quorum (replicated-authority fail-over),
-# -chaos.rootchurn (stale root paths expired by the sequence beacon):
+# -chaos.rootchurn (stale root paths expired by the sequence beacon),
+# -chaos.reconfig (a quorum member killed forever and replaced online):
 #   make chaos CHAOS_FLAGS="-chaos.rootchurn"
 chaos:
 	go test -race -count=1 -v -run 'TestChaosRun' ./internal/chaos/ -args $(CHAOS_FLAGS)

@@ -83,6 +83,7 @@ func run() int {
 	flag.IntVar(&cfg.Keys, "keys", cfg.Keys, "keyed index trees per node at boot (0 means 1)")
 	flag.IntVar(&cfg.ShardLoops, "shards", cfg.ShardLoops, "shard lanes per node, keys spread key mod L (identical on every process; 0 means 1)")
 	flag.IntVar(&cfg.Replicas, "replicas", cfg.Replicas, "authority replication factor R: nodes 0..R-1 form the quorum (identical on every process; 0 or 1 disables)")
+	flag.DurationVar(&cfg.PermanentAfter, "perm-after", cfg.PermanentAfter, "silence horizon before the leaseholder declares a quorum member gone for good and replaces it (0 disables; must exceed -deadafter)")
 	flag.DurationVar(&cfg.RootAnnounceEvery, "announce-every", cfg.RootAnnounceEvery, "root sequence beacon period for the self-healing tree (0 disables)")
 	flag.DurationVar(&cfg.RootExpireAfter, "announce-expire", cfg.RootExpireAfter, "root path staleness bound before a node re-homes by score (0 means 4x -announce-every)")
 	flag.Parse()
@@ -128,6 +129,7 @@ func run() int {
 	var st *store.Store
 	var recovered map[int][]store.NodeState
 	var recoveredReplicas map[int][]store.ReplicaState
+	var recoveredConfigs map[int]store.ReplicaConfig
 	if *stateDir != "" {
 		st, err = store.Open(*stateDir)
 		if err != nil {
@@ -159,6 +161,22 @@ func run() int {
 			recoveredReplicas[id] = rs
 			log.Printf("recovered replica log for node %d (%d keys, term %d)", id, len(rs), rs[0].Term)
 		}
+		// Config records are the membership ground truth: a member that
+		// rebooted mid-reconfiguration must resume in the exact epoch (joint
+		// or stable) its disk last agreed to, never the compiled-in seed set.
+		recoveredConfigs = map[int]store.ReplicaConfig{}
+		for _, id := range hosts {
+			rc, ok := st.ReplicaConfig(id)
+			if !ok {
+				continue
+			}
+			recoveredConfigs[id] = rc
+			phase := "stable"
+			if rc.Joint {
+				phase = "joint"
+			}
+			log.Printf("recovered replica config for node %d (epoch %d, %s, members %v)", id, rc.Epoch, phase, rc.New)
+		}
 	}
 
 	tr, err := transport.NewTCP(transport.TCPConfig{
@@ -173,7 +191,8 @@ func run() int {
 	// No global liveness oracle exists across processes, so repairs rely on
 	// each node's own keep-alive suspicions.
 	dir := live.NewStaticDirectory(cfg.BuildTree())
-	opts := live.Options{Transport: tr, Directory: dir, Hosts: hosts, Recovered: recovered, RecoveredReplicas: recoveredReplicas}
+	opts := live.Options{Transport: tr, Directory: dir, Hosts: hosts, Recovered: recovered,
+		RecoveredReplicas: recoveredReplicas, RecoveredConfigs: recoveredConfigs}
 	if st != nil {
 		opts.Journal = st
 	}
@@ -245,7 +264,10 @@ func run() int {
 // soft-state tree beacon counters, and — when a hosted node currently
 // leads a replica quorum — the replication lag and the lease reserve
 // headroom left before exposure would block on quorum acknowledgement.
-// The line is append-only: scripts grep its existing fields.
+// When a hosted node carries a replica group the quorum-health fields
+// follow: config epoch, current member count, members suspected gone for
+// good, and whether a reconfiguration is in flight. The line is
+// append-only: scripts grep its existing fields.
 func logStats(prefix string, s live.Stats) {
 	line := fmt.Sprintf("%s queries=%d local=%d pushes=%d subscribes=%d substitutes=%d keepalives=%d drops=%d retrans=%d acks=%d dups=%d giveups=%d announces=%d expiries=%d",
 		prefix, s.Queries, s.LocalHits, s.Pushes, s.Subscribes, s.Substitutes, s.KeepAlives,
@@ -253,6 +275,10 @@ func logStats(prefix string, s live.Stats) {
 		s.RootAnnounces, s.RootExpiries)
 	if s.ReplicaLag != 0 || s.ReserveHeadroom != 0 {
 		line += fmt.Sprintf(" lag=%d headroom=%d", s.ReplicaLag, s.ReserveHeadroom)
+	}
+	if s.QuorumMembers > 0 {
+		line += fmt.Sprintf(" epoch=%d members=%d permsuspect=%d reconfig=%v",
+			s.ConfigEpoch, s.QuorumMembers, s.PermSuspects, s.ReconfigInFlight)
 	}
 	log.Print(line)
 }

@@ -9,14 +9,15 @@ import (
 // Flags so `make chaos` can scale the run without recompiling; zero
 // values fall back to DefaultConfig.
 var (
-	flagSeed     = flag.Uint64("chaos.seed", 0, "chaos schedule seed")
-	flagNodes    = flag.Int("chaos.nodes", 0, "cluster size")
-	flagSteps    = flag.Int("chaos.steps", 0, "schedule steps")
-	flagChurn    = flag.Int("chaos.churn", 0, "membership churn percent (-1 disables)")
-	flagKeys     = flag.Int("chaos.keys", 0, "keyed index trees (0 means 1)")
+	flagSeed      = flag.Uint64("chaos.seed", 0, "chaos schedule seed")
+	flagNodes     = flag.Int("chaos.nodes", 0, "cluster size")
+	flagSteps     = flag.Int("chaos.steps", 0, "schedule steps")
+	flagChurn     = flag.Int("chaos.churn", 0, "membership churn percent (-1 disables)")
+	flagKeys      = flag.Int("chaos.keys", 0, "keyed index trees (0 means 1)")
 	flagQuorum    = flag.Bool("chaos.quorum", false, "run the replicated-authority quorum scenario")
 	flagReplicas  = flag.Int("chaos.replicas", 0, "authority replication factor (0 means 3 with -chaos.quorum)")
 	flagRootChurn = flag.Bool("chaos.rootchurn", false, "run the stale-root-path beacon scenario")
+	flagReconfig  = flag.Bool("chaos.reconfig", false, "run the permanent-failure reconfiguration scenario")
 )
 
 func TestScheduleIsDeterministic(t *testing.T) {
@@ -256,6 +257,50 @@ func TestChaosQuorumPartition(t *testing.T) {
 	}
 }
 
+// TestChaosReconfig plays the scripted permanent-failure scenario: one
+// replica-set member is killed forever mid-traffic and never heals. The
+// leaseholder must notice the silence passing the permanent-failure
+// horizon, state-transfer a replacement from the directory, and drive the
+// two-phase reconfiguration to a new full-strength stable set — the
+// quorum-restored invariant asserts it did, and monotone-versions asserts
+// no query site ever saw the resolved stream go backwards while the set
+// changed under it. Two runs from the same seed must agree byte for byte:
+// the CI smoke relies on that as its seed-reproducibility check.
+func TestChaosReconfig(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Seed = 7
+	cfg.Reconfig = true
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", rep)
+	if !rep.Passed {
+		t.Fatalf("reconfig scenario violated invariants:\n%s", rep)
+	}
+	for _, name := range []string{"quorum-restored", "monotone-versions"} {
+		found := false
+		for _, iv := range rep.Invariants {
+			if iv.Name == name {
+				found = true
+				if !iv.OK {
+					t.Fatalf("%s failed: %s", name, iv.Detail)
+				}
+			}
+		}
+		if !found {
+			t.Fatalf("reconfig run did not report the %s invariant", name)
+		}
+	}
+	second, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.String() != rep.String() {
+		t.Fatalf("same seed, different reconfig reports:\n--- first\n%s--- second\n%s", rep, second)
+	}
+}
+
 // TestChaosRootChurn plays the scripted stale-root-path scenario: the
 // root is partitioned from one inner child at a time, held past the
 // root-path expiry. The child's subtree keeps a live, acking parent the
@@ -342,6 +387,9 @@ func TestChaosRun(t *testing.T) {
 	}
 	if *flagRootChurn {
 		cfg.RootChurn = true
+	}
+	if *flagReconfig {
+		cfg.Reconfig = true
 	}
 	rep, err := Run(cfg)
 	if err != nil {

@@ -42,6 +42,10 @@ type Report struct {
 	// RootChurn marks the stale-root-path scenario; like Quorum it adds a
 	// header token only when set, so default reports stay byte-identical.
 	RootChurn bool
+	// Reconfig marks the online-reconfiguration scenario (a replica-set
+	// member killed forever and replaced); it follows the same gated-token
+	// convention as Quorum and RootChurn.
+	Reconfig bool
 	// GiveUps is the cluster-wide reliable-delivery give-up count sampled
 	// right after the schedule settles. Not part of String — the count is
 	// timing-dependent — but the rootchurn test compares it against an
@@ -58,6 +62,9 @@ func (r *Report) String() string {
 	}
 	if r.RootChurn {
 		b.WriteString(" rootchurn")
+	}
+	if r.Reconfig {
+		fmt.Fprintf(&b, " replicas=%d reconfig", r.Replicas)
 	}
 	b.WriteString("\n")
 	for _, e := range r.Events {
@@ -131,6 +138,13 @@ func liveConfig(cfg Config) live.Config {
 		lc.RootAnnounceEvery = 40 * time.Millisecond
 		lc.RootExpireAfter = 200 * time.Millisecond
 	}
+	if cfg.Reconfig {
+		// The permanent-failure horizon, scaled to the chaos clock: past
+		// DeadAfter (a restartable crash must not trigger a replacement)
+		// but short enough that a member killed a third of the way in is
+		// declared gone and replaced well before the verdict.
+		lc.PermanentAfter = 150 * time.Millisecond
+	}
 	return lc
 }
 
@@ -152,7 +166,7 @@ func newHarness(cfg Config) (*harness, error) {
 		dir:    live.NewDynDirectory(tree, cfg.MaxDegree),
 		down:   map[int]bool{},
 	}
-	if cfg.Quorum {
+	if cfg.Quorum || cfg.Reconfig {
 		h.mono = map[[2]int]int64{}
 	}
 	for id := 0; id < cfg.Nodes; id++ {
@@ -263,6 +277,13 @@ func (h *harness) apply(e Event) {
 		if err := h.nets[e.A].Reboot(e.A, h.mems[e.A].States(e.A)); err != nil {
 			h.fail(err)
 		}
+	case OpKillForever:
+		// Permanent: the wrapper refuses any later Restart, and the node is
+		// marked dead in the directory so the tree re-homes around it. The
+		// entry stays in h.down for good — the verdict-time checks skip it.
+		h.wraps[e.A].KillForever()
+		h.nets[e.A].Fail(e.A)
+		h.down[e.A] = true
 	}
 }
 
@@ -345,6 +366,15 @@ func (h *harness) checkConvergence() (bool, string) {
 		rootID = h.dir.RootID()
 	}
 	members := h.dir.Members()
+	// Permanently killed members stay in the directory roster but can never
+	// answer again; they are not expected to converge (only reconfig
+	// schedules leave any behind at verdict time).
+	checked := 0
+	for _, id := range members {
+		if !h.down[id] {
+			checked++
+		}
+	}
 	for key := 0; key < h.cfg.Keys; key++ {
 		in, err := h.nets[rootID].Key(key).Inspect(rootID, time.Second)
 		if err != nil {
@@ -352,6 +382,9 @@ func (h *harness) checkConvergence() (bool, string) {
 		}
 		v0 := in.Version
 		for _, id := range members {
+			if h.down[id] {
+				continue
+			}
 			nw := h.nets[id]
 			if nw == nil {
 				return false, fmt.Sprintf("member %d has no running node", id)
@@ -373,9 +406,9 @@ func (h *harness) checkConvergence() (bool, string) {
 	}
 	if h.cfg.Keys > 1 {
 		return true, fmt.Sprintf("all %d members reached the authority version on %d keys within 8 TTLs",
-			len(members), h.cfg.Keys)
+			checked, h.cfg.Keys)
 	}
-	return true, fmt.Sprintf("all %d members reached the authority version within 8 TTLs", len(members))
+	return true, fmt.Sprintf("all %d members reached the authority version within 8 TTLs", checked)
 }
 
 // checkConsistency asserts the subscriber lists agree with the repaired
@@ -411,6 +444,11 @@ func (h *harness) treeConsistent() (bool, string) {
 	}
 	infos := make(map[int]live.NodeInfo, len(members))
 	for _, id := range members {
+		if h.down[id] {
+			// Permanently killed: still on the roster, but there is nothing
+			// left to inspect and no list of its own to audit.
+			continue
+		}
 		nw := h.nets[id]
 		if nw == nil {
 			return false, fmt.Sprintf("member %d has no running node", id)
@@ -422,6 +460,9 @@ func (h *harness) treeConsistent() (bool, string) {
 		infos[id] = in
 	}
 	for _, id := range members {
+		if h.down[id] {
+			continue
+		}
 		in := infos[id]
 		// A subscriber list may contain the node itself (that is what
 		// "interested" means); push targets never do. Entries pointing at
@@ -455,6 +496,9 @@ func (h *harness) treeConsistent() (bool, string) {
 		}
 	}
 	for _, id := range members {
+		if h.down[id] {
+			continue
+		}
 		in := infos[id]
 		if id == root || in.Dead || !in.Interested {
 			continue
@@ -504,6 +548,7 @@ func Run(cfg Config) (*Report, error) {
 		Seed: cfg.Seed, Nodes: cfg.Nodes, Steps: cfg.Steps, Churn: cfg.Churn,
 		Members: len(h.dir.Members()), Epoch: h.dir.Epoch(), Events: events,
 		Quorum: cfg.Quorum, Replicas: cfg.Replicas, RootChurn: cfg.RootChurn,
+		Reconfig: cfg.Reconfig,
 	}
 	for _, nw := range h.nets {
 		rep.GiveUps += nw.Stats().RetransmitGiveUps
@@ -514,10 +559,16 @@ func Run(cfg Config) (*Report, error) {
 	convOK, convDetail := h.checkConvergence()
 	add("convergence", convOK, convDetail)
 	monoOK := true
-	if cfg.Quorum {
+	if cfg.Quorum || cfg.Reconfig {
 		var monoDetail string
 		monoOK, monoDetail = h.checkMonotone()
 		add("monotone-versions", monoOK, monoDetail)
+	}
+	reconfOK := true
+	if cfg.Reconfig {
+		var reconfDetail string
+		reconfOK, reconfDetail = h.checkQuorumRestored()
+		add("quorum-restored", reconfOK, reconfDetail)
 	}
 	staleOK := true
 	if cfg.RootChurn && !cfg.noAnnounce {
@@ -529,8 +580,48 @@ func Run(cfg Config) (*Report, error) {
 	add("tree-consistency", treeOK, treeDetail)
 	leakOK, leakDetail := h.checkLeaks(base)
 	add("no-leak", leakOK, leakDetail)
-	rep.Passed = convOK && monoOK && staleOK && treeOK && leakOK
+	rep.Passed = convOK && monoOK && reconfOK && staleOK && treeOK && leakOK
 	return rep, nil
+}
+
+// checkQuorumRestored reports the reconfiguration verdict: the member the
+// schedule killed forever was replaced — the config epoch advanced through
+// the joint phase to a new stable set (one replacement is two epoch bumps),
+// the set is back at full strength, nothing is left in flight, and no
+// current member is past the permanent-failure horizon. The passing detail
+// is constant so passing reports stay byte-identical.
+func (h *harness) checkQuorumRestored() (bool, string) {
+	deadline := time.Now().Add(8 * h.lcfg.TTL)
+	var last live.Stats
+	for {
+		now := time.Now()
+		var s live.Stats
+		for id, nw := range h.nets {
+			if h.down[id] {
+				continue
+			}
+			st := nw.Stats()
+			if st.QuorumMembers > 0 && (s.QuorumMembers == 0 || st.ConfigEpoch > s.ConfigEpoch) {
+				s.ConfigEpoch, s.QuorumMembers = st.ConfigEpoch, st.QuorumMembers
+			}
+			if st.ReconfigInFlight {
+				s.ReconfigInFlight = true
+			}
+			if st.PermSuspects > s.PermSuspects {
+				s.PermSuspects = st.PermSuspects
+			}
+		}
+		last = s
+		if s.ConfigEpoch >= 2 && s.QuorumMembers == h.cfg.Replicas &&
+			!s.ReconfigInFlight && s.PermSuspects == 0 {
+			return true, "the dead member was replaced and the quorum returned to full strength"
+		}
+		if now.After(deadline) {
+			return false, fmt.Sprintf("epoch=%d members=%d inflight=%v permsuspect=%d after 8 TTLs",
+				last.ConfigEpoch, last.QuorumMembers, last.ReconfigInFlight, last.PermSuspects)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
 }
 
 // checkStaleExpiry reports the rootchurn verdict: at least one node

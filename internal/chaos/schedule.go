@@ -82,6 +82,18 @@ type Config struct {
 	// beacon off (test-only): the baseline the give-up comparison in the
 	// rootchurn test measures against.
 	noAnnounce bool
+	// Reconfig switches to the online-reconfiguration scenario: the
+	// cluster runs with Replicas authority replicas and a permanent-
+	// failure horizon, and the schedule kills one replica-set member
+	// forever a third of the way in — no heal, no revive. The leaseholder
+	// must notice the silence passing the horizon and replace the member
+	// through the two-phase quorum reconfiguration; the report gains the
+	// monotone-versions invariant plus a quorum-restored invariant
+	// asserting the config epoch advanced to a new full-strength stable
+	// set with nothing left in flight. Off by default, keeping default
+	// reports byte-identical. Mutually exclusive with Quorum and
+	// RootChurn.
+	Reconfig bool
 }
 
 // DefaultConfig returns a small run that finishes in a few seconds.
@@ -120,7 +132,7 @@ func (c Config) withDefaults() Config {
 	if c.Keys == 0 {
 		c.Keys = 1
 	}
-	if c.Quorum && c.Replicas == 0 {
+	if (c.Quorum || c.Reconfig) && c.Replicas == 0 {
 		c.Replicas = 3
 	}
 	return c
@@ -146,8 +158,12 @@ func (c Config) validate() error {
 		return fmt.Errorf("chaos: need 0 <= Replicas <= Nodes, got %d", c.Replicas)
 	case c.Quorum && c.Replicas < 2:
 		return fmt.Errorf("chaos: quorum scenario needs Replicas >= 2, got %d", c.Replicas)
+	case c.Reconfig && c.Replicas < 2:
+		return fmt.Errorf("chaos: reconfig scenario needs Replicas >= 2, got %d", c.Replicas)
 	case c.RootChurn && c.Quorum:
 		return fmt.Errorf("chaos: rootchurn and quorum scenarios are mutually exclusive")
+	case c.Reconfig && (c.Quorum || c.RootChurn):
+		return fmt.Errorf("chaos: reconfig is mutually exclusive with quorum and rootchurn")
 	}
 	return nil
 }
@@ -184,6 +200,12 @@ const (
 	// blanked and resumed from the node's journal, like a restarted dupd
 	// reading its -state-dir. Instantaneous — no repair event pairs it.
 	OpReboot
+	// OpKillForever kills node A permanently: the endpoint goes down like
+	// OpKill, but the faults wrapper refuses any later restart — the
+	// machine is gone for good, and the only repair is membership change
+	// (a replica-set member gets replaced through reconfiguration). No
+	// repair event ever pairs it.
+	OpKillForever
 )
 
 func (o Op) String() string {
@@ -210,6 +232,8 @@ func (o Op) String() string {
 		return "leave"
 	case OpReboot:
 		return "reboot"
+	case OpKillForever:
+		return "kill-forever"
 	}
 	return "unknown"
 }
@@ -311,6 +335,9 @@ func Schedule(cfg Config) []Event {
 	if cfg.RootChurn {
 		return rootChurnSchedule(cfg)
 	}
+	if cfg.Reconfig {
+		return reconfigSchedule(cfg)
+	}
 	src := rng.New(cfg.Seed)
 	st := &schedState{
 		nodes:     cfg.Nodes,
@@ -379,6 +406,17 @@ func quorumSchedule(cfg Config) []Event {
 	}
 	events = append(events, Event{Step: cfg.Steps, Op: OpRevive, A: 0})
 	return events
+}
+
+// reconfigSchedule scripts the permanent-failure scenario: a third of
+// the way in, the highest-id replica-set member (never node 0, the boot
+// leaseholder) is killed forever mid-traffic — no heal, no revive. From
+// there the leaseholder is on its own: it must notice the silence
+// passing the permanent-failure horizon and run the two-phase
+// reconfiguration that admits a replacement drawn from the directory.
+// The script is a pure function of the configuration.
+func reconfigSchedule(cfg Config) []Event {
+	return []Event{{Step: cfg.Steps / 3, Op: OpKillForever, A: cfg.Replicas - 1}}
 }
 
 // rootChurnSchedule scripts the stale-root-path scenario: the root is

@@ -21,7 +21,10 @@
 //   - asymmetric partitions (Block / BlockKind and their Unblock pairs),
 //   - crash/restart of the whole endpoint (Crash / Restart): outbound
 //     messages are dropped and inbound deliveries are refused, as if the
-//     process behind the endpoint died with its listener up.
+//     process behind the endpoint died with its listener up,
+//   - permanent kill (KillForever): Crash with no way back — Restart is
+//     a no-op afterwards, modelling a machine that is gone for good and
+//     can only be replaced, never revived.
 //
 // All randomness comes from one seeded source, so a single-threaded
 // sender sees a reproducible fault pattern; under true concurrency the
@@ -84,6 +87,7 @@ type Transport struct {
 	blockedKind map[blockKey]bool
 
 	down   atomic.Bool
+	killed atomic.Bool
 	closed atomic.Bool
 
 	injected  atomic.Int64
@@ -227,11 +231,29 @@ func (f *Transport) UnblockKind(id int, k proto.Kind) {
 // invisible to the peers until their failure detectors notice.
 func (f *Transport) Crash() { f.down.Store(true) }
 
-// Restart brings a crashed endpoint back.
-func (f *Transport) Restart() { f.down.Store(false) }
+// Restart brings a crashed endpoint back. A KillForever is permanent:
+// Restart on a killed endpoint is a no-op, so a schedule cannot revive a
+// process the scenario declared dead for good.
+func (f *Transport) Restart() {
+	if f.killed.Load() {
+		return
+	}
+	f.down.Store(false)
+}
 
-// Down reports whether the endpoint is currently crashed.
+// KillForever takes the endpoint down permanently. Unlike Crash there is
+// no way back: the process is gone, its disk with it, and the only path
+// to full strength is replacing it through reconfiguration.
+func (f *Transport) KillForever() {
+	f.killed.Store(true)
+	f.down.Store(true)
+}
+
+// Down reports whether the endpoint is currently crashed or killed.
 func (f *Transport) Down() bool { return f.down.Load() }
+
+// Killed reports whether the endpoint was permanently killed.
+func (f *Transport) Killed() bool { return f.killed.Load() }
 
 // Injected reports how many messages this wrapper itself dropped
 // (partitions, loss, crash), excluding the wrapped transport's drops.

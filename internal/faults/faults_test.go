@@ -241,6 +241,41 @@ func TestCrashCutsBothDirections(t *testing.T) {
 	}
 }
 
+func TestKillForeverSurvivesRestart(t *testing.T) {
+	inner := transport.NewChan(transport.ChanConfig{})
+	a := Wrap(inner, Config{Seed: 1})
+	b := Wrap(inner, Config{Seed: 2, CloseInner: true})
+	defer b.Close()
+	defer a.Close()
+	sa, sb := newSink(), newSink()
+	a.Register(1, sa.handler())
+	b.Register(2, sb.handler())
+
+	b.KillForever()
+	if !b.Down() || !b.Killed() {
+		t.Fatalf("Down() = %v Killed() = %v after KillForever, want true/true", b.Down(), b.Killed())
+	}
+	b.Restart() // must be a no-op on a killed endpoint
+	if !b.Down() {
+		t.Fatal("Restart revived a permanently killed endpoint")
+	}
+	send(b, proto.KindPush, 1, 0)
+	send(a, proto.KindPush, 2, 1)
+	if got := sa.collect(30 * time.Millisecond); len(got) != 0 {
+		t.Fatalf("killed endpoint still sent %d messages", len(got))
+	}
+	if got := sb.collect(30 * time.Millisecond); len(got) != 0 {
+		t.Fatalf("killed endpoint still received %d messages", len(got))
+	}
+
+	// A plain crashed endpoint is unaffected by another's permanent kill.
+	a.Crash()
+	a.Restart()
+	if a.Down() || a.Killed() {
+		t.Fatalf("Down() = %v Killed() = %v after Crash+Restart, want false/false", a.Down(), a.Killed())
+	}
+}
+
 func TestNoPooledMessageLeaks(t *testing.T) {
 	base := proto.InUse()
 	f, s := wrapped(t, Config{Seed: 5, Loss: 0.3, Duplicate: 0.3, Reorder: 0.3,

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"dup/internal/proto"
+	"dup/internal/replica"
 	"dup/internal/rng"
 	"dup/internal/store"
 	"dup/internal/topology"
@@ -107,6 +108,15 @@ type Config struct {
 	// pre-replica protocol. Like Nodes and Seed, every process of a
 	// cluster must use the same Replicas.
 	Replicas int
+	// PermanentAfter is the permanent-failure horizon for replica-set
+	// members: when the leaseholder has heard nothing from a member for
+	// this long it proposes replacing it through the two-phase quorum
+	// reconfiguration, drawing the replacement from the directory. It
+	// must exceed DeadAfter — keep-alive suspicion is restartable, this
+	// is the verdict that the machine is gone for good. Zero disables
+	// automatic replacement (membership only changes via recovery or an
+	// operator). Only meaningful with Replicas >= 2.
+	PermanentAfter time.Duration
 	// Seed drives topology generation and latency jitter. Every process
 	// of a multi-process cluster must use the same Seed (and Nodes and
 	// MaxDegree) so they derive the same tree.
@@ -189,6 +199,11 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("live: need ShardLoops >= 0, got %d", c.ShardLoops)
 	case c.Replicas < 0:
 		return fmt.Errorf("live: need Replicas >= 0, got %d", c.Replicas)
+	case c.PermanentAfter < 0:
+		return fmt.Errorf("live: need PermanentAfter >= 0, got %v", c.PermanentAfter)
+	case c.PermanentAfter > 0 && c.PermanentAfter <= c.DeadAfter:
+		return fmt.Errorf("live: need PermanentAfter > DeadAfter, got %v, %v",
+			c.PermanentAfter, c.DeadAfter)
 	case c.Tree == nil && c.Nodes >= 2 && c.Replicas > c.Nodes:
 		return fmt.Errorf("live: need Replicas <= Nodes, got %d > %d", c.Replicas, c.Nodes)
 	case c.Tree != nil && c.Replicas > c.Tree.N():
@@ -338,6 +353,18 @@ type Stats struct {
 	// would have to block on quorum acknowledgement.
 	ReplicaLag      int64
 	ReserveHeadroom int64
+	// Quorum reconfiguration health (zero values unless a hosted node
+	// carries a replica group): ConfigEpoch is the highest membership
+	// epoch any hosted member has adopted and QuorumMembers that epoch's
+	// member count; PermSuspects is how many members the hosted
+	// leaseholder currently sees silent past Config.PermanentAfter;
+	// ReconfigInFlight reports a membership change still in progress on
+	// any hosted member (a proposal running, or a joint config awaiting
+	// its final commit).
+	ConfigEpoch      int64
+	QuorumMembers    int
+	PermSuspects     int
+	ReconfigInFlight bool
 }
 
 // KeyStats aggregates one keyed index tree's counters across the nodes
@@ -394,6 +421,15 @@ type Options struct {
 	// re-runs the quorum promise round before exposing versions, so a
 	// stale or lost log never regresses the stream.
 	RecoveredReplicas map[int][]store.ReplicaState
+	// RecoveredConfigs seeds hosted replica-set members with the durable
+	// membership record a previous incarnation journalled (as recorded by
+	// a store.ReplicaConfigJournal), so every member reboots into the
+	// config epoch it had adopted — including a joint config journalled
+	// mid-reconfiguration, which the leaseholder resumes and commits. A
+	// node whose record names it a member builds its replica group from
+	// the record even when its id lies outside the seed set 0..Replicas-1
+	// (it was admitted as a replacement).
+	RecoveredConfigs map[int]store.ReplicaConfig
 }
 
 // Network runs the hosted subset of a live cluster.
@@ -495,6 +531,17 @@ func boot(cfg Config, tree *topology.Tree, tr transport.Transport, dir Directory
 			n.adopt(states, false)
 			n.announce = true
 		}
+		if rc, ok := opts.RecoveredConfigs[id]; ok {
+			// A journalled membership record can make a node a replica-set
+			// member even when its id lies outside the seed set (it was
+			// admitted as a replacement before the reboot).
+			if n.rep.Load() == nil && cfg.replicas() > 1 && memberOf(rc, id) {
+				n.rep.Store(replica.New(n.replicaConfig()))
+			}
+			if g := n.rep.Load(); g != nil {
+				g.RestoreConfig(rc)
+			}
+		}
 		if rs := opts.RecoveredReplicas[id]; len(rs) > 0 {
 			if g := n.rep.Load(); g != nil {
 				g.Restore(rs)
@@ -565,6 +612,7 @@ func (nw *Network) Stats() Stats {
 		s.AcksByKind[k] = nw.stats.acksByKind[k].Load()
 		s.DupSuppressedByKind[k] = nw.stats.dupsByKind[k].Load()
 	}
+	now := time.Now()
 	nw.mu.RLock()
 	for _, n := range nw.hosted {
 		g := n.rep.Load()
@@ -579,9 +627,37 @@ func (nw *Network) Stats() Stats {
 				s.ReserveHeadroom = headroom
 			}
 		}
+		if e := g.Epoch(); s.QuorumMembers == 0 || e > s.ConfigEpoch {
+			s.ConfigEpoch = e
+			s.QuorumMembers = len(g.Members())
+		}
+		if g.ReconfigInFlight() {
+			s.ReconfigInFlight = true
+		}
+		if nw.cfg.PermanentAfter > 0 {
+			if d := len(g.DeadMembers(now, nw.cfg.PermanentAfter)); d > s.PermSuspects {
+				s.PermSuspects = d
+			}
+		}
 	}
 	nw.mu.RUnlock()
 	return s
+}
+
+// memberOf reports whether id belongs to a journalled membership record
+// (either half of a joint config).
+func memberOf(rc store.ReplicaConfig, id int) bool {
+	for _, m := range rc.New {
+		if m == id {
+			return true
+		}
+	}
+	for _, m := range rc.Old {
+		if m == id {
+			return true
+		}
+	}
+	return false
 }
 
 // kc returns the counter registry entry for one key, creating it on first

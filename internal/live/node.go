@@ -399,7 +399,7 @@ func (n *node) replicaConfig() replica.Config {
 func replicaKind(k proto.Kind) bool {
 	switch k {
 	case proto.KindPrepare, proto.KindPromise, proto.KindAccept,
-		proto.KindCommit, proto.KindLease:
+		proto.KindCommit, proto.KindLease, proto.KindReconfig, proto.KindStateXfer:
 		return true
 	}
 	return false
@@ -936,6 +936,18 @@ func (l *lane) tick(now time.Time) {
 				}
 			}
 			l.sendAll(g.Tick(now))
+			// Permanent-failure horizon: a member silent past PermanentAfter
+			// (well beyond DeadAfter's restartable suspicion) is gone for
+			// good — the leaseholder heals the quorum by replacing it with a
+			// directory member through the two-phase reconfiguration.
+			if cfg.PermanentAfter > 0 && g.Leading() && !g.ReconfigInFlight() {
+				if dead := g.DeadMembers(now, cfg.PermanentAfter); len(dead) > 0 {
+					if repl := n.pickReplacement(g, dead); repl >= 0 {
+						msgs, _ := g.ProposeReplace(dead[0], repl, now)
+						l.sendAll(msgs)
+					}
+				}
+			}
 		}
 		// Child-death detection (case 2: the upstream virtual-path
 		// neighbour notices and clears the path) — across every keyed tree,
@@ -1022,6 +1034,32 @@ func (l *lane) tick(now time.Time) {
 func (n *node) suspected(id int) bool {
 	_, ok := n.suspects[id]
 	return ok
+}
+
+// pickReplacement chooses the replica-set replacement for a permanently
+// dead member: the lowest-id directory member that is not already in the
+// set, not this node (a leader cannot state-transfer to itself), not
+// locally suspected and not itself on the dead list. -1 when the
+// directory has nobody to offer.
+func (n *node) pickReplacement(g *replica.Group, dead []int) int {
+	members := g.Members()
+	in := func(set []int, id int) bool {
+		for _, m := range set {
+			if m == id {
+				return true
+			}
+		}
+		return false
+	}
+	roster := n.nw.Members()
+	sort.Ints(roster)
+	for _, id := range roster {
+		if id == n.id || in(members, id) || in(dead, id) || n.suspected(id) {
+			continue
+		}
+		return id
+	}
+	return -1
 }
 
 // unsubscribePeer clears a dead or departed peer out of every keyed tree
@@ -1566,8 +1604,21 @@ func (l *lane) handleMsg(m *proto.Message, batched bool) {
 		// Quorum-protocol traffic steps the replica group directly; the
 		// Group is internally synchronised, so whichever lane the keyed
 		// routing delivered to may step it. Nodes with no group (outside
-		// the replica set, never promoted) drop the frame.
-		if g := n.rep.Load(); g != nil {
+		// the replica set, never promoted) drop the frame — except a
+		// reconfiguration or state-transfer frame addressed to this node,
+		// which is the leaseholder recruiting it as a replacement member:
+		// that builds a learner group on the spot, which then adopts the
+		// real member set and epoch from the frames themselves.
+		g := n.rep.Load()
+		if g == nil && n.nw.cfg.replicas() > 1 && m.To == n.id &&
+			(m.Kind == proto.KindReconfig || m.Kind == proto.KindStateXfer) {
+			fresh := replica.New(n.replicaConfig())
+			if !n.rep.CompareAndSwap(nil, fresh) {
+				fresh = n.rep.Load()
+			}
+			g = fresh
+		}
+		if g != nil {
 			l.sendAll(g.Step(m, time.Now()))
 		}
 		proto.Release(m)

@@ -206,8 +206,8 @@ type Sample struct {
 	// P50LatencyMS/P99LatencyMS are push-to-resolve latencies in
 	// milliseconds for workloads that measure propagation (the live
 	// cluster); omitted elsewhere.
-	P50LatencyMS    float64 `json:"p50_latency_ms,omitempty"`
-	P99LatencyMS    float64 `json:"p99_latency_ms,omitempty"`
+	P50LatencyMS float64 `json:"p50_latency_ms,omitempty"`
+	P99LatencyMS float64 `json:"p99_latency_ms,omitempty"`
 	// FailoverMS is the replicated-authority workload's fail-over time in
 	// milliseconds: leaseholder kill to a remote site resolving a version
 	// above everything the dead authority exposed; omitted elsewhere.

@@ -106,6 +106,23 @@ const (
 	// instead of waiting for a keep-alive miss. Best-effort: the next
 	// beacon refreshes whatever a lost one missed.
 	KindRootAnnounce
+	// KindReconfig carries the replica set's membership-change protocol
+	// (dup/internal/replica). Subject discriminates: 0 = joint config
+	// proposal (Path carries old members then new members, New = the old
+	// set's length), 1 = final config (Path carries the new members),
+	// 2 = config ack (Seq echoes the acked epoch), 3 = config request
+	// from a member that saw a newer epoch stamped on a frame. Old always
+	// carries the proposing leaseholder's term, Seq the config epoch.
+	KindReconfig
+	// KindStateXfer is the snapshot-style state transfer that brings a
+	// replacement member's accepted log up to date before it gains a
+	// vote. Subject discriminates: 0 = begin (Path carries the current
+	// member set, Version the sender's failover floor, New the chunk
+	// count), 1 = a chunk of the accepted log (Path carries key,version
+	// pairs, Version the chunk index), 2 = the replacement's completion
+	// ack. Old carries the sending leaseholder's term, Seq the config
+	// epoch.
+	KindStateXfer
 )
 
 var kindNames = [...]string{
@@ -113,7 +130,7 @@ var kindNames = [...]string{
 	"substitute", "interest", "uninterest", "keepalive", "keepalive-ack",
 	"ack", "join", "leave", "state", "batch",
 	"prepare", "promise", "accept", "commit", "lease",
-	"root-announce",
+	"root-announce", "reconfig", "state-xfer",
 }
 
 // NumKinds is the number of defined message kinds; Kind values in
@@ -154,17 +171,17 @@ func (k Kind) Control() bool {
 //	Uninterest:  To, Subject
 type Message struct {
 	Kind    Kind
-	To      int     // delivery target (next hop)
-	Origin  int     // query originator / pushing node / keep-alive sender
-	Subject int     // subscribe/unsubscribe/interest subject
-	Old     int     // substitute: node to remove
-	New     int     // substitute: node to insert
-	Key     int     // which keyed index tree the message belongs to (0 = default)
-	Seq     int64   // request/reply correlation id (live transports only)
-	Version int64   // index version carried by replies and pushes
-	Expiry  float64 // absolute expiry of that version
-	Hops    int     // hops travelled by the request (latency accounting)
-	Path    []int   // request: visited nodes; reply: remaining reverse path
+	To      int        // delivery target (next hop)
+	Origin  int        // query originator / pushing node / keep-alive sender
+	Subject int        // subscribe/unsubscribe/interest subject
+	Old     int        // substitute: node to remove
+	New     int        // substitute: node to insert
+	Key     int        // which keyed index tree the message belongs to (0 = default)
+	Seq     int64      // request/reply correlation id (live transports only)
+	Version int64      // index version carried by replies and pushes
+	Expiry  float64    // absolute expiry of that version
+	Hops    int        // hops travelled by the request (latency accounting)
+	Path    []int      // request: visited nodes; reply: remaining reverse path
 	Batch   []*Message // KindBatch only: the coalesced member messages
 	Piggy   *Piggyback
 
@@ -304,6 +321,10 @@ func (m *Message) String() string {
 		return fmt.Sprintf("lease{to:%d from:%d term:%d seq:%d}", m.To, m.Origin, m.Old, m.Seq)
 	case KindRootAnnounce:
 		return fmt.Sprintf("root-announce{to:%d from:%d root:%d seq:%d}", m.To, m.Origin, m.Subject, m.Seq)
+	case KindReconfig:
+		return fmt.Sprintf("reconfig{to:%d from:%d term:%d epoch:%d sub:%d}", m.To, m.Origin, m.Old, m.Seq, m.Subject)
+	case KindStateXfer:
+		return fmt.Sprintf("state-xfer{to:%d from:%d term:%d epoch:%d sub:%d}", m.To, m.Origin, m.Old, m.Seq, m.Subject)
 	default:
 		return fmt.Sprintf("%s{to:%d}", m.Kind, m.To)
 	}

@@ -28,6 +28,8 @@ func TestKindString(t *testing.T) {
 		KindCommit:       "commit",
 		KindLease:        "lease",
 		KindRootAnnounce: "root-announce",
+		KindReconfig:     "reconfig",
+		KindStateXfer:    "state-xfer",
 	}
 	if len(cases) != NumKinds {
 		t.Errorf("test covers %d kinds, NumKinds = %d", len(cases), NumKinds)

@@ -34,6 +34,24 @@
 // serving a diverging stream, and followers waiting out a valid lease
 // avoid dueling-candidate churn for equal terms. Safety never depends on
 // clocks — a expired-lease leader can only stop exposing, never regress.
+//
+// # Online reconfiguration
+//
+// Membership itself is soft state: a member dead for good is replaced
+// without downtime by a two-phase, quorum-ordered config change driven
+// by the leaseholder (single-member delta per step — add one or remove
+// one). The replacement first receives a snapshot-style state transfer
+// of the leader's accepted log, so it never votes on a log it does not
+// hold. Then the joint config (old set ∧ new set) is journalled and
+// broadcast: while it is in force every quorum decision — promotion,
+// lease renewal, the exposure floor — needs independent majorities of
+// both sets, so no decision can be made that a majority of either set
+// would not intersect. Once a joint quorum has durably adopted it, the
+// final config commits the same way under the new set alone. Every
+// config carries an epoch, stamped on all replica frames (the otherwise
+// unused Hops varint, so pre-existing encodings stay byte-identical);
+// an epoch mismatch rejects the frame and triggers a config catch-up
+// exchange instead of letting stale-config members vote.
 package replica
 
 import (
@@ -57,7 +75,9 @@ type Config struct {
 	// root promoted by the directory leads the quorum from outside (its
 	// own log stays volatile; safety comes from the member quorum).
 	ID int
-	// Members is the fixed replica set, identical on every node.
+	// Members is the epoch-0 replica set, identical on every node. Later
+	// epochs are installed by online reconfiguration (ProposeReplace) and
+	// recovered from the journal with RestoreConfig.
 	Members []int
 	// Lease is the leader lease duration (and the failover freshness
 	// bound). Zero means one second.
@@ -94,8 +114,74 @@ const (
 
 // maxPromisePairs bounds the key,version pairs per prepare-promise
 // frame; larger logs are split into chunks (the final chunk sets New=1)
-// so the wire codec's MaxPath is never exceeded.
+// so the wire codec's MaxPath is never exceeded. State-transfer chunks
+// use the same bound.
 const maxPromisePairs = 1024
+
+// reconfigSubject discriminates the KindReconfig payloads.
+const (
+	subConfJoint = 0 // joint config: Path = old members then new, New = len(old)
+	subConfFinal = 1 // final config: Path = the new members
+	subConfAck   = 2 // member adopted the config journalled at epoch Seq
+	subConfNeed  = 3 // sender saw a newer epoch than Seq; answer with the config
+)
+
+// xferSubject discriminates the KindStateXfer payloads.
+const (
+	subXferBegin = 0 // Path = current members, Version = the sender's default floor
+	subXferChunk = 1 // Path = key,version pairs; New = 1 marks the final chunk
+	subXferAck   = 2 // replacement holds the whole snapshot
+)
+
+// confState is the live membership view: the stable member set, or —
+// while a reconfiguration's joint phase is in force — the old∧new pair.
+// cur is always the set the group is moving to (equal to the stable set
+// outside a reconfiguration); old is non-nil exactly in the joint phase.
+type confState struct {
+	epoch int64
+	old   []int
+	cur   []int
+}
+
+func (c *confState) joint() bool { return c.old != nil }
+
+// union returns every node with a role in the config: cur plus, in the
+// joint phase, any old member not also in cur.
+func (c *confState) union() []int {
+	if !c.joint() {
+		return c.cur
+	}
+	u := append([]int(nil), c.cur...)
+	for _, id := range c.old {
+		seen := false
+		for _, v := range c.cur {
+			if v == id {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			u = append(u, id)
+		}
+	}
+	sort.Ints(u)
+	return u
+}
+
+// reconfig is the leaseholder's in-flight membership change.
+type reconfig struct {
+	phase    int   // rcXfer, rcJoint or rcFinal
+	add      int   // the incoming member (-1 when resuming a recovered joint config)
+	newSet   []int // the target stable member set
+	acks     map[int]bool
+	lastSend time.Time
+}
+
+const (
+	rcXfer  = iota // state transfer streaming to the replacement
+	rcJoint        // joint config out, gathering adoption acks from both sets
+	rcFinal        // final config out, gathering acks from the new set
+)
 
 // Group is one node's replica state machine. All methods are safe for
 // concurrent use from any lane goroutine; MayServe is lock-free so the
@@ -103,11 +189,18 @@ const maxPromisePairs = 1024
 type Group struct {
 	mu      sync.Mutex
 	cfg     Config
-	quorum  int
+	conf    confState
 	member  bool
-	peers   []int // members minus self
+	peers   []int // current config's union minus self
 	lease   time.Duration
 	reserve int64
+
+	// rc is the leaseholder's in-flight reconfiguration, nil otherwise.
+	rc *reconfig
+	// lastAck is the leader's per-peer liveness view: the last time each
+	// peer answered anything. The host's permanent-failure horizon reads
+	// it through DeadMembers.
+	lastAck map[int]time.Time
 
 	role role
 	term int64
@@ -127,10 +220,18 @@ type Group struct {
 
 	// Candidate state: merged snapshot per promising member, completion
 	// flags, and the lease deadline stamped into this round's prepares.
-	votes     map[int]map[int]int64
-	voted     map[int]bool
-	prepExp   float64
-	lastPrep  time.Time
+	votes    map[int]map[int]int64
+	voted    map[int]bool
+	prepExp  float64
+	lastPrep time.Time
+
+	// Learner-side state-transfer progress: which chunks of the current
+	// epoch's snapshot have arrived. The leader rebuilds and retransmits
+	// the whole snapshot until acked, so chunks may arrive out of order
+	// or twice; the ack waits for every chunk index.
+	xferGot    map[int]bool
+	xferChunks int
+	xferEpoch  int64
 
 	// Leader state.
 	floors    map[int]int64
@@ -169,7 +270,6 @@ func New(cfg Config) *Group {
 	}
 	g := &Group{
 		cfg:         cfg,
-		quorum:      len(cfg.Members)/2 + 1,
 		lease:       cfg.Lease,
 		reserve:     cfg.Reserve,
 		log:         make(map[int]entry),
@@ -177,14 +277,69 @@ func New(cfg Config) *Group {
 		leaseHolder: -1,
 		grantHolder: -1,
 	}
-	for _, m := range cfg.Members {
-		if m == cfg.ID {
-			g.member = true
-		} else {
-			g.peers = append(g.peers, m)
+	g.installConfLocked(confState{epoch: 0, cur: append([]int(nil), cfg.Members...)}, false)
+	return g
+}
+
+// majority is the quorum size of one member set.
+func majority(n int) int { return n/2 + 1 }
+
+// installConfLocked makes c the live config, recomputing the derived
+// membership view and (when journal is set) recording it durably before
+// it takes effect — a member must recover into the epoch it voted under.
+func (g *Group) installConfLocked(c confState, journal bool) {
+	if journal {
+		if j, ok := g.cfg.Journal.(store.ReplicaConfigJournal); ok {
+			j.RecordReplicaConfig(store.ReplicaConfig{
+				ID: g.cfg.ID, Epoch: c.epoch, Joint: c.joint(),
+				Old: append([]int(nil), c.old...), New: append([]int(nil), c.cur...),
+			})
 		}
 	}
-	return g
+	g.conf = c
+	g.member = false
+	g.peers = g.peers[:0]
+	for _, id := range c.union() {
+		if id == g.cfg.ID {
+			g.member = true
+		} else {
+			g.peers = append(g.peers, id)
+		}
+	}
+	// Leader-side tracking follows the membership: new peers get fresh
+	// ack maps and a liveness clock starting now; departed peers keep
+	// their stale entries harmlessly (no quorum rule consults them).
+	if g.acked != nil {
+		for _, p := range g.peers {
+			if g.acked[p] == nil {
+				g.acked[p] = make(map[int]int64)
+			}
+		}
+	}
+}
+
+// quorumOKLocked reports whether the ids satisfying has form a quorum
+// under the live config: a majority of the current set and — while the
+// joint phase is in force — independently a majority of the old set.
+// This is the single quorum-size read site, so every decision tracks
+// reconfiguration instead of the boot-time member count.
+func (g *Group) quorumOKLocked(has func(id int) bool) bool {
+	count := func(set []int) int {
+		n := 0
+		for _, id := range set {
+			if has(id) {
+				n++
+			}
+		}
+		return n
+	}
+	if count(g.conf.cur) < majority(len(g.conf.cur)) {
+		return false
+	}
+	if g.conf.joint() && count(g.conf.old) < majority(len(g.conf.old)) {
+		return false
+	}
+	return true
 }
 
 // Restore seeds the accepted log from journal recovery. Call before any
@@ -198,6 +353,22 @@ func (g *Group) Restore(states []store.ReplicaState) {
 			g.term = rs.Term
 		}
 	}
+}
+
+// RestoreConfig seeds the membership config from journal recovery: a
+// rebooted member resumes in the exact epoch (joint phase included) it
+// journalled before the crash. Call before any traffic flows.
+func (g *Group) RestoreConfig(rc store.ReplicaConfig) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if rc.Epoch < g.conf.epoch {
+		return
+	}
+	c := confState{epoch: rc.Epoch, cur: append([]int(nil), rc.New...)}
+	if rc.Joint {
+		c.old = append([]int(nil), rc.Old...)
+	}
+	g.installConfLocked(c, false)
 }
 
 // BootLeader makes this node the term-1 leader of a genuinely fresh
@@ -227,6 +398,8 @@ func (g *Group) resetLeaderLocked() {
 	g.leaseAcks = make(map[int]bool)
 	g.leaseSent = time.Time{}
 	g.announceCtr = 0
+	g.lastAck = make(map[int]time.Time)
+	g.rc = nil
 }
 
 // StartCandidate opens a new leadership round: bumps the term past
@@ -278,6 +451,7 @@ func (g *Group) preparesLocked() []*proto.Message {
 		m.To = p
 		m.Origin = g.cfg.ID
 		m.Old = int(g.term)
+		m.Hops = int(g.conf.epoch)
 		m.Expiry = g.prepExp
 		msgs = append(msgs, m)
 	}
@@ -292,18 +466,17 @@ func (g *Group) maybePromoteLocked(now time.Time) {
 	if g.role != candidate {
 		return
 	}
-	n := 0
-	for id := range g.voted {
-		if g.voted[id] {
-			n++
-		}
-	}
-	if n < g.quorum {
+	if !g.quorumOKLocked(func(id int) bool { return g.voted[id] }) {
 		return
 	}
 	g.role = leader
 	g.floors = make(map[int]int64)
-	g.floorDef = g.reserve + 1
+	// floorDef only ever grows: a state-transferred default floor (or a
+	// previous leadership's) stays in force, which is conservative — a
+	// too-high floor just skips version numbers.
+	if g.floorDef < g.reserve+1 {
+		g.floorDef = g.reserve + 1
+	}
 	for _, snap := range g.votes {
 		for k, v := range snap {
 			if f := v + g.reserve + 1; f > g.floors[k] {
@@ -513,6 +686,7 @@ func (g *Group) acceptsLocked(key int) []*proto.Message {
 		m.To = p
 		m.Origin = g.cfg.ID
 		m.Old = int(e.term)
+		m.Hops = int(g.conf.epoch)
 		m.Key = key
 		m.Version = e.version
 		m.Expiry = e.expiry
@@ -523,21 +697,34 @@ func (g *Group) acceptsLocked(key int) []*proto.Message {
 
 // quorumAcceptedLocked returns the highest version a full quorum of
 // members has durably accepted for key (this node's own log counts when
-// it is a member).
+// it is a member). In the joint phase both sets must reach a version
+// before it counts, so exposure can never outrun either quorum.
 func (g *Group) quorumAcceptedLocked(key int) int64 {
-	vals := make([]int64, 0, len(g.cfg.Members))
-	for _, id := range g.cfg.Members {
+	qa := g.setAcceptedLocked(g.conf.cur, key)
+	if g.conf.joint() {
+		if o := g.setAcceptedLocked(g.conf.old, key); o < qa {
+			qa = o
+		}
+	}
+	return qa
+}
+
+// setAcceptedLocked returns the highest version a majority of one member
+// set has durably accepted for key.
+func (g *Group) setAcceptedLocked(set []int, key int) int64 {
+	if len(set) == 0 {
+		return 0
+	}
+	vals := make([]int64, 0, len(set))
+	for _, id := range set {
 		if id == g.cfg.ID {
 			vals = append(vals, g.log[key].version)
 		} else {
 			vals = append(vals, g.acked[id][key])
 		}
 	}
-	if len(vals) < g.quorum {
-		return 0
-	}
 	sort.Slice(vals, func(i, j int) bool { return vals[i] > vals[j] })
-	return vals[g.quorum-1]
+	return vals[majority(len(set))-1]
 }
 
 // Step feeds one replica frame to the state machine and returns the
@@ -546,6 +733,25 @@ func (g *Group) Step(m *proto.Message, now time.Time) []*proto.Message {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	term := int64(m.Old)
+	if g.role == leader {
+		g.lastAck[m.Origin] = now // any frame is a sign of life
+	}
+	switch m.Kind {
+	case proto.KindReconfig:
+		return g.onReconfigLocked(m, term, now)
+	case proto.KindStateXfer:
+		return g.onXferLocked(m, term, now)
+	}
+	// Config epoch gate: a frame from a different epoch must not vote.
+	// When the sender is ahead we ask it for the config it holds; when it
+	// is behind we teach it ours. Either way the dropped frame's round
+	// recovers by retransmission once the epochs agree.
+	if epoch := int64(m.Hops); epoch != g.conf.epoch {
+		if epoch > g.conf.epoch {
+			return []*proto.Message{g.confNeedLocked(m.Origin)}
+		}
+		return []*proto.Message{g.confRecordLocked(m.Origin)}
+	}
 	switch m.Kind {
 	case proto.KindPrepare:
 		return g.onPrepareLocked(m, term, now)
@@ -645,6 +851,7 @@ func (g *Group) relayGrantLocked(to int, now time.Time) []*proto.Message {
 	m.To = to
 	m.Origin = g.grantHolder
 	m.Old = int(g.term)
+	m.Hops = int(g.conf.epoch)
 	m.Seq = 0
 	m.Expiry = timeToUnix(g.grantUntil)
 	return []*proto.Message{m}
@@ -656,6 +863,7 @@ func (g *Group) newPromiseLocked(to, subject int) *proto.Message {
 	pm.To = to
 	pm.Origin = g.cfg.ID
 	pm.Old = int(g.term)
+	pm.Hops = int(g.conf.epoch)
 	pm.Subject = subject
 	return pm
 }
@@ -702,11 +910,10 @@ func (g *Group) onPromiseLocked(m *proto.Message, term int64, now time.Time) []*
 			return nil
 		}
 		g.leaseAcks[m.Origin] = true
-		n := len(g.leaseAcks)
-		if g.member {
-			n++ // our own grant
-		}
-		if n >= g.quorum {
+		granted := g.quorumOKLocked(func(id int) bool {
+			return id == g.cfg.ID || g.leaseAcks[id] // our own grant counts when we are a member
+		})
+		if granted {
 			g.lastGrant = now
 			until := g.leaseSent.Add(g.lease)
 			if until.UnixNano() > g.leaseGood.Load() {
@@ -797,6 +1004,7 @@ func (g *Group) Tick(now time.Time) []*proto.Message {
 				m.To = p
 				m.Origin = g.cfg.ID
 				m.Old = int(g.term)
+				m.Hops = int(g.conf.epoch)
 				m.Seq = g.leaseSeq
 				m.Expiry = timeToUnix(now.Add(g.lease))
 				msgs = append(msgs, m)
@@ -805,6 +1013,31 @@ func (g *Group) Tick(now time.Time) []*proto.Message {
 			if len(g.peers) == 0 && g.member {
 				g.leaseGood.Store(now.Add(g.lease).UnixNano())
 			}
+		}
+		// Start the liveness clock for peers that have never answered.
+		for _, p := range g.peers {
+			if g.lastAck[p].IsZero() {
+				g.lastAck[p] = now
+			}
+		}
+		// A leader that won its round inside a joint config inherits the
+		// unfinished reconfiguration and drives it home.
+		if g.conf.joint() && g.rc == nil {
+			g.rc = &reconfig{
+				phase: rcJoint, add: -1,
+				newSet: append([]int(nil), g.conf.cur...),
+				acks:   make(map[int]bool),
+			}
+		}
+		// Retransmit the in-flight reconfiguration phase until it acks out.
+		if g.rc != nil && (g.rc.lastSend.IsZero() || now.Sub(g.rc.lastSend) >= g.lease/4) {
+			g.rc.lastSend = now
+			if g.rc.phase == rcXfer {
+				msgs = append(msgs, g.xferLocked()...)
+			} else {
+				msgs = append(msgs, g.confBroadcastLocked()...)
+			}
+			msgs = append(msgs, g.advanceReconfigLocked(now)...)
 		}
 		// Anti-entropy: re-offer the log head to any peer behind it, and
 		// advance the commit watermark when a quorum has caught up.
@@ -822,6 +1055,7 @@ func (g *Group) Tick(now time.Time) []*proto.Message {
 					m.To = p
 					m.Origin = g.cfg.ID
 					m.Old = int(e.term)
+					m.Hops = int(g.conf.epoch)
 					m.Key = k
 					m.Version = qa
 					msgs = append(msgs, m)
@@ -831,6 +1065,364 @@ func (g *Group) Tick(now time.Time) []*proto.Message {
 		return msgs
 	}
 	return nil
+}
+
+// ProposeReplace starts replacing the (presumed permanently dead)
+// member dead with the non-member repl: first a snapshot-style state
+// transfer streams the leader's accepted log to repl, then — once repl
+// acks the whole snapshot — the joint config (old∧new) is journalled
+// and broadcast, and once a quorum of both sets has adopted it the
+// final config commits under the new set alone. Single-member deltas
+// keep every old/new quorum pair intersecting, so no decision point
+// exists where the two sets could diverge. Only a serving leaseholder
+// with a stable config and no change in flight may propose; anything
+// else returns nil, false. The returned frames must be sent; Tick
+// retransmits each phase until it completes.
+func (g *Group) ProposeReplace(dead, repl int, now time.Time) ([]*proto.Message, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.role != leader || g.rc != nil || g.conf.joint() || !g.MayServe(now) {
+		return nil, false
+	}
+	if dead == repl || repl == g.cfg.ID {
+		return nil, false
+	}
+	isMember := false
+	for _, id := range g.conf.cur {
+		if id == dead {
+			isMember = true
+		}
+		if id == repl {
+			return nil, false
+		}
+	}
+	if !isMember {
+		return nil, false
+	}
+	newSet := make([]int, 0, len(g.conf.cur))
+	for _, id := range g.conf.cur {
+		if id != dead {
+			newSet = append(newSet, id)
+		}
+	}
+	newSet = append(newSet, repl)
+	sort.Ints(newSet)
+	g.rc = &reconfig{phase: rcXfer, add: repl, newSet: newSet, acks: make(map[int]bool), lastSend: now}
+	return g.xferLocked(), true
+}
+
+// xferLocked builds the full state transfer for the in-flight
+// replacement: a begin frame naming the current members, the default
+// floor and the chunk count, then the accepted log (raised to its
+// floors — the floor is the real exposure bound for keys this leader
+// never bumped) as indexed key,version chunks. The whole snapshot is
+// rebuilt per retransmission, so chunk indices always mean the same
+// pairs within one epoch.
+func (g *Group) xferLocked() []*proto.Message {
+	rc := g.rc
+	keys := make([]int, 0, len(g.log)+len(g.floors))
+	for k := range g.log {
+		keys = append(keys, k)
+	}
+	for k := range g.floors {
+		if _, ok := g.log[k]; !ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Ints(keys)
+	chunks := (len(keys) + maxPromisePairs - 1) / maxPromisePairs
+	b := g.newXferLocked(rc.add, subXferBegin)
+	b.Path = append(b.Path, g.conf.cur...)
+	b.Version = g.floorDef
+	b.New = chunks
+	msgs := []*proto.Message{b}
+	for c := 0; c < chunks; c++ {
+		cm := g.newXferLocked(rc.add, subXferChunk)
+		cm.Version = int64(c)
+		for _, k := range keys[c*maxPromisePairs : min((c+1)*maxPromisePairs, len(keys))] {
+			v := g.log[k].version
+			if f := g.floors[k]; f > v {
+				v = f
+			}
+			cm.Path = append(cm.Path, k, int(v))
+		}
+		msgs = append(msgs, cm)
+	}
+	return msgs
+}
+
+func (g *Group) newXferLocked(to, subject int) *proto.Message {
+	m := proto.NewMessage()
+	m.Kind = proto.KindStateXfer
+	m.To = to
+	m.Origin = g.cfg.ID
+	m.Old = int(g.term)
+	m.Subject = subject
+	m.Seq = g.conf.epoch
+	m.Hops = int(g.conf.epoch)
+	return m
+}
+
+// onXferLocked handles both ends of the state transfer: the replacement
+// applies begin/chunk frames (journalling every entry before anything
+// is acked, so a crash never forgets a snapshot it claimed), and the
+// leader turns the completion ack into the joint config proposal.
+func (g *Group) onXferLocked(m *proto.Message, term int64, now time.Time) []*proto.Message {
+	switch m.Subject {
+	case subXferBegin:
+		if m.Seq < g.conf.epoch {
+			return nil
+		}
+		g.observeTermLocked(term)
+		if m.Seq > g.conf.epoch {
+			// A node drafted into a cluster whose config moved past its
+			// boot-time member list adopts the sender's stable set first.
+			g.installConfLocked(confState{epoch: m.Seq, cur: append([]int(nil), m.Path...)}, true)
+		}
+		if m.Version > g.floorDef {
+			g.floorDef = m.Version
+		}
+		if g.xferEpoch != m.Seq || g.xferChunks != m.New || g.xferGot == nil {
+			g.xferEpoch, g.xferChunks, g.xferGot = m.Seq, m.New, make(map[int]bool)
+		}
+		return g.maybeXferAckLocked(m.Origin)
+	case subXferChunk:
+		if g.xferGot == nil || m.Seq != g.xferEpoch || m.Seq < g.conf.epoch {
+			return nil
+		}
+		g.observeTermLocked(term)
+		for i := 0; i+1 < len(m.Path); i += 2 {
+			k, v := m.Path[i], int64(m.Path[i+1])
+			if v > g.log[k].version {
+				g.log[k] = entry{term: term, version: v}
+				if g.cfg.Journal != nil {
+					g.cfg.Journal.RecordReplica(store.ReplicaState{
+						ID: g.cfg.ID, Key: k, Term: term, Version: v,
+					})
+				}
+			}
+		}
+		g.xferGot[int(m.Version)] = true
+		return g.maybeXferAckLocked(m.Origin)
+	case subXferAck:
+		if g.role != leader || g.rc == nil || g.rc.phase != rcXfer || m.Origin != g.rc.add {
+			return nil
+		}
+		// The replacement holds the snapshot: open the joint phase. The
+		// joint config is journalled before it is proposed, so this
+		// leader reboots into it rather than into the pre-change set.
+		rc := g.rc
+		old := append([]int(nil), g.conf.cur...)
+		g.installConfLocked(confState{
+			epoch: g.conf.epoch + 1, old: old,
+			cur: append([]int(nil), rc.newSet...),
+		}, true)
+		rc.phase = rcJoint
+		rc.acks = make(map[int]bool)
+		rc.lastSend = now
+		msgs := g.confBroadcastLocked()
+		return append(msgs, g.advanceReconfigLocked(now)...)
+	}
+	return nil
+}
+
+// maybeXferAckLocked acks the state transfer once every chunk of the
+// current snapshot has been applied (and journalled).
+func (g *Group) maybeXferAckLocked(to int) []*proto.Message {
+	if g.xferGot == nil || len(g.xferGot) < g.xferChunks {
+		return nil
+	}
+	m := g.newXferLocked(to, subXferAck)
+	m.Seq = g.xferEpoch
+	return []*proto.Message{m}
+}
+
+// onReconfigLocked handles the config-change frames: members adopt and
+// journal proposed configs (idempotently re-acking retransmissions),
+// the driving leader tallies adoption acks, and epoch-mismatch catch-up
+// requests are answered with the config this node holds.
+func (g *Group) onReconfigLocked(m *proto.Message, term int64, now time.Time) []*proto.Message {
+	switch m.Subject {
+	case subConfJoint, subConfFinal:
+		epoch := m.Seq
+		if epoch < g.conf.epoch {
+			// Stale proposer (an old leader's retransmission): teach it.
+			return []*proto.Message{g.confRecordLocked(m.Origin)}
+		}
+		g.observeTermLocked(term)
+		if epoch == g.conf.epoch {
+			return []*proto.Message{g.confAckLocked(m.Origin)}
+		}
+		var c confState
+		if m.Subject == subConfJoint {
+			n := m.New
+			if n < 0 || n > len(m.Path) {
+				return nil
+			}
+			c = confState{
+				epoch: epoch,
+				old:   append([]int(nil), m.Path[:n]...),
+				cur:   append([]int(nil), m.Path[n:]...),
+			}
+		} else {
+			c = confState{epoch: epoch, cur: append([]int(nil), m.Path...)}
+		}
+		g.installConfLocked(c, true)
+		return []*proto.Message{g.confAckLocked(m.Origin)}
+	case subConfAck:
+		if g.role != leader || g.rc == nil || m.Seq != g.conf.epoch {
+			return nil
+		}
+		g.rc.acks[m.Origin] = true
+		return g.advanceReconfigLocked(now)
+	case subConfNeed:
+		if m.Seq < g.conf.epoch {
+			return []*proto.Message{g.confRecordLocked(m.Origin)}
+		}
+	}
+	return nil
+}
+
+// advanceReconfigLocked moves the in-flight change forward whenever the
+// current phase's adoption acks form a quorum: the joint phase commits
+// into the final config (journalled, then broadcast), and the final
+// phase completes the change. The loop handles degenerate groups whose
+// own ack already is a quorum.
+func (g *Group) advanceReconfigLocked(now time.Time) []*proto.Message {
+	var msgs []*proto.Message
+	for g.rc != nil {
+		rc := g.rc
+		if rc.phase == rcXfer {
+			return msgs
+		}
+		if !g.quorumOKLocked(func(id int) bool { return id == g.cfg.ID || rc.acks[id] }) {
+			return msgs
+		}
+		if rc.phase == rcJoint {
+			g.installConfLocked(confState{
+				epoch: g.conf.epoch + 1,
+				cur:   append([]int(nil), rc.newSet...),
+			}, true)
+			rc.phase = rcFinal
+			rc.acks = make(map[int]bool)
+			rc.lastSend = now
+			msgs = append(msgs, g.confBroadcastLocked()...)
+			continue
+		}
+		g.rc = nil // final config adopted by its quorum: change complete
+	}
+	return msgs
+}
+
+// confRecordLocked frames the config this node currently holds, for a
+// proposal broadcast or a catch-up answer.
+func (g *Group) confRecordLocked(to int) *proto.Message {
+	m := proto.NewMessage()
+	m.Kind = proto.KindReconfig
+	m.To = to
+	m.Origin = g.cfg.ID
+	m.Old = int(g.term)
+	m.Seq = g.conf.epoch
+	m.Hops = int(g.conf.epoch)
+	if g.conf.joint() {
+		m.Subject = subConfJoint
+		m.New = len(g.conf.old)
+		m.Path = append(m.Path, g.conf.old...)
+		m.Path = append(m.Path, g.conf.cur...)
+	} else {
+		m.Subject = subConfFinal
+		m.Path = append(m.Path, g.conf.cur...)
+	}
+	return m
+}
+
+// confNeedLocked asks to, which stamped a newer epoch than ours, for
+// the config record we are missing.
+func (g *Group) confNeedLocked(to int) *proto.Message {
+	m := proto.NewMessage()
+	m.Kind = proto.KindReconfig
+	m.To = to
+	m.Origin = g.cfg.ID
+	m.Old = int(g.term)
+	m.Subject = subConfNeed
+	m.Seq = g.conf.epoch
+	m.Hops = int(g.conf.epoch)
+	return m
+}
+
+// confAckLocked acknowledges that this node has adopted (and
+// journalled) the config at the current epoch.
+func (g *Group) confAckLocked(to int) *proto.Message {
+	m := proto.NewMessage()
+	m.Kind = proto.KindReconfig
+	m.To = to
+	m.Origin = g.cfg.ID
+	m.Old = int(g.term)
+	m.Subject = subConfAck
+	m.Seq = g.conf.epoch
+	m.Hops = int(g.conf.epoch)
+	return m
+}
+
+// confBroadcastLocked re-proposes the current config to every peer that
+// has not acked the in-flight phase yet.
+func (g *Group) confBroadcastLocked() []*proto.Message {
+	var msgs []*proto.Message
+	for _, p := range g.peers {
+		if g.rc != nil && g.rc.acks[p] {
+			continue
+		}
+		msgs = append(msgs, g.confRecordLocked(p))
+	}
+	return msgs
+}
+
+// DeadMembers reports current voting members (self excluded) that have
+// answered nothing for at least horizon, as seen by a serving leader —
+// the permanent-failure signal the host's replacement policy polls.
+// A member merely restarting keeps answering within a lease or two, so
+// a horizon of several leases only ever names members gone for good.
+func (g *Group) DeadMembers(now time.Time, horizon time.Duration) []int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.role != leader {
+		return nil
+	}
+	var dead []int
+	for _, p := range g.peers {
+		t := g.lastAck[p]
+		if t.IsZero() {
+			g.lastAck[p] = now
+			continue
+		}
+		if now.Sub(t) >= horizon {
+			dead = append(dead, p)
+		}
+	}
+	return dead
+}
+
+// Epoch returns the current config epoch.
+func (g *Group) Epoch() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.conf.epoch
+}
+
+// Members returns the current member set — the set being moved to, when
+// a joint phase is in force.
+func (g *Group) Members() []int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return append([]int(nil), g.conf.cur...)
+}
+
+// ReconfigInFlight reports an unfinished membership change: a joint
+// config in force anywhere, or a change this leader is still driving.
+func (g *Group) ReconfigInFlight() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.rc != nil || g.conf.joint()
 }
 
 // timeToUnix and unixToTime mirror the live layer's wire-time

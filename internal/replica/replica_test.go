@@ -368,6 +368,270 @@ func TestPromiseSnapshotChunksLargeLogs(t *testing.T) {
 	}
 }
 
+// deliverTo pumps msgs (and everything they trigger), but only to the
+// recipients in allow; everything else is released undelivered — the
+// other endpoints are dead or partitioned.
+func (c *cluster) deliverTo(msgs []*proto.Message, allow map[int]bool, now time.Time) {
+	for len(msgs) > 0 {
+		var next []*proto.Message
+		for _, m := range msgs {
+			if g, ok := c.groups[m.To]; ok && allow[m.To] {
+				next = append(next, g.Step(m, now)...)
+			}
+			proto.Release(m)
+		}
+		msgs = next
+	}
+}
+
+// TestProposeReplaceReplacesDeadMember drives one full online
+// replacement: member 2 dies for good, the leaseholder state-transfers
+// its log to the empty learner 3, and the two-phase change commits to
+// the stable epoch-2 set {0,1,3} on every survivor — durably, so each
+// journal holds the new config. The replacement must then be a real
+// voter: when the leaseholder dies too, node 3 campaigns with node 1
+// and exposes strictly above everything the old leader ever served.
+func TestProposeReplaceReplacesDeadMember(t *testing.T) {
+	now := time.Unix(1000, 0)
+	c := newCluster(t, []int{0, 1, 2}, []int{0, 1, 2}, 2)
+	g0 := c.groups[0]
+	g0.BootLeader()
+	c.pump(g0.Tick(now), now)
+	var exposed int64
+	for want := int64(1); want <= 5; want++ {
+		v, out, ok := g0.Bump(0, want, 2000.5, now)
+		c.pump(out, now)
+		if !ok || v != want {
+			t.Fatalf("Bump(%d) = (%d, %v)", want, v, ok)
+		}
+		exposed = v
+	}
+	// Member 2 is gone for good; the replacement 3 boots as an empty
+	// learner that still believes in the boot-time member set.
+	c.mems[3] = store.NewMem()
+	c.groups[3] = New(Config{
+		ID: 3, Members: []int{0, 1, 2}, Lease: time.Second, Reserve: 2, Journal: c.mems[3],
+	})
+	alive := map[int]bool{0: true, 1: true, 3: true}
+	msgs, ok := g0.ProposeReplace(2, 3, now)
+	if !ok {
+		t.Fatal("ProposeReplace refused with a clean stable config")
+	}
+	// Only one change may be in flight at a time.
+	if more, ok2 := g0.ProposeReplace(1, 4, now); ok2 {
+		drop(more)
+		t.Fatal("second ProposeReplace accepted while one was in flight")
+	}
+	c.deliverTo(msgs, alive, now)
+	if g0.ReconfigInFlight() {
+		t.Fatal("reconfiguration still in flight after every survivor answered")
+	}
+	for _, id := range []int{0, 1, 3} {
+		g := c.groups[id]
+		if e := g.Epoch(); e != 2 {
+			t.Fatalf("node %d at epoch %d, want 2 (joint + final)", id, e)
+		}
+		if m := g.Members(); len(m) != 3 || m[0] != 0 || m[1] != 1 || m[2] != 3 {
+			t.Fatalf("node %d members = %v, want [0 1 3]", id, m)
+		}
+		rc, found := c.mems[id].ReplicaConfig(id)
+		if !found || rc.Epoch != 2 || rc.Joint {
+			t.Fatalf("node %d journalled config = (%+v, %v), want stable epoch 2", id, rc, found)
+		}
+	}
+	// The state transfer brought the replacement's accepted log up to the
+	// leader's exposure bound before it gained a vote.
+	if got := c.groups[3].Accepted(0); got < exposed {
+		t.Fatalf("replacement accepted %d, below the exposed %d", got, exposed)
+	}
+	// The leaseholder dies next; the replacement campaigns with node 1 as
+	// its quorum partner and must never regress the stream.
+	delete(c.groups, 0)
+	survivors := map[int]bool{1: true, 3: true}
+	g3 := c.groups[3]
+	at := now
+	c.deliverTo(g3.StartCandidate(at), survivors, at)
+	for i := 0; i < 40 && !g3.Leading(); i++ {
+		at = at.Add(250 * time.Millisecond)
+		c.deliverTo(g3.Tick(at), survivors, at)
+	}
+	if !g3.Leading() {
+		t.Fatal("replacement never won the fail-over round")
+	}
+	v, out, ok := g3.Bump(0, 1, 3000.5, at)
+	c.deliverTo(out, survivors, at)
+	if !ok {
+		v, out, ok = g3.Bump(0, 1, 3000.5, at)
+		c.deliverTo(out, survivors, at)
+	}
+	if !ok || v <= exposed {
+		t.Fatalf("replacement leader exposed (%d, ok=%v), want > %d", v, ok, exposed)
+	}
+}
+
+// TestJointPhaseRequiresBothQuorums is the 3→3 replacement regression
+// guard: while the joint config {0,1,2}∧{0,1,3} is in force, a majority
+// of the new set alone (the leader plus the incoming member 3) must
+// satisfy nothing — not the lease renewal, not the config commit. A
+// quorum rule that momentarily counted only the target set would accept
+// exactly that 2-of-3 here while the old set has one vote of three.
+func TestJointPhaseRequiresBothQuorums(t *testing.T) {
+	now := time.Unix(1000, 0)
+	c := newCluster(t, []int{0, 1, 2}, []int{0, 1, 2}, 0)
+	g0 := c.groups[0]
+	g0.BootLeader()
+	c.pump(g0.Tick(now), now)
+	c.mems[3] = store.NewMem()
+	c.groups[3] = New(Config{ID: 3, Members: []int{0, 1, 2}, Lease: time.Second, Journal: c.mems[3]})
+	msgs, ok := g0.ProposeReplace(2, 3, now)
+	if !ok {
+		t.Fatal("ProposeReplace refused")
+	}
+	// Deliver the state transfer to 3 only: its completion ack opens the
+	// joint phase at the leader, 3 adopts and acks the joint config, and
+	// nothing reaches the old members — the change parks in the joint
+	// phase with the new set's majority (0 and 3) already in hand.
+	c.deliverTo(msgs, map[int]bool{0: true, 3: true}, now)
+	if !g0.ReconfigInFlight() || g0.Epoch() != 1 {
+		t.Fatalf("joint phase not reached: epoch %d, in flight %v", g0.Epoch(), g0.ReconfigInFlight())
+	}
+	// The boot lease runs out; the renewal reaches only the new member.
+	// Self + 3 is a majority of {0,1,3} — and must not be enough.
+	later := now.Add(2 * time.Second)
+	c.deliverTo(g0.Tick(later), map[int]bool{0: true, 3: true}, later)
+	if g0.MayServe(later) {
+		t.Fatal("lease renewed by a new-set-only quorum during the joint phase")
+	}
+	if !g0.ReconfigInFlight() || g0.Epoch() != 1 {
+		t.Fatal("config advanced on a new-set-only quorum during the joint phase")
+	}
+	// Old member 1 answers again: both majorities form and the change
+	// commits through to the stable epoch-2 set. (This round's lease
+	// frame bounces off 1's epoch gate while it catches up on the config,
+	// so the renewal lands on the following round.)
+	even := later.Add(time.Second)
+	alive := map[int]bool{0: true, 1: true, 3: true}
+	c.deliverTo(g0.Tick(even), alive, even)
+	if g0.ReconfigInFlight() || g0.Epoch() != 2 {
+		t.Fatalf("change did not commit: epoch %d, in flight %v", g0.Epoch(), g0.ReconfigInFlight())
+	}
+	final := even.Add(time.Second)
+	c.deliverTo(g0.Tick(final), alive, final)
+	if !g0.MayServe(final) {
+		t.Fatal("lease not renewed once the old set's majority answered")
+	}
+}
+
+// TestRebootMidReconfigurationResumesJointPhase crashes the proposing
+// leaseholder at the worst moment: the joint config is journalled (on a
+// real on-disk store) but the final config has not committed. The
+// rebooted member must recover into the exact joint epoch its disk
+// agreed to, re-win leadership, inherit the unfinished change and drive
+// it home — finishing with the stable epoch-2 set on every survivor and
+// on its own disk.
+func TestRebootMidReconfigurationResumesJointPhase(t *testing.T) {
+	now := time.Unix(1000, 0)
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newCluster(t, []int{0, 1, 2}, []int{1, 2}, 0)
+	g0 := New(Config{ID: 0, Members: []int{0, 1, 2}, Lease: time.Second, Journal: st})
+	c.groups[0] = g0
+	g0.BootLeader()
+	c.pump(g0.Tick(now), now)
+	if v, out, ok := g0.Bump(0, 1, 2000.5, now); !ok || v != 1 {
+		t.Fatalf("Bump = (%d, %v)", v, ok)
+	} else {
+		c.pump(out, now)
+	}
+	c.mems[3] = store.NewMem()
+	c.groups[3] = New(Config{ID: 3, Members: []int{0, 1, 2}, Lease: time.Second, Journal: c.mems[3]})
+	msgs, ok := g0.ProposeReplace(2, 3, now)
+	if !ok {
+		t.Fatal("ProposeReplace refused")
+	}
+	// The transfer reaches 3 and its ack opens the joint phase — which the
+	// leader journals before proposing — but the proposal broadcast is
+	// lost, and the leader crashes with the change half done.
+	c.deliverTo(msgs, map[int]bool{0: true, 3: true}, now)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	delete(c.groups, 0)
+
+	st2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	rc, found := st2.ReplicaConfig(0)
+	if !found || rc.Epoch != 1 || !rc.Joint {
+		t.Fatalf("disk config = (%+v, %v), want the joint epoch-1 record", rc, found)
+	}
+	g0b := New(Config{ID: 0, Members: []int{0, 1, 2}, Lease: time.Second, Journal: st2})
+	g0b.Restore(st2.ReplicaStates(0))
+	g0b.RestoreConfig(rc)
+	if g0b.Epoch() != 1 || !g0b.ReconfigInFlight() {
+		t.Fatalf("reboot resumed at epoch %d (in flight %v), want the joint epoch 1",
+			g0b.Epoch(), g0b.ReconfigInFlight())
+	}
+	c.groups[0] = g0b
+
+	// Re-elect past the old lease; the first leader tick inherits the
+	// joint config as an in-flight change and retransmits it to
+	// completion against the survivors 1 and 3.
+	alive := map[int]bool{0: true, 1: true, 3: true}
+	at := now.Add(2 * time.Second)
+	c.deliverTo(g0b.StartCandidate(at), alive, at)
+	for i := 0; i < 40 && (!g0b.Leading() || g0b.ReconfigInFlight()); i++ {
+		at = at.Add(250 * time.Millisecond)
+		c.deliverTo(g0b.Tick(at), alive, at)
+	}
+	if !g0b.Leading() {
+		t.Fatal("rebooted proposer never re-won leadership")
+	}
+	if g0b.ReconfigInFlight() || g0b.Epoch() != 2 {
+		t.Fatalf("inherited change did not commit: epoch %d, in flight %v",
+			g0b.Epoch(), g0b.ReconfigInFlight())
+	}
+	for _, id := range []int{1, 3} {
+		if e := c.groups[id].Epoch(); e != 2 {
+			t.Fatalf("survivor %d at epoch %d, want 2", id, e)
+		}
+	}
+	if rc, found = st2.ReplicaConfig(0); !found || rc.Epoch != 2 || rc.Joint {
+		t.Fatalf("disk config after commit = (%+v, %v), want stable epoch 2", rc, found)
+	}
+}
+
+// TestProposeReplaceRefusesBadArguments pins the guard rails: no
+// proposal without leadership, none for a non-member, none promoting an
+// existing member, and none replacing a member with itself.
+func TestProposeReplaceRefusesBadArguments(t *testing.T) {
+	now := time.Unix(1000, 0)
+	c := newCluster(t, []int{0, 1, 2}, []int{0, 1, 2}, 0)
+	g0 := c.groups[0]
+	if msgs, ok := g0.ProposeReplace(2, 3, now); ok {
+		drop(msgs)
+		t.Fatal("follower accepted a ProposeReplace")
+	}
+	g0.BootLeader()
+	c.pump(g0.Tick(now), now)
+	for _, bad := range []struct{ dead, repl int }{
+		{7, 3}, // dead is not a member
+		{2, 1}, // replacement already a member
+		{2, 2}, // replacement is the dead member
+		{2, 0}, // replacement is the proposer
+	} {
+		if msgs, ok := g0.ProposeReplace(bad.dead, bad.repl, now); ok {
+			drop(msgs)
+			t.Fatalf("ProposeReplace(%d, %d) accepted", bad.dead, bad.repl)
+		}
+	}
+}
+
 func TestMessageLeakFree(t *testing.T) {
 	base := proto.InUse()
 	now := time.Unix(1000, 0)

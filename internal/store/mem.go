@@ -9,6 +9,7 @@ type Mem struct {
 	mu    sync.Mutex
 	nodes map[nodeKey]NodeState
 	reps  map[nodeKey]ReplicaState
+	confs map[int]ReplicaConfig
 }
 
 // NewMem returns an empty in-memory journal.
@@ -16,6 +17,7 @@ func NewMem() *Mem {
 	return &Mem{
 		nodes: make(map[nodeKey]NodeState),
 		reps:  make(map[nodeKey]ReplicaState),
+		confs: make(map[int]ReplicaConfig),
 	}
 }
 
@@ -59,4 +61,27 @@ func (m *Mem) ReplicaStates(id int) []ReplicaState {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return replicaStatesOf(m.reps, id)
+}
+
+// RecordReplicaConfig keeps the highest-epoch membership record per node.
+func (m *Mem) RecordReplicaConfig(rc ReplicaConfig) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rc.Old = append([]int(nil), rc.Old...)
+	rc.New = append([]int(nil), rc.New...)
+	if old, ok := m.confs[rc.ID]; !ok || rc.Epoch >= old.Epoch {
+		m.confs[rc.ID] = rc
+	}
+}
+
+// ReplicaConfig returns the recorded membership record for id, if any.
+func (m *Mem) ReplicaConfig(id int) (ReplicaConfig, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rc, ok := m.confs[id]
+	if ok {
+		rc.Old = append([]int(nil), rc.Old...)
+		rc.New = append([]int(nil), rc.New...)
+	}
+	return rc, ok
 }

@@ -103,6 +103,27 @@ type ReplicaJournal interface {
 	RecordReplica(rs ReplicaState)
 }
 
+// ReplicaConfig is one durable membership record of the replica group:
+// the config epoch a member adopted and the sets it names. During the
+// joint phase of an online reconfiguration both sets are recorded
+// (Joint true, Old the outgoing set); a stable config records only New.
+// Only the highest epoch per node survives recovery — configs are
+// totally ordered by epoch and adoption is irrevocable.
+type ReplicaConfig struct {
+	ID    int
+	Epoch int64
+	Joint bool
+	Old   []int
+	New   []int
+}
+
+// ReplicaConfigJournal receives replica membership records. Store and
+// Mem both implement it; the replica layer type-asserts its journal, so
+// plain journals keep working for fixed-membership clusters.
+type ReplicaConfigJournal interface {
+	RecordReplicaConfig(rc ReplicaConfig)
+}
+
 // Store is a file-backed Journal rooted at one directory. It is safe for
 // concurrent use by multiple node goroutines.
 type Store struct {
@@ -113,6 +134,7 @@ type Store struct {
 	compactAt int64
 	nodes     map[nodeKey]NodeState
 	reps      map[nodeKey]ReplicaState
+	confs     map[int]ReplicaConfig
 	lastRoot  map[nodeKey]int64 // last fsynced root version per (node, key)
 	lastRep   map[nodeKey]int64 // last fsynced replica-log version per (node, key)
 	buf       []byte
@@ -132,6 +154,7 @@ func Open(dir string) (*Store, error) {
 		compactAt: DefaultCompactAt,
 		nodes:     make(map[nodeKey]NodeState),
 		reps:      make(map[nodeKey]ReplicaState),
+		confs:     make(map[int]ReplicaConfig),
 		lastRoot:  make(map[nodeKey]int64),
 		lastRep:   make(map[nodeKey]int64),
 	}
@@ -195,6 +218,18 @@ func (s *Store) ReplicaStates(id int) []ReplicaState {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return replicaStatesOf(s.reps, id)
+}
+
+// ReplicaConfig returns the recovered membership record for id, if any.
+func (s *Store) ReplicaConfig(id int) (ReplicaConfig, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rc, ok := s.confs[id]
+	if ok {
+		rc.Old = append([]int(nil), rc.Old...)
+		rc.New = append([]int(nil), rc.New...)
+	}
+	return rc, ok
 }
 
 // replicaStatesOf collects and sorts id's replica entries out of a
@@ -303,6 +338,36 @@ func (s *Store) RecordReplica(rs ReplicaState) {
 	}
 }
 
+// RecordReplicaConfig appends one replica membership record. Every
+// config record fsyncs before returning: a member that voted under an
+// epoch its disk could forget might recover into an older set and form
+// a quorum the new config no longer intersects.
+func (s *Store) RecordReplicaConfig(rc ReplicaConfig) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil || s.wal == nil {
+		return
+	}
+	s.buf = appendReplicaConfigRecord(s.buf[:0], &rc)
+	if _, err := s.wal.Write(s.buf); err != nil {
+		s.err = err
+		return
+	}
+	s.walBytes += int64(len(s.buf))
+	rc.Old = append([]int(nil), rc.Old...)
+	rc.New = append([]int(nil), rc.New...)
+	if old, ok := s.confs[rc.ID]; !ok || rc.Epoch >= old.Epoch {
+		s.confs[rc.ID] = rc
+	}
+	if err := s.wal.Sync(); err != nil {
+		s.err = err
+		return
+	}
+	if s.walBytes >= s.compactAt {
+		s.compactLocked()
+	}
+}
+
 // Sync flushes the log to stable storage.
 func (s *Store) Sync() error {
 	s.mu.Lock()
@@ -356,6 +421,9 @@ func (s *Store) compactLocked() {
 	for _, rs := range s.reps {
 		s.buf = appendReplicaRecord(s.buf, &rs)
 	}
+	for _, rc := range s.confs {
+		s.buf = appendReplicaConfigRecord(s.buf, &rc)
+	}
 	if _, err := f.Write(s.buf); err == nil {
 		err = f.Sync()
 	}
@@ -404,7 +472,7 @@ func (s *Store) loadSnapshot() error {
 	if err != nil {
 		return err
 	}
-	_, err = replay(p, s.nodes, s.reps)
+	_, err = replay(p, s.nodes, s.reps, s.confs)
 	if err != nil {
 		return fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
@@ -420,7 +488,7 @@ func (s *Store) loadWAL() error {
 	if err != nil {
 		return err
 	}
-	good, err := replay(p, s.nodes, s.reps)
+	good, err := replay(p, s.nodes, s.reps, s.confs)
 	if err != nil {
 		// Torn tail from a crash mid-append: keep the good prefix.
 		if terr := os.Truncate(path, int64(good)); terr != nil {
@@ -430,10 +498,11 @@ func (s *Store) loadWAL() error {
 	return nil
 }
 
-// replay applies every complete record in p to nodes (KindState records)
-// or reps (KindAccept replica log records), returning the byte offset of
-// the last fully-applied record and the error that stopped it.
-func replay(p []byte, nodes map[nodeKey]NodeState, reps map[nodeKey]ReplicaState) (int, error) {
+// replay applies every complete record in p to nodes (KindState
+// records), reps (KindAccept replica log records) or confs (KindReconfig
+// membership records), returning the byte offset of the last
+// fully-applied record and the error that stopped it.
+func replay(p []byte, nodes map[nodeKey]NodeState, reps map[nodeKey]ReplicaState, confs map[int]ReplicaConfig) (int, error) {
 	off := 0
 	for off < len(p) {
 		if len(p)-off < recHeader {
@@ -448,7 +517,7 @@ func replay(p []byte, nodes map[nodeKey]NodeState, reps map[nodeKey]ReplicaState
 		if crc32.ChecksumIEEE(payload) != sum {
 			return off, fmt.Errorf("crc mismatch at %d", off)
 		}
-		if err := applyRecord(payload, nodes, reps); err != nil {
+		if err := applyRecord(payload, nodes, reps, confs); err != nil {
 			return off, err
 		}
 		off += recHeader + n
@@ -458,7 +527,7 @@ func replay(p []byte, nodes map[nodeKey]NodeState, reps map[nodeKey]ReplicaState
 
 // applyRecord decodes one record payload and applies it to the map its
 // kind belongs to.
-func applyRecord(payload []byte, nodes map[nodeKey]NodeState, reps map[nodeKey]ReplicaState) error {
+func applyRecord(payload []byte, nodes map[nodeKey]NodeState, reps map[nodeKey]ReplicaState, confs map[int]ReplicaConfig) error {
 	m, err := wire.DecodeMessage(payload)
 	if err != nil {
 		return err
@@ -487,8 +556,24 @@ func applyRecord(payload []byte, nodes map[nodeKey]NodeState, reps map[nodeKey]R
 			Expiry:  m.Expiry,
 		}
 		reps[nodeKey{rs.ID, rs.Key}] = rs
+	case proto.KindReconfig:
+		if m.New < 0 || m.New > len(m.Path) {
+			return fmt.Errorf("reconfig record split %d outside path of %d", m.New, len(m.Path))
+		}
+		rc := ReplicaConfig{
+			ID:    m.Origin,
+			Epoch: m.Seq,
+			Joint: m.Subject == 0,
+		}
+		if m.New > 0 {
+			rc.Old = append([]int(nil), m.Path[:m.New]...)
+		}
+		rc.New = append([]int(nil), m.Path[m.New:]...)
+		if old, ok := confs[rc.ID]; !ok || rc.Epoch >= old.Epoch {
+			confs[rc.ID] = rc
+		}
 	default:
-		return fmt.Errorf("record kind %s, want state or accept", m.Kind)
+		return fmt.Errorf("record kind %s, want state, accept or reconfig", m.Kind)
 	}
 	return nil
 }
@@ -509,6 +594,31 @@ func appendRecord(dst []byte, ns *NodeState) []byte {
 	m.Version = ns.Version
 	m.Expiry = ns.Expiry
 	m.Path = append(m.Path, ns.Subscribers...)
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0, 0, 0, 0, 0)
+	dst = wire.AppendMessage(dst, m)
+	payload := dst[start+recHeader:]
+	binary.BigEndian.PutUint32(dst[start:], uint32(len(payload)))
+	binary.BigEndian.PutUint32(dst[start+4:], crc32.ChecksumIEEE(payload))
+	proto.Release(m)
+	return dst
+}
+
+// appendReplicaConfigRecord appends the CRC-framed encoding of rc: the
+// wire encoding of a KindReconfig message with the node id in Origin,
+// the epoch in Seq, the joint flag in Subject (0 joint, 1 final) and the
+// membership in Path as old-set ++ new-set with the split point in New.
+func appendReplicaConfigRecord(dst []byte, rc *ReplicaConfig) []byte {
+	m := proto.NewMessage()
+	m.Kind = proto.KindReconfig
+	m.Origin = rc.ID
+	m.Seq = rc.Epoch
+	if !rc.Joint {
+		m.Subject = 1
+	}
+	m.New = len(rc.Old)
+	m.Path = append(m.Path, rc.Old...)
+	m.Path = append(m.Path, rc.New...)
 	start := len(dst)
 	dst = append(dst, 0, 0, 0, 0, 0, 0, 0, 0)
 	dst = wire.AppendMessage(dst, m)

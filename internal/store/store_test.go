@@ -298,3 +298,121 @@ func TestMemReplicaJournal(t *testing.T) {
 		t.Fatalf("mem replica entries = %+v", got)
 	}
 }
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestReplicaConfigRecordAndRecover(t *testing.T) {
+	dir := t.TempDir()
+	s := reopen(t, dir)
+	s.RecordReplicaConfig(ReplicaConfig{ID: 0, Epoch: 1, Joint: true, Old: []int{0, 1, 2}, New: []int{0, 1, 3}})
+	// A later epoch supersedes; per-id entries stay independent.
+	s.RecordReplicaConfig(ReplicaConfig{ID: 0, Epoch: 2, New: []int{0, 1, 3}})
+	s.RecordReplicaConfig(ReplicaConfig{ID: 1, Epoch: 1, Joint: true, Old: []int{0, 1, 2}, New: []int{0, 1, 3}})
+	// Config records share the log with node and replica records.
+	s.Record(NodeState{ID: 0, Parent: -1, IsRoot: true, Version: 4})
+	s.RecordReplica(ReplicaState{ID: 0, Key: 0, Term: 1, Version: 4})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := reopen(t, dir)
+	rc, ok := r.ReplicaConfig(0)
+	if !ok || rc.Epoch != 2 || rc.Joint || len(rc.Old) != 0 || !equalInts(rc.New, []int{0, 1, 3}) {
+		t.Fatalf("recovered config for 0 = (%+v, %v), want stable epoch 2 over [0 1 3]", rc, ok)
+	}
+	rc, ok = r.ReplicaConfig(1)
+	if !ok || rc.Epoch != 1 || !rc.Joint || !equalInts(rc.Old, []int{0, 1, 2}) || !equalInts(rc.New, []int{0, 1, 3}) {
+		t.Fatalf("recovered config for 1 = (%+v, %v), want the joint epoch-1 pair", rc, ok)
+	}
+	if _, ok := r.ReplicaConfig(9); ok {
+		t.Fatal("recovered a config for a node never recorded")
+	}
+	if ns, found := r.Node(0); !found || ns.Version != 4 {
+		t.Fatalf("node record lost next to config records: %+v found=%v", ns, found)
+	}
+	if rs := r.ReplicaStates(0); len(rs) != 1 || rs[0].Version != 4 {
+		t.Fatalf("replica record lost next to config records: %+v", rs)
+	}
+}
+
+func TestReplicaConfigTornTailIsTruncated(t *testing.T) {
+	dir := t.TempDir()
+	s := reopen(t, dir)
+	s.RecordReplicaConfig(ReplicaConfig{ID: 0, Epoch: 1, New: []int{0, 1, 2}})
+	s.RecordReplicaConfig(ReplicaConfig{ID: 0, Epoch: 2, Joint: true, Old: []int{0, 1, 2}, New: []int{0, 1, 3}})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Chop bytes off the log tail, simulating a crash mid-append of the
+	// newest config record: the member must recover into the last intact
+	// epoch, never into half a membership change.
+	path := filepath.Join(dir, "wal.log")
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, fi.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	r := reopen(t, dir)
+	rc, ok := r.ReplicaConfig(0)
+	if !ok || rc.Epoch != 1 || rc.Joint || !equalInts(rc.New, []int{0, 1, 2}) {
+		t.Fatalf("after torn tail: (%+v, %v), want the intact epoch-1 config", rc, ok)
+	}
+	// The store must remain appendable after repair.
+	r.RecordReplicaConfig(ReplicaConfig{ID: 0, Epoch: 3, New: []int{0, 1, 3}})
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r2 := reopen(t, dir)
+	rc, ok = r2.ReplicaConfig(0)
+	if !ok || rc.Epoch != 3 || !equalInts(rc.New, []int{0, 1, 3}) {
+		t.Fatalf("post-repair config = (%+v, %v), want epoch 3", rc, ok)
+	}
+}
+
+func TestReplicaConfigSurvivesCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s := reopen(t, dir)
+	s.SetCompactAt(256)
+	s.RecordReplicaConfig(ReplicaConfig{ID: 2, Epoch: 1, Joint: true, Old: []int{0, 1, 2}, New: []int{0, 1, 3}})
+	for v := int64(1); v <= 64; v++ {
+		s.RecordReplica(ReplicaState{ID: 2, Key: 0, Term: 1, Version: v})
+	}
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := reopen(t, dir)
+	rc, ok := r.ReplicaConfig(2)
+	if !ok || rc.Epoch != 1 || !rc.Joint || !equalInts(rc.Old, []int{0, 1, 2}) || !equalInts(rc.New, []int{0, 1, 3}) {
+		t.Fatalf("post-compaction config = (%+v, %v), want the joint epoch-1 pair", rc, ok)
+	}
+}
+
+func TestMemReplicaConfigJournal(t *testing.T) {
+	m := NewMem()
+	if _, ok := m.ReplicaConfig(0); ok {
+		t.Fatal("empty journal has a config")
+	}
+	m.RecordReplicaConfig(ReplicaConfig{ID: 0, Epoch: 2, New: []int{0, 1, 3}})
+	// An older epoch never overwrites a newer one.
+	m.RecordReplicaConfig(ReplicaConfig{ID: 0, Epoch: 1, Joint: true, Old: []int{0, 1, 2}, New: []int{0, 1, 3}})
+	rc, ok := m.ReplicaConfig(0)
+	if !ok || rc.Epoch != 2 || rc.Joint {
+		t.Fatalf("mem config = (%+v, %v), want the stable epoch-2 set", rc, ok)
+	}
+}

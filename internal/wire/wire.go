@@ -45,10 +45,12 @@ const (
 	// promise, accept, commit, lease), which always carry the Key varint
 	// (even when zero) and exist in no older vocabulary; version 5 adds
 	// the soft-state tree beacon (root-announce), likewise always carrying
-	// the Key varint. Each kind stamps its minimal version, so a cluster
-	// that does not use replication or root announces emits byte-identical
-	// frames to a version-3 binary.
-	Version = 5
+	// the Key varint; version 6 adds the quorum reconfiguration kinds
+	// (reconfig, state-xfer) with the same always-keyed layout. Each kind
+	// stamps its minimal version, so a cluster that does not use
+	// replication or root announces emits byte-identical frames to a
+	// version-3 binary.
+	Version = 6
 
 	// v1Kinds is the kind-vocabulary size of version-1 payloads. Kinds
 	// below it encode as version 1 (so upgraded peers interoperate with
@@ -63,6 +65,10 @@ const (
 	// v4Kinds is the kind-vocabulary size of version-4 payloads; the
 	// soft-state tree kinds at and above it require version 5.
 	v4Kinds = 20
+
+	// v5Kinds is the kind-vocabulary size of version-5 payloads; the
+	// quorum reconfiguration kinds at and above it require version 6.
+	v5Kinds = 21
 
 	// keyVersion is the payload version that introduced the optional Key
 	// field: any pre-replica kind may be raised to it when Key != 0.
@@ -126,6 +132,8 @@ func PutBuf(b *[]byte) {
 // vocabularies stay readable by older decoders.
 func minVersion(k proto.Kind) byte {
 	switch {
+	case int(k) >= v5Kinds:
+		return 6
 	case int(k) >= v4Kinds:
 		return 5
 	case int(k) >= v3Kinds:

@@ -55,6 +55,10 @@ func sampleMessages() []*proto.Message {
 		// Key varint always travels, including the zero key.
 		{Kind: proto.KindRootAnnounce, To: 4, Origin: 1, Subject: 0, Seq: 97},
 		{Kind: proto.KindRootAnnounce, To: 7, Origin: 4, Subject: 0, Key: 3, Seq: 98},
+		// Quorum reconfiguration kinds (version 6): always-keyed layout.
+		{Kind: proto.KindReconfig, To: 1, Origin: 0, Old: 3, Subject: 0, Seq: 2, New: 3, Path: []int{0, 1, 2, 0, 1, 3}},
+		{Kind: proto.KindReconfig, To: 0, Origin: 1, Old: 3, Subject: 2, Key: 1, Seq: 2},
+		{Kind: proto.KindStateXfer, To: 3, Origin: 0, Old: 3, Subject: 1, Seq: 1, New: 1, Path: []int{0, 12, 1, 7}, Expiry: 1025},
 		// A coalescing envelope with mixed-kind, mixed-key members.
 		{Kind: proto.KindBatch, To: 4, Origin: 1, Seq: 33, Batch: []*proto.Message{
 			{Kind: proto.KindPush, To: 4, Origin: 1, Key: 8, Version: 12, Expiry: 64.5},
@@ -126,6 +130,8 @@ func TestPayloadVersionStamping(t *testing.T) {
 		p := AppendMessage(nil, m)
 		want := byte(1)
 		switch {
+		case int(m.Kind) >= v5Kinds:
+			want = 6
 		case int(m.Kind) >= v4Kinds:
 			want = 5
 		case int(m.Kind) >= v3Kinds:

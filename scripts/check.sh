@@ -2,8 +2,11 @@
 # check.sh is the one-command pre-commit gate: vet, build, the full test
 # suite under the race detector (with the concurrency-heavy wire,
 # transport, faults, live, store and chaos packages forced uncached), a
-# fixed-seed chaos smoke plus replicated-authority quorum and soft-state
-# rootchurn chaos smokes, a short fuzz smoke of the wire codec, a grep
+# fixed-seed chaos smoke plus replicated-authority quorum, soft-state
+# rootchurn and online-reconfiguration chaos smokes (the reconfig test
+# asserts two same-seed runs byte-identical, so seed reproducibility of
+# the new scenario is part of the gate), a short fuzz smoke of the wire
+# codec, a grep
 # gate keeping internal callers off the deprecated *Key wrappers, the
 # perf regression guard against the newest BENCH_sim.json entry (run
 # without -race, where its bounds are meaningful), and a quick pass of
@@ -32,6 +35,9 @@ go test -race -count=1 -run 'TestChaosQuorumPartition' ./internal/chaos/
 
 echo "== rootchurn chaos smoke (soft-state tree beacon, fixed seed, race) =="
 go test -race -count=1 -run 'TestChaosRootChurn' ./internal/chaos/
+
+echo "== reconfig chaos smoke (online membership change, fixed seed, race) =="
+go test -race -count=1 -run 'TestChaosReconfig' ./internal/chaos/
 
 echo "== fuzz smoke (wire codec) =="
 go test -run '^$' -fuzz 'FuzzDecodeEncode' -fuzztime 5s ./internal/wire/

@@ -9,9 +9,15 @@
 # cluster with -replicas 3 (quorum members 0,1,2 spread across the three
 # processes), SIGKILLs the leaseholder's process outright, and asserts a
 # follower takes over serving at or above the highest pre-kill version
-# with the querying site's resolved sequence never going backwards. It is
-# the executable form of the README's "Running a real cluster",
-# "Surviving restarts" and "Surviving disk loss" sections.
+# with the querying site's resolved sequence never going backwards. A
+# fourth phase SIGKILLs the process hosting a quorum follower and never
+# brings it back: the leaseholder must notice the silence passing the
+# -perm-after horizon and replace the dead member through the two-phase
+# reconfiguration — the stats line must show the config epoch advancing
+# to a full-strength stable set while queries keep resolving with no
+# regression (zero downtime). It is the executable form of the README's
+# "Running a real cluster", "Surviving restarts", "Surviving disk loss"
+# and "Replacing a dead replica" sections.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -165,3 +171,44 @@ grep -o 'version=[0-9]*' "$LOGS/b4.log" | cut -d= -f2 \
   | awk 'NR>1 && $1<prev { print "version regressed: " prev " -> " $1; exit 1 } { prev=$1 }' \
   || { echo "the querying site observed a version regression across fail-over"; cat "$LOGS/b4.log" | tail -20; exit 1; }
 echo "cluster-demo: follower took over at >= $PRE, advanced to $TOP, no regression; all green"
+
+echo "== phase 4: kill a quorum member for good, replace it online =="
+# Same host split as phase 3: quorum members 0,1,2 on three processes.
+# This time the victim is process C — it hosts follower 2, and it never
+# comes back. The leaseholder on A must declare member 2 gone once the
+# 2s -perm-after horizon passes, state-transfer the lowest free directory
+# id (node 3, hosted on A) up to date, and drive the joint config through
+# to the stable epoch-2 set {0,1,3} — all while the querying daemon on B
+# keeps resolving a strictly monotone version stream: replacing a dead
+# replica must cost zero downtime.
+PERM="-perm-after 2s -stats 2s"
+"$DUPD" $COMMON -replicas 3 $PERM -listen $A -host 0,3,4 -authority -peers "$(peers3_for A)" \
+        -run 20s >"$LOGS/a5.log" 2>&1 &
+"$DUPD" $COMMON -replicas 3 $PERM -listen $B -host 1,5,6 -peers "$(peers3_for B)" \
+        -query 5 -every 80ms -run 20s >"$LOGS/b5.log" 2>&1 &
+"$DUPD" $COMMON -replicas 3 $PERM -listen $C -host 2,7,8 -peers "$(peers3_for C)" \
+        -run 20s >"$LOGS/c5.log" 2>&1 &
+CPID=$!
+
+sleep 6
+PRE=$(grep -o 'version=[0-9]*' "$LOGS/b5.log" | cut -d= -f2 | sort -n | tail -1)
+[[ -n $PRE ]] || { echo "no versions resolved before the member kill"; cat "$LOGS/b5.log"; exit 1; }
+kill -9 "$CPID" 2>/dev/null || { echo "member daemon exited early"; cat "$LOGS/c5.log"; exit 1; }
+wait "$CPID" 2>/dev/null || true
+echo "quorum member 2 killed for good; highest version observed so far: $PRE"
+wait
+
+# The leaseholder's stats line must show the reconfiguration completing:
+# one replacement is two epoch bumps (joint, then stable), the set back at
+# full strength with no suspect and nothing in flight.
+grep -q ' epoch=2 members=3 permsuspect=0 reconfig=false' "$LOGS/a5.log" \
+  || { echo "quorum never returned to a full-strength epoch-2 set"; grep 'epoch=' "$LOGS/a5.log" || true; exit 1; }
+
+# Zero downtime: the version stream at the querying daemon must stay
+# monotone and keep advancing past everything served before the kill.
+TOP=$(grep -o 'version=[0-9]*' "$LOGS/b5.log" | cut -d= -f2 | sort -n | tail -1)
+(( TOP > PRE )) || { echo "cluster never advanced past pre-kill version $PRE after the replacement"; exit 1; }
+grep -o 'version=[0-9]*' "$LOGS/b5.log" | cut -d= -f2 \
+  | awk 'NR>1 && $1<prev { print "version regressed: " prev " -> " $1; exit 1 } { prev=$1 }' \
+  || { echo "the querying site observed a version regression across the replacement"; cat "$LOGS/b5.log" | tail -20; exit 1; }
+echo "cluster-demo: dead member replaced online (epoch 2, members 3), advanced to $TOP, no regression; all green"
