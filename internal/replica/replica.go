@@ -69,6 +69,13 @@ import (
 // covers 1024 refresh cycles of replication lag before the stream stalls.
 const DefaultReserve = 1024
 
+// Promise and state-transfer frames pack int64 versions into the wire
+// codec's []int Path; a 32-bit int would silently truncate any version
+// past 2^31 and journal the corrupted value as accepted. Require 64-bit
+// ints at compile time (this expression divides by zero on a 32-bit
+// platform).
+const _ = 1 / (^uint(0) >> 63)
+
 // Config parametrises one node's view of the replica group.
 type Config struct {
 	// ID is this node's id. It need not be a member: a non-member DUP
@@ -122,7 +129,7 @@ const maxPromisePairs = 1024
 const (
 	subConfJoint = 0 // joint config: Path = old members then new, New = len(old)
 	subConfFinal = 1 // final config: Path = the new members
-	subConfAck   = 2 // member adopted the config journalled at epoch Seq
+	subConfAck   = 2 // member adopted the config at epoch Seq; Version echoes the proposal's term
 	subConfNeed  = 3 // sender saw a newer epoch than Seq; answer with the config
 )
 
@@ -137,13 +144,37 @@ const (
 // while a reconfiguration's joint phase is in force — the old∧new pair.
 // cur is always the set the group is moving to (equal to the stable set
 // outside a reconfiguration); old is non-nil exactly in the joint phase.
+// term is the proposer term the config was adopted under: together with
+// the epoch it names the exact proposal, so a same-epoch config from a
+// higher term (a new leader re-driving a contested change) supersedes
+// this one, while an equal-or-lower term cannot.
 type confState struct {
 	epoch int64
+	term  int64
 	old   []int
 	cur   []int
 }
 
 func (c *confState) joint() bool { return c.old != nil }
+
+// sameConf reports whether two configs name the same membership (sets
+// compare element-wise; every proposal is built from the proposer's own
+// confState, so identical content always travels in identical order).
+func sameConf(a, b *confState) bool {
+	return a.joint() == b.joint() && sameMembers(a.old, b.old) && sameMembers(a.cur, b.cur)
+}
+
+func sameMembers(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
 
 // union returns every node with a role in the config: cur plus, in the
 // joint phase, any old member not also in cur.
@@ -291,7 +322,7 @@ func (g *Group) installConfLocked(c confState, journal bool) {
 	if journal {
 		if j, ok := g.cfg.Journal.(store.ReplicaConfigJournal); ok {
 			j.RecordReplicaConfig(store.ReplicaConfig{
-				ID: g.cfg.ID, Epoch: c.epoch, Joint: c.joint(),
+				ID: g.cfg.ID, Epoch: c.epoch, Term: c.term, Joint: c.joint(),
 				Old: append([]int(nil), c.old...), New: append([]int(nil), c.cur...),
 			})
 		}
@@ -364,7 +395,7 @@ func (g *Group) RestoreConfig(rc store.ReplicaConfig) {
 	if rc.Epoch < g.conf.epoch {
 		return
 	}
-	c := confState{epoch: rc.Epoch, cur: append([]int(nil), rc.New...)}
+	c := confState{epoch: rc.Epoch, term: rc.Term, cur: append([]int(nil), rc.New...)}
 	if rc.Joint {
 		c.old = append([]int(nil), rc.Old...)
 	}
@@ -1170,14 +1201,18 @@ func (g *Group) newXferLocked(to, subject int) *proto.Message {
 func (g *Group) onXferLocked(m *proto.Message, term int64, now time.Time) []*proto.Message {
 	switch m.Subject {
 	case subXferBegin:
-		if m.Seq < g.conf.epoch {
+		// A transfer from a term below ours comes from a deposed or
+		// partitioned ex-leader: refuse it, so a stale sender can never
+		// plant a member set (or raise the floor) on a recruit that has
+		// already heard from the real leadership.
+		if term < g.term || m.Seq < g.conf.epoch || len(m.Path) == 0 {
 			return nil
 		}
 		g.observeTermLocked(term)
 		if m.Seq > g.conf.epoch {
 			// A node drafted into a cluster whose config moved past its
 			// boot-time member list adopts the sender's stable set first.
-			g.installConfLocked(confState{epoch: m.Seq, cur: append([]int(nil), m.Path...)}, true)
+			g.installConfLocked(confState{epoch: m.Seq, term: term, cur: append([]int(nil), m.Path...)}, true)
 		}
 		if m.Version > g.floorDef {
 			g.floorDef = m.Version
@@ -1187,7 +1222,7 @@ func (g *Group) onXferLocked(m *proto.Message, term int64, now time.Time) []*pro
 		}
 		return g.maybeXferAckLocked(m.Origin)
 	case subXferChunk:
-		if g.xferGot == nil || m.Seq != g.xferEpoch || m.Seq < g.conf.epoch {
+		if term < g.term || g.xferGot == nil || m.Seq != g.xferEpoch || m.Seq < g.conf.epoch {
 			return nil
 		}
 		g.observeTermLocked(term)
@@ -1205,7 +1240,9 @@ func (g *Group) onXferLocked(m *proto.Message, term int64, now time.Time) []*pro
 		g.xferGot[int(m.Version)] = true
 		return g.maybeXferAckLocked(m.Origin)
 	case subXferAck:
-		if g.role != leader || g.rc == nil || g.rc.phase != rcXfer || m.Origin != g.rc.add {
+		g.observeTermLocked(term)
+		if g.role != leader || g.rc == nil || g.rc.phase != rcXfer ||
+			m.Origin != g.rc.add || m.Seq != g.conf.epoch {
 			return nil
 		}
 		// The replacement holds the snapshot: open the joint phase. The
@@ -1214,7 +1251,7 @@ func (g *Group) onXferLocked(m *proto.Message, term int64, now time.Time) []*pro
 		rc := g.rc
 		old := append([]int(nil), g.conf.cur...)
 		g.installConfLocked(confState{
-			epoch: g.conf.epoch + 1, old: old,
+			epoch: g.conf.epoch + 1, term: g.term, old: old,
 			cur: append([]int(nil), rc.newSet...),
 		}, true)
 		rc.phase = rcJoint
@@ -1241,41 +1278,80 @@ func (g *Group) maybeXferAckLocked(to int) []*proto.Message {
 // journal proposed configs (idempotently re-acking retransmissions),
 // the driving leader tallies adoption acks, and epoch-mismatch catch-up
 // requests are answered with the config this node holds.
+//
+// Adoption is both term- and content-gated. A proposal from a term below
+// ours is refused and taught our config (the answer's higher term steps
+// the deposed proposer down), so a stale leaseholder's retransmissions
+// stop polluting members that have heard from the new leadership. When
+// the proposed epoch equals the held one, the membership content is
+// compared: identical content re-acks idempotently, while a conflicting
+// config is adopted only from a term strictly above the held config's
+// adoption term — two rival leaders can never each install a different
+// same-epoch config, because one of them is stale by term. Every ack
+// echoes the answered proposal's term, so a driving leader only ever
+// tallies acks for its own exact proposal, never a rival's same-epoch
+// one — the split-brain the joint phase exists to prevent.
 func (g *Group) onReconfigLocked(m *proto.Message, term int64, now time.Time) []*proto.Message {
 	switch m.Subject {
 	case subConfJoint, subConfFinal:
-		epoch := m.Seq
-		if epoch < g.conf.epoch {
-			// Stale proposer (an old leader's retransmission): teach it.
+		if term < g.term {
+			// Stale proposer (a deposed leader's retransmission): teach it.
 			return []*proto.Message{g.confRecordLocked(m.Origin)}
 		}
-		g.observeTermLocked(term)
-		if epoch == g.conf.epoch {
-			return []*proto.Message{g.confAckLocked(m.Origin)}
+		epoch := m.Seq
+		if epoch < g.conf.epoch {
+			// Old-epoch proposer (an old leader's retransmission): teach it.
+			return []*proto.Message{g.confRecordLocked(m.Origin)}
 		}
 		var c confState
 		if m.Subject == subConfJoint {
 			n := m.New
-			if n < 0 || n > len(m.Path) {
+			// Both resulting sets must be non-empty: a malformed frame could
+			// otherwise durably install a config whose quorum can never be
+			// satisfied, bricking the member for good.
+			if n < 1 || n >= len(m.Path) {
 				return nil
 			}
 			c = confState{
 				epoch: epoch,
+				term:  term,
 				old:   append([]int(nil), m.Path[:n]...),
 				cur:   append([]int(nil), m.Path[n:]...),
 			}
 		} else {
-			c = confState{epoch: epoch, cur: append([]int(nil), m.Path...)}
+			if len(m.Path) == 0 {
+				return nil
+			}
+			c = confState{epoch: epoch, term: term, cur: append([]int(nil), m.Path...)}
+		}
+		g.observeTermLocked(term)
+		if epoch == g.conf.epoch {
+			if sameConf(&c, &g.conf) {
+				// Idempotent re-ack, naming the exact proposal answered (a
+				// re-elected leader re-drives an inherited config under its
+				// new term; the echo must follow the frame, not our journal).
+				return []*proto.Message{g.confAckLocked(m.Origin, term)}
+			}
+			if term <= g.conf.term {
+				// Conflicting same-epoch config from no newer a term: one
+				// leader per term means this cannot be a legitimate rival.
+				return nil
+			}
+			// A strictly higher term proposes a different config at our
+			// epoch: its election quorum intersects whatever adopted ours,
+			// so ours can never have committed — supersede it.
 		}
 		g.installConfLocked(c, true)
-		return []*proto.Message{g.confAckLocked(m.Origin)}
+		return []*proto.Message{g.confAckLocked(m.Origin, term)}
 	case subConfAck:
-		if g.role != leader || g.rc == nil || m.Seq != g.conf.epoch {
+		g.observeTermLocked(term)
+		if g.role != leader || g.rc == nil || m.Seq != g.conf.epoch || m.Version != g.term {
 			return nil
 		}
 		g.rc.acks[m.Origin] = true
 		return g.advanceReconfigLocked(now)
 	case subConfNeed:
+		g.observeTermLocked(term)
 		if m.Seq < g.conf.epoch {
 			return []*proto.Message{g.confRecordLocked(m.Origin)}
 		}
@@ -1300,8 +1376,8 @@ func (g *Group) advanceReconfigLocked(now time.Time) []*proto.Message {
 		}
 		if rc.phase == rcJoint {
 			g.installConfLocked(confState{
-				epoch: g.conf.epoch + 1,
-				cur:   append([]int(nil), rc.newSet...),
+				epoch: g.conf.epoch + 1, term: g.term,
+				cur: append([]int(nil), rc.newSet...),
 			}, true)
 			rc.phase = rcFinal
 			rc.acks = make(map[int]bool)
@@ -1351,8 +1427,11 @@ func (g *Group) confNeedLocked(to int) *proto.Message {
 }
 
 // confAckLocked acknowledges that this node has adopted (and
-// journalled) the config at the current epoch.
-func (g *Group) confAckLocked(to int) *proto.Message {
+// journalled) the config at the current epoch. echoTerm names the exact
+// proposal being answered — the answered frame's proposer term, carried
+// in Version — so the driving leader tallies only acks for its own
+// proposal, never a rival's same-epoch one.
+func (g *Group) confAckLocked(to int, echoTerm int64) *proto.Message {
 	m := proto.NewMessage()
 	m.Kind = proto.KindReconfig
 	m.To = to
@@ -1360,6 +1439,7 @@ func (g *Group) confAckLocked(to int) *proto.Message {
 	m.Old = int(g.term)
 	m.Subject = subConfAck
 	m.Seq = g.conf.epoch
+	m.Version = echoTerm
 	m.Hops = int(g.conf.epoch)
 	return m
 }
@@ -1382,6 +1462,11 @@ func (g *Group) confBroadcastLocked() []*proto.Message {
 // the permanent-failure signal the host's replacement policy polls.
 // A member merely restarting keeps answering within a lease or two, so
 // a horizon of several leases only ever names members gone for good.
+//
+// The read is side-effect free: a peer whose liveness clock has not
+// started (Tick seeds it on the leader's periodic loop) is simply not
+// dead yet, so a monitoring caller polling stats can never move the
+// permanent-failure horizon.
 func (g *Group) DeadMembers(now time.Time, horizon time.Duration) []int {
 	g.mu.Lock()
 	defer g.mu.Unlock()
@@ -1391,11 +1476,7 @@ func (g *Group) DeadMembers(now time.Time, horizon time.Duration) []int {
 	var dead []int
 	for _, p := range g.peers {
 		t := g.lastAck[p]
-		if t.IsZero() {
-			g.lastAck[p] = now
-			continue
-		}
-		if now.Sub(t) >= horizon {
+		if !t.IsZero() && now.Sub(t) >= horizon {
 			dead = append(dead, p)
 		}
 	}

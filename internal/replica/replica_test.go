@@ -649,3 +649,277 @@ func TestMessageLeakFree(t *testing.T) {
 		t.Fatalf("pooled messages leaked: in use %d, baseline %d", got, base)
 	}
 }
+
+// TestRivalSameEpochConfigsCannotDiverge pins the split-brain guard on
+// config adoption. A leaseholder parked in the joint phase is deposed
+// by a new leader that drives a *different* replacement at the same
+// epoch. The old leader must not be able to tally acks that answered
+// the rival's proposal, and the shared old-set member must refuse the
+// deposed proposer's retransmissions outright — so exactly one final
+// config can ever commit, and the loser is taught the winner's config.
+func TestRivalSameEpochConfigsCannotDiverge(t *testing.T) {
+	now := time.Unix(1000, 0)
+	c := newCluster(t, []int{0, 1, 2}, []int{0, 1, 2}, 0)
+	g0, g1, g2 := c.groups[0], c.groups[1], c.groups[2]
+	g0.BootLeader()
+	c.pump(g0.Tick(now), now)
+
+	// Leaseholder 0 starts replacing 2 with 3; only the learner hears
+	// it, so the change parks in the joint phase {0,1,2}∧{0,1,3} at
+	// epoch 1 with the new set's majority already in hand.
+	c.mems[3] = store.NewMem()
+	c.groups[3] = New(Config{ID: 3, Members: []int{0, 1, 2}, Lease: time.Second, Journal: c.mems[3]})
+	msgs, ok := g0.ProposeReplace(2, 3, now)
+	if !ok {
+		t.Fatal("ProposeReplace refused")
+	}
+	c.deliverTo(msgs, map[int]bool{0: true, 3: true}, now)
+	if !g0.ReconfigInFlight() || g0.Epoch() != 1 {
+		t.Fatalf("joint phase not reached: epoch %d", g0.Epoch())
+	}
+
+	// An adoption ack that does not echo this leader's own proposal term
+	// must not be counted: member 1 "acking" the same epoch under some
+	// other proposal would otherwise hand 0 its old-set majority.
+	forged := proto.NewMessage()
+	forged.Kind = proto.KindReconfig
+	forged.To = 0
+	forged.Origin = 1
+	forged.Old = 1
+	forged.Subject = subConfAck
+	forged.Seq = 1
+	forged.Version = 99 // echoes a proposal this leader never made
+	forged.Hops = 1
+	drop(g0.Step(forged, now))
+	proto.Release(forged)
+	if !g0.ReconfigInFlight() || g0.Epoch() != 1 {
+		t.Fatal("leader advanced its change on an ack for a rival proposal")
+	}
+
+	// Capture the parked leader's joint-proposal retransmission to the
+	// shared old-set member 2, as a partitioned leader would keep
+	// resending it long after being deposed.
+	var stale []*proto.Message
+	for _, m := range g0.Tick(now.Add(400 * time.Millisecond)) {
+		if m.Kind == proto.KindReconfig && m.To == 2 {
+			stale = append(stale, m)
+		} else {
+			proto.Release(m)
+		}
+	}
+	if len(stale) == 0 {
+		t.Fatal("no joint-proposal retransmission to member 2")
+	}
+
+	// Members 1 and 2 elect a new leader past the old lease, and it
+	// drives a rival same-epoch replacement: 0 out, 4 in.
+	at := now.Add(2 * time.Second)
+	c.deliverTo(g1.StartCandidate(at), map[int]bool{1: true, 2: true}, at)
+	if !g1.Leading() {
+		t.Fatal("rival candidate did not win its round")
+	}
+	c.mems[4] = store.NewMem()
+	c.groups[4] = New(Config{ID: 4, Members: []int{0, 1, 2}, Lease: time.Second, Journal: c.mems[4]})
+	rival, ok := g1.ProposeReplace(0, 4, at)
+	if !ok {
+		t.Fatal("new leader's ProposeReplace refused")
+	}
+	c.deliverTo(rival, map[int]bool{1: true, 2: true, 4: true}, at)
+	if g1.ReconfigInFlight() || g1.Epoch() != 2 {
+		t.Fatalf("rival change did not commit: epoch %d, in flight %v",
+			g1.Epoch(), g1.ReconfigInFlight())
+	}
+	if got := g2.Members(); !sameMembers(got, []int{1, 2, 4}) {
+		t.Fatalf("shared member's config = %v, want [1 2 4]", got)
+	}
+
+	// The deposed leader's stale retransmission finally reaches the
+	// shared member: it must be refused — never acked — and the answer
+	// must teach the stale proposer the committed config and depose it.
+	var answers []*proto.Message
+	for _, m := range stale {
+		answers = append(answers, g2.Step(m, at)...)
+		proto.Release(m)
+	}
+	if got := g2.Members(); !sameMembers(got, []int{1, 2, 4}) {
+		t.Fatalf("stale proposal disturbed the committed config: %v", got)
+	}
+	for _, m := range answers {
+		if m.Kind == proto.KindReconfig && m.Subject == subConfAck {
+			t.Fatal("shared member acked the deposed leader's rival config")
+		}
+	}
+	c.pump(answers, at)
+	if g0.Leading() {
+		t.Fatal("deposed leader still leading after being taught the new term")
+	}
+	if e, got := g0.Epoch(), g0.Members(); e != 2 || !sameMembers(got, []int{1, 2, 4}) {
+		t.Fatalf("deposed leader caught up to (epoch %d, %v), want (2, [1 2 4])", e, got)
+	}
+
+	// A conflicting same-epoch config from no newer a term than the one
+	// already adopted must be dropped without an ack (one leader per
+	// term: such a frame cannot be a legitimate rival).
+	conflict := proto.NewMessage()
+	conflict.Kind = proto.KindReconfig
+	conflict.To = 2
+	conflict.Origin = 0
+	conflict.Old = 2 // same term as the adopted config
+	conflict.Subject = subConfFinal
+	conflict.Seq = 2
+	conflict.Hops = 2
+	conflict.Path = append(conflict.Path, 0, 1, 3)
+	if out := g2.Step(conflict, at); len(out) != 0 {
+		drop(out)
+		t.Fatal("same-term conflicting config was answered")
+	}
+	proto.Release(conflict)
+	if got := g2.Members(); !sameMembers(got, []int{1, 2, 4}) {
+		t.Fatalf("same-term conflicting config adopted: %v", got)
+	}
+}
+
+// TestMalformedConfigProposalsRefused pins the content validation on
+// config adoption: a proposal that would install an empty member set
+// (whose quorum could never be satisfied again) is dropped without an
+// ack and without touching the journal.
+func TestMalformedConfigProposalsRefused(t *testing.T) {
+	now := time.Unix(1000, 0)
+	c := newCluster(t, []int{0, 1, 2}, []int{1}, 0)
+	g1 := c.groups[1]
+	mk := func(subject, split int, path []int) *proto.Message {
+		m := proto.NewMessage()
+		m.Kind = proto.KindReconfig
+		m.To = 1
+		m.Origin = 0
+		m.Old = 1
+		m.Subject = subject
+		m.Seq = 1
+		m.New = split
+		m.Hops = 0
+		m.Path = append(m.Path, path...)
+		return m
+	}
+	for _, bad := range []*proto.Message{
+		mk(subConfJoint, 0, []int{0, 1, 2}), // empty old set
+		mk(subConfJoint, 3, []int{0, 1, 2}), // empty new set
+		mk(subConfFinal, 0, nil),            // empty stable set
+	} {
+		if out := g1.Step(bad, now); len(out) != 0 {
+			drop(out)
+			t.Fatalf("malformed proposal (subject %d, split %d, path %v) was answered",
+				bad.Subject, bad.New, bad.Path)
+		}
+		proto.Release(bad)
+	}
+	if e := g1.Epoch(); e != 0 {
+		t.Fatalf("malformed proposal installed epoch %d", e)
+	}
+	if _, found := c.mems[1].ReplicaConfig(1); found {
+		t.Fatal("malformed proposal reached the journal")
+	}
+	// Sanity: a well-formed proposal at the same epoch still adopts.
+	good := mk(subConfFinal, 0, []int{1, 2, 3})
+	out := g1.Step(good, now)
+	proto.Release(good)
+	if len(out) != 1 || out[0].Subject != subConfAck {
+		drop(out)
+		t.Fatal("well-formed proposal was not acked")
+	}
+	drop(out)
+	if e := g1.Epoch(); e != 1 {
+		t.Fatalf("well-formed proposal not adopted: epoch %d", e)
+	}
+}
+
+// TestStaleTermStateTransferRefused pins the term gate on state
+// transfer: an ex-leader partitioned behind the current term must not
+// be able to plant a member set, an epoch or a floor on a node that has
+// already heard from newer leadership.
+func TestStaleTermStateTransferRefused(t *testing.T) {
+	now := time.Unix(1000, 0)
+	c := newCluster(t, []int{0, 1, 2}, []int{1}, 0)
+	g1 := c.groups[1]
+	// A prepare from term 5 raises the receiver's term.
+	prep := proto.NewMessage()
+	prep.Kind = proto.KindPrepare
+	prep.To = 1
+	prep.Origin = 9
+	prep.Old = 5
+	prep.Hops = 0
+	drop(g1.Step(prep, now))
+	proto.Release(prep)
+	if g1.Term() != 5 {
+		t.Fatalf("term = %d, want 5", g1.Term())
+	}
+	mkBegin := func(term int) *proto.Message {
+		m := proto.NewMessage()
+		m.Kind = proto.KindStateXfer
+		m.To = 1
+		m.Origin = 9
+		m.Old = term
+		m.Subject = subXferBegin
+		m.Seq = 7
+		m.Hops = 7
+		m.Version = 50
+		m.Path = append(m.Path, 8, 9)
+		return m
+	}
+	// Term 3 < 5: the begin frame must install nothing and go unacked.
+	stale := mkBegin(3)
+	if out := g1.Step(stale, now); len(out) != 0 {
+		drop(out)
+		t.Fatal("stale-term transfer begin was answered")
+	}
+	proto.Release(stale)
+	if e := g1.Epoch(); e != 0 {
+		t.Fatalf("stale-term transfer installed epoch %d", e)
+	}
+	if _, found := c.mems[1].ReplicaConfig(1); found {
+		t.Fatal("stale-term transfer reached the journal")
+	}
+	// The same frame at the current term installs and acks (the empty
+	// snapshot has zero chunks, so the begin alone completes it).
+	fresh := mkBegin(5)
+	out := g1.Step(fresh, now)
+	proto.Release(fresh)
+	if len(out) != 1 || out[0].Subject != subXferAck {
+		drop(out)
+		t.Fatal("current-term transfer begin was not acked")
+	}
+	drop(out)
+	if e := g1.Epoch(); e != 7 {
+		t.Fatalf("current-term transfer installed epoch %d, want 7", e)
+	}
+}
+
+// TestDeadMembersIsReadOnly pins that polling the permanent-failure
+// signal never perturbs it: before the leader's first Tick no liveness
+// clock has started, so monitoring reads — however often and however
+// late — report nothing and change nothing. Only Tick starts the clock.
+func TestDeadMembersIsReadOnly(t *testing.T) {
+	now := time.Unix(1000, 0)
+	c := newCluster(t, []int{0, 1, 2}, []int{0}, 0)
+	g := c.groups[0]
+	horizon := 3 * time.Second
+	if d := g.DeadMembers(now, horizon); d != nil {
+		t.Fatalf("dead members before any Tick: %v", d)
+	}
+	if d := g.DeadMembers(now.Add(2*horizon), horizon); d != nil {
+		t.Fatalf("a monitoring poll started the silence clock: %v", d)
+	}
+	g.BootLeader()
+	if d := g.DeadMembers(now.Add(4*horizon), horizon); d != nil {
+		t.Fatalf("dead members before the leader's first Tick: %v", d)
+	}
+	// The first Tick seeds the clock; peers silent past the horizon from
+	// that point on are reported.
+	tickAt := now.Add(4 * horizon)
+	drop(g.Tick(tickAt))
+	if d := g.DeadMembers(tickAt.Add(horizon/2), horizon); d != nil {
+		t.Fatalf("dead members inside the horizon: %v", d)
+	}
+	if d := g.DeadMembers(tickAt.Add(horizon), horizon); len(d) != 2 {
+		t.Fatalf("dead members past the horizon = %v, want both peers", d)
+	}
+}

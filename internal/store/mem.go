@@ -63,13 +63,15 @@ func (m *Mem) ReplicaStates(id int) []ReplicaState {
 	return replicaStatesOf(m.reps, id)
 }
 
-// RecordReplicaConfig keeps the highest-epoch membership record per node.
+// RecordReplicaConfig keeps the highest-(epoch, term) membership record
+// per node.
 func (m *Mem) RecordReplicaConfig(rc ReplicaConfig) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	rc.Old = append([]int(nil), rc.Old...)
 	rc.New = append([]int(nil), rc.New...)
-	if old, ok := m.confs[rc.ID]; !ok || rc.Epoch >= old.Epoch {
+	if old, ok := m.confs[rc.ID]; !ok || rc.Epoch > old.Epoch ||
+		(rc.Epoch == old.Epoch && rc.Term >= old.Term) {
 		m.confs[rc.ID] = rc
 	}
 }

@@ -104,14 +104,19 @@ type ReplicaJournal interface {
 }
 
 // ReplicaConfig is one durable membership record of the replica group:
-// the config epoch a member adopted and the sets it names. During the
-// joint phase of an online reconfiguration both sets are recorded
-// (Joint true, Old the outgoing set); a stable config records only New.
-// Only the highest epoch per node survives recovery — configs are
-// totally ordered by epoch and adoption is irrevocable.
+// the config epoch a member adopted and the sets it names. Term is the
+// proposer term the config was adopted under — with the epoch it names
+// the exact proposal, so a recovered member keeps refusing same-epoch
+// rivals from no newer a term. During the joint phase of an online
+// reconfiguration both sets are recorded (Joint true, Old the outgoing
+// set); a stable config records only New. Only the highest epoch per
+// node survives recovery (ties go to the later record, which carries
+// the higher adoption term) — configs are totally ordered by (epoch,
+// term) and adoption is irrevocable below that order.
 type ReplicaConfig struct {
 	ID    int
 	Epoch int64
+	Term  int64
 	Joint bool
 	Old   []int
 	New   []int
@@ -563,13 +568,15 @@ func applyRecord(payload []byte, nodes map[nodeKey]NodeState, reps map[nodeKey]R
 		rc := ReplicaConfig{
 			ID:    m.Origin,
 			Epoch: m.Seq,
+			Term:  m.Version,
 			Joint: m.Subject == 0,
 		}
 		if m.New > 0 {
 			rc.Old = append([]int(nil), m.Path[:m.New]...)
 		}
 		rc.New = append([]int(nil), m.Path[m.New:]...)
-		if old, ok := confs[rc.ID]; !ok || rc.Epoch >= old.Epoch {
+		if old, ok := confs[rc.ID]; !ok || rc.Epoch > old.Epoch ||
+			(rc.Epoch == old.Epoch && rc.Term >= old.Term) {
 			confs[rc.ID] = rc
 		}
 	default:
@@ -606,13 +613,15 @@ func appendRecord(dst []byte, ns *NodeState) []byte {
 
 // appendReplicaConfigRecord appends the CRC-framed encoding of rc: the
 // wire encoding of a KindReconfig message with the node id in Origin,
-// the epoch in Seq, the joint flag in Subject (0 joint, 1 final) and the
+// the epoch in Seq, the adoption term in Version (the full-width int64
+// field), the joint flag in Subject (0 joint, 1 final) and the
 // membership in Path as old-set ++ new-set with the split point in New.
 func appendReplicaConfigRecord(dst []byte, rc *ReplicaConfig) []byte {
 	m := proto.NewMessage()
 	m.Kind = proto.KindReconfig
 	m.Origin = rc.ID
 	m.Seq = rc.Epoch
+	m.Version = rc.Term
 	if !rc.Joint {
 		m.Subject = 1
 	}

@@ -314,10 +314,13 @@ func equalInts(a, b []int) bool {
 func TestReplicaConfigRecordAndRecover(t *testing.T) {
 	dir := t.TempDir()
 	s := reopen(t, dir)
-	s.RecordReplicaConfig(ReplicaConfig{ID: 0, Epoch: 1, Joint: true, Old: []int{0, 1, 2}, New: []int{0, 1, 3}})
+	s.RecordReplicaConfig(ReplicaConfig{ID: 0, Epoch: 1, Term: 3, Joint: true, Old: []int{0, 1, 2}, New: []int{0, 1, 3}})
 	// A later epoch supersedes; per-id entries stay independent.
-	s.RecordReplicaConfig(ReplicaConfig{ID: 0, Epoch: 2, New: []int{0, 1, 3}})
-	s.RecordReplicaConfig(ReplicaConfig{ID: 1, Epoch: 1, Joint: true, Old: []int{0, 1, 2}, New: []int{0, 1, 3}})
+	s.RecordReplicaConfig(ReplicaConfig{ID: 0, Epoch: 2, Term: 3, New: []int{0, 1, 3}})
+	s.RecordReplicaConfig(ReplicaConfig{ID: 1, Epoch: 1, Term: 3, Joint: true, Old: []int{0, 1, 2}, New: []int{0, 1, 3}})
+	// A same-epoch record from a higher adoption term supersedes (a new
+	// leader re-drove a contested change); a lower term cannot.
+	s.RecordReplicaConfig(ReplicaConfig{ID: 1, Epoch: 1, Term: 5, Joint: true, Old: []int{0, 1, 2}, New: []int{0, 1, 4}})
 	// Config records share the log with node and replica records.
 	s.Record(NodeState{ID: 0, Parent: -1, IsRoot: true, Version: 4})
 	s.RecordReplica(ReplicaState{ID: 0, Key: 0, Term: 1, Version: 4})
@@ -327,12 +330,12 @@ func TestReplicaConfigRecordAndRecover(t *testing.T) {
 
 	r := reopen(t, dir)
 	rc, ok := r.ReplicaConfig(0)
-	if !ok || rc.Epoch != 2 || rc.Joint || len(rc.Old) != 0 || !equalInts(rc.New, []int{0, 1, 3}) {
-		t.Fatalf("recovered config for 0 = (%+v, %v), want stable epoch 2 over [0 1 3]", rc, ok)
+	if !ok || rc.Epoch != 2 || rc.Term != 3 || rc.Joint || len(rc.Old) != 0 || !equalInts(rc.New, []int{0, 1, 3}) {
+		t.Fatalf("recovered config for 0 = (%+v, %v), want stable epoch 2 term 3 over [0 1 3]", rc, ok)
 	}
 	rc, ok = r.ReplicaConfig(1)
-	if !ok || rc.Epoch != 1 || !rc.Joint || !equalInts(rc.Old, []int{0, 1, 2}) || !equalInts(rc.New, []int{0, 1, 3}) {
-		t.Fatalf("recovered config for 1 = (%+v, %v), want the joint epoch-1 pair", rc, ok)
+	if !ok || rc.Epoch != 1 || rc.Term != 5 || !rc.Joint || !equalInts(rc.Old, []int{0, 1, 2}) || !equalInts(rc.New, []int{0, 1, 4}) {
+		t.Fatalf("recovered config for 1 = (%+v, %v), want the term-5 joint epoch-1 pair", rc, ok)
 	}
 	if _, ok := r.ReplicaConfig(9); ok {
 		t.Fatal("recovered a config for a node never recorded")
@@ -408,11 +411,13 @@ func TestMemReplicaConfigJournal(t *testing.T) {
 	if _, ok := m.ReplicaConfig(0); ok {
 		t.Fatal("empty journal has a config")
 	}
-	m.RecordReplicaConfig(ReplicaConfig{ID: 0, Epoch: 2, New: []int{0, 1, 3}})
+	m.RecordReplicaConfig(ReplicaConfig{ID: 0, Epoch: 2, Term: 4, New: []int{0, 1, 3}})
 	// An older epoch never overwrites a newer one.
 	m.RecordReplicaConfig(ReplicaConfig{ID: 0, Epoch: 1, Joint: true, Old: []int{0, 1, 2}, New: []int{0, 1, 3}})
+	// Nor does a same-epoch record from a lower adoption term.
+	m.RecordReplicaConfig(ReplicaConfig{ID: 0, Epoch: 2, Term: 2, New: []int{0, 1, 9}})
 	rc, ok := m.ReplicaConfig(0)
-	if !ok || rc.Epoch != 2 || rc.Joint {
-		t.Fatalf("mem config = (%+v, %v), want the stable epoch-2 set", rc, ok)
+	if !ok || rc.Epoch != 2 || rc.Term != 4 || rc.Joint || !equalInts(rc.New, []int{0, 1, 3}) {
+		t.Fatalf("mem config = (%+v, %v), want the term-4 stable epoch-2 set", rc, ok)
 	}
 }
