@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
 	"dup"
@@ -41,6 +42,7 @@ func main() {
 	perfRuns := flag.Int("perfruns", 5, "perf: measurement repetitions per workload")
 	perfOut := flag.String("perfout", "", "perf: baseline file to append to (default: print only)")
 	perfLabel := flag.String("perflabel", "", "perf: entry label; implies -perfout BENCH_sim.json when -perfout is unset")
+	perfOnly := flag.String("perfonly", "", "perf: comma-separated workload ids to run (default: all); print-only")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -55,7 +57,7 @@ func main() {
 	}
 
 	if *perfMode {
-		if err := runPerf(*perfRuns, *perfOut, *perfLabel); err != nil {
+		if err := runPerf(*perfRuns, *perfOut, *perfLabel, *perfOnly); err != nil {
 			fail(err)
 		}
 		return
@@ -99,16 +101,38 @@ func main() {
 
 // runPerf measures the default workloads and prints the samples; with an
 // output path (or a label, which defaults the path) it also appends the
-// entry to the JSON baseline.
-func runPerf(runs int, out, label string) error {
+// entry to the JSON baseline. A non-empty only list (comma-separated
+// workload ids) restricts the run for quick A/B iteration — restricted
+// runs never record, since the guard compares whole entries.
+func runPerf(runs int, out, label, only string) error {
 	if out == "" && label != "" {
 		out = "BENCH_sim.json"
 	}
-	entry, err := perf.Collect(perf.DefaultWorkloads(), runs, label)
+	workloads := perf.DefaultWorkloads()
+	if only != "" {
+		want := map[string]bool{}
+		for _, id := range strings.Split(only, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+		kept := workloads[:0]
+		for _, w := range workloads {
+			if want[w.ID] {
+				kept = append(kept, w)
+			}
+		}
+		if len(kept) == 0 {
+			return fmt.Errorf("-perfonly %q matches no workload", only)
+		}
+		workloads = kept
+		if out != "" {
+			return fmt.Errorf("-perfonly runs are partial entries and cannot be recorded")
+		}
+	}
+	entry, err := perf.Collect(workloads, runs, label)
 	if err != nil {
 		return err
 	}
-	for _, w := range perf.DefaultWorkloads() {
+	for _, w := range workloads {
 		s := entry.Samples[w.ID]
 		frames := ""
 		if s.FramesPerPush > 0 {

@@ -492,17 +492,47 @@ func (n *node) laneFor(m *proto.Message) *lane {
 // handler is the node's transport-facing inbox: it takes ownership of
 // accepted messages (the owning lane releases them after handling) and
 // refuses delivery — so the transport counts a drop — when the node is
-// dead or the lane's inbox is full.
+// dead or the lane's inbox is full. Refusals also count toward
+// Stats.InboxDrops, the saturation signal shared with the burst path.
 func (n *node) handler() transport.Handler {
 	return func(m *proto.Message) bool {
 		if n.dead.Load() {
+			n.nw.stats.inboxDrops.Add(1)
 			return false
 		}
 		select {
 		case n.laneFor(m).inbox <- m:
 			return true
 		default:
+			n.nw.stats.inboxDrops.Add(1)
 			return false
+		}
+	}
+}
+
+// burstHandler is the node's burst-dispatch inbox, registered alongside
+// handler on transports that decode inbound frames in bursts (TCP). It
+// owns every message in the burst: accepted ones route to their lane's
+// inbox exactly like the per-message path, refused ones (dead node, full
+// lane inbox) are released here and counted as Stats.InboxDrops — the
+// transport is out of the loop, which is what keeps the hot path
+// lock-free.
+func (n *node) burstHandler() transport.BurstHandler {
+	return func(ms []*proto.Message) {
+		if n.dead.Load() {
+			n.nw.stats.inboxDrops.Add(int64(len(ms)))
+			for _, m := range ms {
+				proto.Release(m)
+			}
+			return
+		}
+		for _, m := range ms {
+			select {
+			case n.laneFor(m).inbox <- m:
+			default:
+				n.nw.stats.inboxDrops.Add(1)
+				proto.Release(m)
+			}
 		}
 	}
 }
@@ -835,6 +865,28 @@ func (l *lane) run() {
 				continue
 			}
 			l.handleMsg(m, false)
+			// Opportunistic batch drain: one wakeup handles whatever else
+			// the inbox already holds (bounded by DrainBatch), so the
+			// select, the journal record and the outbox flush amortize
+			// across the burst — the receive-side mirror of the writer's
+			// gather. Bounded so ctrl injections and ticks stay live under
+			// sustained inbound load.
+			batch := 1
+		drain:
+			for limit := n.nw.cfg.drainBatch(); batch < limit; {
+				select {
+				case m := <-l.inbox:
+					if n.dead.Load() {
+						proto.Release(m)
+						break drain
+					}
+					l.handleMsg(m, false)
+					batch++
+				default:
+					break drain
+				}
+			}
+			l.observeBurst(int64(batch))
 			l.record()
 		case c := <-l.ctrl:
 			l.control(c)
@@ -846,6 +898,20 @@ func (l *lane) run() {
 			}
 		}
 		l.flush()
+	}
+}
+
+// observeBurst folds one wakeup's drained batch size into the network's
+// inbox-pressure counters behind Stats.InboxBurstMax / InboxBurstMean.
+func (l *lane) observeBurst(batch int64) {
+	s := &l.n.nw.stats
+	s.burstSum.Add(batch)
+	s.burstN.Add(1)
+	for {
+		cur := s.burstMax.Load()
+		if batch <= cur || s.burstMax.CompareAndSwap(cur, batch) {
+			return
+		}
 	}
 }
 

@@ -18,6 +18,7 @@ package perf
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"time"
@@ -113,6 +114,7 @@ func DefaultWorkloads() []Workload {
 		{ID: "throughput-pcx", Cfg: pcxCfg, New: func() scheme.Scheme { return scheme.NewPCX() }},
 		{ID: "churn-dup", Cfg: churnCfg, New: newDUP},
 		{ID: "wire-codec", Run: wireCodecRun},
+		{ID: "wire-burst", Run: wireBurstRun},
 		{ID: "live-cluster", Run: liveClusterRun, NoisyAllocs: true},
 		{ID: "live-replicated", Run: liveReplicatedRun, NoisyAllocs: true},
 	}
@@ -127,6 +129,36 @@ func DefaultWorkloads() []Workload {
 // so steady state allocates (almost) nothing.
 func wireCodecRun() (Result, error) {
 	const rounds = 100000 / (proto.NumKinds + 1)
+	mix := codecMix()
+	defer func() {
+		for _, m := range mix {
+			proto.Release(m)
+		}
+	}()
+	buf := make([]byte, 0, 256)
+	var events uint64
+	for i := 0; i < rounds; i++ {
+		for _, m := range mix {
+			buf = wire.AppendFrame(buf[:0], m)
+			got, err := wire.DecodeMessage(buf[4:])
+			if err != nil {
+				return Result{}, fmt.Errorf("wire-codec: %w", err)
+			}
+			if got.Kind != m.Kind || got.Seq != m.Seq || len(got.Path) != len(m.Path) ||
+				got.Key != m.Key || len(got.Batch) != len(m.Batch) {
+				proto.Release(got)
+				return Result{}, fmt.Errorf("wire-codec: round-trip mismatch for %v", m.Kind)
+			}
+			proto.Release(got)
+			events++
+		}
+	}
+	return Result{Events: events}, nil
+}
+
+// codecMix builds the representative message mix the codec workloads
+// share; the caller releases it.
+func codecMix() []*proto.Message {
 	mix := make([]*proto.Message, 0, proto.NumKinds+1)
 	for k := 0; k < proto.NumKinds; k++ {
 		m := proto.NewMessage()
@@ -163,30 +195,70 @@ func wireCodecRun() (Result, error) {
 	keyed.Seq, keyed.Hops = 77, 2
 	keyed.Path = append(keyed.Path, 42, 17)
 	mix = append(mix, keyed)
+	return mix
+}
+
+// wireBurstRun measures the receive path's burst decode: the codec mix
+// framed into one wire image and streamed through Reader.ReadBurst, the
+// loop TCP's readLoop runs per inbound connection. Events are frames, so
+// events_per_sec reads as inbound frames per second through burst decode
+// and allocs_per_1000_events as allocations per thousand frames — the
+// fill buffer and burst slice are reused and the messages pooled, so
+// steady state allocates (almost) nothing.
+func wireBurstRun() (Result, error) {
+	const rounds = 100000 / (proto.NumKinds + 1)
+	mix := codecMix()
 	defer func() {
 		for _, m := range mix {
 			proto.Release(m)
 		}
 	}()
-	buf := make([]byte, 0, 256)
+	var stream []byte
+	for _, m := range mix {
+		stream = wire.AppendFrame(stream, m)
+	}
+	r := wire.NewReader(&loopReader{data: stream, left: rounds})
 	var events uint64
-	for i := 0; i < rounds; i++ {
-		for _, m := range mix {
-			buf = wire.AppendFrame(buf[:0], m)
-			got, err := wire.DecodeMessage(buf[4:])
-			if err != nil {
-				return Result{}, fmt.Errorf("wire-codec: %w", err)
+	for {
+		ms, err := r.ReadBurst(0)
+		for _, m := range ms {
+			if int(m.Kind) >= proto.NumKinds {
+				return Result{}, fmt.Errorf("wire-burst: decoded unknown kind %d", m.Kind)
 			}
-			if got.Kind != m.Kind || got.Seq != m.Seq || len(got.Path) != len(m.Path) ||
-				got.Key != m.Key || len(got.Batch) != len(m.Batch) {
-				proto.Release(got)
-				return Result{}, fmt.Errorf("wire-codec: round-trip mismatch for %v", m.Kind)
-			}
-			proto.Release(got)
+			proto.Release(m)
 			events++
 		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return Result{}, fmt.Errorf("wire-burst: %w", err)
+		}
+	}
+	if want := uint64(rounds * len(mix)); events != want {
+		return Result{}, fmt.Errorf("wire-burst: decoded %d frames, want %d", events, want)
 	}
 	return Result{Events: events}, nil
+}
+
+// loopReader serves one byte image `left` times over, modelling a socket
+// with a long backlog of identical traffic.
+type loopReader struct {
+	data      []byte
+	off, left int
+}
+
+func (lr *loopReader) Read(p []byte) (int, error) {
+	if lr.left == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, lr.data[lr.off:])
+	lr.off += n
+	if lr.off == len(lr.data) {
+		lr.off = 0
+		lr.left--
+	}
+	return n, nil
 }
 
 // Sample is the measurement of one workload across several runs. Throughput

@@ -1,0 +1,201 @@
+package transport
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"dup/internal/proto"
+	"dup/internal/wire"
+)
+
+// burstCollector accumulates burst deliveries, recording each burst size.
+// Per the BurstHandler contract it owns every message and releases them.
+type burstCollector struct {
+	mu    sync.Mutex
+	seqs  []int64
+	sizes []int
+	drop  bool // stand-in for a full inbox: refuse (release) everything
+	drops int
+}
+
+func (c *burstCollector) handler() BurstHandler {
+	return func(ms []*proto.Message) {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		c.sizes = append(c.sizes, len(ms))
+		for _, m := range ms {
+			if c.drop {
+				c.drops++
+			} else {
+				c.seqs = append(c.seqs, m.Seq)
+			}
+			proto.Release(m)
+		}
+	}
+}
+
+func (c *burstCollector) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.seqs) + c.drops
+}
+
+func (c *burstCollector) waitFor(t *testing.T, n int, d time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for c.count() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("got %d messages, want %d", c.count(), n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// waitInUse waits for the pooled-message balance to settle back to base:
+// drop counters tick before the release that follows them, so a counter
+// wait can race the last proto.Release by a hair.
+func waitInUse(t *testing.T, base int64) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for proto.InUse() != base {
+		if time.Now().After(deadline) {
+			t.Fatalf("pooled messages leaked: %d in use, want %d", proto.InUse(), base)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func waitDrops(t *testing.T, tr *TCP, n int64, d time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for tr.Drops() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("got %d drops, want %d", tr.Drops(), n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestDispatchRunsWithTransportMutexHeld pins the copy-on-write handler
+// table: inbound dispatch and local delivery are plain atomic loads, so
+// both keep flowing while t.mu is held. Before the table, this test would
+// deadlock-by-timeout on the per-frame mutex lookup.
+func TestDispatchRunsWithTransportMutexHeld(t *testing.T) {
+	a, b := tcpPair(t)
+	var ca, cb collector
+	a.Register(1, ca.handler())
+	b.Register(2, cb.handler())
+
+	// Establish the inbound connection first: accepting one takes t.mu
+	// (inbound tracking); per-frame dispatch must not.
+	a.Send(push(proto.KindPush, 2))
+	cb.waitFor(t, 1, 3*time.Second)
+
+	b.mu.Lock()
+	for i := 0; i < 20; i++ {
+		m := push(proto.KindPush, 2)
+		m.Seq = int64(i)
+		a.Send(m)
+	}
+	cb.waitFor(t, 21, 3*time.Second)
+	b.mu.Unlock()
+
+	// Local delivery is the same lock-free table load.
+	a.mu.Lock()
+	a.Send(push(proto.KindPush, 1))
+	ca.waitFor(t, 1, 3*time.Second)
+	a.mu.Unlock()
+}
+
+// TestBurstHandlerReceivesBursts drives enough back-to-back frames at one
+// target that the reader gathers multi-frame bursts, and checks the burst
+// handler sees every message, in order, with no per-message fallback.
+func TestBurstHandlerReceivesBursts(t *testing.T) {
+	a, b := tcpPair(t)
+	var c burstCollector
+	b.RegisterBurst(2, c.handler())
+	const n = 200
+	for i := 0; i < n; i++ {
+		m := push(proto.KindPush, 2)
+		m.Seq = int64(i)
+		a.Send(m)
+	}
+	c.waitFor(t, n, 3*time.Second)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, seq := range c.seqs {
+		if seq != int64(i) {
+			t.Fatalf("message %d arrived with seq %d: burst dispatch reordered the stream", i, seq)
+		}
+	}
+	if len(c.sizes) == n {
+		t.Logf("no multi-frame burst observed in %d deliveries (slow writer?)", n)
+	}
+}
+
+// TestReceiveOwnershipBalance is the receive-path leak audit: bursts
+// through decode → dispatch → drop via every refusal path (no handler
+// registered, a handler that refuses, a burst handler with a full inbox,
+// and a connection torn mid-burst) must release every pooled message.
+func TestReceiveOwnershipBalance(t *testing.T) {
+	base := proto.InUse()
+	a, b := tcpPair(t)
+
+	// No handler registered: every frame drops at the receiver.
+	for i := 0; i < 10; i++ {
+		a.Send(push(proto.KindPush, 2))
+	}
+	waitDrops(t, b, 10, 3*time.Second)
+	waitInUse(t, base)
+
+	// A per-message handler that refuses: the transport releases and
+	// counts.
+	refuse := collector{deny: true}
+	b.Register(2, refuse.handler())
+	for i := 0; i < 10; i++ {
+		a.Send(push(proto.KindPush, 2))
+	}
+	waitDrops(t, b, 20, 3*time.Second)
+	waitInUse(t, base)
+
+	// A burst handler standing in for a full inbox: it owns the messages
+	// and must release what it refuses.
+	full := burstCollector{drop: true}
+	b.RegisterBurst(2, full.handler())
+	for i := 0; i < 10; i++ {
+		a.Send(push(proto.KindPush, 2))
+	}
+	full.waitFor(t, 10, 3*time.Second)
+	waitInUse(t, base)
+	if d := b.Drops(); d != 20 {
+		t.Fatalf("burst-handler refusals leaked into transport drops: %d, want 20", d)
+	}
+
+	// A connection torn mid-burst: complete frames ahead of the tear
+	// dispatch, the torn frame is dropped bytes, never a message.
+	var ok burstCollector
+	b.RegisterBurst(2, ok.handler())
+	conn, err := net.Dial("tcp", b.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stream []byte
+	for i := 0; i < 3; i++ {
+		m := push(proto.KindPush, 2)
+		m.Seq = int64(i)
+		stream = wire.AppendFrame(stream, m)
+		proto.Release(m)
+	}
+	whole := len(stream)
+	m := push(proto.KindPush, 2)
+	stream = wire.AppendFrame(stream, m)
+	proto.Release(m)
+	if _, err := conn.Write(stream[:whole+5]); err != nil { // 3 frames + a torn 4th
+		t.Fatal(err)
+	}
+	conn.Close()
+	ok.waitFor(t, 3, 3*time.Second)
+	waitInUse(t, base)
+}

@@ -28,6 +28,28 @@ import "dup/internal/proto"
 // the message back to the transport, which releases it and counts a drop.
 type Handler func(m *proto.Message) bool
 
+// BurstHandler consumes one decoded burst of inbound messages, every one
+// addressed to the same hosted node. Unlike Handler it takes ownership of
+// every message unconditionally: what it cannot deliver (dead node, full
+// inbox) it must proto.Release and count itself, so a refusal costs the
+// hot path no round-trip back through the transport. The slice stays the
+// transport's and is invalid after return. Like Handler it must not
+// block.
+type BurstHandler func(ms []*proto.Message)
+
+// BurstRegistrar is implemented by transports that decode inbound frames
+// in bursts (TCP). A registered burst handler becomes the preferred
+// dispatch path for frames arriving off the wire; the per-message Handler
+// registered alongside it keeps serving local sends and transports
+// without burst support (Chan, the faults middleware — which must stay
+// per-message so injected loss sees every message).
+type BurstRegistrar interface {
+	// RegisterBurst installs the burst handler for inbound frames
+	// addressed to node id; nil uninstalls it, falling dispatch back to
+	// the per-message Handler.
+	RegisterBurst(id int, h BurstHandler)
+}
+
 // Transport delivers protocol messages between peers addressed by node id.
 type Transport interface {
 	// Register installs the handler for inbound messages addressed to

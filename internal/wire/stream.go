@@ -3,6 +3,7 @@ package wire
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 
@@ -36,43 +37,163 @@ func (w *Writer) WriteMessage(m *proto.Message) error {
 // Flush pushes buffered frames to the underlying stream.
 func (w *Writer) Flush() error { return w.w.Flush() }
 
-// Reader decodes frames from a byte stream into pooled messages, reusing
-// one payload buffer across reads. Not safe for concurrent use.
+// readerBufSize is the initial fill-buffer size: large enough that one
+// Read off a loaded socket gathers dozens of typical frames, small enough
+// to keep per-connection cost negligible. The buffer grows on demand (up
+// to one max-size frame) when a single frame outruns it.
+const readerBufSize = 64 << 10
+
+// DefaultBurstFrames caps how many frames one ReadBurst call decodes when
+// the caller passes max <= 0. It mirrors the writer's maxGather so one
+// receive burst is about one send gather.
+const DefaultBurstFrames = 64
+
+// errDrained is next()'s internal would-block signal: the buffered bytes
+// hold no complete frame and the caller asked not to read more.
+var errDrained = errors.New("wire: drained")
+
+// Reader decodes frames from a byte stream into pooled messages. It fills
+// one reusable buffer with large reads and decodes frames out of it, so a
+// burst of inbound frames pays one Read syscall, not one per frame. Not
+// safe for concurrent use.
 type Reader struct {
-	r   *bufio.Reader
-	buf []byte
+	r        io.Reader
+	buf      []byte // filled wire bytes; the unconsumed window is buf[pos:lim]
+	pos, lim int
+	burst    []*proto.Message // reused backing slice for ReadBurst results
 }
 
 // NewReader returns a Reader decoding from r.
 func NewReader(r io.Reader) *Reader {
-	return &Reader{r: bufio.NewReader(r)}
+	return &Reader{r: r}
 }
 
 // ReadMessage reads one frame and decodes it. On success the caller owns
 // the returned message and must eventually proto.Release it. io.EOF at a
-// frame boundary is returned as io.EOF; a partial frame becomes
-// io.ErrUnexpectedEOF.
+// frame boundary is returned as io.EOF; a partial frame becomes a
+// truncation error. It is the one-frame view of the same decode path
+// ReadBurst runs, so both produce identical message streams for the same
+// bytes.
 func (r *Reader) ReadMessage() (*proto.Message, error) {
-	var hdr [frameHeader]byte
-	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
-		if err == io.ErrUnexpectedEOF {
-			return nil, fmt.Errorf("%w: partial frame header", ErrTruncated)
+	return r.next(true)
+}
+
+// ReadBurst decodes up to max frames (<= 0 means DefaultBurstFrames) and
+// returns them as one burst. It blocks only until the first frame is
+// complete; the rest of the burst is whatever further frames the fill
+// buffer already holds, so a quiet stream degrades to one message per
+// call and a loaded one amortizes the read across the gather. The caller
+// owns every returned message; the slice itself belongs to the Reader and
+// is overwritten by the next ReadMessage/ReadBurst call. When err is
+// non-nil the messages decoded before the failure are still returned —
+// dispatch them, then treat the stream as broken.
+func (r *Reader) ReadBurst(max int) ([]*proto.Message, error) {
+	if max <= 0 {
+		max = DefaultBurstFrames
+	}
+	burst := r.burst[:0]
+	for len(burst) < max {
+		m, err := r.next(len(burst) == 0)
+		if err == errDrained {
+			break
 		}
-		return nil, err
+		if err != nil {
+			r.burst = burst
+			return burst, err
+		}
+		burst = append(burst, m)
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
-	if n == 0 {
-		return nil, fmt.Errorf("%w: empty frame", ErrTruncated)
+	r.burst = burst
+	return burst, nil
+}
+
+// next decodes one frame out of the fill buffer. With block it reads from
+// the stream until a complete frame (or an error) arrives; without, it
+// returns errDrained as soon as the buffered bytes run dry, never
+// touching the underlying reader.
+func (r *Reader) next(block bool) (*proto.Message, error) {
+	for {
+		if have := r.lim - r.pos; have >= frameHeader {
+			n := binary.BigEndian.Uint32(r.buf[r.pos:])
+			if n == 0 {
+				return nil, fmt.Errorf("%w: empty frame", ErrTruncated)
+			}
+			if n > MaxFrame {
+				return nil, fmt.Errorf("%w: %d bytes", ErrTooLarge, n)
+			}
+			total := frameHeader + int(n)
+			if have >= total {
+				m, err := DecodeMessage(r.buf[r.pos+frameHeader : r.pos+total])
+				r.pos += total
+				return m, err
+			}
+		}
+		if !block {
+			return nil, errDrained
+		}
+		if err := r.fill(); err != nil {
+			return nil, r.classify(err)
+		}
 	}
-	if n > MaxFrame {
-		return nil, fmt.Errorf("%w: %d bytes", ErrTooLarge, n)
+}
+
+// fill grows the unconsumed window with one read from the stream,
+// compacting leftovers to the buffer's front (and growing it, bounded by
+// the max frame size) when the tail has no free space.
+func (r *Reader) fill() error {
+	if r.buf == nil {
+		r.buf = make([]byte, readerBufSize)
 	}
-	if cap(r.buf) < int(n) {
-		r.buf = make([]byte, n)
+	if r.pos == r.lim {
+		r.pos, r.lim = 0, 0
+	} else if r.lim == len(r.buf) {
+		// Compact when that frees at least half the buffer. Otherwise one
+		// pending frame dominates it: grow toward the largest frame the
+		// length prefix already validated against MaxFrame, so trickled
+		// reads stay linear instead of re-copying a nearly-full buffer
+		// per fill. A full buffer with pos == 0 at the max size cannot
+		// reach here — it already holds a complete max-size frame.
+		if r.pos >= len(r.buf)/2 || len(r.buf) >= frameHeader+MaxFrame {
+			r.lim = copy(r.buf, r.buf[r.pos:r.lim])
+			r.pos = 0
+		} else {
+			grown := make([]byte, min(2*len(r.buf), frameHeader+MaxFrame))
+			r.lim = copy(grown, r.buf[r.pos:r.lim])
+			r.pos = 0
+			r.buf = grown
+		}
 	}
-	buf := r.buf[:n]
-	if _, err := io.ReadFull(r.r, buf); err != nil {
-		return nil, fmt.Errorf("%w: frame body: %v", ErrTruncated, err)
+	for {
+		n, err := r.r.Read(r.buf[r.lim:])
+		r.lim += n
+		if n > 0 {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
 	}
-	return DecodeMessage(buf)
+}
+
+// classify maps a stream error onto the frame boundary: end-of-stream
+// between frames is a clean io.EOF, inside a header or body it is a
+// truncation; other errors pass through untouched.
+func (r *Reader) classify(err error) error {
+	have := r.lim - r.pos
+	if err != io.EOF {
+		if have >= frameHeader {
+			return fmt.Errorf("%w: frame body: %v", ErrTruncated, err)
+		}
+		return err
+	}
+	switch {
+	case have == 0:
+		return io.EOF
+	case have < frameHeader:
+		return fmt.Errorf("%w: partial frame header", ErrTruncated)
+	case have == frameHeader:
+		return fmt.Errorf("%w: frame body: %v", ErrTruncated, io.EOF)
+	default:
+		return fmt.Errorf("%w: frame body: %v", ErrTruncated, io.ErrUnexpectedEOF)
+	}
 }

@@ -1,0 +1,216 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"dup/internal/proto"
+)
+
+// chunkReader hands out at most n bytes per Read, tearing frames across
+// fill boundaries the way a congested socket does.
+type chunkReader struct {
+	data []byte
+	n    int
+}
+
+func (c *chunkReader) Read(p []byte) (int, error) {
+	if len(c.data) == 0 {
+		return 0, io.EOF
+	}
+	n := min(c.n, min(len(c.data), len(p)))
+	copy(p, c.data[:n])
+	c.data = c.data[n:]
+	return n, nil
+}
+
+// sampleStream frames every sample message, repeated, into one wire image.
+func sampleStream(repeat int) ([]byte, []*proto.Message) {
+	var stream []byte
+	var want []*proto.Message
+	for i := 0; i < repeat; i++ {
+		for _, m := range sampleMessages() {
+			stream = AppendFrame(stream, m)
+			want = append(want, m)
+		}
+	}
+	return stream, want
+}
+
+// drainMessages reads the whole stream one frame at a time.
+func drainMessages(r *Reader) ([]*proto.Message, error) {
+	var out []*proto.Message
+	for {
+		m, err := r.ReadMessage()
+		if err != nil {
+			return out, err
+		}
+		out = append(out, m)
+	}
+}
+
+// drainBursts reads the whole stream in bursts, recording each burst size.
+func drainBursts(r *Reader, max int) ([]*proto.Message, []int, error) {
+	var out []*proto.Message
+	var sizes []int
+	for {
+		ms, err := r.ReadBurst(max)
+		out = append(out, ms...)
+		if len(ms) > 0 {
+			sizes = append(sizes, len(ms))
+		}
+		if err != nil {
+			return out, sizes, err
+		}
+	}
+}
+
+func releaseAll(ms []*proto.Message) {
+	for _, m := range ms {
+		proto.Release(m)
+	}
+}
+
+// TestReadBurstMatchesReadMessage is the wire-image acceptance check: the
+// burst path and the one-frame path must produce identical message
+// streams and identical terminal errors for the same bytes, torn frames
+// included.
+func TestReadBurstMatchesReadMessage(t *testing.T) {
+	stream, want := sampleStream(3)
+	cases := []struct {
+		name  string
+		bytes []byte
+	}{
+		{"clean", stream},
+		{"truncated header", append(append([]byte(nil), stream...), 0, 0)},
+		{"truncated body", stream[:len(stream)-3]},
+		{"oversized prefix", append(append([]byte(nil), stream...), 0xff, 0xff, 0xff, 0xff, 1)},
+		{"trailing garbage frame", append(append([]byte(nil), stream...), 0, 0, 0, 2, 0x99, 0x99)},
+	}
+	for _, tc := range cases {
+		for _, chunk := range []int{0, 1, 5, 4096} {
+			r1 := NewReader(bytes.NewReader(tc.bytes))
+			var src io.Reader = bytes.NewReader(tc.bytes)
+			if chunk > 0 {
+				src = &chunkReader{data: tc.bytes, n: chunk}
+			}
+			r2 := NewReader(src)
+			one, err1 := drainMessages(r1)
+			burst, _, err2 := drainBursts(r2, 7)
+			if len(one) != len(burst) {
+				t.Fatalf("%s/chunk=%d: %d messages via ReadMessage, %d via ReadBurst",
+					tc.name, chunk, len(one), len(burst))
+			}
+			for i := range one {
+				if !equalMessage(one[i], burst[i]) {
+					t.Fatalf("%s/chunk=%d: message %d differs:\n %+v\n %+v",
+						tc.name, chunk, i, one[i], burst[i])
+				}
+			}
+			e1, e2 := "", ""
+			if err1 != nil {
+				e1 = err1.Error()
+			}
+			if err2 != nil {
+				e2 = err2.Error()
+			}
+			if e1 != e2 {
+				t.Fatalf("%s/chunk=%d: errors diverge: %q vs %q", tc.name, chunk, e1, e2)
+			}
+			if len(one) >= len(want) {
+				for i, m := range want {
+					if !equalMessage(m, one[i]) {
+						t.Fatalf("%s/chunk=%d: decoded message %d does not match encoded", tc.name, chunk, i)
+					}
+				}
+			}
+			releaseAll(one)
+			releaseAll(burst)
+		}
+	}
+}
+
+// TestReadBurstGathers proves the point of the burst path: when the whole
+// stream is already buffered, one call returns many frames, capped at the
+// requested maximum.
+func TestReadBurstGathers(t *testing.T) {
+	stream, want := sampleStream(2)
+	r := NewReader(bytes.NewReader(stream))
+	got, sizes, err := drainBursts(r, 6)
+	if err != io.EOF {
+		t.Fatalf("terminal error = %v, want io.EOF", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d messages, want %d", len(got), len(want))
+	}
+	if sizes[0] != 6 {
+		t.Fatalf("first burst gathered %d frames, want the cap 6 (sizes %v)", sizes[0], sizes)
+	}
+	for _, s := range sizes {
+		if s > 6 {
+			t.Fatalf("burst of %d frames exceeds cap 6", s)
+		}
+	}
+	releaseAll(got)
+}
+
+// TestReadBurstReturnsDecodedBeforeError: frames decoded ahead of a torn
+// frame must be surfaced, not lost with the error.
+func TestReadBurstReturnsDecodedBeforeError(t *testing.T) {
+	stream, want := sampleStream(1)
+	torn := stream[:len(stream)-2] // tear the final frame's body
+	r := NewReader(bytes.NewReader(torn))
+	got, _, err := drainBursts(r, 0)
+	if !errors.Is(err, ErrTruncated) {
+		t.Fatalf("terminal error = %v, want ErrTruncated", err)
+	}
+	if len(got) != len(want)-1 {
+		t.Fatalf("decoded %d messages before the tear, want %d", len(got), len(want)-1)
+	}
+	releaseAll(got)
+}
+
+// TestReadBurstOversizedFrame: a frame bigger than the initial fill
+// buffer must decode by growing it, via both paths.
+func TestReadBurstOversizedFrame(t *testing.T) {
+	m := proto.NewMessage()
+	m.Kind = proto.KindBatch
+	m.To = 1
+	for i := 0; i < 256; i++ {
+		sub := proto.NewMessage()
+		sub.Kind = proto.KindPush
+		sub.To, sub.Origin, sub.Key = 1, 2, i
+		for p := 0; p < 128; p++ {
+			sub.Path = append(sub.Path, (1<<40)+p)
+		}
+		m.Batch = append(m.Batch, sub)
+	}
+	defer proto.Release(m)
+	frame := AppendFrame(nil, m)
+	if len(frame) <= readerBufSize {
+		t.Fatalf("test frame of %d bytes does not outrun the %d-byte buffer", len(frame), readerBufSize)
+	}
+	for _, burst := range []bool{false, true} {
+		r := NewReader(bytes.NewReader(frame))
+		var got *proto.Message
+		var err error
+		if burst {
+			var ms []*proto.Message
+			ms, err = r.ReadBurst(0)
+			if len(ms) == 1 {
+				got = ms[0]
+			}
+		} else {
+			got, err = r.ReadMessage()
+		}
+		if err != nil || got == nil {
+			t.Fatalf("burst=%v: oversized frame failed: %v", burst, err)
+		}
+		if !equalMessage(m, got) {
+			t.Fatalf("burst=%v: oversized frame decoded wrong", burst)
+		}
+		proto.Release(got)
+	}
+}

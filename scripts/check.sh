@@ -42,6 +42,7 @@ go test -race -count=1 -run 'TestChaosReconfig' ./internal/chaos/
 echo "== fuzz smoke (wire codec) =="
 go test -run '^$' -fuzz 'FuzzDecodeEncode' -fuzztime 5s ./internal/wire/
 go test -run '^$' -fuzz 'FuzzFrameReader' -fuzztime 5s ./internal/wire/
+go test -run '^$' -fuzz 'FuzzReadBurst' -fuzztime 5s ./internal/wire/
 
 echo "== deprecated *Key wrapper gate =="
 # The Key(k) handle replaced the QueryKey/StatsKey/InspectKey/JoinKey/
